@@ -1,0 +1,79 @@
+"""Model-reduction ablation (extension beyond the paper).
+
+Power-grid transient analysis is typically run many times (load
+patterns, corners); reducing the MNA model once with Krylov moment
+matching and simulating the small model amortises dramatically.  This
+bench reports reduction cost, per-simulation runtime, and accuracy for
+the Table II grid -- full MNA vs reduced model, both solved with OPM.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import average_relative_error_db, sample_outputs
+from repro.core import krylov_reduce, simulate_opm
+from repro.experiments import table2_workload
+
+from conftest import bench_scale, format_db, format_ms, register_row
+
+TABLE = "MOR ABLATION (power grid, OPM on full vs reduced model)"
+COLUMNS = ["Model", "Size", "Per-simulation time", "Error vs full (eq. 30)"]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scale = bench_scale()
+    wl = table2_workload(nx=8 * scale, ny=8 * scale, nz=3)
+    full_run = simulate_opm(wl["mna"], wl["u"], (wl["t_end"], wl["base_steps"]))
+    wl["y_full"] = sample_outputs(full_run, wl["sample_times"])
+    return wl
+
+
+def test_full_model_row(benchmark, workload):
+    wl = workload
+
+    def run():
+        return simulate_opm(wl["mna"], wl["u"], (wl["t_end"], wl["base_steps"]))
+
+    benchmark(run)
+    register_row(
+        TABLE,
+        COLUMNS,
+        [
+            "Full MNA",
+            wl["mna"].n_states,
+            format_ms(benchmark.stats.stats.mean),
+            "-",
+        ],
+    )
+
+
+@pytest.mark.parametrize("q", [8, 16])
+def test_reduced_model_rows(benchmark, workload, q):
+    wl = workload
+    t0 = time.perf_counter()
+    reduced = krylov_reduce(wl["mna"], q, expansion_point=1e9)
+    reduce_time = time.perf_counter() - t0
+
+    def run():
+        return simulate_opm(reduced, wl["u"], (wl["t_end"], wl["base_steps"]))
+
+    result = benchmark(run)
+    err = average_relative_error_db(
+        wl["y_full"], sample_outputs(result, wl["sample_times"])
+    )
+    register_row(
+        TABLE,
+        COLUMNS,
+        [
+            f"Reduced (q={q}, build {reduce_time * 1e3:.1f} ms)",
+            reduced.n_states,
+            format_ms(benchmark.stats.stats.mean),
+            format_db(err),
+        ],
+    )
+    assert err < -25.0  # reduced model reproduces the grid waveform

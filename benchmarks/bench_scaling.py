@@ -1,0 +1,163 @@
+"""Complexity-claim benchmark: OPM cost O(n^beta m + n m^2) (section IV).
+
+Sweeps the state count ``n`` (RC chains at fixed ``m``) and the
+block-pulse count ``m`` (fixed ``n``), fits power laws to the measured
+runtimes, and reports the exponents.  The paper claims:
+
+* first-order systems: ``O(n^beta m)`` with ``1 < beta < 2`` (sparse
+  factorisation exponent), linear in ``m``;
+* fractional systems: an additional ``O(n m^2)`` history term, so
+  superlinear growth in ``m``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import fit_power_law
+from repro.core import DescriptorSystem, FractionalDescriptorSystem, simulate_opm
+
+from conftest import bench_scale, register_row
+
+TABLE = "SCALING (OPM cost exponents, section IV)"
+COLUMNS = ["Sweep", "Fitted exponent", "R^2", "Paper claim"]
+
+
+def chain_system(n: int, alpha: float = 1.0):
+    main = -2.0 * np.ones(n)
+    off = np.ones(n - 1)
+    A = sp.diags([off, main, off], [-1, 0, 1], format="csr")
+    E = sp.identity(n, format="csr")
+    B = np.zeros((n, 1))
+    B[0, 0] = 1.0
+    if alpha == 1.0:
+        return DescriptorSystem(E, A, B)
+    return FractionalDescriptorSystem(alpha, E, A, B)
+
+
+def _best_wall(system, m: int, repeats: int = 3) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        res = simulate_opm(system, 1.0, (1.0, m))
+        best = min(best, res.wall_time)
+    return best
+
+
+def test_n_sweep_first_order(benchmark):
+    scale = bench_scale()
+    sizes = [2000 * scale, 4000 * scale, 8000 * scale, 16000 * scale]
+    times = []
+
+    def run():
+        times.clear()
+        for n in sizes:
+            times.append(_best_wall(chain_system(n), 64))
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    exponent, _, r2 = fit_power_law(sizes, times)
+    register_row(
+        TABLE,
+        COLUMNS,
+        ["n (alpha=1, m=64)", f"{exponent:.2f}", f"{r2:.3f}", "1 < beta < 2"],
+    )
+    assert 0.7 < exponent < 2.2  # sparse-solve exponent band (tridiagonal ~ 1)
+
+
+def test_m_sweep_first_order(benchmark):
+    ms = [200, 400, 800, 1600]
+    system = chain_system(3000 * bench_scale())
+    times = []
+
+    def run():
+        times.clear()
+        for m in ms:
+            times.append(_best_wall(system, m))
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    exponent, _, r2 = fit_power_law(ms, times)
+    register_row(
+        TABLE,
+        COLUMNS,
+        ["m (alpha=1, n=3000)", f"{exponent:.2f}", f"{r2:.3f}", "linear (1.0)"],
+    )
+    assert 0.7 < exponent < 1.5
+
+
+def test_m_sweep_fractional(benchmark):
+    ms = [400, 800, 1600, 3200]
+    system = chain_system(200, alpha=0.5)
+    times = []
+
+    def run():
+        times.clear()
+        for m in ms:
+            times.append(_best_wall(system, m))
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    exponent, _, r2 = fit_power_law(ms, times)
+    register_row(
+        TABLE,
+        COLUMNS,
+        ["m (alpha=1/2, n=200)", f"{exponent:.2f}", f"{r2:.3f}", "superlinear -> 2.0"],
+    )
+    assert exponent > 1.2  # the n m^2 history term
+
+
+def test_m_sweep_fractional_fft_history(benchmark):
+    """Extension: blocked-FFT history drops the m-exponent below 2."""
+    ms = [400, 800, 1600, 3200]
+    system = chain_system(200, alpha=0.5)
+    times = []
+
+    def run():
+        times.clear()
+        for m in ms:
+            best = np.inf
+            for _ in range(3):
+                res = simulate_opm(system, 1.0, (1.0, m), history="fft")
+                best = min(best, res.wall_time)
+            times.append(best)
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    exponent, _, r2 = fit_power_law(ms, times)
+    register_row(
+        TABLE,
+        COLUMNS,
+        [
+            "m (alpha=1/2, n=200, history='fft')",
+            f"{exponent:.2f}",
+            f"{r2:.3f}",
+            "~1.5 (extension)",
+        ],
+    )
+    assert exponent < 1.9  # clearly below the direct path's ~2
+
+
+def test_fractional_vs_first_order_same_size(benchmark):
+    n, m = 400 * bench_scale(), 1200
+
+    def run():
+        first = _best_wall(chain_system(n), m, repeats=1)
+        frac = _best_wall(chain_system(n, alpha=0.5), m, repeats=1)
+        return first, frac
+
+    first, frac = benchmark.pedantic(run, rounds=1, iterations=1)
+    register_row(
+        TABLE,
+        COLUMNS,
+        [
+            f"alpha=1/2 vs alpha=1 cost ratio (n={n}, m={m})",
+            f"{frac / first:.1f}x",
+            "-",
+            "> 1 (history term)",
+        ],
+    )
+    assert frac > 1.5 * first

@@ -1,0 +1,83 @@
+"""Table I reproduction: fractional transmission line, OPM vs FFT.
+
+Paper section V-A / Table I: simulate the 7-state, 2-port,
+``alpha = 1/2`` transmission-line model over ``[0, 2.7 ns)`` with
+``m = 8`` block pulses; compare the FFT frequency-domain method with 8
+(``FFT-1``) and 100 (``FFT-2``) sampling points against OPM using the
+eq. (30) dB metric (OPM is the reference row, shown as "-").
+
+A Grünwald-Letnikov row is added beyond the paper as the classical
+time-domain fractional baseline.
+
+Expected shape (paper: FFT-1 -29.2 dB / 6.09 ms, FFT-2 -46.5 dB /
+40.7 ms, OPM - / 3.56 ms): FFT-2 closer to OPM than FFT-1, OPM cheapest,
+FFT cost growing with its sample count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import relative_error_db, sample_outputs
+from repro.baselines import simulate_fft
+from repro.core import simulate_opm
+from repro.experiments import table1_workload
+from repro.fractional import simulate_grunwald_letnikov
+
+from conftest import format_db, format_ms, register_row
+
+TABLE = "TABLE I (fractional transmission line)"
+COLUMNS = ["Method", "CPU time", "Relative Error vs OPM (eq. 30)"]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wl = table1_workload()
+    opm = simulate_opm(wl["model"], wl["u"], (wl["t_end"], wl["m"]))
+    wl["y_opm"] = sample_outputs(opm, wl["sample_times"])
+    return wl
+
+
+def test_opm_row(benchmark, workload):
+    wl = workload
+
+    def run():
+        return simulate_opm(wl["model"], wl["u"], (wl["t_end"], wl["m"]))
+
+    result = benchmark(run)
+    assert result.coefficients.shape == (7, wl["m"])
+    register_row(
+        TABLE, COLUMNS, ["OPM (m=8)", format_ms(benchmark.stats.stats.mean), "-"]
+    )
+
+
+@pytest.mark.parametrize("label,points", [("FFT-1 (8 pts)", 8), ("FFT-2 (100 pts)", 100)])
+def test_fft_rows(benchmark, workload, label, points):
+    wl = workload
+
+    def run():
+        return simulate_fft(wl["model"], wl["u"], wl["t_end"], points)
+
+    result = benchmark(run)
+    err = relative_error_db(wl["y_opm"], sample_outputs(result, wl["sample_times"]))
+    assert err < -5.0
+    register_row(
+        TABLE, COLUMNS, [label, format_ms(benchmark.stats.stats.mean), format_db(err)]
+    )
+
+
+def test_grunwald_letnikov_row(benchmark, workload):
+    """Extra row (not in the paper): the classical GL stepper at m=8."""
+    wl = workload
+
+    def run():
+        return simulate_grunwald_letnikov(wl["model"], wl["u"], wl["t_end"], wl["m"])
+
+    result = benchmark(run)
+    err = relative_error_db(wl["y_opm"], sample_outputs(result, wl["sample_times"]))
+    register_row(
+        TABLE,
+        COLUMNS,
+        ["GL (m=8, extra)", format_ms(benchmark.stats.stats.mean), format_db(err)],
+    )

@@ -1,0 +1,71 @@
+"""Benchmark-harness infrastructure.
+
+Each benchmark file registers paper-style table rows (method, timing,
+accuracy) in :data:`REGISTRY`; at session end the tables are rendered
+to stdout and written under ``benchmarks/out/`` so EXPERIMENTS.md can
+embed them verbatim.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` -- integer multiplier on workload sizes
+  (default 1, CI-scale; larger values approach paper-scale runs).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+from repro.io import Table
+
+#: table name -> (columns, list of rows); populated by bench tests.
+REGISTRY: dict[str, dict] = defaultdict(lambda: {"columns": None, "rows": []})
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def register_row(table: str, columns, row) -> None:
+    """Append a row to a named output table (creating it on first use)."""
+    entry = REGISTRY[table]
+    if entry["columns"] is None:
+        entry["columns"] = list(columns)
+    elif entry["columns"] != list(columns):
+        raise ValueError(f"table {table!r} column mismatch")
+    entry["rows"].append([str(c) for c in row])
+
+
+def bench_scale() -> int:
+    """Workload multiplier from REPRO_BENCH_SCALE (default 1)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def format_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def format_db(value: float) -> str:
+    return "-" if value is None else f"{value:.1f} dB"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_tables_at_exit():
+    yield
+    OUT_DIR.mkdir(exist_ok=True)
+    for name, entry in sorted(REGISTRY.items()):
+        if not entry["rows"]:
+            continue
+        table = Table(entry["columns"], title=name)
+        for row in entry["rows"]:
+            table.add_row(row)
+        text = table.render()
+        (OUT_DIR / f"{name.lower().replace(' ', '_').replace('/', '-')}.txt").write_text(
+            text + "\n"
+        )
+        print(f"\n{text}")

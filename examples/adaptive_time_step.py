@@ -1,0 +1,61 @@
+"""Section III-B scenario: adaptive time steps on a stiff circuit.
+
+A two-time-scale RC network (10 us fast transient, 10 ms slow settle)
+is simulated with fixed-step OPM and with the adaptive controller; the
+example prints the accepted-step profile, showing how the controller
+concentrates effort in the fast transient -- "a more flexible
+simulation with low CPU time".
+
+Run:  python examples/adaptive_time_step.py
+"""
+
+import numpy as np
+
+from repro import DescriptorSystem, simulate_opm, simulate_opm_adaptive
+from repro.io import Table
+
+
+def main():
+    # poles at 1e5 rad/s (tau = 10 us) and 1e2 rad/s (tau = 10 ms)
+    system = DescriptorSystem(
+        np.eye(2), np.diag([-1e5, -1e2]), np.array([[1e5], [1e2]])
+    )
+    t_end = 10e-3
+
+    adaptive = simulate_opm_adaptive(system, 1.0, t_end, rtol=1e-5)
+    fixed = simulate_opm(system, 1.0, (t_end, 20000))
+
+    t = np.geomspace(1e-6, 0.95 * t_end, 40)
+    exact = 1.0 - np.exp(np.outer([-1e5, -1e2], t))
+    err_adaptive = np.max(np.abs(adaptive.states_smooth(t) - exact))
+    err_fixed = np.max(np.abs(fixed.states_smooth(t) - exact))
+
+    table = Table(["Run", "Steps", "Factorisations", "Wall time", "Max error"])
+    table.add_row(
+        ["fixed h = 0.5 us", fixed.m, fixed.info["factorisations"],
+         f"{fixed.wall_time * 1e3:.1f} ms", f"{err_fixed:.2e}"]
+    )
+    table.add_row(
+        ["adaptive rtol=1e-5", adaptive.m, adaptive.info["factorisations"],
+         f"{adaptive.wall_time * 1e3:.1f} ms", f"{err_adaptive:.2e}"]
+    )
+    print(table.render())
+    print(f"\nrejected trial steps: {adaptive.info['rejected']}")
+
+    steps = adaptive.grid.steps
+    edges = adaptive.grid.edges[:-1]
+    print("\naccepted step size vs time (log-bins):")
+    for lo, hi in [(0, 1e-5), (1e-5, 1e-4), (1e-4, 1e-3), (1e-3, 1e-2)]:
+        mask = (edges >= lo) & (edges < hi)
+        if np.any(mask):
+            print(
+                f"  t in [{lo:8.0e}, {hi:8.0e}) s : "
+                f"{mask.sum():5d} steps, mean h = {steps[mask].mean():.2e} s"
+            )
+    print("\nsteps grow by orders of magnitude once the fast mode decays;")
+    print("the LU ladder keeps factorisation count tiny despite ~hundreds")
+    print("of distinct steps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Model-order reduction workflow: reduce once, simulate many times.
+
+Power-integrity sign-off sweeps the same grid over many load patterns.
+This example reduces the Table II power-grid MNA model with Krylov
+moment matching (`krylov_reduce`, an extension built on the same
+descriptor-model infrastructure OPM uses), verifies the reduced model
+in both the frequency domain (transfer-function match) and the time
+domain (OPM waveform match), and shows the amortised speedup over a
+batch of load variants.
+
+Run:  python examples/model_reduction.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import krylov_reduce, simulate_opm
+from repro.analysis import relative_error_db, sample_outputs, transfer_function
+from repro.circuits import RaisedCosinePulse
+from repro.experiments import table2_workload
+from repro.io import Table
+
+
+def main():
+    wl = table2_workload(8, 8, 3)
+    full = wl["mna"]
+    print(f"full MNA model: {full.n_states} states")
+
+    t0 = time.perf_counter()
+    reduced = krylov_reduce(full, 12, expansion_point=1e9)
+    build_time = time.perf_counter() - t0
+    print(f"reduced model:  {reduced.n_states} states "
+          f"(built in {build_time * 1e3:.1f} ms)\n")
+
+    # frequency-domain check around the grid's operating band
+    print("transfer-function match |H(jw)|:")
+    for f_hz in (1e8, 1e9, 5e9):
+        h_full = abs(transfer_function(full, 2j * np.pi * f_hz)[0, 0])
+        h_red = abs(transfer_function(reduced, 2j * np.pi * f_hz)[0, 0])
+        print(f"  f = {f_hz:8.0e} Hz   full {h_full:.6e}   reduced {h_red:.6e}")
+
+    # time-domain check + amortised batch speedup
+    t_end, m = wl["t_end"], wl["base_steps"]
+    variants = [
+        RaisedCosinePulse(level=lvl, width=w, t0=t0_)
+        for lvl, w, t0_ in [
+            (1.0, 0.6e-9, 0.0),
+            (0.7, 0.3e-9, 0.1e-9),
+            (1.4, 0.5e-9, 0.2e-9),
+            (0.9, 0.8e-9, 0.0),
+        ]
+    ]
+
+    table = Table(["Load variant", "Full-model time", "Reduced time", "Error (eq. 30)"])
+    total_full = total_red = 0.0
+    for k, wave in enumerate(variants):
+        def u(times, _w=wave):
+            times = np.atleast_1d(times)
+            return _w(times).reshape(1, -1)
+
+        r_full = simulate_opm(full, u, (t_end, m))
+        r_red = simulate_opm(reduced, u, (t_end, m))
+        total_full += r_full.wall_time
+        total_red += r_red.wall_time
+        t = r_full.grid.midpoints
+        err = relative_error_db(sample_outputs(r_full, t), sample_outputs(r_red, t))
+        table.add_row(
+            [f"pulse {k + 1}", f"{r_full.wall_time * 1e3:.2f} ms",
+             f"{r_red.wall_time * 1e3:.2f} ms", f"{err:.1f} dB"]
+        )
+    print("\n" + table.render())
+    amortised = (build_time + total_red) / total_full
+    print(f"\nbatch of {len(variants)}: reduced route costs "
+          f"{100 * amortised:.0f}% of the full route (including the "
+          f"one-off reduction); the advantage grows with every "
+          f"additional load pattern and with grid size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Section V-B scenario: power-grid IR-drop analysis, NA vs MNA.
+
+Generates a 3-D RLC power grid, assembles it both ways --
+
+* nodal analysis (NA): second-order model, one unknown per node,
+  simulated directly by high-order OPM;
+* modified nodal analysis (MNA): first-order DAE with inductor
+  currents as extra states, simulated by OPM and by the classical
+  trapezoidal rule --
+
+and reports the worst-case IR drop plus the cross-model agreement
+(the paper's Table II setting).
+
+Run:  python examples/power_grid_transient.py
+"""
+
+import numpy as np
+
+from repro import simulate_opm, simulate_transient
+from repro.analysis import relative_error_db, sample_outputs, settling_time
+from repro.circuits import RaisedCosinePulse, power_grid_models
+from repro.io import Table
+
+
+def main():
+    bundle = power_grid_models(
+        8,
+        8,
+        3,
+        via_pitch=2,
+        pad_pitch=4,
+        load_pitch=2,
+        r_wire=0.2,
+        c_node=1e-12,
+        l_via=1e-8,
+        load_waveform=RaisedCosinePulse(level=1.0, width=0.6e-9),
+    )
+    na, mna = bundle["na"], bundle["mna"]
+    print(f"grid netlist: {bundle['netlist']}")
+    print(f"NA model:  {na.n_states} unknowns (second order)")
+    print(f"MNA model: {mna.n_states} unknowns (first-order DAE)")
+    print(f"observed node: {bundle['outputs'][0]} (bottom-layer centre)\n")
+
+    t_end, m = 1e-9, 200
+    res_na = simulate_opm(na, bundle["du"], (t_end, m))
+    res_mna = simulate_opm(mna, bundle["u"], (t_end, m))
+    trap = simulate_transient(mna, bundle["u"], t_end, m, method="trapezoidal")
+
+    t = res_na.grid.midpoints
+    drop_na = res_na.outputs(t)[0]
+    drop_mna = res_mna.outputs(t)[0]
+
+    worst = np.min(drop_na)
+    t_worst = t[np.argmin(drop_na)]
+    print(f"worst-case IR drop: {worst * 1e3:.3f} mV at t = {t_worst * 1e9:.2f} ns")
+    ts = settling_time(t, drop_na, tolerance=0.05, final_value=0.0)
+    print(f"5% settling (recovery) time: {ts * 1e9:.2f} ns\n")
+
+    table = Table(["Run", "Model", "Wall time", "vs OPM-NA (eq. 30)"])
+    y_ref = sample_outputs(res_na, t)
+    table.add_row(["OPM", f"NA (n={na.n_states})", f"{res_na.wall_time * 1e3:.2f} ms", "-"])
+    for label, res, model in [
+        ("OPM", res_mna, f"MNA (n={mna.n_states})"),
+        ("Trapezoidal", trap, f"MNA (n={mna.n_states})"),
+    ]:
+        err = relative_error_db(y_ref, sample_outputs(res, t))
+        table.add_row([label, model, f"{res.wall_time * 1e3:.2f} ms", f"{err:.1f} dB"])
+    print(table.render())
+    print("\nthe two formulations agree; OPM solves the *smaller* NA model")
+    print("directly -- the paper's route to its Table II runtime advantage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Fractional circuit elements from a SPICE netlist: supercapacitor model.
+
+Supercapacitors (and lossy dielectrics generally) are modelled with a
+constant-phase element (CPE): ``i = q d^alpha v / dt^alpha`` with
+``alpha ~ 0.5-0.9``.  This example parses a SPICE-subset netlist with
+the ``P`` (CPE) extension card, assembles it -- note the *automatic*
+model-class dispatch: resistors + CPE of one order give a pure
+fractional descriptor system, adding an ideal capacitor produces a
+multi-term system -- and simulates the charge / self-discharge cycle
+that distinguishes a supercapacitor from an ideal one.
+
+Run:  python examples/supercapacitor_cpe.py
+"""
+
+import numpy as np
+
+from repro import simulate_opm
+from repro.circuits import Netlist, PiecewiseLinear, assemble_mna
+
+
+SUPERCAP_CARDS = """
+* supercapacitor interface: series resistance + CPE storage
+I1  0   top  1.0
+R1  top cell 0.1
+P1  cell 0  2.0 0.6
+R2  cell 0  50
+"""
+
+
+def main():
+    netlist = Netlist.from_spice(SUPERCAP_CARDS, title="supercap")
+    print(f"parsed: {netlist}")
+
+    # charge at 1 A for 10 s, then open-circuit (0 A) and watch the
+    # characteristic fractional self-discharge / voltage rebound
+    profile = PiecewiseLinear([0.0, 0.1, 10.0, 10.1, 60.0], [0.0, 1.0, 1.0, 0.0, 0.0])
+    netlist.set_channel_waveform(0, profile)
+
+    system = assemble_mna(netlist, outputs=["cell"])
+    print(f"assembled model: {system} (CPE order 0.6 -> fractional)\n")
+
+    result = simulate_opm(system, netlist.input_function(), (60.0, 3000))
+    t = result.grid.midpoints
+    v = result.outputs(t)[0]
+
+    t_peak = t[np.argmax(v)]
+    v_peak = np.max(v)
+    v_end = v[-1]
+    print(f"peak cell voltage : {v_peak:.3f} V at t = {t_peak:.1f} s")
+    print(f"voltage at t = 60s: {v_end:.3f} V")
+
+    # fractional storage signature: after the charge stops, the voltage
+    # sags fast initially (interface redistribution) then very slowly
+    # (algebraic memory tail) -- fit the two decay rates
+    after = (t > 11.0) & (t < 20.0)
+    late = t > 40.0
+    early_rate = -np.polyfit(t[after], np.log(v[after]), 1)[0]
+    late_rate = -np.polyfit(t[late], np.log(v[late]), 1)[0]
+    print(f"\napparent decay rate 11-20 s : {early_rate:.4f} 1/s")
+    print(f"apparent decay rate 40-60 s : {late_rate:.4f} 1/s")
+    print("the decay *slows down* over time -- no single RC exponential")
+    print("can do that; it is the d^0.6 memory kernel at work.")
+
+    checkpoints = [5.0, 10.0, 12.0, 20.0, 40.0, 59.0]
+    print("\n  t [s]   v_cell [V]")
+    for tc in checkpoints:
+        k = np.argmin(np.abs(t - tc))
+        print(f"  {t[k]:5.1f}   {v[k]:8.4f}")
+
+
+if __name__ == "__main__":
+    main()

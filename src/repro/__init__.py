@@ -1,0 +1,133 @@
+"""repro -- operational-matrix (OPM) circuit simulation.
+
+A complete reproduction of *"An Operational Matrix-Based Algorithm for
+Simulating Linear and Fractional Differential Circuits"* (Wang, Liu,
+Pang, Wong -- DATE 2012): the OPM time-domain simulation algorithm for
+ODE / DAE / high-order / fractional circuit models, the operational
+matrices it is built from, the classical baselines it is evaluated
+against, and the circuit substrate (netlists, MNA/NA assembly,
+power-grid and fractional-line generators) its experiments run on.
+
+Quick start::
+
+    import numpy as np
+    from repro import DescriptorSystem, simulate_opm
+
+    system = DescriptorSystem([[1.0]], [[-1.0]], [[1.0]])   # x' = -x + u
+    result = simulate_opm(system, 1.0, (5.0, 500))           # step input
+    t = result.grid.midpoints
+    x = result.states(t)[0]                                  # -> 1 - e^{-t}
+
+Package map (see DESIGN.md for the full inventory):
+
+============ ==========================================================
+subpackage   contents
+============ ==========================================================
+``opmat``    integral/differential/fractional operational matrices
+``basis``    block-pulse, Walsh, Haar, Legendre, Chebyshev, Laguerre
+``core``     system models, OPM solvers, result containers
+``fractional`` Mittag-Leffler, Grünwald-Letnikov, analytic solutions
+``baselines`` backward Euler / trapezoidal / Gear, FFT method, expm
+``circuits`` netlists, MNA/NA assembly, power grid, transmission line
+``analysis`` eq. (30) error metric, convergence/complexity fitting
+``io``       table/CSV reporting
+============ ==========================================================
+"""
+
+from .basis import (
+    BasisSet,
+    BlockPulseBasis,
+    ChebyshevBasis,
+    HaarBasis,
+    LaguerreBasis,
+    LegendreBasis,
+    TimeGrid,
+    WalshBasis,
+)
+from .core import (
+    SIMULATION_METHODS,
+    DescriptorSystem,
+    FractionalDescriptorSystem,
+    MultiTermSystem,
+    SecondOrderSystem,
+    SimulationResult,
+    equidistributed_steps,
+    krylov_reduce,
+    simulate,
+    simulate_multiterm,
+    simulate_opm,
+    simulate_opm_adaptive,
+    simulate_opm_integral,
+    simulate_opm_kron,
+    simulate_opm_transformed,
+)
+from .core.result import SampledResult
+from .baselines import simulate_expm, simulate_fft, simulate_transient
+from .fractional import (
+    fde_impulse_response,
+    fde_relaxation,
+    fde_step_response,
+    mittag_leffler,
+    simulate_grunwald_letnikov,
+)
+from .errors import (
+    BasisError,
+    ConvergenceError,
+    ModelError,
+    NetlistError,
+    OperationalMatrixError,
+    ReproError,
+    SolverError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # grids and bases
+    "TimeGrid",
+    "BasisSet",
+    "BlockPulseBasis",
+    "WalshBasis",
+    "HaarBasis",
+    "LegendreBasis",
+    "ChebyshevBasis",
+    "LaguerreBasis",
+    # system models
+    "DescriptorSystem",
+    "FractionalDescriptorSystem",
+    "MultiTermSystem",
+    "SecondOrderSystem",
+    # solvers
+    "simulate",
+    "SIMULATION_METHODS",
+    "simulate_opm",
+    "simulate_opm_adaptive",
+    "simulate_opm_integral",
+    "simulate_opm_kron",
+    "simulate_opm_transformed",
+    "simulate_multiterm",
+    "equidistributed_steps",
+    "krylov_reduce",
+    # results
+    "SimulationResult",
+    "SampledResult",
+    # baselines
+    "simulate_transient",
+    "simulate_fft",
+    "simulate_expm",
+    "simulate_grunwald_letnikov",
+    # fractional references
+    "mittag_leffler",
+    "fde_relaxation",
+    "fde_step_response",
+    "fde_impulse_response",
+    # errors
+    "ReproError",
+    "BasisError",
+    "OperationalMatrixError",
+    "ModelError",
+    "SolverError",
+    "ConvergenceError",
+    "NetlistError",
+]

@@ -1,0 +1,109 @@
+"""Command-line interface: simulate a SPICE-subset netlist with OPM.
+
+Usage::
+
+    python -m repro circuit.sp --t-end 5e-3 --steps 500 \\
+        --outputs n1 n2 --csv waveforms.csv
+
+Reads a netlist (R/C/L/I/V cards plus the ``P`` constant-phase-element
+extension -- see :mod:`repro.circuits.netlist`), assembles the MNA
+model (automatically dispatching to the fractional or multi-term
+solver when CPEs are present), simulates the requested window with
+OPM, and prints sampled node voltages (optionally writing a CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .circuits import Netlist, assemble_mna
+from .core import simulate_opm
+from .errors import ReproError
+from .io import Table, write_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="OPM transient simulation of a SPICE-subset netlist "
+        "(DATE'12 operational-matrix algorithm).",
+    )
+    parser.add_argument("netlist", type=Path, help="netlist file (SPICE subset)")
+    parser.add_argument(
+        "--t-end", type=float, required=True, help="simulation horizon in seconds"
+    )
+    parser.add_argument(
+        "--steps", type=int, default=500, help="number of block pulses (default 500)"
+    )
+    parser.add_argument(
+        "--outputs",
+        nargs="+",
+        metavar="NODE",
+        help="node names to report (default: every node)",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=10,
+        help="number of printed sample times (default 10)",
+    )
+    parser.add_argument("--csv", type=Path, help="write all samples to this CSV file")
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    return parser
+
+
+def run(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        text = args.netlist.read_text()
+    except OSError as exc:
+        print(f"error: cannot read {args.netlist}: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        netlist = Netlist.from_spice(text, title=args.netlist.stem)
+        outputs = args.outputs if args.outputs else netlist.nodes
+        system = assemble_mna(netlist, outputs=outputs)
+        result = simulate_opm(
+            system, netlist.input_function(), (args.t_end, args.steps)
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"{netlist!r}")
+    print(f"model: {system!r}")
+    print(
+        f"simulated [0, {args.t_end:g}) s with m={args.steps}, "
+        f"{result.info['factorisations']} factorisation(s), "
+        f"{result.wall_time * 1e3:.2f} ms\n"
+    )
+
+    t_print = np.linspace(args.t_end / args.points, args.t_end * 0.999, args.points)
+    values = result.outputs_smooth(t_print)
+    table = Table(["t [s]"] + [f"v({node})" for node in outputs])
+    for k, t in enumerate(t_print):
+        table.add_row([f"{t:.4g}"] + [f"{values[i, k]:.6g}" for i in range(len(outputs))])
+    print(table.render())
+
+    if args.csv is not None:
+        t_all = result.grid.midpoints
+        v_all = result.outputs(t_all)
+        rows = [
+            [f"{t_all[k]!r}"] + [repr(v_all[i, k]) for i in range(len(outputs))]
+            for k in range(t_all.size)
+        ]
+        path = write_csv(args.csv, ["t"] + list(outputs), rows)
+        print(f"\nwrote {t_all.size} samples to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

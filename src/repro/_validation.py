@@ -1,0 +1,114 @@
+"""Internal argument-validation helpers shared across the package.
+
+These helpers centralise the error messages so tests can rely on stable
+wording, and keep the public modules free of repetitive checking code.
+They are private: the public API never requires users to import them.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+import scipy.sparse as sp
+
+from .errors import ModelError, OperationalMatrixError
+
+__all__ = [
+    "check_positive_int",
+    "check_positive_float",
+    "check_fractional_order",
+    "check_square_matrix",
+    "check_matrix_shape",
+    "check_steps",
+    "as_2d_array",
+    "is_sparse",
+]
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` as ``int`` after checking it is a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_positive_float(value, name: str) -> float:
+    """Return ``value`` as ``float`` after checking it is finite and > 0."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_fractional_order(alpha, *, allow_zero: bool = False) -> float:
+    """Validate a fractional differentiation/integration order ``alpha``.
+
+    The operational-matrix constructions in the paper are stated for
+    positive real orders; ``allow_zero`` admits ``alpha == 0`` (the
+    identity operator) where that degenerate case is meaningful.
+    """
+    if isinstance(alpha, bool) or not isinstance(alpha, numbers.Real):
+        raise TypeError(f"alpha must be a real number, got {type(alpha).__name__}")
+    alpha = float(alpha)
+    if not np.isfinite(alpha):
+        raise OperationalMatrixError(f"alpha must be finite, got {alpha}")
+    if alpha < 0.0 or (alpha == 0.0 and not allow_zero):
+        bound = "non-negative" if allow_zero else "positive"
+        raise OperationalMatrixError(f"alpha must be {bound}, got {alpha}")
+    return alpha
+
+
+def is_sparse(matrix) -> bool:
+    """Return True when ``matrix`` is any scipy sparse container."""
+    return sp.issparse(matrix)
+
+
+def check_square_matrix(matrix, name: str):
+    """Validate that ``matrix`` is a square 2-D array (dense or sparse)."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ModelError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def check_matrix_shape(matrix, shape: tuple, name: str):
+    """Validate that ``matrix`` has exactly the given ``shape``."""
+    if tuple(matrix.shape) != tuple(shape):
+        raise ModelError(f"{name} must have shape {tuple(shape)}, got {tuple(matrix.shape)}")
+    return matrix
+
+
+def check_steps(steps) -> np.ndarray:
+    """Validate an adaptive step-size sequence (paper eq. (16)).
+
+    Returns the steps as a 1-D float array.  Every step must be positive
+    and finite; an empty sequence is rejected.
+    """
+    steps = np.asarray(steps, dtype=float)
+    if steps.ndim != 1 or steps.size == 0:
+        raise ValueError(f"steps must be a non-empty 1-D sequence, got shape {steps.shape}")
+    if not np.all(np.isfinite(steps)) or np.any(steps <= 0.0):
+        raise ValueError("all steps must be positive and finite")
+    return steps
+
+
+def as_2d_array(matrix, name: str) -> np.ndarray:
+    """Coerce ``matrix`` to a dense 2-D float (or complex) ndarray."""
+    if sp.issparse(matrix):
+        out = matrix.toarray()
+    else:
+        out = np.asarray(matrix)
+    if out.ndim == 1:
+        out = out.reshape(1, -1) if out.size else out.reshape(0, 0)
+    if out.ndim != 2:
+        raise ModelError(f"{name} must be 2-D, got ndim={out.ndim}")
+    if not np.issubdtype(out.dtype, np.number):
+        raise ModelError(f"{name} must be numeric, got dtype {out.dtype}")
+    if np.issubdtype(out.dtype, np.complexfloating):
+        return out.astype(complex)
+    return out.astype(float)

@@ -1,0 +1,40 @@
+"""Measurement utilities: error metrics, convergence, complexity fitting.
+
+* :mod:`~repro.analysis.error_metrics` -- the paper's dB relative-error
+  metric (eq. (30)) and friends;
+* :mod:`~repro.analysis.convergence` -- empirical order-of-accuracy
+  estimation for refinement studies;
+* :mod:`~repro.analysis.complexity` -- power-law fitting for the
+  ``O(n^beta m + n m^2)`` complexity claims of section IV;
+* :mod:`~repro.analysis.waveform` -- waveform post-processing
+  (overshoot, settling time, uniform resampling of mixed result types).
+"""
+
+from .complexity import fit_power_law, predicted_cost, sparsity_stats
+from .convergence import estimate_order, refinement_errors
+from .error_metrics import (
+    average_relative_error_db,
+    l2_norm,
+    linf_error,
+    relative_error_db,
+)
+from .frequency import dc_gain, frequency_response, transfer_function
+from .waveform import overshoot, sample_outputs, settling_time
+
+__all__ = [
+    "relative_error_db",
+    "average_relative_error_db",
+    "l2_norm",
+    "linf_error",
+    "estimate_order",
+    "refinement_errors",
+    "fit_power_law",
+    "predicted_cost",
+    "sparsity_stats",
+    "sample_outputs",
+    "overshoot",
+    "settling_time",
+    "transfer_function",
+    "frequency_response",
+    "dc_gain",
+]

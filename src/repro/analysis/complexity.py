@@ -1,0 +1,80 @@
+"""Complexity measurement: power-law fits for the section IV claims.
+
+The paper derives the OPM cost ``O(n^beta m + n m^2)`` with
+``1 < beta < 2`` the sparse-solve exponent.  The scaling benchmark
+measures wall time over sweeps of ``n`` (fixed ``m``) and ``m`` (fixed
+``n``) and fits the exponents with :func:`fit_power_law`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["fit_power_law", "predicted_cost", "sparsity_stats"]
+
+
+def fit_power_law(sizes, times) -> tuple[float, float, float]:
+    """Fit ``time ~= prefactor * size^exponent``.
+
+    Returns
+    -------
+    (exponent, prefactor, r_squared):
+        Log-log least-squares fit quality; ``r_squared`` near 1 means
+        the power law describes the data well.
+
+    Examples
+    --------
+    >>> exp, pre, r2 = fit_power_law([10, 100, 1000], [0.02, 2.0, 200.0])
+    >>> float(np.round(exp, 6)), float(np.round(r2, 6))
+    (2.0, 1.0)
+    """
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ValueError("need matching 1-D arrays with at least 2 entries")
+    if np.any(x <= 0.0) or np.any(y <= 0.0):
+        raise ValueError("sizes and times must be positive")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    fitted = slope * lx + intercept
+    ss_res = float(np.sum((ly - fitted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return float(slope), float(np.exp(intercept)), r2
+
+
+def predicted_cost(n: int, m: int, *, alpha: float = 1.0, beta: float = 1.3) -> float:
+    """Evaluate the paper's cost model (section IV, "Complexity").
+
+    First-order systems pay ``n^beta m`` (one factorisation amortised,
+    O(n) tail recurrence); fractional orders add the ``n m^2`` history
+    accumulation.  Unit-free -- use for *ratios* between configurations.
+    """
+    base = float(n) ** beta * m
+    if alpha != 1.0:
+        base += float(n) * m * m
+    return base
+
+
+def sparsity_stats(matrix) -> dict:
+    """Nonzero count, density, and average nonzeros per row.
+
+    Works for dense arrays and scipy sparse matrices; the paper's
+    complexity model assumes ``O(n)`` nonzeros, i.e. bounded
+    ``nnz_per_row``.
+    """
+    if sp.issparse(matrix):
+        nnz = int(matrix.nnz)
+        rows, cols = matrix.shape
+    else:
+        arr = np.asarray(matrix)
+        nnz = int(np.count_nonzero(arr))
+        rows, cols = arr.shape
+    total = rows * cols
+    return {
+        "shape": (rows, cols),
+        "nnz": nnz,
+        "density": nnz / total if total else 0.0,
+        "nnz_per_row": nnz / rows if rows else 0.0,
+    }

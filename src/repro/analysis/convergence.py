@@ -1,0 +1,88 @@
+"""Empirical order-of-accuracy estimation.
+
+Used by the test suite to confirm the convergence behaviour the paper
+claims ("similar performance to trapezoidal or Gear's method in terms
+of complexity and accuracy"): OPM on first-order systems is second
+order in the step size; backward Euler is first order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["estimate_order", "refinement_errors"]
+
+
+def estimate_order(step_sizes, errors) -> float:
+    """Least-squares slope of ``log(error)`` against ``log(h)``.
+
+    Parameters
+    ----------
+    step_sizes:
+        Step sizes (or any resolution parameter proportional to them).
+    errors:
+        Corresponding error norms; zeros are rejected (they would mean
+        the refinement study bottomed out at machine precision).
+
+    Returns
+    -------
+    float
+        The empirical order ``p`` with ``error ~ h^p``.
+
+    Examples
+    --------
+    >>> float(np.round(estimate_order([0.1, 0.05, 0.025], [1e-2, 2.5e-3, 6.25e-4]), 6))
+    2.0
+    """
+    h = np.asarray(step_sizes, dtype=float)
+    e = np.asarray(errors, dtype=float)
+    if h.shape != e.shape or h.ndim != 1 or h.size < 2:
+        raise ValueError("need matching 1-D arrays with at least 2 entries")
+    if np.any(h <= 0.0) or np.any(e <= 0.0):
+        raise ValueError("step sizes and errors must be positive")
+    slope, _ = np.polyfit(np.log(h), np.log(e), 1)
+    return float(slope)
+
+
+def refinement_errors(
+    solve_at: Callable[[int], np.ndarray],
+    reference: Callable[[np.ndarray], np.ndarray] | np.ndarray,
+    ms,
+    sample_times,
+) -> np.ndarray:
+    """Errors of a family of runs against a reference.
+
+    Parameters
+    ----------
+    solve_at:
+        Callable mapping a resolution ``m`` to sampled output values at
+        ``sample_times``.
+    reference:
+        Either exact values at ``sample_times`` or a callable producing
+        them.
+    ms:
+        The resolutions to test.
+    sample_times:
+        Common comparison grid.
+
+    Returns
+    -------
+    numpy.ndarray
+        Max-norm errors, one per resolution.
+    """
+    sample_times = np.asarray(sample_times, dtype=float)
+    if callable(reference):
+        ref_vals = np.asarray(reference(sample_times), dtype=float)
+    else:
+        ref_vals = np.asarray(reference, dtype=float)
+    errors = []
+    for m in ms:
+        values = np.asarray(solve_at(int(m)), dtype=float)
+        if values.shape != ref_vals.shape:
+            raise ValueError(
+                f"solver output shape {values.shape} != reference {ref_vals.shape}"
+            )
+        errors.append(float(np.max(np.abs(values - ref_vals))))
+    return np.asarray(errors)

@@ -1,0 +1,88 @@
+"""Error metrics, including the paper's eq. (30).
+
+The paper measures global accuracy as
+
+.. math::
+
+    \\mathrm{err} = 20 \\log_{10}
+        \\frac{\\| y_{test}(t) - y_{ref}(t) \\|_2}{\\| y_{ref}(t) \\|_2}
+    \\; \\mathrm{dB},
+
+with the OPM waveform as the reference in both tables (the OPM row
+shows "--").  ``-20 dB`` means 10 % relative deviation, ``-120 dB``
+means one part in ``10^6``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "l2_norm",
+    "linf_error",
+    "relative_error_db",
+    "average_relative_error_db",
+]
+
+
+def l2_norm(values) -> float:
+    """Discrete 2-norm of a sampled waveform (flattens its input)."""
+    return float(np.linalg.norm(np.asarray(values, dtype=float).ravel()))
+
+
+def linf_error(reference, test) -> float:
+    """Maximum absolute deviation between two equally sampled waveforms."""
+    ref = np.asarray(reference, dtype=float)
+    tst = np.asarray(test, dtype=float)
+    if ref.shape != tst.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {tst.shape}")
+    return float(np.max(np.abs(ref - tst)))
+
+
+def relative_error_db(reference, test) -> float:
+    """Paper eq. (30): ``20 log10(||test - ref||_2 / ||ref||_2)`` in dB.
+
+    Parameters
+    ----------
+    reference, test:
+        Equally sampled waveforms (any matching shape; flattened).
+        The *reference* appears in the denominator -- pass the OPM
+        waveform there to reproduce the tables.
+
+    Returns
+    -------
+    float
+        Negative for errors below 100 %; ``-inf`` for identical
+        waveforms.
+
+    Examples
+    --------
+    >>> float(np.round(relative_error_db([1.0, 0.0], [1.1, 0.0]), 6))  # 10% off
+    -20.0
+    """
+    ref = np.asarray(reference, dtype=float)
+    tst = np.asarray(test, dtype=float)
+    if ref.shape != tst.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {tst.shape}")
+    denom = np.linalg.norm(ref.ravel())
+    if denom == 0.0:
+        raise ValueError("reference waveform is identically zero")
+    num = np.linalg.norm((tst - ref).ravel())
+    if num == 0.0:
+        return -np.inf
+    return float(20.0 * np.log10(num / denom))
+
+
+def average_relative_error_db(reference, test) -> float:
+    """Row-wise eq. (30) averaged over outputs (Table II's metric).
+
+    ``reference`` and ``test`` are ``(q, nt)`` output matrices; each
+    output's dB error is computed separately and averaged, so one
+    large-amplitude output cannot mask errors on the others.
+    """
+    ref = np.atleast_2d(np.asarray(reference, dtype=float))
+    tst = np.atleast_2d(np.asarray(test, dtype=float))
+    if ref.shape != tst.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {tst.shape}")
+    values = [relative_error_db(ref[i], tst[i]) for i in range(ref.shape[0])]
+    return float(np.mean(values))

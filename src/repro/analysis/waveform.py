@@ -1,0 +1,68 @@
+"""Waveform post-processing shared by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_outputs", "overshoot", "settling_time"]
+
+
+def sample_outputs(result, times, *, smooth: bool = True) -> np.ndarray:
+    """Sample any result type's outputs on a common grid.
+
+    Accepts both :class:`~repro.core.result.SimulationResult`
+    (coefficient-based) and :class:`~repro.core.result.SampledResult`
+    (node-based) -- anything exposing ``outputs(times)`` -- making
+    cross-method comparisons one-liners.
+
+    ``smooth=True`` (default) uses the second-order midpoint-linear
+    reconstruction for block-pulse results (``outputs_smooth``) so that
+    cross-method error metrics measure the *methods*, not the O(h)
+    half-cell offset of raw piecewise-constant evaluation; node-based
+    results already interpolate linearly.
+    """
+    times = np.atleast_1d(np.asarray(times, dtype=float))
+    if smooth:
+        smooth_fn = getattr(result, "outputs_smooth", None)
+        if callable(smooth_fn):
+            return np.atleast_2d(smooth_fn(times))
+    outputs = getattr(result, "outputs", None)
+    if outputs is None or not callable(outputs):
+        raise TypeError(f"{type(result).__name__} does not expose outputs(times)")
+    return np.atleast_2d(outputs(times))
+
+
+def overshoot(values, final_value: float | None = None) -> float:
+    """Fractional overshoot of a step-like waveform.
+
+    ``(peak - final) / |final|``; the final value defaults to the last
+    sample.  Returns 0 for monotone responses.
+    """
+    y = np.asarray(values, dtype=float).ravel()
+    if y.size < 2:
+        raise ValueError("waveform must have at least 2 samples")
+    final = float(y[-1]) if final_value is None else float(final_value)
+    if final == 0.0:
+        raise ValueError("final value is zero; overshoot undefined")
+    peak = float(np.max(y * np.sign(final)))
+    return max(0.0, (peak - abs(final)) / abs(final))
+
+
+def settling_time(times, values, *, tolerance: float = 0.02, final_value: float | None = None) -> float:
+    """First time after which the waveform stays within ``tolerance`` of final.
+
+    Returns ``times[0]`` if always settled, ``times[-1]`` if never.
+    """
+    t = np.asarray(times, dtype=float).ravel()
+    y = np.asarray(values, dtype=float).ravel()
+    if t.shape != y.shape or t.size < 2:
+        raise ValueError("need matching 1-D times/values with >= 2 samples")
+    final = float(y[-1]) if final_value is None else float(final_value)
+    band = tolerance * max(abs(final), 1e-300)
+    outside = np.abs(y - final) > band
+    if not np.any(outside):
+        return float(t[0])
+    last_outside = int(np.max(np.nonzero(outside)[0]))
+    if last_outside + 1 >= t.size:
+        return float(t[-1])
+    return float(t[last_outside + 1])

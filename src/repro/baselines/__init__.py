@@ -1,0 +1,19 @@
+"""Comparison solvers used in the paper's evaluation.
+
+* :mod:`~repro.baselines.transient` -- the "advanced transient analysis
+  methods" of Table II: backward Euler, trapezoidal rule, Gear's
+  (BDF2) method for descriptor systems;
+* :mod:`~repro.baselines.fft_method` -- the frequency-domain FFT/IFFT
+  method of Table I for fractional systems;
+* :mod:`~repro.baselines.expm` -- matrix-exponential stepping, the
+  high-accuracy ODE reference used by the test suite.
+
+(The Grünwald-Letnikov fractional baseline lives in
+:mod:`repro.fractional.grunwald` next to its weight generator.)
+"""
+
+from .expm import simulate_expm
+from .fft_method import simulate_fft
+from .transient import simulate_transient
+
+__all__ = ["simulate_transient", "simulate_fft", "simulate_expm"]

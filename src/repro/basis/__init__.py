@@ -1,0 +1,41 @@
+"""Basis-function families for operational-matrix simulation.
+
+The paper works with block-pulse functions (BPFs) and notes that "there
+exist various other basis functions, such as the Walsh functions, the
+Laguerre functions, the Legendre functions, the Haar functions, etc.",
+each usable within the same OPM framework.  This subpackage provides:
+
+* :class:`~repro.basis.grid.TimeGrid` -- uniform/adaptive partitions;
+* :class:`~repro.basis.block_pulse.BlockPulseBasis` -- the paper's basis;
+* :class:`~repro.basis.walsh.WalshBasis`,
+  :class:`~repro.basis.haar.HaarBasis` -- exact orthogonal transforms of
+  BPFs (power-of-two sizes) with conjugated operational matrices;
+* :class:`~repro.basis.legendre.LegendreBasis`,
+  :class:`~repro.basis.chebyshev.ChebyshevBasis` -- smooth polynomial
+  bases with classical integration matrices (integral-form solving);
+* :class:`~repro.basis.laguerre.LaguerreBasis` -- semi-infinite-horizon
+  family with exact Tustin-form operational matrices.
+"""
+
+from .base import BasisSet
+from .block_pulse import BlockPulseBasis
+from .chebyshev import ChebyshevBasis
+from .grid import TimeGrid
+from .haar import HaarBasis, haar_matrix
+from .laguerre import LaguerreBasis
+from .legendre import LegendreBasis
+from .walsh import WalshBasis, hadamard_matrix, sequency_order
+
+__all__ = [
+    "BasisSet",
+    "TimeGrid",
+    "BlockPulseBasis",
+    "WalshBasis",
+    "HaarBasis",
+    "LegendreBasis",
+    "ChebyshevBasis",
+    "LaguerreBasis",
+    "hadamard_matrix",
+    "haar_matrix",
+    "sequency_order",
+]

@@ -1,0 +1,164 @@
+"""Abstract interface for basis-function families.
+
+Section I of the paper points out that OPM "can readily switch to using
+other basis functions" -- block-pulse, Walsh, Haar, Legendre, Laguerre,
+... -- each with its own merits.  This module fixes the contract those
+families implement so the solvers can stay basis-agnostic.
+
+A basis is a finite family ``psi_0, ..., psi_{m-1}`` on ``[0, T)``.  A
+function is represented by its coefficient vector ``c`` with
+``f(t) ~= sum_i c_i psi_i(t)``; matrices act on coefficients:
+
+* ``integration_matrix()`` returns ``P`` with
+  ``integral_0^t psi(tau) dtau ~= P psi(t)`` so integration maps
+  coefficients ``c -> P^T c`` (paper eq. (3) for block pulses);
+* ``differentiation_matrix()`` returns ``D`` with
+  ``d/dt psi ~= D psi`` where that operator exists (paper eq. (7));
+  polynomial bases raise :class:`~repro.errors.BasisError` because the
+  from-zero derivative operator is not representable in the span (the
+  derivative drops the initial-condition information), and the
+  integral-form solver must be used instead.
+
+Implementations must also provide ``evaluate`` / ``project`` /
+``synthesize`` so the solvers can move between function space and
+coefficient space.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from ..errors import BasisError
+
+__all__ = ["BasisSet"]
+
+
+class BasisSet(abc.ABC):
+    """Common interface of all basis families in :mod:`repro.basis`."""
+
+    # ------------------------------------------------------------------
+    # identification
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of basis functions ``m``."""
+
+    @property
+    @abc.abstractmethod
+    def t_end(self) -> float:
+        """Right end of the span ``[0, t_end)``."""
+
+    @property
+    def name(self) -> str:
+        """Short human-readable family name (class name by default)."""
+        return type(self).__name__
+
+    # ------------------------------------------------------------------
+    # function-space <-> coefficient-space
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def evaluate(self, times) -> np.ndarray:
+        """Evaluate all basis functions at ``times``.
+
+        Returns an array of shape ``(size, len(times))`` whose row ``i``
+        is ``psi_i`` sampled at the given times.
+        """
+
+    @abc.abstractmethod
+    def project(self, func: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Best-approximation coefficients of a scalar function.
+
+        ``func`` must accept a 1-D array of times and return the
+        matching array of values.  Returns the coefficient vector of
+        length ``size``.
+        """
+
+    def project_vector(self, func: Callable[[np.ndarray], np.ndarray], width: int) -> np.ndarray:
+        """Project a vector-valued function component by component.
+
+        ``func(times)`` must return an array of shape
+        ``(width, len(times))``.  Returns coefficients of shape
+        ``(width, size)`` -- the layout of the matrices ``U`` and ``X``
+        in paper eqs. (10)-(11).
+        """
+        coeffs = np.empty((width, self.size))
+        for row in range(width):
+            coeffs[row] = self.project(lambda t, _row=row: np.asarray(func(t))[_row])
+        return coeffs
+
+    def synthesize(self, coeffs, times) -> np.ndarray:
+        """Reconstruct function values from coefficients.
+
+        ``coeffs`` may be a vector of length ``size`` (scalar function)
+        or a matrix ``(k, size)`` (vector function); the result has
+        shape ``(len(times),)`` or ``(k, len(times))`` accordingly.
+        """
+        coeffs = np.asarray(coeffs, dtype=float)
+        values = self.evaluate(times)
+        if coeffs.ndim == 1:
+            if coeffs.size != self.size:
+                raise BasisError(
+                    f"coefficient length {coeffs.size} != basis size {self.size}"
+                )
+            return coeffs @ values
+        if coeffs.ndim == 2:
+            if coeffs.shape[1] != self.size:
+                raise BasisError(
+                    f"coefficient width {coeffs.shape[1]} != basis size {self.size}"
+                )
+            return coeffs @ values
+        raise BasisError(f"coeffs must be 1-D or 2-D, got ndim={coeffs.ndim}")
+
+    # ------------------------------------------------------------------
+    # operational matrices
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def integration_matrix(self) -> np.ndarray:
+        """Operational matrix of integration ``P`` (``integral psi ~= P psi``)."""
+
+    def differentiation_matrix(self) -> np.ndarray:
+        """Operational matrix of differentiation ``D`` (``d psi/dt ~= D psi``).
+
+        Raises
+        ------
+        BasisError
+            If the family admits no differentiation operational matrix
+            (polynomial bases; see the module docstring).
+        """
+        raise BasisError(f"{self.name} does not admit a differentiation operational matrix")
+
+    def fractional_differentiation_matrix(self, alpha: float) -> np.ndarray:
+        """Fractional differentiation matrix ``D^alpha``; optional."""
+        raise BasisError(
+            f"{self.name} does not implement fractional differentiation matrices"
+        )
+
+    def fractional_integration_matrix(self, alpha: float) -> np.ndarray:
+        """Fractional integration matrix; optional."""
+        raise BasisError(f"{self.name} does not implement fractional integration matrices")
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def gram_matrix(self, n_quad: int = 256) -> np.ndarray:
+        """Numerical Gram matrix ``G[i,j] = <psi_i, psi_j>`` on ``[0, t_end)``.
+
+        Default implementation uses composite Gauss-Legendre quadrature
+        with ``n_quad`` panels; orthogonal families override nothing and
+        simply test ``G`` is (close to) diagonal.
+        """
+        nodes, weights = np.polynomial.legendre.leggauss(4)
+        edges = np.linspace(0.0, self.t_end, n_quad + 1)
+        mids = 0.5 * (edges[:-1] + edges[1:])
+        half = 0.5 * np.diff(edges)
+        all_t = (mids[:, None] + half[:, None] * nodes[None, :]).ravel()
+        all_w = (half[:, None] * weights[None, :]).ravel()
+        vals = self.evaluate(all_t)
+        return (vals * all_w) @ vals.T
+
+    def __repr__(self) -> str:
+        return f"{self.name}(m={self.size}, t_end={self.t_end:g})"

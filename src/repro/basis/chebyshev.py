@@ -1,0 +1,129 @@
+"""Shifted-Chebyshev polynomial basis (first kind).
+
+Shifted Chebyshev polynomials ``Ts_n(t) = T_n(2t/T - 1)`` on ``[0, T]``
+are orthogonal under the weight ``w(t) = 1/sqrt(1 - (2t/T - 1)^2)``:
+``<Ts_i, Ts_j>_w = (T/2) c_i delta_ij`` with ``c_0 = pi`` and
+``c_i = pi/2`` otherwise.
+
+The operational matrix of integration follows from the antiderivative
+identities ``integral T_0 = T_1``, ``integral T_1 = (T_0 + T_2)/4`` and
+``integral T_n = (T_{n+1}/(n+1) - T_{n-1}/(n-1))/2`` for ``n >= 2``,
+with the integration-from-zero constant re-expanded in ``T_0`` using
+``T_k(-1) = (-1)^k``.
+
+Like all polynomial bases here, no differentiation operational matrix
+is exposed (see :mod:`repro.basis.legendre`); use the integral-form
+solver.  Fractional integration uses the same Gauss-Jacobi scheme as
+the Legendre basis, with Gauss-Chebyshev projection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.special import gamma as gamma_fn
+from scipy.special import roots_jacobi
+
+from .._validation import check_fractional_order, check_positive_float, check_positive_int
+from .base import BasisSet
+
+__all__ = ["ChebyshevBasis"]
+
+
+class ChebyshevBasis(BasisSet):
+    """Shifted Chebyshev polynomials ``Ts_0 .. Ts_{m-1}`` on ``[0, t_end]``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> basis = ChebyshevBasis(2.0, 4)
+    >>> np.round(basis.project(lambda t: t), 12)   # t = 1 + Ts_1(t) on [0,2]
+    array([1., 1., 0., 0.])
+    """
+
+    def __init__(self, t_end: float, m: int, *, n_quad: int | None = None) -> None:
+        self._t_end = check_positive_float(t_end, "t_end")
+        self._m = check_positive_int(m, "m")
+        self._n_quad = n_quad if n_quad is not None else max(64, 2 * m)
+        # Gauss-Chebyshev nodes: x_q = cos((2q+1) pi / (2 nq)), weight pi/nq
+        q = np.arange(self._n_quad)
+        self._quad_x = np.cos((2.0 * q + 1.0) * np.pi / (2.0 * self._n_quad))
+        self._quad_t = 0.5 * self._t_end * (self._quad_x + 1.0)
+        self._quad_w = np.full(self._n_quad, np.pi / self._n_quad)
+
+    @property
+    def size(self) -> int:
+        return self._m
+
+    @property
+    def t_end(self) -> float:
+        return self._t_end
+
+    @property
+    def name(self) -> str:
+        return "Chebyshev"
+
+    def evaluate(self, times) -> np.ndarray:
+        t = np.atleast_1d(np.asarray(times, dtype=float))
+        x = 2.0 * t / self._t_end - 1.0
+        return np.polynomial.chebyshev.chebvander(x, self._m - 1).T
+
+    def project(self, func: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        # Weighted projection with Gauss-Chebyshev quadrature:
+        # c_n = <f, Ts_n>_w / <Ts_n, Ts_n>_w ; the x-domain weights already
+        # absorb the Chebyshev weight function.
+        values = np.asarray(func(self._quad_t), dtype=float)
+        basis_vals = np.polynomial.chebyshev.chebvander(self._quad_x, self._m - 1).T
+        raw = basis_vals @ (self._quad_w * values)
+        norms = np.full(self._m, np.pi / 2.0)
+        norms[0] = np.pi
+        return raw / norms
+
+    def integration_matrix(self) -> np.ndarray:
+        """Classical shifted-Chebyshev integration matrix (see module docs)."""
+        m = self._m
+        p = np.zeros((m, m))
+        half_t = self._t_end / 2.0
+
+        def add(row: int, col: int, value: float) -> None:
+            if col < m:
+                p[row, col] += value
+
+        for n in range(m):
+            # antiderivative of T_n in x-coordinates
+            if n == 0:
+                terms = [(1, 1.0)]
+            elif n == 1:
+                terms = [(0, 0.25), (2, 0.25)]
+            else:
+                terms = [(n + 1, 0.5 / (n + 1)), (n - 1, -0.5 / (n - 1))]
+            # subtract value at x = -1 (expand constant in T_0)
+            const = sum(coeff * (-1.0) ** k for k, coeff in terms)
+            for k, coeff in terms:
+                add(n, k, half_t * coeff)
+            add(n, 0, -half_t * const)
+        return p
+
+    def fractional_integration_matrix(self, alpha: float) -> np.ndarray:
+        """Spectral RL fractional-integration matrix (Gauss-Jacobi inner integral)."""
+        alpha = check_fractional_order(alpha, allow_zero=True)
+        if alpha == 0.0:
+            return np.eye(self._m)
+        n_jac = self._m + 2
+        jac_nodes, jac_weights = roots_jacobi(n_jac, alpha - 1.0, 0.0)
+        s_nodes = 0.5 * (jac_nodes + 1.0)
+        jac_scale = 2.0**-alpha
+
+        t = self._quad_t
+        ts = t[:, None] * s_nodes[None, :]
+        x = 2.0 * ts / self._t_end - 1.0
+        vander = np.polynomial.chebyshev.chebvander(x.reshape(-1), self._m - 1)
+        vander = vander.reshape(t.size, n_jac, self._m)
+        inner = np.einsum("qjm,j->mq", vander, jac_weights) * jac_scale
+        frac_vals = (t[None, :] ** alpha) / gamma_fn(alpha) * inner
+
+        basis_vals = np.polynomial.chebyshev.chebvander(self._quad_x, self._m - 1).T
+        norms = np.full(self._m, np.pi / 2.0)
+        norms[0] = np.pi
+        return (frac_vals * self._quad_w) @ basis_vals.T / norms[None, :]

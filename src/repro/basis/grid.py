@@ -1,0 +1,185 @@
+"""Time grids for block-pulse expansions.
+
+A :class:`TimeGrid` is the partition ``0 = t_0 < t_1 < ... < t_m = T``
+underlying a block-pulse basis: interval ``i`` is ``[t_i, t_{i+1})``
+with width ``h_i`` (paper eq. (1) for the uniform case, eq. (16) for
+adaptive steps).  The grid owns all step bookkeeping so that bases,
+solvers, and result containers agree on interval boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int, check_steps
+
+__all__ = ["TimeGrid"]
+
+
+class TimeGrid:
+    """An ordered partition of ``[0, T)`` into ``m`` half-open intervals.
+
+    Construct via the classmethods :meth:`uniform`, :meth:`from_steps`,
+    :meth:`from_edges` or :meth:`geometric` rather than the raw
+    constructor.
+
+    Attributes
+    ----------
+    edges:
+        Array of ``m + 1`` interval boundaries starting at ``0.0``.
+    steps:
+        Array of ``m`` interval widths ``h_i = edges[i+1] - edges[i]``.
+    """
+
+    __slots__ = ("_edges", "_steps")
+
+    def __init__(self, edges) -> None:
+        edges = np.asarray(edges, dtype=float)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ValueError(f"edges must be 1-D with at least 2 entries, got shape {edges.shape}")
+        if edges[0] != 0.0:
+            raise ValueError(f"grid must start at t = 0, got edges[0] = {edges[0]}")
+        steps = np.diff(edges)
+        if not np.all(np.isfinite(steps)) or np.any(steps <= 0.0):
+            raise ValueError("grid edges must be finite and strictly increasing")
+        self._edges = edges
+        self._edges.setflags(write=False)
+        self._steps = steps
+        self._steps.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, t_end: float, m: int) -> "TimeGrid":
+        """Uniform grid of ``m`` intervals on ``[0, t_end)`` (paper eq. (1))."""
+        t_end = check_positive_float(t_end, "t_end")
+        m = check_positive_int(m, "m")
+        return cls(np.linspace(0.0, t_end, m + 1))
+
+    @classmethod
+    def from_steps(cls, steps) -> "TimeGrid":
+        """Grid from a sequence of positive interval widths (paper eq. (16))."""
+        steps = check_steps(steps)
+        edges = np.concatenate([[0.0], np.cumsum(steps)])
+        return cls(edges)
+
+    @classmethod
+    def from_edges(cls, edges) -> "TimeGrid":
+        """Grid from explicit boundaries ``0 = t_0 < ... < t_m``."""
+        return cls(edges)
+
+    @classmethod
+    def geometric(cls, t_end: float, m: int, ratio: float) -> "TimeGrid":
+        """Grid whose steps grow geometrically: ``h_{i+1} = ratio * h_i``.
+
+        Useful for waveforms with a fast initial transient: small early
+        steps, large late steps (``ratio > 1``).  All steps are distinct
+        whenever ``ratio != 1``, which is the precondition of the
+        eigendecomposition-based fractional matrix power (paper
+        eq. (25)).
+        """
+        t_end = check_positive_float(t_end, "t_end")
+        m = check_positive_int(m, "m")
+        ratio = check_positive_float(ratio, "ratio")
+        if ratio == 1.0:
+            return cls.uniform(t_end, m)
+        weights = ratio ** np.arange(m)
+        steps = t_end * weights / weights.sum()
+        return cls.from_steps(steps)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> np.ndarray:
+        return self._edges
+
+    @property
+    def steps(self) -> np.ndarray:
+        return self._steps
+
+    @property
+    def m(self) -> int:
+        """Number of intervals (block-pulse terms)."""
+        return self._steps.size
+
+    @property
+    def t_end(self) -> float:
+        return float(self._edges[-1])
+
+    @property
+    def midpoints(self) -> np.ndarray:
+        """Interval midpoints ``(t_i + t_{i+1}) / 2``."""
+        return 0.5 * (self._edges[:-1] + self._edges[1:])
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when all steps are equal up to edge-arithmetic round-off.
+
+        The tolerance accounts for the few-ulp (relative to ``t_end``)
+        noise of ``linspace``-style edge construction, which exceeds
+        ulps of the *step* for large ``m``.
+        """
+        h = self.t_end / self.m
+        tol = max(1e-12 * h, 4.0 * np.finfo(float).eps * self.t_end)
+        return bool(np.all(np.abs(self._steps - h) <= tol))
+
+    @property
+    def h(self) -> float:
+        """The common step of a uniform grid.
+
+        Raises
+        ------
+        ValueError
+            If the grid is not uniform.
+        """
+        if not self.is_uniform:
+            raise ValueError("grid is not uniform; use .steps for per-interval widths")
+        return float(self.t_end / self.m)
+
+    # ------------------------------------------------------------------
+    # behaviour
+    # ------------------------------------------------------------------
+    def locate(self, times) -> np.ndarray:
+        """Map times to interval indices.
+
+        Each ``t`` in ``[0, t_end)`` maps to the ``i`` with
+        ``edges[i] <= t < edges[i+1]``; ``t == t_end`` maps to the last
+        interval so that closed-interval sampling is convenient.
+
+        Raises
+        ------
+        ValueError
+            For any time outside ``[0, t_end]``.
+        """
+        t = np.asarray(times, dtype=float)
+        if np.any(t < 0.0) or np.any(t > self.t_end * (1 + 1e-12)):
+            raise ValueError(f"times must lie in [0, {self.t_end}]")
+        idx = np.searchsorted(self._edges, t, side="right") - 1
+        return np.clip(idx, 0, self.m - 1)
+
+    def refine(self, factor: int) -> "TimeGrid":
+        """Split every interval into ``factor`` equal parts."""
+        factor = check_positive_int(factor, "factor")
+        if factor == 1:
+            return self
+        sub = np.linspace(0.0, 1.0, factor + 1)[1:]
+        new_edges = [0.0]
+        for left, width in zip(self._edges[:-1], self._steps):
+            new_edges.extend(left + width * sub)
+        return TimeGrid(np.asarray(new_edges))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TimeGrid):
+            return NotImplemented
+        return self._edges.shape == other._edges.shape and bool(
+            np.array_equal(self._edges, other._edges)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._edges.size, self._edges.tobytes()))
+
+    def __repr__(self) -> str:
+        kind = "uniform" if self.is_uniform else "adaptive"
+        return f"TimeGrid({kind}, m={self.m}, t_end={self.t_end:g})"

@@ -1,0 +1,67 @@
+"""Haar-wavelet basis.
+
+The Haar family is the multiresolution piecewise-constant basis the
+paper lists among the OPM-compatible bases.  With ``m = 2^k`` terms the
+basis consists of the constant function plus wavelets
+``h_{j,l}(t) = 2^{j/2} ( 1 on the first half of its support, -1 on the
+second half )`` for scales ``j = 0 .. k-1`` and shifts
+``l = 0 .. 2^j - 1``.  In block-pulse coordinates the transform matrix
+``W`` satisfies ``W W^T = m I``, so all operational matrices transfer by
+conjugation exactly as for Walsh functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pwconst import PiecewiseConstantBasis
+
+__all__ = ["HaarBasis", "haar_matrix"]
+
+
+def haar_matrix(m: int) -> np.ndarray:
+    """Haar transform matrix of order ``m = 2^k`` in block-pulse coordinates.
+
+    Row 0 is all ones; row ``2^j + l`` is the wavelet of scale ``j`` and
+    shift ``l`` scaled by ``2^{j/2}``.  Satisfies ``W W^T = m I``.
+    """
+    if m < 1 or (m & (m - 1)) != 0:
+        raise ValueError(f"Haar order must be a power of two, got {m}")
+    w = np.zeros((m, m))
+    w[0, :] = 1.0
+    row = 1
+    scale_count = 1
+    while row < m:
+        j = int(np.log2(scale_count))
+        support = m // scale_count  # cells covered by one wavelet at this scale
+        amp = np.sqrt(scale_count)  # 2^{j/2}
+        for shift in range(scale_count):
+            start = shift * support
+            half = support // 2
+            w[row, start : start + half] = amp
+            w[row, start + half : start + support] = -amp
+            row += 1
+        scale_count *= 2
+    return w
+
+
+class HaarBasis(PiecewiseConstantBasis):
+    """Haar wavelets on ``[0, t_end)`` with ``m = 2^k`` terms.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> basis = HaarBasis(1.0, 4)
+    >>> basis.transform * 2  # doctest: +NORMALIZE_WHITESPACE
+    array([[ 2.        ,  2.        ,  2.        ,  2.        ],
+           [ 2.        ,  2.        , -2.        , -2.        ],
+           [ 2.82842712, -2.82842712,  0.        ,  0.        ],
+           [ 0.        ,  0.        ,  2.82842712, -2.82842712]])
+    """
+
+    def _build_transform(self, m: int) -> np.ndarray:
+        return haar_matrix(m)
+
+    @property
+    def name(self) -> str:
+        return "Haar"

@@ -1,0 +1,68 @@
+"""Circuit substrate: components, netlists, assembly, workload generators.
+
+This is the EDA layer the paper's evaluation runs on: netlist
+description (:mod:`~repro.circuits.netlist`), MNA assembly into
+DAE / fractional models (:mod:`~repro.circuits.mna`), nodal-analysis
+assembly into second-order models (:mod:`~repro.circuits.nodal`), and
+the two benchmark workload generators -- the 3-D power grid of
+section V-B (:mod:`~repro.circuits.power_grid`) and the fractional
+transmission line of section V-A
+(:mod:`~repro.circuits.transmission_line`).
+"""
+
+from .components import (
+    CPE,
+    VCCS,
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from .ladder import rc_ladder_netlist, rlc_ladder_netlist
+from .mna import assemble_mna, output_matrix
+from .netlist import Netlist
+from .nodal import assemble_na
+from .power_grid import grid_node_name, power_grid, power_grid_models
+from .sources import (
+    Constant,
+    ExpPulse,
+    PiecewiseLinear,
+    RaisedCosinePulse,
+    Ramp,
+    Sine,
+    Step,
+    Waveform,
+)
+from .transmission_line import fractional_line_model, fractional_line_netlist
+
+__all__ = [
+    "Netlist",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "CPE",
+    "VCCS",
+    "MutualInductance",
+    "CurrentSource",
+    "VoltageSource",
+    "assemble_mna",
+    "assemble_na",
+    "output_matrix",
+    "power_grid",
+    "power_grid_models",
+    "grid_node_name",
+    "fractional_line_model",
+    "fractional_line_netlist",
+    "rc_ladder_netlist",
+    "rlc_ladder_netlist",
+    "Waveform",
+    "Constant",
+    "Step",
+    "Ramp",
+    "Sine",
+    "ExpPulse",
+    "RaisedCosinePulse",
+    "PiecewiseLinear",
+]

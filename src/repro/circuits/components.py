@@ -1,0 +1,211 @@
+"""Circuit element records.
+
+Plain data classes describing the elements a :class:`~repro.circuits.netlist.Netlist`
+can hold.  Stamping (how each element contributes to MNA/NA matrices)
+lives in :mod:`repro.circuits.mna` and :mod:`repro.circuits.nodal`;
+these classes only validate their own parameters.
+
+The one non-classical element is the :class:`CPE` (constant-phase
+element / "fractance"), the circuit-level source of the fractional
+differential equations of paper section IV: its branch relation is
+``i = q * d^alpha v / dt^alpha`` with ``0 < alpha < 1`` (``alpha = 1``
+degenerates to a capacitor, ``alpha -> 0`` to a resistor).  Networks of
+CPEs with a common ``alpha`` assemble to
+``E d^alpha x/dt^alpha = A x + B u`` -- exactly paper eq. (19) -- and
+mixed C/CPE networks assemble to multi-term systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+
+__all__ = [
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "CPE",
+    "VCCS",
+    "MutualInductance",
+    "CurrentSource",
+    "VoltageSource",
+]
+
+
+def _check_nodes(name: str, node_a: str, node_b: str) -> None:
+    if not isinstance(node_a, str) or not isinstance(node_b, str):
+        raise NetlistError(f"{name}: node names must be strings")
+    if node_a == node_b:
+        raise NetlistError(f"{name}: both terminals connect to node {node_a!r}")
+
+
+def _check_positive(name: str, quantity: str, value: float) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise NetlistError(f"{name}: {quantity} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Element:
+    """Common fields: unique ``name`` and terminal nodes ``a`` -> ``b``."""
+
+    name: str
+    a: str
+    b: str
+
+    def __post_init__(self) -> None:
+        _check_nodes(self.name, self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Resistor(Element):
+    """Linear resistor; ``resistance`` in ohms."""
+
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.name, "resistance", self.resistance)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    """Linear capacitor; ``capacitance`` in farads."""
+
+    capacitance: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.name, "capacitance", self.capacitance)
+
+
+@dataclass(frozen=True)
+class Inductor(Element):
+    """Linear inductor; ``inductance`` in henries.
+
+    MNA introduces the inductor current as an extra state; NA moves the
+    inductance into the second-order stiffness term (section V-B).
+    """
+
+    inductance: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.name, "inductance", self.inductance)
+
+
+@dataclass(frozen=True)
+class CPE(Element):
+    """Constant-phase element: ``i = q * d^alpha v/dt^alpha``.
+
+    ``q`` is the pseudo-capacitance (units F / s^(1-alpha)) and
+    ``alpha`` the fractional order in ``(0, 1]``.  Physical examples:
+    supercapacitor interfaces, lossy dielectrics, skin-effect-dominated
+    lines (the paper's transmission-line workload, refs [7]-[8]).
+    """
+
+    q: float = 1.0
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_positive(self.name, "q", self.q)
+        alpha = float(self.alpha)
+        if not 0.0 < alpha <= 1.0:
+            raise NetlistError(f"{self.name}: CPE alpha must be in (0, 1], got {alpha}")
+
+
+@dataclass(frozen=True)
+class MutualInductance:
+    """Magnetic coupling between two named inductors (SPICE K element).
+
+    ``coupling`` is the dimensionless coefficient ``k`` with
+    ``0 < |k| < 1``; the mutual inductance is
+    ``M = k * sqrt(L1 * L2)``.  Not a two-terminal element -- it refers
+    to existing :class:`Inductor` instances by name and stamps the
+    off-diagonal entries of the inductance matrix.
+    """
+
+    name: str
+    inductor1: str
+    inductor2: str
+    coupling: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.inductor1 == self.inductor2:
+            raise NetlistError(f"{self.name}: cannot couple {self.inductor1!r} to itself")
+        k = float(self.coupling)
+        if not 0.0 < abs(k) < 1.0:
+            raise NetlistError(
+                f"{self.name}: coupling must satisfy 0 < |k| < 1, got {k} "
+                "(|k| = 1 makes the inductance matrix singular)"
+            )
+
+
+@dataclass(frozen=True)
+class VCCS(Element):
+    """Voltage-controlled current source: ``i(a->b) = gm * (v(c) - v(d))``.
+
+    The SPICE ``G`` element; the linear controlled source sufficient to
+    model transconductors and small-signal active devices.  Stamps into
+    the conductance part of MNA/NA.
+    """
+
+    c: str = "0"
+    d: str = "0"
+    gm: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.c, str) or not isinstance(self.d, str):
+            raise NetlistError(f"{self.name}: control node names must be strings")
+        if self.c == self.d:
+            raise NetlistError(
+                f"{self.name}: both control terminals on node {self.c!r}"
+            )
+        if float(self.gm) == 0.0:
+            raise NetlistError(f"{self.name}: gm must be nonzero")
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """Independent current source driving ``scale * waveform(t)`` from a to b.
+
+    ``waveform`` is the index of an input channel (assigned by the
+    netlist); ``scale`` multiplies that channel.  Current flows *out of*
+    node ``a`` *into* node ``b`` for positive values (SPICE convention:
+    positive current a -> b through the source).
+    """
+
+    channel: int = 0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if int(self.channel) < 0:
+            raise NetlistError(f"{self.name}: channel must be >= 0, got {self.channel}")
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """Independent voltage source: ``v(a) - v(b) = scale * waveform(t)``.
+
+    MNA adds the branch current as a state; NA cannot stamp ideal
+    voltage sources (use a Norton equivalent -- see
+    :func:`repro.circuits.power_grid.power_grid`).
+    """
+
+    channel: int = 0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if int(self.channel) < 0:
+            raise NetlistError(f"{self.name}: channel must be >= 0, got {self.channel}")

@@ -1,0 +1,86 @@
+"""RC / RLC ladder generators -- classical interconnect workloads.
+
+Ladders are the standard sanity workloads for transient engines: they
+have known time constants, simple sparsity, and scale to arbitrary
+size.  Used by the examples, the convergence tests and the complexity
+benchmark (``O(n^beta m)`` fitting needs a family of growing ``n``).
+"""
+
+from __future__ import annotations
+
+from .._validation import check_positive_float, check_positive_int
+from .netlist import Netlist
+from .sources import Waveform
+
+__all__ = ["rc_ladder_netlist", "rlc_ladder_netlist"]
+
+
+def rc_ladder_netlist(
+    n_sections: int,
+    *,
+    r: float = 1.0,
+    c: float = 1.0,
+    drive_waveform: Waveform | None = None,
+) -> Netlist:
+    """Current-driven RC ladder: ``n_sections`` series-R / shunt-C cells.
+
+    The drive current enters the first node on channel 0.  Node names
+    are ``v1 .. v{n}``.
+
+    Examples
+    --------
+    >>> nl = rc_ladder_netlist(3)
+    >>> nl.summary()['resistors'], nl.summary()['capacitors']
+    (3, 3)
+    """
+    n_sections = check_positive_int(n_sections, "n_sections")
+    check_positive_float(r, "r")
+    check_positive_float(c, "c")
+    netlist = Netlist(f"rc ladder ({n_sections})")
+    prev = "0"
+    for k in range(1, n_sections + 1):
+        node = f"v{k}"
+        netlist.add_resistor(f"R{k}", prev, node, r)
+        netlist.add_capacitor(f"C{k}", node, "0", c)
+        prev = node
+    # replace the first resistor's ground side with a current drive:
+    # drive directly into v1 keeps the model strictly proper.
+    netlist.add_current_source("Idrive", "0", "v1", drive_waveform, channel=0)
+    return netlist
+
+
+def rlc_ladder_netlist(
+    n_sections: int,
+    *,
+    r: float = 1.0,
+    l: float = 1e-3,
+    c: float = 1.0,
+    drive_waveform: Waveform | None = None,
+) -> Netlist:
+    """Current-driven RLC ladder (series R-L, shunt C per cell).
+
+    The series inductors make the MNA model a DAE with
+    ``2 n_sections`` states and give the NA model its second-order
+    character -- a miniature version of the power-grid structure.
+
+    Examples
+    --------
+    >>> nl = rlc_ladder_netlist(3)
+    >>> nl.summary()['inductors']
+    3
+    """
+    n_sections = check_positive_int(n_sections, "n_sections")
+    check_positive_float(r, "r")
+    check_positive_float(l, "l")
+    check_positive_float(c, "c")
+    netlist = Netlist(f"rlc ladder ({n_sections})")
+    prev = "0"
+    for k in range(1, n_sections + 1):
+        mid = f"m{k}"
+        node = f"v{k}"
+        netlist.add_resistor(f"R{k}", prev, mid, r)
+        netlist.add_inductor(f"L{k}", mid, node, l)
+        netlist.add_capacitor(f"C{k}", node, "0", c)
+        prev = node
+    netlist.add_current_source("Idrive", "0", "v1", drive_waveform, channel=0)
+    return netlist

@@ -1,0 +1,229 @@
+"""Modified nodal analysis: netlist -> descriptor / fractional / multi-term model.
+
+State vector layout:
+
+.. math::  x = (v_1 .. v_N, \\; i_{L,1} .. i_{L,M}, \\; i_{V,1} .. i_{V,K})
+
+node voltages, inductor branch currents, voltage-source branch
+currents.  Writing KCL at every node plus the branch equations of
+inductors and voltage sources yields
+
+.. math::
+
+    \\underbrace{\\begin{bmatrix} C & & \\\\ & L & \\\\ & & 0 \\end{bmatrix}}_{E}
+    \\dot{x} =
+    \\underbrace{\\begin{bmatrix} -G & -A_L & -A_V \\\\ A_L^T & & \\\\
+    A_V^T & & \\end{bmatrix}}_{A} x + B u ,
+
+paper eq. (9) -- a DAE whenever voltage sources or capacitor-free
+nodes make ``E`` singular.  Constant-phase elements add a fractional
+block ``Q_alpha d^alpha v`` to the node equations; the assembler then
+returns a :class:`~repro.core.lti.FractionalDescriptorSystem` (pure
+CPE dynamics, paper eq. (19)) or a
+:class:`~repro.core.lti.MultiTermSystem` (mixed orders).
+
+Sign conventions (SPICE): branch quantities are defined from terminal
+``a`` to terminal ``b``; a positive current-source value drives current
+*through the source* from ``a`` to ``b`` (i.e. out of node ``a``'s KCL
+and into node ``b``'s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.lti import DescriptorSystem, FractionalDescriptorSystem, MultiTermSystem
+from ..errors import NetlistError
+from .components import (
+    CPE,
+    VCCS,
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from .netlist import Netlist
+
+__all__ = ["assemble_mna", "output_matrix"]
+
+
+class _Stamper:
+    """COO accumulator for one sparse matrix."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        self.shape = (rows, cols)
+        self._r: list[int] = []
+        self._c: list[int] = []
+        self._v: list[float] = []
+
+    def add(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self._r.append(row)
+            self._c.append(col)
+            self._v.append(value)
+
+    def build(self) -> sp.csr_matrix:
+        return sp.coo_matrix(
+            (self._v, (self._r, self._c)), shape=self.shape
+        ).tocsr()
+
+
+def output_matrix(netlist: Netlist, nodes, size: int) -> np.ndarray:
+    """Selector matrix picking the voltages of the named nodes.
+
+    ``size`` is the full state dimension (node voltages first), so the
+    same selector works for MNA and NA models.
+    """
+    nodes = list(nodes)
+    C = np.zeros((len(nodes), size))
+    for row, node in enumerate(nodes):
+        C[row, netlist.node_index(node)] = 1.0
+    return C
+
+
+def assemble_mna(netlist: Netlist, outputs=None):
+    """Assemble the MNA model of a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit; must contain at least one node.
+    outputs:
+        Optional list of node names whose voltages become the model
+        outputs (default: all states).
+
+    Returns
+    -------
+    DescriptorSystem | FractionalDescriptorSystem | MultiTermSystem
+        * all dynamic elements integer-order -> :class:`DescriptorSystem`
+          (paper eq. (9); the section V-B "DAE model constructed using
+          MNA by treating the currents flowing through inductors as
+          state variables");
+        * only CPEs of one common order -> :class:`FractionalDescriptorSystem`
+          (paper eq. (19));
+        * mixed orders -> :class:`MultiTermSystem`.
+
+    Examples
+    --------
+    >>> from repro.circuits.netlist import Netlist
+    >>> from repro.circuits.sources import Constant
+    >>> nl = Netlist()
+    >>> _ = nl.add_current_source("I1", "0", "n1", Constant(1e-3))
+    >>> nl.add_resistor("R1", "n1", "0", 1e3)
+    >>> nl.add_capacitor("C1", "n1", "0", 1e-6)
+    >>> assemble_mna(nl).n_states
+    1
+    """
+    n_nodes = netlist.n_nodes
+    if n_nodes == 0:
+        raise NetlistError("netlist has no non-ground nodes")
+    inductors = netlist.inductors
+    vsources = netlist.voltage_sources
+    n_l, n_v = len(inductors), len(vsources)
+    size = n_nodes + n_l + n_v
+    p = max(netlist.n_channels, 1)
+
+    def vidx(node: str) -> int:
+        return -1 if netlist.is_ground(node) else netlist.node_index(node)
+
+    e1 = _Stamper(size, size)  # order-1 block: C on nodes, L on currents
+    a = _Stamper(size, size)
+    b = np.zeros((size, p))
+    frac: dict[float, _Stamper] = {}
+    l_row = {el.name: n_nodes + k for k, el in enumerate(inductors)}
+    v_row = {el.name: n_nodes + n_l + k for k, el in enumerate(vsources)}
+
+    for el in netlist.elements:
+        ia, ib = vidx(el.a), vidx(el.b)
+        if isinstance(el, Resistor):
+            g = el.conductance
+            # KCL: +g(va - vb) leaving a  ->  A gets -g pattern
+            a.add(ia, ia, -g)
+            a.add(ib, ib, -g)
+            a.add(ia, ib, +g)
+            a.add(ib, ia, +g)
+        elif isinstance(el, Capacitor):
+            c = el.capacitance
+            e1.add(ia, ia, +c)
+            e1.add(ib, ib, +c)
+            e1.add(ia, ib, -c)
+            e1.add(ib, ia, -c)
+        elif isinstance(el, CPE):
+            st = frac.setdefault(float(el.alpha), _Stamper(size, size))
+            st.add(ia, ia, +el.q)
+            st.add(ib, ib, +el.q)
+            st.add(ia, ib, -el.q)
+            st.add(ib, ia, -el.q)
+        elif isinstance(el, Inductor):
+            row = l_row[el.name]
+            e1.add(row, row, el.inductance)
+            # branch: L di/dt = va - vb
+            a.add(row, ia, +1.0)
+            a.add(row, ib, -1.0)
+            # KCL: +i leaving a
+            a.add(ia, row, -1.0)
+            a.add(ib, row, +1.0)
+        elif isinstance(el, VoltageSource):
+            row = v_row[el.name]
+            # branch: va - vb = scale * u  ->  0 = (va - vb) - scale u
+            a.add(row, ia, +1.0)
+            a.add(row, ib, -1.0)
+            b[row, el.channel] = -el.scale
+            # KCL: +i_V leaving a
+            a.add(ia, row, -1.0)
+            a.add(ib, row, +1.0)
+        elif isinstance(el, VCCS):
+            # i(a->b) = gm (v_c - v_d): leaves a, enters b
+            ic, idx = vidx(el.c), vidx(el.d)
+            a.add(ia, ic, -el.gm)
+            a.add(ia, idx, +el.gm)
+            a.add(ib, ic, +el.gm)
+            a.add(ib, idx, -el.gm)
+        elif isinstance(el, CurrentSource):
+            # +scale*u leaves node a, enters node b
+            if ia >= 0:
+                b[ia, el.channel] -= el.scale
+            if ib >= 0:
+                b[ib, el.channel] += el.scale
+        else:  # pragma: no cover - future element types
+            raise NetlistError(f"element {el.name!r} has no MNA stamp")
+
+    # mutual inductances: off-diagonal entries of the inductance matrix
+    # (branch equations become L1 di1/dt + M di2/dt = v drop, etc.)
+    if netlist.couplings:
+        by_name = {el.name: el for el in inductors}
+        for pair in netlist.couplings:
+            l1 = by_name[pair.inductor1]
+            l2 = by_name[pair.inductor2]
+            mutual = pair.coupling * np.sqrt(l1.inductance * l2.inductance)
+            e1.add(l_row[l1.name], l_row[l2.name], mutual)
+            e1.add(l_row[l2.name], l_row[l1.name], mutual)
+
+    C_out = None if outputs is None else output_matrix(netlist, outputs, size)
+    A = a.build()
+    E1 = e1.build()
+
+    if not frac:
+        return DescriptorSystem(E1, A, b, C=C_out)
+
+    has_integer_dynamics = E1.nnz > 0
+    if not has_integer_dynamics and len(frac) == 1:
+        ((alpha, stamper),) = frac.items()
+        if alpha == 1.0:
+            return DescriptorSystem(stamper.build(), A, b, C=C_out)
+        return FractionalDescriptorSystem(alpha, stamper.build(), A, b, C=C_out)
+
+    terms = [(0.0, -A)]
+    if has_integer_dynamics:
+        terms.append((1.0, E1))
+    for alpha, stamper in sorted(frac.items()):
+        matrix = stamper.build()
+        if alpha == 1.0 and has_integer_dynamics:
+            terms = [
+                (o, (m + matrix) if o == 1.0 else m) for o, m in terms
+            ]
+        else:
+            terms.append((alpha, matrix))
+    return MultiTermSystem(terms, b, C=C_out)

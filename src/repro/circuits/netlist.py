@@ -1,0 +1,397 @@
+"""Netlist container and SPICE-subset parser.
+
+A :class:`Netlist` is an ordered collection of circuit elements plus
+the bookkeeping needed for matrix assembly: node numbering (ground
+excluded), input-channel allocation for sources, and attached source
+waveforms.  Assembly into system models is performed by
+:func:`repro.circuits.mna.assemble_mna` (first-order DAE / multi-term
+fractional) and :func:`repro.circuits.nodal.assemble_na` (second-order
+NA model).
+
+The parser accepts the classical SPICE card subset sufficient for the
+paper's workloads::
+
+    * comment
+    R<name> <node+> <node-> <resistance>
+    C<name> <node+> <node-> <capacitance>
+    L<name> <node+> <node-> <inductance>
+    I<name> <node+> <node-> <dc-current>
+    V<name> <node+> <node-> <dc-voltage>
+    G<name> <node+> <node-> <ctrl+> <ctrl-> <gm>   (VCCS)
+    P<name> <node+> <node-> <q> <alpha>     (CPE, extension card)
+
+with the usual engineering suffixes (``k``, ``meg``, ``m``, ``u``,
+``n``, ``p``, ``f``, ``t``, ``g``).  Node ``0`` (or ``gnd``) is ground.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..errors import NetlistError
+from .components import (
+    CPE,
+    VCCS,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from .sources import Constant, Waveform
+
+__all__ = ["Netlist", "GROUND_NAMES"]
+
+#: Node names treated as the ground reference.
+GROUND_NAMES = ("0", "gnd", "GND", "ground")
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(r"^([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)(meg|[tgkmunpf])?$")
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE numeric token with engineering suffix.
+
+    >>> parse_value("1k"), round(parse_value("2.5u"), 12), parse_value("3meg")
+    (1000.0, 2.5e-06, 3000000.0)
+    """
+    match = _VALUE_RE.match(token.strip().lower())
+    if not match:
+        raise NetlistError(f"cannot parse numeric value {token!r}")
+    base = float(match.group(1))
+    suffix = match.group(2)
+    return base * _SUFFIXES[suffix] if suffix else base
+
+
+class Netlist:
+    """Ordered circuit description with node and input-channel registries.
+
+    Examples
+    --------
+    >>> nl = Netlist("rc lowpass")
+    >>> nl.add_current_source("Iin", "0", "in", waveform=Constant(1.0))
+    0
+    >>> nl.add_resistor("R1", "in", "0", 1e3)
+    >>> nl.add_capacitor("C1", "in", "0", 1e-6)
+    >>> nl.n_nodes, nl.n_channels
+    (1, 1)
+    """
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self.elements: list[Element] = []
+        self.couplings: list[MutualInductance] = []
+        self._names: set[str] = set()
+        self._node_order: list[str] = []
+        self._node_index: dict[str, int] = {}
+        self._waveforms: dict[int, Waveform] = {}
+        self._next_channel = 0
+
+    # ------------------------------------------------------------------
+    # node bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        """True when ``node`` is one of the ground aliases (``0``, ``gnd``, ...)."""
+        return node in GROUND_NAMES
+
+    def _register_node(self, node: str) -> None:
+        if self.is_ground(node) or node in self._node_index:
+            return
+        self._node_index[node] = len(self._node_order)
+        self._node_order.append(node)
+
+    @property
+    def nodes(self) -> list[str]:
+        """Non-ground node names in first-appearance order."""
+        return list(self._node_order)
+
+    def node_index(self, node: str) -> int:
+        """Index of a non-ground node in the unknown vector.
+
+        Raises
+        ------
+        NetlistError
+            For ground or unknown nodes.
+        """
+        if self.is_ground(node):
+            raise NetlistError(f"node {node!r} is ground and has no index")
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._node_order)
+
+    # ------------------------------------------------------------------
+    # element insertion
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> None:
+        """Add a pre-built element record (used by the typed helpers)."""
+        if element.name in self._names:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        self._register_node(element.a)
+        self._register_node(element.b)
+        self.elements.append(element)
+
+    def add_resistor(self, name: str, a: str, b: str, resistance: float) -> None:
+        """Add a resistor of ``resistance`` ohms between nodes ``a`` and ``b``."""
+        self.add(Resistor(name, a, b, resistance=float(resistance)))
+
+    def add_capacitor(self, name: str, a: str, b: str, capacitance: float) -> None:
+        """Add a capacitor of ``capacitance`` farads between ``a`` and ``b``."""
+        self.add(Capacitor(name, a, b, capacitance=float(capacitance)))
+
+    def add_inductor(self, name: str, a: str, b: str, inductance: float) -> None:
+        """Add an inductor of ``inductance`` henries between ``a`` and ``b``."""
+        self.add(Inductor(name, a, b, inductance=float(inductance)))
+
+    def add_cpe(self, name: str, a: str, b: str, q: float, alpha: float) -> None:
+        """Add a constant-phase element ``i = q d^alpha v/dt^alpha`` (fractional capacitor)."""
+        self.add(CPE(name, a, b, q=float(q), alpha=float(alpha)))
+
+    def add_vccs(self, name: str, a: str, b: str, c: str, d: str, gm: float) -> None:
+        """Add a VCCS: ``i(a->b) = gm * (v(c) - v(d))`` (SPICE G element)."""
+        self._register_node(c)
+        self._register_node(d)
+        self.add(VCCS(name, a, b, c=c, d=d, gm=float(gm)))
+
+    def add_mutual(self, name: str, inductor1: str, inductor2: str, coupling: float) -> None:
+        """Couple two existing inductors with coefficient ``k`` (SPICE K element)."""
+        if name in self._names:
+            raise NetlistError(f"duplicate element name {name!r}")
+        inductor_names = {el.name for el in self.inductors}
+        for ref in (inductor1, inductor2):
+            if ref not in inductor_names:
+                raise NetlistError(
+                    f"{name}: inductor {ref!r} must be added before coupling it"
+                )
+        self._names.add(name)
+        self.couplings.append(
+            MutualInductance(name, inductor1, inductor2, coupling=float(coupling))
+        )
+
+    def _allocate_channel(self, waveform: Waveform | None, channel: int | None) -> int:
+        if channel is None:
+            channel = self._next_channel
+            self._next_channel += 1
+        else:
+            channel = int(channel)
+            self._next_channel = max(self._next_channel, channel + 1)
+        if waveform is not None:
+            existing = self._waveforms.get(channel)
+            if existing is not None and existing is not waveform:
+                raise NetlistError(
+                    f"channel {channel} already has waveform {existing!r}"
+                )
+            self._waveforms[channel] = waveform
+        return channel
+
+    def add_current_source(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        waveform: Waveform | None = None,
+        *,
+        channel: int | None = None,
+        scale: float = 1.0,
+    ) -> int:
+        """Add a current source; returns its input-channel index."""
+        channel = self._allocate_channel(waveform, channel)
+        self.add(CurrentSource(name, a, b, channel=channel, scale=float(scale)))
+        return channel
+
+    def add_voltage_source(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        waveform: Waveform | None = None,
+        *,
+        channel: int | None = None,
+        scale: float = 1.0,
+    ) -> int:
+        """Add a voltage source; returns its input-channel index."""
+        channel = self._allocate_channel(waveform, channel)
+        self.add(VoltageSource(name, a, b, channel=channel, scale=float(scale)))
+        return channel
+
+    def set_channel_waveform(self, channel: int, waveform: Waveform) -> None:
+        """Attach (or replace) the waveform driving an input channel."""
+        if channel < 0 or channel >= self.n_channels:
+            raise NetlistError(f"channel {channel} out of range [0, {self.n_channels})")
+        self._waveforms[int(channel)] = waveform
+
+    # ------------------------------------------------------------------
+    # element queries
+    # ------------------------------------------------------------------
+    def of_type(self, kind) -> list:
+        """All elements of the given component class, in insertion order."""
+        return [el for el in self.elements if isinstance(el, kind)]
+
+    @property
+    def resistors(self) -> list[Resistor]:
+        return self.of_type(Resistor)
+
+    @property
+    def capacitors(self) -> list[Capacitor]:
+        return self.of_type(Capacitor)
+
+    @property
+    def inductors(self) -> list[Inductor]:
+        return self.of_type(Inductor)
+
+    @property
+    def cpes(self) -> list[CPE]:
+        return self.of_type(CPE)
+
+    @property
+    def current_sources(self) -> list[CurrentSource]:
+        return self.of_type(CurrentSource)
+
+    @property
+    def voltage_sources(self) -> list[VoltageSource]:
+        return self.of_type(VoltageSource)
+
+    @property
+    def n_channels(self) -> int:
+        return self._next_channel
+
+    # ------------------------------------------------------------------
+    # input functions
+    # ------------------------------------------------------------------
+    def input_function(self, *, derivative: bool = False) -> Callable:
+        """Vectorised ``u(times) -> (n_channels, nt)`` from attached waveforms.
+
+        ``derivative=True`` returns the channel-wise time derivative
+        (what the NA second-order model consumes).
+
+        Raises
+        ------
+        NetlistError
+            If any channel lacks an attached waveform.
+        """
+        p = self.n_channels
+        if p == 0:
+            raise NetlistError("netlist has no input channels")
+        waveforms = []
+        for ch in range(p):
+            wf = self._waveforms.get(ch)
+            if wf is None:
+                raise NetlistError(f"channel {ch} has no attached waveform")
+            waveforms.append(wf.derivative() if derivative else wf)
+
+        def u_fn(times, _wfs=tuple(waveforms)):
+            t = np.atleast_1d(np.asarray(times, dtype=float))
+            return np.vstack([wf(t) for wf in _wfs])
+
+        return u_fn
+
+    # ------------------------------------------------------------------
+    # parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spice(cls, text: str, title: str = "") -> "Netlist":
+        """Build a netlist from SPICE-subset cards (see module docstring).
+
+        Examples
+        --------
+        >>> nl = Netlist.from_spice('''
+        ... * simple rc
+        ... I1 0 n1 1m
+        ... R1 n1 0 1k
+        ... C1 n1 0 1u
+        ... ''')
+        >>> nl.n_nodes
+        1
+        """
+        netlist = cls(title)
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("*"):
+                continue
+            if line.lower().startswith(".end"):
+                break
+            if line.startswith("."):
+                continue  # other dot-cards ignored in the subset
+            fields = line.split()
+            name = fields[0]
+            kind = name[0].upper()
+            if kind in "RCLIV" and len(fields) != 4:
+                raise NetlistError(f"card {name!r}: expected 4 fields, got {len(fields)}")
+            if kind == "P" and len(fields) != 5:
+                raise NetlistError(f"CPE card {name!r}: expected 5 fields, got {len(fields)}")
+            if kind == "G" and len(fields) != 6:
+                raise NetlistError(f"VCCS card {name!r}: expected 6 fields, got {len(fields)}")
+            if kind == "K":
+                if len(fields) != 4:
+                    raise NetlistError(
+                        f"coupling card {name!r}: expected 4 fields, got {len(fields)}"
+                    )
+                netlist.add_mutual(name, fields[1], fields[2], parse_value(fields[3]))
+                continue
+            a, b = fields[1], fields[2]
+            if kind == "R":
+                netlist.add_resistor(name, a, b, parse_value(fields[3]))
+            elif kind == "C":
+                netlist.add_capacitor(name, a, b, parse_value(fields[3]))
+            elif kind == "L":
+                netlist.add_inductor(name, a, b, parse_value(fields[3]))
+            elif kind == "I":
+                netlist.add_current_source(name, a, b, Constant(parse_value(fields[3])))
+            elif kind == "V":
+                netlist.add_voltage_source(name, a, b, Constant(parse_value(fields[3])))
+            elif kind == "G":
+                netlist.add_vccs(
+                    name, a, b, fields[3], fields[4], parse_value(fields[5])
+                )
+            elif kind == "P":
+                netlist.add_cpe(name, a, b, parse_value(fields[3]), parse_value(fields[4]))
+            else:
+                raise NetlistError(f"unsupported card {name!r}")
+        if not netlist.elements:
+            raise NetlistError("netlist contains no elements")
+        return netlist
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Element/node counts, for logging and tests."""
+        return {
+            "nodes": self.n_nodes,
+            "resistors": len(self.resistors),
+            "capacitors": len(self.capacitors),
+            "inductors": len(self.inductors),
+            "cpes": len(self.cpes),
+            "couplings": len(self.couplings),
+            "current_sources": len(self.current_sources),
+            "voltage_sources": len(self.voltage_sources),
+            "channels": self.n_channels,
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"Netlist({self.title!r}, nodes={s['nodes']}, "
+            f"R={s['resistors']}, C={s['capacitors']}, L={s['inductors']}, "
+            f"CPE={s['cpes']}, I={s['current_sources']}, V={s['voltage_sources']})"
+        )

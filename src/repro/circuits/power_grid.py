@@ -1,0 +1,208 @@
+"""3-D RLC power-grid generator (the paper's section V-B workload).
+
+Builds a parameterised multi-layer power-delivery network in *IR-drop
+coordinates* (node voltages measure deviation below the ideal supply,
+so the zero initial state of OPM is the quiescent grid):
+
+* each metal layer is an ``nx x ny`` resistive mesh (``r_wire`` per
+  segment);
+* every node has a decoupling/parasitic capacitor ``c_node`` to the
+  supply rail;
+* adjacent layers are stitched by *pure inductive* vias (``l_via``)
+  placed every ``via_pitch`` nodes in both directions -- pure-L
+  branches keep the netlist NA-compatible (the inductance moves into
+  the ``Gamma`` stiffness term);
+* package pads connect top-layer nodes to the rail through
+  ``r_pad`` every ``pad_pitch`` nodes (Norton form -- NA cannot stamp
+  ideal voltage sources);
+* switching loads draw current at bottom-layer nodes: every
+  ``load_pitch``-th node carries a current source scaled by a
+  deterministic pseudo-random factor, all sharing input channel 0.
+
+The same netlist yields the paper's two competing models:
+
+* ``assemble_na``  -> second-order model of size ``n_nodes``
+  (75 K in the paper);
+* ``assemble_mna`` -> first-order DAE of size
+  ``n_nodes + n_vias`` (110 K in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int
+from ..errors import NetlistError
+from .netlist import Netlist
+from .nodal import assemble_na
+from .mna import assemble_mna
+from .sources import RaisedCosinePulse, Waveform
+
+__all__ = ["power_grid", "power_grid_models", "grid_node_name"]
+
+
+def grid_node_name(layer: int, ix: int, iy: int) -> str:
+    """Canonical node name for grid position ``(layer, ix, iy)``."""
+    return f"n{layer}_{ix}_{iy}"
+
+
+def power_grid(
+    nx: int,
+    ny: int,
+    nz: int = 3,
+    *,
+    r_wire: float = 1.0,
+    c_node: float = 1e-15,
+    l_via: float = 1e-12,
+    r_pad: float = 0.05,
+    via_pitch: int = 1,
+    pad_pitch: int = 4,
+    load_pitch: int = 3,
+    load_waveform: Waveform | None = None,
+    load_scale: float = 1e-3,
+    seed: int = 2012,
+) -> Netlist:
+    """Generate the 3-D power-grid netlist (see module docstring).
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Mesh nodes per layer (x, y) and number of layers.
+    r_wire, c_node, l_via, r_pad:
+        Element values: mesh segment resistance, per-node capacitance,
+        via inductance, pad resistance.
+    via_pitch, pad_pitch, load_pitch:
+        Placement strides for vias (both directions), pads (top layer)
+        and loads (bottom layer).
+    load_waveform:
+        Shared waveform of all loads (default: 0.1 ns raised-cosine
+        current pulse -- differentiable, as the NA model requires).
+    load_scale:
+        Nominal load current; per-load scales are drawn in
+        ``[0.5, 1.5] * load_scale`` from a seeded RNG.
+    seed:
+        RNG seed for the load pattern (deterministic benchmarks).
+
+    Returns
+    -------
+    Netlist
+        With exactly one input channel (0) shared by all loads.
+
+    Examples
+    --------
+    >>> nl = power_grid(4, 4, 2, via_pitch=2, pad_pitch=3, load_pitch=5)
+    >>> s = nl.summary()
+    >>> (s['nodes'], s['inductors'] > 0, s['channels'])
+    (32, True, 1)
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = check_positive_int(ny, "ny")
+    nz = check_positive_int(nz, "nz")
+    check_positive_float(r_wire, "r_wire")
+    check_positive_float(c_node, "c_node")
+    check_positive_float(l_via, "l_via")
+    check_positive_float(r_pad, "r_pad")
+    via_pitch = check_positive_int(via_pitch, "via_pitch")
+    pad_pitch = check_positive_int(pad_pitch, "pad_pitch")
+    load_pitch = check_positive_int(load_pitch, "load_pitch")
+    if nx * ny < 2:
+        raise NetlistError("grid needs at least 2 nodes per layer")
+    if load_waveform is None:
+        load_waveform = RaisedCosinePulse(level=1.0, width=1e-10, t0=0.0)
+
+    netlist = Netlist(f"power-grid {nx}x{ny}x{nz}")
+    rng = np.random.default_rng(seed)
+
+    # mesh resistors and node capacitors
+    for z in range(nz):
+        for ix in range(nx):
+            for iy in range(ny):
+                node = grid_node_name(z, ix, iy)
+                netlist.add_capacitor(f"C_{node}", node, "0", c_node)
+                if ix + 1 < nx:
+                    right = grid_node_name(z, ix + 1, iy)
+                    netlist.add_resistor(f"Rx_{node}", node, right, r_wire)
+                if iy + 1 < ny:
+                    up = grid_node_name(z, ix, iy + 1)
+                    netlist.add_resistor(f"Ry_{node}", node, up, r_wire)
+
+    # inductive vias between layers
+    for z in range(nz - 1):
+        for ix in range(0, nx, via_pitch):
+            for iy in range(0, ny, via_pitch):
+                lower = grid_node_name(z, ix, iy)
+                upper = grid_node_name(z + 1, ix, iy)
+                netlist.add_inductor(f"Lv_{z}_{ix}_{iy}", lower, upper, l_via)
+
+    # package pads on the top layer (Norton: resistor to the rail)
+    top = nz - 1
+    n_pads = 0
+    for ix in range(0, nx, pad_pitch):
+        for iy in range(0, ny, pad_pitch):
+            node = grid_node_name(top, ix, iy)
+            netlist.add_resistor(f"Rp_{ix}_{iy}", node, "0", r_pad)
+            n_pads += 1
+    if n_pads == 0:  # pragma: no cover - pitch checked positive
+        raise NetlistError("pad placement produced no pads")
+
+    # switching loads on the bottom layer, all on channel 0
+    channel = None
+    for k, (ix, iy) in enumerate(
+        (ix, iy) for ix in range(0, nx, load_pitch) for iy in range(0, ny, load_pitch)
+    ):
+        node = grid_node_name(0, ix, iy)
+        scale = float(load_scale * rng.uniform(0.5, 1.5))
+        channel = netlist.add_current_source(
+            f"Il_{ix}_{iy}", node, "0", load_waveform if channel is None else None,
+            channel=channel, scale=scale,
+        )
+    if channel is None:
+        raise NetlistError("load placement produced no loads; decrease load_pitch")
+    return netlist
+
+
+def power_grid_models(
+    nx: int,
+    ny: int,
+    nz: int = 3,
+    *,
+    observe: str = "center",
+    **kwargs,
+):
+    """Build the grid and both competing models of section V-B.
+
+    Parameters
+    ----------
+    nx, ny, nz, **kwargs:
+        Forwarded to :func:`power_grid`.
+    observe:
+        ``'center'`` observes the bottom-layer center node (worst-case
+        IR drop) or a list of node names.
+
+    Returns
+    -------
+    dict
+        ``netlist``, ``na`` (second-order model, input ``du/dt``),
+        ``mna`` (first-order DAE, input ``u``), ``u`` / ``du``
+        (matching input callables) and ``outputs`` (observed node
+        names).
+
+    Examples
+    --------
+    >>> bundle = power_grid_models(4, 4, 2, via_pitch=2)
+    >>> bundle['na'].n_states < bundle['mna'].n_states
+    True
+    """
+    netlist = power_grid(nx, ny, nz, **kwargs)
+    if observe == "center":
+        outputs = [grid_node_name(0, nx // 2, ny // 2)]
+    else:
+        outputs = list(observe)
+    return {
+        "netlist": netlist,
+        "na": assemble_na(netlist, outputs=outputs),
+        "mna": assemble_mna(netlist, outputs=outputs),
+        "u": netlist.input_function(),
+        "du": netlist.input_function(derivative=True),
+        "outputs": outputs,
+    }

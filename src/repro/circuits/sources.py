@@ -1,0 +1,353 @@
+"""Source waveforms for circuit simulation.
+
+Vectorised callables with analytic time derivatives.  The derivative
+matters because the nodal-analysis second-order model (section V-B)
+arises from differentiating KCL once, which turns every current-source
+input ``i(t)`` into ``di/dt`` -- see :mod:`repro.circuits.nodal`.
+
+All waveforms map a 1-D time array to a same-shaped value array and
+expose ``derivative()`` returning another waveform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_float
+
+__all__ = [
+    "Waveform",
+    "Constant",
+    "Step",
+    "Ramp",
+    "Sine",
+    "ExpPulse",
+    "RaisedCosinePulse",
+    "PiecewiseLinear",
+    "Sum",
+    "Scaled",
+]
+
+
+class Waveform:
+    """Base class: a vectorised scalar function of time with a derivative."""
+
+    def __call__(self, times) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self) -> "Waveform":
+        """Return the waveform's time derivative as another waveform."""
+        raise NotImplementedError(f"{type(self).__name__} has no analytic derivative")
+
+    def __add__(self, other: "Waveform") -> "Waveform":
+        return Sum([self, other])
+
+    def __mul__(self, scale: float) -> "Waveform":
+        return Scaled(self, float(scale))
+
+    __rmul__ = __mul__
+
+
+class Constant(Waveform):
+    """Constant value ``level`` for all times.
+
+    Examples
+    --------
+    >>> Constant(2.5)(np.array([0.0, 1.0]))
+    array([2.5, 2.5])
+    """
+
+    def __init__(self, level: float) -> None:
+        self.level = float(level)
+
+    def __call__(self, times) -> np.ndarray:
+        return np.full_like(np.asarray(times, dtype=float), self.level)
+
+    def derivative(self) -> "Waveform":
+        return Constant(0.0)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.level:g})"
+
+
+class Step(Waveform):
+    """Ideal step: ``0`` before ``t0``, ``level`` after.
+
+    An ideal step has no classical derivative; circuits exercising the
+    NA model should use :class:`Ramp` or :class:`RaisedCosinePulse`
+    instead (calling :meth:`derivative` raises).
+    """
+
+    def __init__(self, level: float = 1.0, t0: float = 0.0) -> None:
+        self.level = float(level)
+        self.t0 = float(t0)
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        return np.where(t >= self.t0, self.level, 0.0)
+
+    def __repr__(self) -> str:
+        return f"Step(level={self.level:g}, t0={self.t0:g})"
+
+
+class Ramp(Waveform):
+    """Saturating ramp: rises linearly from 0 to ``level`` over ``rise``.
+
+    ``v(t) = level * clip((t - t0) / rise, 0, 1)`` -- the standard
+    finite-rise-time step used for power-grid switching events.
+    """
+
+    def __init__(self, level: float = 1.0, rise: float = 1.0, t0: float = 0.0) -> None:
+        self.level = float(level)
+        self.rise = check_positive_float(rise, "rise")
+        self.t0 = float(t0)
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        return self.level * np.clip((t - self.t0) / self.rise, 0.0, 1.0)
+
+    def derivative(self) -> "Waveform":
+        return _RampRate(self)
+
+    def __repr__(self) -> str:
+        return f"Ramp(level={self.level:g}, rise={self.rise:g}, t0={self.t0:g})"
+
+
+class _RampRate(Waveform):
+    """Derivative of :class:`Ramp`: a rectangular pulse."""
+
+    def __init__(self, ramp: Ramp) -> None:
+        self._ramp = ramp
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        inside = (t >= self._ramp.t0) & (t < self._ramp.t0 + self._ramp.rise)
+        return np.where(inside, self._ramp.level / self._ramp.rise, 0.0)
+
+    def __repr__(self) -> str:
+        return f"derivative({self._ramp!r})"
+
+
+class Sine(Waveform):
+    """``amplitude * sin(2 pi freq (t - t0) + phase)`` (zero before ``t0``)."""
+
+    def __init__(
+        self, amplitude: float = 1.0, freq: float = 1.0, phase: float = 0.0, t0: float = 0.0
+    ) -> None:
+        self.amplitude = float(amplitude)
+        self.freq = check_positive_float(freq, "freq")
+        self.phase = float(phase)
+        self.t0 = float(t0)
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        w = 2.0 * np.pi * self.freq
+        return np.where(
+            t >= self.t0, self.amplitude * np.sin(w * (t - self.t0) + self.phase), 0.0
+        )
+
+    def derivative(self) -> "Waveform":
+        w = 2.0 * np.pi * self.freq
+        return Sine(
+            amplitude=self.amplitude * w,
+            freq=self.freq,
+            phase=self.phase + np.pi / 2.0,
+            t0=self.t0,
+        )
+
+    def __repr__(self) -> str:
+        return f"Sine(amplitude={self.amplitude:g}, freq={self.freq:g})"
+
+
+class ExpPulse(Waveform):
+    """Double-exponential pulse ``level * (e^{-t/tau_fall} - e^{-t/tau_rise})``.
+
+    The classical SPICE-style surge shape; smooth for ``t > t0`` and
+    zero before.  ``tau_rise < tau_fall`` is required.
+    """
+
+    def __init__(
+        self, level: float = 1.0, tau_rise: float = 0.1, tau_fall: float = 1.0, t0: float = 0.0
+    ) -> None:
+        self.level = float(level)
+        self.tau_rise = check_positive_float(tau_rise, "tau_rise")
+        self.tau_fall = check_positive_float(tau_fall, "tau_fall")
+        if self.tau_rise >= self.tau_fall:
+            raise ValueError(
+                f"tau_rise ({tau_rise}) must be smaller than tau_fall ({tau_fall})"
+            )
+        self.t0 = float(t0)
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float) - self.t0
+        live = t >= 0.0
+        t = np.where(live, t, 0.0)
+        return np.where(
+            live,
+            self.level * (np.exp(-t / self.tau_fall) - np.exp(-t / self.tau_rise)),
+            0.0,
+        )
+
+    def derivative(self) -> "Waveform":
+        return _ExpPulseRate(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExpPulse(level={self.level:g}, tau_rise={self.tau_rise:g}, "
+            f"tau_fall={self.tau_fall:g})"
+        )
+
+
+class _ExpPulseRate(Waveform):
+    """Derivative of :class:`ExpPulse`."""
+
+    def __init__(self, pulse: ExpPulse) -> None:
+        self._p = pulse
+
+    def __call__(self, times) -> np.ndarray:
+        p = self._p
+        t = np.asarray(times, dtype=float) - p.t0
+        live = t >= 0.0
+        t = np.where(live, t, 0.0)
+        return np.where(
+            live,
+            p.level
+            * (
+                np.exp(-t / p.tau_rise) / p.tau_rise
+                - np.exp(-t / p.tau_fall) / p.tau_fall
+            ),
+            0.0,
+        )
+
+    def __repr__(self) -> str:
+        return f"derivative({self._p!r})"
+
+
+class RaisedCosinePulse(Waveform):
+    """Smooth compactly-supported pulse on ``[t0, t0 + width]``.
+
+    ``level/2 * (1 - cos(2 pi (t - t0)/width))`` inside the support,
+    zero outside; continuously differentiable everywhere -- the
+    preferred load shape for NA models and FFT baselines (no spectral
+    leakage from jump discontinuities).
+    """
+
+    def __init__(self, level: float = 1.0, width: float = 1.0, t0: float = 0.0) -> None:
+        self.level = float(level)
+        self.width = check_positive_float(width, "width")
+        self.t0 = float(t0)
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float) - self.t0
+        inside = (t >= 0.0) & (t <= self.width)
+        phase = 2.0 * np.pi * np.where(inside, t, 0.0) / self.width
+        return np.where(inside, 0.5 * self.level * (1.0 - np.cos(phase)), 0.0)
+
+    def derivative(self) -> "Waveform":
+        return _RaisedCosineRate(self)
+
+    def __repr__(self) -> str:
+        return f"RaisedCosinePulse(level={self.level:g}, width={self.width:g}, t0={self.t0:g})"
+
+
+class _RaisedCosineRate(Waveform):
+    """Derivative of :class:`RaisedCosinePulse`."""
+
+    def __init__(self, pulse: RaisedCosinePulse) -> None:
+        self._p = pulse
+
+    def __call__(self, times) -> np.ndarray:
+        p = self._p
+        t = np.asarray(times, dtype=float) - p.t0
+        inside = (t >= 0.0) & (t <= p.width)
+        w = 2.0 * np.pi / p.width
+        phase = w * np.where(inside, t, 0.0)
+        return np.where(inside, 0.5 * p.level * w * np.sin(phase), 0.0)
+
+    def __repr__(self) -> str:
+        return f"derivative({self._p!r})"
+
+
+class PiecewiseLinear(Waveform):
+    """SPICE-style PWL waveform through ``(time, value)`` breakpoints.
+
+    Constant extrapolation outside the breakpoint range; the derivative
+    is the piecewise-constant slope (taken as the left-segment slope at
+    breakpoints).
+    """
+
+    def __init__(self, times, values) -> None:
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.ndim != 1 or t.size < 2 or t.shape != v.shape:
+            raise ValueError("PWL needs matching 1-D times/values with >= 2 points")
+        if np.any(np.diff(t) <= 0.0):
+            raise ValueError("PWL breakpoint times must be strictly increasing")
+        self.times = t
+        self.values = v
+
+    def __call__(self, times) -> np.ndarray:
+        return np.interp(np.asarray(times, dtype=float), self.times, self.values)
+
+    def derivative(self) -> "Waveform":
+        return _PWLRate(self)
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinear({self.times.size} points)"
+
+
+class _PWLRate(Waveform):
+    """Piecewise-constant slope of a PWL waveform."""
+
+    def __init__(self, pwl: PiecewiseLinear) -> None:
+        self._slopes = np.diff(pwl.values) / np.diff(pwl.times)
+        self._times = pwl.times
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        idx = np.clip(np.searchsorted(self._times, t, side="right") - 1, 0, self._slopes.size - 1)
+        out = self._slopes[idx]
+        out = np.where((t < self._times[0]) | (t >= self._times[-1]), 0.0, out)
+        return out
+
+    def __repr__(self) -> str:
+        return f"PWLRate({self._slopes.size} segments)"
+
+
+class Sum(Waveform):
+    """Pointwise sum of waveforms (built by ``wf1 + wf2``)."""
+
+    def __init__(self, parts) -> None:
+        self.parts = list(parts)
+        if not self.parts:
+            raise ValueError("Sum requires at least one waveform")
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        out = np.zeros_like(t)
+        for part in self.parts:
+            out = out + part(t)
+        return out
+
+    def derivative(self) -> "Waveform":
+        return Sum([part.derivative() for part in self.parts])
+
+    def __repr__(self) -> str:
+        return f"Sum({self.parts!r})"
+
+
+class Scaled(Waveform):
+    """A waveform multiplied by a constant (built by ``scale * wf``)."""
+
+    def __init__(self, inner: Waveform, scale: float) -> None:
+        self.inner = inner
+        self.scale = float(scale)
+
+    def __call__(self, times) -> np.ndarray:
+        return self.scale * self.inner(np.asarray(times, dtype=float))
+
+    def derivative(self) -> "Waveform":
+        return Scaled(self.inner.derivative(), self.scale)
+
+    def __repr__(self) -> str:
+        return f"{self.scale:g} * {self.inner!r}"

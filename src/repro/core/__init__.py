@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the OPM simulation algorithm.
+
+Public surface:
+
+* system models -- :class:`DescriptorSystem` (eq. (9)),
+  :class:`FractionalDescriptorSystem` (eq. (19)),
+  :class:`MultiTermSystem` / :class:`SecondOrderSystem` (section V-B);
+* solvers -- :func:`simulate_opm` (sections III-IV, column sweep),
+  :func:`simulate_opm_adaptive` (section III-B, on-the-fly step
+  control), :func:`simulate_opm_kron` (the explicit Kronecker reference
+  of eqs. (15)/(27)), :func:`simulate_opm_integral` (classical
+  integral-form OPM on any basis), :func:`simulate_opm_transformed`
+  (Walsh/Haar change of basis), :func:`simulate_multiterm`;
+* :class:`SimulationResult` -- coefficient container with waveform
+  sampling.
+"""
+
+from .column_solver import PencilCache, solve_columns_general, solve_columns_toeplitz
+from .dispatch import SIMULATION_METHODS, simulate
+from .highorder import simulate_multiterm
+from .kron_solver import simulate_opm_kron
+from .mor import krylov_reduce
+from .lti import (
+    DescriptorSystem,
+    FractionalDescriptorSystem,
+    MultiTermSystem,
+    SecondOrderSystem,
+)
+from .opm_adaptive import equidistributed_steps, simulate_opm_adaptive
+from .opm_integral import simulate_opm_integral
+from .opm_solver import project_input, simulate_opm, simulate_opm_transformed
+from .result import SimulationResult
+
+__all__ = [
+    "DescriptorSystem",
+    "FractionalDescriptorSystem",
+    "MultiTermSystem",
+    "SecondOrderSystem",
+    "SimulationResult",
+    "simulate",
+    "SIMULATION_METHODS",
+    "simulate_opm",
+    "simulate_opm_adaptive",
+    "simulate_opm_integral",
+    "simulate_opm_kron",
+    "simulate_opm_transformed",
+    "simulate_multiterm",
+    "equidistributed_steps",
+    "krylov_reduce",
+    "project_input",
+    "PencilCache",
+    "solve_columns_toeplitz",
+    "solve_columns_general",
+]

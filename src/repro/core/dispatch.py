@@ -1,0 +1,97 @@
+"""Unified simulation entry point.
+
+:func:`simulate` routes one call signature to every solver in the
+package -- the OPM variants and the classical baselines -- so scripts
+and benchmarks can switch methods with a string:
+
+>>> import numpy as np
+>>> from repro.core import DescriptorSystem
+>>> from repro.core.dispatch import simulate
+>>> rc = DescriptorSystem([[1.0]], [[-1.0]], [[1.0]])
+>>> opm = simulate(rc, 1.0, 5.0, 500)                      # OPM (default)
+>>> trap = simulate(rc, 1.0, 5.0, 500, method="trapezoidal")
+>>> bool(abs(opm.states_smooth([3.0])[0, 0] - trap.states([3.0])[0, 0]) < 1e-4)
+True
+"""
+
+from __future__ import annotations
+
+from ..errors import SolverError
+from .opm_solver import simulate_opm
+from .opm_adaptive import simulate_opm_adaptive
+from .kron_solver import simulate_opm_kron
+
+__all__ = ["simulate", "SIMULATION_METHODS"]
+
+#: Method names accepted by :func:`simulate`.
+SIMULATION_METHODS = (
+    "opm",
+    "opm-adaptive",
+    "opm-kron",
+    "backward-euler",
+    "trapezoidal",
+    "gear2",
+    "fft",
+    "grunwald-letnikov",
+    "expm",
+)
+
+
+def simulate(system, u, t_end: float, steps: int | None = None, *, method: str = "opm", **kwargs):
+    """Simulate ``system`` driven by ``u`` over ``[0, t_end)``.
+
+    Parameters
+    ----------
+    system:
+        Any model from :mod:`repro.core.lti` (method support varies:
+        the classical one-step schemes need ``alpha == 1``; the FFT and
+        Grünwald-Letnikov baselines accept fractional orders).
+    u:
+        Input specification (callable, scalar, or -- for the OPM
+        fixed-grid methods -- a coefficient array).
+    t_end:
+        Horizon.
+    steps:
+        Resolution: block pulses for OPM methods, time steps for the
+        one-step schemes, sampling points for the FFT method.  Not used
+        by ``'opm-adaptive'`` (pass ``rtol``/``atol`` instead).
+    method:
+        One of :data:`SIMULATION_METHODS`.
+    **kwargs:
+        Forwarded to the underlying solver.
+
+    Returns
+    -------
+    SimulationResult | SampledResult
+        Coefficient-based for OPM methods, node-based for the baselines;
+        both expose ``outputs(times)`` /
+        :func:`repro.analysis.sample_outputs`.
+    """
+    if method not in SIMULATION_METHODS:
+        raise SolverError(
+            f"unknown method {method!r}; choose from {SIMULATION_METHODS}"
+        )
+    if method == "opm-adaptive":
+        return simulate_opm_adaptive(system, u, t_end, **kwargs)
+    if steps is None:
+        raise SolverError(f"method {method!r} requires steps")
+    if method == "opm":
+        return simulate_opm(system, u, (t_end, steps), **kwargs)
+    if method == "opm-kron":
+        return simulate_opm_kron(system, u, (t_end, steps), **kwargs)
+    if method in ("backward-euler", "trapezoidal", "gear2"):
+        from ..baselines.transient import simulate_transient
+
+        return simulate_transient(system, u, t_end, steps, method=method, **kwargs)
+    if method == "fft":
+        from ..baselines.fft_method import simulate_fft
+
+        return simulate_fft(system, u, t_end, steps, **kwargs)
+    if method == "grunwald-letnikov":
+        from ..fractional.grunwald import simulate_grunwald_letnikov
+
+        return simulate_grunwald_letnikov(system, u, t_end, steps, **kwargs)
+    # method == "expm"
+    from ..baselines.expm import simulate_expm
+
+    return simulate_expm(system, u, t_end, steps, **kwargs)

@@ -1,0 +1,421 @@
+"""System models: descriptor DAEs, fractional systems, multi-term systems.
+
+Paper eq. (9) is the descriptor (DAE) state-space form
+
+.. math::  E \\dot{x}(t) = A x(t) + B u(t), \\qquad y = C x + D_f u,
+
+eq. (19) its fractional generalisation ``E d^alpha x/dt^alpha = A x + B u``,
+and section V-B simulates a *second-order* model -- a special case of the
+multi-term form ``sum_k M_k d^{alpha_k} x / dt^{alpha_k} = B u`` that OPM
+handles by summing operational matrices.
+
+``E`` and ``A`` may be dense numpy arrays or scipy sparse matrices; large
+circuit models (power grids) should use sparse storage, which the OPM
+solver exploits (the paper's complexity analysis assumes ``O(n)``
+nonzeros).  ``B``, ``C``, ``D`` are small and always stored dense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_fractional_order
+from ..errors import ModelError
+
+__all__ = [
+    "DescriptorSystem",
+    "FractionalDescriptorSystem",
+    "MultiTermSystem",
+    "SecondOrderSystem",
+]
+
+
+def _normalise_operator(matrix, name: str):
+    """Return ``matrix`` as CSR (if sparse) or 2-D float ndarray (if dense)."""
+    if sp.issparse(matrix):
+        out = matrix.tocsr().astype(float)
+    else:
+        out = np.asarray(matrix, dtype=float)
+        if out.ndim != 2:
+            raise ModelError(f"{name} must be 2-D, got ndim={out.ndim}")
+    if out.shape[0] != out.shape[1]:
+        raise ModelError(f"{name} must be square, got shape {tuple(out.shape)}")
+    return out
+
+
+def _normalise_tall(matrix, rows: int, name: str) -> np.ndarray:
+    """Return a dense 2-D array with ``rows`` rows (B/C/D handling)."""
+    if sp.issparse(matrix):
+        matrix = matrix.toarray()
+    out = np.asarray(matrix, dtype=float)
+    if out.ndim == 1:
+        out = out.reshape(-1, 1)
+    if out.ndim != 2 or out.shape[0] != rows:
+        raise ModelError(f"{name} must have {rows} rows, got shape {tuple(out.shape)}")
+    return out
+
+
+class DescriptorSystem:
+    """Linear time-invariant descriptor system ``E x' = A x + B u`` (eq. (9)).
+
+    Parameters
+    ----------
+    E, A:
+        Square ``n x n`` matrices (dense or scipy sparse).  ``E`` may be
+        singular -- that is precisely the DAE case the paper targets
+        with MNA models.
+    B:
+        Input matrix, ``n x p`` (a 1-D vector is treated as ``n x 1``).
+    C:
+        Output matrix ``q x n``; default identity (outputs = states).
+    D:
+        Feedthrough ``q x p``; default zero.
+    x0:
+        Initial state; default zero, the paper's convention.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> sys1 = DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)))
+    >>> sys1.n_states, sys1.n_inputs, sys1.n_outputs
+    (2, 1, 2)
+    """
+
+    #: Differentiation order; overridden by the fractional subclass.
+    alpha: float = 1.0
+
+    def __init__(self, E, A, B, C=None, D=None, x0=None) -> None:
+        self.E = _normalise_operator(E, "E")
+        self.A = _normalise_operator(A, "A")
+        n = self.E.shape[0]
+        if self.A.shape[0] != n:
+            raise ModelError(
+                f"E and A must have equal size, got {self.E.shape} and {self.A.shape}"
+            )
+        self.B = _normalise_tall(B, n, "B")
+
+        if C is None:
+            self.C = None  # identity, handled lazily to avoid n x n dense
+        else:
+            if sp.issparse(C):
+                C = C.toarray()
+            C = np.asarray(C, dtype=float)
+            if C.ndim == 1:
+                C = C.reshape(1, -1)
+            if C.ndim != 2 or C.shape[1] != n:
+                raise ModelError(f"C must have {n} columns, got shape {tuple(C.shape)}")
+            self.C = C
+
+        q = n if self.C is None else self.C.shape[0]
+        if D is None:
+            self.D = None
+        else:
+            self.D = _normalise_tall(D, q, "D")
+            if self.D.shape[1] != self.B.shape[1]:
+                raise ModelError(
+                    f"D must have {self.B.shape[1]} columns, got {self.D.shape[1]}"
+                )
+
+        if x0 is None:
+            self.x0 = None
+        else:
+            x0 = np.asarray(x0, dtype=float).reshape(-1)
+            if x0.size != n:
+                raise ModelError(f"x0 must have length {n}, got {x0.size}")
+            self.x0 = None if not np.any(x0) else x0
+
+    # ------------------------------------------------------------------
+    # shape properties
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return self.E.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.n_states if self.C is None else self.C.shape[0]
+
+    @property
+    def is_sparse(self) -> bool:
+        return sp.issparse(self.E) or sp.issparse(self.A)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_state_space(cls, A, B, C=None, D=None, x0=None) -> "DescriptorSystem":
+        """Ordinary ODE system ``x' = A x + B u`` (``E = I``)."""
+        A = _normalise_operator(A, "A")
+        n = A.shape[0]
+        E = sp.identity(n, format="csr") if sp.issparse(A) else np.eye(n)
+        return cls(E, A, B, C=C, D=D, x0=x0)
+
+    # ------------------------------------------------------------------
+    # behaviour
+    # ------------------------------------------------------------------
+    def output_coefficients(self, X: np.ndarray, U: np.ndarray) -> np.ndarray:
+        """Map state/input coefficient matrices to output coefficients.
+
+        ``Y = C X + D U`` column-wise; identity ``C`` and zero ``D`` are
+        handled without materialising them.
+        """
+        Y = X if self.C is None else self.C @ X
+        if self.D is not None:
+            Y = Y + self.D @ U
+        return Y
+
+    def shifted_input_offset(self) -> np.ndarray | None:
+        """Constant forcing term ``A x0`` used by the zero-IC shift.
+
+        OPM assumes a zero initial state; a nonzero ``x0`` is handled by
+        simulating ``z = x - x0`` which obeys
+        ``E d^alpha z = A z + (B u + A x0)`` (valid for ``alpha = 1`` and,
+        under the Caputo interpretation, for ``0 < alpha <= 1``).
+        Returns ``None`` when ``x0`` is zero.
+        """
+        if self.x0 is None:
+            return None
+        return np.asarray(self.A @ self.x0).reshape(-1)
+
+    def __repr__(self) -> str:
+        kind = "sparse" if self.is_sparse else "dense"
+        return (
+            f"{type(self).__name__}(n={self.n_states}, p={self.n_inputs}, "
+            f"q={self.n_outputs}, alpha={self.alpha:g}, {kind})"
+        )
+
+
+class FractionalDescriptorSystem(DescriptorSystem):
+    """Fractional descriptor system ``E d^alpha x/dt^alpha = A x + B u`` (eq. (19)).
+
+    ``alpha`` may be any positive real; integer values recover ordinary
+    (high-order) systems.  Zero initial conditions are assumed for
+    ``alpha > 1`` (the paper's setting); for ``0 < alpha <= 1`` a nonzero
+    ``x0`` is interpreted in the Caputo sense and handled by the constant
+    shift (see :meth:`DescriptorSystem.shifted_input_offset`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> sys_f = FractionalDescriptorSystem(0.5, np.eye(1), -np.eye(1), [[1.0]])
+    >>> sys_f.alpha
+    0.5
+    """
+
+    def __init__(self, alpha: float, E, A, B, C=None, D=None, x0=None) -> None:
+        alpha = check_fractional_order(alpha)
+        super().__init__(E, A, B, C=C, D=D, x0=x0)
+        self.alpha = alpha
+        if self.x0 is not None and alpha > 1.0:
+            raise ModelError(
+                "nonzero initial conditions require alpha <= 1 "
+                "(higher orders would need derivative initial data)"
+            )
+
+
+class MultiTermSystem:
+    """Multi-term (fractional or integer) system
+    ``sum_k M_k d^{alpha_k} x / dt^{alpha_k} = B u``, ``y = C x + D u``.
+
+    The paper's high-order example (section V-B) is the two-plus-one-term
+    integer case ``M2 x'' + M1 x' + M0 x = B u``; OPM simulates the
+    general form by replacing each ``d^{alpha_k}/dt^{alpha_k}`` with the
+    operational matrix ``D^{alpha_k}`` and summing:
+    ``sum_k M_k X D^{alpha_k} = B U``.
+
+    Parameters
+    ----------
+    terms:
+        Iterable of ``(alpha_k, M_k)`` pairs; ``alpha_k >= 0`` (the
+        ``alpha = 0`` term is the algebraic part), each ``M_k`` a square
+        ``n x n`` matrix (dense or sparse).  Orders must be distinct.
+    B, C, D:
+        As in :class:`DescriptorSystem`.  Zero initial conditions are
+        assumed (the multi-term shift would require derivative data).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> msys = MultiTermSystem(
+    ...     [(2.0, np.eye(1)), (1.0, 0.2 * np.eye(1)), (0.0, np.eye(1))],
+    ...     [[1.0]])
+    >>> msys.max_order
+    2.0
+    """
+
+    def __init__(self, terms, B, C=None, D=None) -> None:
+        term_list = []
+        for item in terms:
+            try:
+                alpha_k, matrix = item
+            except (TypeError, ValueError) as exc:
+                raise ModelError(
+                    "terms must be an iterable of (order, matrix) pairs"
+                ) from exc
+            if not np.isscalar(alpha_k) and not isinstance(alpha_k, (int, float)):
+                raise ModelError(
+                    "terms must be (order, matrix) pairs with a scalar order, "
+                    f"got order of type {type(alpha_k).__name__}"
+                )
+            alpha_k = check_fractional_order(alpha_k, allow_zero=True)
+            term_list.append((alpha_k, _normalise_operator(matrix, f"M[{alpha_k:g}]")))
+        if not term_list:
+            raise ModelError("terms must contain at least one (order, matrix) pair")
+        orders = [alpha_k for alpha_k, _ in term_list]
+        if len(set(orders)) != len(orders):
+            raise ModelError(f"term orders must be distinct, got {orders}")
+        n = term_list[0][1].shape[0]
+        for alpha_k, matrix in term_list:
+            if matrix.shape[0] != n:
+                raise ModelError(
+                    f"all term matrices must be {n}x{n}, got {matrix.shape} "
+                    f"for order {alpha_k:g}"
+                )
+        # Sort by descending order: leading term first.
+        term_list.sort(key=lambda pair: -pair[0])
+        self.terms = term_list
+        self.B = _normalise_tall(B, n, "B")
+
+        if C is None:
+            self.C = None
+        else:
+            if sp.issparse(C):
+                C = C.toarray()
+            C = np.asarray(C, dtype=float)
+            if C.ndim == 1:
+                C = C.reshape(1, -1)
+            if C.ndim != 2 or C.shape[1] != n:
+                raise ModelError(f"C must have {n} columns, got shape {tuple(C.shape)}")
+            self.C = C
+        q = n if self.C is None else self.C.shape[0]
+        self.D = None if D is None else _normalise_tall(D, q, "D")
+        if self.D is not None and self.D.shape[1] != self.B.shape[1]:
+            raise ModelError(f"D must have {self.B.shape[1]} columns, got {self.D.shape[1]}")
+
+    @property
+    def n_states(self) -> int:
+        return self.terms[0][1].shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.n_states if self.C is None else self.C.shape[0]
+
+    @property
+    def max_order(self) -> float:
+        return self.terms[0][0]
+
+    @property
+    def is_sparse(self) -> bool:
+        return any(sp.issparse(matrix) for _, matrix in self.terms)
+
+    def output_coefficients(self, X: np.ndarray, U: np.ndarray) -> np.ndarray:
+        """``Y = C X + D U`` (identity/zero defaults not materialised)."""
+        Y = X if self.C is None else self.C @ X
+        if self.D is not None:
+            Y = Y + self.D @ U
+        return Y
+
+    def to_first_order(self) -> DescriptorSystem:
+        """Companion linearisation of an *integer-order* multi-term system.
+
+        ``M_K x^(K) + ... + M_1 x' + M_0 x = B u`` becomes the descriptor
+        pair on the stacked state ``(x, x', ..., x^(K-1))``:
+
+        ``E = blkdiag(I, ..., I, M_K)``, with the last block row carrying
+        ``-M_0 ... -M_{K-1}``.  This is the standard MNA-style reduction
+        the paper compares against in section V-B (where treating
+        inductor currents as states converts the second-order NA model
+        into a first-order DAE of larger size).
+
+        Raises
+        ------
+        ModelError
+            If any order is non-integer.
+        """
+        orders = [alpha_k for alpha_k, _ in self.terms]
+        if any(abs(a - round(a)) > 1e-12 for a in orders):
+            raise ModelError(
+                f"companion form requires integer orders, got {orders}"
+            )
+        top = int(round(self.max_order))
+        if top < 1:
+            raise ModelError("companion form requires maximum order >= 1")
+        n = self.n_states
+        coeff = {int(round(a)): matrix for a, matrix in self.terms}
+        sparse_mode = self.is_sparse
+        eye = sp.identity(n, format="csr") if sparse_mode else np.eye(n)
+        zero = sp.csr_matrix((n, n)) if sparse_mode else np.zeros((n, n))
+
+        def blk(rows):
+            if sparse_mode:
+                return sp.bmat(rows, format="csr")
+            return np.block(rows)
+
+        size = top * n
+        # E = diag(I, ..., I, M_top)
+        e_blocks = [[eye if i == j else zero for j in range(top)] for i in range(top)]
+        e_blocks[top - 1][top - 1] = coeff[top]
+        # A: super-identity chain; last block row = -M_0 ... -M_{top-1}
+        a_blocks = [[zero for _ in range(top)] for _ in range(top)]
+        for i in range(top - 1):
+            a_blocks[i][i + 1] = eye
+        for j in range(top):
+            if j in coeff:
+                a_blocks[top - 1][j] = -coeff[j]
+        E = blk(e_blocks)
+        A = blk(a_blocks)
+        B_full = np.zeros((size, self.n_inputs))
+        B_full[(top - 1) * n :, :] = self.B
+        C_full = np.zeros((self.n_outputs, size))
+        if self.C is None:
+            C_full[:, :n] = np.eye(n)
+        else:
+            C_full[:, :n] = self.C
+        return DescriptorSystem(E, A, B_full, C=C_full, D=self.D)
+
+    def __repr__(self) -> str:
+        orders = ", ".join(f"{alpha_k:g}" for alpha_k, _ in self.terms)
+        return (
+            f"MultiTermSystem(n={self.n_states}, orders=[{orders}], "
+            f"p={self.n_inputs}, q={self.n_outputs})"
+        )
+
+
+class SecondOrderSystem(MultiTermSystem):
+    """Second-order system ``M x'' + Cd x' + K x = B u`` (section V-B NA model).
+
+    Convenience wrapper over :class:`MultiTermSystem` with the
+    mass/damping/stiffness naming used for nodal-analysis circuit models
+    (``M`` capacitive, ``Cd`` conductive, ``K`` inductive).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> so = SecondOrderSystem(np.eye(1), 0.1 * np.eye(1), np.eye(1), [[1.0]])
+    >>> so.max_order
+    2.0
+    """
+
+    def __init__(self, M, Cd, K, B, C=None, D=None) -> None:
+        super().__init__([(2.0, M), (1.0, Cd), (0.0, K)], B, C=C, D=D)
+
+    @property
+    def M(self):
+        return self.terms[0][1]
+
+    @property
+    def Cd(self):
+        return self.terms[1][1]
+
+    @property
+    def K(self):
+        return self.terms[2][1]

@@ -1,0 +1,281 @@
+"""Adaptive-time-step OPM (paper section III-B).
+
+The paper extends OPM to adaptive steps by redefining the block pulses
+on a non-uniform partition (eq. (16)) and scaling the operational
+matrix columns by ``1/h_j`` (eq. (17)); "the time step h_i can be
+determined on the fly by some error control mechanism".  This module
+supplies that mechanism for first-order systems:
+
+* :func:`simulate_opm_adaptive` -- an on-the-fly step-doubling
+  controller.  Each trial step is solved once with step ``h`` and once
+  as two ``h/2`` sub-steps; the difference is a local error estimate.
+  Accepted steps keep the O(n) alternating-tail recurrence (the
+  adaptive differential matrix column ``j`` is
+  ``(-1)^{j-i} * 4 / h_j`` off the diagonal, so the alternating sum of
+  history is step-independent), and pencil factorisations are cached
+  per distinct step size -- a halving/doubling ladder costs only a few
+  LUs.
+
+* :func:`equidistributed_steps` -- converts a coarse *pilot* solution
+  into a step sequence that equidistributes the solution increment, the
+  practical route to adaptive grids for fractional systems where the
+  paper's eq. (25) needs the whole step sequence up front (and pairwise
+  distinct steps for its eigendecomposition).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from .._validation import check_positive_float
+from ..basis.block_pulse import BlockPulseBasis
+from ..basis.grid import TimeGrid
+from ..errors import ConvergenceError, ModelError, SolverError
+from .column_solver import PencilCache
+from .lti import DescriptorSystem
+from .result import SimulationResult
+
+__all__ = ["simulate_opm_adaptive", "equidistributed_steps"]
+
+_GL_NODES, _GL_WEIGHTS = np.polynomial.legendre.leggauss(5)
+
+
+def _interval_average(u_fn: Callable, n_inputs: int, t0: float, h: float) -> np.ndarray:
+    """Average of the input over ``[t0, t0 + h]`` by 5-point Gauss-Legendre."""
+    times = t0 + 0.5 * h * (_GL_NODES + 1.0)
+    values = np.asarray(u_fn(times), dtype=float)
+    if values.ndim == 1:
+        values = values.reshape(1, -1)
+    if values.shape != (n_inputs, times.size):
+        raise ModelError(
+            f"input callable must return ({n_inputs}, nt) values, got {values.shape}"
+        )
+    return values @ (_GL_WEIGHTS / 2.0)
+
+
+def simulate_opm_adaptive(
+    system: DescriptorSystem,
+    u,
+    t_end: float,
+    *,
+    rtol: float = 1e-4,
+    atol: float = 1e-10,
+    h_init: float | None = None,
+    h_min: float | None = None,
+    h_max: float | None = None,
+    max_steps: int = 200_000,
+) -> SimulationResult:
+    """Simulate ``E x' = A x + B u`` with on-the-fly adaptive steps.
+
+    Parameters
+    ----------
+    system:
+        First-order :class:`DescriptorSystem` (``alpha == 1``); for
+        fractional systems build a step sequence with
+        :func:`equidistributed_steps` and pass it to
+        :func:`~repro.core.opm_solver.simulate_opm`.
+    u:
+        Callable ``u(times)`` (vectorised) or a scalar constant.
+    t_end:
+        Simulation horizon.
+    rtol, atol:
+        Local error control: a trial step ``h`` is accepted when
+        ``||x_h - x_{h/2 pair}||_inf <= atol + rtol * ||x||_inf``.
+    h_init, h_min, h_max:
+        Initial/minimum/maximum step (defaults ``t_end/100``,
+        ``t_end * 1e-12``, ``t_end/4``).
+    max_steps:
+        Safety bound on accepted steps.
+
+    Returns
+    -------
+    SimulationResult
+        On the accepted non-uniform grid; ``info`` records accepted and
+        rejected step counts and pencil factorisations.
+
+    Raises
+    ------
+    ConvergenceError
+        If the controller drives the step below ``h_min``.
+    """
+    if not isinstance(system, DescriptorSystem):
+        raise TypeError(f"system must be a DescriptorSystem, got {type(system).__name__}")
+    if system.alpha != 1.0:
+        raise SolverError(
+            "on-the-fly adaptive stepping is first-order only; for fractional "
+            "systems precompute steps (equidistributed_steps) and call simulate_opm"
+        )
+    t_end = check_positive_float(t_end, "t_end")
+    h_init = t_end / 100.0 if h_init is None else check_positive_float(h_init, "h_init")
+    h_min = t_end * 1e-12 if h_min is None else check_positive_float(h_min, "h_min")
+    h_max = t_end / 4.0 if h_max is None else check_positive_float(h_max, "h_max")
+    h_init = min(h_init, h_max)
+
+    n = system.n_states
+    if np.isscalar(u):
+        value = float(u)
+        p = system.n_inputs
+
+        def u_fn(times, _v=value, _p=p):
+            times = np.atleast_1d(times)
+            return np.full((_p, times.size), _v)
+
+    elif callable(u):
+        u_fn = u
+    else:
+        raise ModelError("adaptive OPM requires a callable or scalar input")
+
+    offset = system.shifted_input_offset()
+    cache = PencilCache(system.E, system.A)
+    E = system.E
+
+    start = time.perf_counter()
+
+    def rhs_for(t0: float, h: float, t_alt: np.ndarray) -> np.ndarray:
+        # Tail of the adaptive column equation: with the history sum
+        # t_alt_j = x_{j-1} - x_{j-2} + ... the off-diagonal contribution
+        # is sum_{i<j} (-1)^{j-i} (4/h_j) x_i = -(4/h_j) t_alt_j, moved to
+        # the right-hand side with a + sign.
+        r = system.B @ _interval_average(u_fn, system.n_inputs, t0, h)
+        if offset is not None:
+            r = r + offset
+        return r + (4.0 / h) * (E @ t_alt)
+
+    def solve_column(t0: float, h: float, t_alt: np.ndarray) -> np.ndarray:
+        return cache.solve(2.0 / h, rhs_for(t0, h, t_alt))
+
+    steps: list[float] = []
+    columns: list[np.ndarray] = []
+    t_alt = np.zeros(n)  # alternating history sum Sum_{i<j} (-1)^{j-i} x_i
+    t_now = 0.0
+    h = h_init
+    rejected = 0
+    x_scale = 0.0
+
+    while t_now < t_end * (1.0 - 1e-14):
+        h = min(h, t_end - t_now, h_max)
+        if h < h_min:
+            raise ConvergenceError(
+                f"adaptive step underflow: h={h:.3e} < h_min={h_min:.3e} at t={t_now:.3e}"
+            )
+        if len(steps) >= max_steps:
+            raise ConvergenceError(f"exceeded max_steps={max_steps}")
+
+        x_full = solve_column(t_now, h, t_alt)
+        # two half steps from the same history
+        x_h1 = solve_column(t_now, h / 2.0, t_alt)
+        t_alt_half = x_h1 - t_alt
+        x_h2 = solve_column(t_now + h / 2.0, h / 2.0, t_alt_half)
+        fine = 0.5 * (x_h1 + x_h2)
+
+        err = float(np.max(np.abs(x_full - fine)))
+        scale = atol + rtol * max(
+            x_scale, float(np.max(np.abs(x_full))), float(np.max(np.abs(fine)))
+        )
+        if err <= scale:
+            steps.append(h)
+            columns.append(x_full)
+            t_alt = x_full - t_alt
+            t_now += h
+            x_scale = max(x_scale, float(np.max(np.abs(x_full))))
+            if err <= 0.25 * scale:
+                h = min(2.0 * h, h_max)
+        else:
+            rejected += 1
+            h = 0.5 * h
+
+    grid = TimeGrid.from_steps(np.asarray(steps))
+    basis = BlockPulseBasis(grid)
+    X = np.stack(columns, axis=1)
+    if system.x0 is not None:
+        X = X + system.x0[:, None]
+    U = np.stack(
+        [
+            _interval_average(u_fn, system.n_inputs, t0, hstep)
+            for t0, hstep in zip(grid.edges[:-1], grid.steps)
+        ],
+        axis=1,
+    )
+    wall = time.perf_counter() - start
+
+    return SimulationResult(
+        basis,
+        X,
+        system,
+        U,
+        wall_time=wall,
+        info={
+            "method": "opm-adaptive",
+            "accepted": len(steps),
+            "rejected": rejected,
+            "factorisations": cache.factorisations,
+        },
+    )
+
+
+def equidistributed_steps(
+    pilot: SimulationResult,
+    m_new: int,
+    *,
+    jitter: float = 1e-9,
+    min_fraction: float = 1e-3,
+) -> np.ndarray:
+    """Step sequence equidistributing the pilot solution's increments.
+
+    Given a coarse (typically uniform) pilot run, computes per-interval
+    activity ``a_i = ||x_{i+1} - x_i||_inf`` and chooses ``m_new`` steps
+    whose cumulative activity is equal -- small steps where the response
+    moves fast, large steps where it settles.  A deterministic relative
+    ``jitter`` makes all steps pairwise distinct, the precondition of
+    the eigendecomposition-based fractional power (paper eq. (25)).
+
+    Parameters
+    ----------
+    pilot:
+        Result of a coarse OPM run on the same system/input.
+    m_new:
+        Number of steps in the new grid.
+    jitter:
+        Relative magnitude of the distinctness perturbation.
+    min_fraction:
+        Floor on per-interval activity as a fraction of the maximum, so
+        quiescent regions still receive steps.
+
+    Returns
+    -------
+    numpy.ndarray
+        Steps summing to the pilot horizon, all pairwise distinct.
+    """
+    grid = pilot.grid
+    if grid is None:
+        raise SolverError("equidistributed_steps requires a block-pulse pilot result")
+    if m_new < 2:
+        raise ValueError(f"m_new must be >= 2, got {m_new}")
+    X = pilot.coefficients
+    # activity of interval i: change entering it (first interval: from 0)
+    deltas = np.diff(X, axis=1, prepend=np.zeros((X.shape[0], 1)))
+    activity = np.max(np.abs(deltas), axis=0)
+    floor = min_fraction * max(float(activity.max()), 1e-300)
+    density = np.maximum(activity, floor) / grid.steps  # activity per unit time
+    # cumulative activity as a piecewise-linear function of time
+    cum = np.concatenate([[0.0], np.cumsum(density * grid.steps)])
+    targets = np.linspace(0.0, cum[-1], m_new + 1)
+    edges = np.interp(targets, cum, grid.edges)
+    edges[0], edges[-1] = 0.0, grid.t_end
+    steps = np.diff(edges)
+    # enforce positivity and pairwise distinctness
+    steps = np.maximum(steps, grid.t_end * 1e-12)
+    steps *= 1.0 + jitter * np.arange(m_new)
+    steps *= grid.t_end / steps.sum()
+    # final distinctness check: nudge any residual duplicates
+    for _ in range(3):
+        order = np.argsort(steps)
+        dup = np.nonzero(np.diff(steps[order]) == 0.0)[0]
+        if dup.size == 0:
+            break
+        steps[order[dup + 1]] *= 1.0 + 10 * jitter
+        steps *= grid.t_end / steps.sum()
+    return steps

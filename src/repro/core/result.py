@@ -1,0 +1,244 @@
+"""Simulation result container.
+
+OPM produces the coefficient matrix ``X`` of the state expansion
+``x(t) = X phi(t)`` (paper eq. (10)/(26)).  :class:`SimulationResult`
+wraps ``X`` together with the basis so users can sample waveforms,
+evaluate outputs ``y = C x + D u``, and compare runs on different grids
+via resampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..basis.base import BasisSet
+from ..basis.block_pulse import BlockPulseBasis
+
+__all__ = ["SimulationResult", "SampledResult"]
+
+
+class SampledResult:
+    """Node-based trajectory from a time-stepping baseline.
+
+    Classical transient schemes (backward Euler, trapezoidal, Gear) and
+    the Grünwald-Letnikov fractional stepper produce state values at
+    discrete time nodes rather than basis coefficients.  This container
+    mirrors the sampling API of :class:`SimulationResult` (via linear
+    interpolation) so error metrics can compare the two uniformly.
+
+    Attributes
+    ----------
+    times:
+        1-D array of ``K`` time nodes (monotonically increasing).
+    state_values:
+        Array ``(n_states, K)`` of states at the nodes.
+    system:
+        The simulated system (for the ``C``/``D`` output map).
+    input_values:
+        Optional ``(n_inputs, K)`` input samples at the nodes (needed
+        only when the system has a feedthrough ``D``).
+    """
+
+    def __init__(
+        self,
+        times,
+        state_values,
+        system,
+        input_values=None,
+        *,
+        wall_time: float | None = None,
+        info: dict | None = None,
+    ) -> None:
+        self.times = np.asarray(times, dtype=float)
+        self.state_values = np.asarray(state_values, dtype=float)
+        if self.times.ndim != 1 or self.state_values.ndim != 2:
+            raise ValueError("times must be 1-D and state_values 2-D")
+        if self.state_values.shape[1] != self.times.size:
+            raise ValueError(
+                f"state_values must have {self.times.size} columns, "
+                f"got {self.state_values.shape[1]}"
+            )
+        self.system = system
+        self.input_values = None if input_values is None else np.asarray(input_values, float)
+        self.wall_time = wall_time
+        self.info = dict(info or {})
+
+    @property
+    def n_states(self) -> int:
+        return self.state_values.shape[0]
+
+    @property
+    def output_values(self) -> np.ndarray:
+        """Outputs at the nodes, ``y = C x + D u``."""
+        y = self.state_values if self.system.C is None else self.system.C @ self.state_values
+        if self.system.D is not None:
+            if self.input_values is None:
+                raise ValueError("system has feedthrough D but no input samples stored")
+            y = y + self.system.D @ self.input_values
+        return y
+
+    def states(self, times) -> np.ndarray:
+        """Linear interpolation of the states at arbitrary times."""
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        out = np.empty((self.n_states, times.size))
+        for i in range(self.n_states):
+            out[i] = np.interp(times, self.times, self.state_values[i])
+        return out
+
+    def outputs(self, times) -> np.ndarray:
+        """Linear interpolation of the outputs at arbitrary times."""
+        values = self.output_values
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        out = np.empty((values.shape[0], times.size))
+        for i in range(values.shape[0]):
+            out[i] = np.interp(times, self.times, values[i])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SampledResult(n={self.n_states}, K={self.times.size}, "
+            f"wall_time={self.wall_time})"
+        )
+
+
+class SimulationResult:
+    """State trajectory in coefficient form plus evaluation helpers.
+
+    Attributes
+    ----------
+    basis:
+        The basis the expansion lives in (block-pulse for the standard
+        solvers; Walsh/Haar/polynomial for the basis-agnostic ones).
+    coefficients:
+        State coefficient matrix ``X`` of shape ``(n_states, m)``.
+    input_coefficients:
+        Input coefficient matrix ``U`` of shape ``(n_inputs, m)``.
+    system:
+        The simulated system (used for ``C``/``D`` output mapping).
+    wall_time:
+        Solver wall-clock seconds (populated by the solvers).
+    info:
+        Free-form solver metadata: method name, factorisation count,
+        accepted/rejected steps for the adaptive controller, ...
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        coefficients: np.ndarray,
+        system,
+        input_coefficients: np.ndarray,
+        *,
+        wall_time: float | None = None,
+        info: dict | None = None,
+    ) -> None:
+        coefficients = np.asarray(coefficients, dtype=float)
+        input_coefficients = np.asarray(input_coefficients, dtype=float)
+        if coefficients.ndim != 2 or coefficients.shape[1] != basis.size:
+            raise ValueError(
+                f"coefficients must be (n, {basis.size}), got {coefficients.shape}"
+            )
+        if input_coefficients.ndim != 2 or input_coefficients.shape[1] != basis.size:
+            raise ValueError(
+                f"input_coefficients must be (p, {basis.size}), got {input_coefficients.shape}"
+            )
+        self.basis = basis
+        self.coefficients = coefficients
+        self.input_coefficients = input_coefficients
+        self.system = system
+        self.wall_time = wall_time
+        self.info = dict(info or {})
+
+    # ------------------------------------------------------------------
+    # shape properties
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return self.coefficients.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Number of basis terms (time intervals for block pulses)."""
+        return self.basis.size
+
+    @property
+    def grid(self):
+        """The time grid when the basis is block-pulse, else ``None``."""
+        if isinstance(self.basis, BlockPulseBasis):
+            return self.basis.grid
+        return None
+
+    @property
+    def output_coefficients(self) -> np.ndarray:
+        """Output coefficient matrix ``Y = C X + D U``."""
+        return self.system.output_coefficients(self.coefficients, self.input_coefficients)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def states(self, times) -> np.ndarray:
+        """Sample the state trajectory, shape ``(n_states, len(times))``."""
+        return self.basis.synthesize(self.coefficients, np.atleast_1d(times))
+
+    def outputs(self, times) -> np.ndarray:
+        """Sample the output trajectory ``y = C x + D u``."""
+        return self.basis.synthesize(self.output_coefficients, np.atleast_1d(times))
+
+    def _interpolate_coefficients(self, coeffs: np.ndarray, times) -> np.ndarray:
+        """Linear interpolation of block-pulse coefficients at midpoints.
+
+        Block-pulse coefficients are interval averages, which agree with
+        midpoint values to second order; interpolating them linearly
+        gives a continuous second-order reconstruction, removing the
+        O(h) half-cell offset of raw piecewise-constant sampling.  Used
+        for cross-method waveform comparisons.
+        """
+        grid = self.grid
+        if grid is None:
+            return self.basis.synthesize(coeffs, np.atleast_1d(times))
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        mids = grid.midpoints
+        out = np.empty((coeffs.shape[0], times.size))
+        for i in range(coeffs.shape[0]):
+            out[i] = np.interp(times, mids, coeffs[i])
+        return out
+
+    def states_smooth(self, times) -> np.ndarray:
+        """Second-order (midpoint-linear) state reconstruction.
+
+        Falls back to basis synthesis for non-block-pulse results.
+        """
+        return self._interpolate_coefficients(self.coefficients, times)
+
+    def outputs_smooth(self, times) -> np.ndarray:
+        """Second-order (midpoint-linear) output reconstruction."""
+        return self._interpolate_coefficients(self.output_coefficients, times)
+
+    def inputs(self, times) -> np.ndarray:
+        """Sample the (projected) input trajectory."""
+        return self.basis.synthesize(self.input_coefficients, np.atleast_1d(times))
+
+    def sample_times(self, n_points: int | None = None) -> np.ndarray:
+        """Natural sampling times: interval midpoints for block pulses.
+
+        For block-pulse results with ``n_points is None`` this returns
+        the grid midpoints -- the points where the piecewise-constant
+        expansion best represents the trajectory (paper's
+        "roughly, f_i = f(ih)").  Otherwise returns ``n_points`` equally
+        spaced times on ``[0, t_end)``.
+        """
+        grid = self.grid
+        if n_points is None and grid is not None:
+            return grid.midpoints
+        n_points = 256 if n_points is None else int(n_points)
+        t_end = self.basis.t_end
+        if not np.isfinite(t_end):
+            raise ValueError("sample_times requires a finite-horizon basis or n_points")
+        step = t_end / n_points
+        return (np.arange(n_points) + 0.5) * step
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(n={self.n_states}, m={self.m}, "
+            f"basis={self.basis.name}, wall_time={self.wall_time})"
+        )

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError` raised by numpy.
+
+The hierarchy mirrors the package layout:
+
+* :class:`BasisError` -- invalid basis construction or projection
+  (``repro.basis``).
+* :class:`OperationalMatrixError` -- invalid operational-matrix requests
+  (``repro.opmat``), e.g. a non-positive fractional order.
+* :class:`ModelError` -- ill-formed system models (``repro.core.lti``,
+  ``repro.circuits``), e.g. dimension mismatches or a singular pencil.
+* :class:`SolverError` -- runtime failures inside a solver
+  (``repro.core``/``repro.baselines``), e.g. a singular shifted matrix
+  or an adaptive-step controller that cannot meet its tolerance.
+* :class:`NetlistError` -- malformed circuit descriptions
+  (``repro.circuits.netlist``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BasisError",
+    "OperationalMatrixError",
+    "ModelError",
+    "SolverError",
+    "NetlistError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class BasisError(ReproError):
+    """Raised for invalid basis-set construction or use.
+
+    Examples: a non-positive number of terms, a Walsh/Haar basis whose
+    size is not a power of two, or projecting onto a mismatched grid.
+    """
+
+
+class OperationalMatrixError(ReproError):
+    """Raised when an operational matrix cannot be constructed.
+
+    Examples: fractional order ``alpha <= 0`` where a strictly positive
+    order is required, or an adaptive grid with repeated steps passed to
+    the eigendecomposition-based fractional power.
+    """
+
+
+class ModelError(ReproError):
+    """Raised for structurally invalid system models.
+
+    Examples: ``E``/``A`` shape mismatch, a non-square descriptor pair,
+    input matrix with the wrong number of rows, or a high-order model
+    whose coefficient list is empty.
+    """
+
+
+class SolverError(ReproError):
+    """Raised when a simulation algorithm fails at run time.
+
+    Examples: the shifted pencil ``d_jj E - A`` is singular, the FFT
+    baseline is given a DC-singular model, or a baseline scheme receives
+    an unsupported step specification.
+    """
+
+
+class ConvergenceError(SolverError):
+    """Raised when an iterative procedure fails to reach its tolerance.
+
+    Used by the adaptive-step controller when the step size underflows
+    ``min_step`` and by the Mittag-Leffler evaluator when neither the
+    series nor the asymptotic regime applies at the requested precision.
+    """
+
+
+class NetlistError(ReproError):
+    """Raised for malformed netlists.
+
+    Examples: two-terminal element with both terminals on the same node,
+    a non-positive element value, an unknown node name referenced by an
+    element, or a card with the wrong number of fields.
+    """

@@ -1,0 +1,116 @@
+"""Canonical workload configurations for the paper's experiments.
+
+Both the test suite (``tests/integration/test_paper_claims.py``) and the
+benchmark harness (``benchmarks/``) run the *same* workloads; this
+module pins their parameters in one place so EXPERIMENTS.md numbers are
+traceable.
+
+Table I (section V-A)
+    7-state, 2-port, ``alpha = 1/2`` fractional transmission line
+    simulated over ``[0, 2.7 ns)`` with ``m = 8`` block pulses; compared
+    against the FFT method at 8 and 100 sampling points.  The drive is a
+    smooth current pulse into port 1 that settles within the window
+    (the FFT method periodises the waveform, so a non-settling input
+    would measure the window artifact rather than the method).
+
+Table II (section V-B)
+    3-D RLC power grid; OPM on the second-order NA model, baselines on
+    the first-order MNA DAE.  Element values are chosen so the grid's
+    natural timescales (via-inductance resonance, mesh RC) are resolved
+    by the paper's ``h = 10 ps`` base step -- the regime in which the
+    paper's error ordering (trapezoidal ~ Gear << backward Euler, all
+    improving with ``h``) is observable.  The default size is CI-scale
+    (50 NA unknowns); pass larger ``nx, ny, nz`` for paper-scale runs
+    (75 K needs roughly ``160 x 160 x 3``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuits.power_grid import power_grid_models
+from .circuits.sources import RaisedCosinePulse
+from .circuits.transmission_line import fractional_line_model
+
+__all__ = ["table1_workload", "table2_workload"]
+
+#: Table I horizon (the paper's 2.7 ns) and block-pulse count.
+TABLE1_T = 2.7e-9
+TABLE1_M = 8
+#: Table I FFT sampling points (the paper's FFT-1 and FFT-2).
+TABLE1_FFT_POINTS = (8, 100)
+
+#: Table II horizon and base step (the paper's h = 10 ps rows).
+TABLE2_T = 1.0e-9
+TABLE2_BASE_STEPS = 100  # h = 10 ps
+TABLE2_STEP_VARIANTS = {"10 ps": 100, "5 ps": 200, "1 ps": 1000}
+
+
+def table1_workload(n_sections: int = 7):
+    """Model, input, and comparison grid for the Table I experiment.
+
+    Returns a dict with the fractional line ``model``, vectorised input
+    ``u`` (pulse into port 1, port 2 quiet), horizon ``t_end``, OPM
+    block count ``m``, FFT sample counts, and the comparison times.
+
+    Protocol note: waveforms are compared at the OPM grid *midpoints*
+    (``sample_times``), where block-pulse coefficients represent the
+    trajectory to second order -- comparing on a dense grid instead
+    would measure the piecewise-constant staircase of the m = 8
+    expansion rather than the methods.  The line's per-section
+    pseudo-capacitance is reduced relative to the library default so the
+    response roughly tracks the input within the window, the regime in
+    which the FFT method's sample count (and not its periodisation
+    artifact) dominates its error -- matching the paper's FFT-1 vs
+    FFT-2 separation direction; see EXPERIMENTS.md for the residual
+    quantitative gap.
+    """
+    model = fractional_line_model(n_sections=n_sections, q_section=2e-8)
+    pulse = RaisedCosinePulse(level=1e-3, width=1.2e-9)
+
+    def u(times):
+        times = np.atleast_1d(times)
+        return np.vstack([pulse(times), np.zeros_like(times)])
+
+    h = TABLE1_T / TABLE1_M
+    sample_times = (np.arange(TABLE1_M) + 0.5) * h
+    return {
+        "model": model,
+        "u": u,
+        "t_end": TABLE1_T,
+        "m": TABLE1_M,
+        "fft_points": TABLE1_FFT_POINTS,
+        "sample_times": sample_times,
+    }
+
+
+def table2_workload(nx: int = 5, ny: int = 5, nz: int = 2, *, seed: int = 2012):
+    """Power-grid models and input for the Table II experiment.
+
+    Element values place the grid's resonances at the 0.1-1 ns scale so
+    the ``h = 10 ps`` base step resolves them (see module docstring);
+    the load is a smooth 0.6 ns current pulse.
+
+    Returns the :func:`~repro.circuits.power_grid.power_grid_models`
+    bundle extended with ``t_end``, the step-variant map, and the common
+    comparison times.
+    """
+    bundle = power_grid_models(
+        nx,
+        ny,
+        nz,
+        via_pitch=2,
+        pad_pitch=4,
+        load_pitch=2,
+        r_wire=0.2,
+        c_node=1e-12,
+        l_via=1e-8,
+        load_waveform=RaisedCosinePulse(level=1.0, width=0.6e-9),
+        load_scale=1e-3,
+        seed=seed,
+    )
+    bundle["t_end"] = TABLE2_T
+    bundle["step_variants"] = dict(TABLE2_STEP_VARIANTS)
+    bundle["base_steps"] = TABLE2_BASE_STEPS
+    bundle["sample_times"] = np.linspace(0.02e-9, 0.98e-9, 49)
+    return bundle

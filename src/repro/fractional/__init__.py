@@ -1,0 +1,36 @@
+"""Fractional-calculus utilities and reference solutions.
+
+The paper simulates fractional differential equations through
+operational matrices; this subpackage provides everything needed to
+*validate* that machinery:
+
+* :mod:`~repro.fractional.definitions` -- Grünwald-Letnikov weights and
+  fractional-operator notes;
+* :mod:`~repro.fractional.grunwald` -- the classical GL time-stepping
+  solver for FDEs, the "traditional time-domain method" whose cost the
+  paper contrasts with OPM;
+* :mod:`~repro.fractional.mittag_leffler` -- the two-parameter
+  Mittag-Leffler function ``E_{alpha,beta}(z)``;
+* :mod:`~repro.fractional.analytic` -- closed-form scalar FDE solutions
+  (relaxation, step, impulse) built on Mittag-Leffler.
+"""
+
+from .analytic import (
+    fde_impulse_response,
+    fde_relaxation,
+    fde_step_response,
+    second_order_step_response,
+)
+from .definitions import gl_weights
+from .grunwald import simulate_grunwald_letnikov
+from .mittag_leffler import mittag_leffler
+
+__all__ = [
+    "gl_weights",
+    "simulate_grunwald_letnikov",
+    "mittag_leffler",
+    "fde_relaxation",
+    "fde_step_response",
+    "fde_impulse_response",
+    "second_order_step_response",
+]

@@ -1,0 +1,191 @@
+"""Two-parameter Mittag-Leffler function ``E_{alpha,beta}(z)``.
+
+.. math::
+
+    E_{\\alpha,\\beta}(z) = \\sum_{k=0}^{\\infty}
+        \\frac{z^k}{\\Gamma(\\alpha k + \\beta)}
+
+is to fractional linear systems what the exponential is to ordinary
+ones: the relaxation ``D^alpha x = -lam x`` has solution
+``x(t) = x_0 E_alpha(-lam t^alpha)``.  The implementation targets the
+arguments arising from stable circuits -- real ``z`` with emphasis on
+the negative axis -- and uses:
+
+* the defining power series, with terms computed in log space (no
+  overflow) and Kahan-compensated summation, for ``|z|`` below an
+  alpha-dependent radius;
+* beyond it, the asymptotic expansion: the algebraic tail
+  ``-sum_{k>=1} z^{-k}/Gamma(beta - alpha k)`` truncated at its
+  smallest term plus, for ``1 < alpha < 2``, the conjugate pair of
+  exponentially decaying oscillatory branch terms.
+
+The crossover radius ``|z|* = CROSSOVER^alpha`` balances the two error
+sources, both of order ``exp(+-|z|^{1/alpha})``: series cancellation
+grows and the asymptotic truncation error shrinks with the same
+exponent.  Worst-case *absolute* error near the crossover is about
+1e-6 for small ``alpha`` (e.g. ``alpha = 0.5``; verified against
+``erfcx`` in the test suite) and far better elsewhere -- ample for
+validating simulators whose own errors are >= 1e-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln, rgamma
+
+from .._validation import check_positive_float
+from ..errors import ConvergenceError
+
+__all__ = ["mittag_leffler"]
+
+#: Crossover: series for |z| <= CROSSOVER**alpha, asymptotic beyond.
+#: The value balances series cancellation (~eps * exp(w)) against
+#: asymptotic truncation (~exp(-w)) at w = |z|**(1/alpha):
+#: w* = -0.5 * ln(C * eps) ~= 17.
+_CROSSOVER = 17.0
+#: For alpha near 2 the asymptotic sector closes; the series stays
+#: accurate much further out (cancellation ~ exp(|z|**(1/alpha))).
+_ALPHA_SERIES_ONLY = 1.8
+_SERIES_RADIUS_LARGE_ALPHA = 90.0
+#: Hard cap on series terms.
+_MAX_TERMS = 2000
+
+
+def _series_radius(alpha: float) -> float:
+    if alpha >= _ALPHA_SERIES_ONLY:
+        return _SERIES_RADIUS_LARGE_ALPHA
+    return _CROSSOVER**alpha
+
+
+def _ml_series(alpha: float, beta: float, z: np.ndarray) -> np.ndarray:
+    """Power series; log-space terms, Kahan summation."""
+    out = np.zeros_like(z, dtype=float)
+    comp = np.zeros_like(out)
+    with np.errstate(divide="ignore"):  # log(0) = -inf is the z = 0 case
+        log_abs_z = np.log(np.abs(z))
+    negative = z < 0.0
+    prev_log = np.full(z.shape, np.inf)
+    for k in range(_MAX_TERMS):
+        with np.errstate(invalid="ignore"):  # 0 * -inf at k = 0, overwritten
+            log_term = k * log_abs_z - gammaln(alpha * k + beta)
+        term = np.exp(log_term)
+        if k == 0:
+            log_term = np.zeros_like(log_abs_z)
+            term = np.full(z.shape, rgamma(beta))  # z^0 even for z = 0
+        else:
+            term = np.where(negative & (k % 2 == 1), -term, term)
+        # Kahan step
+        y = term - comp
+        t = out + y
+        comp = (t - out) - y
+        out = t
+        decreasing = np.all(log_term <= prev_log)
+        prev_log = log_term
+        if (
+            k > 4
+            and decreasing
+            and np.all(np.abs(term) <= 1e-18 * np.maximum(np.abs(out), 1e-300))
+        ):
+            return out
+    raise ConvergenceError(
+        f"Mittag-Leffler series did not converge within {_MAX_TERMS} terms "
+        f"(alpha={alpha}, beta={beta}, max|z|={np.max(np.abs(z)):.3g})"
+    )
+
+
+def _ml_asymptotic_negative(alpha: float, beta: float, z: np.ndarray) -> np.ndarray:
+    """Asymptotic expansion for large negative real ``z`` (0 < alpha < 2).
+
+    Algebraic part truncated optimally (exact zero terms from gamma
+    poles are skipped without ending the series) plus, for
+    ``1 < alpha < 2``, the oscillatory branch pair
+    ``(2/alpha) Re[zeta^{1-beta} e^zeta]``,
+    ``zeta = |z|^{1/alpha} exp(i pi / alpha)``, which decays like
+    ``exp(|z|^{1/alpha} cos(pi/alpha))`` and is *not* negligible at
+    moderate ``|z|``.  For ``alpha <= 1`` the branch lies outside the
+    admissible sector (its magnitude is below the documented accuracy
+    past the series radius) and is omitted.
+    """
+    out = np.zeros_like(z, dtype=float)
+    inv = 1.0 / z
+    power = inv.copy()
+    last_mag = np.full(z.shape, np.inf)
+    frozen = np.zeros(z.shape, dtype=bool)
+    for k in range(1, 80):
+        coeff = rgamma(beta - alpha * k)
+        contrib = power * coeff
+        power = power * inv
+        if coeff == 0.0:
+            continue  # gamma pole: exact zero term, series continues
+        mag = np.abs(contrib)
+        frozen |= mag >= last_mag
+        if np.all(frozen):
+            break
+        out -= np.where(frozen, 0.0, contrib)
+        last_mag = np.where(frozen, last_mag, mag)
+    if alpha > 1.0:
+        zeta = np.abs(z) ** (1.0 / alpha) * np.exp(1j * np.pi / alpha)
+        branch = (2.0 / alpha) * (zeta ** (1.0 - beta) * np.exp(zeta)).real
+        out += branch
+    return out
+
+
+def mittag_leffler(alpha: float, beta: float, z) -> np.ndarray:
+    """Evaluate ``E_{alpha,beta}(z)`` for real arguments.
+
+    Parameters
+    ----------
+    alpha:
+        Order, ``0 < alpha <= 2``.
+    beta:
+        ``beta > 0``.
+    z:
+        Real scalar or array.  Large *positive* ``z`` beyond the series
+        radius is rejected (the exponentially growing branch is not
+        needed for stable circuits and would require Hankel-contour
+        machinery); for ``alpha >= 1.8`` the negative axis is likewise
+        capped at the series radius because the asymptotic sector
+        closes as ``alpha -> 2``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Same shape as ``z`` (0-d inputs give a Python float).
+
+    Examples
+    --------
+    >>> float(np.round(mittag_leffler(1.0, 1.0, 1.0), 10))  # e
+    2.7182818285
+    >>> float(np.round(mittag_leffler(2.0, 1.0, -4.0), 10))  # cos(2)
+    -0.4161468365
+    """
+    alpha = check_positive_float(alpha, "alpha")
+    beta = check_positive_float(beta, "beta")
+    if alpha > 2.0:
+        raise ValueError(f"alpha must be in (0, 2], got {alpha}")
+    z_arr = np.asarray(z, dtype=float)
+    scalar = z_arr.ndim == 0
+    z_flat = np.atleast_1d(z_arr).astype(float)
+
+    radius = _series_radius(alpha)
+    if np.any(z_flat > radius):
+        raise ValueError(
+            f"z > {radius:.3g} on the growing branch is unsupported "
+            "(stable-system arguments are non-positive)"
+        )
+    if alpha >= _ALPHA_SERIES_ONLY and np.any(np.abs(z_flat) > radius):
+        raise ValueError(
+            f"|z| > {radius:.3g} with alpha >= {_ALPHA_SERIES_ONLY} is outside "
+            "the asymptotic sector; reduce |z| or the order"
+        )
+
+    out = np.empty_like(z_flat)
+    near = np.abs(z_flat) <= radius
+    if np.any(near):
+        out[near] = _ml_series(alpha, beta, z_flat[near])
+    far = ~near
+    if np.any(far):
+        out[far] = _ml_asymptotic_negative(alpha, beta, z_flat[far])
+    if scalar:
+        return float(out[0])
+    return out.reshape(z_arr.shape)

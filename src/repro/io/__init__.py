@@ -1,0 +1,6 @@
+"""Reporting helpers: ASCII tables and CSV output for benches/examples."""
+
+from .table import Table
+from .csvout import write_csv
+
+__all__ = ["Table", "write_csv"]

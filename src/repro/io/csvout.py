@@ -1,0 +1,36 @@
+"""CSV writing for benchmark sweeps."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+__all__ = ["write_csv"]
+
+
+def write_csv(path, columns, rows) -> Path:
+    """Write rows (iterable of sequences) with a header line.
+
+    Returns the path written, for logging.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> p = write_csv(os.path.join(tempfile.mkdtemp(), "t.csv"),
+    ...               ["n", "time"], [[10, 0.5], [20, 1.9]])
+    >>> p.read_text().splitlines()[0]
+    'n,time'
+    """
+    path = Path(path)
+    columns = [str(c) for c in columns]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in rows:
+            cells = list(row)
+            if len(cells) != len(columns):
+                raise ValueError(
+                    f"row has {len(cells)} cells, header has {len(columns)}"
+                )
+            writer.writerow(cells)
+    return path

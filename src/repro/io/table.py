@@ -1,0 +1,77 @@
+"""Minimal ASCII table renderer.
+
+The benchmark harness prints tables in the same row layout as the
+paper's Table I / Table II; this renderer keeps that output dependency
+free and stable for the EXPERIMENTS.md transcripts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Column-aligned text table.
+
+    Examples
+    --------
+    >>> t = Table(["Method", "CPU time", "Relative Error"], title="TABLE I")
+    >>> t.add_row(["FFT-1", "6.09 ms", "-29.2 dB"])
+    >>> t.add_row(["OPM", "3.56 ms", "-"])
+    >>> print(t.render())
+    TABLE I
+    Method | CPU time | Relative Error
+    ------ | -------- | --------------
+    FFT-1  | 6.09 ms  | -29.2 dB
+    OPM    | 3.56 ms  | -
+    """
+
+    def __init__(self, columns, *, title: str = "") -> None:
+        self.columns = [str(c) for c in columns]
+        if not self.columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells) -> None:
+        """Append a row; cell count must match the column count."""
+        cells = [str(c) for c in cells]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Plain text rendering with a dashed header separator."""
+        widths = self._widths()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)).rstrip())
+        lines.append(" | ".join("-" * w for w in widths).rstrip())
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

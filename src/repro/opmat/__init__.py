@@ -1,0 +1,67 @@
+"""Operational matrices over block-pulse functions.
+
+This subpackage implements section II and section IV of the paper: the
+integral operational matrix ``H`` (eq. (4)), the differential matrix
+``D`` (eq. (7)), their adaptive-step variants (eq. (17)), and the
+fractional power ``D^alpha`` built from a truncated binomial series in
+the nilpotent shift matrix ``Q`` (eqs. (20)-(25)).
+
+All matrices act on coefficient vectors of block-pulse expansions: if
+``f(t) = f_vec . phi(t)`` then ``integral of f`` has coefficient vector
+``H^T f_vec`` and ``d f/dt`` has coefficient vector ``D^T f_vec``
+(paper eq. (8)).
+
+The module exposes both *matrix* constructors (small, dense, convenient
+for inspection and tests) and *coefficient* constructors (the first row
+of the upper-triangular Toeplitz matrix, which is all the OPM solver
+needs and is O(m) instead of O(m^2) storage).
+"""
+
+from .nilpotent import (
+    shift_matrix,
+    upper_toeplitz,
+    toeplitz_coefficients,
+    toeplitz_multiply,
+    toeplitz_inverse,
+)
+from .series import (
+    binomial_series,
+    tustin_power_coefficients,
+)
+from .integral import (
+    integration_matrix,
+    integration_matrix_adaptive,
+    fractional_integration_matrix,
+)
+from .differential import (
+    differentiation_matrix,
+    differentiation_matrix_adaptive,
+    differentiation_coefficients,
+)
+from .fractional import (
+    fractional_differentiation_coefficients,
+    fractional_differentiation_matrix,
+    fractional_differentiation_matrix_adaptive,
+)
+from .rl_integral import rl_integration_matrix, rl_integration_coefficients
+
+__all__ = [
+    "shift_matrix",
+    "upper_toeplitz",
+    "toeplitz_coefficients",
+    "toeplitz_multiply",
+    "toeplitz_inverse",
+    "binomial_series",
+    "tustin_power_coefficients",
+    "integration_matrix",
+    "integration_matrix_adaptive",
+    "fractional_integration_matrix",
+    "differentiation_matrix",
+    "differentiation_matrix_adaptive",
+    "differentiation_coefficients",
+    "fractional_differentiation_coefficients",
+    "fractional_differentiation_matrix",
+    "fractional_differentiation_matrix_adaptive",
+    "rl_integration_matrix",
+    "rl_integration_coefficients",
+]

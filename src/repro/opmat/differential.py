@@ -1,0 +1,104 @@
+"""Differential operational matrices for block-pulse functions.
+
+Implements paper eqs. (7)-(8) and the adaptive-step variant of
+eq. (17):
+
+.. math::
+
+    D_{(m)} = \\frac{2}{h} (I - Q_m)(I + Q_m)^{-1}
+            = \\frac{2}{h}\\,\\mathrm{Toeplitz}(1, -2, 2, -2, \\dots),
+
+the exact inverse of the integral matrix ``H_(m)``.  If
+``f(t) = f_vec . phi(t)`` then ``df/dt`` has block-pulse coefficient
+vector ``D^T f_vec`` (paper eq. (8)).
+
+For an adaptive grid with steps ``(h_0, ..., h_{m-1})``:
+
+``D~ = 2 * Toeplitz(1, -2, 2, ...) * diag(1/h_0, ..., 1/h_{m-1})``,
+
+i.e. *column* ``j`` carries the factor ``1/h_j``; this is the exact
+inverse of ``H~`` from :func:`repro.opmat.integral.integration_matrix_adaptive`
+and reduces to ``D_(m)`` on a uniform grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int, check_steps
+from .nilpotent import upper_toeplitz
+from .series import tustin_power_coefficients
+
+__all__ = [
+    "differentiation_matrix",
+    "differentiation_matrix_adaptive",
+    "differentiation_coefficients",
+]
+
+
+def differentiation_coefficients(m: int, h: float) -> np.ndarray:
+    """First-row coefficients of ``D_(m)``: ``(2/h) * (1, -2, 2, -2, ...)``.
+
+    This O(m) representation is what the column-by-column OPM solver
+    consumes; :func:`differentiation_matrix` materialises the full
+    matrix from it.
+    """
+    m = check_positive_int(m, "m")
+    h = check_positive_float(h, "h")
+    return (2.0 / h) * tustin_power_coefficients(1.0, m)
+
+
+def differentiation_matrix(m: int, h: float) -> np.ndarray:
+    """Return the block-pulse differential operational matrix ``D_(m)`` (eq. (7)).
+
+    Parameters
+    ----------
+    m:
+        Number of block-pulse terms (time intervals).
+    h:
+        Uniform interval width ``T / m``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Upper-triangular Toeplitz matrix with first row
+        ``(2/h) * (1, -2, 2, -2, ...)``; exact inverse of
+        :func:`repro.opmat.integral.integration_matrix`.
+
+    Examples
+    --------
+    >>> differentiation_matrix(3, 2.0)
+    array([[ 1., -2.,  2.],
+           [ 0.,  1., -2.],
+           [ 0.,  0.,  1.]])
+    """
+    return upper_toeplitz(differentiation_coefficients(m, h))
+
+
+def differentiation_matrix_adaptive(steps) -> np.ndarray:
+    """Adaptive-step differential matrix ``D~`` (paper eq. (17), second display).
+
+    Parameters
+    ----------
+    steps:
+        Interval widths ``(h_0, ..., h_{m-1})`` of the non-uniform grid
+        (paper eq. (16)).
+
+    Returns
+    -------
+    numpy.ndarray
+        Upper-triangular matrix with entries
+        ``D~[i, j] = (-1)^{j-i} * 2 * c / h_j`` where ``c = 1`` on the
+        diagonal and ``2`` above it.  Exact inverse of the adaptive
+        integral matrix; reduces to ``D_(m)`` for equal steps.
+
+    Note
+    ----
+    As with the integral variant, the paper's display indexes the step
+    diagonal ``h_1 ... h_{m-1}``; the consistent matrix (verified as the
+    inverse of ``H~`` in the test suite) uses all ``m`` steps.
+    """
+    steps = check_steps(steps)
+    m = steps.size
+    pattern = upper_toeplitz(tustin_power_coefficients(1.0, m))
+    return 2.0 * pattern / steps[None, :]

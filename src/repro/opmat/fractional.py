@@ -1,0 +1,203 @@
+"""Fractional differential operational matrices (paper section IV).
+
+Two constructions are provided, matching the paper:
+
+* **Uniform grid** (eqs. (20)-(24)): ``D^alpha`` is the truncated
+  binomial series of ``((2/h)(1-q)/(1+q))^alpha`` evaluated at the
+  nilpotent shift ``Q_m``.  The paper stresses that naive matrix
+  powering fails here because ``D`` has a single eigenvalue ``2/h``
+  with multiplicity ``m`` and is not diagonalisable; the series
+  construction sidesteps eigendecomposition entirely and produces an
+  upper-triangular Toeplitz matrix directly.
+
+* **Adaptive grid** (eq. (25)): when no two steps are equal, ``D~`` has
+  ``m`` distinct eigenvalues ``2/h_j`` and ``D~^alpha`` can be computed
+  by eigendecomposition; a Schur-based fallback
+  (:func:`scipy.linalg.fractional_matrix_power`) is provided for grids
+  with nearly equal steps where the eigenvector matrix becomes
+  ill-conditioned.
+
+Both satisfy the semigroup property ``D^a D^b = D^{a+b}`` in the
+truncated ring; in particular ``(D^{3/2})^2 = D^3`` (the paper's text
+below eq. (24) misprints this as ``D^2``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from .._validation import (
+    check_fractional_order,
+    check_positive_float,
+    check_positive_int,
+    check_steps,
+)
+from ..errors import OperationalMatrixError
+from .nilpotent import upper_toeplitz
+from .series import tustin_power_coefficients
+
+__all__ = [
+    "fractional_differentiation_coefficients",
+    "fractional_differentiation_matrix",
+    "fractional_differentiation_matrix_adaptive",
+]
+
+
+def fractional_differentiation_coefficients(alpha: float, m: int, h: float) -> np.ndarray:
+    """First-row coefficients of ``D^alpha_(m)`` on a uniform grid.
+
+    Returns ``(2/h)^alpha * rho_{alpha,m}`` where ``rho_{alpha,m}`` is
+    the truncated series of ``((1-q)/(1+q))^alpha`` (paper eq. (22)).
+    The OPM column solver consumes this O(m) vector directly.
+
+    Examples
+    --------
+    Paper eq. (23) with ``alpha = 3/2``, ``m = 4``:
+
+    >>> fractional_differentiation_coefficients(1.5, 4, 2.0)
+    array([ 1. , -3. ,  4.5, -5.5])
+    """
+    alpha = check_fractional_order(alpha, allow_zero=True)
+    m = check_positive_int(m, "m")
+    h = check_positive_float(h, "h")
+    return (2.0 / h) ** alpha * tustin_power_coefficients(alpha, m)
+
+
+def fractional_differentiation_matrix(alpha: float, m: int, h: float) -> np.ndarray:
+    """Fractional differential matrix ``D^alpha_(m)`` (paper eq. (22)).
+
+    Parameters
+    ----------
+    alpha:
+        Differentiation order; any ``alpha >= 0`` (``alpha = 0`` gives
+        the identity, integers give the truncated integer powers of
+        ``D_(m)``).
+    m:
+        Number of block-pulse terms.
+    h:
+        Uniform interval width.
+
+    Examples
+    --------
+    Paper eq. (24) (``alpha = 3/2``, ``m = 4``, prefactor divided out):
+
+    >>> fractional_differentiation_matrix(1.5, 4, 2.0)
+    array([[ 1. , -3. ,  4.5, -5.5],
+           [ 0. ,  1. , -3. ,  4.5],
+           [ 0. ,  0. ,  1. , -3. ],
+           [ 0. ,  0. ,  0. ,  1. ]])
+    """
+    return upper_toeplitz(fractional_differentiation_coefficients(alpha, m, h))
+
+
+def _eig_fractional_power(matrix: np.ndarray, alpha: float) -> np.ndarray:
+    """Fractional power of an upper-triangular matrix via eigendecomposition.
+
+    This is the route paper eq. (25) describes.  It is only *numerically*
+    viable when the eigenvalues (here ``2/h_j``) are well separated: for
+    nearly equal steps the eigenvector matrix is exponentially
+    ill-conditioned in ``m``.  The decomposition is therefore validated
+    by its reconstruction residual and rejected when unreliable (the
+    ``auto`` policy then falls back to the Schur-Pade route).
+    """
+    eigvals, eigvecs = np.linalg.eig(matrix)
+    try:
+        inv_vecs = np.linalg.inv(eigvecs)
+    except np.linalg.LinAlgError as exc:
+        raise OperationalMatrixError(
+            "eigenvector matrix is singular; use method='schur'"
+        ) from exc
+    scale = float(np.max(np.abs(matrix)))
+    reconstruction = eigvecs @ np.diag(eigvals) @ inv_vecs
+    residual = float(np.max(np.abs(reconstruction - matrix)))
+    if residual > 1e-9 * max(scale, 1.0):
+        raise OperationalMatrixError(
+            "eigendecomposition of the adaptive differential matrix is too "
+            f"ill-conditioned (reconstruction residual {residual:.2e}); the "
+            "steps are too close together -- use method='schur'"
+        )
+    powered = eigvals.astype(complex) ** alpha
+    out = eigvecs @ np.diag(powered) @ inv_vecs
+    if np.max(np.abs(out.imag)) > 1e-8 * max(np.max(np.abs(out.real)), 1.0):
+        raise OperationalMatrixError(
+            "eigendecomposition-based fractional power produced a significantly "
+            "complex result; use method='schur' instead"
+        )
+    return out.real
+
+
+def fractional_differentiation_matrix_adaptive(
+    alpha: float, steps, *, method: str = "auto"
+) -> np.ndarray:
+    """Adaptive-grid fractional differential matrix ``D~^alpha`` (eq. (25)).
+
+    Parameters
+    ----------
+    alpha:
+        Differentiation order (``alpha > 0``).
+    steps:
+        Interval widths ``(h_0, ..., h_{m-1})``.
+    method:
+        ``'eig'`` -- eigendecomposition, requires all steps pairwise
+        distinct (the situation eq. (25) assumes); raises when the
+        eigenvector matrix is too ill-conditioned to trust;
+        ``'schur'`` -- Schur-Pade via
+        :func:`scipy.linalg.fractional_matrix_power`, works for any grid
+        including uniform ones;
+        ``'auto'`` (default) -- try ``'eig'`` on small well-separated
+        grids, falling back to ``'schur'`` whenever the decomposition
+        fails its reconstruction-residual check.
+
+    Returns
+    -------
+    numpy.ndarray
+        Upper-triangular ``m x m`` matrix whose diagonal is
+        ``(2/h_j)^alpha``.
+
+    Raises
+    ------
+    OperationalMatrixError
+        If ``method='eig'`` is forced on a grid with (nearly) repeated
+        steps.
+    """
+    alpha = check_fractional_order(alpha)
+    steps = check_steps(steps)
+    if method not in ("auto", "eig", "schur"):
+        raise ValueError(f"method must be 'auto', 'eig' or 'schur', got {method!r}")
+
+    from .differential import differentiation_matrix_adaptive
+
+    d1 = differentiation_matrix_adaptive(steps)
+
+    sorted_steps = np.sort(steps)
+    if sorted_steps.size > 1:
+        min_gap = np.min(np.diff(sorted_steps) / sorted_steps[:-1])
+    else:
+        min_gap = np.inf
+    if method == "eig" and min_gap <= 1e-12:
+        raise OperationalMatrixError(
+            "method='eig' requires pairwise-distinct steps (paper eq. (25)); "
+            "got a grid with repeated steps -- use method='schur'"
+        )
+    if method == "auto":
+        if steps.size <= 24 and min_gap > 1e-3:
+            try:
+                return np.triu(_eig_fractional_power(d1, alpha))
+            except OperationalMatrixError:
+                pass  # fall through to the robust Schur route
+        method = "schur"
+
+    if method == "eig":
+        powered = _eig_fractional_power(d1, alpha)
+    else:
+        powered = scipy.linalg.fractional_matrix_power(d1, alpha)
+        if np.iscomplexobj(powered):
+            if np.max(np.abs(powered.imag)) > 1e-8 * max(np.max(np.abs(powered.real)), 1.0):
+                raise OperationalMatrixError(
+                    "fractional_matrix_power returned a significantly complex matrix"
+                )
+            powered = powered.real
+    # The result must be upper triangular (the paper exploits this to
+    # solve column by column); clip round-off noise below the diagonal.
+    return np.triu(powered)

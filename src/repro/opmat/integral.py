@@ -1,0 +1,107 @@
+"""Integral operational matrices for block-pulse functions.
+
+Implements paper eqs. (3)-(5): for a block-pulse basis vector
+``phi(t)`` on a uniform grid of ``m`` intervals of width ``h``,
+
+.. math::
+
+    \\int_0^t \\phi(\\tau) d\\tau \\approx H_{(m)} \\phi(t),
+    \\qquad
+    H_{(m)} = \\frac{h}{2}(I + Q_m)(I - Q_m)^{-1}
+            = h\\left(\\tfrac12 I + Q_m + \\dots + Q_m^{m-1}\\right),
+
+an upper-triangular Toeplitz matrix with first row
+``(h/2, h, h, ..., h)``.  The adaptive-grid variant (paper
+eq. (17), first display) scales row ``i`` by the step ``h_i``:
+``H~ = diag(h) (I/2 + Q + ... + Q^{m-1})``.
+
+Fractional *integration* is the ``alpha -> -alpha`` flavour of the
+Tustin power construction; see also :mod:`repro.opmat.rl_integral` for
+the classical Riemann-Liouville block-pulse matrix, which this package
+offers as an alternative construction for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_fractional_order, check_positive_float, check_positive_int, check_steps
+from .nilpotent import upper_toeplitz
+from .series import tustin_power_coefficients
+
+__all__ = [
+    "integration_matrix",
+    "integration_matrix_adaptive",
+    "fractional_integration_matrix",
+]
+
+
+def integration_matrix(m: int, h: float) -> np.ndarray:
+    """Return the block-pulse integral operational matrix ``H_(m)`` (eq. (4)).
+
+    Parameters
+    ----------
+    m:
+        Number of block-pulse terms (time intervals).
+    h:
+        Uniform interval width ``T / m``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Upper-triangular Toeplitz matrix with first row
+        ``(h/2, h, ..., h)``.
+
+    Examples
+    --------
+    >>> integration_matrix(3, 2.0)
+    array([[1., 2., 2.],
+           [0., 1., 2.],
+           [0., 0., 1.]])
+    """
+    m = check_positive_int(m, "m")
+    h = check_positive_float(h, "h")
+    first_row = np.full(m, h)
+    first_row[0] = h / 2.0
+    return upper_toeplitz(first_row)
+
+
+def integration_matrix_adaptive(steps) -> np.ndarray:
+    """Adaptive-step integral matrix ``H~`` (paper eq. (17), first display).
+
+    ``steps`` is the sequence ``(h_0, ..., h_{m-1})`` of interval widths
+    (paper eq. (16)).  Row ``i`` of the unit pattern
+    ``(1/2, 1, 1, ...)`` is scaled by ``h_i``:
+
+    ``H~[i, i] = h_i / 2`` and ``H~[i, j] = h_i`` for ``j > i``.
+
+    Note
+    ----
+    The paper's display (17) writes the diagonal factor with entries
+    ``h_1 ... h_{m-1}`` (only ``m - 1`` of them); the dimensionally
+    consistent matrix uses all ``m`` steps, which is what this function
+    builds and what the adaptive solver relies on.  With equal steps it
+    reduces exactly to :func:`integration_matrix`.
+    """
+    steps = check_steps(steps)
+    m = steps.size
+    pattern = np.triu(np.ones((m, m)), k=1) + 0.5 * np.eye(m)
+    return steps[:, None] * pattern
+
+
+def fractional_integration_matrix(alpha: float, m: int, h: float) -> np.ndarray:
+    """Fractional integration matrix ``H^alpha`` via the Tustin power series.
+
+    Built as ``(h/2)^alpha * ((1+q)/(1-q))^alpha`` truncated at
+    ``q^{m-1}`` and evaluated at the shift matrix -- i.e. the exact
+    inverse (in the truncated ring) of the fractional differentiation
+    matrix of :func:`repro.opmat.fractional.fractional_differentiation_matrix`
+    with the same order.
+
+    ``alpha = 1`` reproduces :func:`integration_matrix` exactly.
+    """
+    alpha = check_fractional_order(alpha, allow_zero=True)
+    m = check_positive_int(m, "m")
+    h = check_positive_float(h, "h")
+    coeffs = tustin_power_coefficients(-alpha, m)
+    return (h / 2.0) ** alpha * upper_toeplitz(coeffs)

@@ -1,0 +1,159 @@
+"""The nilpotent shift matrix ``Q`` and truncated polynomial arithmetic.
+
+Paper eq. (6) defines the index-``m`` nilpotent matrix
+
+.. math::
+
+    Q_m = \\begin{bmatrix} 0_{(m-1)\\times 1} & I_{m-1} \\\\
+                            0 & 0_{1\\times(m-1)} \\end{bmatrix},
+
+i.e. ones on the first superdiagonal.  Every operational matrix in the
+paper is a polynomial in ``Q_m``; since ``Q_m^m = 0``, the algebra of
+such polynomials is the truncated power-series ring
+``R[q] / (q^m)``, and a polynomial ``sum_k c_k Q^k`` is exactly the
+upper-triangular Toeplitz matrix with first row ``(c_0, ..., c_{m-1})``.
+
+This module provides that correspondence in both directions plus ring
+multiplication (truncated convolution) and inversion, which are what the
+rest of :mod:`repro.opmat` is built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+
+__all__ = [
+    "shift_matrix",
+    "upper_toeplitz",
+    "toeplitz_coefficients",
+    "toeplitz_multiply",
+    "toeplitz_inverse",
+]
+
+
+def shift_matrix(m: int) -> np.ndarray:
+    """Return the index-``m`` nilpotent shift matrix ``Q_m`` (paper eq. (6)).
+
+    Parameters
+    ----------
+    m:
+        Matrix dimension (number of block-pulse terms).
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``m x m`` matrix with ones on the first superdiagonal and
+        zeros elsewhere.  Satisfies ``Q_m ** m == 0``.
+
+    Examples
+    --------
+    >>> shift_matrix(3)
+    array([[0., 1., 0.],
+           [0., 0., 1.],
+           [0., 0., 0.]])
+    """
+    m = check_positive_int(m, "m")
+    q = np.zeros((m, m))
+    idx = np.arange(m - 1)
+    q[idx, idx + 1] = 1.0
+    return q
+
+
+def upper_toeplitz(first_row) -> np.ndarray:
+    """Build the upper-triangular Toeplitz matrix with the given first row.
+
+    ``upper_toeplitz(c)`` equals ``sum_k c[k] Q^k`` where ``Q`` is the
+    shift matrix of matching size: entry ``(i, j)`` is ``c[j - i]`` for
+    ``j >= i`` and zero below the diagonal.
+
+    Parameters
+    ----------
+    first_row:
+        Coefficients ``(c_0, ..., c_{m-1})`` of the polynomial in ``Q``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``m x m`` upper-triangular Toeplitz matrix.
+    """
+    c = np.asarray(first_row, dtype=float)
+    if c.ndim != 1 or c.size == 0:
+        raise ValueError(f"first_row must be a non-empty 1-D sequence, got shape {c.shape}")
+    m = c.size
+    out = np.zeros((m, m))
+    for k in range(m):
+        idx = np.arange(m - k)
+        out[idx, idx + k] = c[k]
+    return out
+
+
+def toeplitz_coefficients(matrix: np.ndarray, *, rtol: float = 1e-10) -> np.ndarray:
+    """Extract the first-row coefficients of an upper-triangular Toeplitz matrix.
+
+    This is the inverse of :func:`upper_toeplitz`.  The matrix is checked
+    to actually *be* upper-triangular Toeplitz to the relative tolerance
+    ``rtol`` (measured against the largest magnitude entry); operational
+    matrices on non-uniform grids are not Toeplitz and are rejected.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square or not upper-triangular Toeplitz.
+    """
+    a = np.asarray(matrix, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {a.shape}")
+    m = a.shape[0]
+    coeffs = a[0].copy()
+    reconstructed = upper_toeplitz(coeffs)
+    scale = max(np.max(np.abs(a)), 1.0)
+    if not np.allclose(a, reconstructed, rtol=0.0, atol=rtol * scale):
+        raise ValueError("matrix is not upper-triangular Toeplitz")
+    return coeffs
+
+
+def toeplitz_multiply(coeffs_a, coeffs_b) -> np.ndarray:
+    """Multiply two polynomials in ``Q`` (truncated convolution).
+
+    Both inputs are first-row coefficient vectors of the same length
+    ``m``; the result is the coefficient vector of the product truncated
+    at ``q^{m-1}``, matching the matrix identity
+    ``upper_toeplitz(a) @ upper_toeplitz(b) == upper_toeplitz(conv(a, b)[:m])``.
+    """
+    a = np.asarray(coeffs_a, dtype=float)
+    b = np.asarray(coeffs_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(
+            f"coefficient vectors must be 1-D with equal length, got {a.shape} and {b.shape}"
+        )
+    m = a.size
+    return np.convolve(a, b)[:m]
+
+
+def toeplitz_inverse(coeffs) -> np.ndarray:
+    """Invert a polynomial in ``Q`` (truncated power-series inversion).
+
+    Requires a nonzero constant term ``c_0`` (otherwise the Toeplitz
+    matrix is singular).  Uses the standard recurrence
+
+    ``d_0 = 1 / c_0``, ``d_k = -(1 / c_0) * sum_{j=1..k} c_j d_{k-j}``.
+
+    Raises
+    ------
+    ValueError
+        If ``c_0 == 0``.
+    """
+    c = np.asarray(coeffs, dtype=float)
+    if c.ndim != 1 or c.size == 0:
+        raise ValueError(f"coeffs must be a non-empty 1-D sequence, got shape {c.shape}")
+    if c[0] == 0.0:
+        raise ValueError("cannot invert: constant term c_0 is zero (singular matrix)")
+    m = c.size
+    d = np.zeros(m)
+    d[0] = 1.0 / c[0]
+    for k in range(1, m):
+        acc = np.dot(c[1 : k + 1], d[:k][::-1])
+        d[k] = -acc / c[0]
+    return d

@@ -1,0 +1,88 @@
+"""Classical Riemann-Liouville block-pulse fractional-integration matrix.
+
+The operational-matrix literature the paper builds on (its refs [2] and
+[4]) derives fractional *integration* matrices by projecting the
+Riemann-Liouville integral
+
+.. math::
+
+    (I^{\\alpha} f)(t) = \\frac{1}{\\Gamma(\\alpha)}
+        \\int_0^t (t - \\tau)^{\\alpha - 1} f(\\tau)\\, d\\tau
+
+of each block-pulse function back onto the basis.  The result is the
+upper-triangular Toeplitz matrix
+
+.. math::
+
+    F^{\\alpha} = \\frac{h^{\\alpha}}{\\Gamma(\\alpha + 2)}
+        \\,\\mathrm{Toeplitz}(1, \\xi_1, \\xi_2, \\dots, \\xi_{m-1}),
+    \\qquad
+    \\xi_k = (k+1)^{\\alpha+1} - 2k^{\\alpha+1} + (k-1)^{\\alpha+1}.
+
+For ``alpha = 1`` this reproduces the integer matrix ``H_(m)`` of paper
+eq. (4) exactly.  It differs from the Tustin-power construction of
+:func:`repro.opmat.integral.fractional_integration_matrix` at finite
+``m`` (the two agree as ``m -> inf``); the benchmark
+``benchmarks/bench_fractional_variants.py`` compares the two as an
+ablation of the paper's design choice.
+
+Exact projection (not an approximation): the entries are the exact
+averages of ``I^alpha phi_i`` over each interval, so ``F^alpha`` is the
+best piecewise-constant representation of the RL integral operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from .._validation import check_fractional_order, check_positive_float, check_positive_int
+from .nilpotent import upper_toeplitz
+
+__all__ = ["rl_integration_coefficients", "rl_integration_matrix"]
+
+
+def rl_integration_coefficients(alpha: float, m: int, h: float) -> np.ndarray:
+    """First-row coefficients of the RL fractional-integration matrix.
+
+    Parameters
+    ----------
+    alpha:
+        Integration order, ``alpha > 0``.
+    m:
+        Number of block-pulse terms.
+    h:
+        Uniform interval width.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``h^alpha / Gamma(alpha + 2) * (1, xi_1, ..., xi_{m-1})``.
+    """
+    alpha = check_fractional_order(alpha)
+    m = check_positive_int(m, "m")
+    h = check_positive_float(h, "h")
+
+    k = np.arange(1, m, dtype=float)
+    xi = np.empty(m)
+    xi[0] = 1.0
+    if m > 1:
+        xi[1:] = (k + 1.0) ** (alpha + 1.0) - 2.0 * k ** (alpha + 1.0) + (k - 1.0) ** (alpha + 1.0)
+    scale = h**alpha * np.exp(-gammaln(alpha + 2.0))
+    return scale * xi
+
+
+def rl_integration_matrix(alpha: float, m: int, h: float) -> np.ndarray:
+    """Riemann-Liouville block-pulse fractional-integration matrix ``F^alpha``.
+
+    See the module docstring for the closed form.  ``F^1`` equals the
+    integer integral matrix ``H_(m)`` of paper eq. (4).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.opmat import integration_matrix
+    >>> np.allclose(rl_integration_matrix(1.0, 5, 0.25), integration_matrix(5, 0.25))
+    True
+    """
+    return upper_toeplitz(rl_integration_coefficients(alpha, m, h))

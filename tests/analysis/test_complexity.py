@@ -1,0 +1,69 @@
+"""Tests for power-law fitting and sparsity statistics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import fit_power_law, predicted_cost, sparsity_stats
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        exponent, prefactor, r2 = fit_power_law([1, 2, 4, 8], [3, 12, 48, 192])
+        assert exponent == pytest.approx(2.0)
+        assert prefactor == pytest.approx(3.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_linear(self, rng):
+        x = np.array([10.0, 40.0, 160.0, 640.0])
+        y = 0.5 * x * rng.uniform(0.9, 1.1, size=4)
+        exponent, _, r2 = fit_power_law(x, y)
+        assert abs(exponent - 1.0) < 0.15 and r2 > 0.98
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+
+class TestPredictedCost:
+    def test_first_order_no_history_term(self):
+        # doubling m doubles cost for alpha = 1
+        c1 = predicted_cost(1000, 100, alpha=1.0)
+        c2 = predicted_cost(1000, 200, alpha=1.0)
+        assert c2 == pytest.approx(2.0 * c1)
+
+    def test_fractional_history_dominates_large_m(self):
+        # for alpha != 1 the n m^2 term makes cost superlinear in m
+        c1 = predicted_cost(1000, 1000, alpha=0.5)
+        c2 = predicted_cost(1000, 2000, alpha=0.5)
+        assert c2 > 3.0 * c1
+
+    def test_beta_exponent(self):
+        c = predicted_cost(100, 1, alpha=1.0, beta=2.0)
+        assert c == pytest.approx(100.0**2)
+
+
+class TestSparsityStats:
+    def test_dense_matrix(self):
+        stats = sparsity_stats(np.eye(4))
+        assert stats["nnz"] == 4
+        assert stats["density"] == pytest.approx(0.25)
+        assert stats["nnz_per_row"] == pytest.approx(1.0)
+
+    def test_sparse_matrix(self):
+        m = sp.diags([np.ones(99), np.ones(100), np.ones(99)], [-1, 0, 1])
+        stats = sparsity_stats(m.tocsr())
+        assert stats["nnz"] == 298
+        assert stats["nnz_per_row"] < 3.0
+
+    def test_power_grid_is_sparse(self):
+        # the complexity model's O(n) nonzeros assumption holds
+        from repro.circuits import power_grid_models
+
+        bundle = power_grid_models(6, 6, 3, via_pitch=2)
+        stats = sparsity_stats(bundle["mna"].A)
+        assert stats["nnz_per_row"] < 8.0

@@ -1,0 +1,58 @@
+"""Tests for order estimation and refinement studies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_order, refinement_errors
+
+
+class TestEstimateOrder:
+    def test_exact_second_order(self):
+        h = np.array([0.1, 0.05, 0.025])
+        assert estimate_order(h, h**2) == pytest.approx(2.0)
+
+    def test_exact_first_order(self):
+        h = np.array([0.2, 0.1, 0.05, 0.025])
+        assert estimate_order(h, 3.0 * h) == pytest.approx(1.0)
+
+    def test_noisy_data_close(self, rng):
+        h = np.array([0.1, 0.05, 0.025, 0.0125])
+        noise = rng.uniform(0.9, 1.1, size=4)
+        order = estimate_order(h, h**1.5 * noise)
+        assert abs(order - 1.5) < 0.25
+
+    def test_rejects_zero_errors(self):
+        with pytest.raises(ValueError):
+            estimate_order([0.1, 0.05], [1e-3, 0.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            estimate_order([0.1], [1e-3, 1e-4])
+
+
+class TestRefinementErrors:
+    def test_opm_refinement_study(self, scalar_ode):
+        from repro.core import simulate_opm
+
+        times = np.linspace(0.5, 4.5, 9)
+
+        def solve_at(m):
+            # sample at fixed times via interval averages of the solution
+            res = simulate_opm(scalar_ode, 1.0, (5.0, m))
+            return res.states(times)[0]
+
+        errors = refinement_errors(solve_at, lambda t: 1.0 - np.exp(-t), [50, 100, 200], times)
+        assert errors.size == 3
+        assert errors[2] < errors[1] < errors[0]
+
+    def test_reference_as_array(self):
+        times = np.array([0.0, 1.0])
+        errors = refinement_errors(
+            lambda m: np.array([0.0, 1.0 + 1.0 / m]), np.array([0.0, 1.0]), [10, 20], times
+        )
+        np.testing.assert_allclose(errors, [0.1, 0.05])
+
+    def test_shape_mismatch_rejected(self):
+        times = np.array([0.0, 1.0])
+        with pytest.raises(ValueError):
+            refinement_errors(lambda m: np.zeros(3), np.zeros(2), [4], times)

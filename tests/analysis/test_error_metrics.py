@@ -1,0 +1,76 @@
+"""Tests for error metrics (paper eq. (30))."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_relative_error_db,
+    l2_norm,
+    linf_error,
+    relative_error_db,
+)
+
+
+class TestRelativeErrorDb:
+    def test_ten_percent_is_minus_twenty(self):
+        assert relative_error_db([1.0, 0.0], [1.1, 0.0]) == pytest.approx(-20.0)
+
+    def test_equal_waveforms_minus_inf(self):
+        assert relative_error_db([1.0, 2.0], [1.0, 2.0]) == -np.inf
+
+    def test_one_percent_is_minus_forty(self):
+        ref = np.ones(100)
+        test = ref * 1.01
+        assert relative_error_db(ref, test) == pytest.approx(-40.0)
+
+    def test_reference_in_denominator(self):
+        # asymmetric: the first argument normalises
+        a = np.array([1.0])
+        b = np.array([2.0])
+        assert relative_error_db(a, b) == pytest.approx(0.0)  # |2-1|/|1|
+        assert relative_error_db(b, a) == pytest.approx(-20.0 * np.log10(2.0))
+
+    def test_matrix_input_flattened(self):
+        ref = np.ones((2, 4))
+        test = np.ones((2, 4)) * 1.1
+        assert relative_error_db(ref, test) == pytest.approx(-20.0)
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError, match="zero"):
+            relative_error_db([0.0, 0.0], [1.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error_db([1.0], [1.0, 2.0])
+
+
+class TestAverageRelativeErrorDb:
+    def test_averages_per_output(self):
+        ref = np.array([[1.0, 1.0], [10.0, 10.0]])
+        test = np.array([[1.1, 1.1], [10.1, 10.1]])  # 10% and 1%
+        expected = (-20.0 + -40.0) / 2.0
+        assert average_relative_error_db(ref, test) == pytest.approx(expected)
+
+    def test_small_output_not_masked(self):
+        # a tiny-but-wrong output dominates the average, unlike a
+        # flattened norm where the big output would hide it
+        ref = np.array([[1e-6, 1e-6], [1.0, 1.0]])
+        test = np.array([[2e-6, 2e-6], [1.0 + 1e-9, 1.0]])
+        avg = average_relative_error_db(ref, test)
+        flat = relative_error_db(ref, test)
+        assert avg > flat + 20.0  # the per-output view is much worse
+
+    def test_1d_promoted(self):
+        assert average_relative_error_db([1.0, 0.0], [1.1, 0.0]) == pytest.approx(-20.0)
+
+
+class TestSimpleNorms:
+    def test_l2(self):
+        assert l2_norm([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_linf(self):
+        assert linf_error([1.0, 2.0], [1.5, 1.0]) == pytest.approx(1.0)
+
+    def test_linf_shape_check(self):
+        with pytest.raises(ValueError):
+            linf_error([1.0], [1.0, 2.0])

@@ -1,0 +1,112 @@
+"""Tests for frequency-domain evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_gain, frequency_response, transfer_function
+from repro.core import (
+    DescriptorSystem,
+    FractionalDescriptorSystem,
+    SecondOrderSystem,
+)
+from repro.errors import SolverError
+
+
+class TestTransferFunction:
+    def test_first_order_lowpass(self, scalar_ode):
+        # H(s) = 1/(s+1)
+        for s in (0.0, 1j, 2.0 + 3j):
+            expected = 1.0 / (s + 1.0)
+            assert transfer_function(scalar_ode, s)[0, 0] == pytest.approx(expected)
+
+    def test_fractional_half_order(self, scalar_fde):
+        # H(s) = 1/(s^0.5 + 1)
+        s = 4.0
+        assert transfer_function(scalar_fde, s)[0, 0] == pytest.approx(1.0 / 3.0)
+
+    def test_second_order_resonance(self):
+        # H(s) = wn^2/(s^2 + 2 zeta wn s + wn^2)
+        wn, zeta = 2.0, 0.1
+        system = SecondOrderSystem(
+            [[1.0]], [[2 * zeta * wn]], [[wn**2]], [[wn**2]]
+        )
+        s = 1j * wn  # at resonance: |H| = 1/(2 zeta)
+        value = transfer_function(system, s)[0, 0]
+        assert abs(value) == pytest.approx(1.0 / (2.0 * zeta))
+
+    def test_c_and_d_applied(self):
+        system = DescriptorSystem(
+            [[1.0]], [[-1.0]], [[1.0]], C=[[2.0]], D=[[0.5]]
+        )
+        assert transfer_function(system, 0.0)[0, 0] == pytest.approx(2.5)
+
+    def test_sparse_system(self):
+        import scipy.sparse as sp
+
+        system = DescriptorSystem(
+            sp.identity(3), -sp.identity(3), np.ones((3, 1))
+        )
+        np.testing.assert_allclose(
+            transfer_function(system, 1.0).real, 0.5 * np.ones((3, 1))
+        )
+
+    def test_singular_raises(self):
+        system = DescriptorSystem(np.eye(2), np.zeros((2, 2)), np.ones((2, 1)))
+        with pytest.raises(SolverError, match="singular"):
+            transfer_function(system, 0.0)
+
+
+class TestFrequencyResponse:
+    def test_shape(self, scalar_ode):
+        H = frequency_response(scalar_ode, np.logspace(-1, 2, 16))
+        assert H.shape == (16, 1, 1)
+
+    def test_fractional_magnitude_slope(self, scalar_fde):
+        # half-order pole: -10 dB/decade high-frequency slope (vs -20
+        # for an integer pole)
+        w = np.array([1e3, 1e4])
+        mags = 20.0 * np.log10(np.abs(frequency_response(scalar_fde, w)[:, 0, 0]))
+        assert mags[0] - mags[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_matches_fft_baseline_internals(self, scalar_fde):
+        # the FFT baseline is H(jw) evaluation + IFFT: cross-check one
+        # frequency pencil against transfer_function
+        from repro.baselines import simulate_fft
+
+        T, N = 4.0, 64
+        res = simulate_fft(scalar_fde, lambda t: np.sin(2 * np.pi * t / T), T, N)
+        # reconstruct the spectrum of the states and compare the ratio
+        u_f = np.fft.rfft(res.input_values[0])
+        x_f = np.fft.rfft(res.state_values[0])
+        k = 1  # the driven bin
+        w = 2.0 * np.pi * k / T
+        expected = transfer_function(scalar_fde, 1j * w)[0, 0]
+        assert x_f[k] / u_f[k] == pytest.approx(expected, rel=1e-10)
+
+
+class TestDCGain:
+    def test_integer_system(self, scalar_ode):
+        assert dc_gain(scalar_ode)[0, 0] == pytest.approx(1.0)
+
+    def test_fractional_system(self, scalar_fde):
+        assert dc_gain(scalar_fde)[0, 0] == pytest.approx(1.0)
+
+    def test_matches_long_time_response(self):
+        from repro.core import simulate_opm
+
+        system = DescriptorSystem([[1.0]], [[-2.0]], [[3.0]])
+        res = simulate_opm(system, 1.0, (20.0, 400))
+        assert res.coefficients[0, -1] == pytest.approx(
+            dc_gain(system)[0, 0], rel=1e-4
+        )
+
+    def test_transmission_line_port_gain(self):
+        # terminated line: DC input current splits over the resistive
+        # network; gain must be positive and below the termination value
+        from repro.circuits import fractional_line_model
+
+        model = fractional_line_model()
+        g = dc_gain(model)
+        assert g.shape == (2, 2)
+        assert 0.0 < g[0, 0] < 50.0
+        np.testing.assert_allclose(g, g.T, atol=1e-12)  # reciprocity

@@ -1,0 +1,66 @@
+"""Tests for waveform post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import overshoot, sample_outputs, settling_time
+from repro.core import DescriptorSystem, simulate_opm
+from repro.baselines import simulate_transient
+
+
+class TestSampleOutputs:
+    def test_mixed_result_types(self, scalar_ode):
+        t = np.linspace(0.2, 4.8, 9)
+        coeff_res = simulate_opm(scalar_ode, 1.0, (5.0, 500))
+        node_res = simulate_transient(scalar_ode, 1.0, 5.0, 500)
+        a = sample_outputs(coeff_res, t)
+        b = sample_outputs(node_res, t)
+        assert a.shape == b.shape == (1, 9)
+        np.testing.assert_allclose(a, b, atol=5e-3)
+
+    def test_rejects_non_result(self):
+        with pytest.raises(TypeError):
+            sample_outputs(np.zeros(4), [0.0])
+
+
+class TestOvershoot:
+    def test_monotone_no_overshoot(self):
+        y = 1.0 - np.exp(-np.linspace(0, 5, 50))
+        assert overshoot(y) == 0.0
+
+    def test_known_overshoot(self):
+        y = np.array([0.0, 1.4, 0.8, 1.1, 1.0])
+        assert overshoot(y) == pytest.approx(0.4)
+
+    def test_explicit_final_value(self):
+        y = np.array([0.0, 1.5])
+        assert overshoot(y, final_value=1.0) == pytest.approx(0.5)
+
+    def test_negative_going_waveform(self):
+        y = np.array([0.0, -1.3, -1.0])
+        assert overshoot(y) == pytest.approx(0.3)
+
+    def test_rejects_zero_final(self):
+        with pytest.raises(ValueError):
+            overshoot([1.0, 0.0])
+
+
+class TestSettlingTime:
+    def test_decaying_exponential(self):
+        t = np.linspace(0.0, 10.0, 1001)
+        y = 1.0 - np.exp(-t)
+        ts = settling_time(t, y, tolerance=0.02)
+        assert ts == pytest.approx(-np.log(0.02), abs=0.05)
+
+    def test_always_settled(self):
+        t = np.linspace(0.0, 1.0, 11)
+        assert settling_time(t, np.ones(11)) == 0.0
+
+    def test_never_settled(self):
+        t = np.linspace(0.0, 1.0, 11)
+        y = np.linspace(0.0, 1.0, 11)  # still moving at the end
+        assert settling_time(t, y, tolerance=0.001) == 1.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            settling_time([0.0, 1.0], [1.0])

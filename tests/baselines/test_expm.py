@@ -1,0 +1,72 @@
+"""Tests for the matrix-exponential reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import simulate_expm
+from repro.core import DescriptorSystem
+from repro.errors import SolverError
+
+
+class TestExactness:
+    def test_constant_input_machine_precision(self, scalar_ode):
+        res = simulate_expm(scalar_ode, 1.0, 5.0, 37)
+        exact = 1.0 - np.exp(-res.times)
+        np.testing.assert_allclose(res.state_values[0], exact, atol=1e-13)
+
+    def test_descriptor_with_invertible_e(self):
+        system = DescriptorSystem([[2.0]], [[-2.0]], [[2.0]])  # tau = 1
+        res = simulate_expm(system, 1.0, 3.0, 10)
+        np.testing.assert_allclose(
+            res.state_values[0], 1.0 - np.exp(-res.times), atol=1e-13
+        )
+
+    def test_oscillator_energy_exact(self):
+        # undamped oscillator with zero input: rotation matrix steps
+        A = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        system = DescriptorSystem(np.eye(2), A, np.zeros((2, 1)), x0=[1.0, 0.0])
+        res = simulate_expm(system, 0.0, 10.0, 100)
+        energy = np.sum(res.state_values**2, axis=0)
+        np.testing.assert_allclose(energy, 1.0, atol=1e-12)
+
+    def test_time_varying_input_second_order(self, scalar_ode):
+        t_probe = np.linspace(0.5, 5.5, 7)
+        exact = 0.5 * (np.sin(t_probe) - np.cos(t_probe) + np.exp(-t_probe))
+        errs = [
+            np.max(np.abs(
+                simulate_expm(scalar_ode, lambda t: np.sin(t), 6.0, n).states(t_probe)[0]
+                - exact))
+            for n in (50, 100)
+        ]
+        assert errs[1] < errs[0] / 3.0  # O(h^2) from input averaging
+
+    def test_x0(self):
+        system = DescriptorSystem([[1.0]], [[-1.0]], [[1.0]], x0=[4.0])
+        res = simulate_expm(system, 0.0, 2.0, 16)
+        np.testing.assert_allclose(
+            res.state_values[0], 4.0 * np.exp(-res.times), atol=1e-13
+        )
+
+
+class TestValidation:
+    def test_rejects_singular_e(self):
+        E = np.array([[1.0, 0.0], [0.0, 0.0]])
+        system = DescriptorSystem(E, -np.eye(2), np.ones((2, 1)))
+        with pytest.raises(SolverError, match="invertible E"):
+            simulate_expm(system, 1.0, 1.0, 10)
+
+    def test_rejects_fractional(self, scalar_fde):
+        with pytest.raises(SolverError):
+            simulate_expm(scalar_fde, 1.0, 1.0, 10)
+
+    def test_rejects_large_systems(self):
+        n = 700
+        system = DescriptorSystem(np.eye(n), -np.eye(n), np.ones((n, 1)))
+        with pytest.raises(SolverError, match="dense reference"):
+            simulate_expm(system, 1.0, 1.0, 4)
+
+    def test_constant_input_detection(self, scalar_ode):
+        res = simulate_expm(scalar_ode, 2.5, 1.0, 8)
+        assert res.info["constant_input"] is True
+        res2 = simulate_expm(scalar_ode, lambda t: np.sin(t), 1.0, 8)
+        assert res2.info["constant_input"] is False

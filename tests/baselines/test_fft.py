@@ -1,0 +1,80 @@
+"""Tests for the frequency-domain FFT baseline (Table I method)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import simulate_fft
+from repro.core import DescriptorSystem, FractionalDescriptorSystem, simulate_opm
+from repro.circuits import fractional_line_model
+from repro.errors import SolverError
+
+
+def pulse(t):
+    """Smooth compactly-supported input (periodisation-friendly)."""
+    t = np.asarray(t)
+    return np.where((t > 0) & (t < 2.0), 0.5 * (1 - np.cos(np.pi * t)), 0.0)
+
+
+class TestFractionalAccuracy:
+    def test_converges_to_opm_with_more_samples(self):
+        system = FractionalDescriptorSystem(0.5, [[1.0]], [[-4.0]], [[4.0]])
+        opm = simulate_opm(system, pulse, (8.0, 2048))
+        t = np.linspace(0.3, 7.5, 25)
+        errs = []
+        for n in (8, 100, 512):
+            fft_res = simulate_fft(system, pulse, 8.0, n)
+            errs.append(np.max(np.abs(fft_res.states(t)[0] - opm.states(t)[0])))
+        assert errs[1] < errs[0] / 3.0  # paper's FFT-1 vs FFT-2 ordering
+        assert errs[2] <= errs[1]
+
+    def test_integer_order_special_case(self, scalar_ode):
+        # alpha=1 with a periodic-friendly decaying pulse
+        system = DescriptorSystem([[1.0]], [[-4.0]], [[4.0]])
+        fft_res = simulate_fft(system, pulse, 8.0, 1024)
+        opm = simulate_opm(system, pulse, (8.0, 2048))
+        t = np.linspace(0.5, 7.0, 17)
+        np.testing.assert_allclose(fft_res.states(t)[0], opm.states(t)[0], atol=2e-2)
+
+    def test_mimo_transmission_line(self):
+        model = fractional_line_model()
+        u = lambda t: np.vstack([pulse(t / 1e-9), np.zeros_like(t)])
+        res = simulate_fft(model, u, 2.7e-9, 64)
+        assert res.state_values.shape == (7, 64)
+        y = res.output_values
+        assert y.shape == (2, 64)
+
+    def test_output_is_real(self):
+        system = FractionalDescriptorSystem(0.5, [[1.0]], [[-1.0]], [[1.0]])
+        res = simulate_fft(system, pulse, 4.0, 32)
+        assert res.state_values.dtype.kind == "f"
+
+
+class TestBookkeeping:
+    def test_complex_solve_count(self):
+        system = FractionalDescriptorSystem(0.5, [[1.0]], [[-1.0]], [[1.0]])
+        res = simulate_fft(system, pulse, 4.0, 100)
+        assert res.info["complex_solves"] == 51  # N/2 + 1
+
+    def test_rejects_singular_dc(self):
+        # A singular at DC: (j0)^alpha E - A = -A not invertible
+        system = FractionalDescriptorSystem(
+            0.5, np.eye(2), np.zeros((2, 2)), np.ones((2, 1))
+        )
+        with pytest.raises(SolverError, match="singular"):
+            simulate_fft(system, pulse, 1.0, 8)
+
+    def test_rejects_x0(self):
+        system = DescriptorSystem([[1.0]], [[-1.0]], [[1.0]], x0=[1.0])
+        with pytest.raises(SolverError, match="initial"):
+            simulate_fft(system, pulse, 1.0, 8)
+
+    def test_sample_times_layout(self):
+        system = FractionalDescriptorSystem(0.5, [[1.0]], [[-1.0]], [[1.0]])
+        res = simulate_fft(system, pulse, 4.0, 8)
+        np.testing.assert_allclose(res.times, np.arange(8) * 0.5)
+
+    def test_scalar_input(self):
+        # constant input on a nonsingular-at-DC system: response constant
+        system = FractionalDescriptorSystem(0.5, [[1.0]], [[-2.0]], [[2.0]])
+        res = simulate_fft(system, 1.0, 4.0, 16)
+        np.testing.assert_allclose(res.state_values, np.ones((1, 16)), atol=1e-10)

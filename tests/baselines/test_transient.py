@@ -1,0 +1,93 @@
+"""Tests for the classical transient-analysis baselines (Table II methods)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import simulate_transient
+from repro.core import DescriptorSystem
+from repro.errors import ModelError, SolverError
+
+
+class TestAccuracyOrders:
+    @pytest.mark.parametrize(
+        "method,expected_order", [("backward-euler", 1.0), ("trapezoidal", 2.0), ("gear2", 2.0)]
+    )
+    def test_convergence_order(self, scalar_ode, method, expected_order):
+        t = np.linspace(0.5, 4.5, 9)
+        exact = 1.0 - np.exp(-t)
+        errs = [
+            np.max(np.abs(simulate_transient(scalar_ode, 1.0, 5.0, n, method=method).states(t)[0] - exact))
+            for n in (100, 200, 400)
+        ]
+        rate = np.log2(errs[0] / errs[2]) / 2.0
+        assert abs(rate - expected_order) < 0.35
+
+    def test_trapezoidal_beats_backward_euler(self, scalar_ode):
+        t = np.linspace(0.5, 4.5, 9)
+        exact = 1.0 - np.exp(-t)
+        be = simulate_transient(scalar_ode, 1.0, 5.0, 200, method="backward-euler")
+        tr = simulate_transient(scalar_ode, 1.0, 5.0, 200, method="trapezoidal")
+        err_be = np.max(np.abs(be.states(t)[0] - exact))
+        err_tr = np.max(np.abs(tr.states(t)[0] - exact))
+        assert err_tr < err_be / 50.0
+
+    def test_sinusoidal_input(self, scalar_ode):
+        res = simulate_transient(scalar_ode, lambda t: np.sin(t), 6.0, 1200)
+        t = np.linspace(0.5, 5.5, 9)
+        exact = 0.5 * (np.sin(t) - np.cos(t) + np.exp(-t))
+        np.testing.assert_allclose(res.states(t)[0], exact, atol=1e-5)
+
+
+class TestDAE:
+    def test_algebraic_constraint_enforced(self):
+        E = np.array([[1.0, 0.0], [0.0, 0.0]])
+        A = np.array([[-1.0, 0.0], [-1.0, 1.0]])
+        B = np.array([[1.0], [0.0]])
+        system = DescriptorSystem(E, A, B)
+        for method in ("backward-euler", "trapezoidal", "gear2"):
+            res = simulate_transient(system, 1.0, 2.0, 100, method=method)
+            # x2 = x1 at all nodes after the start
+            np.testing.assert_allclose(
+                res.state_values[0, 1:], res.state_values[1, 1:], atol=1e-9
+            )
+
+    def test_x0_honoured(self):
+        system = DescriptorSystem([[1.0]], [[-1.0]], [[1.0]], x0=[5.0])
+        res = simulate_transient(system, 0.0, 1.0, 100)
+        assert res.state_values[0, 0] == 5.0
+        np.testing.assert_allclose(
+            res.states([1.0])[0], 5.0 * np.exp(-1.0), atol=1e-4
+        )
+
+
+class TestBookkeeping:
+    def test_single_factorisation(self, scalar_ode):
+        for method in ("backward-euler", "trapezoidal"):
+            res = simulate_transient(scalar_ode, 1.0, 1.0, 50, method=method)
+            assert res.info["factorisations"] == 1
+
+    def test_gear_two_factorisations(self, scalar_ode):
+        # bootstrap BE step + BDF2 steps
+        res = simulate_transient(scalar_ode, 1.0, 1.0, 50, method="gear2")
+        assert res.info["factorisations"] == 2
+
+    def test_rejects_unknown_method(self, scalar_ode):
+        with pytest.raises(SolverError, match="method"):
+            simulate_transient(scalar_ode, 1.0, 1.0, 10, method="rk4")
+
+    def test_rejects_fractional(self, scalar_fde):
+        with pytest.raises(SolverError, match="first-order"):
+            simulate_transient(scalar_fde, 1.0, 1.0, 10)
+
+    def test_rejects_bad_input(self, scalar_ode):
+        with pytest.raises(ModelError):
+            simulate_transient(scalar_ode, np.zeros(11), 1.0, 10)
+
+    def test_rejects_wrong_system_type(self):
+        with pytest.raises(TypeError):
+            simulate_transient(123, 1.0, 1.0, 10)
+
+    def test_nodes_include_origin(self, scalar_ode):
+        res = simulate_transient(scalar_ode, 1.0, 1.0, 10)
+        assert res.times[0] == 0.0 and res.times[-1] == 1.0
+        assert res.times.size == 11

@@ -1,0 +1,70 @@
+"""Tests for the shifted-Chebyshev basis."""
+
+import numpy as np
+import pytest
+
+from repro.basis import ChebyshevBasis
+from repro.errors import BasisError
+
+
+@pytest.fixture
+def basis() -> ChebyshevBasis:
+    return ChebyshevBasis(2.0, 8)
+
+
+class TestProjection:
+    def test_polynomials_project_exactly(self, basis):
+        f = lambda t: 2.0 + t - 0.25 * t**2
+        coeffs = basis.project(f)
+        t = np.linspace(0.0, 2.0, 15)
+        np.testing.assert_allclose(basis.synthesize(coeffs, t), f(t), atol=1e-12)
+
+    def test_linear_coefficients_known(self):
+        # on [0, 2]: t = 1 + Ts_1(t)
+        b = ChebyshevBasis(2.0, 4)
+        np.testing.assert_allclose(b.project(lambda t: t), [1, 1, 0, 0], atol=1e-12)
+
+    def test_smooth_spectral_convergence(self):
+        f = lambda t: 1.0 / (1.0 + t**2)
+        t = np.linspace(0.0, 2.0, 33)
+        errs = [
+            np.max(np.abs(ChebyshevBasis(2.0, m).synthesize(
+                ChebyshevBasis(2.0, m).project(f), t) - f(t)))
+            for m in (4, 8, 16)
+        ]
+        assert errs[1] < errs[0] / 5 and errs[2] < errs[1] / 5
+
+
+class TestOperationalMatrices:
+    def test_integration_exact_on_polynomials(self, basis):
+        coeffs = basis.project(lambda t: 3.0 * t**2)
+        integrated = basis.integration_matrix().T @ coeffs
+        t = np.linspace(0.0, 2.0, 9)
+        np.testing.assert_allclose(basis.synthesize(integrated, t), t**3, atol=1e-11)
+
+    def test_integration_from_zero(self, basis):
+        # the matrix encodes integration *from zero*: value at t=0 is 0
+        # (polynomial input -> exact; no projection truncation)
+        coeffs = basis.project(lambda t: 1.0 + t + t**2)
+        integrated = basis.integration_matrix().T @ coeffs
+        np.testing.assert_allclose(basis.synthesize(integrated, [0.0]), [0.0], atol=1e-11)
+
+    def test_no_differentiation_matrix(self, basis):
+        with pytest.raises(BasisError):
+            basis.differentiation_matrix()
+
+    def test_fractional_alpha_one_matches_integer(self, basis):
+        np.testing.assert_allclose(
+            basis.fractional_integration_matrix(1.0),
+            basis.integration_matrix(),
+            atol=1e-9,
+        )
+
+    def test_fractional_half_integral_of_constant(self):
+        b = ChebyshevBasis(1.0, 24)
+        coeffs = b.project(lambda t: np.ones_like(t))
+        frac = b.fractional_integration_matrix(0.5).T @ coeffs
+        t = np.linspace(0.1, 0.95, 10)
+        np.testing.assert_allclose(
+            b.synthesize(frac, t), 2.0 * np.sqrt(t / np.pi), atol=2e-3
+        )

@@ -1,0 +1,102 @@
+"""Tests for TimeGrid."""
+
+import numpy as np
+import pytest
+
+from repro.basis import TimeGrid
+
+
+class TestConstruction:
+    def test_uniform(self):
+        g = TimeGrid.uniform(2.0, 4)
+        np.testing.assert_allclose(g.edges, [0.0, 0.5, 1.0, 1.5, 2.0])
+        assert g.m == 4 and g.is_uniform and g.h == 0.5 and g.t_end == 2.0
+
+    def test_from_steps(self):
+        g = TimeGrid.from_steps([0.1, 0.3, 0.2])
+        np.testing.assert_allclose(g.edges, [0.0, 0.1, 0.4, 0.6])
+        assert not g.is_uniform
+
+    def test_from_edges(self):
+        g = TimeGrid.from_edges([0.0, 1.0, 3.0])
+        np.testing.assert_allclose(g.steps, [1.0, 2.0])
+
+    def test_geometric_ratio(self):
+        g = TimeGrid.geometric(1.0, 5, 2.0)
+        ratios = g.steps[1:] / g.steps[:-1]
+        np.testing.assert_allclose(ratios, 2.0)
+        assert abs(g.t_end - 1.0) < 1e-12
+
+    def test_geometric_ratio_one_is_uniform(self):
+        g = TimeGrid.geometric(1.0, 4, 1.0)
+        assert g.is_uniform
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError, match="start at t = 0"):
+            TimeGrid.from_edges([0.5, 1.0])
+
+    def test_rejects_decreasing_edges(self):
+        with pytest.raises(ValueError):
+            TimeGrid.from_edges([0.0, 1.0, 0.5])
+
+    def test_rejects_single_edge(self):
+        with pytest.raises(ValueError):
+            TimeGrid.from_edges([0.0])
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            TimeGrid.from_steps([0.1, -0.1])
+
+
+class TestBehaviour:
+    def test_midpoints(self):
+        g = TimeGrid.uniform(1.0, 4)
+        np.testing.assert_allclose(g.midpoints, [0.125, 0.375, 0.625, 0.875])
+
+    def test_locate_interior(self):
+        g = TimeGrid.uniform(1.0, 4)
+        np.testing.assert_array_equal(g.locate([0.0, 0.3, 0.55, 0.99]), [0, 1, 2, 3])
+
+    def test_locate_right_endpoint_maps_to_last(self):
+        g = TimeGrid.uniform(1.0, 4)
+        assert g.locate(1.0) == 3
+
+    def test_locate_rejects_outside(self):
+        g = TimeGrid.uniform(1.0, 4)
+        with pytest.raises(ValueError):
+            g.locate(-0.01)
+        with pytest.raises(ValueError):
+            g.locate(1.1)
+
+    def test_h_raises_for_nonuniform(self):
+        g = TimeGrid.from_steps([0.1, 0.2])
+        with pytest.raises(ValueError, match="not uniform"):
+            _ = g.h
+
+    def test_refine(self):
+        g = TimeGrid.uniform(1.0, 2).refine(2)
+        np.testing.assert_allclose(g.edges, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_refine_identity(self):
+        g = TimeGrid.uniform(1.0, 3)
+        assert g.refine(1) is g
+
+    def test_refine_nonuniform(self):
+        g = TimeGrid.from_steps([0.2, 0.4]).refine(2)
+        np.testing.assert_allclose(g.edges, [0.0, 0.1, 0.2, 0.4, 0.6])
+
+    def test_equality_and_hash(self):
+        a = TimeGrid.uniform(1.0, 4)
+        b = TimeGrid.uniform(1.0, 4)
+        c = TimeGrid.uniform(1.0, 5)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_edges_read_only(self):
+        g = TimeGrid.uniform(1.0, 4)
+        with pytest.raises(ValueError):
+            g.edges[0] = 5.0
+
+    def test_repr_mentions_kind(self):
+        assert "uniform" in repr(TimeGrid.uniform(1.0, 4))
+        assert "adaptive" in repr(TimeGrid.from_steps([0.1, 0.2]))

@@ -1,0 +1,76 @@
+"""Tests for the Haar basis."""
+
+import numpy as np
+import pytest
+
+from repro.basis import BlockPulseBasis, HaarBasis, TimeGrid, haar_matrix
+from repro.errors import BasisError
+
+
+class TestHaarMatrix:
+    def test_order_two(self):
+        np.testing.assert_array_equal(haar_matrix(2), [[1, 1], [1, -1]])
+
+    def test_orthogonality(self):
+        for m in (4, 8, 16):
+            w = haar_matrix(m)
+            np.testing.assert_allclose(w @ w.T, m * np.eye(m), atol=1e-12)
+
+    def test_wavelet_scaling(self):
+        w = haar_matrix(8)
+        # row 4 is the first scale-2 wavelet: amplitude 2^{2/2} = 2
+        np.testing.assert_allclose(np.max(np.abs(w[4])), 2.0)
+
+    def test_rows_have_compact_support(self):
+        w = haar_matrix(8)
+        # last-scale wavelets touch exactly 2 cells
+        for row in range(4, 8):
+            assert np.count_nonzero(w[row]) == 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_matrix(10)
+
+
+class TestHaarBasis:
+    def test_gram_identity(self):
+        basis = HaarBasis(1.0, 16)
+        np.testing.assert_allclose(basis.gram_matrix(), np.eye(16), atol=1e-10)
+
+    def test_same_span_as_block_pulse(self):
+        basis = HaarBasis(1.0, 16)
+        bpf = BlockPulseBasis(TimeGrid.uniform(1.0, 16))
+        f = lambda t: np.cos(3 * t) * t
+        t = np.linspace(0.01, 0.99, 23)
+        np.testing.assert_allclose(
+            basis.synthesize(basis.project(f), t),
+            bpf.synthesize(bpf.project(f), t),
+            atol=1e-12,
+        )
+
+    def test_integration_differentiation_inverse(self):
+        basis = HaarBasis(1.0, 8)
+        np.testing.assert_allclose(
+            basis.integration_matrix() @ basis.differentiation_matrix(),
+            np.eye(8),
+            atol=1e-9,
+        )
+
+    def test_fractional_semigroup(self):
+        basis = HaarBasis(1.0, 8)
+        half = basis.fractional_integration_matrix(0.5)
+        one = basis.integration_matrix()
+        np.testing.assert_allclose(half @ half, one, atol=1e-9)
+
+    def test_multiresolution_localisation(self):
+        # a sharp local feature excites only wavelets near it
+        basis = HaarBasis(1.0, 32)
+        f = lambda t: np.where((t > 0.4) & (t < 0.45), 1.0, 0.0)
+        coeffs = basis.project(f)
+        # finest-scale wavelets: indices 16..31 cover [k/16, (k+1)/16)
+        fine = np.abs(coeffs[16:])
+        assert np.argmax(fine) in (6, 7)  # near t ~ 0.4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(BasisError):
+            HaarBasis(1.0, 6)

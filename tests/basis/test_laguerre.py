@@ -1,0 +1,90 @@
+"""Tests for the Laguerre-function basis."""
+
+import numpy as np
+import pytest
+
+from repro.basis import LaguerreBasis
+
+
+@pytest.fixture
+def basis() -> LaguerreBasis:
+    return LaguerreBasis(1.5, 16)
+
+
+class TestFamily:
+    def test_orthonormal(self, basis):
+        np.testing.assert_allclose(basis.gram_matrix(), np.eye(16), atol=1e-8)
+
+    def test_phi0_is_scaled_exponential(self):
+        b = LaguerreBasis(2.0, 4)
+        t = np.linspace(0.0, 2.0, 9)
+        np.testing.assert_allclose(
+            b.evaluate(t)[0], np.sqrt(4.0) * np.exp(-2.0 * t), atol=1e-12
+        )
+
+    def test_semi_infinite_span(self, basis):
+        assert basis.t_end == np.inf
+
+    def test_projection_of_member_function(self):
+        # phi_1(t) = sqrt(2a) e^{-at} L_1(2at); projecting it recovers e_1
+        a = 1.0
+        b = LaguerreBasis(a, 8)
+        phi1 = lambda t: np.sqrt(2 * a) * np.exp(-a * t) * (1.0 - 2.0 * a * t)
+        coeffs = b.project(phi1)
+        expected = np.zeros(8)
+        expected[1] = 1.0
+        np.testing.assert_allclose(coeffs, expected, atol=1e-8)
+
+    def test_decaying_function_expansion_converges(self):
+        # pole mismatch (decay 1.3 vs family scale 2.0) forces a genuine
+        # infinite expansion, so the truncation error must shrink with m
+        f = lambda t: t * np.exp(-1.3 * t)
+        t = np.linspace(0.0, 4.0, 21)
+        errs = []
+        for m in (4, 8, 16, 32):
+            b = LaguerreBasis(2.0, m)
+            errs.append(np.max(np.abs(b.synthesize(b.project(f), t) - f(t))))
+        assert errs[-1] < 1e-6 and errs[-1] < errs[0]
+
+
+class TestOperationalMatrices:
+    def test_integration_on_decaying_function(self):
+        # integral of (1-3t)e^{-3t} is t e^{-3t}, which decays -> in span
+        b = LaguerreBasis(1.0, 24)
+        f = lambda t: (1.0 - 3.0 * t) * np.exp(-3.0 * t)
+        coeffs = b.integration_matrix().T @ b.project(f)
+        t = np.linspace(0.0, 4.0, 13)
+        np.testing.assert_allclose(b.synthesize(coeffs, t), t * np.exp(-3.0 * t), atol=1e-5)
+
+    def test_differentiation_on_zero_start_function(self):
+        b = LaguerreBasis(1.0, 24)
+        g = lambda t: t * np.exp(-3.0 * t)  # g(0) = 0
+        coeffs = b.differentiation_matrix().T @ b.project(g)
+        t = np.linspace(0.2, 3.0, 9)
+        expected = (1.0 - 3.0 * t) * np.exp(-3.0 * t)
+        np.testing.assert_allclose(b.synthesize(coeffs, t), expected, atol=1e-4)
+
+    def test_integration_differentiation_inverse(self, basis):
+        np.testing.assert_allclose(
+            basis.integration_matrix() @ basis.differentiation_matrix(),
+            np.eye(16),
+            atol=1e-10,
+        )
+
+    def test_fractional_semigroup_exact(self, basis):
+        half = basis.fractional_differentiation_matrix(0.5)
+        np.testing.assert_allclose(
+            half @ half, basis.differentiation_matrix(), atol=1e-10
+        )
+
+    def test_fractional_integration_inverse(self, basis):
+        fi = basis.fractional_integration_matrix(0.7)
+        fd = basis.fractional_differentiation_matrix(0.7)
+        np.testing.assert_allclose(fi @ fd, np.eye(16), atol=1e-9)
+
+    def test_matrices_triangular_toeplitz(self, basis):
+        from repro.opmat import toeplitz_coefficients
+
+        # must not raise: both operational matrices are Toeplitz
+        toeplitz_coefficients(basis.integration_matrix())
+        toeplitz_coefficients(basis.differentiation_matrix())

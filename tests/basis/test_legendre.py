@@ -1,0 +1,86 @@
+"""Tests for the shifted-Legendre basis."""
+
+import numpy as np
+import pytest
+
+from repro.basis import LegendreBasis
+from repro.errors import BasisError
+
+
+@pytest.fixture
+def basis() -> LegendreBasis:
+    return LegendreBasis(2.0, 8)
+
+
+class TestProjection:
+    def test_polynomials_project_exactly(self, basis):
+        # degree < m polynomials are reproduced exactly
+        f = lambda t: 1.0 - 2.0 * t + 0.5 * t**3
+        coeffs = basis.project(f)
+        t = np.linspace(0.0, 2.0, 17)
+        np.testing.assert_allclose(basis.synthesize(coeffs, t), f(t), atol=1e-12)
+
+    def test_orthogonality_norms(self, basis):
+        G = basis.gram_matrix()
+        expected = np.diag(2.0 / (2.0 * np.arange(8) + 1.0))
+        np.testing.assert_allclose(G, expected, atol=1e-10)
+
+    def test_smooth_function_spectral_convergence(self):
+        f = lambda t: np.exp(-t) * np.sin(3 * t)
+        t = np.linspace(0.0, 2.0, 40)
+        errors = []
+        for m in (4, 8, 16):
+            b = LegendreBasis(2.0, m)
+            errors.append(np.max(np.abs(b.synthesize(b.project(f), t) - f(t))))
+        assert errors[1] < errors[0] / 10.0
+        assert errors[2] < errors[1] / 100.0
+
+
+class TestOperationalMatrices:
+    def test_integration_exact_on_polynomials(self, basis):
+        coeffs = basis.project(lambda t: t**2)
+        integrated = basis.integration_matrix().T @ coeffs
+        t = np.linspace(0.0, 2.0, 9)
+        np.testing.assert_allclose(basis.synthesize(integrated, t), t**3 / 3.0, atol=1e-12)
+
+    def test_integration_of_top_degree_truncates(self):
+        # integral of Ps_{m-1} needs Ps_m, which is truncated: the matrix
+        # stays consistent for all lower degrees (tau-method behaviour)
+        m = 5
+        b = LegendreBasis(1.0, m)
+        P = b.integration_matrix()
+        assert P.shape == (m, m)
+        # last row has only the sub-diagonal entry
+        assert np.count_nonzero(P[m - 1]) == 1
+
+    def test_no_differentiation_matrix(self, basis):
+        with pytest.raises(BasisError, match="differentiation"):
+            basis.differentiation_matrix()
+
+    def test_fractional_integration_alpha_one_matches(self, basis):
+        np.testing.assert_allclose(
+            basis.fractional_integration_matrix(1.0),
+            basis.integration_matrix(),
+            atol=1e-10,
+        )
+
+    def test_fractional_half_integral_of_constant(self):
+        # I^{1/2} 1 = 2 sqrt(t/pi)
+        b = LegendreBasis(1.0, 24)
+        coeffs = b.project(lambda t: np.ones_like(t))
+        frac = b.fractional_integration_matrix(0.5).T @ coeffs
+        t = np.linspace(0.1, 0.95, 12)
+        exact = 2.0 * np.sqrt(t / np.pi)
+        np.testing.assert_allclose(b.synthesize(frac, t), exact, atol=2e-3)
+
+    def test_fractional_semigroup_converges_with_m(self):
+        errs = []
+        for m in (6, 12, 24):
+            b = LegendreBasis(2.0, m)
+            F = b.fractional_integration_matrix(0.5)
+            P = b.integration_matrix()
+            errs.append(np.max(np.abs(F @ F - P)))
+        assert errs[2] < errs[0]  # slow (algebraic) but monotone
+
+    def test_fractional_alpha_zero_identity(self, basis):
+        np.testing.assert_allclose(basis.fractional_integration_matrix(0.0), np.eye(8))

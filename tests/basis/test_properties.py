@@ -1,0 +1,88 @@
+"""Property-based tests across basis families (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis import BlockPulseBasis, HaarBasis, TimeGrid, WalshBasis
+
+log2_sizes = st.integers(min_value=1, max_value=5)
+spans = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+poly_coeffs = st.lists(
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False), min_size=1, max_size=4
+)
+
+
+@given(k=log2_sizes, t_end=spans)
+@settings(max_examples=30, deadline=None)
+def test_walsh_haar_transforms_orthogonal(k, t_end):
+    m = 2**k
+    for basis in (WalshBasis(t_end, m), HaarBasis(t_end, m)):
+        w = basis.transform
+        np.testing.assert_allclose(w @ w.T, m * np.eye(m), atol=1e-9)
+
+
+@given(k=log2_sizes, t_end=spans, coeffs=poly_coeffs)
+@settings(max_examples=30, deadline=None)
+def test_piecewise_families_represent_same_function(k, t_end, coeffs):
+    """BPF, Walsh and Haar are the same span: identical reconstructions."""
+    m = 2**k
+
+    def f(t):
+        out = np.zeros_like(t)
+        for j, c in enumerate(coeffs):
+            out = out + c * (t / t_end) ** j
+        return out
+
+    t = np.linspace(0.0, t_end * 0.999, 17)
+    reference = None
+    for basis in (
+        BlockPulseBasis(TimeGrid.uniform(t_end, m)),
+        WalshBasis(t_end, m),
+        HaarBasis(t_end, m),
+    ):
+        values = basis.synthesize(basis.project(f), t)
+        if reference is None:
+            reference = values
+        else:
+            np.testing.assert_allclose(values, reference, atol=1e-9 * (1 + np.max(np.abs(reference))))
+
+
+@given(
+    m=st.integers(min_value=1, max_value=40),
+    t_end=spans,
+    level=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_block_pulse_constant_projection_exact(m, t_end, level):
+    basis = BlockPulseBasis(TimeGrid.uniform(t_end, m))
+    coeffs = basis.project(lambda t: np.full_like(t, level))
+    np.testing.assert_allclose(coeffs, np.full(m, level), atol=1e-12 * (1 + abs(level)))
+
+
+@given(k=log2_sizes)
+@settings(max_examples=20, deadline=None)
+def test_walsh_projection_is_transform_of_bpf(k):
+    m = 2**k
+    walsh = WalshBasis(1.0, m)
+    bpf = BlockPulseBasis(TimeGrid.uniform(1.0, m))
+    f = lambda t: np.sin(5 * t) + t**2
+    cw = walsh.project(f)
+    cb = bpf.project(f)
+    np.testing.assert_allclose(walsh.transform.T @ cw, cb, atol=1e-10)
+
+
+@given(
+    steps=st.lists(
+        st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+        min_size=2,
+        max_size=10,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_grid_locate_consistent_with_edges(steps):
+    grid = TimeGrid.from_steps(steps)
+    for i in range(grid.m):
+        mid = grid.midpoints[i]
+        assert grid.locate(mid) == i
+        assert grid.locate(grid.edges[i]) == i

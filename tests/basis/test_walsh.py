@@ -1,0 +1,116 @@
+"""Tests for the Walsh basis."""
+
+import numpy as np
+import pytest
+
+from repro.basis import BlockPulseBasis, TimeGrid, WalshBasis, hadamard_matrix, sequency_order
+from repro.errors import BasisError
+
+
+class TestHadamard:
+    def test_order_two(self):
+        np.testing.assert_array_equal(hadamard_matrix(2), [[1, 1], [1, -1]])
+
+    def test_orthogonality(self):
+        h = hadamard_matrix(16)
+        np.testing.assert_array_equal(h @ h.T, 16 * np.eye(16))
+
+    def test_symmetric(self):
+        h = hadamard_matrix(8)
+        np.testing.assert_array_equal(h, h.T)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(BasisError):
+            hadamard_matrix(6)
+
+    def test_sequency_order_counts(self):
+        w = sequency_order(hadamard_matrix(8))
+        changes = np.count_nonzero(np.diff(w, axis=1), axis=1)
+        np.testing.assert_array_equal(changes, np.arange(8))
+
+
+class TestWalshBasis:
+    def test_values_are_plus_minus_one(self):
+        basis = WalshBasis(1.0, 8)
+        vals = basis.evaluate(np.linspace(0.01, 0.99, 17))
+        assert set(np.unique(vals)) <= {-1.0, 1.0}
+
+    def test_orthogonality_on_interval(self):
+        basis = WalshBasis(2.0, 8)
+        G = basis.gram_matrix()
+        np.testing.assert_allclose(G, 2.0 * np.eye(8), atol=1e-10)
+
+    def test_projection_round_trip(self):
+        basis = WalshBasis(1.0, 16)
+        f = lambda t: np.sin(2 * np.pi * t) + 0.5 * t
+        coeffs = basis.project(f)
+        bpf = BlockPulseBasis(TimeGrid.uniform(1.0, 16))
+        bpf_coeffs = bpf.project(f)
+        # same piecewise-constant approximant in either representation
+        t = np.linspace(0.01, 0.99, 31)
+        np.testing.assert_allclose(
+            basis.synthesize(coeffs, t), bpf.synthesize(bpf_coeffs, t), atol=1e-12
+        )
+
+    def test_to_block_pulse_coefficients(self):
+        basis = WalshBasis(1.0, 8)
+        coeffs = basis.project(lambda t: t)
+        bpf_coeffs = basis.to_block_pulse_coefficients(coeffs)
+        expected = BlockPulseBasis(TimeGrid.uniform(1.0, 8)).project(lambda t: t)
+        np.testing.assert_allclose(bpf_coeffs, expected, atol=1e-12)
+
+    def test_constant_function_uses_only_first_term(self):
+        basis = WalshBasis(1.0, 8)
+        coeffs = basis.project(lambda t: np.full_like(t, 3.0))
+        np.testing.assert_allclose(coeffs, [3.0] + [0.0] * 7, atol=1e-12)
+
+    def test_operational_matrix_conjugation(self):
+        basis = WalshBasis(1.0, 8)
+        bpf = basis.block_pulse
+        w = basis.transform
+        expected = w @ bpf.integration_matrix() @ w.T / 8
+        np.testing.assert_allclose(basis.integration_matrix(), expected)
+
+    def test_integration_operational_matrix_acts_correctly(self):
+        basis = WalshBasis(1.0, 32)
+        coeffs = basis.project(lambda t: np.full_like(t, 1.0))
+        integrated = basis.integration_matrix().T @ coeffs
+        t = np.linspace(0.015625, 0.984375, 8)
+        np.testing.assert_allclose(basis.synthesize(integrated, t), t, atol=0.02)
+
+    def test_differentiation_inverse_of_integration(self):
+        basis = WalshBasis(1.0, 8)
+        np.testing.assert_allclose(
+            basis.integration_matrix() @ basis.differentiation_matrix(),
+            np.eye(8),
+            atol=1e-9,
+        )
+
+    def test_fractional_conjugation_semigroup(self):
+        basis = WalshBasis(1.0, 8)
+        half = basis.fractional_differentiation_matrix(0.5)
+        one = basis.differentiation_matrix()
+        np.testing.assert_allclose(half @ half, one, atol=1e-7)
+
+    def test_hadamard_ordering_option(self):
+        nat = WalshBasis(1.0, 8, ordering="hadamard")
+        np.testing.assert_array_equal(nat.transform, hadamard_matrix(8))
+        assert nat.ordering == "hadamard"
+        assert "hadamard" in nat.name
+
+    def test_rejects_bad_ordering(self):
+        with pytest.raises(BasisError, match="ordering"):
+            WalshBasis(1.0, 8, ordering="random")
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(BasisError, match="power of two"):
+            WalshBasis(1.0, 12)
+
+    def test_sequency_truncation_is_lowpass(self):
+        # the paper's motivation: low-sequency terms capture the trend
+        basis = WalshBasis(1.0, 32)
+        f = lambda t: t  # smooth trend
+        coeffs = basis.project(f)
+        energy_low = np.sum(coeffs[:8] ** 2)
+        energy_high = np.sum(coeffs[8:] ** 2)
+        assert energy_low > 10.0 * energy_high

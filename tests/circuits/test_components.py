@@ -1,0 +1,76 @@
+"""Tests for circuit element records."""
+
+import pytest
+
+from repro.circuits import CPE, Capacitor, CurrentSource, Inductor, Resistor, VoltageSource
+from repro.errors import NetlistError
+
+
+class TestResistor:
+    def test_conductance(self):
+        assert Resistor("R1", "a", "b", resistance=4.0).conductance == 0.25
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(NetlistError, match="positive"):
+            Resistor("R1", "a", "b", resistance=0.0)
+
+    def test_rejects_same_node(self):
+        with pytest.raises(NetlistError, match="both terminals"):
+            Resistor("R1", "a", "a", resistance=1.0)
+
+    def test_rejects_non_string_nodes(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", 1, 2, resistance=1.0)
+
+    def test_frozen(self):
+        r = Resistor("R1", "a", "b", resistance=1.0)
+        with pytest.raises(AttributeError):
+            r.resistance = 2.0
+
+
+class TestDynamicElements:
+    def test_capacitor_validation(self):
+        assert Capacitor("C1", "a", "0", capacitance=1e-12).capacitance == 1e-12
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "0", capacitance=-1e-12)
+
+    def test_inductor_validation(self):
+        assert Inductor("L1", "a", "b", inductance=1e-9).inductance == 1e-9
+        with pytest.raises(NetlistError):
+            Inductor("L1", "a", "b", inductance=0.0)
+
+
+class TestCPE:
+    def test_valid_range(self):
+        cpe = CPE("P1", "a", "0", q=1e-6, alpha=0.5)
+        assert cpe.alpha == 0.5 and cpe.q == 1e-6
+
+    def test_alpha_one_allowed(self):
+        assert CPE("P1", "a", "0", q=1.0, alpha=1.0).alpha == 1.0
+
+    @pytest.mark.parametrize("bad_alpha", [0.0, -0.5, 1.5])
+    def test_rejects_alpha_outside_unit(self, bad_alpha):
+        with pytest.raises(NetlistError, match="alpha"):
+            CPE("P1", "a", "0", q=1.0, alpha=bad_alpha)
+
+    def test_rejects_nonpositive_q(self):
+        with pytest.raises(NetlistError):
+            CPE("P1", "a", "0", q=0.0, alpha=0.5)
+
+
+class TestSources:
+    def test_current_source_channel(self):
+        src = CurrentSource("I1", "0", "n1", channel=2, scale=1e-3)
+        assert src.channel == 2 and src.scale == 1e-3
+
+    def test_rejects_negative_channel(self):
+        with pytest.raises(NetlistError):
+            CurrentSource("I1", "0", "n1", channel=-1)
+
+    def test_voltage_source(self):
+        src = VoltageSource("V1", "vdd", "0", channel=0, scale=1.8)
+        assert src.scale == 1.8
+
+    def test_voltage_rejects_negative_channel(self):
+        with pytest.raises(NetlistError):
+            VoltageSource("V1", "a", "0", channel=-2)

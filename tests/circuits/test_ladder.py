@@ -1,0 +1,61 @@
+"""Tests for ladder generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Constant, assemble_mna, rc_ladder_netlist, rlc_ladder_netlist
+from repro.core import simulate_opm
+
+
+class TestRCLadder:
+    def test_structure(self):
+        nl = rc_ladder_netlist(6)
+        s = nl.summary()
+        assert s["resistors"] == 6 and s["capacitors"] == 6 and s["nodes"] == 6
+
+    def test_dc_steady_state(self):
+        # current drive I into first node; at DC all current flows
+        # through the chain of resistors to ground via R1 only (shunt
+        # caps block): v1 = I * R1
+        nl = rc_ladder_netlist(4, r=2.0, c=1e-3, drive_waveform=Constant(1.0))
+        system = assemble_mna(nl, outputs=["v1", "v4"])
+        res = simulate_opm(system, nl.input_function(), (60.0, 3000))
+        y_final = res.output_coefficients[:, -1]
+        assert y_final[0] == pytest.approx(2.0, rel=1e-2)
+        assert y_final[1] == pytest.approx(2.0, rel=1e-2)  # no current past v1
+
+    def test_scales_with_n(self):
+        for n in (1, 10, 50):
+            nl = rc_ladder_netlist(n)
+            assert assemble_mna(nl).n_states == n
+
+    def test_elmore_delay_ordering(self):
+        # deeper nodes respond later: v1 reaches half-value before v5
+        nl = rc_ladder_netlist(5, r=1.0, c=1.0, drive_waveform=Constant(1.0))
+        system = assemble_mna(nl, outputs=["v1", "v5"])
+        res = simulate_opm(system, nl.input_function(), (100.0, 2000))
+        y = res.output_coefficients
+        final = y[:, -1]
+        t_half_1 = np.argmax(y[0] > 0.5 * final[0])
+        t_half_5 = np.argmax(y[1] > 0.5 * final[1])
+        assert t_half_5 > t_half_1
+
+
+class TestRLCLadder:
+    def test_structure(self):
+        nl = rlc_ladder_netlist(3)
+        s = nl.summary()
+        assert s["inductors"] == 3 and s["capacitors"] == 3 and s["nodes"] == 6
+
+    def test_mna_state_count(self):
+        nl = rlc_ladder_netlist(4)
+        assert assemble_mna(nl).n_states == 8 + 4  # nodes + inductor currents
+
+    def test_underdamped_ringing(self):
+        # small R, large L/C ratio: step response must overshoot
+        nl = rlc_ladder_netlist(1, r=0.1, l=1.0, c=1.0, drive_waveform=Constant(1.0))
+        system = assemble_mna(nl, outputs=["v1"])
+        res = simulate_opm(system, nl.input_function(), (20.0, 4000))
+        y = res.output_coefficients[0]
+        final = y[-1]
+        assert np.max(y) > 1.2 * final

@@ -1,0 +1,149 @@
+"""Tests for mutual inductance (SPICE K element)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.circuits import Constant, Netlist, RaisedCosinePulse, assemble_mna, assemble_na
+from repro.core import simulate_opm
+from repro.errors import NetlistError
+
+
+def dense(x):
+    return x.toarray() if sp.issparse(x) else np.asarray(x)
+
+
+def coupled_tanks(k: float | None, l=1e-3, c=1e-6) -> Netlist:
+    """Two identical LC tanks, optionally magnetically coupled."""
+    nl = Netlist("coupled tanks")
+    nl.add_current_source("I1", "0", "a", RaisedCosinePulse(1e-3, width=2e-5))
+    for node, suffix in (("a", "1"), ("b", "2")):
+        nl.add_inductor(f"L{suffix}", node, "0", l)
+        nl.add_capacitor(f"C{suffix}", node, "0", c)
+        nl.add_resistor(f"R{suffix}", node, "0", 1e4)
+    if k is not None:
+        nl.add_mutual("K1", "L1", "L2", k)
+    return nl
+
+
+class TestValidation:
+    def test_requires_existing_inductors(self):
+        nl = Netlist()
+        nl.add_inductor("L1", "a", "0", 1e-3)
+        with pytest.raises(NetlistError, match="must be added before"):
+            nl.add_mutual("K1", "L1", "L9", 0.5)
+
+    def test_rejects_self_coupling(self):
+        nl = Netlist()
+        nl.add_inductor("L1", "a", "0", 1e-3)
+        with pytest.raises(NetlistError, match="itself"):
+            nl.add_mutual("K1", "L1", "L1", 0.5)
+
+    @pytest.mark.parametrize("bad_k", [0.0, 1.0, -1.0, 1.5])
+    def test_rejects_out_of_range_coupling(self, bad_k):
+        nl = Netlist()
+        nl.add_inductor("L1", "a", "0", 1e-3)
+        nl.add_inductor("L2", "b", "0", 1e-3)
+        with pytest.raises(NetlistError, match="coupling"):
+            nl.add_mutual("K1", "L1", "L2", bad_k)
+
+    def test_duplicate_name_rejected(self):
+        nl = Netlist()
+        nl.add_inductor("L1", "a", "0", 1e-3)
+        nl.add_inductor("L2", "b", "0", 1e-3)
+        nl.add_mutual("K1", "L1", "L2", 0.5)
+        with pytest.raises(NetlistError, match="duplicate"):
+            nl.add_mutual("K1", "L1", "L2", 0.3)
+
+
+class TestMnaStamp:
+    def test_inductance_matrix_off_diagonal(self):
+        nl = coupled_tanks(0.5)
+        system = assemble_mna(nl)
+        E = dense(system.E)
+        rows = [nl.n_nodes, nl.n_nodes + 1]  # inductor current rows
+        mutual = 0.5 * 1e-3
+        assert E[rows[0], rows[1]] == pytest.approx(mutual)
+        assert E[rows[1], rows[0]] == pytest.approx(mutual)
+
+    def test_mode_splitting_eigenfrequencies(self):
+        # coupled identical tanks: modes at w = 1/sqrt((L +- M) C)
+        l, c, k = 1e-3, 1e-6, 0.4
+        nl = coupled_tanks(k, l=l, c=c)
+        # remove loss for clean modes: rebuild with huge R already (1e4)
+        system = assemble_mna(nl)
+        E, A = dense(system.E), dense(system.A)
+        eigvals = np.linalg.eigvals(np.linalg.solve(E, A))
+        freqs = np.sort(np.abs(eigvals.imag))
+        freqs = freqs[freqs > 1.0]  # drop near-zero real modes
+        expected = sorted(
+            [1.0 / np.sqrt((l + k * l) * c), 1.0 / np.sqrt((l - k * l) * c)]
+        )
+        np.testing.assert_allclose(
+            [freqs[0], freqs[-1]], expected, rtol=1e-3
+        )
+
+    def test_energy_transfer_between_tanks(self):
+        # drive tank 1; with coupling, tank 2 rings; without, it stays quiet
+        quiet = simulate_opm(
+            assemble_mna(coupled_tanks(None), outputs=["b"]),
+            coupled_tanks(None).input_function(),
+            (2e-3, 2000),
+        )
+        coupled = simulate_opm(
+            assemble_mna(coupled_tanks(0.5), outputs=["b"]),
+            coupled_tanks(0.5).input_function(),
+            (2e-3, 2000),
+        )
+        assert np.max(np.abs(coupled.output_coefficients)) > 100.0 * np.max(
+            np.abs(quiet.output_coefficients)
+        )
+
+    def test_spice_k_card(self):
+        nl = Netlist.from_spice(
+            """
+            I1 0 a 1m
+            L1 a 0 1m
+            C1 a 0 1u
+            L2 b 0 1m
+            C2 b 0 1u
+            R2 b 0 1k
+            K1 L1 L2 0.3
+            """
+        )
+        assert len(nl.couplings) == 1
+        assert nl.couplings[0].coupling == 0.3
+
+    def test_k_card_field_count(self):
+        with pytest.raises(NetlistError, match="4 fields"):
+            Netlist.from_spice("L1 a 0 1m\nL2 b 0 1m\nK1 L1 L2")
+
+
+class TestNaWithCoupling:
+    def test_na_matches_mna(self):
+        nl = coupled_tanks(0.6)
+        mna = assemble_mna(nl, outputs=["b"])
+        na = assemble_na(nl, outputs=["b"])
+        r_mna = simulate_opm(mna, nl.input_function(), (1e-3, 3000))
+        r_na = simulate_opm(na, nl.input_function(derivative=True), (1e-3, 3000))
+        t = r_mna.grid.midpoints
+        ym, yn = r_mna.outputs(t)[0], r_na.outputs(t)[0]
+        scale = max(np.max(np.abs(ym)), 1e-12)
+        np.testing.assert_allclose(ym, yn, atol=0.03 * scale)
+
+    def test_gamma_uncoupled_reduces_to_pair_stamps(self):
+        nl = coupled_tanks(None)
+        na = assemble_na(nl)
+        K = dense(na.K)
+        # two grounded inductors: diagonal 1/L entries on their nodes
+        np.testing.assert_allclose(np.diag(K), [1e3, 1e3])
+        assert np.count_nonzero(K - np.diag(np.diag(K))) == 0
+
+    def test_gamma_coupled_has_cross_terms(self):
+        nl = coupled_tanks(0.5)
+        na = assemble_na(nl)
+        K = dense(na.K)
+        assert K[0, 1] != 0.0
+        # L_mat^{-1} of [[L, M], [M, L]]: off-diagonal -M/(L^2 - M^2)
+        l, m = 1e-3, 0.5e-3
+        np.testing.assert_allclose(K[0, 1], -m / (l**2 - m**2), rtol=1e-12)

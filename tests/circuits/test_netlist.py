@@ -1,0 +1,199 @@
+"""Tests for the netlist container and SPICE parser."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Constant, Netlist, Ramp
+from repro.circuits.netlist import parse_value
+from repro.errors import NetlistError
+
+
+class TestNodeBookkeeping:
+    def test_ground_aliases(self):
+        for name in ("0", "gnd", "GND", "ground"):
+            assert Netlist.is_ground(name)
+
+    def test_node_registration_order(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "b", "a", 1.0)
+        nl.add_resistor("R2", "a", "c", 1.0)
+        assert nl.nodes == ["b", "a", "c"]
+        assert nl.node_index("a") == 1
+
+    def test_ground_not_registered(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 1.0)
+        assert nl.nodes == ["a"] and nl.n_nodes == 1
+
+    def test_node_index_rejects_ground(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError, match="ground"):
+            nl.node_index("0")
+
+    def test_node_index_rejects_unknown(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError, match="unknown"):
+            nl.node_index("zz")
+
+
+class TestElementManagement:
+    def test_duplicate_names_rejected(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError, match="duplicate"):
+            nl.add_capacitor("R1", "a", "0", 1.0)
+
+    def test_typed_queries(self):
+        nl = Netlist()
+        nl.add_resistor("R1", "a", "0", 1.0)
+        nl.add_capacitor("C1", "a", "0", 1.0)
+        nl.add_inductor("L1", "a", "b", 1.0)
+        nl.add_cpe("P1", "b", "0", 1.0, 0.5)
+        assert len(nl.resistors) == 1 and len(nl.capacitors) == 1
+        assert len(nl.inductors) == 1 and len(nl.cpes) == 1
+
+    def test_summary_counts(self):
+        nl = Netlist("t")
+        nl.add_resistor("R1", "a", "0", 1.0)
+        nl.add_current_source("I1", "0", "a", Constant(1.0))
+        s = nl.summary()
+        assert s["resistors"] == 1 and s["current_sources"] == 1 and s["channels"] == 1
+
+
+class TestChannels:
+    def test_auto_allocation(self):
+        nl = Netlist()
+        ch0 = nl.add_current_source("I1", "0", "a", Constant(1.0))
+        ch1 = nl.add_current_source("I2", "0", "a2", Constant(2.0))
+        assert (ch0, ch1) == (0, 1) and nl.n_channels == 2
+
+    def test_shared_channel(self):
+        nl = Netlist()
+        ch = nl.add_current_source("I1", "0", "a", Constant(1.0))
+        same = nl.add_current_source("I2", "0", "b", channel=ch, scale=2.0)
+        assert same == ch and nl.n_channels == 1
+
+    def test_conflicting_waveform_rejected(self):
+        nl = Netlist()
+        ch = nl.add_current_source("I1", "0", "a", Constant(1.0))
+        with pytest.raises(NetlistError, match="already has waveform"):
+            nl.add_current_source("I2", "0", "b", Constant(2.0), channel=ch)
+
+    def test_input_function_stacks_channels(self):
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "a", Constant(2.0))
+        nl.add_current_source("I2", "0", "b", Ramp(level=1.0, rise=1.0))
+        u = nl.input_function()
+        values = u(np.array([0.5]))
+        np.testing.assert_allclose(values, [[2.0], [0.5]])
+
+    def test_input_function_derivative(self):
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "a", Ramp(level=2.0, rise=1.0))
+        du = nl.input_function(derivative=True)
+        np.testing.assert_allclose(du(np.array([0.5])), [[2.0]])
+
+    def test_input_function_missing_waveform(self):
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "a", channel=0)
+        with pytest.raises(NetlistError, match="no attached waveform"):
+            nl.input_function()
+
+    def test_set_channel_waveform(self):
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "a", channel=0)
+        nl.set_channel_waveform(0, Constant(5.0))
+        np.testing.assert_allclose(nl.input_function()(np.array([0.0])), [[5.0]])
+
+    def test_set_channel_waveform_range_check(self):
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "a", channel=0)
+        with pytest.raises(NetlistError, match="out of range"):
+            nl.set_channel_waveform(3, Constant(1.0))
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("1", 1.0),
+            ("1.5", 1.5),
+            ("-2", -2.0),
+            ("1e-9", 1e-9),
+            ("1k", 1e3),
+            ("3meg", 3e6),
+            ("2m", 2e-3),
+            ("5u", 5e-6),
+            ("7n", 7e-9),
+            ("4p", 4e-12),
+            ("1f", 1e-15),
+            ("2G", 2e9),
+            ("1T", 1e12),
+        ],
+    )
+    def test_values(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1x", "--1", "1 k"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(NetlistError):
+            parse_value(bad)
+
+
+class TestSpiceParser:
+    def test_full_example(self):
+        nl = Netlist.from_spice(
+            """
+            * rc with sources
+            I1 0 n1 1m
+            R1 n1 n2 1k
+            C1 n2 0 1u
+            L1 n2 n3 1n
+            V1 n3 0 1.0
+            P1 n1 0 1u 0.5
+            .end
+            """
+        )
+        s = nl.summary()
+        assert s == {
+            "nodes": 3,
+            "resistors": 1,
+            "capacitors": 1,
+            "inductors": 1,
+            "cpes": 1,
+            "couplings": 0,
+            "current_sources": 1,
+            "voltage_sources": 1,
+            "channels": 2,
+        }
+
+    def test_sources_get_constant_waveforms(self):
+        nl = Netlist.from_spice("I1 0 a 2m\nR1 a 0 1k")
+        u = nl.input_function()
+        np.testing.assert_allclose(u(np.array([0.0])), [[2e-3]])
+
+    def test_stops_at_end_card(self):
+        nl = Netlist.from_spice("R1 a 0 1\n.end\nR2 b 0 1")
+        assert len(nl.resistors) == 1
+
+    def test_ignores_comments_and_dot_cards(self):
+        nl = Netlist.from_spice("* hi\n.tran 1n 10n\nR1 a 0 1")
+        assert len(nl.resistors) == 1
+
+    def test_rejects_wrong_field_count(self):
+        with pytest.raises(NetlistError, match="expected 4 fields"):
+            Netlist.from_spice("R1 a 0")
+
+    def test_rejects_cpe_wrong_fields(self):
+        with pytest.raises(NetlistError, match="expected 5 fields"):
+            Netlist.from_spice("P1 a 0 1u")
+
+    def test_rejects_unknown_card(self):
+        with pytest.raises(NetlistError, match="unsupported"):
+            Netlist.from_spice("X1 a b 1")
+
+    def test_rejects_empty(self):
+        with pytest.raises(NetlistError, match="no elements"):
+            Netlist.from_spice("* nothing\n")

@@ -1,0 +1,70 @@
+"""Property-based validation: random RC networks vs the expm reference.
+
+Hypothesis generates random connected RC topologies; assembled MNA
+models simulated with OPM must track the matrix-exponential reference.
+This closes the loop netlist -> stamps -> solver on inputs no human
+picked.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import sample_outputs
+from repro.baselines import simulate_expm
+from repro.circuits import Constant, Netlist, assemble_mna
+from repro.core import simulate_opm
+
+
+@st.composite
+def random_rc_network(draw):
+    """A connected RC network: tree backbone + random extra edges."""
+    n_nodes = draw(st.integers(min_value=2, max_value=6))
+    nodes = [f"n{k}" for k in range(n_nodes)]
+    netlist = Netlist("random rc")
+    netlist.add_current_source("Isrc", "0", nodes[0], Constant(1.0))
+    # spanning tree to ground: every node gets an R to a previous node
+    for k, node in enumerate(nodes):
+        parent = "0" if k == 0 else nodes[draw(st.integers(0, k - 1))]
+        r = draw(st.floats(min_value=0.5, max_value=5.0))
+        netlist.add_resistor(f"Rt{k}", node, parent, r)
+        c = draw(st.floats(min_value=0.1, max_value=2.0))
+        netlist.add_capacitor(f"Ct{k}", node, "0", c)
+    # a few extra cross edges
+    n_extra = draw(st.integers(min_value=0, max_value=3))
+    for j in range(n_extra):
+        a = draw(st.integers(0, n_nodes - 1))
+        b = draw(st.integers(0, n_nodes - 1))
+        if a == b:
+            continue
+        r = draw(st.floats(min_value=0.5, max_value=5.0))
+        netlist.add_resistor(f"Rx{j}", nodes[a], nodes[b], r)
+    return netlist
+
+
+@given(netlist=random_rc_network())
+@settings(max_examples=25, deadline=None)
+def test_random_rc_matches_expm(netlist):
+    system = assemble_mna(netlist)
+    opm = simulate_opm(system, netlist.input_function(), (5.0, 400))
+    ref = simulate_expm(system, netlist.input_function(), 5.0, 400)
+    # skip the first cell: the step input's initial transient maximises
+    # the O(h^2) cell-average constant right at t=0
+    t = opm.grid.midpoints[20::40]
+    y_opm = sample_outputs(opm, t)
+    y_ref = sample_outputs(ref, t)
+    scale = float(np.max(np.abs(y_ref))) + 1e-9
+    np.testing.assert_allclose(y_opm, y_ref, atol=2e-3 * scale)
+
+
+@given(netlist=random_rc_network())
+@settings(max_examples=15, deadline=None)
+def test_random_rc_passive_dc(netlist):
+    """Driven passive RC network: every node voltage is bounded by the
+    worst-case DC drop and non-negative at steady state."""
+    system = assemble_mna(netlist)
+    res = simulate_opm(system, netlist.input_function(), (50.0, 400))
+    final = res.coefficients[:, -1]
+    assert np.all(final > -1e-6)
+    # 1 A through resistances <= 5 ohm each, <= 10 hops
+    assert np.max(final) < 50.0 + 1e-6

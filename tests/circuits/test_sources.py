@@ -1,0 +1,121 @@
+"""Tests for waveform sources and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Constant,
+    ExpPulse,
+    PiecewiseLinear,
+    RaisedCosinePulse,
+    Ramp,
+    Sine,
+    Step,
+)
+
+
+def check_derivative_numerically(wf, t, atol):
+    """Central-difference check of the analytic derivative."""
+    d = wf.derivative()
+    eps = 1e-7
+    numeric = (wf(t + eps) - wf(t - eps)) / (2 * eps)
+    np.testing.assert_allclose(d(t), numeric, atol=atol)
+
+
+class TestBasicWaveforms:
+    def test_constant(self):
+        np.testing.assert_array_equal(Constant(3.0)(np.zeros(4)), np.full(4, 3.0))
+        np.testing.assert_array_equal(Constant(3.0).derivative()(np.zeros(4)), np.zeros(4))
+
+    def test_step(self):
+        s = Step(level=2.0, t0=1.0)
+        np.testing.assert_array_equal(s(np.array([0.5, 1.0, 2.0])), [0.0, 2.0, 2.0])
+
+    def test_step_has_no_derivative(self):
+        with pytest.raises(NotImplementedError):
+            Step().derivative()
+
+    def test_ramp_profile(self):
+        r = Ramp(level=2.0, rise=1.0, t0=0.5)
+        np.testing.assert_allclose(r(np.array([0.0, 1.0, 2.0])), [0.0, 1.0, 2.0])
+
+    def test_ramp_derivative(self):
+        r = Ramp(level=2.0, rise=0.5)
+        check_derivative_numerically(r, np.array([0.1, 0.3, 0.7]), atol=1e-6)
+
+    def test_sine_and_derivative(self):
+        s = Sine(amplitude=2.0, freq=0.5)
+        check_derivative_numerically(s, np.array([0.3, 0.8, 1.7]), atol=1e-5)
+
+    def test_sine_zero_before_t0(self):
+        s = Sine(freq=1.0, t0=1.0)
+        assert s(np.array([0.5]))[0] == 0.0
+
+
+class TestPulses:
+    def test_exp_pulse_shape(self):
+        p = ExpPulse(level=1.0, tau_rise=0.1, tau_fall=1.0)
+        t = np.linspace(0.0, 5.0, 100)
+        v = p(t)
+        assert v[0] == 0.0 and np.max(v) > 0.5 and v[-1] < 0.05
+
+    def test_exp_pulse_derivative(self):
+        p = ExpPulse(level=2.0, tau_rise=0.2, tau_fall=1.5)
+        check_derivative_numerically(p, np.array([0.1, 0.5, 2.0]), atol=1e-5)
+
+    def test_exp_pulse_rejects_bad_taus(self):
+        with pytest.raises(ValueError, match="tau_rise"):
+            ExpPulse(tau_rise=1.0, tau_fall=0.5)
+
+    def test_raised_cosine_support(self):
+        p = RaisedCosinePulse(level=1.0, width=2.0, t0=1.0)
+        t = np.array([0.5, 2.0, 3.5])
+        np.testing.assert_allclose(p(t), [0.0, 1.0, 0.0])
+
+    def test_raised_cosine_smooth(self):
+        p = RaisedCosinePulse(level=3.0, width=1.0)
+        check_derivative_numerically(p, np.array([0.2, 0.5, 0.8]), atol=1e-4)
+
+    def test_raised_cosine_derivative_zero_outside(self):
+        d = RaisedCosinePulse(width=1.0).derivative()
+        np.testing.assert_array_equal(d(np.array([-0.5, 1.5])), [0.0, 0.0])
+
+
+class TestPWL:
+    def test_interpolation(self):
+        p = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        np.testing.assert_allclose(p(np.array([0.5, 1.5])), [1.0, 1.0])
+
+    def test_constant_extrapolation(self):
+        p = PiecewiseLinear([0.0, 1.0], [1.0, 3.0])
+        np.testing.assert_allclose(p(np.array([-1.0, 2.0])), [1.0, 3.0])
+
+    def test_derivative_slopes(self):
+        p = PiecewiseLinear([0.0, 1.0, 3.0], [0.0, 2.0, 0.0])
+        d = p.derivative()
+        np.testing.assert_allclose(d(np.array([0.5, 2.0])), [2.0, -1.0])
+
+    def test_derivative_zero_outside(self):
+        p = PiecewiseLinear([0.0, 1.0], [0.0, 1.0])
+        d = p.derivative()
+        np.testing.assert_allclose(d(np.array([-0.5, 1.5])), [0.0, 0.0])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([0.0, 0.0, 1.0], [0.0, 1.0, 2.0])
+
+
+class TestAlgebra:
+    def test_sum(self):
+        total = Constant(1.0) + Sine(amplitude=1.0, freq=1.0)
+        t = np.array([0.25])
+        np.testing.assert_allclose(total(t), 1.0 + np.sin(np.pi / 2.0))
+
+    def test_sum_derivative(self):
+        total = Ramp(level=1.0, rise=1.0) + Constant(5.0)
+        np.testing.assert_allclose(total.derivative()(np.array([0.5])), [1.0])
+
+    def test_scaling(self):
+        wf = 3.0 * Ramp(level=1.0, rise=1.0)
+        np.testing.assert_allclose(wf(np.array([0.5])), [1.5])
+        np.testing.assert_allclose(wf.derivative()(np.array([0.5])), [3.0])

@@ -1,0 +1,86 @@
+"""Tests for the fractional transmission-line workload (section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import fractional_line_model, fractional_line_netlist
+from repro.core import FractionalDescriptorSystem, simulate_opm
+
+
+class TestModelShape:
+    def test_paper_dimensions(self):
+        model = fractional_line_model()
+        assert model.n_states == 7  # x in R^7
+        assert model.n_inputs == 2  # u in R^2
+        assert model.n_outputs == 2  # y in R^2
+        assert model.alpha == 0.5  # d^{1/2}/dt^{1/2}
+
+    def test_netlist_structure(self):
+        nl = fractional_line_netlist()
+        s = nl.summary()
+        # 6 series + 2 termination resistors
+        assert s["cpes"] == 7 and s["resistors"] == 8 and s["channels"] == 2
+
+    def test_unterminated_option(self):
+        nl = fractional_line_netlist(r_termination=None)
+        assert nl.summary()["resistors"] == 6
+
+    def test_parameterised_sections(self):
+        model = fractional_line_model(n_sections=11)
+        assert model.n_states == 11
+
+    def test_matrices_structure(self):
+        import scipy.sparse as sp
+
+        model = fractional_line_model()
+        E = model.E.toarray() if sp.issparse(model.E) else model.E
+        A = model.A.toarray() if sp.issparse(model.A) else model.A
+        # E diagonal (CPE pseudo-capacitances), A tridiagonal Laplacian
+        np.testing.assert_allclose(E, np.diag(np.diag(E)))
+        assert np.count_nonzero(np.triu(A, 2)) == 0
+        # Laplacian rows of interior (unterminated) nodes sum to zero
+        np.testing.assert_allclose(A[3].sum(), 0.0, atol=1e-12)
+
+    def test_rejects_single_section(self):
+        with pytest.raises(ValueError):
+            fractional_line_model(n_sections=1)
+
+
+class TestBehaviour:
+    def test_diffusive_propagation(self):
+        # drive port 1; the near-end responds first and strongest
+        model = fractional_line_model()
+        u = lambda t: np.vstack([np.ones_like(t), np.zeros_like(t)])
+        res = simulate_opm(model, u, (2.7e-9, 256))
+        y = res.output_coefficients
+        near, far = y[0], y[1]
+        assert np.max(np.abs(near)) > np.max(np.abs(far))
+        assert np.max(np.abs(near)) > 0.0
+
+    def test_symmetry_port_swap(self):
+        # the line is symmetric: driving port 2 mirrors driving port 1
+        model = fractional_line_model()
+        u1 = lambda t: np.vstack([np.ones_like(t), np.zeros_like(t)])
+        u2 = lambda t: np.vstack([np.zeros_like(t), np.ones_like(t)])
+        r1 = simulate_opm(model, u1, (2.7e-9, 128))
+        r2 = simulate_opm(model, u2, (2.7e-9, 128))
+        np.testing.assert_allclose(
+            r1.output_coefficients[0], r2.output_coefficients[1], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            r1.output_coefficients[1], r2.output_coefficients[0], atol=1e-12
+        )
+
+    def test_half_order_memory_tail(self):
+        # fractional line: after a pulse, relaxation is algebraic, much
+        # slower than any RC exponential fit to the early decay
+        from repro.circuits import RaisedCosinePulse
+
+        model = fractional_line_model()
+        pulse = RaisedCosinePulse(level=1.0, width=0.5e-9)
+        u = lambda t: np.vstack([pulse(t), np.zeros_like(t)])
+        res = simulate_opm(model, u, (2.7e-9, 512))
+        v = res.output_coefficients[0]
+        peak = np.max(np.abs(v))
+        late = np.abs(v[-1])
+        assert late > 0.02 * peak  # heavy tail persists

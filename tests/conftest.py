@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DescriptorSystem, FractionalDescriptorSystem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that draw random matrices."""
+    return np.random.default_rng(20120312)  # DATE'12 conference date
+
+
+@pytest.fixture
+def scalar_ode() -> DescriptorSystem:
+    """The workhorse scalar ODE ``x' = -x + u``."""
+    return DescriptorSystem([[1.0]], [[-1.0]], [[1.0]])
+
+
+@pytest.fixture
+def scalar_fde() -> FractionalDescriptorSystem:
+    """Scalar half-order FDE ``d^1/2 x = -x + u``."""
+    return FractionalDescriptorSystem(0.5, [[1.0]], [[-1.0]], [[1.0]])
+
+
+def stable_dense_system(rng: np.random.Generator, n: int, p: int = 1) -> DescriptorSystem:
+    """Random well-conditioned stable dense descriptor system."""
+    e = np.eye(n) + 0.1 * rng.standard_normal((n, n))
+    a = -np.eye(n) * (1.0 + rng.uniform(0.0, 2.0, size=n)) + 0.2 * rng.standard_normal((n, n))
+    a = a - a.T - np.eye(n)  # push eigenvalues left
+    b = rng.standard_normal((n, p))
+    return DescriptorSystem(e, a, b)

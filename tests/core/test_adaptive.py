@@ -1,0 +1,114 @@
+"""Tests for the adaptive-step OPM controller (paper section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.basis import TimeGrid
+from repro.core import (
+    DescriptorSystem,
+    FractionalDescriptorSystem,
+    equidistributed_steps,
+    simulate_opm,
+    simulate_opm_adaptive,
+)
+from repro.errors import ModelError, SolverError
+
+
+class TestController:
+    def test_accuracy_tracks_tolerance(self, scalar_ode):
+        res = simulate_opm_adaptive(scalar_ode, 1.0, 5.0, rtol=1e-5)
+        t = res.grid.midpoints
+        err = np.max(np.abs(res.states(t)[0] - (1.0 - np.exp(-t))))
+        assert err < 1e-3  # global error a modest multiple of local tol
+
+    def test_tighter_tolerance_more_steps(self, scalar_ode):
+        loose = simulate_opm_adaptive(scalar_ode, 1.0, 5.0, rtol=1e-3)
+        tight = simulate_opm_adaptive(scalar_ode, 1.0, 5.0, rtol=1e-6)
+        assert tight.m > loose.m
+
+    def test_stiff_transient_concentrates_steps(self):
+        # fast pole 100, slow pole 0.5: early steps must be much smaller
+        E = np.eye(2)
+        A = np.diag([-100.0, -0.5])
+        B = np.array([[1.0], [1.0]])
+        system = DescriptorSystem(E, A, B)
+        res = simulate_opm_adaptive(system, 1.0, 10.0, rtol=1e-4)
+        steps = res.grid.steps
+        early = steps[: res.m // 10].mean()
+        late = steps[-res.m // 10 :].mean()
+        assert late > 5.0 * early
+
+    def test_matches_fixed_grid_on_same_steps(self, scalar_ode):
+        res = simulate_opm_adaptive(scalar_ode, 1.0, 5.0, rtol=1e-4)
+        fixed = simulate_opm(scalar_ode, 1.0, res.grid)
+        np.testing.assert_allclose(res.coefficients, fixed.coefficients, atol=1e-10)
+
+    def test_grid_covers_horizon_exactly(self, scalar_ode):
+        res = simulate_opm_adaptive(scalar_ode, 1.0, 3.7, rtol=1e-4)
+        assert abs(res.grid.t_end - 3.7) < 1e-12
+
+    def test_factorisation_ladder_is_small(self, scalar_ode):
+        res = simulate_opm_adaptive(scalar_ode, 1.0, 5.0, rtol=1e-5)
+        # halving/doubling ladder: factorisation count stays tiny even
+        # for hundreds of accepted steps
+        assert res.info["factorisations"] < 25
+        assert res.info["accepted"] == res.m
+
+    def test_callable_vector_input(self):
+        system = DescriptorSystem(np.eye(2), -np.eye(2), np.eye(2))
+        res = simulate_opm_adaptive(
+            system, lambda t: np.vstack([np.sin(t), np.cos(t)]), 2.0, rtol=1e-4
+        )
+        assert res.coefficients.shape[0] == 2
+
+    def test_x0_supported(self):
+        system = DescriptorSystem([[1.0]], [[-1.0]], [[1.0]], x0=[2.0])
+        res = simulate_opm_adaptive(system, 0.0, 3.0, rtol=1e-5)
+        t = res.grid.midpoints
+        np.testing.assert_allclose(res.states(t)[0], 2.0 * np.exp(-t), atol=1e-3)
+
+    def test_rejects_fractional(self, scalar_fde):
+        with pytest.raises(SolverError, match="first-order"):
+            simulate_opm_adaptive(scalar_fde, 1.0, 1.0)
+
+    def test_rejects_array_input(self, scalar_ode):
+        with pytest.raises(ModelError):
+            simulate_opm_adaptive(scalar_ode, np.ones(10), 1.0)
+
+    def test_rejects_wrong_system(self):
+        with pytest.raises(TypeError):
+            simulate_opm_adaptive("not a system", 1.0, 1.0)
+
+
+class TestEquidistributedSteps:
+    def test_steps_sum_to_horizon(self, scalar_fde):
+        pilot = simulate_opm(scalar_fde, 1.0, (2.0, 64))
+        steps = equidistributed_steps(pilot, 32)
+        assert abs(steps.sum() - 2.0) < 1e-9
+
+    def test_steps_pairwise_distinct(self, scalar_fde):
+        pilot = simulate_opm(scalar_fde, 1.0, (2.0, 64))
+        steps = equidistributed_steps(pilot, 32)
+        assert np.unique(steps).size == 32
+
+    def test_concentrates_where_solution_moves(self, scalar_ode):
+        # step response moves fastest near t=0
+        pilot = simulate_opm(scalar_ode, 1.0, (10.0, 256))
+        steps = equidistributed_steps(pilot, 40)
+        assert steps[:10].mean() < steps[-10:].mean()
+
+    def test_fractional_adaptive_pipeline(self, scalar_fde):
+        from repro.fractional import fde_step_response
+
+        pilot = simulate_opm(scalar_fde, 1.0, (2.0, 64))
+        steps = equidistributed_steps(pilot, 48)
+        res = simulate_opm(scalar_fde, 1.0, TimeGrid.from_steps(steps))
+        t = np.linspace(0.3, 1.9, 8)
+        np.testing.assert_allclose(
+            res.states(t)[0], fde_step_response(0.5, 1.0, t), atol=4e-2
+        )
+
+    def test_rejects_tiny_m(self, scalar_ode):
+        pilot = simulate_opm(scalar_ode, 1.0, (1.0, 16))
+        with pytest.raises(ValueError):
+            equidistributed_steps(pilot, 1)

@@ -1,0 +1,89 @@
+"""Tests for the unified simulate() dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.core import SIMULATION_METHODS, simulate
+from repro.core.result import SampledResult, SimulationResult
+from repro.errors import SolverError
+
+
+class TestDispatch:
+    def test_default_is_opm(self, scalar_ode):
+        res = simulate(scalar_ode, 1.0, 5.0, 100)
+        assert isinstance(res, SimulationResult)
+        assert res.info["method"].startswith("opm")
+
+    @pytest.mark.parametrize("method", ["backward-euler", "trapezoidal", "gear2", "expm"])
+    def test_baseline_methods(self, scalar_ode, method):
+        res = simulate(scalar_ode, 1.0, 5.0, 200, method=method)
+        assert isinstance(res, SampledResult)
+        assert abs(res.states([3.0])[0, 0] - (1 - np.exp(-3.0))) < 5e-3
+
+    def test_adaptive_needs_no_steps(self, scalar_ode):
+        res = simulate(scalar_ode, 1.0, 5.0, method="opm-adaptive", rtol=1e-4)
+        assert res.info["method"] == "opm-adaptive"
+
+    def test_fractional_methods(self, scalar_fde):
+        from repro.fractional import fde_step_response
+
+        t = np.linspace(0.3, 1.7, 5)
+        exact = fde_step_response(0.5, 1.0, t)
+        for method in ("opm", "grunwald-letnikov"):
+            res = simulate(scalar_fde, 1.0, 2.0, 800, method=method)
+            values = res.states(t)[0]
+            np.testing.assert_allclose(values, exact, atol=5e-3)
+
+    def test_fft_method(self, scalar_fde):
+        res = simulate(
+            scalar_fde, lambda t: np.sin(2 * np.pi * t / 4.0), 4.0, 64, method="fft"
+        )
+        assert res.info["method"] == "fft"
+
+    def test_kron_method(self, scalar_ode):
+        fast = simulate(scalar_ode, 1.0, 1.0, 16)
+        ref = simulate(scalar_ode, 1.0, 1.0, 16, method="opm-kron")
+        np.testing.assert_allclose(fast.coefficients, ref.coefficients, atol=1e-12)
+
+    def test_unknown_method(self, scalar_ode):
+        with pytest.raises(SolverError, match="unknown method"):
+            simulate(scalar_ode, 1.0, 1.0, 8, method="rk45")
+
+    def test_missing_steps(self, scalar_ode):
+        with pytest.raises(SolverError, match="requires steps"):
+            simulate(scalar_ode, 1.0, 1.0)
+
+    def test_method_list_complete(self):
+        assert set(SIMULATION_METHODS) == {
+            "opm",
+            "opm-adaptive",
+            "opm-kron",
+            "backward-euler",
+            "trapezoidal",
+            "gear2",
+            "fft",
+            "grunwald-letnikov",
+            "expm",
+        }
+
+
+class TestThirdOrder:
+    def test_third_order_direct_vs_companion(self):
+        """Integer order 3: direct multi-term OPM vs companion DAE."""
+        from repro.core import MultiTermSystem
+
+        # x''' + 2 x'' + 2 x' + x = u  (stable: roots -1, -0.5 +- j0.866)
+        msys = MultiTermSystem(
+            [(3.0, np.eye(1)), (2.0, 2 * np.eye(1)), (1.0, 2 * np.eye(1)), (0.0, np.eye(1))],
+            [[1.0]],
+        )
+        direct = simulate(msys, 1.0, 15.0, 1500)
+        companion = simulate(msys.to_first_order(), 1.0, 15.0, 1500)
+        t = direct.grid.midpoints[::50]
+        np.testing.assert_allclose(
+            direct.states_smooth(t)[0],
+            companion.outputs_smooth(t)[0],
+            atol=2e-3,
+        )
+        # DC gain = 1
+        assert direct.coefficients[0, -1] == pytest.approx(1.0, abs=2e-2)

@@ -1,0 +1,163 @@
+"""Tests for system model classes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    DescriptorSystem,
+    FractionalDescriptorSystem,
+    MultiTermSystem,
+    SecondOrderSystem,
+)
+from repro.errors import ModelError
+
+
+class TestDescriptorSystem:
+    def test_shapes(self):
+        system = DescriptorSystem(np.eye(3), -np.eye(3), np.ones((3, 2)))
+        assert (system.n_states, system.n_inputs, system.n_outputs) == (3, 2, 3)
+        assert system.alpha == 1.0
+
+    def test_vector_b_promoted(self):
+        system = DescriptorSystem(np.eye(2), -np.eye(2), [1.0, 0.0])
+        assert system.B.shape == (2, 1)
+
+    def test_sparse_storage(self):
+        system = DescriptorSystem(
+            sp.identity(4), -sp.identity(4), np.ones((4, 1))
+        )
+        assert system.is_sparse
+        assert sp.issparse(system.E) and system.E.format == "csr"
+
+    def test_output_map_identity_default(self):
+        system = DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)))
+        X = np.arange(6.0).reshape(2, 3)
+        U = np.ones((1, 3))
+        np.testing.assert_array_equal(system.output_coefficients(X, U), X)
+
+    def test_output_map_with_c_and_d(self):
+        system = DescriptorSystem(
+            np.eye(2), -np.eye(2), np.ones((2, 1)),
+            C=[[1.0, -1.0]], D=[[2.0]],
+        )
+        X = np.array([[1.0, 2.0], [0.5, 1.0]])
+        U = np.array([[10.0, 20.0]])
+        np.testing.assert_allclose(
+            system.output_coefficients(X, U), [[20.5, 41.0]]
+        )
+
+    def test_from_state_space(self):
+        system = DescriptorSystem.from_state_space(-np.eye(2), np.ones((2, 1)))
+        np.testing.assert_array_equal(np.asarray(system.E), np.eye(2))
+
+    def test_zero_x0_treated_as_none(self):
+        system = DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)), x0=[0.0, 0.0])
+        assert system.x0 is None
+
+    def test_shifted_input_offset(self):
+        system = DescriptorSystem(np.eye(2), -2.0 * np.eye(2), np.ones((2, 1)), x0=[1.0, 3.0])
+        np.testing.assert_allclose(system.shifted_input_offset(), [-2.0, -6.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            DescriptorSystem(np.eye(3), -np.eye(2), np.ones((3, 1)))
+
+    def test_rejects_rectangular_e(self):
+        with pytest.raises(ModelError):
+            DescriptorSystem(np.ones((2, 3)), -np.eye(2), np.ones((2, 1)))
+
+    def test_rejects_bad_b_rows(self):
+        with pytest.raises(ModelError):
+            DescriptorSystem(np.eye(2), -np.eye(2), np.ones((3, 1)))
+
+    def test_rejects_bad_c_cols(self):
+        with pytest.raises(ModelError):
+            DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)), C=np.ones((1, 3)))
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ModelError):
+            DescriptorSystem(
+                np.eye(2), -np.eye(2), np.ones((2, 1)), C=np.ones((1, 2)), D=np.ones((1, 2))
+            )
+
+    def test_rejects_bad_x0(self):
+        with pytest.raises(ModelError):
+            DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)), x0=[1.0])
+
+
+class TestFractionalDescriptorSystem:
+    def test_alpha_stored(self):
+        system = FractionalDescriptorSystem(0.5, np.eye(1), -np.eye(1), [[1.0]])
+        assert system.alpha == 0.5
+
+    def test_rejects_nonpositive_alpha(self):
+        from repro.errors import OperationalMatrixError
+
+        with pytest.raises(OperationalMatrixError):
+            FractionalDescriptorSystem(0.0, np.eye(1), -np.eye(1), [[1.0]])
+
+    def test_rejects_x0_for_high_order(self):
+        with pytest.raises(ModelError, match="alpha <= 1"):
+            FractionalDescriptorSystem(1.5, np.eye(1), -np.eye(1), [[1.0]], x0=[1.0])
+
+    def test_allows_x0_at_or_below_one(self):
+        system = FractionalDescriptorSystem(0.8, np.eye(1), -np.eye(1), [[1.0]], x0=[2.0])
+        np.testing.assert_allclose(system.x0, [2.0])
+
+
+class TestMultiTermSystem:
+    def test_terms_sorted_descending(self):
+        system = MultiTermSystem(
+            [(0.0, np.eye(1)), (2.0, np.eye(1)), (0.5, np.eye(1))], [[1.0]]
+        )
+        assert [a for a, _ in system.terms] == [2.0, 0.5, 0.0]
+        assert system.max_order == 2.0
+
+    def test_rejects_duplicate_orders(self):
+        with pytest.raises(ModelError, match="distinct"):
+            MultiTermSystem([(1.0, np.eye(1)), (1.0, np.eye(1))], [[1.0]])
+
+    def test_rejects_empty_terms(self):
+        with pytest.raises(ModelError):
+            MultiTermSystem([], [[1.0]])
+
+    def test_rejects_mismatched_term_sizes(self):
+        with pytest.raises(ModelError):
+            MultiTermSystem([(1.0, np.eye(2)), (0.0, np.eye(3))], np.ones((2, 1)))
+
+    def test_rejects_non_pair_terms(self):
+        with pytest.raises(ModelError):
+            MultiTermSystem([np.eye(2)], np.ones((2, 1)))
+
+    def test_companion_form_second_order(self):
+        msys = SecondOrderSystem([[2.0]], [[0.4]], [[1.0]], [[1.0]])
+        first = msys.to_first_order()
+        assert first.n_states == 2
+        # E = diag(1, M), A = [[0, 1], [-K, -Cd]]
+        np.testing.assert_allclose(np.asarray(first.E.todense() if hasattr(first.E, "todense") else first.E), [[1.0, 0.0], [0.0, 2.0]])
+        np.testing.assert_allclose(np.asarray(first.A.todense() if hasattr(first.A, "todense") else first.A), [[0.0, 1.0], [-1.0, -0.4]])
+
+    def test_companion_rejects_fractional(self):
+        msys = MultiTermSystem([(0.5, np.eye(1)), (0.0, np.eye(1))], [[1.0]])
+        with pytest.raises(ModelError, match="integer"):
+            msys.to_first_order()
+
+    def test_companion_output_selects_x(self):
+        msys = SecondOrderSystem(np.eye(2), np.eye(2), np.eye(2), np.ones((2, 1)))
+        first = msys.to_first_order()
+        assert first.C.shape == (2, 4)
+        np.testing.assert_array_equal(first.C[:, :2], np.eye(2))
+
+
+class TestSecondOrderSystem:
+    def test_accessors(self):
+        m, cd, k = 2.0 * np.eye(1), 0.3 * np.eye(1), np.eye(1)
+        so = SecondOrderSystem(m, cd, k, [[1.0]])
+        np.testing.assert_array_equal(np.asarray(so.M), m)
+        np.testing.assert_array_equal(np.asarray(so.Cd), cd)
+        np.testing.assert_array_equal(np.asarray(so.K), k)
+
+    def test_repr_mentions_orders(self):
+        so = SecondOrderSystem(np.eye(1), np.eye(1), np.eye(1), [[1.0]])
+        assert "orders=[2, 1, 0]" in repr(so)

@@ -1,0 +1,132 @@
+"""Tests for Krylov model-order reduction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import dc_gain, sample_outputs, transfer_function
+from repro.baselines import simulate_transient
+from repro.circuits import Constant, assemble_mna, rc_ladder_netlist
+from repro.core import DescriptorSystem, krylov_reduce, simulate_opm
+from repro.errors import SolverError
+
+
+def chain(n: int, n_out: int = 1) -> DescriptorSystem:
+    A = sp.diags(
+        [np.ones(n - 1), -2.0 * np.ones(n), np.ones(n - 1)], [-1, 0, 1], format="csc"
+    )
+    B = np.zeros((n, 1))
+    B[0, 0] = 1.0
+    C = np.zeros((n_out, n))
+    C[:, :n_out] = np.eye(n_out)
+    return DescriptorSystem(sp.identity(n), A, B, C=C)
+
+
+class TestMomentMatching:
+    def test_dc_gain_preserved(self):
+        full = chain(80)
+        red = krylov_reduce(full, 4)
+        assert red.n_states <= 4
+        np.testing.assert_allclose(dc_gain(red), dc_gain(full), rtol=1e-9)
+
+    def test_transfer_function_near_expansion_point(self):
+        full = chain(60)
+        red = krylov_reduce(full, 8, expansion_point=1.0)
+        for s in (0.5, 1.0, 2.0, 1.0 + 0.5j):
+            h_full = transfer_function(full, s)[0, 0]
+            h_red = transfer_function(red, s)[0, 0]
+            assert h_red == pytest.approx(h_full, rel=1e-6)
+
+    def test_accuracy_improves_with_moments(self):
+        full = chain(60)
+        s_test = 3.0  # away from the expansion point
+        h_full = transfer_function(full, s_test)[0, 0]
+        errs = []
+        for q in (2, 4, 8):
+            red = krylov_reduce(full, q, expansion_point=0.5)
+            errs.append(abs(transfer_function(red, s_test)[0, 0] - h_full))
+        assert errs[2] < errs[1] < errs[0]
+
+    def test_deflation_stops_cleanly(self):
+        # a 3-state reachable subspace: more moments cannot grow the basis
+        A = np.diag([-1.0, -2.0, -3.0, -4.0])
+        B = np.array([[1.0], [1.0], [1.0], [0.0]])  # state 4 unreachable
+        full = DescriptorSystem(np.eye(4), A, B)
+        red = krylov_reduce(full, 10)
+        assert red.n_states == 3
+
+
+class TestReducedSimulation:
+    def test_waveform_matches_full_model(self):
+        nl = rc_ladder_netlist(40, r=1.0, c=1e-3, drive_waveform=Constant(1.0))
+        full = assemble_mna(nl, outputs=["v40"])
+        red = krylov_reduce(full, 15, expansion_point=10.0)
+        assert red.n_states <= 15 < full.n_states
+        r_full = simulate_opm(full, nl.input_function(), (2.0, 500))
+        r_red = simulate_opm(red, nl.input_function(), (2.0, 500))
+        t = r_full.grid.midpoints
+        y_full = r_full.outputs(t)[0]
+        y_red = r_red.outputs(t)[0]
+        scale = max(np.max(np.abs(y_full)), 1e-12)
+        np.testing.assert_allclose(y_red, y_full, atol=1e-4 * scale)
+
+    def test_identity_output_reconstruction(self):
+        full = chain(30)
+        full_states = DescriptorSystem(full.E, full.A, full.B)  # C = identity
+        red = krylov_reduce(full_states, 8, expansion_point=1.0)
+        assert red.n_outputs == 30  # reconstructs x ~= V x_r
+        r_full = simulate_opm(full_states, 1.0, (5.0, 200))
+        r_red = simulate_opm(red, 1.0, (5.0, 200))
+        t = r_full.grid.midpoints[::20]
+        np.testing.assert_allclose(
+            r_red.outputs(t), r_full.states(t), atol=2e-3
+        )
+
+    def test_reduction_speeds_up_repeated_simulation(self):
+        from repro.experiments import table2_workload
+
+        bundle = table2_workload(8, 8, 3)
+        full = bundle["mna"]
+        red = krylov_reduce(full, 12, expansion_point=1e9)
+        assert red.n_states <= 12
+        r_full = simulate_opm(full, bundle["u"], (1e-9, 200))
+        r_red = simulate_opm(red, bundle["u"], (1e-9, 200))
+        t = r_full.grid.midpoints
+        y_full = sample_outputs(r_full, t)
+        y_red = sample_outputs(r_red, t)
+        scale = max(np.max(np.abs(y_full)), 1e-15)
+        np.testing.assert_allclose(y_red, y_full, atol=0.02 * scale)
+
+    def test_reduced_model_works_with_baselines(self):
+        full = chain(50)
+        red = krylov_reduce(full, 6, expansion_point=1.0)
+        res = simulate_transient(red, 1.0, 2.0, 200)
+        assert res.state_values.shape[1] == 201
+
+
+class TestValidation:
+    def test_rejects_fractional(self, scalar_fde):
+        with pytest.raises(SolverError, match="first-order"):
+            krylov_reduce(scalar_fde, 4)
+
+    def test_rejects_singular_expansion(self):
+        # A singular at DC: s0=0 pencil is singular
+        full = DescriptorSystem(np.eye(2), np.zeros((2, 2)), np.ones((2, 1)))
+        with pytest.raises(SolverError, match="singular"):
+            krylov_reduce(full, 2, expansion_point=0.0)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            krylov_reduce("sys", 4)
+
+    def test_dense_and_sparse_agree(self):
+        sparse_sys = chain(40)
+        dense_sys = DescriptorSystem(
+            np.eye(40), sparse_sys.A.toarray(), sparse_sys.B, C=sparse_sys.C
+        )
+        rs = krylov_reduce(sparse_sys, 5, expansion_point=1.0)
+        rd = krylov_reduce(dense_sys, 5, expansion_point=1.0)
+        for s in (0.5, 2.0):
+            np.testing.assert_allclose(
+                transfer_function(rs, s), transfer_function(rd, s), rtol=1e-8
+            )

@@ -1,0 +1,89 @@
+"""Tests for result containers."""
+
+import numpy as np
+import pytest
+
+from repro.basis import BlockPulseBasis, TimeGrid, WalshBasis
+from repro.core import DescriptorSystem, SimulationResult
+from repro.core.result import SampledResult
+
+
+@pytest.fixture
+def system():
+    return DescriptorSystem(
+        np.eye(2), -np.eye(2), np.ones((2, 1)),
+        C=np.array([[1.0, -1.0]]), D=np.array([[0.5]]),
+    )
+
+
+@pytest.fixture
+def result(system):
+    basis = BlockPulseBasis(TimeGrid.uniform(1.0, 4))
+    X = np.array([[1.0, 2.0, 3.0, 4.0], [0.0, 1.0, 1.0, 2.0]])
+    U = np.ones((1, 4))
+    return SimulationResult(basis, X, system, U)
+
+
+class TestSimulationResult:
+    def test_states_piecewise_constant(self, result):
+        np.testing.assert_allclose(result.states([0.1, 0.6])[0], [1.0, 3.0])
+
+    def test_outputs_apply_c_and_d(self, result):
+        # y = x1 - x2 + 0.5 u
+        np.testing.assert_allclose(result.outputs([0.1])[0], [1.0 + 0.5])
+
+    def test_inputs_sampled(self, result):
+        np.testing.assert_allclose(result.inputs([0.3])[0], [1.0])
+
+    def test_grid_exposed_for_bpf(self, result):
+        assert result.grid is not None and result.grid.m == 4
+
+    def test_grid_none_for_other_bases(self, system):
+        basis = WalshBasis(1.0, 4)
+        res = SimulationResult(basis, np.zeros((2, 4)), system, np.zeros((1, 4)))
+        assert res.grid is None
+
+    def test_sample_times_default_midpoints(self, result):
+        np.testing.assert_allclose(result.sample_times(), [0.125, 0.375, 0.625, 0.875])
+
+    def test_sample_times_custom_count(self, result):
+        times = result.sample_times(10)
+        assert times.size == 10 and times[0] > 0.0 and times[-1] < 1.0
+
+    def test_shape_validation(self, system):
+        basis = BlockPulseBasis(TimeGrid.uniform(1.0, 4))
+        with pytest.raises(ValueError):
+            SimulationResult(basis, np.zeros((2, 5)), system, np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            SimulationResult(basis, np.zeros((2, 4)), system, np.zeros((1, 5)))
+
+    def test_repr(self, result):
+        assert "SimulationResult" in repr(result) and "m=4" in repr(result)
+
+
+class TestSampledResult:
+    def test_linear_interpolation(self, system):
+        times = np.array([0.0, 1.0, 2.0])
+        states = np.array([[0.0, 2.0, 4.0], [1.0, 1.0, 1.0]])
+        res = SampledResult(times, states, system, input_values=np.ones((1, 3)))
+        np.testing.assert_allclose(res.states([0.5, 1.5])[0], [1.0, 3.0])
+
+    def test_outputs_with_feedthrough(self, system):
+        times = np.array([0.0, 1.0])
+        states = np.array([[1.0, 2.0], [0.0, 0.0]])
+        res = SampledResult(times, states, system, input_values=np.ones((1, 2)))
+        np.testing.assert_allclose(res.output_values[0], [1.5, 2.5])
+
+    def test_outputs_without_inputs_raises_for_feedthrough(self, system):
+        res = SampledResult([0.0, 1.0], np.zeros((2, 2)), system)
+        with pytest.raises(ValueError, match="feedthrough"):
+            _ = res.output_values
+
+    def test_identity_outputs_without_inputs_ok(self):
+        plain = DescriptorSystem(np.eye(2), -np.eye(2), np.ones((2, 1)))
+        res = SampledResult([0.0, 1.0], np.arange(4.0).reshape(2, 2), plain)
+        np.testing.assert_array_equal(res.output_values, res.state_values)
+
+    def test_shape_validation(self, system):
+        with pytest.raises(ValueError):
+            SampledResult([0.0, 1.0], np.zeros((2, 3)), system)

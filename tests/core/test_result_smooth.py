@@ -1,0 +1,66 @@
+"""Tests for the smooth (midpoint-linear) reconstruction semantics."""
+
+import numpy as np
+import pytest
+
+from repro.basis import BlockPulseBasis, TimeGrid, WalshBasis
+from repro.core import DescriptorSystem, SimulationResult, simulate_opm
+
+
+@pytest.fixture
+def ramp_result(scalar_ode):
+    # x' = -x + t has a smooth, curving solution: good interp fodder
+    return simulate_opm(scalar_ode, lambda t: t, (2.0, 64))
+
+
+class TestSmoothSampling:
+    def test_matches_coefficients_at_midpoints(self, ramp_result):
+        mids = ramp_result.grid.midpoints
+        np.testing.assert_allclose(
+            ramp_result.states_smooth(mids)[0], ramp_result.coefficients[0]
+        )
+
+    def test_second_order_between_midpoints(self, scalar_ode):
+        # smooth sampling at arbitrary times converges O(h^2), while raw
+        # piecewise-constant sampling is O(h)
+        t = np.linspace(0.37, 1.83, 11)  # incommensurate with any grid
+        exact = lambda tt: 1.0 - np.exp(-tt)
+        errs_smooth, errs_pwc = [], []
+        for m in (64, 128, 256):
+            res = simulate_opm(scalar_ode, 1.0, (2.0, m))
+            errs_smooth.append(np.max(np.abs(res.states_smooth(t)[0] - exact(t))))
+            errs_pwc.append(np.max(np.abs(res.states(t)[0] - exact(t))))
+        rate_smooth = np.log2(errs_smooth[0] / errs_smooth[2]) / 2.0
+        rate_pwc = np.log2(errs_pwc[0] / errs_pwc[2]) / 2.0
+        assert rate_smooth > 1.6
+        assert rate_pwc < 1.4
+
+    def test_clamps_outside_midpoint_range(self, ramp_result):
+        # times before the first midpoint / after the last take the
+        # nearest coefficient (np.interp clamping)
+        first = ramp_result.states_smooth([0.0])[0, 0]
+        assert first == pytest.approx(ramp_result.coefficients[0, 0])
+
+    def test_outputs_smooth_applies_c(self):
+        system = DescriptorSystem(
+            [[1.0]], [[-1.0]], [[1.0]], C=[[3.0]]
+        )
+        res = simulate_opm(system, 1.0, (1.0, 16))
+        t = res.grid.midpoints
+        np.testing.assert_allclose(
+            res.outputs_smooth(t)[0], 3.0 * res.states_smooth(t)[0]
+        )
+
+    def test_non_bpf_basis_falls_back_to_synthesis(self, scalar_ode):
+        basis = WalshBasis(1.0, 8)
+        X = np.ones((1, 8))
+        U = np.ones((1, 8))
+        res = SimulationResult(basis, X, scalar_ode, U)
+        t = np.array([0.3, 0.7])
+        np.testing.assert_allclose(
+            res.states_smooth(t), basis.synthesize(X, t)
+        )
+
+    def test_matrix_shape_preserved(self, ramp_result):
+        t = np.linspace(0.1, 1.9, 5)
+        assert ramp_result.states_smooth(t).shape == (1, 5)

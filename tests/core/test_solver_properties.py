@@ -1,0 +1,102 @@
+"""Property-based solver validation against the matrix exponential.
+
+Random stable ODE systems: OPM must converge to the expm reference
+under refinement and satisfy structural invariants (linearity in the
+input, time-invariance of autonomous decay).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import simulate_expm
+from repro.core import DescriptorSystem, simulate_opm
+
+
+def stable_system(seed: int, n: int) -> DescriptorSystem:
+    rng = np.random.default_rng(seed)
+    # symmetric negative-definite A: guaranteed stable, well-conditioned
+    raw = rng.standard_normal((n, n))
+    A = -(raw @ raw.T) - np.eye(n)
+    B = rng.standard_normal((n, 1))
+    return DescriptorSystem(np.eye(n), A, B)
+
+
+@given(seed=st.integers(0, 2**31), n=st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_opm_tracks_expm(seed, n):
+    system = stable_system(seed, n)
+    opm = simulate_opm(system, 1.0, (1.0, 400))
+    ref = simulate_expm(system, 1.0, 1.0, 400)
+    t = opm.grid.midpoints[::40]
+    scale = float(np.max(np.abs(ref.states(ref.times)))) + 1e-12
+    np.testing.assert_allclose(
+        opm.states_smooth(t), ref.states(t), atol=5e-4 * scale
+    )
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(1, 4),
+    a=st.floats(-3.0, 3.0),
+    b=st.floats(-3.0, 3.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_linearity_in_input(seed, n, a, b):
+    """response(a*u1 + b*u2) = a*response(u1) + b*response(u2)."""
+    system = stable_system(seed, n)
+    grid = (1.0, 32)
+    u1 = lambda t: np.sin(3.0 * t)
+    u2 = lambda t: np.exp(-t)
+    r1 = simulate_opm(system, u1, grid).coefficients
+    r2 = simulate_opm(system, u2, grid).coefficients
+    combined = simulate_opm(
+        system, lambda t: a * u1(t) + b * u2(t), grid
+    ).coefficients
+    scale = float(np.max(np.abs(combined))) + 1.0
+    np.testing.assert_allclose(combined, a * r1 + b * r2, atol=1e-10 * scale)
+
+
+@given(seed=st.integers(0, 2**31), n=st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_autonomous_decay_monotone_energy(seed, n):
+    """With A symmetric negative definite, ||x|| decays monotonically."""
+    system = stable_system(seed, n)
+    system = DescriptorSystem(system.E, system.A, system.B, x0=np.ones(n))
+    res = simulate_opm(system, 0.0, (1.0, 200))
+    norms = np.linalg.norm(res.coefficients, axis=0)
+    assert np.all(np.diff(norms) <= 1e-9 * (norms[0] + 1.0))
+
+
+@given(seed=st.integers(0, 2**31), n=st.integers(1, 4), m=st.integers(2, 40))
+@settings(max_examples=25, deadline=None)
+def test_zero_input_zero_ic_stays_zero(seed, n, m):
+    system = stable_system(seed, n)
+    res = simulate_opm(system, 0.0, (1.0, m))
+    np.testing.assert_array_equal(res.coefficients, np.zeros((n, m)))
+
+
+@given(seed=st.integers(0, 2**31), alpha=st.floats(0.2, 1.8))
+@settings(max_examples=20, deadline=None)
+def test_fractional_dc_gain_reached(seed, alpha):
+    """Stable scalar FDE step response approaches the DC gain b/|a|.
+
+    The fractional tail decays algebraically,
+    ``|x(t) - x_inf| ~ x_inf / (|a| t^alpha Gamma(1-alpha))``, so the
+    admissible band is alpha-dependent (tiny alpha settles very
+    slowly).
+    """
+    from scipy.special import rgamma
+
+    from repro.core import FractionalDescriptorSystem
+
+    rng = np.random.default_rng(seed)
+    a = -float(rng.uniform(0.5, 3.0))
+    b = float(rng.uniform(0.5, 3.0))
+    system = FractionalDescriptorSystem(alpha, [[1.0]], [[a]], [[b]])
+    t_end = 200.0
+    res = simulate_opm(system, 1.0, (t_end, 600))
+    final = res.coefficients[0, -1]
+    gain = b / abs(a)
+    tail_bound = 3.0 * gain * abs(rgamma(1.0 - alpha)) / (abs(a) * t_end**alpha)
+    assert abs(final - gain) < tail_bound + 0.05 * gain

@@ -1,0 +1,94 @@
+"""Tests for closed-form FDE reference solutions."""
+
+import numpy as np
+import pytest
+
+from repro.fractional import (
+    fde_impulse_response,
+    fde_relaxation,
+    fde_step_response,
+    second_order_step_response,
+)
+
+
+class TestRelaxation:
+    def test_reduces_to_exponential(self):
+        t = np.linspace(0.0, 5.0, 21)
+        np.testing.assert_allclose(
+            fde_relaxation(1.0, 2.0, t), np.exp(-2.0 * t), atol=1e-7
+        )
+
+    def test_starts_at_x0(self):
+        np.testing.assert_allclose(fde_relaxation(0.5, 1.0, [0.0], x0=3.0), [3.0])
+
+    def test_slower_than_exponential(self):
+        # fractional relaxation has heavy algebraic tails
+        t = np.array([10.0, 50.0])
+        frac = fde_relaxation(0.5, 1.0, t)
+        expo = np.exp(-t)
+        assert np.all(frac > 10.0 * expo)
+
+    def test_monotone_decay(self):
+        t = np.linspace(0.0, 20.0, 300)
+        x = fde_relaxation(0.7, 1.5, t)
+        assert np.all(np.diff(x) <= 1e-12)
+
+
+class TestStepResponse:
+    def test_reduces_to_first_order(self):
+        t = np.linspace(0.01, 5.0, 17)
+        np.testing.assert_allclose(
+            fde_step_response(1.0, 2.0, t, b=3.0),
+            1.5 * (1.0 - np.exp(-2.0 * t)),
+            atol=1e-7,
+        )
+
+    def test_starts_at_zero(self):
+        assert fde_step_response(0.5, 1.0, np.array([0.0]))[0] == 0.0
+
+    def test_dc_gain(self):
+        # final value b/lam (approached algebraically)
+        value = fde_step_response(0.5, 2.0, np.array([1e6]), b=3.0)[0]
+        assert value == pytest.approx(1.5, rel=2e-3)
+
+    def test_derivative_relation_to_impulse(self):
+        # step response derivative ~ impulse response (numerically)
+        t = np.linspace(0.5, 3.0, 400)
+        step = fde_step_response(0.5, 1.0, t)
+        impulse = fde_impulse_response(0.5, 1.0, t)
+        numeric = np.gradient(step, t)
+        np.testing.assert_allclose(numeric, impulse, atol=5e-3)
+
+
+class TestImpulseResponse:
+    def test_reduces_to_exponential(self):
+        t = np.linspace(0.1, 4.0, 15)
+        np.testing.assert_allclose(
+            fde_impulse_response(1.0, 2.0, t), np.exp(-2.0 * t), atol=1e-7
+        )
+
+    def test_singular_at_origin_for_small_alpha(self):
+        small_t = fde_impulse_response(0.5, 1.0, np.array([1e-8]))
+        assert small_t[0] > 1e3
+
+
+class TestSecondOrderStep:
+    def test_undamped_peaks_at_two(self):
+        value = second_order_step_response(1.0, 1e-12, np.array([np.pi]))[0]
+        assert value == pytest.approx(2.0, abs=1e-6)
+
+    def test_final_value_one(self):
+        value = second_order_step_response(2.0, 0.5, np.array([50.0]))[0]
+        assert value == pytest.approx(1.0, abs=1e-8)
+
+    def test_overshoot_formula(self):
+        # peak overshoot exp(-pi zeta / sqrt(1 - zeta^2)) at t = pi/wd
+        zeta, wn = 0.3, 1.5
+        wd = wn * np.sqrt(1 - zeta**2)
+        peak = second_order_step_response(wn, zeta, np.array([np.pi / wd]))[0]
+        expected = 1.0 + np.exp(-np.pi * zeta / np.sqrt(1 - zeta**2))
+        assert peak == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_overdamped(self):
+        with pytest.raises(ValueError, match="zeta"):
+            second_order_step_response(1.0, 1.2, np.array([1.0]))

@@ -1,0 +1,71 @@
+"""Tests and properties of the Grünwald-Letnikov weights."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fractional import gl_weights
+
+
+class TestKnownValues:
+    def test_alpha_one_finite_difference(self):
+        np.testing.assert_allclose(gl_weights(1.0, 5), [1, -1, 0, 0, 0], atol=1e-15)
+
+    def test_alpha_two_second_difference(self):
+        np.testing.assert_allclose(gl_weights(2.0, 5), [1, -2, 1, 0, 0], atol=1e-15)
+
+    def test_alpha_half_first_terms(self):
+        w = gl_weights(0.5, 4)
+        np.testing.assert_allclose(w, [1.0, -0.5, -0.125, -0.0625])
+
+    def test_binomial_identity(self):
+        from scipy.special import binom
+
+        alpha, k = 0.7, np.arange(10)
+        expected = (-1.0) ** k * binom(alpha, k)
+        np.testing.assert_allclose(gl_weights(alpha, 10), expected, atol=1e-12)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            gl_weights(0.5, 0)
+
+
+@given(alpha=st.floats(min_value=0.05, max_value=0.999))
+@settings(max_examples=40, deadline=None)
+def test_weights_signs_for_alpha_below_one(alpha):
+    """w_0 = 1 > 0 and w_j < 0 for j >= 1 when 0 < alpha < 1."""
+    w = gl_weights(alpha, 50)
+    assert w[0] == 1.0
+    assert np.all(w[1:] < 0.0)
+
+
+@given(alpha=st.floats(min_value=0.05, max_value=0.999))
+@settings(max_examples=40, deadline=None)
+def test_weights_partial_sum_analytic_decay(alpha):
+    """Partial sums stay positive and follow K^{-alpha}/Gamma(1-alpha).
+
+    The exact identity is ``sum_{j<=K} w_j = (-1)^K binom(alpha-1, K)``,
+    asymptotically ``K^{-alpha} / Gamma(1 - alpha)``.
+    """
+    from scipy.special import gamma
+
+    K = 4000
+    w = gl_weights(alpha, K)
+    partial = np.cumsum(w)
+    assert np.all(partial > -1e-12)
+    assert partial[-1] < partial[100]
+    expected_tail = K ** (-alpha) / gamma(1.0 - alpha)
+    assert partial[-1] == pytest.approx(expected_tail, rel=0.2)
+
+
+@given(
+    alpha=st.floats(min_value=0.1, max_value=1.9),
+    count=st.integers(min_value=2, max_value=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_weight_magnitudes_decay_eventually(alpha, count):
+    w = np.abs(gl_weights(alpha, count))
+    tail = w[max(3, count // 2) :]
+    if tail.size >= 2:
+        assert np.all(np.diff(tail) <= 1e-15)

@@ -1,0 +1,83 @@
+"""Tests for the Grünwald-Letnikov baseline solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import DescriptorSystem, FractionalDescriptorSystem, simulate_opm
+from repro.errors import ModelError
+from repro.fractional import fde_step_response, simulate_grunwald_letnikov
+
+
+class TestAccuracy:
+    def test_half_order_step_response(self, scalar_fde):
+        res = simulate_grunwald_letnikov(scalar_fde, 1.0, 2.0, 1000)
+        t = np.linspace(0.2, 1.8, 9)
+        np.testing.assert_allclose(
+            res.states(t)[0], fde_step_response(0.5, 1.0, t), atol=3e-3
+        )
+
+    def test_first_order_convergence_rate(self, scalar_fde):
+        t = np.linspace(0.2, 1.8, 9)
+        exact = fde_step_response(0.5, 1.0, t)
+        errs = [
+            np.max(np.abs(simulate_grunwald_letnikov(scalar_fde, 1.0, 2.0, n).states(t)[0] - exact))
+            for n in (200, 400, 800)
+        ]
+        rate = np.log2(errs[0] / errs[2]) / 2.0
+        assert 0.6 < rate < 1.4  # GL is first-order accurate
+
+    def test_alpha_one_equals_backward_euler(self, scalar_ode):
+        from repro.baselines import simulate_transient
+
+        gl = simulate_grunwald_letnikov(scalar_ode, 1.0, 3.0, 300)
+        be = simulate_transient(scalar_ode, 1.0, 3.0, 300, method="backward-euler")
+        np.testing.assert_allclose(gl.state_values, be.state_values, atol=1e-10)
+
+    def test_agrees_with_opm(self, scalar_fde):
+        gl = simulate_grunwald_letnikov(scalar_fde, 1.0, 2.0, 2000)
+        opm = simulate_opm(scalar_fde, 1.0, (2.0, 2000))
+        t = np.linspace(0.3, 1.7, 7)
+        np.testing.assert_allclose(gl.states(t)[0], opm.states(t)[0], atol=3e-3)
+
+    def test_mimo_fractional(self):
+        system = FractionalDescriptorSystem(
+            0.5, np.eye(2), -np.diag([1.0, 2.0]), np.eye(2)
+        )
+        res = simulate_grunwald_letnikov(
+            system, lambda t: np.vstack([np.ones_like(t), np.sin(t)]), 1.0, 200
+        )
+        assert res.state_values.shape == (2, 201)
+
+    def test_x0_shift(self):
+        from repro.fractional import fde_relaxation
+
+        system = FractionalDescriptorSystem(0.5, [[1.0]], [[-1.0]], [[1.0]], x0=[1.0])
+        res = simulate_grunwald_letnikov(system, 0.0, 1.0, 2000)
+        t = np.linspace(0.1, 0.9, 8)
+        np.testing.assert_allclose(
+            res.states(t)[0], fde_relaxation(0.5, 1.0, t), atol=2e-2
+        )
+
+
+class TestBookkeeping:
+    def test_node_zero_is_initial_state(self, scalar_fde):
+        res = simulate_grunwald_letnikov(scalar_fde, 1.0, 1.0, 50)
+        np.testing.assert_array_equal(res.state_values[:, 0], [0.0])
+
+    def test_info_fields(self, scalar_fde):
+        res = simulate_grunwald_letnikov(scalar_fde, 1.0, 1.0, 50)
+        assert res.info["method"] == "grunwald-letnikov"
+        assert res.info["alpha"] == 0.5
+        assert res.info["h"] == pytest.approx(0.02)
+
+    def test_rejects_bad_input_type(self, scalar_fde):
+        with pytest.raises(ModelError):
+            simulate_grunwald_letnikov(scalar_fde, np.zeros(3), 1.0, 10)
+
+    def test_rejects_bad_t_end(self, scalar_fde):
+        with pytest.raises(ValueError):
+            simulate_grunwald_letnikov(scalar_fde, 1.0, -1.0, 10)
+
+    def test_rejects_wrong_system(self):
+        with pytest.raises(TypeError):
+            simulate_grunwald_letnikov("sys", 1.0, 1.0, 10)

@@ -1,0 +1,107 @@
+"""Tests for the Mittag-Leffler function against closed forms."""
+
+import numpy as np
+import pytest
+from scipy.special import erfcx
+
+from repro.errors import ConvergenceError
+from repro.fractional import mittag_leffler
+
+
+class TestClosedForms:
+    def test_exponential_alpha_one(self):
+        z = np.linspace(-16.0, 3.0, 77)
+        np.testing.assert_allclose(mittag_leffler(1.0, 1.0, z), np.exp(z), atol=1e-7)
+
+    def test_exponential_far_negative(self):
+        z = np.array([-50.0, -300.0])
+        np.testing.assert_allclose(mittag_leffler(1.0, 1.0, z), np.exp(z), atol=1e-12)
+
+    def test_cosine_alpha_two(self):
+        x = np.linspace(0.05, 9.0, 61)
+        np.testing.assert_allclose(
+            mittag_leffler(2.0, 1.0, -(x**2)), np.cos(x), atol=1e-10
+        )
+
+    def test_cosh_alpha_two_positive(self):
+        x = np.linspace(0.0, 3.0, 13)
+        np.testing.assert_allclose(
+            mittag_leffler(2.0, 1.0, x**2), np.cosh(x), rtol=1e-12
+        )
+
+    def test_erfcx_alpha_half_global(self):
+        # E_{1/2,1}(z) = exp(z^2) erfc(-z) = erfcx(-z) for z <= 0
+        z = -np.logspace(-2.0, 4.0, 150)
+        ml = mittag_leffler(0.5, 1.0, z)
+        np.testing.assert_allclose(ml, erfcx(-z), atol=1e-7, rtol=1e-6)
+
+    def test_beta_two_alpha_one(self):
+        # E_{1,2}(z) = (e^z - 1) / z
+        z = np.linspace(-10.0, 2.0, 25)
+        z = z[np.abs(z) > 1e-6]
+        np.testing.assert_allclose(
+            mittag_leffler(1.0, 2.0, z), (np.exp(z) - 1.0) / z, atol=1e-9
+        )
+
+    def test_sinh_form(self):
+        # E_{2,2}(z^2) = sinh(z)/z
+        z = np.linspace(0.1, 3.0, 11)
+        np.testing.assert_allclose(
+            mittag_leffler(2.0, 2.0, z**2), np.sinh(z) / z, rtol=1e-12
+        )
+
+    def test_value_at_zero(self):
+        from scipy.special import gamma
+
+        for beta in (0.5, 1.0, 2.5):
+            assert mittag_leffler(0.7, beta, 0.0) == pytest.approx(1.0 / gamma(beta))
+
+
+class TestBranchConsistency:
+    @pytest.mark.parametrize("alpha,beta", [(0.5, 1.0), (0.5, 1.5), (0.8, 1.0), (1.5, 1.0), (1.2, 2.0)])
+    def test_series_asymptotic_crossover_smooth(self, alpha, beta):
+        # sample densely across the crossover radius; adjacent values
+        # must differ by at most the local slope (no branch jumps)
+        radius = 17.0**alpha
+        z = -np.linspace(0.8 * radius, 1.2 * radius, 400)
+        values = mittag_leffler(alpha, beta, z)
+        jumps = np.abs(np.diff(values))
+        median_jump = np.median(jumps)
+        assert np.max(jumps) < 20.0 * median_jump + 1e-6
+
+    def test_monotone_decay_on_negative_axis(self):
+        # E_alpha(-x) is completely monotone for 0 < alpha <= 1
+        x = np.logspace(-2, 3, 200)
+        values = mittag_leffler(0.6, 1.0, -x)
+        assert np.all(np.diff(values) < 1e-12)
+        assert np.all(values > 0.0)
+
+
+class TestValidation:
+    def test_rejects_alpha_above_two(self):
+        with pytest.raises(ValueError):
+            mittag_leffler(2.5, 1.0, -1.0)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            mittag_leffler(0.0, 1.0, -1.0)
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError):
+            mittag_leffler(0.5, -1.0, -1.0)
+
+    def test_rejects_large_positive(self):
+        with pytest.raises(ValueError, match="growing branch"):
+            mittag_leffler(0.5, 1.0, 100.0)
+
+    def test_rejects_large_negative_near_alpha_two(self):
+        with pytest.raises(ValueError, match="asymptotic sector"):
+            mittag_leffler(1.9, 1.0, -1000.0)
+
+    def test_scalar_in_scalar_out(self):
+        out = mittag_leffler(0.5, 1.0, -1.0)
+        assert isinstance(out, float)
+
+    def test_shape_preserved(self):
+        z = -np.ones((3, 4))
+        assert mittag_leffler(0.5, 1.0, z).shape == (3, 4)

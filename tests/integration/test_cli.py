@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import run
+
+RC_NETLIST = """
+* rc lowpass
+I1 0 n1 1m
+R1 n1 0 1k
+C1 n1 0 1u
+"""
+
+CPE_NETLIST = """
+I1 0 a 1.0
+R1 a 0 1.0
+P1 a 0 1.0 0.5
+"""
+
+
+@pytest.fixture
+def rc_file(tmp_path):
+    path = tmp_path / "rc.sp"
+    path.write_text(RC_NETLIST)
+    return path
+
+
+class TestCli:
+    def test_basic_run(self, rc_file, capsys):
+        code = run([str(rc_file), "--t-end", "5e-3", "--steps", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "v(n1)" in out
+        assert "factorisation" in out
+
+    def test_final_value_correct(self, rc_file, capsys):
+        run([str(rc_file), "--t-end", "20e-3", "--steps", "400", "--points", "4"])
+        out = capsys.readouterr().out
+        last_value = float(out.strip().splitlines()[-1].split("|")[-1])
+        assert last_value == pytest.approx(1.0, rel=1e-3)  # 1mA * 1k
+
+    def test_output_selection(self, tmp_path, capsys):
+        path = tmp_path / "two.sp"
+        path.write_text("I1 0 a 1m\nR1 a b 1k\nR2 b 0 1k\nC1 b 0 1u\n")
+        code = run([str(path), "--t-end", "1e-2", "--outputs", "b"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "v(b)" in out and "v(a)" not in out
+
+    def test_csv_written(self, rc_file, tmp_path, capsys):
+        csv_path = tmp_path / "wave.csv"
+        code = run(
+            [str(rc_file), "--t-end", "5e-3", "--steps", "50", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "t,n1"
+        assert len(lines) == 51
+
+    def test_fractional_netlist(self, tmp_path, capsys):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST)
+        code = run([str(path), "--t-end", "2.0", "--steps", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FractionalDescriptorSystem" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = run([str(tmp_path / "nope.sp"), "--t-end", "1.0"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_netlist(self, tmp_path, capsys):
+        path = tmp_path / "bad.sp"
+        path.write_text("X1 a b 1\n")
+        code = run([str(path), "--t-end", "1.0"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

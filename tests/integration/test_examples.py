@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example runs cleanly via its main()."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(path), run_name="__main__")
+    output = buffer.getvalue()
+    assert len(output) > 100  # produced a real report
+    assert "Traceback" not in output
+
+
+def test_example_inventory():
+    """At least the three mandated examples plus quickstart exist."""
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_has_docstring(path):
+    text = path.read_text()
+    assert text.lstrip().startswith('"""'), f"{path.name} lacks a module docstring"
+    assert "Run:" in text, f"{path.name} lacks a Run: line"

@@ -1,0 +1,83 @@
+"""Tests for the pinned experiment workloads (repro.experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FractionalDescriptorSystem, SecondOrderSystem
+from repro.experiments import (
+    TABLE1_M,
+    TABLE1_T,
+    TABLE2_BASE_STEPS,
+    TABLE2_T,
+    table1_workload,
+    table2_workload,
+)
+
+
+class TestTable1Workload:
+    def test_paper_shape(self):
+        wl = table1_workload()
+        model = wl["model"]
+        assert isinstance(model, FractionalDescriptorSystem)
+        assert (model.n_states, model.n_inputs, model.n_outputs) == (7, 2, 2)
+        assert model.alpha == 0.5
+        assert wl["t_end"] == TABLE1_T == 2.7e-9
+        assert wl["m"] == TABLE1_M == 8
+        assert wl["fft_points"] == (8, 100)
+
+    def test_input_drives_port_one_only(self):
+        wl = table1_workload()
+        values = wl["u"](np.linspace(0.0, 2.7e-9, 7))
+        assert values.shape == (2, 7)
+        assert np.max(np.abs(values[0])) > 0.0
+        np.testing.assert_array_equal(values[1], 0.0)
+
+    def test_input_settles_within_window(self):
+        # the FFT baseline periodises; the workload is built so the
+        # input vanishes well before t_end
+        wl = table1_workload()
+        late = wl["u"](np.array([0.6 * TABLE1_T, 0.9 * TABLE1_T]))
+        np.testing.assert_array_equal(late, 0.0)
+
+    def test_sample_times_are_opm_midpoints(self):
+        wl = table1_workload()
+        h = TABLE1_T / TABLE1_M
+        np.testing.assert_allclose(wl["sample_times"], (np.arange(8) + 0.5) * h)
+
+    def test_parameterised_sections(self):
+        wl = table1_workload(n_sections=9)
+        assert wl["model"].n_states == 9
+
+
+class TestTable2Workload:
+    def test_models_and_sizes(self):
+        wl = table2_workload()
+        assert isinstance(wl["na"], SecondOrderSystem)
+        assert wl["na"].n_states < wl["mna"].n_states  # 75K < 110K relation
+        assert wl["t_end"] == TABLE2_T
+        assert wl["base_steps"] == TABLE2_BASE_STEPS
+        assert wl["step_variants"] == {"10 ps": 100, "5 ps": 200, "1 ps": 1000}
+
+    def test_deterministic(self):
+        a = table2_workload(seed=3)
+        b = table2_workload(seed=3)
+        ua = a["u"](np.array([0.3e-9]))
+        ub = b["u"](np.array([0.3e-9]))
+        np.testing.assert_array_equal(ua, ub)
+        # same load placement and scaling
+        assert [e.scale for e in a["netlist"].current_sources] == [
+            e.scale for e in b["netlist"].current_sources
+        ]
+
+    def test_derivative_input_consistent(self):
+        wl = table2_workload()
+        t = np.linspace(1e-11, 5e-10, 200)
+        u = wl["u"](t)
+        du = wl["du"](t)
+        numeric = np.gradient(u[0], t)
+        np.testing.assert_allclose(du[0], numeric, atol=0.05 * np.max(np.abs(du[0])))
+
+    def test_scalable(self):
+        small = table2_workload(4, 4, 2)
+        large = table2_workload(6, 6, 3)
+        assert large["na"].n_states > small["na"].n_states

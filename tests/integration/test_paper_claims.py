@@ -1,0 +1,284 @@
+"""Direct checks of the paper's quantitative claims and printed artifacts.
+
+Each test cites the paper location it verifies.  These are the tests a
+referee would run: the printed matrices, the claimed complexity
+behaviour, the claimed accuracy relationships, and the evaluation
+orderings of Tables I and II.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import average_relative_error_db, relative_error_db, sample_outputs
+from repro.baselines import simulate_fft, simulate_transient
+from repro.circuits import RaisedCosinePulse, fractional_line_model, power_grid_models
+from repro.core import (
+    DescriptorSystem,
+    FractionalDescriptorSystem,
+    simulate_opm,
+)
+from repro.opmat import (
+    differentiation_matrix,
+    fractional_differentiation_matrix,
+    integration_matrix,
+    shift_matrix,
+)
+
+
+class TestPrintedArtifacts:
+    def test_eq4_integral_matrix(self):
+        """Paper eq. (4): H has h/2 diagonal and h above."""
+        H = integration_matrix(4, 0.6)
+        assert H[0, 0] == pytest.approx(0.3)
+        assert H[0, 1] == H[0, 3] == pytest.approx(0.6)
+        assert H[2, 1] == 0.0
+
+    def test_eq5_closed_form(self):
+        """Paper eq. (5): H = h(I/2 + Q + ... + Q^{m-1})."""
+        m, h = 5, 0.2
+        Q = shift_matrix(m)
+        acc = 0.5 * np.eye(m)
+        for k in range(1, m):
+            acc += np.linalg.matrix_power(Q, k)
+        np.testing.assert_allclose(integration_matrix(m, h), h * acc)
+
+    def test_eq7_differential_matrix(self):
+        """Paper eq. (7): D = (2/h)(I-Q)(I+Q)^{-1}."""
+        m, h = 5, 0.4
+        Q = shift_matrix(m)
+        expected = (2.0 / h) * (np.eye(m) - Q) @ np.linalg.inv(np.eye(m) + Q)
+        np.testing.assert_allclose(differentiation_matrix(m, h), expected)
+
+    def test_eq23_eq24_order_three_halves(self):
+        """Paper eqs. (23)-(24): rho_{3/2,4} = (2/h)^{3/2}(1,-3,9/2,-11/2)."""
+        h = 1.0
+        D = fractional_differentiation_matrix(1.5, 4, h)
+        expected = (2.0) ** 1.5 * np.array(
+            [
+                [1.0, -3.0, 4.5, -5.5],
+                [0.0, 1.0, -3.0, 4.5],
+                [0.0, 0.0, 1.0, -3.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        np.testing.assert_allclose(D, expected)
+
+    def test_below_eq24_erratum(self):
+        """The text claims (D^{3/2})^2 = D^2; the truncated-ring algebra
+        gives (D^{3/2})^2 = D^3 (semigroup).  Verify both directions."""
+        m, h = 4, 1.0
+        D = differentiation_matrix(m, h)
+        D32 = fractional_differentiation_matrix(1.5, m, h)
+        square = D32 @ D32
+        np.testing.assert_allclose(square, np.linalg.matrix_power(D, 3))
+        assert not np.allclose(square, np.linalg.matrix_power(D, 2))
+
+    def test_eq19_model_shape_section5a(self):
+        """Section V-A: 7 states, 2 inputs, 2 outputs, alpha = 1/2."""
+        model = fractional_line_model()
+        assert isinstance(model, FractionalDescriptorSystem)
+        assert (model.n_states, model.n_inputs, model.n_outputs) == (7, 2, 2)
+        assert model.alpha == 0.5
+
+
+class TestStructuralEquivalence:
+    """OPM-BPF *is* the trapezoidal rule up to input quadrature.
+
+    The paper claims OPM "has roughly the same performance as advanced
+    transient analysis methods (such as trapezoidal ...)"; for the
+    block-pulse basis the relationship is in fact algebraic: the OPM
+    cell averages equal the midpoint averages of the trapezoidal node
+    sequence exactly whenever the input's cell average equals its
+    endpoint average (e.g. piecewise-linear inputs).  These tests pin
+    that equivalence -- the deepest form of the accuracy-parity claim.
+    """
+
+    def test_opm_equals_trapezoidal_on_ramp_input(self):
+        from repro.circuits import Ramp, assemble_mna, rlc_ladder_netlist
+
+        nl = rlc_ladder_netlist(4, r=1.0, l=1e-4, c=1e-3,
+                                drive_waveform=Ramp(1.0, rise=5e-3))
+        mna = assemble_mna(nl, outputs=["v4"])
+        m = 400
+        opm = simulate_opm(mna, nl.input_function(), (0.05, m))
+        trap = simulate_transient(mna, nl.input_function(), 0.05, m)
+        t = opm.grid.midpoints
+        np.testing.assert_allclose(
+            sample_outputs(opm, t), sample_outputs(trap, t), atol=1e-12
+        )
+
+    def test_na_opm_equals_mna_trapezoidal(self):
+        # the NA route differentiates the input; projecting du onto cell
+        # averages yields exactly the endpoint differences trapezoidal
+        # uses, so OPM(NA, du) == trapezoidal(MNA, u) for ANY input
+        from repro.circuits import (
+            RaisedCosinePulse,
+            assemble_mna,
+            assemble_na,
+            rlc_ladder_netlist,
+        )
+
+        nl = rlc_ladder_netlist(
+            3, r=1.0, l=1e-4, c=1e-3,
+            drive_waveform=RaisedCosinePulse(level=1.0, width=2e-2),
+        )
+        mna = assemble_mna(nl, outputs=["v3"])
+        na = assemble_na(nl, outputs=["v3"])
+        m = 300
+        opm_na = simulate_opm(na, nl.input_function(derivative=True), (0.05, m))
+        trap = simulate_transient(mna, nl.input_function(), 0.05, m)
+        t = opm_na.grid.midpoints
+        scale = float(np.max(np.abs(sample_outputs(trap, t))))
+        np.testing.assert_allclose(
+            sample_outputs(opm_na, t),
+            sample_outputs(trap, t),
+            atol=1e-9 * max(scale, 1.0),
+        )
+
+
+class TestComplexityClaims:
+    def test_single_factorisation_first_order(self):
+        """Section III: constant step -> one pencil factorisation,
+        matching trapezoidal/Gear cost structure."""
+        bundle = power_grid_models(4, 4, 2, via_pitch=2)
+        res = simulate_opm(bundle["mna"], bundle["u"], (1e-9, 100))
+        assert res.info["factorisations"] == 1
+
+    def test_fractional_pays_history_term(self):
+        """Section IV: fractional OPM costs O(n^beta m + n m^2); the
+        first-order path avoids the n m^2 history accumulation entirely.
+        Same system, same grid -- only the order differs."""
+        import scipy.sparse as sp
+
+        n, m = 400, 1200
+        main = -2.0 * np.ones(n)
+        off = np.ones(n - 1)
+        A = sp.diags([off, main, off], [-1, 0, 1], format="csr")
+        E = sp.identity(n, format="csr")
+        B = np.zeros((n, 1))
+        B[0, 0] = 1.0
+        first = simulate_opm(DescriptorSystem(E, A, B), 1.0, (1.0, m))
+        frac = simulate_opm(FractionalDescriptorSystem(0.5, E, A, B), 1.0, (1.0, m))
+        assert frac.wall_time > 2.0 * first.wall_time
+
+    def test_first_order_runtime_roughly_linear_in_m(self):
+        """Section IV: alpha = 1 avoids the m^2 term entirely."""
+        bundle = power_grid_models(6, 6, 3, via_pitch=2)
+        times = {}
+        for m in (200, 800):
+            res = simulate_opm(bundle["mna"], bundle["u"], (1e-9, m))
+            times[m] = res.wall_time
+        # allow generous constant-factor noise; must stay well below
+        # quadratic growth (16x)
+        assert times[800] < 8.0 * times[200]
+
+
+class TestTableIShape:
+    """Table I: FFT-2 closer to OPM than FFT-1; OPM competitive in time."""
+
+    @pytest.fixture(scope="class")
+    def table1(self):
+        from repro.experiments import table1_workload
+
+        wl = table1_workload()
+        opm = simulate_opm(wl["model"], wl["u"], (wl["t_end"], wl["m"]))
+        fft1 = simulate_fft(wl["model"], wl["u"], wl["t_end"], wl["fft_points"][0])
+        fft2 = simulate_fft(wl["model"], wl["u"], wl["t_end"], wl["fft_points"][1])
+        t = wl["sample_times"]
+        return {
+            "y_opm": sample_outputs(opm, t),
+            "y_fft1": sample_outputs(fft1, t),
+            "y_fft2": sample_outputs(fft2, t),
+        }
+
+    def test_fft2_closer_than_fft1(self, table1):
+        err1 = relative_error_db(table1["y_opm"], table1["y_fft1"])
+        err2 = relative_error_db(table1["y_opm"], table1["y_fft2"])
+        # same direction as the paper's -29.2 vs -46.5 dB; the magnitude
+        # of the split depends on the unpublished line model (see
+        # EXPERIMENTS.md)
+        assert err2 < err1 - 2.0
+
+    def test_errors_in_reasonable_band(self, table1):
+        err1 = relative_error_db(table1["y_opm"], table1["y_fft1"])
+        err2 = relative_error_db(table1["y_opm"], table1["y_fft2"])
+        assert -45.0 < err1 < -8.0
+        assert -75.0 < err2 < -12.0
+
+    def test_fft_cost_scales_with_samples(self):
+        # Table I's CPU-time column: the FFT method pays one complex
+        # solve per (half-spectrum) frequency sample, OPM m real solves
+        # with one factorisation; assert the structural counts
+        from repro.experiments import table1_workload
+
+        wl = table1_workload()
+        opm = simulate_opm(wl["model"], wl["u"], (wl["t_end"], wl["m"]))
+        fft1 = simulate_fft(wl["model"], wl["u"], wl["t_end"], 8)
+        fft2 = simulate_fft(wl["model"], wl["u"], wl["t_end"], 100)
+        assert opm.info["factorisations"] == 1
+        assert fft1.info["complex_solves"] == 5
+        assert fft2.info["complex_solves"] == 51
+
+
+class TestTableIIShape:
+    """Table II orderings: b-Euler improves with smaller h but stays far
+    from trapezoidal/Gear at equal step; OPM is the reference."""
+
+    @pytest.fixture(scope="class")
+    def grid_runs(self):
+        from repro.experiments import table2_workload
+
+        bundle = table2_workload()
+        opm = simulate_opm(bundle["mna"], bundle["u"], (bundle["t_end"], bundle["base_steps"]))
+        t = bundle["sample_times"]
+        y_ref = sample_outputs(opm, t)
+        return {"opm": opm, "t": t, "y_ref": y_ref, "bundle": bundle}
+
+    def _err(self, runs, method, steps):
+        res = simulate_transient(
+            runs["bundle"]["mna"],
+            runs["bundle"]["u"],
+            runs["bundle"]["t_end"],
+            steps,
+            method=method,
+        )
+        return average_relative_error_db(runs["y_ref"], sample_outputs(res, runs["t"]))
+
+    def test_beuler_improves_with_step(self, grid_runs):
+        e10 = self._err(grid_runs, "backward-euler", 100)
+        e5 = self._err(grid_runs, "backward-euler", 200)
+        e1 = self._err(grid_runs, "backward-euler", 1000)
+        assert e1 < e5 < e10  # monotone improvement in dB, as in Table II
+
+    def test_trap_and_gear_beat_beuler_at_same_step(self, grid_runs):
+        e_be = self._err(grid_runs, "backward-euler", 100)
+        e_tr = self._err(grid_runs, "trapezoidal", 100)
+        e_ge = self._err(grid_runs, "gear2", 100)
+        assert e_tr < e_be - 10.0
+        assert e_ge < e_be - 10.0
+
+    def test_trapezoidal_closest_to_opm(self, grid_runs):
+        # paper Table II: trapezoidal has the lowest error vs OPM
+        e_tr = self._err(grid_runs, "trapezoidal", 100)
+        e_ge = self._err(grid_runs, "gear2", 100)
+        assert e_tr <= e_ge + 1.0
+
+    def test_opm_same_accuracy_class_as_trapezoidal(self, grid_runs):
+        # the paper's headline claim for linear systems: OPM ~ advanced
+        # transient analysis in accuracy; measured against a converged
+        # fine-step trapezoidal reference
+        bundle = grid_runs["bundle"]
+        fine = simulate_transient(
+            bundle["mna"], bundle["u"], bundle["t_end"], 20000, method="trapezoidal"
+        )
+        t = grid_runs["t"]
+        y_true = sample_outputs(fine, t)
+        e_opm = average_relative_error_db(y_true, sample_outputs(grid_runs["opm"], t))
+        trap = simulate_transient(bundle["mna"], bundle["u"], bundle["t_end"], 100)
+        e_tr = average_relative_error_db(y_true, sample_outputs(trap, t))
+        be = simulate_transient(
+            bundle["mna"], bundle["u"], bundle["t_end"], 100, method="backward-euler"
+        )
+        e_be = average_relative_error_db(y_true, sample_outputs(be, t))
+        assert abs(e_opm - e_tr) < 25.0  # same class (both second order)
+        assert e_opm < e_be - 10.0  # clearly better than first order

@@ -1,0 +1,114 @@
+"""End-to-end pipelines: netlist -> model -> OPM -> waveform vs references."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import relative_error_db, sample_outputs
+from repro.baselines import simulate_expm, simulate_fft, simulate_transient
+from repro.circuits import (
+    Constant,
+    Netlist,
+    RaisedCosinePulse,
+    Ramp,
+    assemble_mna,
+    assemble_na,
+    fractional_line_model,
+    power_grid_models,
+    rc_ladder_netlist,
+)
+from repro.core import simulate_opm, simulate_opm_adaptive
+from repro.fractional import simulate_grunwald_letnikov
+
+
+class TestLinearPipelines:
+    def test_spice_text_to_waveform(self):
+        nl = Netlist.from_spice(
+            """
+            * RC lowpass driven by 1 mA
+            I1 0 n1 1m
+            R1 n1 0 1k
+            C1 n1 0 1u
+            """
+        )
+        system = assemble_mna(nl, outputs=["n1"])
+        res = simulate_opm(system, nl.input_function(), (5e-3, 1000))
+        t = res.grid.midpoints
+        np.testing.assert_allclose(
+            res.outputs(t)[0], 1.0 - np.exp(-t / 1e-3), atol=1e-4
+        )
+
+    def test_ladder_all_methods_agree(self):
+        nl = rc_ladder_netlist(8, r=1.0, c=1e-3, drive_waveform=Constant(1.0))
+        system = assemble_mna(nl, outputs=["v8"])
+        u = nl.input_function()
+        t = np.linspace(0.01, 0.09, 9)
+        reference = simulate_expm(system, u, 0.1, 400)
+        ref_y = sample_outputs(reference, t)
+        for candidate in (
+            simulate_opm(system, u, (0.1, 400)),
+            simulate_transient(system, u, 0.1, 400, method="trapezoidal"),
+            simulate_transient(system, u, 0.1, 400, method="gear2"),
+            simulate_opm_adaptive(system, u, 0.1, rtol=1e-6),
+        ):
+            np.testing.assert_allclose(
+                sample_outputs(candidate, t), ref_y, atol=1e-4
+            )
+
+    def test_power_grid_two_model_route(self):
+        bundle = power_grid_models(4, 4, 2, via_pitch=2, pad_pitch=3, load_pitch=2)
+        mna_res = simulate_opm(bundle["mna"], bundle["u"], (1e-9, 500))
+        na_res = simulate_opm(bundle["na"], bundle["du"], (1e-9, 500))
+        t = mna_res.grid.midpoints
+        err_db = relative_error_db(mna_res.outputs(t)[0], na_res.outputs(t)[0])
+        assert err_db < -35.0  # the two formulations agree to ~1.5%
+
+
+class TestFractionalPipelines:
+    def test_line_opm_vs_gl_vs_fft(self):
+        from repro.experiments import table1_workload
+
+        wl = table1_workload()
+        model, u, T = wl["model"], wl["u"], wl["t_end"]
+        opm = simulate_opm(model, u, (T, 512))
+        gl = simulate_grunwald_letnikov(model, u, T, 512)
+        fft = simulate_fft(model, u, T, 512)
+        t = np.linspace(0.1e-9, 2.6e-9, 21)
+        y_opm = sample_outputs(opm, t)
+        y_gl = sample_outputs(gl, t)
+        y_fft = sample_outputs(fft, t)
+        # GL and OPM both solve the causal FDE: close agreement
+        assert relative_error_db(y_opm, y_gl) < -30.0
+        # FFT periodises: looser agreement, as the paper's Table I shows
+        assert relative_error_db(y_opm, y_fft) < -10.0
+
+    def test_cpe_netlist_full_route(self):
+        from repro.fractional import fde_step_response
+
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "a", Constant(1.0))
+        nl.add_resistor("R1", "a", "0", 1.0)
+        nl.add_cpe("P1", "a", "0", 1.0, 0.5)
+        system = assemble_mna(nl, outputs=["a"])
+        res = simulate_opm(system, nl.input_function(), (2.0, 1500))
+        t = np.linspace(0.2, 1.8, 9)
+        np.testing.assert_allclose(
+            res.outputs(t)[0], fde_step_response(0.5, 1.0, t), atol=5e-3
+        )
+
+    def test_na_with_cpe_multiterm_route(self):
+        # RLC + CPE netlist through nodal analysis -> multi-term OPM
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "a", Ramp(1e-3, rise=1e-10))
+        nl.add_resistor("R1", "a", "0", 10.0)
+        nl.add_capacitor("C1", "a", "0", 1e-12)
+        nl.add_inductor("L1", "a", "0", 1e-9)
+        nl.add_cpe("P1", "a", "0", 1e-9, 0.5)
+        na = assemble_na(nl, outputs=["a"])
+        mna = assemble_mna(nl, outputs=["a"])
+        res_na = simulate_opm(na, nl.input_function(derivative=True), (1e-9, 800))
+        res_mna = simulate_opm(mna, nl.input_function(), (1e-9, 800))
+        t = res_na.grid.midpoints[50:]
+        y_na = res_na.outputs(t)[0]
+        y_mna = res_mna.outputs(t)[0]
+        scale = np.max(np.abs(y_mna))
+        np.testing.assert_allclose(y_na, y_mna, atol=0.05 * scale)

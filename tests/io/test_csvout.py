@@ -1,0 +1,20 @@
+"""Tests for CSV output."""
+
+import pytest
+
+from repro.io import write_csv
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["n", "t"], [[1, 0.5], [2, 0.25]])
+        lines = path.read_text().splitlines()
+        assert lines == ["n,t", "1,0.5", "2,0.25"]
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", ["a"], [])
+        assert path.read_text().splitlines() == ["a"]

@@ -1,0 +1,56 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.io import Table
+
+
+class TestRender:
+    def test_alignment(self):
+        t = Table(["Method", "Time"])
+        t.add_row(["OPM", "3.56 ms"])
+        t.add_row(["FFT-1", "6 ms"])
+        lines = t.render().splitlines()
+        assert lines[0].startswith("Method | Time")
+        assert lines[1].startswith("------ | ----")
+        assert lines[2].startswith("OPM    | 3.56 ms")
+
+    def test_title(self):
+        t = Table(["A"], title="TABLE I")
+        t.add_row(["x"])
+        assert t.render().splitlines()[0] == "TABLE I"
+
+    def test_column_width_follows_longest_cell(self):
+        t = Table(["A", "B"])
+        t.add_row(["very-long-cell", "y"])
+        line = t.render().splitlines()[2]
+        assert line.startswith("very-long-cell | y")
+
+    def test_markdown(self):
+        t = Table(["Method", "Err"], title="T")
+        t.add_row(["OPM", "-"])
+        md = t.render_markdown()
+        assert "| Method | Err |" in md
+        assert "|---|---|" in md
+        assert "| OPM | - |" in md
+
+    def test_str_is_render(self):
+        t = Table(["A"])
+        t.add_row(["1"])
+        assert str(t) == t.render()
+
+
+class TestValidation:
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_rejects_ragged_row(self):
+        t = Table(["A", "B"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row(["only-one"])
+
+    def test_cells_stringified(self):
+        t = Table(["A"])
+        t.add_row([3.14159])
+        assert "3.14159" in t.render()

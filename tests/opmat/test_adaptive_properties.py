@@ -1,0 +1,55 @@
+"""Property-based tests for adaptive-grid operational matrices."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opmat import (
+    differentiation_matrix_adaptive,
+    fractional_differentiation_matrix_adaptive,
+    integration_matrix_adaptive,
+)
+
+# well-separated random steps (eig route valid, conditioning bounded)
+separated_steps = st.lists(
+    st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=10
+).map(lambda vals: np.cumsum(np.asarray(vals)) / sum(vals))
+
+
+@given(steps=separated_steps)
+@settings(max_examples=30, deadline=None)
+def test_adaptive_fractional_semigroup_half(steps):
+    """D~^{1/2} D~^{1/2} = D~ on random distinct grids."""
+    half = fractional_differentiation_matrix_adaptive(0.5, steps, method="schur")
+    one = differentiation_matrix_adaptive(steps)
+    scale = np.max(np.abs(one))
+    np.testing.assert_allclose(half @ half, one, atol=1e-8 * scale)
+
+
+@given(steps=separated_steps, alpha=st.floats(0.2, 1.8))
+@settings(max_examples=30, deadline=None)
+def test_adaptive_fractional_diagonal(steps, alpha):
+    """Diagonal of D~^alpha equals (2/h_j)^alpha (paper eq. (25))."""
+    d = fractional_differentiation_matrix_adaptive(alpha, steps, method="schur")
+    np.testing.assert_allclose(
+        np.diag(d), (2.0 / steps) ** alpha, rtol=1e-6
+    )
+
+
+@given(steps=separated_steps, alpha=st.floats(0.3, 1.7))
+@settings(max_examples=25, deadline=None)
+def test_adaptive_fractional_inverse_pair(steps, alpha):
+    """D~^alpha D~^{-...}: composing with the complementary power gives D~."""
+    part = fractional_differentiation_matrix_adaptive(alpha, steps, method="schur")
+    rest = fractional_differentiation_matrix_adaptive(2.0 - alpha, steps, method="schur")
+    square = differentiation_matrix_adaptive(steps)
+    scale = np.max(np.abs(square @ square))
+    np.testing.assert_allclose(part @ rest, square @ square, atol=5e-7 * scale)
+
+
+@given(steps=separated_steps)
+@settings(max_examples=30, deadline=None)
+def test_adaptive_pair_inverse(steps):
+    H = integration_matrix_adaptive(steps)
+    D = differentiation_matrix_adaptive(steps)
+    np.testing.assert_allclose(D @ H, np.eye(steps.size), atol=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for differential operational matrices (paper eqs. (7)-(8), (17))."""
+
+import numpy as np
+import pytest
+
+from repro.opmat import (
+    differentiation_coefficients,
+    differentiation_matrix,
+    differentiation_matrix_adaptive,
+    integration_matrix,
+    integration_matrix_adaptive,
+)
+
+
+class TestDifferentiationMatrix:
+    def test_matches_paper_eq7_pattern(self):
+        h = 2.0  # so 2/h = 1 and entries show the raw pattern
+        expected = np.array(
+            [
+                [1, -2, 2, -2],
+                [0, 1, -2, 2],
+                [0, 0, 1, -2],
+                [0, 0, 0, 1],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_allclose(differentiation_matrix(4, h), expected)
+
+    def test_closed_form(self):
+        from repro.opmat import shift_matrix
+
+        m, h = 6, 0.7
+        q = shift_matrix(m)
+        closed = (2.0 / h) * (np.eye(m) - q) @ np.linalg.inv(np.eye(m) + q)
+        np.testing.assert_allclose(differentiation_matrix(m, h), closed)
+
+    def test_inverse_of_integration(self):
+        m, h = 10, 0.05
+        np.testing.assert_allclose(
+            integration_matrix(m, h) @ differentiation_matrix(m, h),
+            np.eye(m),
+            atol=1e-12,
+        )
+
+    def test_coefficients_match_matrix_first_row(self):
+        m, h = 7, 0.3
+        np.testing.assert_allclose(
+            differentiation_coefficients(m, h), differentiation_matrix(m, h)[0]
+        )
+
+    def test_differentiates_linear_ramp(self):
+        # cell averages of t differentiate to the constant 1 (from-zero
+        # derivative: exact for functions with f(0) = 0 in the span)
+        m, h = 16, 0.125
+        D = differentiation_matrix(m, h)
+        mids = (np.arange(m) + 0.5) * h
+        derivative = D.T @ mids
+        np.testing.assert_allclose(derivative, np.ones(m), atol=1e-9)
+
+    def test_eigenvalue_multiplicity(self):
+        # the paper's warning: single eigenvalue 2/h with multiplicity m
+        m, h = 5, 0.4
+        eigvals = np.linalg.eigvals(differentiation_matrix(m, h))
+        np.testing.assert_allclose(eigvals, np.full(m, 2.0 / h))
+
+
+class TestAdaptiveDifferentiationMatrix:
+    def test_reduces_to_uniform(self):
+        m, h = 6, 0.2
+        np.testing.assert_allclose(
+            differentiation_matrix_adaptive([h] * m), differentiation_matrix(m, h)
+        )
+
+    def test_inverse_of_adaptive_integration(self):
+        steps = np.array([0.3, 0.1, 0.45, 0.15, 0.2])
+        H = integration_matrix_adaptive(steps)
+        D = differentiation_matrix_adaptive(steps)
+        np.testing.assert_allclose(H @ D, np.eye(5), atol=1e-12)
+
+    def test_column_scaling(self):
+        steps = np.array([0.5, 0.25])
+        D = differentiation_matrix_adaptive(steps)
+        expected = np.array(
+            [
+                [2.0 / 0.5, -2.0 * 2.0 / 0.25],
+                [0.0, 2.0 / 0.25],
+            ]
+        )
+        np.testing.assert_allclose(D, expected)
+
+    def test_distinct_eigenvalues_on_distinct_steps(self):
+        # the property paper eq. (25) relies on
+        steps = np.array([0.1, 0.2, 0.4, 0.3])
+        D = differentiation_matrix_adaptive(steps)
+        eigvals = np.sort(np.linalg.eigvals(D).real)
+        np.testing.assert_allclose(eigvals, np.sort(2.0 / steps))
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            differentiation_matrix_adaptive([0.1, 0.0])

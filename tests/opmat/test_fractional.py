@@ -1,0 +1,136 @@
+"""Tests for fractional differential operational matrices (paper section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperationalMatrixError
+from repro.opmat import (
+    differentiation_matrix,
+    differentiation_matrix_adaptive,
+    fractional_differentiation_coefficients,
+    fractional_differentiation_matrix,
+    fractional_differentiation_matrix_adaptive,
+)
+
+
+class TestUniformFractionalMatrix:
+    def test_paper_eq24_digit_for_digit(self):
+        # D^{3/2}_{(4)} = (2/h)^{3/2} * Toeplitz(1, -3, 4.5, -5.5)
+        h = 0.1
+        D = fractional_differentiation_matrix(1.5, 4, h)
+        scale = (2.0 / h) ** 1.5
+        expected = scale * np.array(
+            [
+                [1.0, -3.0, 4.5, -5.5],
+                [0.0, 1.0, -3.0, 4.5],
+                [0.0, 0.0, 1.0, -3.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        np.testing.assert_allclose(D, expected)
+
+    def test_paper_erratum_semigroup(self):
+        # The text below eq. (24) claims (D^{3/2})^2 = D^2; the correct
+        # identity is (D^{3/2})^2 = D^3 (documented in DESIGN.md).
+        m, h = 6, 0.4
+        D = differentiation_matrix(m, h)
+        D32 = fractional_differentiation_matrix(1.5, m, h)
+        np.testing.assert_allclose(D32 @ D32, np.linalg.matrix_power(D, 3), rtol=1e-12)
+        with pytest.raises(AssertionError):
+            np.testing.assert_allclose(
+                D32 @ D32, np.linalg.matrix_power(D, 2), rtol=1e-12
+            )
+
+    def test_alpha_one_matches_first_order(self):
+        m, h = 8, 0.2
+        np.testing.assert_allclose(
+            fractional_differentiation_matrix(1.0, m, h), differentiation_matrix(m, h)
+        )
+
+    def test_alpha_zero_is_identity(self):
+        np.testing.assert_allclose(
+            fractional_differentiation_matrix(0.0, 5, 0.3), np.eye(5)
+        )
+
+    def test_integer_alpha_matches_matrix_power_truncated(self):
+        # D^2 via series equals the ring-truncated square of D
+        m, h = 7, 0.25
+        D = differentiation_matrix(m, h)
+        D2_series = fractional_differentiation_matrix(2.0, m, h)
+        np.testing.assert_allclose(D2_series, D @ D, rtol=1e-12)
+
+    @pytest.mark.parametrize("a,b", [(0.3, 0.7), (0.5, 0.5), (1.2, 0.8), (0.25, 1.75)])
+    def test_semigroup_property(self, a, b):
+        m, h = 10, 0.15
+        Da = fractional_differentiation_matrix(a, m, h)
+        Db = fractional_differentiation_matrix(b, m, h)
+        Dab = fractional_differentiation_matrix(a + b, m, h)
+        np.testing.assert_allclose(Da @ Db, Dab, rtol=1e-10, atol=1e-8)
+
+    def test_coefficients_match_first_row(self):
+        m, h, alpha = 6, 0.4, 0.7
+        np.testing.assert_allclose(
+            fractional_differentiation_coefficients(alpha, m, h),
+            fractional_differentiation_matrix(alpha, m, h)[0],
+        )
+
+    def test_half_derivative_of_ramp_near_analytic(self):
+        # D^{1/2} t = 2 sqrt(t / pi); compare on cell averages away from 0
+        m, h = 256, 1.0 / 256
+        D = fractional_differentiation_matrix(0.5, m, h)
+        mids = (np.arange(m) + 0.5) * h
+        approx = D.T @ mids
+        exact = 2.0 * np.sqrt(mids / np.pi)
+        # the Tustin construction converges slowly near the t=0 kink;
+        # check the bulk of the interval
+        np.testing.assert_allclose(approx[m // 4 :], exact[m // 4 :], rtol=2e-2)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(OperationalMatrixError):
+            fractional_differentiation_matrix(-0.1, 4, 0.1)
+
+
+class TestAdaptiveFractionalMatrix:
+    def test_squares_to_first_order(self):
+        steps = np.array([0.1, 0.22, 0.17, 0.31, 0.2])
+        D_half = fractional_differentiation_matrix_adaptive(0.5, steps)
+        D_one = differentiation_matrix_adaptive(steps)
+        np.testing.assert_allclose(D_half @ D_half, D_one, rtol=1e-7, atol=1e-8)
+
+    def test_diagonal_entries(self):
+        # paper eq. (25): diagonal must be (2/h_j)^alpha
+        steps = np.array([0.2, 0.4, 0.5])
+        alpha = 0.7
+        D = fractional_differentiation_matrix_adaptive(alpha, steps)
+        np.testing.assert_allclose(np.diag(D), (2.0 / steps) ** alpha, rtol=1e-9)
+
+    def test_upper_triangular(self):
+        steps = np.array([0.15, 0.35, 0.25, 0.45])
+        D = fractional_differentiation_matrix_adaptive(0.6, steps)
+        np.testing.assert_array_equal(D[np.tril_indices(4, -1)], 0.0)
+
+    def test_eig_and_schur_agree(self):
+        steps = np.array([0.1, 0.2, 0.35, 0.5, 0.75])
+        d_eig = fractional_differentiation_matrix_adaptive(0.5, steps, method="eig")
+        d_schur = fractional_differentiation_matrix_adaptive(0.5, steps, method="schur")
+        np.testing.assert_allclose(d_eig, d_schur, rtol=1e-7, atol=1e-8)
+
+    def test_uniform_grid_schur_matches_series(self):
+        from repro.opmat import fractional_differentiation_matrix
+
+        m, h = 5, 0.3
+        d_schur = fractional_differentiation_matrix_adaptive(
+            0.5, [h] * m, method="schur"
+        )
+        d_series = fractional_differentiation_matrix(0.5, m, h)
+        np.testing.assert_allclose(d_schur, d_series, rtol=1e-8, atol=1e-8)
+
+    def test_eig_rejects_repeated_steps(self):
+        with pytest.raises(OperationalMatrixError, match="distinct"):
+            fractional_differentiation_matrix_adaptive(
+                0.5, [0.2, 0.2, 0.3], method="eig"
+            )
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            fractional_differentiation_matrix_adaptive(0.5, [0.1, 0.2], method="magic")

@@ -1,0 +1,125 @@
+"""Tests for integral operational matrices (paper eqs. (3)-(5), (17))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperationalMatrixError
+from repro.opmat import (
+    fractional_integration_matrix,
+    integration_matrix,
+    integration_matrix_adaptive,
+)
+
+
+class TestIntegrationMatrix:
+    def test_matches_paper_eq4(self):
+        h = 0.5
+        expected = np.array(
+            [
+                [h / 2, h, h],
+                [0, h / 2, h],
+                [0, 0, h / 2],
+            ]
+        )
+        np.testing.assert_allclose(integration_matrix(3, h), expected)
+
+    def test_closed_form_eq5(self):
+        # H = (h/2)(I + Q)(I - Q)^{-1}
+        from repro.opmat import shift_matrix
+
+        m, h = 6, 0.3
+        q = shift_matrix(m)
+        closed = (h / 2.0) * (np.eye(m) + q) @ np.linalg.inv(np.eye(m) - q)
+        np.testing.assert_allclose(integration_matrix(m, h), closed)
+
+    def test_integrates_constant_exactly(self):
+        # coefficients of 1 are all ones; integral of 1 is t, whose cell
+        # averages are (i + 1/2) h
+        m, h = 8, 0.25
+        H = integration_matrix(m, h)
+        ones = np.ones(m)
+        integral_coeffs = H.T @ ones
+        expected = (np.arange(m) + 0.5) * h
+        np.testing.assert_allclose(integral_coeffs, expected)
+
+    def test_integrates_bpf_sample_function(self):
+        # exact cell averages of t^2 integrate to approximately t^3/3
+        m, h = 64, 1.0 / 64
+        H = integration_matrix(m, h)
+        mids = (np.arange(m) + 0.5) * h
+        coeffs = mids**2 + h**2 / 12.0  # exact cell averages of t^2
+        approx = H.T @ coeffs
+        exact = (mids**3 + mids * h**2 / 4.0) / 3.0  # exact cell averages of t^3/3
+        # H integrates the piecewise-constant *representation*, which
+        # differs from t^2 by O(h^2) within each cell
+        np.testing.assert_allclose(approx, exact, atol=5.0 * h**2)
+
+    @pytest.mark.parametrize("bad_h", [0.0, -1.0, np.nan])
+    def test_rejects_bad_step(self, bad_h):
+        with pytest.raises(ValueError):
+            integration_matrix(4, bad_h)
+
+
+class TestAdaptiveIntegrationMatrix:
+    def test_reduces_to_uniform(self):
+        m, h = 5, 0.2
+        np.testing.assert_allclose(
+            integration_matrix_adaptive([h] * m), integration_matrix(m, h)
+        )
+
+    def test_row_scaling_structure(self):
+        steps = np.array([0.1, 0.3, 0.2])
+        H = integration_matrix_adaptive(steps)
+        # row i: h_i/2 on diagonal, h_i to the right
+        expected = np.array(
+            [
+                [0.05, 0.1, 0.1],
+                [0.0, 0.15, 0.3],
+                [0.0, 0.0, 0.1],
+            ]
+        )
+        np.testing.assert_allclose(H, expected)
+
+    def test_integrates_constant_on_nonuniform_grid(self):
+        steps = np.array([0.1, 0.25, 0.15, 0.4])
+        H = integration_matrix_adaptive(steps)
+        integral_coeffs = H.T @ np.ones(4)
+        edges = np.concatenate([[0.0], np.cumsum(steps)])
+        expected = 0.5 * (edges[:-1] + edges[1:])  # cell averages of t
+        np.testing.assert_allclose(integral_coeffs, expected)
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            integration_matrix_adaptive([0.1, -0.2, 0.3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            integration_matrix_adaptive([])
+
+
+class TestFractionalIntegrationMatrix:
+    def test_order_one_matches_integer(self):
+        m, h = 7, 0.4
+        np.testing.assert_allclose(
+            fractional_integration_matrix(1.0, m, h), integration_matrix(m, h)
+        )
+
+    def test_order_zero_is_identity(self):
+        np.testing.assert_allclose(fractional_integration_matrix(0.0, 5, 0.1), np.eye(5))
+
+    def test_inverse_of_differentiation(self):
+        from repro.opmat import fractional_differentiation_matrix
+
+        m, h, alpha = 9, 0.2, 0.6
+        H_a = fractional_integration_matrix(alpha, m, h)
+        D_a = fractional_differentiation_matrix(alpha, m, h)
+        np.testing.assert_allclose(H_a @ D_a, np.eye(m), atol=1e-10)
+
+    def test_half_order_squares_to_full(self):
+        m, h = 8, 0.5
+        half = fractional_integration_matrix(0.5, m, h)
+        np.testing.assert_allclose(half @ half, integration_matrix(m, h), atol=1e-12)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(OperationalMatrixError):
+            fractional_integration_matrix(-0.5, 4, 0.1)

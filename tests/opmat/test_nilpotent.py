@@ -1,0 +1,122 @@
+"""Tests for the nilpotent shift matrix and truncated polynomial ring."""
+
+import numpy as np
+import pytest
+
+from repro.opmat import (
+    shift_matrix,
+    toeplitz_coefficients,
+    toeplitz_inverse,
+    toeplitz_multiply,
+    upper_toeplitz,
+)
+
+
+class TestShiftMatrix:
+    def test_matches_paper_eq6(self):
+        q = shift_matrix(4)
+        expected = np.array(
+            [
+                [0, 1, 0, 0],
+                [0, 0, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 0, 0],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(q, expected)
+
+    def test_nilpotent_of_index_m(self):
+        m = 5
+        q = shift_matrix(m)
+        power = np.linalg.matrix_power(q, m - 1)
+        assert np.any(power != 0.0)
+        np.testing.assert_array_equal(np.linalg.matrix_power(q, m), np.zeros((m, m)))
+
+    def test_size_one(self):
+        np.testing.assert_array_equal(shift_matrix(1), np.zeros((1, 1)))
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            shift_matrix(bad)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            shift_matrix(2.5)
+
+
+class TestUpperToeplitz:
+    def test_equals_polynomial_in_q(self):
+        coeffs = np.array([2.0, -1.0, 0.5, 3.0])
+        q = shift_matrix(4)
+        expected = sum(c * np.linalg.matrix_power(q, k) for k, c in enumerate(coeffs))
+        np.testing.assert_allclose(upper_toeplitz(coeffs), expected)
+
+    def test_first_row_preserved(self):
+        coeffs = [1.0, 2.0, 3.0]
+        np.testing.assert_array_equal(upper_toeplitz(coeffs)[0], coeffs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            upper_toeplitz([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            upper_toeplitz(np.eye(2))
+
+
+class TestToeplitzCoefficients:
+    def test_round_trip(self):
+        coeffs = np.array([1.5, -2.0, 0.0, 4.0])
+        np.testing.assert_array_equal(
+            toeplitz_coefficients(upper_toeplitz(coeffs)), coeffs
+        )
+
+    def test_rejects_non_toeplitz(self):
+        matrix = np.triu(np.arange(16, dtype=float).reshape(4, 4))
+        with pytest.raises(ValueError, match="not upper-triangular Toeplitz"):
+            toeplitz_coefficients(matrix)
+
+    def test_rejects_lower_triangular_content(self):
+        matrix = upper_toeplitz([1.0, 2.0]).T
+        with pytest.raises(ValueError):
+            toeplitz_coefficients(matrix)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            toeplitz_coefficients(np.ones((2, 3)))
+
+
+class TestRingOperations:
+    def test_multiply_matches_matrix_product(self):
+        a = np.array([1.0, 2.0, -1.0, 0.5])
+        b = np.array([3.0, 0.0, 1.0, -2.0])
+        product = toeplitz_multiply(a, b)
+        np.testing.assert_allclose(
+            upper_toeplitz(product), upper_toeplitz(a) @ upper_toeplitz(b)
+        )
+
+    def test_multiply_commutes(self):
+        a = np.array([1.0, 4.0, 2.0])
+        b = np.array([0.5, -1.0, 3.0])
+        np.testing.assert_allclose(toeplitz_multiply(a, b), toeplitz_multiply(b, a))
+
+    def test_multiply_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            toeplitz_multiply([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_inverse_matches_matrix_inverse(self):
+        coeffs = np.array([2.0, 1.0, -0.5, 0.25])
+        inv = toeplitz_inverse(coeffs)
+        np.testing.assert_allclose(
+            upper_toeplitz(inv), np.linalg.inv(upper_toeplitz(coeffs))
+        )
+
+    def test_inverse_identity(self):
+        coeffs = np.array([1.0, 0.0, 0.0])
+        np.testing.assert_allclose(toeplitz_inverse(coeffs), coeffs)
+
+    def test_inverse_rejects_singular(self):
+        with pytest.raises(ValueError, match="singular"):
+            toeplitz_inverse([0.0, 1.0, 2.0])

@@ -1,0 +1,109 @@
+"""Property-based tests of the operational-matrix algebra (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opmat import (
+    differentiation_matrix,
+    fractional_differentiation_matrix,
+    integration_matrix,
+    integration_matrix_adaptive,
+    differentiation_matrix_adaptive,
+    toeplitz_inverse,
+    toeplitz_multiply,
+    tustin_power_coefficients,
+    upper_toeplitz,
+)
+
+orders = st.floats(min_value=0.05, max_value=2.5, allow_nan=False, allow_infinity=False)
+sizes = st.integers(min_value=1, max_value=24)
+steps_strategy = st.lists(
+    st.floats(min_value=1e-3, max_value=10.0, allow_nan=False), min_size=1, max_size=12
+)
+coeff_lists = st.lists(
+    st.floats(min_value=-5.0, max_value=5.0, allow_nan=False), min_size=1, max_size=12
+)
+
+
+@given(a=orders, b=orders, m=sizes)
+@settings(max_examples=60, deadline=None)
+def test_tustin_semigroup(a, b, m):
+    """rho_a * rho_b = rho_{a+b} in the truncated ring."""
+    left = np.convolve(tustin_power_coefficients(a, m), tustin_power_coefficients(b, m))[:m]
+    right = tustin_power_coefficients(a + b, m)
+    scale = np.max(np.abs(right)) + 1.0
+    np.testing.assert_allclose(left, right, atol=1e-9 * scale)
+
+
+@given(a=orders, m=sizes)
+@settings(max_examples=40, deadline=None)
+def test_tustin_inverse_pair(a, m):
+    """rho_a * rho_{-a} = 1."""
+    product = np.convolve(
+        tustin_power_coefficients(a, m), tustin_power_coefficients(-a, m)
+    )[:m]
+    identity = np.zeros(m)
+    identity[0] = 1.0
+    scale = np.max(np.abs(tustin_power_coefficients(a, m))) + 1.0
+    np.testing.assert_allclose(product, identity, atol=1e-9 * scale**2)
+
+
+@given(m=sizes, h=st.floats(min_value=1e-3, max_value=100.0))
+@settings(max_examples=40, deadline=None)
+def test_integration_differentiation_inverse(m, h):
+    """H D = I for every size and step."""
+    np.testing.assert_allclose(
+        integration_matrix(m, h) @ differentiation_matrix(m, h),
+        np.eye(m),
+        atol=1e-9,
+    )
+
+
+@given(steps=steps_strategy)
+@settings(max_examples=40, deadline=None)
+def test_adaptive_inverse(steps):
+    """H~ D~ = I on arbitrary positive grids."""
+    steps = np.asarray(steps)
+    H = integration_matrix_adaptive(steps)
+    D = differentiation_matrix_adaptive(steps)
+    # conditioning degrades with extreme step ratios; scale tolerance
+    ratio = float(steps.max() / steps.min())
+    np.testing.assert_allclose(H @ D, np.eye(steps.size), atol=1e-9 * max(ratio, 1.0))
+
+
+@given(coeffs=coeff_lists)
+@settings(max_examples=60, deadline=None)
+def test_toeplitz_multiply_matches_matrices(coeffs):
+    """Ring multiplication = matrix multiplication."""
+    a = np.asarray(coeffs)
+    b = a[::-1].copy()
+    np.testing.assert_allclose(
+        upper_toeplitz(toeplitz_multiply(a, b)),
+        upper_toeplitz(a) @ upper_toeplitz(b),
+        atol=1e-9,
+    )
+
+
+@given(coeffs=coeff_lists)
+@settings(max_examples=60, deadline=None)
+def test_toeplitz_inverse_round_trip(coeffs):
+    """inv(c) * c = 1 whenever c_0 is away from zero."""
+    c = np.asarray(coeffs)
+    c[0] = 2.0 + abs(c[0])  # keep well-conditioned
+    inv = toeplitz_inverse(c)
+    product = toeplitz_multiply(c, inv)
+    identity = np.zeros(c.size)
+    identity[0] = 1.0
+    np.testing.assert_allclose(product, identity, atol=1e-7)
+
+
+@given(a=st.floats(min_value=0.1, max_value=1.9), m=st.integers(2, 16))
+@settings(max_examples=40, deadline=None)
+def test_fractional_matrix_triangular_toeplitz(a, m):
+    """D^alpha stays upper-triangular Toeplitz for every order."""
+    D = fractional_differentiation_matrix(a, m, 0.5)
+    assert np.all(D[np.tril_indices(m, -1)] == 0.0)
+    for k in range(m):
+        diag = np.diagonal(D, offset=k)
+        np.testing.assert_allclose(diag, diag[0], rtol=1e-12)

@@ -1,0 +1,69 @@
+"""Tests for the Riemann-Liouville block-pulse integration matrix."""
+
+import numpy as np
+import pytest
+from scipy.special import gamma
+
+from repro.errors import OperationalMatrixError
+from repro.opmat import (
+    integration_matrix,
+    rl_integration_coefficients,
+    rl_integration_matrix,
+)
+
+
+class TestRLIntegrationMatrix:
+    def test_alpha_one_matches_integer_matrix(self):
+        m, h = 9, 0.35
+        np.testing.assert_allclose(
+            rl_integration_matrix(1.0, m, h), integration_matrix(m, h), rtol=1e-12
+        )
+
+    def test_first_row_closed_form(self):
+        alpha, m, h = 0.5, 5, 0.2
+        k = np.arange(1.0, m)
+        xi = (k + 1) ** (alpha + 1) - 2 * k ** (alpha + 1) + (k - 1) ** (alpha + 1)
+        expected = h**alpha / gamma(alpha + 2) * np.concatenate([[1.0], xi])
+        np.testing.assert_allclose(rl_integration_coefficients(alpha, m, h), expected)
+
+    def test_exact_projection_of_constant(self):
+        # I^alpha 1 = t^alpha / Gamma(alpha+1); row sums of F^alpha must
+        # equal the exact cell averages of that function
+        alpha, m, h = 0.5, 32, 1.0 / 32
+        F = rl_integration_matrix(alpha, m, h)
+        coeffs = F.T @ np.ones(m)
+        edges = np.arange(m + 1) * h
+        exact_avg = (edges[1:] ** (alpha + 1) - edges[:-1] ** (alpha + 1)) / (
+            h * gamma(alpha + 2.0)
+        )
+        np.testing.assert_allclose(coeffs, exact_avg, rtol=1e-10)
+
+    def test_upper_triangular_toeplitz(self):
+        F = rl_integration_matrix(0.7, 6, 0.1)
+        np.testing.assert_array_equal(F[np.tril_indices(6, -1)], 0.0)
+        for k in range(6):
+            diag = np.diagonal(F, offset=k)
+            np.testing.assert_allclose(diag, diag[0])
+
+    def test_differs_from_tustin_at_finite_m(self):
+        # the two constructions agree only asymptotically -- they must
+        # NOT be identical at small m (that's the ablation's point)
+        from repro.opmat import fractional_integration_matrix
+
+        m, h, alpha = 8, 0.25, 0.5
+        rl = rl_integration_matrix(alpha, m, h)
+        tus = fractional_integration_matrix(alpha, m, h)
+        assert np.max(np.abs(rl - tus)) > 1e-4
+
+    def test_rejects_zero_alpha(self):
+        with pytest.raises(OperationalMatrixError):
+            rl_integration_matrix(0.0, 4, 0.1)
+
+    def test_approximates_half_integral_of_ramp(self):
+        # I^{1/2} t = t^{3/2} * Gamma(2)/Gamma(5/2)
+        alpha, m, h = 0.5, 128, 1.0 / 128
+        F = rl_integration_matrix(alpha, m, h)
+        mids = (np.arange(m) + 0.5) * h
+        approx = F.T @ mids
+        exact = mids**1.5 * gamma(2.0) / gamma(2.5)
+        np.testing.assert_allclose(approx, exact, atol=2e-4)

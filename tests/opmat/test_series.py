@@ -1,0 +1,77 @@
+"""Tests for binomial / Tustin-power series coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.opmat import binomial_series, tustin_power_coefficients
+
+
+class TestBinomialSeries:
+    def test_integer_exponent_matches_pascal(self):
+        np.testing.assert_allclose(binomial_series(3.0, 6), [1, 3, 3, 1, 0, 0])
+
+    def test_negative_exponent_geometric(self):
+        # (1 + q)^{-1} = 1 - q + q^2 - ...
+        np.testing.assert_allclose(binomial_series(-1.0, 5), [1, -1, 1, -1, 1])
+
+    def test_minus_sign_geometric(self):
+        # (1 - q)^{-1} = 1 + q + q^2 + ...
+        np.testing.assert_allclose(binomial_series(-1.0, 5, sign=-1.0), [1, 1, 1, 1, 1])
+
+    def test_half_power_squares_to_linear(self):
+        # (1+q)^{1/2} * (1+q)^{1/2} = (1+q), in the truncated ring
+        half = binomial_series(0.5, 8)
+        product = np.convolve(half, half)[:8]
+        np.testing.assert_allclose(product, binomial_series(1.0, 8), atol=1e-14)
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ValueError, match="sign"):
+            binomial_series(1.0, 4, sign=2.0)
+
+    def test_rejects_non_real_alpha(self):
+        with pytest.raises(TypeError):
+            binomial_series("x", 4)
+
+    def test_rejects_nonfinite_alpha(self):
+        with pytest.raises(ValueError):
+            binomial_series(np.inf, 4)
+
+
+class TestTustinPowerCoefficients:
+    def test_paper_eq23_order_3_2(self):
+        # rho_{3/2,4} = (1, -3, 9/2, -11/2) -- digits from the paper
+        np.testing.assert_allclose(
+            tustin_power_coefficients(1.5, 4), [1.0, -3.0, 4.5, -5.5]
+        )
+
+    def test_first_order_alternating_pattern(self):
+        # the D matrix pattern of eq. (7)
+        np.testing.assert_allclose(
+            tustin_power_coefficients(1.0, 6), [1, -2, 2, -2, 2, -2]
+        )
+
+    def test_inverse_order_integral_pattern(self):
+        # ((1+q)/(1-q)) = 1 + 2q + 2q^2 + ... -- the H matrix pattern of eq. (4)
+        np.testing.assert_allclose(
+            tustin_power_coefficients(-1.0, 5), [1, 2, 2, 2, 2]
+        )
+
+    def test_zero_power_is_identity(self):
+        np.testing.assert_allclose(tustin_power_coefficients(0.0, 4), [1, 0, 0, 0])
+
+    def test_semigroup_under_convolution(self):
+        m = 10
+        a = tustin_power_coefficients(0.7, m)
+        b = tustin_power_coefficients(0.9, m)
+        ab = np.convolve(a, b)[:m]
+        np.testing.assert_allclose(ab, tustin_power_coefficients(1.6, m), atol=1e-12)
+
+    def test_integer_power_matches_repeated_convolution(self):
+        m = 8
+        one = tustin_power_coefficients(1.0, m)
+        three = np.convolve(np.convolve(one, one)[:m], one)[:m]
+        np.testing.assert_allclose(three, tustin_power_coefficients(3.0, m), atol=1e-12)
+
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            tustin_power_coefficients(0.5, 0)

@@ -1,0 +1,67 @@
+"""Public-API contract tests: exports resolve, docstrings exist."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.opmat",
+    "repro.basis",
+    "repro.core",
+    "repro.fractional",
+    "repro.baselines",
+    "repro.circuits",
+    "repro.analysis",
+    "repro.io",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_every_public_item_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        missing = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.ismodule(obj):
+                continue
+            if not (inspect.getdoc(obj) or "").strip():
+                missing.append(f"{module_name}.{name}")
+            if inspect.isclass(obj):
+                for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                    if meth_name.startswith("_"):
+                        continue
+                    if not (inspect.getdoc(meth) or "").strip():
+                        missing.append(f"{module_name}.{name}.{meth_name}")
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_top_level_docstring_mentions_paper(self):
+        assert "DATE 2012" in repro.__doc__
+
+
+class TestErrorTaxonomy:
+    def test_every_error_exported_top_level(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,100 @@
+"""Tests for the internal argument-validation helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro._validation import (
+    as_2d_array,
+    check_fractional_order,
+    check_positive_float,
+    check_positive_int,
+    check_steps,
+    is_sparse,
+)
+from repro.errors import ModelError, OperationalMatrixError
+
+
+class TestPositiveInt:
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "m") == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "m")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "m")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(0, "m")
+
+
+class TestPositiveFloat:
+    def test_accepts_int(self):
+        assert check_positive_float(3, "h") == 3.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.inf, np.nan])
+    def test_rejects_nonpositive_or_nonfinite(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_float(bad, "h")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive_float("1.0", "h")
+
+
+class TestFractionalOrder:
+    def test_zero_needs_flag(self):
+        assert check_fractional_order(0.0, allow_zero=True) == 0.0
+        with pytest.raises(OperationalMatrixError):
+            check_fractional_order(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(OperationalMatrixError):
+            check_fractional_order(-0.1, allow_zero=True)
+
+    def test_rejects_inf(self):
+        with pytest.raises(OperationalMatrixError):
+            check_fractional_order(np.inf)
+
+    def test_accepts_numpy_float(self):
+        assert check_fractional_order(np.float64(0.5)) == 0.5
+
+
+class TestSteps:
+    def test_returns_float_array(self):
+        out = check_steps([1, 2, 3])
+        assert out.dtype == float
+
+    @pytest.mark.parametrize("bad", [[], [1.0, -1.0], [1.0, np.nan], [[1.0, 2.0]]])
+    def test_rejects_bad_sequences(self, bad):
+        with pytest.raises(ValueError):
+            check_steps(bad)
+
+
+class TestArrayHelpers:
+    def test_is_sparse(self):
+        assert is_sparse(sp.identity(2))
+        assert not is_sparse(np.eye(2))
+
+    def test_as_2d_from_sparse(self):
+        out = as_2d_array(sp.identity(2), "M")
+        assert isinstance(out, np.ndarray) and out.shape == (2, 2)
+
+    def test_as_2d_promotes_1d(self):
+        assert as_2d_array(np.array([1.0, 2.0]), "M").shape == (1, 2)
+
+    def test_as_2d_rejects_3d(self):
+        with pytest.raises(ModelError):
+            as_2d_array(np.zeros((2, 2, 2)), "M")
+
+    def test_as_2d_rejects_non_numeric(self):
+        with pytest.raises(ModelError):
+            as_2d_array(np.array([["a", "b"]]), "M")
+
+    def test_as_2d_preserves_complex(self):
+        out = as_2d_array(np.array([[1j]]), "M")
+        assert out.dtype == complex
