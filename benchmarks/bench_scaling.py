@@ -19,12 +19,22 @@ import pytest
 import scipy.sparse as sp
 
 from repro.analysis import fit_power_law
-from repro.core import DescriptorSystem, FractionalDescriptorSystem, simulate_opm
+from repro.circuits import power_grid
+from repro.circuits.mna import assemble_mna
+from repro.core import (
+    DescriptorSystem,
+    FractionalDescriptorSystem,
+    Simulator,
+    simulate_opm,
+)
 
 from conftest import bench_scale, register_row
 
 TABLE = "SCALING (OPM cost exponents, section IV)"
 COLUMNS = ["Sweep", "Fitted exponent", "R^2", "Paper claim"]
+
+ENGINE_TABLE = "ENGINE (cached sessions and batched sweeps)"
+ENGINE_COLUMNS = ["Workload", "Baseline", "Engine", "Speedup", "Claim"]
 
 
 def chain_system(n: int, alpha: float = 1.0):
@@ -139,6 +149,100 @@ def test_m_sweep_fractional_fft_history(benchmark):
         ],
     )
     assert exponent < 1.9  # clearly below the direct path's ~2
+
+
+def _power_grid_mna(nx: int, ny: int) -> DescriptorSystem:
+    """First-order MNA model of an ``nx x ny`` two-layer power grid."""
+    netlist = power_grid(nx, ny, nz=2)
+    system = assemble_mna(netlist)
+    assert system.n_states >= 100, "engine benchmarks need a >=100-state model"
+    return system
+
+
+def test_warm_session_vs_cold_solver(benchmark):
+    """Warm Simulator.run amortises assembly + factorisation across calls.
+
+    Cold ``simulate_opm`` rebuilds the basis, the coefficient vector and
+    the pencil LU on every call; a warm session pays only the projection
+    and the triangular sweep.  Both sides use the dense backend so the
+    comparison isolates the *reuse*, not the storage format.
+    """
+    system = _power_grid_mna(28, 28)  # 2352 states
+    n, m = system.n_states, 12
+    grid = (1e-9, m)
+
+    sim = Simulator(system, grid, backend="dense")
+    ref = sim.run(1.0)  # factorise once, outside the timed region
+
+    def run():
+        cold = min(
+            _timed(lambda: simulate_opm(system, 1.0, grid, backend="dense"))
+            for _ in range(3)
+        )
+        warm = min(_timed(lambda: sim.run(1.0)) for _ in range(5))
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    # warm solutions must match the cold one exactly (same sweep, same LU)
+    drift = float(np.max(np.abs(sim.run(1.0).coefficients - ref.coefficients)))
+    register_row(
+        ENGINE_TABLE,
+        ENGINE_COLUMNS,
+        [
+            f"single input (MNA n={n}, m={m})",
+            f"cold {cold * 1e3:.1f} ms",
+            f"warm {warm * 1e3:.1f} ms",
+            f"{cold / warm:.1f}x",
+            ">= 5x",
+        ],
+    )
+    assert sim.factorisations == 1
+    assert drift == 0.0
+    assert cold >= 5.0 * warm, f"warm speedup only {cold / warm:.1f}x"
+
+
+def test_batched_sweep_vs_loop(benchmark):
+    """64-input sweep: one multi-RHS column sweep vs a loop of warm runs."""
+    system = _power_grid_mna(6, 6)  # 108 states
+    n, m, k = system.n_states, 256, 64
+    amplitudes = np.linspace(0.25, 2.0, k)
+    sim = Simulator(system, (1e-9, m))
+    sim.run(1.0)  # factorise once: both strategies start warm
+
+    def run():
+        loop_wall = _timed(lambda: [sim.run(a) for a in amplitudes])
+        sweep_wall = min(_timed(lambda: sim.sweep(amplitudes)) for _ in range(3))
+        return loop_wall, sweep_wall
+
+    loop_wall, sweep_wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    loop_results = [sim.run(a) for a in amplitudes]
+    sweep_result = sim.sweep(amplitudes)
+    worst = max(
+        float(np.max(np.abs(s.coefficients - l.coefficients)))
+        for s, l in zip(sweep_result, loop_results)
+    )
+    register_row(
+        ENGINE_TABLE,
+        ENGINE_COLUMNS,
+        [
+            f"{k}-input sweep (MNA n={n}, m={m})",
+            f"loop {loop_wall * 1e3:.1f} ms",
+            f"batched {sweep_wall * 1e3:.1f} ms",
+            f"{loop_wall / sweep_wall:.1f}x",
+            ">= 3x, max-abs < 1e-10",
+        ],
+    )
+    assert sim.factorisations == 1
+    assert worst < 1e-10, f"batched sweep deviates from loop by {worst:.2e}"
+    assert loop_wall >= 3.0 * sweep_wall, (
+        f"batched speedup only {loop_wall / sweep_wall:.1f}x"
+    )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def test_fractional_vs_first_order_same_size(benchmark):

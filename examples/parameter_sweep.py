@@ -1,0 +1,124 @@
+"""Parameter sweep through one cached Simulator session.
+
+The paper's cost claim -- one pencil factorisation reused by every
+column -- extends across *calls* with the engine's
+:class:`~repro.engine.session.Simulator`: bind a system + grid once,
+then solve as many inputs as you like against the warm cache.  Two
+regimes are demonstrated:
+
+1. **Batched sweeps** (many waveforms, moderate model): a family of
+   drive waveforms on an RC ladder is solved in a single multi-RHS
+   column sweep -- one ``lu_solve`` per column for the entire family --
+   instead of a loop of single-input runs.
+2. **Session reuse** (large model, repeated single runs): on a dense
+   power-grid MNA model the LU factorisation dominates each cold
+   ``simulate_opm`` call; a warm session pays only the triangular
+   sweep.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Simulator, simulate_opm
+from repro.circuits import assemble_mna, power_grid, rc_ladder_netlist
+from repro.io import Table
+
+
+def drive(amplitude: float, rise: float):
+    """Saturating ramp input: amplitude * min(t / rise, 1)."""
+
+    def u(times, _a=amplitude, _r=rise):
+        return _a * np.minimum(np.asarray(times) / _r, 1.0)
+
+    return u
+
+
+def best_of(fn, repeats=3):
+    """Minimum wall time over a few repeats."""
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def batched_sweep_demo():
+    """Tier comparison: cold loop vs warm loop vs one batched sweep."""
+    netlist = rc_ladder_netlist(100, r=1.0, c=1e-3)
+    system = assemble_mna(netlist)
+    grid = (0.5, 256)
+
+    amplitudes = np.linspace(0.25, 2.0, 8)
+    rises = np.array([0.01, 0.05, 0.2])
+    family = [drive(a, r) for a in amplitudes for r in rises]
+    print("== batched sweeps: 24 drive waveforms on a 100-state RC ladder ==")
+
+    t_cold = best_of(lambda: [simulate_opm(system, u, grid) for u in family], 1)
+    sim = Simulator(system, grid)
+    sim.run(family[0])  # factorise once
+    t_warm = best_of(lambda: [sim.run(u) for u in family], 1)
+    t_batch = best_of(lambda: sim.sweep(family), 2)
+
+    batch = sim.sweep(family)
+    worst = max(
+        float(np.max(np.abs(b.coefficients - c.coefficients)))
+        for b, c in zip(batch, (simulate_opm(system, u, grid) for u in family))
+    )
+    table = Table(["strategy", "wall time", "speedup"])
+    table.add_row(["cold simulate_opm loop", f"{t_cold * 1e3:.1f} ms", "1.0x"])
+    table.add_row(
+        ["warm Simulator.run loop", f"{t_warm * 1e3:.1f} ms", f"{t_cold / t_warm:.1f}x"]
+    )
+    table.add_row(
+        ["batched Simulator.sweep", f"{t_batch * 1e3:.1f} ms", f"{t_cold / t_batch:.1f}x"]
+    )
+    print(table.render())
+    print(
+        f"  backend: {sim.backend}; factorisations across all session calls: "
+        f"{sim.factorisations}"
+    )
+    print(f"  max |batched - cold| over the family: {worst:.2e}")
+    assert worst < 1e-10, "batched sweep must reproduce the one-shot solutions"
+
+    finals = batch.outputs([0.499])[:, -1, 0]  # last node at the horizon
+    print(
+        f"  final last-node voltage across the family: "
+        f"min {finals.min():.3g} V, max {finals.max():.3g} V\n"
+    )
+
+
+def session_reuse_demo():
+    """Large dense model: the factorisation dominates, the session keeps it."""
+    system = assemble_mna(power_grid(20, 20, nz=2))  # 1200-state MNA DAE
+    grid = (1e-9, 16)
+    print(f"== session reuse: repeated runs on a {system.n_states}-state power grid ==")
+
+    t_cold = best_of(lambda: simulate_opm(system, 1.0, grid, backend="dense"), 2)
+    sim = Simulator(system, grid, backend="dense")
+    sim.run(1.0)  # factorise once
+    t_warm = best_of(lambda: sim.run(lambda t: np.sin(t / 1e-10)), 3)
+
+    table = Table(["strategy", "wall time", "speedup"])
+    table.add_row(["cold simulate_opm", f"{t_cold * 1e3:.1f} ms", "1.0x"])
+    table.add_row(
+        ["warm Simulator.run", f"{t_warm * 1e3:.1f} ms", f"{t_cold / t_warm:.1f}x"]
+    )
+    print(table.render())
+    print(
+        "  the warm run skips basis assembly, coefficient construction and\n"
+        "  the dense LU -- it pays only input projection plus the triangular\n"
+        "  column sweep."
+    )
+
+
+def main():
+    batched_sweep_demo()
+    session_reuse_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ subpackage   contents
 ``opmat``    integral/differential/fractional operational matrices
 ``basis``    block-pulse, Walsh, Haar, Legendre, Chebyshev, Laguerre
 ``core``     system models, OPM solvers, result containers
+``engine``   cached Simulator sessions, dense/sparse backends, sweeps
 ``fractional`` Mittag-Leffler, Grünwald-Letnikov, analytic solutions
 ``baselines`` backward Euler / trapezoidal / Gear, FFT method, expm
 ``circuits`` netlists, MNA/NA assembly, power grid, transmission line
@@ -51,6 +52,8 @@ from .core import (
     MultiTermSystem,
     SecondOrderSystem,
     SimulationResult,
+    Simulator,
+    SweepResult,
     equidistributed_steps,
     krylov_reduce,
     simulate,
@@ -98,6 +101,9 @@ __all__ = [
     "FractionalDescriptorSystem",
     "MultiTermSystem",
     "SecondOrderSystem",
+    # engine sessions
+    "Simulator",
+    "SweepResult",
     # solvers
     "simulate",
     "SIMULATION_METHODS",

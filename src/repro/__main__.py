@@ -10,6 +10,12 @@ extension -- see :mod:`repro.circuits.netlist`), assembles the MNA
 model (automatically dispatching to the fractional or multi-term
 solver when CPEs are present), simulates the requested window with
 OPM, and prints sampled node voltages (optionally writing a CSV).
+
+With ``--sweep S1 S2 ...`` the netlist's input waveform is scaled by
+each factor and all scaled variants are solved in a single batched
+multi-RHS column sweep through one cached
+:class:`~repro.engine.session.Simulator` session -- one pencil
+factorisation and one triangular sweep for the whole family.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ import numpy as np
 
 from . import __version__
 from .circuits import Netlist, assemble_mna
-from .core import simulate_opm
+from .core import Simulator, simulate_opm
 from .errors import ReproError
 from .io import Table, write_csv
 
@@ -52,11 +58,117 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="number of printed sample times (default 10)",
     )
+    parser.add_argument(
+        "--sweep",
+        nargs="+",
+        type=float,
+        metavar="SCALE",
+        help="scale the input waveform by each factor and solve the whole "
+        "family in one batched multi-RHS sweep",
+    )
     parser.add_argument("--csv", type=Path, help="write all samples to this CSV file")
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
     return parser
+
+
+def _scaled_input(u_fn, scale: float):
+    """Input callable scaled by a constant factor."""
+
+    def scaled(times, _u=u_fn, _s=scale):
+        return _s * np.asarray(_u(times))
+
+    return scaled
+
+
+def _print_times(args) -> np.ndarray:
+    """The sample times printed by both single-run and sweep tables."""
+    return np.linspace(args.t_end / args.points, args.t_end * 0.999, args.points)
+
+
+def _run_single(args, netlist, system, outputs) -> int:
+    result = simulate_opm(
+        system, netlist.input_function(), (args.t_end, args.steps)
+    )
+    print(f"{netlist!r}")
+    print(f"model: {system!r}")
+    print(
+        f"simulated [0, {args.t_end:g}) s with m={args.steps}, "
+        f"{result.info['factorisations']} factorisation(s), "
+        f"{result.wall_time * 1e3:.2f} ms\n"
+    )
+
+    t_print = _print_times(args)
+    values = result.outputs_smooth(t_print)
+    table = Table(["t [s]"] + [f"v({node})" for node in outputs])
+    for k, t in enumerate(t_print):
+        table.add_row([f"{t:.4g}"] + [f"{values[i, k]:.6g}" for i in range(len(outputs))])
+    print(table.render())
+
+    if args.csv is not None:
+        t_all = result.grid.midpoints
+        v_all = result.outputs(t_all)
+        rows = [
+            [repr(float(t_all[k]))]
+            + [repr(float(v_all[i, k])) for i in range(len(outputs))]
+            for k in range(t_all.size)
+        ]
+        path = write_csv(args.csv, ["t"] + list(outputs), rows)
+        print(f"\nwrote {t_all.size} samples to {path}")
+    return 0
+
+
+def _run_sweep(args, netlist, system, outputs) -> int:
+    scales = list(args.sweep)
+    sim = Simulator(system, (args.t_end, args.steps))
+    base_u = netlist.input_function()
+    sweep = sim.sweep([_scaled_input(base_u, s) for s in scales])
+
+    print(f"{netlist!r}")
+    print(f"model: {system!r}")
+    print(
+        f"swept {len(scales)} scaled inputs over [0, {args.t_end:g}) s with "
+        f"m={args.steps} ({sweep.info['backend']} backend, "
+        f"{sweep.info['factorisations']} factorisation(s) shared, "
+        f"{sweep.wall_time * 1e3:.2f} ms total)\n"
+    )
+
+    t_print = _print_times(args)
+    values = sweep.outputs_smooth(t_print)  # (k, q, points), as in single-run mode
+    table = Table(
+        ["t [s]"]
+        + [f"v({node})@x{scale:g}" for scale in scales for node in outputs]
+    )
+    for k_t, t in enumerate(t_print):
+        table.add_row(
+            [f"{t:.4g}"]
+            + [
+                f"{values[i, j, k_t]:.6g}"
+                for i in range(len(scales))
+                for j in range(len(outputs))
+            ]
+        )
+    print(table.render())
+
+    if args.csv is not None:
+        t_all = sweep.grid.midpoints
+        v_all = sweep.outputs(t_all)  # (k, q, nt)
+        header = ["t"] + [
+            f"{node}@x{scale:g}" for scale in scales for node in outputs
+        ]
+        rows = [
+            [repr(float(t_all[k]))]
+            + [
+                repr(float(v_all[i, j, k]))
+                for i in range(len(scales))
+                for j in range(len(outputs))
+            ]
+            for k in range(t_all.size)
+        ]
+        path = write_csv(args.csv, header, rows)
+        print(f"\nwrote {t_all.size} samples x {len(scales)} scales to {path}")
+    return 0
 
 
 def run(argv=None) -> int:
@@ -71,38 +183,12 @@ def run(argv=None) -> int:
         netlist = Netlist.from_spice(text, title=args.netlist.stem)
         outputs = args.outputs if args.outputs else netlist.nodes
         system = assemble_mna(netlist, outputs=outputs)
-        result = simulate_opm(
-            system, netlist.input_function(), (args.t_end, args.steps)
-        )
+        if args.sweep:
+            return _run_sweep(args, netlist, system, outputs)
+        return _run_single(args, netlist, system, outputs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-
-    print(f"{netlist!r}")
-    print(f"model: {system!r}")
-    print(
-        f"simulated [0, {args.t_end:g}) s with m={args.steps}, "
-        f"{result.info['factorisations']} factorisation(s), "
-        f"{result.wall_time * 1e3:.2f} ms\n"
-    )
-
-    t_print = np.linspace(args.t_end / args.points, args.t_end * 0.999, args.points)
-    values = result.outputs_smooth(t_print)
-    table = Table(["t [s]"] + [f"v({node})" for node in outputs])
-    for k, t in enumerate(t_print):
-        table.add_row([f"{t:.4g}"] + [f"{values[i, k]:.6g}" for i in range(len(outputs))])
-    print(table.render())
-
-    if args.csv is not None:
-        t_all = result.grid.midpoints
-        v_all = result.outputs(t_all)
-        rows = [
-            [f"{t_all[k]!r}"] + [repr(v_all[i, k]) for i in range(len(outputs))]
-            for k in range(t_all.size)
-        ]
-        path = write_csv(args.csv, ["t"] + list(outputs), rows)
-        print(f"\nwrote {t_all.size} samples to {path}")
-    return 0
 
 
 if __name__ == "__main__":

@@ -110,6 +110,34 @@ class BlockPulseBasis(BasisSet):
         values = np.asarray(func(times.ravel()), dtype=float).reshape(times.shape)
         return values @ (_GL_WEIGHTS / 2.0)
 
+    def project_vector(self, func: Callable[[np.ndarray], np.ndarray], width: int) -> np.ndarray:
+        """Project a vector-valued function in one evaluation pass.
+
+        Overrides the row-by-row base implementation: ``func`` (which
+        must return ``(width, len(times))`` values) is evaluated once at
+        all quadrature times, so a ``width``-channel input costs the
+        same number of function evaluations as a scalar one -- the hot
+        path of warm :class:`~repro.engine.session.Simulator` runs.
+        """
+        if self._projection == "midpoint":
+            values = np.asarray(func(self._grid.midpoints), dtype=float)
+            if values.shape != (width, self.size):
+                raise BasisError(
+                    f"vector function must return ({width}, {self.size}) "
+                    f"midpoint values, got {values.shape}"
+                )
+            return values
+        mids = self._grid.midpoints
+        half = 0.5 * self._grid.steps
+        times = (mids[:, None] + half[:, None] * _GL_NODES[None, :]).ravel()
+        values = np.asarray(func(times), dtype=float)
+        if values.shape != (width, times.size):
+            raise BasisError(
+                f"vector function must return ({width}, {times.size}) "
+                f"quadrature values, got {values.shape}"
+            )
+        return values.reshape(width, self.size, _GL_NODES.size) @ (_GL_WEIGHTS / 2.0)
+
     def project_samples(self, samples) -> np.ndarray:
         """Coefficients from per-interval samples (identity layout check).
 

@@ -34,6 +34,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..core.lti import DescriptorSystem, FractionalDescriptorSystem, MultiTermSystem
+from ..engine.backends import SPARSE_SIZE_THRESHOLD
 from ..errors import NetlistError
 from .components import (
     CPE,
@@ -47,6 +48,12 @@ from .components import (
 from .netlist import Netlist
 
 __all__ = ["assemble_mna", "output_matrix"]
+
+# SPARSE_SIZE_THRESHOLD is shared with the engine's backend selection:
+# under ``sparse='auto'``, models below it are emitted dense (small
+# dense LU beats SuperLU on factorisation *and* per-column overhead)
+# while larger ladder/power-grid models stay ``scipy.sparse`` and are
+# never densified downstream.
 
 
 class _Stamper:
@@ -83,7 +90,7 @@ def output_matrix(netlist: Netlist, nodes, size: int) -> np.ndarray:
     return C
 
 
-def assemble_mna(netlist: Netlist, outputs=None):
+def assemble_mna(netlist: Netlist, outputs=None, *, sparse: str = "auto"):
     """Assemble the MNA model of a netlist.
 
     Parameters
@@ -93,6 +100,12 @@ def assemble_mna(netlist: Netlist, outputs=None):
     outputs:
         Optional list of node names whose voltages become the model
         outputs (default: all states).
+    sparse:
+        Storage of the emitted system matrices: ``'auto'`` (default)
+        keeps ``scipy.sparse`` CSR for models with at least
+        :data:`repro.engine.backends.SPARSE_SIZE_THRESHOLD` states and
+        densifies smaller ones; ``'always'`` / ``'never'`` force the
+        choice.
 
     Returns
     -------
@@ -116,6 +129,10 @@ def assemble_mna(netlist: Netlist, outputs=None):
     >>> assemble_mna(nl).n_states
     1
     """
+    if sparse not in ("auto", "always", "never"):
+        raise NetlistError(
+            f"sparse must be 'auto', 'always' or 'never', got {sparse!r}"
+        )
     n_nodes = netlist.n_nodes
     if n_nodes == 0:
         raise NetlistError("netlist has no non-ground nodes")
@@ -202,24 +219,35 @@ def assemble_mna(netlist: Netlist, outputs=None):
             e1.add(l_row[l2.name], l_row[l1.name], mutual)
 
     C_out = None if outputs is None else output_matrix(netlist, outputs, size)
-    A = a.build()
-    E1 = e1.build()
+    keep_sparse = sparse == "always" or (
+        sparse == "auto" and size >= SPARSE_SIZE_THRESHOLD
+    )
+
+    def finalise(matrix: sp.csr_matrix):
+        return matrix if keep_sparse else matrix.toarray()
+
+    A_sp = a.build()
+    E1_sp = e1.build()
+    A = finalise(A_sp)
+    E1 = finalise(E1_sp)
 
     if not frac:
         return DescriptorSystem(E1, A, b, C=C_out)
 
-    has_integer_dynamics = E1.nnz > 0
+    has_integer_dynamics = E1_sp.nnz > 0
     if not has_integer_dynamics and len(frac) == 1:
         ((alpha, stamper),) = frac.items()
         if alpha == 1.0:
-            return DescriptorSystem(stamper.build(), A, b, C=C_out)
-        return FractionalDescriptorSystem(alpha, stamper.build(), A, b, C=C_out)
+            return DescriptorSystem(finalise(stamper.build()), A, b, C=C_out)
+        return FractionalDescriptorSystem(
+            alpha, finalise(stamper.build()), A, b, C=C_out
+        )
 
     terms = [(0.0, -A)]
     if has_integer_dynamics:
         terms.append((1.0, E1))
     for alpha, stamper in sorted(frac.items()):
-        matrix = stamper.build()
+        matrix = finalise(stamper.build())
         if alpha == 1.0 and has_integer_dynamics:
             terms = [
                 (o, (m + matrix) if o == 1.0 else m) for o, m in terms

@@ -5,16 +5,30 @@ Public surface:
 * system models -- :class:`DescriptorSystem` (eq. (9)),
   :class:`FractionalDescriptorSystem` (eq. (19)),
   :class:`MultiTermSystem` / :class:`SecondOrderSystem` (section V-B);
-* solvers -- :func:`simulate_opm` (sections III-IV, column sweep),
-  :func:`simulate_opm_adaptive` (section III-B, on-the-fly step
+* the engine session -- :class:`Simulator` binds a system + grid once
+  and caches the basis, fractional coefficients, backend choice, and
+  pencil LU factorisations across calls; ``sim.sweep([...])`` solves
+  many inputs in one batched multi-RHS column sweep, returning a
+  :class:`SweepResult`;
+* one-shot solvers -- :func:`simulate_opm` (sections III-IV, column
+  sweep), :func:`simulate_opm_adaptive` (section III-B, on-the-fly step
   control), :func:`simulate_opm_kron` (the explicit Kronecker reference
   of eqs. (15)/(27)), :func:`simulate_opm_integral` (classical
   integral-form OPM on any basis), :func:`simulate_opm_transformed`
-  (Walsh/Haar change of basis), :func:`simulate_multiterm`;
+  (Walsh/Haar change of basis), :func:`simulate_multiterm` -- all thin
+  wrappers over throwaway sessions;
 * :class:`SimulationResult` -- coefficient container with waveform
   sampling.
 """
 
+from ..engine import (
+    DenseBackend,
+    PencilBank,
+    Simulator,
+    SparseBackend,
+    SweepResult,
+    select_backend,
+)
 from .column_solver import PencilCache, solve_columns_general, solve_columns_toeplitz
 from .dispatch import SIMULATION_METHODS, simulate
 from .highorder import simulate_multiterm
@@ -37,6 +51,8 @@ __all__ = [
     "MultiTermSystem",
     "SecondOrderSystem",
     "SimulationResult",
+    "Simulator",
+    "SweepResult",
     "simulate",
     "SIMULATION_METHODS",
     "simulate_opm",
@@ -49,6 +65,10 @@ __all__ = [
     "krylov_reduce",
     "project_input",
     "PencilCache",
+    "PencilBank",
+    "DenseBackend",
+    "SparseBackend",
+    "select_backend",
     "solve_columns_toeplitz",
     "solve_columns_general",
 ]

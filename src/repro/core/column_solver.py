@@ -13,8 +13,8 @@ never needs the ``nm x nm`` Kronecker solve of eq. (15)/(27).  Writing
 
     (d_{jj} E - A)\\, x_j = r_j - E \\sum_{i<j} d_{ij}\\, x_i ,
 
-a sequence of ``m`` shifted-pencil solves.  This module implements that
-sweep with three accumulation strategies:
+a sequence of ``m`` shifted-pencil solves.  Three accumulation
+strategies are available:
 
 * ``toeplitz`` -- uniform grids: ``d_{ij} = c_{j-i}`` with ``c`` the
   first-row coefficients; tail accumulated by an O(n j) dot product per
@@ -27,36 +27,38 @@ sweep with three accumulation strategies:
   per-column diagonal, LU factorisations cached per distinct diagonal
   value.
 
-A pencil factorisation cache keyed by the shift ``sigma = d_{jj}`` is
-shared by all strategies; with a constant step there is exactly one
-factorisation, matching the paper's claim that OPM costs roughly one
-transient-analysis sweep.
+Since the engine refactor the actual sweeps live in
+:mod:`repro.engine.kernels` (where they additionally accept *batched*
+right-hand sides) and the factorisation cache in
+:mod:`repro.engine.backends`; this module keeps the historical
+functional API as a thin wrapper.  A pencil factorisation cache keyed
+by the shift ``sigma = d_{jj}`` is shared by all strategies; with a
+constant step there is exactly one factorisation, matching the paper's
+claim that OPM costs roughly one transient-analysis sweep.
 """
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
-import scipy.linalg
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from ..errors import SolverError
+from ..engine import kernels
+from ..engine.backends import PencilBank, select_backend
 
 __all__ = ["PencilCache", "solve_columns_toeplitz", "solve_columns_general"]
 
 
-class PencilCache:
+class PencilCache(PencilBank):
     """Factorisation cache for shifted pencils ``sigma E - A``.
 
     Parameters
     ----------
     E, A:
         System matrices (dense ndarray or scipy sparse).
-    prefer_sparse:
-        Use sparse LU (:func:`scipy.sparse.linalg.splu`) when the inputs
-        are sparse; dense LU otherwise.
+    backend:
+        Backend selection mode forwarded to
+        :func:`~repro.engine.backends.select_backend`: ``'auto'``
+        (default; sparse SuperLU for large sparse systems, dense LAPACK
+        otherwise), ``'dense'``, or ``'sparse'``.
 
     Notes
     -----
@@ -65,56 +67,8 @@ class PencilCache:
     the cache on every revisited step size.
     """
 
-    def __init__(self, E, A) -> None:
-        self._sparse = sp.issparse(E) or sp.issparse(A)
-        if self._sparse:
-            self._e = sp.csc_matrix(E)
-            self._a = sp.csc_matrix(A)
-        else:
-            self._e = np.asarray(E, dtype=float)
-            self._a = np.asarray(A, dtype=float)
-        self._cache: dict[float, object] = {}
-
-    @property
-    def factorisations(self) -> int:
-        """Number of distinct pencil factorisations performed."""
-        return len(self._cache)
-
-    def solve(self, sigma: float, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``(sigma E - A) x = rhs``, factorising at most once per sigma."""
-        solver = self._cache.get(sigma)
-        if solver is None:
-            pencil = sigma * self._e - self._a
-            try:
-                with warnings.catch_warnings():
-                    # scipy only *warns* on an exactly singular LU; turn
-                    # that into the typed error the finite-check would
-                    # raise anyway
-                    warnings.simplefilter("error", scipy.linalg.LinAlgWarning)
-                    if self._sparse:
-                        solver = spla.splu(pencil.tocsc())
-                    else:
-                        solver = scipy.linalg.lu_factor(pencil)
-            except (
-                RuntimeError,
-                ValueError,
-                scipy.linalg.LinAlgError,
-                scipy.linalg.LinAlgWarning,
-            ) as exc:
-                raise SolverError(
-                    f"shifted pencil sigma*E - A is singular at sigma={sigma:g}"
-                ) from exc
-            self._cache[sigma] = solver
-        if self._sparse:
-            out = self._cache[sigma].solve(rhs)
-        else:
-            out = scipy.linalg.lu_solve(self._cache[sigma], rhs)
-        if not np.all(np.isfinite(out)):
-            raise SolverError(
-                f"pencil solve at sigma={sigma:g} produced non-finite values "
-                "(singular or extremely ill-conditioned pencil)"
-            )
-        return out
+    def __init__(self, E, A, *, backend: str = "auto") -> None:
+        super().__init__(select_backend(E, A, mode=backend))
 
 
 def solve_columns_toeplitz(
@@ -133,10 +87,11 @@ def solve_columns_toeplitz(
     Parameters
     ----------
     E, A:
-        ``n x n`` system matrices.
+        ``n x n`` system matrices (used to build the cache when none is
+        supplied).
     R:
         Right-hand side ``n x m`` (``B U`` plus any initial-condition
-        shift term).
+        shift term), or batched ``(n, m, k)``.
     coeffs:
         First-row coefficients ``(c_0, ..., c_{m-1})`` of ``T`` -- e.g.
         :func:`repro.opmat.fractional.fractional_differentiation_coefficients`.
@@ -145,7 +100,7 @@ def solve_columns_toeplitz(
         coefficients satisfy ``c_k = -c_{k-1}`` for ``k >= 2`` (the
         first-order pattern ``c = (2/h)(1, -2, 2, -2, ...)``).  The
         caller asserts the pattern; it is cheap to verify and is checked
-        here defensively.
+        defensively.
     history:
         Tail-accumulation strategy when ``alternating_tail`` is off:
         ``'direct'`` -- the paper's O(n j) dot product per column
@@ -159,114 +114,27 @@ def solve_columns_toeplitz(
         ``~sqrt(m log2 m)``).
     cache:
         Optional pre-existing :class:`PencilCache` (shared across
-        windows by the adaptive controller).
+        windows by the adaptive controller, and across calls by
+        :class:`~repro.engine.session.Simulator` sessions).
 
     Returns
     -------
     (X, cache):
-        Solution coefficients ``n x m`` and the factorisation cache
-        (exposes the factorisation count for complexity reporting).
+        Solution coefficients (same shape as ``R``) and the
+        factorisation cache (exposes the factorisation count for
+        complexity reporting).
     """
-    coeffs = np.asarray(coeffs, dtype=float)
-    m = coeffs.size
-    n = R.shape[0]
-    if R.shape != (n, m):
-        raise SolverError(f"R must be (n, {m}), got {R.shape}")
-    if history not in ("direct", "fft"):
-        raise SolverError(f"history must be 'direct' or 'fft', got {history!r}")
-    if alternating_tail and m > 2:
-        tail = coeffs[1:]
-        if not np.allclose(tail[1:], -tail[:-1], rtol=1e-12, atol=0.0):
-            raise SolverError(
-                "alternating_tail requested but coefficients do not alternate"
-            )
     if cache is None:
         cache = PencilCache(E, A)
-    sigma = float(coeffs[0])
-
-    X = np.empty((n, m))
-    if alternating_tail:
-        # tail_j = sum_{i<j} c_{j-i} x_i = c_1 * t_j,
-        # t_j = x_{j-1} - t_{j-1}  (paper's first-order pattern)
-        c1 = coeffs[1] if m > 1 else 0.0
-        t = np.zeros(n)
-        for j in range(m):
-            if j == 0:
-                rhs = R[:, 0]
-            else:
-                t = X[:, j - 1] - t
-                rhs = R[:, j] - c1 * (E @ t)
-            X[:, j] = cache.solve(sigma, rhs)
-    elif history == "fft" and m > 8:
-        _solve_columns_fft(E, cache, sigma, R, coeffs, X, block_size)
-    else:
-        for j in range(m):
-            if j == 0:
-                rhs = R[:, 0]
-            else:
-                # s_j = sum_{k=1..j} c_k x_{j-k}
-                s = X[:, :j] @ coeffs[j:0:-1]
-                rhs = R[:, j] - (E @ s)
-            X[:, j] = cache.solve(sigma, rhs)
+    X = kernels.sweep_toeplitz(
+        cache,
+        R,
+        coeffs,
+        alternating_tail=alternating_tail,
+        history=history,
+        block_size=block_size,
+    )
     return X, cache
-
-
-def _solve_columns_fft(
-    E,
-    cache: PencilCache,
-    sigma: float,
-    R: np.ndarray,
-    coeffs: np.ndarray,
-    X: np.ndarray,
-    block_size: int | None,
-) -> None:
-    """Blocked online-convolution column sweep (``history='fft'``).
-
-    Columns are processed in blocks of ``B``.  Before a block starts,
-    the tail contributions of every *completed* block are added with an
-    FFT segment convolution (all ``n`` state rows transformed at once);
-    inside the block only the short within-block history remains, paid
-    directly.  Each column's tail therefore equals
-    ``sum_k c_k x_{j-k}`` exactly (up to FFT round-off), and the
-    asymptotic history cost drops from ``O(n m^2)`` to
-    ``O(n (m/B) m log B + n m B)``, minimised near
-    ``B ~ sqrt(m log m)``.
-    """
-    n, m = R.shape
-    if block_size is None:
-        block_size = max(8, int(np.sqrt(m * max(np.log2(m), 1.0))))
-    B = int(block_size)
-
-    tail = np.zeros((n, m))  # accumulated cross-block contributions
-    for start in range(0, m, B):
-        end = min(start + B, m)
-        # cross contributions of this block to ALL later columns are
-        # added as soon as the block completes (see end of loop body);
-        # here we only sweep within the block.
-        for j in range(start, end):
-            s = tail[:, j].copy()
-            if j > start:
-                s += X[:, start:j] @ coeffs[j - start : 0 : -1]
-            rhs = R[:, j] - (E @ s) if j > 0 else R[:, 0]
-            X[:, j] = cache.solve(sigma, rhs)
-        if end >= m:
-            break
-        # FFT segment convolution: contribution of x_i (i in [start,end))
-        # to s_j (j in [end, m)) is sum_i c_{j-i} x_i with lags
-        # j - i in [1, m - 1 - start].
-        length = end - start
-        lags = coeffs[1 : m - start]  # c_1 ... c_{m-1-start}
-        n_fft = int(2 ** np.ceil(np.log2(length + lags.size - 1)))
-        fx = np.fft.rfft(X[:, start:end], n=n_fft, axis=1)
-        fc = np.fft.rfft(lags, n=n_fft)
-        conv = np.fft.irfft(fx * fc[None, :], n=n_fft, axis=1)
-        # conv[:, t] = sum_i x_{start+i} c_{1+t-i} -> lands on column
-        # j = start + 1 + t.  Columns inside this block (j < end) were
-        # already served by the direct within-block sweep, so only
-        # j >= end receives the convolution (t >= length - 1).
-        n_cols = min(m - (start + 1), length + lags.size - 1)
-        first_t = length - 1  # first t with start + 1 + t >= end
-        tail[:, end : start + 1 + n_cols] += conv[:, first_t:n_cols]
 
 
 def solve_columns_general(
@@ -282,7 +150,8 @@ def solve_columns_general(
     Used for adaptive grids where ``D`` is triangular but not Toeplitz
     (paper eqs. (18), (25)-(27)).  Factorisations are cached per
     distinct diagonal entry, so a grid built from a small ladder of step
-    sizes costs only a few factorisations.
+    sizes costs only a few factorisations.  ``R`` may be batched
+    (``(n, m, k)``) like the Toeplitz variant.
 
     Raises
     ------
@@ -290,25 +159,7 @@ def solve_columns_general(
         If ``D`` has nonzero entries below the diagonal (the column
         sweep would be invalid).
     """
-    D = np.asarray(D, dtype=float)
-    m = D.shape[0]
-    n = R.shape[0]
-    if D.shape != (m, m):
-        raise SolverError(f"D must be square, got {D.shape}")
-    if R.shape != (n, m):
-        raise SolverError(f"R must be (n, {m}), got {R.shape}")
-    lower = D[np.tril_indices(m, -1)]
-    if lower.size and np.max(np.abs(lower)) > 1e-10 * max(np.max(np.abs(D)), 1.0):
-        raise SolverError("D must be upper triangular for the column sweep")
     if cache is None:
         cache = PencilCache(E, A)
-
-    X = np.empty((n, m))
-    for j in range(m):
-        if j == 0:
-            rhs = R[:, 0]
-        else:
-            s = X[:, :j] @ D[:j, j]
-            rhs = R[:, j] - (E @ s)
-        X[:, j] = cache.solve(float(D[j, j]), rhs)
+    X = kernels.sweep_general(cache, R, D)
     return X, cache

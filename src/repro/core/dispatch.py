@@ -16,6 +16,8 @@ True
 
 from __future__ import annotations
 
+import difflib
+
 from ..errors import SolverError
 from .opm_solver import simulate_opm
 from .opm_adaptive import simulate_opm_adaptive
@@ -35,6 +37,9 @@ SIMULATION_METHODS = (
     "grunwald-letnikov",
     "expm",
 )
+
+#: Methods restricted to first-order (``alpha == 1``) systems.
+_FIRST_ORDER_ONLY = ("backward-euler", "trapezoidal", "gear2", "expm")
 
 
 def simulate(system, u, t_end: float, steps: int | None = None, *, method: str = "opm", **kwargs):
@@ -68,9 +73,19 @@ def simulate(system, u, t_end: float, steps: int | None = None, *, method: str =
         :func:`repro.analysis.sample_outputs`.
     """
     if method not in SIMULATION_METHODS:
+        close = difflib.get_close_matches(str(method), SIMULATION_METHODS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise SolverError(
-            f"unknown method {method!r}; choose from {SIMULATION_METHODS}"
+            f"unknown method {method!r}{hint}; choose from {SIMULATION_METHODS}"
         )
+    if method in _FIRST_ORDER_ONLY:
+        alpha = getattr(system, "alpha", 1.0)
+        if alpha != 1.0:
+            raise SolverError(
+                f"method {method!r} requires a first-order system (alpha=1), "
+                f"got alpha={alpha:g}; use 'opm', 'fft' or 'grunwald-letnikov' "
+                "for fractional orders"
+            )
     if method == "opm-adaptive":
         return simulate_opm_adaptive(system, u, t_end, **kwargs)
     if steps is None:

@@ -27,23 +27,23 @@ three-term integer instance ``M2 x'' + M1 x' + M0 x = B u`` solved on
 the (smaller) NA model, versus classical transient analysis on the
 (larger) first-order MNA model.
 
+Since the engine refactor the sweep lives in
+:func:`repro.engine.kernels.sweep_multiterm` (where it additionally
+accepts batched right-hand sides) and this function is a thin wrapper
+over a throwaway :class:`~repro.engine.session.Simulator`; reuse a
+session directly for repeated multi-term solves.
+
 (The blocked-FFT history of
-:func:`repro.core.column_solver.solve_columns_toeplitz` currently
-accelerates single-term fractional systems only; extending it to the
-per-term tails here is mechanical but not implemented.)
+:func:`repro.engine.kernels.sweep_toeplitz` currently accelerates
+single-term fractional systems only; extending it to the per-term
+tails here is mechanical but not implemented.)
 """
 
 from __future__ import annotations
 
 import time
 
-import numpy as np
-
-from ..basis.block_pulse import BlockPulseBasis
-from ..basis.grid import TimeGrid
-from ..errors import SolverError
-from ..opmat.fractional import fractional_differentiation_coefficients
-from .column_solver import PencilCache
+from ..engine.session import Simulator, resolve_grid
 from .lti import MultiTermSystem
 from .result import SimulationResult
 
@@ -56,6 +56,7 @@ def simulate_multiterm(
     grid,
     *,
     projection: str = "average",
+    backend: str = "auto",
 ) -> SimulationResult:
     """Simulate a :class:`~repro.core.lti.MultiTermSystem` with OPM.
 
@@ -67,12 +68,17 @@ def simulate_multiterm(
         derivative data).
     u:
         Input specification (see
-        :func:`repro.core.opm_solver.project_input`).
+        :func:`repro.engine.inputs.project_input`).
     grid:
         Uniform :class:`TimeGrid` or ``(t_end, m)`` tuple.  Adaptive
         grids are rejected: the per-term matrices would lose their
         shared Toeplitz structure (use the companion form plus
         :func:`~repro.core.opm_adaptive.simulate_opm_adaptive` instead).
+    projection:
+        Input projection rule, ``'average'`` or ``'midpoint'``.
+    backend:
+        Linear-algebra backend selection for the pencil-sum
+        factorisation (``'auto'`` / ``'dense'`` / ``'sparse'``).
 
     Returns
     -------
@@ -93,97 +99,13 @@ def simulate_multiterm(
     >>> res.coefficients.shape
     (1, 64)
     """
-    from .opm_solver import project_input, resolve_grid
-
     grid = resolve_grid(grid)
     if not isinstance(system, MultiTermSystem):
         raise TypeError(f"system must be a MultiTermSystem, got {type(system).__name__}")
-    if not grid.is_uniform:
-        raise SolverError(
-            "multi-term OPM requires a uniform grid; convert to first order "
-            "for adaptive stepping"
-        )
-
-    basis = BlockPulseBasis(grid, projection=projection)
-    U = project_input(u, basis, system.n_inputs)
-    R = system.B @ U
-    m, h = grid.m, grid.h
-    n = system.n_states
 
     start = time.perf_counter()
-    term_coeffs = [
-        (alpha_k, matrix, fractional_differentiation_coefficients(alpha_k, m, h))
-        for alpha_k, matrix in system.terms
-    ]
-    # Pencil sum P = sum_k c0^{(k)} M_k, factorised once.
-    pencil = None
-    for _, matrix, coeffs in term_coeffs:
-        contrib = coeffs[0] * matrix
-        pencil = contrib if pencil is None else pencil + contrib
-    # Reuse PencilCache with A = 0: solve(1.0) factorises 1*P - 0 = P.
-    zero = pencil * 0.0
-    cache = PencilCache(pencil, zero)
-
-    # Integer orders 1 and 2 admit O(n)-per-column tail recurrences.
-    # With the alternating history sums (over the solved columns
-    # x_0 .. x_{j-1})
-    #
-    #   A_{j-1} = sum_{k>=1} (-1)^{k-1} x_{j-k}      (A_j = x_j - A_{j-1})
-    #   B_j     = sum_{k>=1} (-1)^k k x_{j-k}        (B_j = -(B_{j-1} + A_{j-1}))
-    #
-    # the order-1 tail coefficients c_k = (2/h) 2 (-1)^k give
-    #   s_j^(1) = -(4/h) A_{j-1},
-    # and the order-2 coefficients c_k = (2/h)^2 4 k (-1)^k give
-    #   s_j^(2) = 4 (2/h)^2 B_j.
-    # Other orders fall back to the O(m)-per-column dot product the
-    # paper's complexity analysis describes for fractional systems.
-    first_terms = []  # matrices of order-1 terms
-    second_terms = []  # matrices of order-2 terms
-    slow_terms = []  # (matrix, coeffs) for every other positive order
-    for alpha_k, matrix, coeffs in term_coeffs:
-        if alpha_k == 0.0:
-            continue  # algebraic: no history tail
-        if alpha_k == 1.0:
-            first_terms.append(matrix)
-        elif alpha_k == 2.0:
-            second_terms.append(matrix)
-        else:
-            slow_terms.append((matrix, coeffs))
-    uses_alt = bool(first_terms or second_terms)
-    scale1 = 4.0 / h
-    scale2 = 4.0 * (2.0 / h) ** 2
-
-    X = np.empty((n, m))
-    alt_a = np.zeros(n)  # A_{j-1}
-    alt_b = np.zeros(n)  # B_{j-1}
-    for j in range(m):
-        rhs = R[:, j].copy()
-        if uses_alt:
-            b_j = -(alt_b + alt_a)  # B_j, from history only
-        if j > 0:
-            for matrix in first_terms:
-                # rhs -= M s^(1) with s^(1) = -(4/h) A_{j-1}
-                rhs += scale1 * (matrix @ alt_a)
-            for matrix in second_terms:
-                rhs -= scale2 * (matrix @ b_j)
-            for matrix, coeffs in slow_terms:
-                s = X[:, :j] @ coeffs[j:0:-1]
-                rhs -= matrix @ s
-        X[:, j] = cache.solve(1.0, rhs)
-        if uses_alt:
-            alt_b = b_j
-            alt_a = X[:, j] - alt_a
-    wall = time.perf_counter() - start
-
-    return SimulationResult(
-        basis,
-        X,
-        system,
-        U,
-        wall_time=wall,
-        info={
-            "method": "opm-multiterm",
-            "orders": [alpha_k for alpha_k, _ in system.terms],
-            "factorisations": cache.factorisations,
-        },
-    )
+    sim = Simulator(system, grid, projection=projection, backend=backend)
+    result = sim.run(u)
+    # one-shot call: charge session assembly + factorisation to the run
+    result.wall_time = time.perf_counter() - start
+    return result

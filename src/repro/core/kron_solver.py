@@ -23,12 +23,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..basis.block_pulse import BlockPulseBasis
+from ..engine.assembly import dense_operator
 from ..errors import SolverError
-from ..opmat.differential import differentiation_matrix_adaptive
-from ..opmat.fractional import (
-    fractional_differentiation_matrix,
-    fractional_differentiation_matrix_adaptive,
-)
 from .lti import DescriptorSystem, MultiTermSystem
 from .result import SimulationResult
 
@@ -77,15 +73,7 @@ def simulate_opm_kron(system, u, grid, *, projection: str = "average") -> Simula
         start = time.perf_counter()
         big = np.zeros((n * m, n * m))
         for alpha_k, matrix in system.terms:
-            if grid.is_uniform:
-                d_alpha = fractional_differentiation_matrix(alpha_k, m, grid.h)
-            else:
-                if alpha_k == 0.0:
-                    d_alpha = np.eye(m)
-                elif alpha_k == 1.0:
-                    d_alpha = differentiation_matrix_adaptive(grid.steps)
-                else:
-                    d_alpha = fractional_differentiation_matrix_adaptive(alpha_k, grid.steps)
+            d_alpha = dense_operator(grid, alpha_k)
             big += np.kron(d_alpha.T, _dense(matrix))
         vec_x = np.linalg.solve(big, R.T.reshape(-1))
         X = vec_x.reshape(m, n).T
@@ -110,12 +98,7 @@ def simulate_opm_kron(system, u, grid, *, projection: str = "average") -> Simula
     alpha = system.alpha
 
     start = time.perf_counter()
-    if grid.is_uniform:
-        d_alpha = fractional_differentiation_matrix(alpha, m, grid.h)
-    elif alpha == 1.0:
-        d_alpha = differentiation_matrix_adaptive(grid.steps)
-    else:
-        d_alpha = fractional_differentiation_matrix_adaptive(alpha, grid.steps)
+    d_alpha = dense_operator(grid, alpha)
     big = np.kron(d_alpha.T, _dense(system.E)) - np.kron(np.eye(m), _dense(system.A))
     # vec(X) stacks columns of X: vec_x[j*n:(j+1)*n] = x_j = X[:, j]
     vec_x = np.linalg.solve(big, R.T.reshape(-1))

@@ -33,8 +33,8 @@ import numpy as np
 from .._validation import check_positive_float
 from ..basis.block_pulse import BlockPulseBasis
 from ..basis.grid import TimeGrid
+from ..engine.backends import PencilBank, select_backend
 from ..errors import ConvergenceError, ModelError, SolverError
-from .column_solver import PencilCache
 from .lti import DescriptorSystem
 from .result import SimulationResult
 
@@ -129,7 +129,9 @@ def simulate_opm_adaptive(
         raise ModelError("adaptive OPM requires a callable or scalar input")
 
     offset = system.shifted_input_offset()
-    cache = PencilCache(system.E, system.A)
+    # engine backend: factorisations are cached per distinct step size,
+    # so the controller's halving/doubling ladder costs only a few LUs
+    cache = PencilBank(select_backend(system.E, system.A))
     E = system.E
 
     start = time.perf_counter()
@@ -212,6 +214,7 @@ def simulate_opm_adaptive(
             "accepted": len(steps),
             "rejected": rejected,
             "factorisations": cache.factorisations,
+            "backend": cache.backend.name,
         },
     )
 

@@ -12,101 +12,38 @@ and a time grid, the solver
 4. returns a :class:`~repro.core.result.SimulationResult` whose
    piecewise-constant expansion is the response ``x(t) = X phi(t)``.
 
+Since the engine refactor this is a thin wrapper over
+:class:`repro.engine.session.Simulator`: each call builds a throwaway
+session and runs it once.  Repeated-solve workloads (parameter sweeps,
+many input waveforms) should construct a ``Simulator`` directly and
+reuse it -- a warm session skips basis assembly, coefficient
+construction, and the pencil LU factorisation.
+
 Multi-term systems (the paper's high-order case) are dispatched to
 :func:`repro.core.highorder.simulate_multiterm`.
 
 :func:`simulate_opm_transformed` runs the same algorithm in a Walsh or
 Haar basis using the exact change-of-basis (section I's "switch to
-other basis functions"), and :func:`project_input` is the shared input
-projection helper.
+other basis functions"), and :func:`project_input` (re-exported from
+:mod:`repro.engine.inputs`) is the shared input projection helper.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Union
 
 import numpy as np
 
-from ..basis.base import BasisSet
-from ..basis.block_pulse import BlockPulseBasis
-from ..basis.grid import TimeGrid
 from ..basis.pwconst import PiecewiseConstantBasis
-from ..errors import ModelError, SolverError
-from ..opmat.differential import differentiation_matrix_adaptive
-from ..opmat.fractional import (
-    fractional_differentiation_coefficients,
-    fractional_differentiation_matrix_adaptive,
-)
-from .column_solver import solve_columns_general, solve_columns_toeplitz
-from .lti import DescriptorSystem, MultiTermSystem
+from ..engine.inputs import project_input
+from ..engine.session import InputLike, Simulator, resolve_grid
+from .lti import MultiTermSystem
 from .result import SimulationResult
 
 __all__ = ["simulate_opm", "simulate_opm_transformed", "project_input", "resolve_grid"]
 
-InputLike = Union[Callable, np.ndarray, list, tuple, float, int]
 
-
-def resolve_grid(grid) -> TimeGrid:
-    """Accept a :class:`TimeGrid` or an ``(t_end, m)`` convenience tuple."""
-    if isinstance(grid, TimeGrid):
-        return grid
-    if isinstance(grid, tuple) and len(grid) == 2:
-        return TimeGrid.uniform(float(grid[0]), int(grid[1]))
-    raise TypeError(
-        "grid must be a TimeGrid or a (t_end, m) tuple, "
-        f"got {type(grid).__name__}"
-    )
-
-
-def project_input(u: InputLike, basis: BasisSet, n_inputs: int) -> np.ndarray:
-    """Project an input specification onto the basis (paper eq. (11)).
-
-    Accepted forms:
-
-    * a callable ``u(times) -> (p, len(times))`` array (or
-      ``(len(times),)`` for single-input systems), projected with the
-      basis' quadrature rule;
-    * an array of coefficients with shape ``(p, m)`` (or ``(m,)`` for
-      ``p = 1``), taken as-is;
-    * a scalar, meaning a constant (step) input on every channel.
-
-    Returns the coefficient matrix ``U`` of shape ``(p, m)``.
-    """
-    m = basis.size
-    if callable(u):
-        if n_inputs == 1:
-            sample = np.atleast_2d(np.asarray(u(np.array([0.0]))))
-            if sample.shape == (1, 1):
-                # accept both (nt,) and (1, nt) return shapes
-                def scalar_u(times, _u=u):
-                    return np.asarray(_u(times), dtype=float).reshape(np.shape(times))
-
-                return basis.project(scalar_u).reshape(1, m)
-        return basis.project_vector(u, n_inputs)
-    if np.isscalar(u):
-        # constants project exactly in every basis here; block pulses and
-        # Walsh/Haar in particular represent them without quadrature noise
-        value = float(u)
-        if isinstance(basis, BlockPulseBasis):
-            return np.full((n_inputs, m), value)
-        const = basis.project(lambda t: np.full_like(t, value, dtype=float))
-        return np.tile(const, (n_inputs, 1))
-    u_arr = np.asarray(u, dtype=float)
-    if u_arr.ndim == 1:
-        if n_inputs != 1:
-            raise ModelError(
-                f"1-D input coefficients require a single-input system, got p={n_inputs}"
-            )
-        u_arr = u_arr.reshape(1, -1)
-    if u_arr.shape != (n_inputs, m):
-        raise ModelError(
-            f"input coefficients must have shape ({n_inputs}, {m}), got {u_arr.shape}"
-        )
-    return u_arr
-
-
-def _right_hand_side(system: DescriptorSystem, U: np.ndarray) -> np.ndarray:
+def _right_hand_side(system, U: np.ndarray) -> np.ndarray:
     """``R = B U`` plus the constant zero-IC shift term ``A x0`` (if any)."""
     R = system.B @ U
     offset = system.shifted_input_offset()
@@ -123,6 +60,7 @@ def simulate_opm(
     projection: str = "average",
     adaptive_method: str = "auto",
     history: str = "direct",
+    backend: str = "auto",
 ) -> SimulationResult:
     """Simulate a system with the OPM algorithm on a block-pulse basis.
 
@@ -134,7 +72,7 @@ def simulate_opm(
         or :class:`~repro.core.lti.MultiTermSystem` /
         :class:`~repro.core.lti.SecondOrderSystem` (section V-B).
     u:
-        Input specification; see :func:`project_input`.
+        Input specification; see :func:`repro.engine.inputs.project_input`.
     grid:
         :class:`TimeGrid` or ``(t_end, m)`` tuple.  Uniform grids use
         the Toeplitz fast path; adaptive grids the general triangular
@@ -151,8 +89,11 @@ def simulate_opm(
         (the paper's ``O(n m^2)`` sweep) or ``'fft'`` (blocked online
         convolution, ``O(n m^{1.5} sqrt(log m))``, identical solution
         to round-off -- an extension beyond the paper; see
-        :func:`repro.core.column_solver.solve_columns_toeplitz`).
+        :func:`repro.engine.kernels.sweep_toeplitz`).
         Ignored on the first-order fast path and adaptive grids.
+    backend:
+        Linear-algebra backend selection, ``'auto'`` / ``'dense'`` /
+        ``'sparse'`` (see :func:`repro.engine.backends.select_backend`).
 
     Returns
     -------
@@ -176,59 +117,23 @@ def simulate_opm(
     if isinstance(system, MultiTermSystem):
         from .highorder import simulate_multiterm
 
-        return simulate_multiterm(system, u, grid, projection=projection)
-    if not isinstance(system, DescriptorSystem):
-        raise TypeError(
-            "system must be a DescriptorSystem, FractionalDescriptorSystem "
-            f"or MultiTermSystem, got {type(system).__name__}"
+        return simulate_multiterm(
+            system, u, grid, projection=projection, backend=backend
         )
-
-    basis = BlockPulseBasis(grid, projection=projection)
-    U = project_input(u, basis, system.n_inputs)
-    R = _right_hand_side(system, U)
-    alpha = system.alpha
 
     start = time.perf_counter()
-    if grid.is_uniform:
-        coeffs = fractional_differentiation_coefficients(alpha, grid.m, grid.h)
-        first_order = alpha == 1.0
-        X, cache = solve_columns_toeplitz(
-            system.E,
-            system.A,
-            R,
-            coeffs,
-            alternating_tail=first_order,
-            history=history,
-        )
-        if first_order:
-            method = "opm-alternating"
-        else:
-            method = "opm-toeplitz" if history == "direct" else "opm-toeplitz-fft"
-    else:
-        if alpha == 1.0:
-            D = differentiation_matrix_adaptive(grid.steps)
-        else:
-            D = fractional_differentiation_matrix_adaptive(
-                alpha, grid.steps, method=adaptive_method
-            )
-        X, cache = solve_columns_general(system.E, system.A, R, D)
-        method = "opm-general"
-    if system.x0 is not None:
-        X = X + system.x0[:, None]
-    wall = time.perf_counter() - start
-
-    return SimulationResult(
-        basis,
-        X,
+    sim = Simulator(
         system,
-        U,
-        wall_time=wall,
-        info={
-            "method": method,
-            "alpha": alpha,
-            "factorisations": cache.factorisations,
-        },
+        grid,
+        projection=projection,
+        adaptive_method=adaptive_method,
+        history=history,
+        backend=backend,
     )
+    result = sim.run(u)
+    # one-shot call: charge session assembly + factorisation to the run
+    result.wall_time = time.perf_counter() - start
+    return result
 
 
 def simulate_opm_transformed(

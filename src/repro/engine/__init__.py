@@ -1,0 +1,46 @@
+"""Shared simulation engine: backends, cached sessions, batched sweeps.
+
+This subsystem owns the input-independent machinery every OPM solver
+shares, so that repeated-solve workloads amortise it across calls:
+
+* :mod:`~repro.engine.backends` -- the dense/sparse linear-algebra
+  backend protocol, automatic selection from system sparsity, and the
+  :class:`PencilBank` factorisation cache;
+* :mod:`~repro.engine.kernels` -- the triangular column-sweep kernels,
+  all accepting batched (multi-RHS) right-hand sides;
+* :mod:`~repro.engine.assembly` -- operational-operator construction
+  with a process-wide coefficient memo;
+* :mod:`~repro.engine.inputs` -- input-dialect normalisation and basis
+  projection;
+* :mod:`~repro.engine.session` -- the :class:`Simulator` session object
+  (bind system + grid once, ``run`` / ``sweep`` many times);
+* :mod:`~repro.engine.sweep` -- the :class:`SweepResult` batched result
+  container.
+
+The classic one-shot entry points in :mod:`repro.core` are thin
+wrappers over this engine.
+"""
+
+from .backends import (
+    DenseBackend,
+    PencilBank,
+    SparseBackend,
+    matrix_density,
+    select_backend,
+)
+from .inputs import normalise_input_callable, project_input
+from .session import Simulator, resolve_grid
+from .sweep import SweepResult
+
+__all__ = [
+    "Simulator",
+    "SweepResult",
+    "DenseBackend",
+    "SparseBackend",
+    "PencilBank",
+    "select_backend",
+    "matrix_density",
+    "project_input",
+    "normalise_input_callable",
+    "resolve_grid",
+]

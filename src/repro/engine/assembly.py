@@ -1,0 +1,77 @@
+"""Operational-operator assembly shared by the engine and reference solvers.
+
+The uniform-grid OPM sweep needs only the first-row Toeplitz
+coefficients of ``D^alpha`` (paper eq. (22)); the adaptive sweep needs
+the full upper-triangular matrix (eqs. (17)/(25)); the Kronecker
+reference solver needs dense matrices for every order.  This module is
+the one place those operators are built, with a process-wide memo on
+the Toeplitz coefficients so repeated sessions on the same
+``(alpha, m, h)`` signature skip the recurrence entirely.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..basis.grid import TimeGrid
+from ..opmat.differential import differentiation_matrix_adaptive
+from ..opmat.fractional import (
+    fractional_differentiation_coefficients,
+    fractional_differentiation_matrix,
+    fractional_differentiation_matrix_adaptive,
+)
+
+__all__ = [
+    "toeplitz_coefficients",
+    "adaptive_operator",
+    "dense_operator",
+]
+
+
+@lru_cache(maxsize=256)
+def _cached_coefficients(alpha: float, m: int, h: float) -> np.ndarray:
+    coeffs = fractional_differentiation_coefficients(alpha, m, h)
+    coeffs.setflags(write=False)  # shared across sessions: freeze
+    return coeffs
+
+
+def toeplitz_coefficients(alpha: float, m: int, h: float) -> np.ndarray:
+    """First-row coefficients of ``D^alpha`` on a uniform grid, memoised.
+
+    Returns a read-only array shared by every caller with the same
+    ``(alpha, m, h)`` signature (the memo holds the last 256 signatures).
+    """
+    return _cached_coefficients(float(alpha), int(m), float(h))
+
+
+def adaptive_operator(
+    grid: TimeGrid, alpha: float, *, adaptive_method: str = "auto"
+) -> np.ndarray:
+    """Upper-triangular ``D^alpha`` for an adaptive grid (paper eqs. (17)/(25)).
+
+    ``adaptive_method`` selects the fractional matrix-power construction
+    (``'auto'``/``'eig'``/``'schur'``); it is ignored for ``alpha = 1``.
+    """
+    if alpha == 1.0:
+        return differentiation_matrix_adaptive(grid.steps)
+    return fractional_differentiation_matrix_adaptive(
+        alpha, grid.steps, method=adaptive_method
+    )
+
+
+def dense_operator(
+    grid: TimeGrid, alpha: float, *, adaptive_method: str = "auto"
+) -> np.ndarray:
+    """Full dense ``D^alpha`` for any grid and order (Kronecker reference).
+
+    Uniform grids use the series closed form (paper eq. (22)); adaptive
+    grids the scaled/matrix-power constructions; ``alpha = 0`` is the
+    identity.
+    """
+    if grid.is_uniform:
+        return fractional_differentiation_matrix(alpha, grid.m, grid.h)
+    if alpha == 0.0:
+        return np.eye(grid.m)
+    return adaptive_operator(grid, alpha, adaptive_method=adaptive_method)

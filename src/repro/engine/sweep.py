@@ -1,0 +1,205 @@
+"""Batched simulation results (multi-input sweeps).
+
+:meth:`repro.engine.session.Simulator.sweep` solves many inputs in one
+multi-RHS column sweep; :class:`SweepResult` holds the stacked
+coefficient tensors and feeds both the vectorised accessors
+(:meth:`SweepResult.states` / :meth:`SweepResult.outputs`) and the
+existing per-run machinery -- indexing a sweep yields an ordinary
+:class:`~repro.core.result.SimulationResult`, so everything in
+:mod:`repro.analysis` and :mod:`repro.io` consumes sweep members
+unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..basis.base import BasisSet
+from ..basis.block_pulse import BlockPulseBasis
+from ..core.result import SimulationResult
+
+__all__ = ["SweepResult"]
+
+
+class SweepResult:
+    """Stacked results of a batched multi-input simulation.
+
+    Attributes
+    ----------
+    basis:
+        The shared basis of every run in the sweep.
+    coefficients:
+        State coefficient tensor of shape ``(k, n_states, m)`` -- entry
+        ``[i]`` is the coefficient matrix of input ``i``.
+    input_coefficients:
+        Input coefficient tensor of shape ``(k, n_inputs, m)``.
+    system:
+        The simulated system (shared by all runs).
+    wall_time:
+        Wall-clock seconds of the whole batched sweep.
+    info:
+        Solver metadata (method, factorisations, batch size, ...).
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        coefficients: np.ndarray,
+        system,
+        input_coefficients: np.ndarray,
+        *,
+        wall_time: float | None = None,
+        info: dict | None = None,
+    ) -> None:
+        coefficients = np.asarray(coefficients, dtype=float)
+        input_coefficients = np.asarray(input_coefficients, dtype=float)
+        if coefficients.ndim != 3 or coefficients.shape[2] != basis.size:
+            raise ValueError(
+                f"coefficients must be (k, n, {basis.size}), got {coefficients.shape}"
+            )
+        if (
+            input_coefficients.ndim != 3
+            or input_coefficients.shape[2] != basis.size
+            or input_coefficients.shape[0] != coefficients.shape[0]
+        ):
+            raise ValueError(
+                f"input_coefficients must be ({coefficients.shape[0]}, p, "
+                f"{basis.size}), got {input_coefficients.shape}"
+            )
+        self.basis = basis
+        self.coefficients = coefficients
+        self.input_coefficients = input_coefficients
+        self.system = system
+        self.wall_time = wall_time
+        self.info = dict(info or {})
+        self._output_coefficients: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # shape properties
+    # ------------------------------------------------------------------
+    @property
+    def n_runs(self) -> int:
+        """Number of inputs in the sweep (``k``)."""
+        return self.coefficients.shape[0]
+
+    @property
+    def n_states(self) -> int:
+        """State dimension shared by every run."""
+        return self.coefficients.shape[1]
+
+    @property
+    def m(self) -> int:
+        """Number of basis terms (time intervals for block pulses)."""
+        return self.basis.size
+
+    @property
+    def grid(self):
+        """The time grid when the basis is block-pulse, else ``None``."""
+        if isinstance(self.basis, BlockPulseBasis):
+            return self.basis.grid
+        return None
+
+    # ------------------------------------------------------------------
+    # sequence protocol: a sweep is a list of SimulationResults
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_runs
+
+    def __getitem__(self, index):
+        """One run as a :class:`SimulationResult`, or a sub-sweep for slices.
+
+        Extracted results carry ``wall_time=None``: the batch's wall
+        time (on this container) is not attributable to any single run.
+        """
+        if isinstance(index, slice):
+            return SweepResult(
+                self.basis,
+                self.coefficients[index],
+                self.system,
+                self.input_coefficients[index],
+                wall_time=None,
+                info=dict(self.info),
+            )
+        idx = range(self.n_runs)[index]  # normalises negatives, raises IndexError
+        info = dict(self.info)
+        info["sweep_index"] = idx
+        return SimulationResult(
+            self.basis,
+            self.coefficients[idx],
+            self.system,
+            self.input_coefficients[idx],
+            wall_time=None,
+            info=info,
+        )
+
+    def __iter__(self):
+        for idx in range(self.n_runs):
+            yield self[idx]
+
+    @property
+    def results(self) -> list[SimulationResult]:
+        """All runs as a list of :class:`SimulationResult` objects."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # vectorised sampling
+    # ------------------------------------------------------------------
+    @property
+    def output_coefficients(self) -> np.ndarray:
+        """Output coefficient tensor ``(k, n_outputs, m)`` (``Y = C X + D U``).
+
+        Computed once and cached (the stacked coefficients are
+        immutable by convention).
+        """
+        if self._output_coefficients is None:
+            self._output_coefficients = np.stack(
+                [
+                    self.system.output_coefficients(
+                        self.coefficients[i], self.input_coefficients[i]
+                    )
+                    for i in range(self.n_runs)
+                ]
+            )
+        return self._output_coefficients
+
+    def states(self, times) -> np.ndarray:
+        """Sample every run's state trajectory: ``(k, n_states, len(times))``."""
+        values = self.basis.evaluate(np.atleast_1d(times))
+        return self.coefficients @ values
+
+    def outputs(self, times) -> np.ndarray:
+        """Sample every run's output trajectory: ``(k, n_outputs, len(times))``."""
+        values = self.basis.evaluate(np.atleast_1d(times))
+        return self.output_coefficients @ values
+
+    def _interpolate(self, coeffs: np.ndarray, times) -> np.ndarray:
+        """Midpoint-linear (second-order) reconstruction of a ``(k, q, m)`` stack.
+
+        Mirrors :meth:`SimulationResult.states_smooth` so sweep members
+        and vectorised sampling agree; falls back to basis synthesis for
+        non-block-pulse bases.
+        """
+        grid = self.grid
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        if grid is None:
+            return coeffs @ self.basis.evaluate(times)
+        mids = grid.midpoints
+        out = np.empty(coeffs.shape[:2] + (times.size,))
+        for i in range(coeffs.shape[0]):
+            for j in range(coeffs.shape[1]):
+                out[i, j] = np.interp(times, mids, coeffs[i, j])
+        return out
+
+    def states_smooth(self, times) -> np.ndarray:
+        """Second-order (midpoint-linear) state reconstruction, ``(k, n, nt)``."""
+        return self._interpolate(self.coefficients, times)
+
+    def outputs_smooth(self, times) -> np.ndarray:
+        """Second-order (midpoint-linear) output reconstruction, ``(k, q, nt)``."""
+        return self._interpolate(self.output_coefficients, times)
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult(k={self.n_runs}, n={self.n_states}, m={self.m}, "
+            f"basis={self.basis.name}, wall_time={self.wall_time})"
+        )

@@ -1,0 +1,1 @@
+"""Test package (enables duplicate test-module basenames across directories)."""

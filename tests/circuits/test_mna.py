@@ -172,3 +172,61 @@ class TestSimulationConsistency:
         period = 2.0 * np.pi * np.sqrt(L * Cv)
         expected = 2.0 * (2e-9 * (3800 / 4000)) / period
         assert abs(crossings - expected) < 0.15 * expected
+
+
+class TestSparseMode:
+    """Storage of the emitted E/A matrices (engine sparse-aware path)."""
+
+    def small_rc(self):
+        nl = Netlist()
+        nl.add_current_source("I1", "0", "n", Constant(1e-3))
+        nl.add_resistor("R1", "n", "0", 1e3)
+        nl.add_capacitor("C1", "n", "0", 1e-6)
+        return nl
+
+    def big_ladder(self):
+        from repro.circuits import rc_ladder_netlist
+
+        return rc_ladder_netlist(200)
+
+    def test_small_model_emitted_dense(self):
+        system = assemble_mna(self.small_rc())
+        assert not sp.issparse(system.E) and not sp.issparse(system.A)
+        assert not system.is_sparse
+
+    def test_large_model_stays_sparse(self):
+        system = assemble_mna(self.big_ladder())
+        assert sp.issparse(system.E) and sp.issparse(system.A)
+        assert system.is_sparse
+
+    def test_forced_modes(self):
+        always = assemble_mna(self.small_rc(), sparse="always")
+        assert sp.issparse(always.E)
+        never = assemble_mna(self.big_ladder(), sparse="never")
+        assert not sp.issparse(never.E)
+
+    def test_storage_does_not_change_solution(self):
+        nl = self.big_ladder()
+        res_sp = simulate_opm(assemble_mna(nl, sparse="always"), 1.0, (1.0, 64))
+        res_de = simulate_opm(assemble_mna(nl, sparse="never"), 1.0, (1.0, 64))
+        np.testing.assert_allclose(
+            res_sp.coefficients, res_de.coefficients, rtol=1e-9, atol=1e-12
+        )
+
+    def test_fractional_model_respects_mode(self):
+        nl = Netlist.from_spice(
+            """
+            I1 0 a 1.0
+            R1 a 0 1.0
+            P1 a 0 1.0 0.5
+            """
+        )
+        system = assemble_mna(nl, sparse="always")
+        assert isinstance(system, FractionalDescriptorSystem)
+        assert sp.issparse(system.E)
+        system_d = assemble_mna(nl)  # 1 state < threshold -> dense
+        assert not sp.issparse(system_d.E)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(NetlistError, match="sparse"):
+            assemble_mna(self.small_rc(), sparse="maybe")

@@ -67,6 +67,39 @@ class TestDispatch:
         }
 
 
+class TestDispatchErrors:
+    """Error paths of simulate(): bad methods, bad method/system pairs."""
+
+    def test_unknown_method_suggests_closest(self, scalar_ode):
+        with pytest.raises(SolverError, match="did you mean 'opm'"):
+            simulate(scalar_ode, 1.0, 1.0, 8, method="opn")
+
+    def test_unknown_method_without_suggestion(self, scalar_ode):
+        with pytest.raises(SolverError, match="unknown method 'xyzzy'"):
+            simulate(scalar_ode, 1.0, 1.0, 8, method="xyzzy")
+
+    @pytest.mark.parametrize(
+        "method", ["backward-euler", "trapezoidal", "gear2", "expm"]
+    )
+    def test_fractional_alpha_rejected_by_classical_schemes(self, scalar_fde, method):
+        with pytest.raises(SolverError, match="first-order"):
+            simulate(scalar_fde, 1.0, 1.0, 16, method=method)
+
+    @pytest.mark.parametrize(
+        "method",
+        ["opm", "opm-kron", "backward-euler", "trapezoidal", "gear2", "fft",
+         "grunwald-letnikov", "expm"],
+    )
+    def test_every_stepped_method_requires_steps(self, scalar_ode, method):
+        with pytest.raises(SolverError, match="requires steps"):
+            simulate(scalar_ode, 1.0, 1.0, method=method)
+
+    def test_fractional_still_allowed_where_supported(self, scalar_fde):
+        for method in ("opm", "fft", "grunwald-letnikov"):
+            res = simulate(scalar_fde, 1.0, 1.0, 64, method=method)
+            assert res is not None
+
+
 class TestThirdOrder:
     def test_third_order_direct_vs_companion(self):
         """Integer order 3: direct multi-term OPM vs companion DAE."""

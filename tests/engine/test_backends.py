@@ -1,0 +1,116 @@
+"""Tests for the engine's linear-algebra backends and pencil bank."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.engine import (
+    DenseBackend,
+    PencilBank,
+    SparseBackend,
+    matrix_density,
+    select_backend,
+)
+from repro.engine.backends import SPARSE_SIZE_THRESHOLD
+from repro.errors import SolverError
+
+
+def tridiag(n: int) -> sp.csr_matrix:
+    main = -2.0 * np.ones(n)
+    off = np.ones(n - 1)
+    return sp.diags([off, main, off], [-1, 0, 1], format="csr")
+
+
+class TestMatrixDensity:
+    def test_dense(self):
+        assert matrix_density(np.eye(4)) == pytest.approx(0.25)
+
+    def test_sparse(self):
+        assert matrix_density(sp.identity(10, format="csr")) == pytest.approx(0.1)
+
+
+class TestSelectBackend:
+    def test_small_dense_system(self):
+        backend = select_backend(np.eye(4), -np.eye(4))
+        assert isinstance(backend, DenseBackend)
+
+    def test_small_sparse_input_densified(self):
+        # below the size threshold, dense LAPACK wins even for sparse input
+        backend = select_backend(sp.identity(8), -sp.identity(8))
+        assert isinstance(backend, DenseBackend)
+
+    def test_large_sparse_system_stays_sparse(self):
+        n = SPARSE_SIZE_THRESHOLD
+        backend = select_backend(sp.identity(n, format="csr"), tridiag(n))
+        assert isinstance(backend, SparseBackend)
+        assert sp.issparse(backend.E) and sp.issparse(backend.A)
+
+    def test_large_sparse_content_in_dense_storage(self):
+        # sparsity is judged from fill, not from the storage the caller used
+        n = SPARSE_SIZE_THRESHOLD
+        backend = select_backend(np.eye(n), tridiag(n).toarray())
+        assert isinstance(backend, SparseBackend)
+
+    def test_large_but_full_system_stays_dense(self):
+        n = SPARSE_SIZE_THRESHOLD
+        rng = np.random.default_rng(0)
+        backend = select_backend(rng.standard_normal((n, n)), np.eye(n))
+        assert isinstance(backend, DenseBackend)
+
+    def test_forced_modes(self):
+        assert isinstance(select_backend(np.eye(2), np.eye(2), mode="sparse"), SparseBackend)
+        assert isinstance(
+            select_backend(sp.identity(500), sp.identity(500), mode="dense"),
+            DenseBackend,
+        )
+
+    def test_invalid_mode(self):
+        with pytest.raises(SolverError, match="backend mode"):
+            select_backend(np.eye(2), np.eye(2), mode="gpu")
+
+
+class TestPencilBank:
+    @pytest.mark.parametrize("mode", ["dense", "sparse"])
+    def test_solve_correct(self, mode):
+        E = np.diag([2.0, 1.0])
+        A = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        bank = PencilBank(select_backend(E, A, mode=mode))
+        rhs = np.array([1.0, 2.0])
+        x = bank.solve(3.0, rhs)
+        np.testing.assert_allclose((3.0 * E - A) @ x, rhs, atol=1e-12)
+
+    @pytest.mark.parametrize("mode", ["dense", "sparse"])
+    def test_multi_rhs_matches_columnwise(self, mode, rng):
+        n, k = 6, 5
+        E = np.eye(n) + 0.1 * rng.standard_normal((n, n))
+        A = -np.eye(n) - 0.2 * rng.standard_normal((n, n))
+        bank = PencilBank(select_backend(E, A, mode=mode))
+        rhs = rng.standard_normal((n, k))
+        block = bank.solve(2.0, rhs)
+        assert block.shape == (n, k)
+        for j in range(k):
+            np.testing.assert_allclose(
+                block[:, j], bank.solve(2.0, rhs[:, j]), atol=1e-12
+            )
+        assert bank.factorisations == 1
+
+    def test_warm_flag_and_count(self):
+        bank = PencilBank(select_backend(np.eye(2), -np.eye(2)))
+        assert not bank.is_warm
+        bank.solve(1.0, np.ones(2))
+        assert bank.is_warm and bank.factorisations == 1
+        bank.solve(1.0, np.zeros(2))
+        assert bank.factorisations == 1
+        bank.solve(2.0, np.ones(2))
+        assert bank.factorisations == 2
+
+    @pytest.mark.parametrize("mode", ["dense", "sparse"])
+    def test_singular_pencil_raises(self, mode):
+        bank = PencilBank(select_backend(np.zeros((2, 2)), np.zeros((2, 2)), mode=mode))
+        with pytest.raises(SolverError, match="singular"):
+            bank.solve(1.0, np.ones(2))
+
+    def test_apply_e(self):
+        E = np.diag([2.0, 3.0])
+        bank = PencilBank(select_backend(E, -np.eye(2)))
+        np.testing.assert_allclose(bank.apply_E(np.ones(2)), [2.0, 3.0])

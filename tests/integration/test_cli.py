@@ -66,6 +66,47 @@ class TestCli:
         assert code == 0
         assert "FractionalDescriptorSystem" in out
 
+    def test_sweep_mode(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "20e-3", "--steps", "200",
+             "--points", "5", "--sweep", "0.5", "1.0", "2.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "swept 3 scaled inputs" in out
+        assert "1 factorisation(s) shared" in out
+        assert "v(n1)@x0.5" in out and "v(n1)@x2" in out
+        # --points is honoured: 5 sampled rows; linear circuit: columns
+        # scale with the input factor
+        rows = [line for line in out.splitlines() if line.startswith("0.0")]
+        assert len(rows) == 5
+        _, v_half, v_one, v_two = (float(x) for x in rows[-1].split("|"))
+        assert v_one == pytest.approx(2 * v_half, rel=1e-6)
+        assert v_two == pytest.approx(4 * v_half, rel=1e-6)
+
+    def test_sweep_csv(self, rc_file, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        code = run(
+            [str(rc_file), "--t-end", "5e-3", "--steps", "50",
+             "--sweep", "1.0", "3.0", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "t,n1@x1,n1@x3"
+        assert len(lines) == 51
+        _, v1, v3 = (float(x) for x in lines[25].split(","))
+        assert v3 == pytest.approx(3 * v1, rel=1e-9)
+
+    def test_sweep_fractional_netlist(self, tmp_path, capsys):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST)
+        code = run(
+            [str(path), "--t-end", "2.0", "--steps", "100", "--sweep", "1.0", "2.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "swept 2 scaled inputs" in out
+
     def test_missing_file(self, tmp_path, capsys):
         code = run([str(tmp_path / "nope.sp"), "--t-end", "1.0"])
         assert code == 2

@@ -11,6 +11,7 @@ SUBPACKAGES = [
     "repro.opmat",
     "repro.basis",
     "repro.core",
+    "repro.engine",
     "repro.fractional",
     "repro.baselines",
     "repro.circuits",
