@@ -28,7 +28,7 @@ from repro.core import (
     simulate_opm,
 )
 
-from conftest import bench_scale, register_row
+from conftest import bench_scale, register_metric, register_row
 
 TABLE = "SCALING (OPM cost exponents, section IV)"
 COLUMNS = ["Sweep", "Fitted exponent", "R^2", "Paper claim"]
@@ -196,6 +196,15 @@ def test_warm_session_vs_cold_solver(benchmark):
             ">= 5x",
         ],
     )
+    register_metric(
+        "warm_session_speedup",
+        cold / warm,
+        cold_seconds=cold,
+        warm_seconds=warm,
+        n_states=n,
+        m=m,
+        claim=">= 5x",
+    )
     assert sim.factorisations == 1
     assert drift == 0.0
     assert cold >= 5.0 * warm, f"warm speedup only {cold / warm:.1f}x"
@@ -232,10 +241,103 @@ def test_batched_sweep_vs_loop(benchmark):
             ">= 3x, max-abs < 1e-10",
         ],
     )
+    register_metric(
+        "batched_sweep_speedup",
+        loop_wall / sweep_wall,
+        loop_seconds=loop_wall,
+        batched_seconds=sweep_wall,
+        n_states=n,
+        m=m,
+        batch=k,
+        claim=">= 3x",
+    )
     assert sim.factorisations == 1
     assert worst < 1e-10, f"batched sweep deviates from loop by {worst:.2e}"
     assert loop_wall >= 3.0 * sweep_wall, (
         f"batched speedup only {loop_wall / sweep_wall:.1f}x"
+    )
+
+
+def test_windowed_marching_vs_single_window(benchmark):
+    """Long-horizon marching beats one giant single-window solve.
+
+    A fractional (alpha=0.9) >=100-state power-grid model is marched
+    over a 10x horizon as 10 windows of m=120 on one cached session.
+    The cross-window memory tail is evaluated as a handful of GEMMs
+    (see repro.fractional.history) instead of the single-window solve's
+    per-column O(n j) dot products, so the march is faster at *exactly*
+    the same answer -- the restart is algebraically exact -- while its
+    per-window working set stays O(n m + m^2).  The classical (alpha=1)
+    march on the same grid is checked against the single-window
+    reference at the acceptance threshold 1e-8 (it lands at round-off).
+    """
+    netlist = power_grid(6, 6, nz=2)
+    mna = assemble_mna(netlist)
+    n = mna.n_states
+    assert n >= 100, "acceptance requires a >=100-state power-grid model"
+    u = netlist.input_function()
+    frac = FractionalDescriptorSystem(0.9, mna.E, mna.A, mna.B)
+    K, m = 10, 120
+    t_end = 10e-9
+
+    sim_frac = Simulator(frac, (t_end / K, m))
+    sim_classic = Simulator(mna, (t_end / K, m))
+
+    def run():
+        marched = min(_timed(lambda: sim_frac.march(u, t_end)) for _ in range(3))
+        single = min(
+            _timed(lambda: simulate_opm(frac, u, (t_end, K * m))) for _ in range(3)
+        )
+        return marched, single
+
+    marched_wall, single_wall = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    frac_drift = float(
+        np.max(
+            np.abs(
+                sim_frac.march(u, t_end).coefficients
+                - simulate_opm(frac, u, (t_end, K * m)).coefficients
+            )
+        )
+    )
+    classic_drift = float(
+        np.max(
+            np.abs(
+                sim_classic.march(u, t_end).coefficients
+                - simulate_opm(mna, u, (t_end, K * m)).coefficients
+            )
+        )
+    )
+    register_row(
+        ENGINE_TABLE,
+        ENGINE_COLUMNS,
+        [
+            f"10x-horizon march (alpha=0.9, n={n}, {K}x m={m})",
+            f"single {single_wall * 1e3:.1f} ms",
+            f"marched {marched_wall * 1e3:.1f} ms",
+            f"{single_wall / marched_wall:.1f}x",
+            "faster, max-abs <= 1e-8",
+        ],
+    )
+    register_metric(
+        "windowed_march_speedup",
+        single_wall / marched_wall,
+        marched_seconds=marched_wall,
+        single_window_seconds=single_wall,
+        n_states=n,
+        windows=K,
+        window_m=m,
+        alpha=0.9,
+        fractional_drift=frac_drift,
+        classical_drift=classic_drift,
+        claim="windowed faster than single large-m solve at <= 1e-8",
+    )
+    assert sim_frac.factorisations == 1
+    assert frac_drift <= 1e-8, f"fractional march drifts by {frac_drift:.2e}"
+    assert classic_drift <= 1e-8, f"classical march drifts by {classic_drift:.2e}"
+    assert marched_wall < single_wall, (
+        f"windowed marching ({marched_wall * 1e3:.1f} ms) must beat the "
+        f"single large-m solve ({single_wall * 1e3:.1f} ms)"
     )
 
 

@@ -9,6 +9,12 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
+Besides the human-readable tables, every run of
+``benchmarks/bench_scaling.py`` emits a machine-readable
+``benchmarks/out/BENCH_scaling.json`` (schema below) so the perf
+trajectory -- timings, speedup ratios, model sizes -- can be tracked
+across PRs; CI uploads it as an artifact.
+
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` -- integer multiplier on workload sizes
@@ -17,7 +23,10 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from collections import defaultdict
 from pathlib import Path
 
@@ -28,7 +37,12 @@ from repro.io import Table
 #: table name -> (columns, list of rows); populated by bench tests.
 REGISTRY: dict[str, dict] = defaultdict(lambda: {"columns": None, "rows": []})
 
+#: metric name -> {"value": ..., **metadata}; populated by bench tests
+#: via :func:`register_metric` and dumped to ``BENCH_scaling.json``.
+METRICS: dict[str, dict] = {}
+
 OUT_DIR = Path(__file__).parent / "out"
+JSON_PATH = OUT_DIR / "BENCH_scaling.json"
 
 
 def register_row(table: str, columns, row) -> None:
@@ -39,6 +53,15 @@ def register_row(table: str, columns, row) -> None:
     elif entry["columns"] != list(columns):
         raise ValueError(f"table {table!r} column mismatch")
     entry["rows"].append([str(c) for c in row])
+
+
+def register_metric(name: str, value, **meta) -> None:
+    """Record one machine-readable metric for ``BENCH_scaling.json``.
+
+    ``value`` should be a plain number (seconds, ratio, count);
+    ``meta`` carries context such as model sizes or claim thresholds.
+    """
+    METRICS[name] = {"value": value, **meta}
 
 
 def bench_scale() -> int:
@@ -69,3 +92,26 @@ def _write_tables_at_exit():
             text + "\n"
         )
         print(f"\n{text}")
+    if METRICS or REGISTRY:
+        import numpy
+        import scipy
+
+        payload = {
+            "schema": 1,
+            "generated_unix": time.time(),
+            "env": {
+                "python": platform.python_version(),
+                "numpy": numpy.__version__,
+                "scipy": scipy.__version__,
+                "platform": platform.platform(),
+                "bench_scale": bench_scale(),
+            },
+            "metrics": METRICS,
+            "tables": {
+                name: {"columns": entry["columns"], "rows": entry["rows"]}
+                for name, entry in sorted(REGISTRY.items())
+                if entry["rows"]
+            },
+        }
+        JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {JSON_PATH}")

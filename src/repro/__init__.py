@@ -48,7 +48,9 @@ from .basis import (
 from .core import (
     SIMULATION_METHODS,
     DescriptorSystem,
+    Event,
     FractionalDescriptorSystem,
+    MarchingResult,
     MultiTermSystem,
     SecondOrderSystem,
     SimulationResult,
@@ -104,6 +106,8 @@ __all__ = [
     # engine sessions
     "Simulator",
     "SweepResult",
+    "Event",
+    "MarchingResult",
     # solvers
     "simulate",
     "SIMULATION_METHODS",

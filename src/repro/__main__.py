@@ -16,6 +16,19 @@ each factor and all scaled variants are solved in a single batched
 multi-RHS column sweep through one cached
 :class:`~repro.engine.session.Simulator` session -- one pencil
 factorisation and one triangular sweep for the whole family.
+
+With ``--windows K`` the horizon is solved by windowed time-marching:
+``K`` consecutive windows of ``steps/K`` block pulses each on one
+cached session, carrying the state (and, for fractional netlists, the
+memory tail) across window boundaries.  Events fire at window
+boundaries (so they require ``--windows``)::
+
+    python -m repro grid.sp --t-end 1e-8 --steps 600 --windows 10 \\
+        --event t=5e-9 file=grid_switched.sp --event t=8e-9 scale=2.0
+
+``file=`` re-stamps the MNA pencil from another netlist (same nodes;
+switch closures, load hookups) and switches to its sources; ``scale=``
+multiplies the active input waveform (load steps).
 """
 
 from __future__ import annotations
@@ -27,8 +40,8 @@ from pathlib import Path
 import numpy as np
 
 from . import __version__
-from .circuits import Netlist, assemble_mna
-from .core import Simulator, simulate_opm
+from .circuits import Netlist, assemble_mna, assemble_mna_restamp
+from .core import Event, Simulator, simulate_opm
 from .errors import ReproError
 from .io import Table, write_csv
 
@@ -65,6 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCALE",
         help="scale the input waveform by each factor and solve the whole "
         "family in one batched multi-RHS sweep",
+    )
+    parser.add_argument(
+        "--windows",
+        type=int,
+        default=1,
+        help="march the horizon as this many windows of steps/windows block "
+        "pulses each (default 1: one single-window solve)",
+    )
+    parser.add_argument(
+        "--event",
+        action="append",
+        nargs="+",
+        metavar="KEY=VALUE",
+        default=None,
+        help="mid-run event at a window boundary: t=TIME required, plus "
+        "file=NETLIST (re-stamp the pencil from another netlist) and/or "
+        "scale=FACTOR (scale the active input); repeatable",
     )
     parser.add_argument("--csv", type=Path, help="write all samples to this CSV file")
     parser.add_argument(
@@ -171,6 +201,81 @@ def _run_sweep(args, netlist, system, outputs) -> int:
     return 0
 
 
+def _parse_event(tokens, base_netlist, outputs) -> Event:
+    """Build an :class:`Event` from ``key=value`` CLI tokens."""
+    fields: dict[str, str] = {}
+    for token in tokens:
+        key, sep, value = token.partition("=")
+        if not sep or key not in ("t", "file", "scale"):
+            raise ReproError(
+                f"bad --event token {token!r}; expected t=TIME "
+                "[file=NETLIST] [scale=FACTOR]"
+            )
+        fields[key] = value
+    if "t" not in fields:
+        raise ReproError("--event requires t=TIME")
+    try:
+        t = float(fields["t"])
+        scale = float(fields["scale"]) if "scale" in fields else None
+    except ValueError as exc:
+        raise ReproError(f"bad --event number: {exc}") from exc
+    system = u = None
+    label = None
+    if "file" in fields:
+        path = Path(fields["file"])
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read event netlist {path}: {exc}") from exc
+        ev_netlist = Netlist.from_spice(text, title=path.stem)
+        system = assemble_mna_restamp(ev_netlist, base_netlist, outputs=outputs)
+        u = ev_netlist.input_function()
+        label = path.stem
+    return Event(t=t, u=u, scale=scale, system=system, label=label)
+
+
+def _run_march(args, netlist, system, outputs, events) -> int:
+    if args.windows < 1:
+        raise ReproError(f"--windows must be >= 1, got {args.windows}")
+    if args.steps % args.windows:
+        raise ReproError(
+            f"--steps {args.steps} must be divisible by --windows {args.windows}"
+        )
+    window = args.t_end / args.windows
+    sim = Simulator(system, (window, args.steps // args.windows))
+    result = sim.march(netlist.input_function(), args.t_end, events=events)
+
+    print(f"{netlist!r}")
+    print(f"model: {system!r}")
+    print(
+        f"marched [0, {args.t_end:g}) s as {result.n_windows} windows of "
+        f"m={result.window_m} ({result.info['backend']} backend, "
+        f"{result.info['factorisations']} factorisation(s), "
+        f"{result.info['stamps']} pencil stamp(s), "
+        f"{len(result.info['events'])} event(s), "
+        f"{result.wall_time * 1e3:.2f} ms)\n"
+    )
+
+    t_print = _print_times(args)
+    values = result.outputs_smooth(t_print)
+    table = Table(["t [s]"] + [f"v({node})" for node in outputs])
+    for k, t in enumerate(t_print):
+        table.add_row([f"{t:.4g}"] + [f"{values[i, k]:.6g}" for i in range(len(outputs))])
+    print(table.render())
+
+    if args.csv is not None:
+        t_all = result.midpoints
+        v_all = result.outputs(t_all)
+        rows = [
+            [repr(float(t_all[k]))]
+            + [repr(float(v_all[i, k])) for i in range(len(outputs))]
+            for k in range(t_all.size)
+        ]
+        path = write_csv(args.csv, ["t"] + list(outputs), rows)
+        print(f"\nwrote {t_all.size} samples to {path}")
+    return 0
+
+
 def run(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -183,8 +288,20 @@ def run(argv=None) -> int:
         netlist = Netlist.from_spice(text, title=args.netlist.stem)
         outputs = args.outputs if args.outputs else netlist.nodes
         system = assemble_mna(netlist, outputs=outputs)
+        if args.sweep and (args.windows > 1 or args.event):
+            raise ReproError("--sweep cannot be combined with --windows/--event")
         if args.sweep:
             return _run_sweep(args, netlist, system, outputs)
+        if args.event and args.windows < 2:
+            raise ReproError(
+                "--event fires at a window boundary: pass --windows K "
+                "(K >= 2) so event times can land strictly inside the horizon"
+            )
+        if args.windows > 1 or args.event:
+            events = [
+                _parse_event(tokens, netlist, outputs) for tokens in args.event or ()
+            ]
+            return _run_march(args, netlist, system, outputs, events)
         return _run_single(args, netlist, system, outputs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -21,7 +21,7 @@ from .components import (
     VoltageSource,
 )
 from .ladder import rc_ladder_netlist, rlc_ladder_netlist
-from .mna import assemble_mna, output_matrix
+from .mna import assemble_mna, assemble_mna_restamp, output_matrix
 from .netlist import Netlist
 from .nodal import assemble_na
 from .power_grid import grid_node_name, power_grid, power_grid_models
@@ -48,6 +48,7 @@ __all__ = [
     "CurrentSource",
     "VoltageSource",
     "assemble_mna",
+    "assemble_mna_restamp",
     "assemble_na",
     "output_matrix",
     "power_grid",

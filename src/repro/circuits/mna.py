@@ -47,7 +47,7 @@ from .components import (
 )
 from .netlist import Netlist
 
-__all__ = ["assemble_mna", "output_matrix"]
+__all__ = ["assemble_mna", "assemble_mna_restamp", "output_matrix"]
 
 # SPARSE_SIZE_THRESHOLD is shared with the engine's backend selection:
 # under ``sparse='auto'``, models below it are emitted dense (small
@@ -255,3 +255,63 @@ def assemble_mna(netlist: Netlist, outputs=None, *, sparse: str = "auto"):
         else:
             terms.append((alpha, matrix))
     return MultiTermSystem(terms, b, C=C_out)
+
+
+def assemble_mna_restamp(netlist: Netlist, base: Netlist, outputs=None, **kwargs):
+    """Assemble ``netlist`` as a mid-run re-stamp of a model built from ``base``.
+
+    MNA state indices follow the netlist's node/branch *declaration
+    order*, so two netlists produce state-compatible models only when
+    their nodes, inductor branches, and voltage-source branches agree
+    name-for-name in the same order (extra/removed R/C/CPE/source
+    elements are fine -- that is exactly what switch closures and load
+    hookups change).  This wrapper verifies that alignment before
+    assembling, turning a silent state-vector permutation into a clear
+    :class:`~repro.errors.NetlistError`.  Use it to build the
+    :class:`~repro.engine.marching.Event` system for
+    :meth:`repro.Simulator.march`.
+
+    Parameters
+    ----------
+    netlist:
+        The switched/modified circuit to assemble.
+    base:
+        The circuit the running model was assembled from.
+    outputs, **kwargs:
+        Forwarded to :func:`assemble_mna`.
+
+    Examples
+    --------
+    >>> from repro.circuits.netlist import Netlist
+    >>> base = Netlist.from_spice("I1 0 a 1m\\nR1 a 0 1k\\nC1 a 0 1u\\n")
+    >>> closed = Netlist.from_spice("I1 0 a 1m\\nR1 a 0 1k\\nC1 a 0 1u\\nR2 a 0 500\\n")
+    >>> assemble_mna_restamp(closed, base).n_states
+    1
+    """
+
+    def names(elements) -> list[str]:
+        return [el.name for el in elements]
+
+    if netlist.nodes != base.nodes:
+        raise NetlistError(
+            "re-stamp netlist must declare the same nodes in the same order "
+            f"as the base circuit; got {netlist.nodes} vs {base.nodes}"
+        )
+    if names(netlist.inductors) != names(base.inductors):
+        raise NetlistError(
+            "re-stamp netlist must keep the base circuit's inductor branches "
+            "(their currents are states); got "
+            f"{names(netlist.inductors)} vs {names(base.inductors)}"
+        )
+    if names(netlist.voltage_sources) != names(base.voltage_sources):
+        raise NetlistError(
+            "re-stamp netlist must keep the base circuit's voltage-source "
+            "branches (their currents are states); got "
+            f"{names(netlist.voltage_sources)} vs {names(base.voltage_sources)}"
+        )
+    if netlist.n_channels != base.n_channels:
+        raise NetlistError(
+            "re-stamp netlist must use the same number of input channels as "
+            f"the base circuit, got {netlist.n_channels} vs {base.n_channels}"
+        )
+    return assemble_mna(netlist, outputs=outputs, **kwargs)

@@ -23,6 +23,7 @@ Public surface:
 
 from ..engine import (
     DenseBackend,
+    Event,
     PencilBank,
     Simulator,
     SparseBackend,
@@ -43,7 +44,7 @@ from .lti import (
 from .opm_adaptive import equidistributed_steps, simulate_opm_adaptive
 from .opm_integral import simulate_opm_integral
 from .opm_solver import project_input, simulate_opm, simulate_opm_transformed
-from .result import SimulationResult
+from .result import MarchingResult, SimulationResult
 
 __all__ = [
     "DescriptorSystem",
@@ -51,8 +52,10 @@ __all__ = [
     "MultiTermSystem",
     "SecondOrderSystem",
     "SimulationResult",
+    "MarchingResult",
     "Simulator",
     "SweepResult",
+    "Event",
     "simulate",
     "SIMULATION_METHODS",
     "simulate_opm",

@@ -28,6 +28,7 @@ __all__ = ["simulate", "SIMULATION_METHODS"]
 #: Method names accepted by :func:`simulate`.
 SIMULATION_METHODS = (
     "opm",
+    "opm-windowed",
     "opm-adaptive",
     "opm-kron",
     "backward-euler",
@@ -92,6 +93,8 @@ def simulate(system, u, t_end: float, steps: int | None = None, *, method: str =
         raise SolverError(f"method {method!r} requires steps")
     if method == "opm":
         return simulate_opm(system, u, (t_end, steps), **kwargs)
+    if method == "opm-windowed":
+        return _simulate_windowed(system, u, t_end, steps, **kwargs)
     if method == "opm-kron":
         return simulate_opm_kron(system, u, (t_end, steps), **kwargs)
     if method in ("backward-euler", "trapezoidal", "gear2"):
@@ -110,3 +113,27 @@ def simulate(system, u, t_end: float, steps: int | None = None, *, method: str =
     from ..baselines.expm import simulate_expm
 
     return simulate_expm(system, u, t_end, steps, **kwargs)
+
+
+def _simulate_windowed(
+    system, u, t_end: float, steps: int, *, windows: int = 1, events=(), **kwargs
+):
+    """One-shot windowed marching (``method='opm-windowed'``).
+
+    ``steps`` is the *total* number of block pulses over ``[0, t_end]``;
+    it must divide evenly into ``windows`` windows.  Repeated-march
+    workloads should hold a :class:`~repro.engine.session.Simulator`
+    bound to one window grid and call :meth:`march` directly.
+    """
+    from ..engine import Simulator
+
+    windows = int(windows)
+    if windows < 1:
+        raise SolverError(f"windows must be >= 1, got {windows}")
+    if steps % windows:
+        raise SolverError(
+            f"steps={steps} must be divisible by windows={windows} "
+            "(every window carries the same number of block pulses)"
+        )
+    sim = Simulator(system, (t_end / windows, steps // windows), **kwargs)
+    return sim.march(u, t_end, events=events)

@@ -14,7 +14,25 @@ import numpy as np
 from ..basis.base import BasisSet
 from ..basis.block_pulse import BlockPulseBasis
 
-__all__ = ["SimulationResult", "SampledResult"]
+__all__ = [
+    "SimulationResult",
+    "SampledResult",
+    "MarchingResult",
+    "terminal_state_estimate",
+]
+
+
+def terminal_state_estimate(coefficients: np.ndarray) -> np.ndarray:
+    """Endpoint value ``x(t_end)`` from block-pulse coefficients, to ``O(h^2)``.
+
+    Block-pulse coefficients are interval averages; linear extrapolation
+    of the last two gives the right-edge value to second order.  Shared
+    by :meth:`MarchingResult.terminal_state` and the marching engine's
+    flux rebuild across ``E``-changing events.
+    """
+    if coefficients.shape[1] == 1:
+        return coefficients[:, -1].copy()
+    return 1.5 * coefficients[:, -1] - 0.5 * coefficients[:, -2]
 
 
 class SampledResult:
@@ -241,4 +259,216 @@ class SimulationResult:
         return (
             f"SimulationResult(n={self.n_states}, m={self.m}, "
             f"basis={self.basis.name}, wall_time={self.wall_time})"
+        )
+
+
+class MarchingResult:
+    """Stitched per-window results of a windowed time-marching run.
+
+    :meth:`repro.engine.session.Simulator.march` solves ``[0, t_end]``
+    as ``K`` consecutive windows on one shared window grid; this
+    container stitches the per-window :class:`SimulationResult` objects
+    back into a single global-time trajectory.  Every window result
+    lives in *local* window time ``[0, W)``; the sampling methods here
+    translate global times and expose the same accessor surface as
+    :class:`SimulationResult` (``states`` / ``outputs`` /
+    ``states_smooth`` / ``outputs_smooth`` / ``sample_times``).
+
+    Indexing yields the per-window results (in local time, with
+    ``info['window_index']`` / ``info['t_offset']`` recording their
+    place in the march), so all existing per-run analysis and IO
+    machinery consumes marched windows unchanged.
+
+    Attributes
+    ----------
+    windows:
+        The per-window :class:`SimulationResult` list, in order.  Note
+        that windows may carry *different* systems when mid-run events
+        re-stamped the model.
+    window_length:
+        Duration ``W`` of each window (all windows share one grid).
+    wall_time:
+        Wall-clock seconds of the whole march.
+    info:
+        March metadata: method, window count, events applied, pencil
+        stamps/factorisations, backend, ...
+    """
+
+    def __init__(
+        self,
+        windows,
+        window_length: float,
+        *,
+        wall_time: float | None = None,
+        info: dict | None = None,
+    ) -> None:
+        windows = list(windows)
+        if not windows:
+            raise ValueError("MarchingResult needs at least one window")
+        first = windows[0]
+        for res in windows:
+            if res.coefficients.shape != first.coefficients.shape:
+                raise ValueError("all windows must share one grid and state size")
+        self.windows = windows
+        self.window_length = float(window_length)
+        self.wall_time = wall_time
+        self.info = dict(info or {})
+        self._coefficients: np.ndarray | None = None
+        self._output_coefficients: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # shape properties
+    # ------------------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def n_states(self) -> int:
+        return self.windows[0].n_states
+
+    @property
+    def window_m(self) -> int:
+        """Block pulses per window."""
+        return self.windows[0].m
+
+    @property
+    def m(self) -> int:
+        """Total block pulses over the whole horizon."""
+        return self.n_windows * self.window_m
+
+    @property
+    def t_end(self) -> float:
+        return self.n_windows * self.window_length
+
+    @property
+    def system(self):
+        """The system of the *first* window (events may re-stamp later ones)."""
+        return self.windows[0].system
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Global start time of each window."""
+        return self.window_length * np.arange(self.n_windows)
+
+    @property
+    def midpoints(self) -> np.ndarray:
+        """Global interval midpoints of the stitched grid."""
+        local = self.windows[0].grid.midpoints
+        return (self.offsets[:, None] + local[None, :]).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # stitched coefficients
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Stitched state coefficients, shape ``(n_states, K * window_m)``."""
+        if self._coefficients is None:
+            self._coefficients = np.concatenate(
+                [res.coefficients for res in self.windows], axis=1
+            )
+        return self._coefficients
+
+    @property
+    def output_coefficients(self) -> np.ndarray:
+        """Stitched output coefficients (per-window ``C``/``D`` respected)."""
+        if self._output_coefficients is None:
+            self._output_coefficients = np.concatenate(
+                [res.output_coefficients for res in self.windows], axis=1
+            )
+        return self._output_coefficients
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_windows
+
+    def __getitem__(self, index) -> SimulationResult:
+        return self.windows[index]
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    # ------------------------------------------------------------------
+    # sampling (global time)
+    # ------------------------------------------------------------------
+    def _locate(self, times) -> tuple[np.ndarray, np.ndarray]:
+        """Split global times into (window index, local time) pairs."""
+        t = np.atleast_1d(np.asarray(times, dtype=float))
+        if np.any(t < 0.0) or np.any(t > self.t_end * (1 + 1e-12)):
+            raise ValueError(f"times must lie in [0, {self.t_end}]")
+        idx = np.clip(
+            (t / self.window_length).astype(int), 0, self.n_windows - 1
+        )
+        # clamp round-off overshoot (an accepted global t slightly past
+        # t_end must not exceed the last window's own bound check)
+        local = np.minimum(t - idx * self.window_length, self.window_length)
+        return idx, local
+
+    def _sample(self, method: str, times) -> np.ndarray:
+        idx, local = self._locate(times)
+        if idx.size == 0:
+            return getattr(self.windows[0], method)(local)
+        out = None
+        for k in np.unique(idx):
+            mask = idx == k
+            values = getattr(self.windows[k], method)(local[mask])
+            if out is None:
+                out = np.empty((values.shape[0], idx.size))
+            out[:, mask] = values
+        return out
+
+    def states(self, times) -> np.ndarray:
+        """Sample the stitched state trajectory at global times."""
+        return self._sample("states", times)
+
+    def outputs(self, times) -> np.ndarray:
+        """Sample the stitched output trajectory at global times."""
+        return self._sample("outputs", times)
+
+    def _interpolate_global(self, coeffs: np.ndarray, times) -> np.ndarray:
+        """Midpoint-linear reconstruction over the *stitched* grid.
+
+        Interpolating across the global midpoint sequence (rather than
+        window by window) keeps the reconstruction continuous across
+        window boundaries, matching what a single-window solve of the
+        full horizon would produce.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        mids = self.midpoints
+        out = np.empty((coeffs.shape[0], times.size))
+        for i in range(coeffs.shape[0]):
+            out[i] = np.interp(times, mids, coeffs[i])
+        return out
+
+    def states_smooth(self, times) -> np.ndarray:
+        """Second-order (midpoint-linear) state reconstruction at global times."""
+        return self._interpolate_global(self.coefficients, times)
+
+    def outputs_smooth(self, times) -> np.ndarray:
+        """Second-order (midpoint-linear) output reconstruction at global times."""
+        return self._interpolate_global(self.output_coefficients, times)
+
+    def sample_times(self, n_points: int | None = None) -> np.ndarray:
+        """Global midpoints (default) or ``n_points`` equispaced times."""
+        if n_points is None:
+            return self.midpoints
+        n_points = int(n_points)
+        step = self.t_end / n_points
+        return (np.arange(n_points) + 0.5) * step
+
+    def terminal_state(self) -> np.ndarray:
+        """Second-order estimate of ``x(t_end)`` from the last window.
+
+        Useful for chaining marches or seeding a follow-on simulation;
+        see :func:`terminal_state_estimate`.
+        """
+        return terminal_state_estimate(self.windows[-1].coefficients)
+
+    def __repr__(self) -> str:
+        return (
+            f"MarchingResult(K={self.n_windows}, n={self.n_states}, "
+            f"m={self.window_m}/window, t_end={self.t_end:g}, "
+            f"wall_time={self.wall_time})"
         )

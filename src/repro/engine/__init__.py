@@ -13,9 +13,14 @@ shares, so that repeated-solve workloads amortise it across calls:
 * :mod:`~repro.engine.inputs` -- input-dialect normalisation and basis
   projection;
 * :mod:`~repro.engine.session` -- the :class:`Simulator` session object
-  (bind system + grid once, ``run`` / ``sweep`` many times);
+  (bind system + grid once, ``run`` / ``sweep`` / ``march`` many
+  times);
 * :mod:`~repro.engine.sweep` -- the :class:`SweepResult` batched result
-  container.
+  container;
+* :mod:`~repro.engine.marching` -- windowed time-marching over long
+  horizons with state carry-over, fractional memory transfer, and
+  mid-run :class:`Event` handling (input swaps, load steps, pencil
+  re-stamps).
 
 The classic one-shot entry points in :mod:`repro.core` are thin
 wrappers over this engine.
@@ -26,20 +31,24 @@ from .backends import (
     PencilBank,
     SparseBackend,
     matrix_density,
+    pencil_fingerprint,
     select_backend,
 )
 from .inputs import normalise_input_callable, project_input
+from .marching import Event
 from .session import Simulator, resolve_grid
 from .sweep import SweepResult
 
 __all__ = [
     "Simulator",
     "SweepResult",
+    "Event",
     "DenseBackend",
     "SparseBackend",
     "PencilBank",
     "select_backend",
     "matrix_density",
+    "pencil_fingerprint",
     "project_input",
     "normalise_input_callable",
     "resolve_grid",

@@ -41,6 +41,7 @@ __all__ = [
     "PencilBank",
     "select_backend",
     "matrix_density",
+    "pencil_fingerprint",
 ]
 
 #: Systems with at least this many states are eligible for the sparse
@@ -230,20 +231,59 @@ def select_backend(E, A, *, mode: str = "auto") -> PencilBackend:
     return DenseBackend(E, A)
 
 
+def pencil_fingerprint(E, A=None) -> tuple:
+    """Content-based key identifying the pencil pair ``(E, A)``.
+
+    Two pencils with equal entries (in the same storage format) map to
+    the same fingerprint, so re-stamping a previously seen circuit
+    configuration (a switch toggled back open, say) reuses its cached
+    factorisations instead of adding a new stamp.  Pass a single matrix
+    to fingerprint it alone.
+    """
+
+    def one(matrix) -> tuple:
+        if matrix is None:
+            return ("none",)
+        if sp.issparse(matrix):
+            csr = matrix.tocsr()
+            return (
+                "sparse",
+                csr.shape,
+                csr.data.tobytes(),
+                csr.indices.tobytes(),
+                csr.indptr.tobytes(),
+            )
+        arr = np.ascontiguousarray(matrix, dtype=float)
+        return ("dense", arr.shape, arr.tobytes())
+
+    return (one(E), one(A))
+
+
 class PencilBank:
     """Factorisation cache for shifted pencils ``sigma E - A``.
 
     Wraps a :class:`PencilBackend` and memoises one factorisation per
-    distinct shift value.  The cache key is the exact float value of
-    ``sigma``; adaptive controllers that reuse a ladder of step sizes
-    (h, h/2, 2h, ...) hit the cache on every revisited step size, and a
-    warm :class:`~repro.engine.session.Simulator` session hits it on
-    every call.
+    distinct ``(pencil stamp, shift)`` pair.  The shift key is the exact
+    float value of ``sigma``; adaptive controllers that reuse a ladder
+    of step sizes (h, h/2, 2h, ...) hit the cache on every revisited
+    step size, and a warm :class:`~repro.engine.session.Simulator`
+    session hits it on every call.
+
+    A bank starts with one *stamp* -- the backend it was built over.
+    Mid-run events that change the system matrices (switch closures,
+    load steps) register a new backend via :meth:`restamp`; every stamp
+    keeps its factorisations, so toggling between circuit
+    configurations re-factorises nothing after the first visit.
     """
 
     def __init__(self, backend: PencilBackend) -> None:
         self.backend = backend
-        self._cache: dict[float, object] = {}
+        self._cache: dict[tuple[int, float], object] = {}
+        self._backends: list[PencilBackend] = [backend]
+        self._stamp_keys: dict[tuple, int] = {
+            pencil_fingerprint(backend.E, backend.A): 0
+        }
+        self._stamp = 0
 
     @property
     def factorisations(self) -> int:
@@ -255,20 +295,63 @@ class PencilBank:
         """True once at least one factorisation has been cached."""
         return bool(self._cache)
 
+    @property
+    def stamps(self) -> int:
+        """Number of distinct pencils registered (1 + re-stamps to new matrices)."""
+        return len(self._backends)
+
+    @property
+    def stamp(self) -> int:
+        """Index of the currently active pencil stamp."""
+        return self._stamp
+
+    def restamp(self, backend: PencilBackend) -> int:
+        """Switch the bank to a (possibly new) pencil; returns its stamp index.
+
+        A pencil whose matrices fingerprint-match a previously
+        registered stamp reactivates that stamp -- and its cached
+        factorisations -- instead of registering a new one.
+        """
+        key = pencil_fingerprint(backend.E, backend.A)
+        stamp = self._stamp_keys.get(key)
+        if stamp is None:
+            stamp = len(self._backends)
+            self._backends.append(backend)
+            self._stamp_keys[key] = stamp
+        self._stamp = stamp
+        self.backend = self._backends[stamp]
+        return stamp
+
+    def use(self, stamp: int) -> None:
+        """Reactivate a previously registered stamp by index.
+
+        Used to restore the bank's base configuration after a scoped
+        excursion (an eventful march must not leave the session solving
+        against the event pencil).
+        """
+        if not 0 <= stamp < len(self._backends):
+            raise SolverError(
+                f"unknown pencil stamp {stamp}; bank has {len(self._backends)}"
+            )
+        self._stamp = stamp
+        self.backend = self._backends[stamp]
+
     def apply_E(self, x: np.ndarray) -> np.ndarray:
-        """Product ``E @ x`` through the backend (history-tail helper)."""
+        """Product ``E @ x`` through the active backend (history-tail helper)."""
         return self.backend.apply_E(x)
 
     def solve(self, sigma: float, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``(sigma E - A) x = rhs``, factorising at most once per sigma.
+        """Solve ``(sigma E - A) x = rhs``, factorising at most once per
+        ``(stamp, sigma)``.
 
         ``rhs`` may be a single vector ``(n,)`` or a block ``(n, k)``;
         blocks are substituted in one backend call.
         """
-        handle = self._cache.get(sigma)
+        key = (self._stamp, sigma)
+        handle = self._cache.get(key)
         if handle is None:
             handle = self.backend.factorize(sigma)
-            self._cache[sigma] = handle
+            self._cache[key] = handle
         out = self.backend.solve(handle, rhs)
         if not np.all(np.isfinite(out)):
             raise SolverError(

@@ -38,9 +38,9 @@ import scipy.sparse as sp
 from ..basis.block_pulse import BlockPulseBasis
 from ..basis.grid import TimeGrid
 from ..core.lti import DescriptorSystem, MultiTermSystem
-from ..core.result import SimulationResult
+from ..core.result import MarchingResult, SimulationResult
 from ..errors import SolverError
-from . import assembly, kernels
+from . import assembly, kernels, marching
 from .backends import PencilBank, select_backend
 from .inputs import project_input
 from .sweep import SweepResult
@@ -93,6 +93,7 @@ class _DescriptorPlan:
                 grid, alpha, adaptive_method=adaptive_method
             )
             self.method = "opm-general"
+        self.backend_mode = backend
         self.bank = PencilBank(select_backend(system.E, system.A, mode=backend))
         self._offset = system.shifted_input_offset()
 
@@ -380,3 +381,52 @@ class Simulator:
             wall_time=wall,
             info=info,
         )
+
+    def march(self, u, t_end: float, *, events=()) -> MarchingResult:
+        """Windowed time-marching over ``[0, t_end]`` on this session.
+
+        The session's grid *is* the window: ``[0, t_end]`` is split into
+        ``t_end / grid.t_end`` consecutive windows of ``grid.m`` block
+        pulses each, all solved on the session's cached pencil bank
+        (one factorisation per circuit configuration for the entire
+        march).  State is carried across window boundaries -- the
+        flux/charge vector ``E x`` for classical systems, the full
+        GL/OPM memory tail for fractional ones -- so the stitched
+        trajectory matches a single-window solve of the whole horizon
+        to machine precision, while the per-window working set stays
+        ``O(n m + m^2)`` instead of growing with the horizon.
+
+        Parameters
+        ----------
+        u:
+            Input over the whole horizon: a callable in global time, a
+            scalar, a ``(p, K * m)`` coefficient array, or an iterable
+            streaming one chunk per window (each chunk anything
+            :meth:`run` accepts, in window-local time).
+        t_end:
+            Horizon; must be a whole multiple of the session window
+            ``grid.t_end``.
+        events:
+            :class:`~repro.engine.marching.Event` objects applied at
+            window boundaries: input swaps, load-step scalings, and
+            pencil re-stamps (switch closures).  Re-stamped pencils are
+            cached, so revisiting a configuration re-factorises
+            nothing.
+
+        Returns
+        -------
+        MarchingResult
+            Stitched per-window results with global-time sampling.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.core import DescriptorSystem
+        >>> sim = Simulator(DescriptorSystem([[1.0]], [[-1.0]], [[1.0]]), (1.0, 50))
+        >>> long = sim.march(1.0, 10.0)        # 10 windows, one factorisation
+        >>> long.n_windows, sim.factorisations
+        (10, 1)
+        >>> bool(abs(long.states([9.9])[0, 0] - 1.0) < 1e-3)
+        True
+        """
+        return marching.march(self, u, t_end, events=events)

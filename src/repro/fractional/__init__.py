@@ -12,7 +12,9 @@ operational matrices; this subpackage provides everything needed to
 * :mod:`~repro.fractional.mittag_leffler` -- the two-parameter
   Mittag-Leffler function ``E_{alpha,beta}(z)``;
 * :mod:`~repro.fractional.analytic` -- closed-form scalar FDE solutions
-  (relaxation, step, impulse) built on Mittag-Leffler.
+  (relaxation, step, impulse) built on Mittag-Leffler;
+* :mod:`~repro.fractional.history` -- memory-tail evaluation shared by
+  the GL stepper and the windowed marching engine.
 """
 
 from .analytic import (
@@ -23,6 +25,7 @@ from .analytic import (
 )
 from .definitions import gl_weights
 from .grunwald import simulate_grunwald_letnikov
+from .history import HistoryTail, history_dot, history_weights
 from .mittag_leffler import mittag_leffler
 
 __all__ = [
@@ -33,4 +36,7 @@ __all__ = [
     "fde_step_response",
     "fde_impulse_response",
     "second_order_step_response",
+    "HistoryTail",
+    "history_dot",
+    "history_weights",
 ]

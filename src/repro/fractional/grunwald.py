@@ -19,6 +19,23 @@ Scheme (implicit, zero initial state at ``t_0 = 0``):
 
 with ``w_j`` the GL weights.  One pencil factorisation, reused for all
 steps.
+
+**Nonzero initial state.**  The raw GL operator applied to ``x`` itself
+would be wrong for ``x(0) != 0``: the RL/GL fractional derivative of
+the constant ``x0`` is *nonzero* (``t^{-alpha} x0 / Gamma(1-alpha)``),
+so the classical "shift the solution by ``x0``" trick of first-order
+solvers does not carry over verbatim.  The proper forcing correction --
+the shifted-GL / Caputo scheme -- applies the GL operator to the
+*deviation* ``z = x - x0``, which turns ``E D^alpha_C x = A x + B u``
+into the zero-initial-state problem
+``E D^alpha_GL z = A z + B u + A x0`` with ``x = z + x0``.  That is
+exactly what this solver implements (the ``A x0`` term via
+:meth:`~repro.core.lti.DescriptorSystem.shifted_input_offset`, the
+final un-shift at the end); it is validated against the analytic
+Mittag-Leffler relaxation ``x0 E_alpha(-lam t^alpha)`` in the test
+suite, converging at the expected ``O(h^alpha)`` rate near the ``t = 0``
+singularity.  Orders ``alpha > 1`` with nonzero ``x0`` are rejected at
+model construction (they would need derivative initial data).
 """
 
 from __future__ import annotations
@@ -33,6 +50,7 @@ from ..core.lti import DescriptorSystem
 from ..core.result import SampledResult
 from ..errors import ModelError
 from .definitions import gl_weights
+from .history import history_dot
 
 __all__ = ["simulate_grunwald_letnikov"]
 
@@ -111,13 +129,15 @@ def simulate_grunwald_letnikov(
         rhs = system.B @ u_vals[:, k]
         if offset is not None:
             rhs = rhs + offset
-        # history convolution sum_{j=1..k} w_j x_{k-j}
-        hist = X[:, :k] @ weights[k:0:-1]
+        # GL memory convolution sum_{j=1..k} w_j z_{k-j} (shared with the
+        # marching engine's cross-window tail -- see fractional.history)
+        hist = history_dot(X, weights, k)
         rhs = rhs - scale * (E @ hist)
         X[:, k] = cache.solve(scale, rhs)
     wall = time.perf_counter() - start
 
     if system.x0 is not None:
+        # un-shift the Caputo deviation variable: x = z + x0
         X = X + system.x0[:, None]
     return SampledResult(
         times,

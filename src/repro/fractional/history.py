@@ -1,0 +1,148 @@
+"""Fractional memory-tail evaluation shared by GL stepping and marching.
+
+A fractional operator on a uniform grid is a discrete convolution: the
+equation at column/step ``k`` involves ``sum_{j>=1} c_j x_{k-j}`` over
+the *entire* solved history.  Two consumers in this package need that
+sum:
+
+* the Grünwald-Letnikov baseline (:mod:`repro.fractional.grunwald`),
+  which pays it once per time step (:func:`history_dot`);
+* the windowed marching engine (:mod:`repro.engine.marching`), which
+  pays it once per *window*: the contribution of all previous windows
+  to the ``m`` columns of the current one is a block of the same
+  convolution, evaluated here as a small number of GEMMs
+  (:class:`HistoryTail`) instead of ``m`` separate dot products.
+
+Both views use identical weight indexing -- ``weights[d]`` multiplies
+the solved column ``d`` lags in the past -- so the marching engine's
+cross-window tail is algebraically the same memory term the GL stepper
+accumulates, just batched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import SolverError
+
+__all__ = ["history_dot", "history_weights", "HistoryTail"]
+
+
+def history_dot(X: np.ndarray, weights: np.ndarray, k: int) -> np.ndarray:
+    """Memory sum ``sum_{j=1..k} weights[j] X[:, k-j]`` at step ``k``.
+
+    ``X`` holds the solved columns ``x_0 .. x_{k-1}`` (and possibly
+    more; only the first ``k`` are read), ``weights`` the convolution
+    coefficients indexed by lag.  This is the per-step history term of
+    the GL scheme and of the paper's fractional OPM sweep.
+    """
+    if k <= 0:
+        return np.zeros(X.shape[0])
+    return X[:, :k] @ weights[k:0:-1]
+
+
+def history_weights(
+    coeffs: np.ndarray, start: int, count: int, rows: int | None = None
+) -> np.ndarray:
+    """Lag-weight block for ``count`` columns following ``start`` solved ones.
+
+    Returns ``W`` of shape ``(start, count)`` with
+    ``W[i, j] = coeffs[start + j - i]``: the contribution of solved
+    column ``i`` to future column ``start + j`` is ``W[i, j] x_i``, so
+    the whole cross-block tail is the single product ``X_past @ W``.
+
+    ``rows`` limits the result to the *first* ``rows`` weight rows
+    (columns ``0 .. rows-1``) without materialising the rest -- the
+    chunked evaluation in :meth:`HistoryTail.tail` relies on this to
+    keep its working set independent of the marched horizon.
+
+    ``coeffs`` must provide at least ``start + count`` entries (i.e. be
+    built for the full horizon, not one window).
+    """
+    start, count = int(start), int(count)
+    if start < 0 or count <= 0:
+        raise SolverError(
+            f"history_weights needs start >= 0 and count > 0, got ({start}, {count})"
+        )
+    if coeffs.size < start + count:
+        raise SolverError(
+            f"need {start + count} convolution coefficients, got {coeffs.size}; "
+            "build the coefficients for the full marching horizon"
+        )
+    rows = start if rows is None else min(int(rows), start)
+    if rows <= 0:
+        return np.zeros((0, count))
+    # rows are lagged slices of coeffs: row i = coeffs[start-i : start-i+count]
+    return sliding_window_view(coeffs, count)[start - np.arange(rows)]
+
+
+class HistoryTail:
+    """Accumulates solved coefficient blocks and evaluates their memory tail.
+
+    Parameters
+    ----------
+    coeffs:
+        Convolution coefficients of the fractional operator over the
+        *full* horizon (``K * m`` entries for ``K`` windows of ``m``
+        columns); windowed prefixes of the paper's Toeplitz first row
+        are prefix-stable, so these agree with every per-window
+        operator.
+    block_columns:
+        GEMM chunk size for :meth:`tail`.  The weight block handed to
+        one GEMM is at most ``block_columns x count`` floats, keeping
+        the per-window working set ``O(n m + m^2)`` regardless of how
+        many windows have been marched (default: the requested window
+        width).
+    """
+
+    def __init__(self, coeffs: np.ndarray, *, block_columns: int | None = None) -> None:
+        self.coeffs = np.asarray(coeffs, dtype=float)
+        if self.coeffs.ndim != 1 or self.coeffs.size == 0:
+            raise SolverError("coeffs must be a non-empty 1-D array")
+        self._blocks: list[np.ndarray] = []
+        self._columns = 0
+        self._block_columns = block_columns
+
+    @property
+    def columns(self) -> int:
+        """Total number of solved columns appended so far."""
+        return self._columns
+
+    def append(self, block: np.ndarray) -> None:
+        """Record a solved coefficient block of shape ``(n, m_block)``."""
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2:
+            raise SolverError(f"history blocks must be 2-D, got ndim={block.ndim}")
+        self._blocks.append(block)
+        self._columns += block.shape[1]
+
+    def tail(self, count: int) -> np.ndarray | None:
+        """Memory contribution of every appended block to the next ``count`` columns.
+
+        Returns ``H`` of shape ``(n, count)`` with
+        ``H[:, j] = sum_{i < columns} coeffs[columns + j - i] x_i``,
+        or ``None`` when no history has been appended yet.  Evaluated
+        in chunks of ``block_columns`` past columns so the temporary
+        weight block never scales with the marched horizon.
+        """
+        if not self._blocks:
+            return None
+        count = int(count)
+        chunk = self._block_columns or count
+        n = self._blocks[0].shape[0]
+        H = np.zeros((n, count))
+        start = 0
+        for block in self._blocks:
+            width = block.shape[1]
+            for lo in range(0, width, chunk):
+                hi = min(lo + chunk, width)
+                # past column g = start+lo+i contributes with lag
+                # columns - g, i.e. weight row i of the block whose
+                # "start" is columns - (start+lo)
+                W = history_weights(
+                    self.coeffs, self._columns - (start + lo), count, rows=hi - lo
+                )
+                H += block[:, lo:hi] @ W
+            start += width
+        return H

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.circuits import Constant, Netlist, assemble_mna, output_matrix
+from repro.circuits import (
+    Constant,
+    Netlist,
+    assemble_mna,
+    assemble_mna_restamp,
+    output_matrix,
+)
 from repro.core import DescriptorSystem, FractionalDescriptorSystem, MultiTermSystem, simulate_opm
 from repro.errors import NetlistError
 
@@ -230,3 +236,79 @@ class TestSparseMode:
     def test_invalid_mode_rejected(self):
         with pytest.raises(NetlistError, match="sparse"):
             assemble_mna(self.small_rc(), sparse="maybe")
+
+
+class TestRestamp:
+    """State-layout checks for mid-run pencil re-stamps (event netlists)."""
+
+    BASE = """
+    I1 0 a 1m
+    R1 a b 1k
+    C1 b 0 1u
+    L1 a 0 1m
+    """
+
+    def base(self):
+        return Netlist.from_spice(self.BASE)
+
+    def test_extra_resistor_is_compatible(self):
+        closed = Netlist.from_spice(self.BASE + "R2 b 0 500\n")
+        base_sys = assemble_mna(self.base())
+        new_sys = assemble_mna_restamp(closed, self.base())
+        assert new_sys.n_states == base_sys.n_states
+        # only the conductance stamp changed
+        assert not np.allclose(dense(new_sys.A), dense(base_sys.A))
+        np.testing.assert_array_equal(dense(new_sys.E), dense(base_sys.E))
+
+    def test_node_order_mismatch_rejected(self):
+        # same elements, nodes declared in a different order -> the state
+        # vectors would silently permute
+        reordered = Netlist.from_spice(
+            """
+            C1 b 0 1u
+            I1 0 a 1m
+            R1 a b 1k
+            L1 a 0 1m
+            """
+        )
+        with pytest.raises(NetlistError, match="same nodes in the same order"):
+            assemble_mna_restamp(reordered, self.base())
+
+    def test_missing_inductor_rejected(self):
+        no_l = Netlist.from_spice(
+            """
+            I1 0 a 1m
+            R1 a b 1k
+            C1 b 0 1u
+            """
+        )
+        with pytest.raises(NetlistError, match="inductor"):
+            assemble_mna_restamp(no_l, self.base())
+
+    def test_extra_channel_rejected(self):
+        extra = Netlist.from_spice(self.BASE + "I2 0 b 1m\n")
+        with pytest.raises(NetlistError, match="channels"):
+            assemble_mna_restamp(extra, self.base())
+
+    def test_restamped_march_is_continuous(self):
+        """End-to-end: marched event solve keeps E x continuous."""
+        from repro import Event, Simulator
+
+        base_sys = assemble_mna(self.base())
+        closed = Netlist.from_spice(self.BASE + "R2 b 0 500\n")
+        closed_sys = assemble_mna_restamp(closed, self.base())
+        sim = Simulator(base_sys, (1e-3, 32))
+        result = sim.march(
+            self.base().input_function(),
+            4e-3,
+            events=[Event(t=2e-3, system=closed_sys, label="close")],
+        )
+        assert result.info["stamps"] == 2
+        # E x is continuous at the boundary: compare the last pre-event
+        # and first post-event coefficients (within one-interval slew)
+        pre = result[1].coefficients[:, -1]
+        post = result[2].coefficients[:, 0]
+        E = dense(base_sys.E)
+        assert np.linalg.norm(E @ (post - pre)) < 1e-2 * max(
+            np.linalg.norm(E @ pre), 1e-12
+        )

@@ -56,6 +56,7 @@ class TestDispatch:
     def test_method_list_complete(self):
         assert set(SIMULATION_METHODS) == {
             "opm",
+            "opm-windowed",
             "opm-adaptive",
             "opm-kron",
             "backward-euler",

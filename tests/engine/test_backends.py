@@ -9,6 +9,7 @@ from repro.engine import (
     PencilBank,
     SparseBackend,
     matrix_density,
+    pencil_fingerprint,
     select_backend,
 )
 from repro.engine.backends import SPARSE_SIZE_THRESHOLD
@@ -114,3 +115,77 @@ class TestPencilBank:
         E = np.diag([2.0, 3.0])
         bank = PencilBank(select_backend(E, -np.eye(2)))
         np.testing.assert_allclose(bank.apply_E(np.ones(2)), [2.0, 3.0])
+
+
+class TestPencilFingerprint:
+    def test_equal_dense_matrices_match(self):
+        assert pencil_fingerprint(np.eye(3), -np.eye(3)) == pencil_fingerprint(
+            np.eye(3), -np.eye(3)
+        )
+        assert pencil_fingerprint(np.eye(3)) != pencil_fingerprint(2 * np.eye(3))
+
+    def test_sparse_content_keyed_by_values(self):
+        a = tridiag(16)
+        b = tridiag(16).copy()
+        assert pencil_fingerprint(a) == pencil_fingerprint(b)
+        b[0, 0] = -5.0
+        assert pencil_fingerprint(a) != pencil_fingerprint(b)
+
+
+class TestRestamp:
+    """Mid-run pencil re-stamping (events) with per-stamp caching."""
+
+    def test_restamp_switches_pencil(self):
+        E = np.eye(2)
+        A1, A2 = -np.eye(2), -3.0 * np.eye(2)
+        bank = PencilBank(select_backend(E, A1))
+        x1 = bank.solve(1.0, np.ones(2))
+        bank.restamp(select_backend(E, A2))
+        x2 = bank.solve(1.0, np.ones(2))
+        np.testing.assert_allclose(x1, 0.5 * np.ones(2))
+        np.testing.assert_allclose(x2, 0.25 * np.ones(2))
+        assert bank.stamps == 2
+        assert bank.factorisations == 2
+
+    def test_restamp_caches_both_pencils(self):
+        E = np.eye(2)
+        A1, A2 = -np.eye(2), -3.0 * np.eye(2)
+        bank = PencilBank(select_backend(E, A1))
+        bank.solve(1.0, np.ones(2))
+        bank.restamp(select_backend(E, A2))
+        bank.solve(1.0, np.ones(2))
+        # toggle back and forth: fingerprint-matched stamps reuse their LUs
+        bank.restamp(select_backend(E, A1))
+        assert bank.stamp == 0
+        bank.solve(1.0, np.ones(2))
+        bank.restamp(select_backend(E, A2))
+        bank.solve(1.0, np.ones(2))
+        assert bank.stamps == 2
+        assert bank.factorisations == 2
+
+    def test_restamp_same_matrices_is_noop(self):
+        E, A = np.eye(2), -np.eye(2)
+        bank = PencilBank(select_backend(E, A))
+        bank.solve(1.0, np.ones(2))
+        stamp = bank.restamp(select_backend(E.copy(), A.copy()))
+        assert stamp == 0 and bank.stamps == 1
+        bank.solve(1.0, np.ones(2))
+        assert bank.factorisations == 1
+
+    def test_per_stamp_sigma_caches_are_independent(self):
+        E = np.eye(2)
+        bank = PencilBank(select_backend(E, -np.eye(2)))
+        bank.solve(1.0, np.ones(2))
+        bank.solve(2.0, np.ones(2))
+        bank.restamp(select_backend(E, -3.0 * np.eye(2)))
+        bank.solve(1.0, np.ones(2))
+        assert bank.factorisations == 3
+
+    def test_use_restores_a_stamp(self):
+        E = np.eye(2)
+        bank = PencilBank(select_backend(E, -np.eye(2)))
+        bank.restamp(select_backend(E, -3.0 * np.eye(2)))
+        bank.use(0)
+        np.testing.assert_allclose(bank.solve(1.0, np.ones(2)), 0.5 * np.ones(2))
+        with pytest.raises(SolverError, match="unknown pencil stamp"):
+            bank.use(5)

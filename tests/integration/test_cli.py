@@ -107,6 +107,108 @@ class TestCli:
         assert code == 0
         assert "swept 2 scaled inputs" in out
 
+    def test_windowed_march(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "20e-3", "--steps", "400",
+             "--windows", "8", "--points", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "marched" in out and "8 windows" in out
+        assert "1 factorisation(s)" in out
+        # same steady state as the single-window run: 1mA * 1k
+        last_value = float(out.strip().splitlines()[-1].split("|")[-1])
+        assert last_value == pytest.approx(1.0, rel=1e-3)
+
+    def test_windowed_march_matches_single(self, rc_file, tmp_path, capsys):
+        csv_single = tmp_path / "single.csv"
+        csv_march = tmp_path / "march.csv"
+        run([str(rc_file), "--t-end", "20e-3", "--steps", "200",
+             "--csv", str(csv_single)])
+        run([str(rc_file), "--t-end", "20e-3", "--steps", "200",
+             "--windows", "4", "--csv", str(csv_march)])
+        single = np.loadtxt(csv_single, delimiter=",", skiprows=1)
+        march = np.loadtxt(csv_march, delimiter=",", skiprows=1)
+        np.testing.assert_allclose(march, single, atol=1e-10)
+
+    def test_event_scale(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "40e-3", "--steps", "400",
+             "--windows", "8", "--points", "4",
+             "--event", "t=20e-3", "scale=3.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 event(s)" in out
+        rows = [line for line in out.splitlines() if line.startswith("0.0")]
+        before = float(rows[0].split("|")[-1])
+        after = float(rows[-1].split("|")[-1])
+        assert after == pytest.approx(3 * before, rel=1e-2)
+
+    def test_event_restamp_from_file(self, rc_file, tmp_path, capsys):
+        switched = tmp_path / "switched.sp"
+        switched.write_text(RC_NETLIST + "R2 n1 0 500\n")
+        code = run(
+            [str(rc_file), "--t-end", "40e-3", "--steps", "400",
+             "--windows", "8", "--points", "4",
+             "--event", "t=20e-3", f"file={switched}"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 pencil stamp(s)" in out
+        # switch closes 500 || 1k -> 333 mV steady state
+        last_value = float(out.strip().splitlines()[-1].split("|")[-1])
+        assert last_value == pytest.approx(1.0 / 3.0, rel=1e-2)
+
+    def test_event_netlist_must_align_states(self, rc_file, tmp_path, capsys):
+        # different node set -> would silently misalign the state vector
+        other = tmp_path / "other.sp"
+        other.write_text("I1 0 nX 1m\nR1 nX 0 1k\nC1 nX 0 1u\n")
+        code = run(
+            [str(rc_file), "--t-end", "20e-3", "--steps", "400",
+             "--windows", "8", "--event", "t=10e-3", f"file={other}"]
+        )
+        assert code == 1
+        assert "same nodes" in capsys.readouterr().err
+
+    def test_event_without_windows_guides_user(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "1e-3", "--event", "t=0.5e-3", "scale=2.0"]
+        )
+        assert code == 1
+        assert "--windows" in capsys.readouterr().err
+
+    def test_event_requires_time(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "1e-3", "--windows", "2",
+             "--event", "scale=2.0"]
+        )
+        assert code == 1
+        assert "t=TIME" in capsys.readouterr().err
+
+    def test_bad_event_token(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "1e-3", "--windows", "2",
+             "--event", "t=0.5e-3", "bogus"]
+        )
+        assert code == 1
+        assert "bad --event token" in capsys.readouterr().err
+
+    def test_windows_must_divide_steps(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "1e-3", "--steps", "100", "--windows", "7"]
+        )
+        assert code == 1
+        assert "divisible" in capsys.readouterr().err
+
+    def test_sweep_and_windows_conflict(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "1e-3", "--windows", "2",
+             "--sweep", "1.0", "2.0"]
+        )
+        assert code == 1
+        assert "cannot be combined" in capsys.readouterr().err
+
     def test_missing_file(self, tmp_path, capsys):
         code = run([str(tmp_path / "nope.sp"), "--t-end", "1.0"])
         assert code == 2
