@@ -17,7 +17,7 @@ each usable within the same OPM framework.  This subpackage provides:
   family with exact Tustin-form operational matrices.
 """
 
-from .base import BasisSet
+from .base import BasisSet, cached_operator
 from .block_pulse import BlockPulseBasis
 from .chebyshev import ChebyshevBasis
 from .grid import TimeGrid
@@ -28,6 +28,7 @@ from .walsh import WalshBasis, hadamard_matrix, sequency_order
 
 __all__ = [
     "BasisSet",
+    "cached_operator",
     "TimeGrid",
     "BlockPulseBasis",
     "WalshBasis",

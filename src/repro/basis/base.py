@@ -27,13 +27,51 @@ coefficient space.
 from __future__ import annotations
 
 import abc
+import functools
 from typing import Callable
 
 import numpy as np
 
 from ..errors import BasisError
 
-__all__ = ["BasisSet"]
+__all__ = ["BasisSet", "QuadratureProjectionMixin", "cached_operator"]
+
+
+def cached_operator(method):
+    """Memoise an operational-matrix builder per basis instance.
+
+    Operational matrices depend only on the basis parameters and the
+    call arguments, yet historically every ``integration_matrix()`` /
+    ``fractional_integration_matrix(alpha)`` call re-ran the full
+    construction.  Decorating a builder with ``cached_operator`` stores
+    one result per ``(method, args, kwargs)`` signature on the instance,
+    marks returned arrays read-only (they are shared between callers),
+    and counts actual constructions in
+    :attr:`BasisSet.operator_builds` -- which is what the engine's
+    warm-session regression tests assert stays flat.
+    """
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        cache = self.__dict__.setdefault("_operator_cache", {})
+        key = (name, tuple(float(a) if isinstance(a, (int, float)) else a for a in args),
+               tuple(sorted(kwargs.items())))
+        try:
+            hit = cache.get(key)
+        except TypeError:  # unhashable argument: build without caching
+            return method(self, *args, **kwargs)
+        if hit is None:
+            hit = method(self, *args, **kwargs)
+            if isinstance(hit, np.ndarray):
+                hit.setflags(write=False)
+            cache[key] = hit
+            self.__dict__["_operator_builds"] = (
+                self.__dict__.get("_operator_builds", 0) + 1
+            )
+        return hit
+
+    return wrapper
 
 
 class BasisSet(abc.ABC):
@@ -142,8 +180,27 @@ class BasisSet(abc.ABC):
         raise BasisError(f"{self.name} does not implement fractional integration matrices")
 
     # ------------------------------------------------------------------
+    # operator caching
+    # ------------------------------------------------------------------
+    @property
+    def operator_builds(self) -> int:
+        """Number of operational-matrix constructions actually performed.
+
+        Calls served from the per-instance cache installed by
+        :func:`cached_operator` do not increment this counter; a warm
+        :class:`~repro.engine.session.Simulator` therefore keeps it
+        flat across repeated ``run``/``sweep``/``march`` calls.
+        """
+        return self.__dict__.get("_operator_builds", 0)
+
+    def clear_operator_cache(self) -> None:
+        """Drop all cached operational matrices (testing/memory hook)."""
+        self.__dict__.pop("_operator_cache", None)
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
+    @cached_operator
     def gram_matrix(self, n_quad: int = 256) -> np.ndarray:
         """Numerical Gram matrix ``G[i,j] = <psi_i, psi_j>`` on ``[0, t_end)``.
 
@@ -162,3 +219,55 @@ class BasisSet(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{self.name}(m={self.size}, t_end={self.t_end:g})"
+
+
+class QuadratureProjectionMixin:
+    """Weighted-quadrature projection shared by the spectral families.
+
+    Subclasses (Legendre, Chebyshev) set in ``__init__``:
+
+    * ``_quad_t`` -- quadrature nodes on ``[0, t_end]``;
+    * ``_quad_w`` -- matching weights (absorbing any weight function);
+    * ``_quad_vander`` -- ``(m, n_quad)`` basis values at the nodes;
+    * ``_norms`` -- squared norms ``<psi_i, psi_i>`` under the family's
+      inner product.
+
+    Projection is then one GEMM -- ``c = (f(t_q) * w) V^T / norms`` --
+    and :meth:`project_values` is the value-space entry point the
+    engine's hybrid marching (``OperatorBundle.history_matrix``) builds
+    on.
+    """
+
+    @property
+    def quadrature_times(self) -> np.ndarray:
+        """Projection quadrature nodes on ``[0, t_end]``."""
+        return self._quad_t
+
+    def project(self, func: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Best-approximation coefficients of a scalar function."""
+        return self.project_values(np.asarray(func(self._quad_t), dtype=float))
+
+    def project_values(self, values) -> np.ndarray:
+        """Coefficients from samples at :attr:`quadrature_times`.
+
+        ``values`` has shape ``(..., n_quad)``; the quadrature weights
+        and norms are applied along the trailing axis, so a whole stack
+        of functions projects in one GEMM.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape[-1] != self._quad_t.size:
+            raise BasisError(
+                f"values must have {self._quad_t.size} trailing samples "
+                f"(one per quadrature node), got {values.shape}"
+            )
+        return (values * self._quad_w) @ self._quad_vander.T / self._norms
+
+    def project_vector(self, func: Callable[[np.ndarray], np.ndarray], width: int) -> np.ndarray:
+        """Project a vector-valued function in one evaluation pass."""
+        values = np.asarray(func(self._quad_t), dtype=float)
+        if values.shape != (width, self._quad_t.size):
+            raise BasisError(
+                f"vector function must return ({width}, {self._quad_t.size}) "
+                f"quadrature values, got {values.shape}"
+            )
+        return self.project_values(values)

@@ -31,7 +31,7 @@ from ..opmat import (
     integration_matrix_adaptive,
     rl_integration_matrix,
 )
-from .base import BasisSet
+from .base import BasisSet, cached_operator
 from .grid import TimeGrid
 
 __all__ = ["BlockPulseBasis"]
@@ -77,6 +77,17 @@ class BlockPulseBasis(BasisSet):
     @property
     def grid(self) -> TimeGrid:
         return self._grid
+
+    @property
+    def projection(self) -> str:
+        """The input projection rule (``'average'`` or ``'midpoint'``)."""
+        return self._projection
+
+    def with_projection(self, projection: str) -> "BlockPulseBasis":
+        """A copy of this basis using the given projection rule."""
+        if projection == self._projection:
+            return self
+        return BlockPulseBasis(self._grid, projection=projection)
 
     @property
     def size(self) -> int:
@@ -155,16 +166,19 @@ class BlockPulseBasis(BasisSet):
     # ------------------------------------------------------------------
     # operational matrices
     # ------------------------------------------------------------------
+    @cached_operator
     def integration_matrix(self) -> np.ndarray:
         if self._grid.is_uniform:
             return integration_matrix(self.size, self._grid.h)
         return integration_matrix_adaptive(self._grid.steps)
 
+    @cached_operator
     def differentiation_matrix(self) -> np.ndarray:
         if self._grid.is_uniform:
             return differentiation_matrix(self.size, self._grid.h)
         return differentiation_matrix_adaptive(self._grid.steps)
 
+    @cached_operator
     def fractional_differentiation_matrix(self, alpha: float, *, method: str = "auto") -> np.ndarray:
         """``D^alpha`` -- series form on uniform grids (paper eq. (22)),
         eigendecomposition/Schur form on adaptive grids (paper eq. (25))."""
@@ -175,6 +189,7 @@ class BlockPulseBasis(BasisSet):
             return np.eye(self.size)
         return fractional_differentiation_matrix_adaptive(alpha, self._grid.steps, method=method)
 
+    @cached_operator
     def fractional_integration_matrix(self, alpha: float, *, construction: str = "tustin") -> np.ndarray:
         """Fractional integration matrix.
 

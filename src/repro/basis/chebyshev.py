@@ -19,19 +19,18 @@ the Legendre basis, with Gauss-Chebyshev projection.
 
 from __future__ import annotations
 
-from typing import Callable
 
 import numpy as np
 from scipy.special import gamma as gamma_fn
 from scipy.special import roots_jacobi
 
 from .._validation import check_fractional_order, check_positive_float, check_positive_int
-from .base import BasisSet
+from .base import BasisSet, QuadratureProjectionMixin, cached_operator
 
 __all__ = ["ChebyshevBasis"]
 
 
-class ChebyshevBasis(BasisSet):
+class ChebyshevBasis(QuadratureProjectionMixin, BasisSet):
     """Shifted Chebyshev polynomials ``Ts_0 .. Ts_{m-1}`` on ``[0, t_end]``.
 
     Examples
@@ -51,6 +50,13 @@ class ChebyshevBasis(BasisSet):
         self._quad_x = np.cos((2.0 * q + 1.0) * np.pi / (2.0 * self._n_quad))
         self._quad_t = 0.5 * self._t_end * (self._quad_x + 1.0)
         self._quad_w = np.full(self._n_quad, np.pi / self._n_quad)
+        self._norms = np.full(self._m, np.pi / 2.0)
+        self._norms[0] = np.pi
+        # (m, n_quad) basis values at the quadrature nodes: the constant
+        # factor of every projection (the warm-session hot path)
+        self._quad_vander = np.polynomial.chebyshev.chebvander(
+            self._quad_x, self._m - 1
+        ).T
 
     @property
     def size(self) -> int:
@@ -69,17 +75,11 @@ class ChebyshevBasis(BasisSet):
         x = 2.0 * t / self._t_end - 1.0
         return np.polynomial.chebyshev.chebvander(x, self._m - 1).T
 
-    def project(self, func: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
-        # Weighted projection with Gauss-Chebyshev quadrature:
-        # c_n = <f, Ts_n>_w / <Ts_n, Ts_n>_w ; the x-domain weights already
-        # absorb the Chebyshev weight function.
-        values = np.asarray(func(self._quad_t), dtype=float)
-        basis_vals = np.polynomial.chebyshev.chebvander(self._quad_x, self._m - 1).T
-        raw = basis_vals @ (self._quad_w * values)
-        norms = np.full(self._m, np.pi / 2.0)
-        norms[0] = np.pi
-        return raw / norms
+    # projection: QuadratureProjectionMixin (Gauss-Chebyshev nodes; the
+    # x-domain weights already absorb the Chebyshev weight function, so
+    # c_n = <f, Ts_n>_w / <Ts_n, Ts_n>_w)
 
+    @cached_operator
     def integration_matrix(self) -> np.ndarray:
         """Classical shifted-Chebyshev integration matrix (see module docs)."""
         m = self._m
@@ -105,6 +105,7 @@ class ChebyshevBasis(BasisSet):
             add(n, 0, -half_t * const)
         return p
 
+    @cached_operator
     def fractional_integration_matrix(self, alpha: float) -> np.ndarray:
         """Spectral RL fractional-integration matrix (Gauss-Jacobi inner integral)."""
         alpha = check_fractional_order(alpha, allow_zero=True)

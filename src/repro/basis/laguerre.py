@@ -34,12 +34,13 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
-from scipy.special import eval_laguerre, roots_laguerre
+from scipy.special import roots_laguerre
 
 from .._validation import check_fractional_order, check_positive_float, check_positive_int
+from ..errors import BasisError
 from ..opmat.nilpotent import upper_toeplitz
 from ..opmat.series import tustin_power_coefficients
-from .base import BasisSet
+from .base import BasisSet, cached_operator
 
 __all__ = ["LaguerreBasis"]
 
@@ -67,13 +68,30 @@ class LaguerreBasis(BasisSet):
     array([0.5, 0. , 0. ])
     """
 
+    #: Largest Gauss-Laguerre order whose nodes/weights scipy computes
+    #: without internal overflow (empirically ~320 as of scipy 1.x);
+    #: the default rule is capped here, which still integrates products
+    #: of basis polynomials exactly for every practical ``m``.
+    MAX_QUADRATURE = 320
+
     def __init__(self, a: float, m: int, *, n_quad: int | None = None) -> None:
         self._a = check_positive_float(a, "a")
         self._m = check_positive_int(m, "m")
-        self._n_quad = n_quad if n_quad is not None else max(96, 4 * m)
+        if n_quad is None:
+            n_quad = min(max(96, 4 * m), self.MAX_QUADRATURE)
+        self._n_quad = n_quad
         # Gauss-Laguerre for integral_0^inf e^{-u} g(u) du; we substitute
         # u = 2 a t so the basis weight e^{-2 a t} becomes the GL weight.
-        self._quad_u, self._quad_w = roots_laguerre(self._n_quad)
+        with np.errstate(over="ignore", invalid="ignore"):
+            self._quad_u, self._quad_w = roots_laguerre(self._n_quad)
+        if not (
+            np.all(np.isfinite(self._quad_u)) and np.all(np.isfinite(self._quad_w))
+        ):
+            raise BasisError(
+                f"the Gauss-Laguerre rule of order {self._n_quad} is "
+                "numerically unavailable (scipy overflows above "
+                f"~{self.MAX_QUADRATURE} nodes); pass a smaller n_quad"
+            )
 
     @property
     def size(self) -> int:
@@ -95,48 +113,84 @@ class LaguerreBasis(BasisSet):
     # ------------------------------------------------------------------
     # function-space <-> coefficient-space
     # ------------------------------------------------------------------
+    def _laguerre_functions(self, u) -> np.ndarray:
+        """Scaled values ``l_n(u) = e^{-u/2} L_n(u)`` for ``n < m``.
+
+        Computed by the three-term Laguerre recurrence carried directly
+        in the scaled variable (the scaling is a common factor, so the
+        recurrence coefficients are unchanged).  Unlike evaluating
+        ``L_n`` and ``e^{-u/2}`` separately -- which overflows/underflows
+        to ``inf * 0 = NaN`` at the large nodes of high-order
+        Gauss-Laguerre rules -- the scaled values are uniformly bounded.
+        """
+        u = np.atleast_1d(np.asarray(u, dtype=float))
+        out = np.empty((self._m, u.size))
+        curr = np.exp(-0.5 * u)
+        out[0] = curr
+        prev = np.zeros_like(u)
+        for n in range(1, self._m):
+            prev, curr = curr, ((2.0 * n - 1.0 - u) * curr - (n - 1.0) * prev) / n
+            out[n] = curr
+        return out
+
     def evaluate(self, times) -> np.ndarray:
         t = np.atleast_1d(np.asarray(times, dtype=float))
-        u = 2.0 * self._a * t
-        out = np.empty((self._m, t.size))
-        for n in range(self._m):
-            out[n] = eval_laguerre(n, u)
-        return np.sqrt(2.0 * self._a) * np.exp(-0.5 * u) * out
+        return np.sqrt(2.0 * self._a) * self._laguerre_functions(2.0 * self._a * t)
 
     def project(self, func: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
         # c_n = integral_0^inf f(t) phi_n(t) dt ; substitute u = 2 a t:
-        # = 1/sqrt(2a) integral e^{-u} [ e^{u/2} L_n(u) f(u / 2a) ] du
+        # = 1/sqrt(2a) integral [w_i e^{u}] [e^{-u/2} L_n(u)] f(u / 2a) du
         u = self._quad_u
         t = u / (2.0 * self._a)
         f_vals = np.asarray(func(t), dtype=float)
-        boosted = np.exp(0.5 * u) * f_vals * self._quad_w
-        coeffs = np.empty(self._m)
-        for n in range(self._m):
-            coeffs[n] = np.dot(eval_laguerre(n, u), boosted)
+        # w ~ e^{-u} * poly, so w e^{u} is well-scaled -- but only when
+        # combined in log space (w alone underflows at the largest
+        # nodes, where its contribution is genuinely negligible)
+        with np.errstate(divide="ignore"):
+            scaled_w = np.exp(np.log(self._quad_w) + u)
+        coeffs = self._laguerre_functions(u) @ (scaled_w * f_vals)
         return coeffs / np.sqrt(2.0 * self._a)
 
     # ------------------------------------------------------------------
     # operational matrices (exact Tustin forms, see module docstring)
     # ------------------------------------------------------------------
+    @cached_operator
     def integration_matrix(self) -> np.ndarray:
         return upper_toeplitz(tustin_power_coefficients(1.0, self._m)) / self._a
 
+    @cached_operator
     def differentiation_matrix(self) -> np.ndarray:
         return self._a * upper_toeplitz(tustin_power_coefficients(-1.0, self._m))
 
-    def fractional_differentiation_matrix(self, alpha: float) -> np.ndarray:
-        alpha = check_fractional_order(alpha, allow_zero=True)
-        return self._a**alpha * upper_toeplitz(tustin_power_coefficients(-alpha, self._m))
+    @cached_operator
+    def fractional_differentiation_coefficients(self, alpha: float) -> np.ndarray:
+        """First-row Toeplitz coefficients of ``D^alpha``.
 
+        The defining row of the (upper-Toeplitz) fractional
+        differentiation matrix -- the engine's triangular column sweep
+        consumes exactly this row, so it is exposed (and cached)
+        separately from the full matrix.
+        """
+        alpha = check_fractional_order(alpha, allow_zero=True)
+        return self._a**alpha * tustin_power_coefficients(-alpha, self._m)
+
+    @cached_operator
+    def fractional_differentiation_matrix(self, alpha: float) -> np.ndarray:
+        return upper_toeplitz(self.fractional_differentiation_coefficients(alpha))
+
+    @cached_operator
     def fractional_integration_matrix(self, alpha: float) -> np.ndarray:
         alpha = check_fractional_order(alpha, allow_zero=True)
         return self._a**-alpha * upper_toeplitz(tustin_power_coefficients(alpha, self._m))
 
+    @cached_operator
     def gram_matrix(self, n_quad: int = 256) -> np.ndarray:
         """Exact-by-quadrature Gram matrix (identity for this family)."""
-        u, w = roots_laguerre(max(n_quad, 2 * self._m))
-        vals = np.empty((self._m, u.size))
-        for n in range(self._m):
-            vals[n] = eval_laguerre(n, u)
-        # <phi_i, phi_j> = (1/2a) * 2a * integral e^{-u} L_i L_j du
-        return (vals * w) @ vals.T
+        u, w = roots_laguerre(min(max(n_quad, 2 * self._m), self.MAX_QUADRATURE))
+        # <phi_i, phi_j> = (1/2a) * 2a * integral e^{-u} L_i L_j du,
+        # evaluated through the scaled l_n = e^{-u/2} L_n values with
+        # weights w e^{u} (see project for the scaling rationale)
+        with np.errstate(divide="ignore"):
+            scaled_w = np.exp(np.log(w) + u)
+        vals = self._laguerre_functions(u)
+        return (vals * scaled_w) @ vals.T

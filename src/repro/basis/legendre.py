@@ -26,19 +26,18 @@ matrix of :mod:`repro.opmat.rl_integral`.
 
 from __future__ import annotations
 
-from typing import Callable
 
 import numpy as np
 from scipy.special import gamma as gamma_fn
 from scipy.special import roots_jacobi
 
 from .._validation import check_fractional_order, check_positive_float, check_positive_int
-from .base import BasisSet
+from .base import BasisSet, QuadratureProjectionMixin, cached_operator
 
 __all__ = ["LegendreBasis"]
 
 
-class LegendreBasis(BasisSet):
+class LegendreBasis(QuadratureProjectionMixin, BasisSet):
     """Shifted Legendre polynomials ``Ps_0 .. Ps_{m-1}`` on ``[0, t_end]``.
 
     Examples
@@ -58,6 +57,10 @@ class LegendreBasis(BasisSet):
         # map [-1, 1] -> [0, T]
         self._quad_t = 0.5 * self._t_end * (nodes + 1.0)
         self._quad_w = 0.5 * self._t_end * weights
+        self._norms = self._t_end / (2.0 * np.arange(self._m) + 1.0)
+        # (m, n_quad) basis values at the quadrature nodes: the constant
+        # factor of every projection (the warm-session hot path)
+        self._quad_vander = np.polynomial.legendre.legvander(nodes, self._m - 1).T
 
     # ------------------------------------------------------------------
     # identification
@@ -82,16 +85,12 @@ class LegendreBasis(BasisSet):
         x = 2.0 * t / self._t_end - 1.0
         return np.polynomial.legendre.legvander(x, self._m - 1).T
 
-    def project(self, func: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
-        values = np.asarray(func(self._quad_t), dtype=float)
-        basis_vals = self.evaluate(self._quad_t)
-        raw = basis_vals @ (self._quad_w * values)
-        norms = self._t_end / (2.0 * np.arange(self._m) + 1.0)
-        return raw / norms
+    # projection: QuadratureProjectionMixin (Gauss-Legendre nodes)
 
     # ------------------------------------------------------------------
     # operational matrices
     # ------------------------------------------------------------------
+    @cached_operator
     def integration_matrix(self) -> np.ndarray:
         """Classical shifted-Legendre integration matrix (see module docs)."""
         m = self._m
@@ -107,6 +106,7 @@ class LegendreBasis(BasisSet):
             p[n, n - 1] = -coeff
         return p
 
+    @cached_operator
     def fractional_integration_matrix(self, alpha: float) -> np.ndarray:
         """Spectral RL fractional-integration matrix via Gauss-Jacobi quadrature.
 

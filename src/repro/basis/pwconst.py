@@ -26,7 +26,7 @@ import numpy as np
 
 from .._validation import check_fractional_order, check_positive_float, check_positive_int
 from ..errors import BasisError
-from .base import BasisSet
+from .base import BasisSet, cached_operator
 from .block_pulse import BlockPulseBasis
 from .grid import TimeGrid
 
@@ -47,12 +47,12 @@ class PiecewiseConstantBasis(BasisSet):
     and the scaled Haar constructions do.
     """
 
-    def __init__(self, t_end: float, m: int) -> None:
+    def __init__(self, t_end: float, m: int, *, projection: str = "average") -> None:
         t_end = check_positive_float(t_end, "t_end")
         m = check_positive_int(m, "m")
         if not is_power_of_two(m):
             raise BasisError(f"{type(self).__name__} requires m to be a power of two, got {m}")
-        self._bpf = BlockPulseBasis(TimeGrid.uniform(t_end, m))
+        self._bpf = BlockPulseBasis(TimeGrid.uniform(t_end, m), projection=projection)
         self._w = self._build_transform(m)
         if self._w.shape != (m, m):
             raise BasisError(
@@ -83,6 +83,21 @@ class PiecewiseConstantBasis(BasisSet):
         """The underlying block-pulse basis."""
         return self._bpf
 
+    @property
+    def projection(self) -> str:
+        """Input projection rule of the underlying block-pulse basis."""
+        return self._bpf.projection
+
+    def with_projection(self, projection: str) -> "PiecewiseConstantBasis":
+        """A copy of this basis using the given projection rule.
+
+        Returns ``self`` when the rule already matches; subclasses with
+        extra construction state override this to preserve it.
+        """
+        if projection == self.projection:
+            return self
+        return type(self)(self.t_end, self.size, projection=projection)
+
     # ------------------------------------------------------------------
     # function-space <-> coefficient-space
     # ------------------------------------------------------------------
@@ -98,6 +113,15 @@ class PiecewiseConstantBasis(BasisSet):
         coeffs = np.asarray(coeffs, dtype=float)
         return coeffs @ self._w  # f_B = W^T c, applied to trailing axis
 
+    def from_block_pulse_coefficients(self, coeffs) -> np.ndarray:
+        """Convert block-pulse coefficients to this basis (trailing axis).
+
+        The exact inverse of :meth:`to_block_pulse_coefficients`:
+        ``c = W^{-T} f_B = W f_B / m``.
+        """
+        coeffs = np.asarray(coeffs, dtype=float)
+        return coeffs @ self._w.T / self.size
+
     # ------------------------------------------------------------------
     # operational matrices (conjugation)
     # ------------------------------------------------------------------
@@ -105,16 +129,20 @@ class PiecewiseConstantBasis(BasisSet):
         # W M W^{-1} with W^{-1} = W^T / m
         return self._w @ bpf_matrix @ self._w.T / self.size
 
+    @cached_operator
     def integration_matrix(self) -> np.ndarray:
         return self._conjugate(self._bpf.integration_matrix())
 
+    @cached_operator
     def differentiation_matrix(self) -> np.ndarray:
         return self._conjugate(self._bpf.differentiation_matrix())
 
+    @cached_operator
     def fractional_differentiation_matrix(self, alpha: float) -> np.ndarray:
         alpha = check_fractional_order(alpha, allow_zero=True)
         return self._conjugate(self._bpf.fractional_differentiation_matrix(alpha))
 
+    @cached_operator
     def fractional_integration_matrix(self, alpha: float) -> np.ndarray:
         alpha = check_fractional_order(alpha, allow_zero=True)
         return self._conjugate(self._bpf.fractional_integration_matrix(alpha))

@@ -74,11 +74,21 @@ class WalshBasis(PiecewiseConstantBasis):
            [ 1, -1,  1, -1]])
     """
 
-    def __init__(self, t_end: float, m: int, *, ordering: str = "sequency") -> None:
+    def __init__(
+        self, t_end: float, m: int, *, ordering: str = "sequency", projection: str = "average"
+    ) -> None:
         if ordering not in ("sequency", "hadamard"):
             raise BasisError(f"ordering must be 'sequency' or 'hadamard', got {ordering!r}")
         self._ordering = ordering
-        super().__init__(t_end, m)
+        super().__init__(t_end, m, projection=projection)
+
+    def with_projection(self, projection: str) -> "WalshBasis":
+        """A copy with the given projection rule, preserving the ordering."""
+        if projection == self.projection:
+            return self
+        return WalshBasis(
+            self.t_end, self.size, ordering=self._ordering, projection=projection
+        )
 
     def _build_transform(self, m: int) -> np.ndarray:
         h = hadamard_matrix(m)

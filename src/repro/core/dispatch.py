@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import difflib
 
+from ..basis.base import BasisSet
+from ..engine.bundle import validate_basis_name
 from ..errors import SolverError
 from .opm_solver import simulate_opm
 from .opm_adaptive import simulate_opm_adaptive
@@ -43,7 +45,20 @@ SIMULATION_METHODS = (
 _FIRST_ORDER_ONLY = ("backward-euler", "trapezoidal", "gear2", "expm")
 
 
-def simulate(system, u, t_end: float, steps: int | None = None, *, method: str = "opm", **kwargs):
+#: Methods that accept a ``basis=`` argument (the basis-generic engine).
+_BASIS_GENERIC = ("opm", "opm-windowed")
+
+
+def simulate(
+    system,
+    u,
+    t_end: float,
+    steps: int | None = None,
+    *,
+    method: str = "opm",
+    basis=None,
+    **kwargs,
+):
     """Simulate ``system`` driven by ``u`` over ``[0, t_end)``.
 
     Parameters
@@ -58,11 +73,17 @@ def simulate(system, u, t_end: float, steps: int | None = None, *, method: str =
     t_end:
         Horizon.
     steps:
-        Resolution: block pulses for OPM methods, time steps for the
+        Resolution: basis terms for OPM methods, time steps for the
         one-step schemes, sampling points for the FFT method.  Not used
         by ``'opm-adaptive'`` (pass ``rtol``/``atol`` instead).
     method:
         One of :data:`SIMULATION_METHODS`.
+    basis:
+        Basis family for the basis-generic OPM methods (``'opm'`` and
+        ``'opm-windowed'``): ``None`` (block pulse), a name from
+        :func:`repro.engine.bundle.basis_names`, or a
+        :class:`~repro.basis.base.BasisSet` instance.  Unknown names
+        raise with a typo suggestion and the list of valid families.
     **kwargs:
         Forwarded to the underlying solver.
 
@@ -79,6 +100,14 @@ def simulate(system, u, t_end: float, steps: int | None = None, *, method: str =
         raise SolverError(
             f"unknown method {method!r}{hint}; choose from {SIMULATION_METHODS}"
         )
+    if basis is not None:
+        if method not in _BASIS_GENERIC:
+            raise SolverError(
+                f"method {method!r} does not take a basis; only "
+                f"{_BASIS_GENERIC} are basis-generic"
+            )
+        if not isinstance(basis, BasisSet):
+            basis = validate_basis_name(basis)  # raises with suggestions
     if method in _FIRST_ORDER_ONLY:
         alpha = getattr(system, "alpha", 1.0)
         if alpha != 1.0:
@@ -92,9 +121,9 @@ def simulate(system, u, t_end: float, steps: int | None = None, *, method: str =
     if steps is None:
         raise SolverError(f"method {method!r} requires steps")
     if method == "opm":
-        return simulate_opm(system, u, (t_end, steps), **kwargs)
+        return simulate_opm(system, u, (t_end, steps), basis=basis, **kwargs)
     if method == "opm-windowed":
-        return _simulate_windowed(system, u, t_end, steps, **kwargs)
+        return _simulate_windowed(system, u, t_end, steps, basis=basis, **kwargs)
     if method == "opm-kron":
         return simulate_opm_kron(system, u, (t_end, steps), **kwargs)
     if method in ("backward-euler", "trapezoidal", "gear2"):
@@ -116,14 +145,24 @@ def simulate(system, u, t_end: float, steps: int | None = None, *, method: str =
 
 
 def _simulate_windowed(
-    system, u, t_end: float, steps: int, *, windows: int = 1, events=(), **kwargs
+    system,
+    u,
+    t_end: float,
+    steps: int,
+    *,
+    windows: int = 1,
+    events=(),
+    basis=None,
+    **kwargs,
 ):
     """One-shot windowed marching (``method='opm-windowed'``).
 
-    ``steps`` is the *total* number of block pulses over ``[0, t_end]``;
+    ``steps`` is the *total* number of basis terms over ``[0, t_end]``;
     it must divide evenly into ``windows`` windows.  Repeated-march
     workloads should hold a :class:`~repro.engine.session.Simulator`
-    bound to one window grid and call :meth:`march` directly.
+    bound to one window grid and call :meth:`march` directly.  With a
+    spectral ``basis`` this is hybrid-function marching: ``steps /
+    windows`` spectral coefficients per window.
     """
     from ..engine import Simulator
 
@@ -133,7 +172,7 @@ def _simulate_windowed(
     if steps % windows:
         raise SolverError(
             f"steps={steps} must be divisible by windows={windows} "
-            "(every window carries the same number of block pulses)"
+            "(every window carries the same number of basis terms)"
         )
-    sim = Simulator(system, (t_end / windows, steps // windows), **kwargs)
+    sim = Simulator(system, (t_end / windows, steps // windows), basis=basis, **kwargs)
     return sim.march(u, t_end, events=events)

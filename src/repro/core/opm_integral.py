@@ -18,9 +18,16 @@ where ``c_1`` is the coefficient vector of the constant function 1.
 The unknown ``Z`` solves a Sylvester-type equation that is
 
 * triangular for block pulse / Laguerre (solved column by column with
-  a cached pencil factorisation of ``E - F_jj A``), and
-* dense-small for polynomial spectral bases (solved via the Kronecker
-  form; spectral ``m`` is small by construction).
+  a cached pencil factorisation of ``E - F_jj A``),
+* dense-small for polynomial spectral bases, in which case this
+  function delegates to the engine's
+  :class:`~repro.engine.session.Simulator` spectral plan -- the same
+  Kronecker integral-form solve, with sparse support and a cached
+  factorisation (one implementation of that math, not two), and
+* dense-small for Walsh/Haar (conjugated ``F``), solved here in
+  Kronecker form on purpose: the engine's pwconst plan is the
+  *differential* formulation, and this function is the integral-form
+  ablation axis.
 
 This gives the paper's "other basis functions" a working solver and an
 ablation axis: Tustin-inverse vs Riemann-Liouville integration matrices
@@ -35,6 +42,7 @@ import numpy as np
 
 from ..basis.base import BasisSet
 from ..basis.block_pulse import BlockPulseBasis
+from ..basis.pwconst import PiecewiseConstantBasis
 from ..errors import SolverError
 from .column_solver import PencilCache
 from .lti import DescriptorSystem
@@ -108,6 +116,19 @@ def simulate_opm_integral(
     if not isinstance(basis, BasisSet):
         raise TypeError(f"basis must be a BasisSet, got {type(basis).__name__}")
 
+    start = time.perf_counter()
+    F = _integration_matrix(basis, system.alpha, construction)
+
+    if not _is_upper_triangular(F) and not isinstance(basis, PiecewiseConstantBasis):
+        # polynomial spectral basis: one implementation of the Kronecker
+        # integral-form math lives in the engine's spectral plan
+        from ..engine.session import Simulator
+
+        result = Simulator(system, basis).run(u)
+        result.wall_time = time.perf_counter() - start
+        result.info["method"] = "opm-integral[spectral]"
+        return result
+
     m = basis.size
     n = system.n_states
     U = project_input(u, basis, system.n_inputs)
@@ -118,9 +139,6 @@ def simulate_opm_integral(
     offset = system.shifted_input_offset()
     if offset is not None:
         R = R + np.outer(offset, ones_coeffs)
-
-    start = time.perf_counter()
-    F = _integration_matrix(basis, system.alpha, construction)
 
     if _is_upper_triangular(F):
         # Column sweep: (E - F_jj A) z_j = r_j + A sum_{i<j} F_ij z_i.
@@ -137,6 +155,10 @@ def simulate_opm_integral(
         factorisations = cache.factorisations
         method = f"opm-integral[{construction}]"
     else:
+        # Walsh/Haar: the conjugated F is dense, so solve the (small)
+        # Kronecker form directly -- this IS the integral-form ablation
+        # in the transformed basis, deliberately not delegated to the
+        # engine's (differential-form) pwconst plan
         if n * m > MAX_DENSE_SIZE:
             raise SolverError(
                 f"dense integral-form system of size {n * m} exceeds "

@@ -34,6 +34,7 @@ import time
 
 import numpy as np
 
+from ..basis.base import BasisSet
 from ..basis.pwconst import PiecewiseConstantBasis
 from ..engine.inputs import project_input
 from ..engine.session import InputLike, Simulator, resolve_grid
@@ -57,12 +58,13 @@ def simulate_opm(
     u: InputLike,
     grid,
     *,
-    projection: str = "average",
+    basis=None,
+    projection: str | None = None,
     adaptive_method: str = "auto",
     history: str = "direct",
     backend: str = "auto",
 ) -> SimulationResult:
-    """Simulate a system with the OPM algorithm on a block-pulse basis.
+    """Simulate a system with the OPM algorithm (block-pulse by default).
 
     Parameters
     ----------
@@ -74,12 +76,20 @@ def simulate_opm(
     u:
         Input specification; see :func:`repro.engine.inputs.project_input`.
     grid:
-        :class:`TimeGrid` or ``(t_end, m)`` tuple.  Uniform grids use
+        :class:`TimeGrid`, ``(t_end, m)`` tuple, or a ready
+        :class:`~repro.basis.base.BasisSet` instance.  Uniform grids use
         the Toeplitz fast path; adaptive grids the general triangular
         sweep (fractional adaptive grids additionally require pairwise
         distinct steps for the eigendecomposition route, paper eq. (25)).
+    basis:
+        Basis family to solve in -- ``None`` (block pulse), a name from
+        :func:`repro.engine.bundle.basis_names` (``'chebyshev'``,
+        ``'legendre'``, ``'haar'``, ...), or a
+        :class:`~repro.basis.base.BasisSet` instance.  See
+        :class:`~repro.engine.session.Simulator`.
     projection:
-        Input projection rule, ``'average'`` (eq. (2)) or ``'midpoint'``.
+        Input projection rule, ``'average'`` (eq. (2)) or
+        ``'midpoint'``; ``None`` keeps the basis' own rule.
     adaptive_method:
         Construction of ``D~^alpha`` on adaptive grids: ``'auto'``,
         ``'eig'``, ``'schur'`` (see
@@ -113,18 +123,20 @@ def simulate_opm(
     >>> float(np.abs(res.states([3.0])[0, 0] - (1 - np.exp(-3.0)))) < 1e-3
     True
     """
-    grid = resolve_grid(grid)
-    if isinstance(system, MultiTermSystem):
+    if not isinstance(grid, BasisSet):
+        grid = resolve_grid(grid)
+    if isinstance(system, MultiTermSystem) and basis is None and not isinstance(grid, BasisSet):
         from .highorder import simulate_multiterm
 
         return simulate_multiterm(
-            system, u, grid, projection=projection, backend=backend
+            system, u, grid, projection=projection or "average", backend=backend
         )
 
     start = time.perf_counter()
     sim = Simulator(
         system,
         grid,
+        basis=basis,
         projection=projection,
         adaptive_method=adaptive_method,
         history=history,
@@ -141,7 +153,7 @@ def simulate_opm_transformed(
     u: InputLike,
     basis: PiecewiseConstantBasis,
     *,
-    projection: str = "average",
+    projection: str | None = None,
 ) -> SimulationResult:
     """Run OPM in a Walsh or Haar basis via the exact change of basis.
 
@@ -156,22 +168,15 @@ def simulate_opm_transformed(
     Returns a result whose ``basis`` is the given Walsh/Haar family, so
     truncating its coefficient spectrum exposes the low-pass behaviour
     the paper describes for Walsh functions.
+
+    Since the basis-generic engine refactor this is a pure alias for
+    ``simulate_opm(system, u, basis)``: the session itself performs the
+    block-pulse solve and the exact change of basis (no more reaching
+    through ``basis.block_pulse.grid``).
     """
     if not isinstance(basis, PiecewiseConstantBasis):
         raise TypeError(
             "basis must be a Walsh/Haar PiecewiseConstantBasis, "
             f"got {type(basis).__name__}"
         )
-    bpf_result = simulate_opm(
-        system, u, basis.block_pulse.grid, projection=projection
-    )
-    w = basis.transform
-    m = basis.size
-    # coefficients transform contravariantly: c_psi = W^{-T} c_B = W c_B / m
-    X = bpf_result.coefficients @ w.T / m
-    U = bpf_result.input_coefficients @ w.T / m
-    info = dict(bpf_result.info)
-    info["method"] = f"opm-transformed[{basis.name}]"
-    return SimulationResult(
-        basis, X, system, U, wall_time=bpf_result.wall_time, info=info
-    )
+    return simulate_opm(system, u, basis, projection=projection)

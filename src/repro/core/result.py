@@ -13,6 +13,7 @@ import numpy as np
 
 from ..basis.base import BasisSet
 from ..basis.block_pulse import BlockPulseBasis
+from ..basis.pwconst import PiecewiseConstantBasis
 
 __all__ = [
     "SimulationResult",
@@ -20,6 +21,29 @@ __all__ = [
     "MarchingResult",
     "terminal_state_estimate",
 ]
+
+
+def _natural_sample_times(basis, grid, n_points: int | None) -> np.ndarray:
+    """Shared natural-sampling rule of result containers.
+
+    Grid midpoints when a block-pulse grid is available and no count was
+    requested (Walsh/Haar results expose their underlying block-pulse
+    grid), otherwise ``n_points`` (default 256) equispaced midpoints on
+    ``[0, t_end)``.
+    """
+    if grid is None and isinstance(basis, PiecewiseConstantBasis):
+        grid = basis.block_pulse.grid
+    if n_points is None and grid is not None:
+        return grid.midpoints
+    n_points = 256 if n_points is None else int(n_points)
+    t_end = basis.t_end
+    if not np.isfinite(t_end):
+        raise ValueError(
+            "a semi-infinite basis has no natural sample times; evaluate "
+            "states()/outputs() at explicit times instead"
+        )
+    step = t_end / n_points
+    return (np.arange(n_points) + 0.5) * step
 
 
 def terminal_state_estimate(coefficients: np.ndarray) -> np.ndarray:
@@ -209,9 +233,14 @@ class SimulationResult:
         midpoint values to second order; interpolating them linearly
         gives a continuous second-order reconstruction, removing the
         O(h) half-cell offset of raw piecewise-constant sampling.  Used
-        for cross-method waveform comparisons.
+        for cross-method waveform comparisons.  Walsh/Haar results are
+        exact transforms of block pulses, so they convert and take the
+        same second-order path.
         """
         grid = self.grid
+        if grid is None and isinstance(self.basis, PiecewiseConstantBasis):
+            grid = self.basis.block_pulse.grid
+            coeffs = self.basis.to_block_pulse_coefficients(coeffs)
         if grid is None:
             return self.basis.synthesize(coeffs, np.atleast_1d(times))
         times = np.atleast_1d(np.asarray(times, dtype=float))
@@ -245,15 +274,7 @@ class SimulationResult:
         "roughly, f_i = f(ih)").  Otherwise returns ``n_points`` equally
         spaced times on ``[0, t_end)``.
         """
-        grid = self.grid
-        if n_points is None and grid is not None:
-            return grid.midpoints
-        n_points = 256 if n_points is None else int(n_points)
-        t_end = self.basis.t_end
-        if not np.isfinite(t_end):
-            raise ValueError("sample_times requires a finite-horizon basis or n_points")
-        step = t_end / n_points
-        return (np.arange(n_points) + 0.5) * step
+        return _natural_sample_times(self.basis, self.grid, n_points)
 
     def __repr__(self) -> str:
         return (
@@ -352,10 +373,45 @@ class MarchingResult:
         return self.window_length * np.arange(self.n_windows)
 
     @property
+    def _window_grid(self):
+        """The shared per-window :class:`TimeGrid`, if the windows have one.
+
+        Block-pulse windows carry it directly; Walsh/Haar windows are
+        exact transforms of block pulses and expose the underlying
+        grid.  ``None`` for spectral windows.
+        """
+        first = self.windows[0]
+        if first.grid is not None:
+            return first.grid
+        if isinstance(first.basis, PiecewiseConstantBasis):
+            return first.basis.block_pulse.grid
+        return None
+
+    @property
     def midpoints(self) -> np.ndarray:
-        """Global interval midpoints of the stitched grid."""
-        local = self.windows[0].grid.midpoints
+        """Global sample times of the stitched trajectory.
+
+        Interval midpoints of the stitched grid for (possibly
+        transformed) block-pulse windows; the windows' natural sample
+        times (equispaced midpoints) for spectral bases.
+        """
+        grid = self._window_grid
+        local = grid.midpoints if grid is not None else self.windows[0].sample_times()
         return (self.offsets[:, None] + local[None, :]).reshape(-1)
+
+    def _stitched_block_pulse(self, coeffs: np.ndarray) -> np.ndarray:
+        """Stitched coefficients converted to block-pulse coordinates."""
+        basis = self.windows[0].basis
+        if not isinstance(basis, PiecewiseConstantBasis):
+            return coeffs
+        m = self.window_m
+        return np.concatenate(
+            [
+                basis.to_block_pulse_coefficients(coeffs[:, k * m : (k + 1) * m])
+                for k in range(self.n_windows)
+            ],
+            axis=1,
+        )
 
     # ------------------------------------------------------------------
     # stitched coefficients
@@ -443,12 +499,26 @@ class MarchingResult:
         return out
 
     def states_smooth(self, times) -> np.ndarray:
-        """Second-order (midpoint-linear) state reconstruction at global times."""
-        return self._interpolate_global(self.coefficients, times)
+        """Smooth state reconstruction at global times.
+
+        Midpoint-linear (second-order) interpolation over the stitched
+        grid for block-pulse windows (Walsh/Haar windows convert to
+        block-pulse coordinates and take the same path); exact
+        per-window basis synthesis for spectral window bases.
+        """
+        if self._window_grid is None:
+            return self._sample("states", times)
+        return self._interpolate_global(
+            self._stitched_block_pulse(self.coefficients), times
+        )
 
     def outputs_smooth(self, times) -> np.ndarray:
-        """Second-order (midpoint-linear) output reconstruction at global times."""
-        return self._interpolate_global(self.output_coefficients, times)
+        """Smooth output reconstruction at global times (see :meth:`states_smooth`)."""
+        if self._window_grid is None:
+            return self._sample("outputs", times)
+        return self._interpolate_global(
+            self._stitched_block_pulse(self.output_coefficients), times
+        )
 
     def sample_times(self, n_points: int | None = None) -> np.ndarray:
         """Global midpoints (default) or ``n_points`` equispaced times."""
@@ -459,12 +529,21 @@ class MarchingResult:
         return (np.arange(n_points) + 0.5) * step
 
     def terminal_state(self) -> np.ndarray:
-        """Second-order estimate of ``x(t_end)`` from the last window.
+        """Estimate of ``x(t_end)`` from the last window.
 
-        Useful for chaining marches or seeding a follow-on simulation;
-        see :func:`terminal_state_estimate`.
+        Second-order extrapolation of the block-pulse averages (see
+        :func:`terminal_state_estimate`); exact basis synthesis at the
+        window edge for smooth window bases.  Useful for chaining
+        marches or seeding a follow-on simulation.
         """
-        return terminal_state_estimate(self.windows[-1].coefficients)
+        last = self.windows[-1]
+        if isinstance(last.basis, PiecewiseConstantBasis):
+            return terminal_state_estimate(
+                last.basis.to_block_pulse_coefficients(last.coefficients)
+            )
+        if last.grid is None:
+            return last.states([last.basis.t_end])[:, 0]
+        return terminal_state_estimate(last.coefficients)
 
     def __repr__(self) -> str:
         return (

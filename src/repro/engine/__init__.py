@@ -12,6 +12,10 @@ shares, so that repeated-solve workloads amortise it across calls:
   with a process-wide coefficient memo;
 * :mod:`~repro.engine.inputs` -- input-dialect normalisation and basis
   projection;
+* :mod:`~repro.engine.bundle` -- the :class:`OperatorBundle` layer that
+  makes every session basis-generic: family registry
+  (:func:`basis_names` / :func:`resolve_basis`), cached operational
+  matrices, and the hybrid-marching history operators;
 * :mod:`~repro.engine.session` -- the :class:`Simulator` session object
   (bind system + grid once, ``run`` / ``sweep`` / ``march`` many
   times);
@@ -34,6 +38,7 @@ from .backends import (
     pencil_fingerprint,
     select_backend,
 )
+from .bundle import BASIS_FAMILIES, OperatorBundle, basis_names, resolve_basis
 from .inputs import normalise_input_callable, project_input
 from .marching import Event
 from .session import Simulator, resolve_grid
@@ -43,6 +48,10 @@ __all__ = [
     "Simulator",
     "SweepResult",
     "Event",
+    "OperatorBundle",
+    "BASIS_FAMILIES",
+    "basis_names",
+    "resolve_basis",
     "DenseBackend",
     "SparseBackend",
     "PencilBank",

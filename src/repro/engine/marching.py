@@ -30,6 +30,21 @@ waveform, scale it, or re-stamp the MNA pencil (switch closures, load
 steps).  Re-stamped pencils are cached per configuration in the
 session's :class:`~repro.engine.backends.PencilBank`, so toggling back
 to a previous configuration re-factorises nothing.
+
+Sessions bound to non-block-pulse bases march too:
+
+* **Walsh/Haar** sessions march in block-pulse coordinates (the exact
+  change of basis) and transform each window at the boundary -- same
+  guarantees as above.
+* **Spectral** sessions (Chebyshev/Legendre) perform *hybrid-function
+  marching* in the sense of Damarla & Kundu's orthogonal hybrid
+  functions: each window is a fresh spectral expansion on the shared
+  cached Kronecker operator; classical systems carry the terminal
+  state (exact polynomial evaluation at the window edge), fractional
+  systems carry the Riemann-Liouville memory of every previous window
+  through the cached lag operators of
+  :meth:`~repro.engine.bundle.OperatorBundle.history_matrix` -- a few
+  GEMMs per window instead of a growing global solve.
 """
 
 from __future__ import annotations
@@ -175,7 +190,7 @@ class _WindowInputs:
         self._basis = basis
         self._p = n_inputs
         self._m = basis.size
-        self._window = basis.grid.t_end
+        self._window = basis.t_end
         self._scale = 1.0
         self._stream: Iterator | None = None
         self._callable: Callable | None = None
@@ -249,21 +264,97 @@ class _WindowInputs:
         return self._scale * U if self._scale != 1.0 else U
 
 
+def _bucket_events(events, window: float, t_end: float, n_windows: int) -> dict:
+    """Group events by window index, validating boundary alignment."""
+    by_window: dict[int, list[Event]] = {}
+    for event in sorted(events, key=lambda e: e.t):
+        k = _boundary_index(event.t, window, t_end, "event")
+        if not 0 < k < n_windows:
+            raise SolverError(
+                f"event t={event.t:g} must fall strictly inside (0, {t_end:g})"
+            )
+        by_window.setdefault(k, []).append(event)
+    return by_window
+
+
+def _apply_window_events(
+    events,
+    k: int,
+    window: float,
+    system,
+    bank,
+    inputs,
+    applied_events: list,
+    make_backend,
+    on_restamp=None,
+) -> tuple:
+    """Apply one window's events (shared by both marching flavours).
+
+    ``make_backend(new_system)`` builds the restamp backend (plain
+    pencil for the triangular march, Kronecker operator for the
+    spectral one); ``on_restamp(event, old_system, new_system)`` is an
+    optional hook for flavour-specific carried-state adjustments.
+    Returns ``(active system, number of restamps applied)``.
+    """
+    restamps = 0
+    for event in events:
+        if event.changes_pencil:
+            new_system = event.resolve_system(system)
+            before = bank.stamps
+            bank.restamp(make_backend(new_system))
+            restamps += 1
+            if on_restamp is not None:
+                on_restamp(event, system, new_system)
+            system = new_system
+            applied_events.append(
+                {
+                    "t": k * window,
+                    "label": event.label,
+                    "restamp": True,
+                    "new_stamp": bank.stamps > before,
+                }
+            )
+        if event.u is not None:
+            inputs.set_input(event.u)
+        if event.scale is not None:
+            inputs.apply_scale(event.scale)
+        if not event.changes_pencil:
+            applied_events.append(
+                {"t": k * window, "label": event.label, "restamp": False}
+            )
+    return system, restamps
+
+
 def march(sim, u, t_end: float, *, events=()) -> MarchingResult:
     """Drive a :class:`~repro.engine.session.Simulator` session over
-    ``[0, t_end]`` as consecutive windows of the session's grid.
+    ``[0, t_end]`` as consecutive windows of the session's basis span.
 
     This is the implementation behind ``Simulator.march``; see there
-    for the user-facing contract.
+    for the user-facing contract.  Dispatches on the session's plan:
+    triangular (block-pulse / Walsh / Haar) sessions use the exact
+    state-carrying march, spectral sessions the hybrid-function march.
     """
     plan = sim._plan
-    basis = sim._basis
-    grid = basis.grid
     if not hasattr(plan, "bank") or not isinstance(plan.system, DescriptorSystem):
         raise SolverError(
             "march supports (fractional) descriptor systems only; convert "
             "multi-term models with to_first_order() first"
         )
+    if not sim._bundle.supports_march:
+        raise SolverError(
+            f"the {sim._basis.name} basis spans an infinite horizon and "
+            "cannot be windowed; use run() or a finite-horizon basis"
+        )
+    if plan.kind == "spectral":
+        return _march_spectral(sim, u, t_end, events)
+    return _march_triangular(sim, u, t_end, events)
+
+
+def _march_triangular(sim, u, t_end: float, events=()) -> MarchingResult:
+    """State-carrying march on the block-pulse (or transformed) plan."""
+    plan = sim._plan
+    basis = sim._solve_basis
+    grid = basis.grid
     if plan.coeffs is None:
         raise SolverError(
             "march requires a uniform window grid (the adaptive operator is "
@@ -280,15 +371,7 @@ def march(sim, u, t_end: float, *, events=()) -> MarchingResult:
             f"t_end={t_end:g} is shorter than the session window {window:g}"
         )
 
-    # events -> {window index: [events]}
-    by_window: dict[int, list[Event]] = {}
-    for event in sorted(events, key=lambda e: e.t):
-        k = _boundary_index(event.t, window, t_end, "event")
-        if not 0 < k < n_windows:
-            raise SolverError(
-                f"event t={event.t:g} must fall strictly inside (0, {t_end:g})"
-            )
-        by_window.setdefault(k, []).append(event)
+    by_window = _bucket_events(events, window, t_end, n_windows)
 
     system = plan.system
     bank = plan.bank
@@ -299,7 +382,10 @@ def march(sim, u, t_end: float, *, events=()) -> MarchingResult:
     sigma = float(coeffs[0])
     n = system.n_states
 
-    inputs = _WindowInputs(u, basis, system.n_inputs, n_windows)
+    # inputs are interpreted in the SESSION basis (exactly like run());
+    # transformed sessions encode each window into block-pulse
+    # coordinates right after projection
+    inputs = _WindowInputs(u, sim._basis, system.n_inputs, n_windows)
 
     start = time.perf_counter()
     applied_events: list[dict] = []
@@ -328,51 +414,41 @@ def march(sim, u, t_end: float, *, events=()) -> MarchingResult:
     prev_X: np.ndarray | None = None
     base_stamp = bank.stamp  # restore after eventful excursions
 
+    def on_restamp(event, old_system, new_system):
+        # carried-state adjustments specific to the triangular march
+        nonlocal w, x0_offset
+        if first_order and pencil_fingerprint(new_system.E) != pencil_fingerprint(
+            old_system.E
+        ):
+            # w = E x is discontinuous across an E change; rebuild it
+            # from the O(h^2) terminal-state estimate of the previous
+            # window (exactness is only guaranteed for events that
+            # keep E)
+            x_est = (
+                terminal_state_estimate(prev_X)
+                if prev_X is not None
+                else np.zeros(n)
+            )
+            w = np.asarray(bank.apply_E(x_est)).reshape(-1)
+        if not first_order and x0_offset is not None:
+            x0_offset = np.asarray(new_system.A @ x0).reshape(-1)
+
     try:
         for k in range(n_windows):
-            for event in by_window.get(k, ()):
-                if event.changes_pencil:
-                    new_system = event.resolve_system(system)
-                    e_changed = pencil_fingerprint(new_system.E) != pencil_fingerprint(
-                        system.E
-                    )
-                    before = bank.stamps
-                    bank.restamp(
-                        select_backend(new_system.E, new_system.A, mode=backend_mode)
-                    )
-                    restamps += 1
-                    if first_order and e_changed:
-                        # w = E x is discontinuous across an E change; rebuild
-                        # it from the O(h^2) terminal-state estimate of the
-                        # previous window (exactness is only guaranteed for
-                        # events that keep E)
-                        x_est = (
-                            terminal_state_estimate(prev_X)
-                            if prev_X is not None
-                            else np.zeros(n)
-                        )
-                        w = np.asarray(bank.apply_E(x_est)).reshape(-1)
-                    if not first_order and x0_offset is not None:
-                        x0_offset = np.asarray(new_system.A @ x0).reshape(-1)
-                    system = new_system
-                    applied_events.append(
-                        {
-                            "t": k * window,
-                            "label": event.label,
-                            "restamp": True,
-                            "new_stamp": bank.stamps > before,
-                        }
-                    )
-                if event.u is not None:
-                    inputs.set_input(event.u)
-                if event.scale is not None:
-                    inputs.apply_scale(event.scale)
-                if not event.changes_pencil:
-                    applied_events.append(
-                        {"t": k * window, "label": event.label, "restamp": False}
-                    )
+            system, applied = _apply_window_events(
+                by_window.get(k, ()),
+                k,
+                window,
+                system,
+                bank,
+                inputs,
+                applied_events,
+                lambda s: select_backend(s.E, s.A, mode=backend_mode),
+                on_restamp,
+            )
+            restamps += applied
 
-            U = inputs.window(k)
+            U = sim._encode_inputs(inputs.window(k))
             R = system.B @ U
             if first_order:
                 if np.any(w):
@@ -403,10 +479,157 @@ def march(sim, u, t_end: float, *, events=()) -> MarchingResult:
         # plan.system, whose pencil is the base stamp
         bank.use(base_stamp)
 
+    if sim._transform is not None:
+        windows = [_transformed_window(sim, res) for res in windows]
+
     wall = time.perf_counter() - start
     info = plan.info()
     info.update(
         method="opm-windowed",
+        basis=sim._basis.name,
+        windows=n_windows,
+        window_m=m,
+        window_length=window,
+        events=applied_events,
+        restamps=restamps,
+        stamps=bank.stamps,
+    )
+    sim._runs += 1
+    return MarchingResult(windows, window, wall_time=wall, info=info)
+
+
+def _transformed_window(sim, res: SimulationResult) -> SimulationResult:
+    """Re-express a block-pulse window in the session's Walsh/Haar basis."""
+    basis = sim._basis
+    info = dict(res.info)
+    info["method"] = f"opm-windowed-transformed[{basis.name}]"
+    return SimulationResult(
+        basis,
+        basis.from_block_pulse_coefficients(res.coefficients),
+        res.system,
+        basis.from_block_pulse_coefficients(res.input_coefficients),
+        wall_time=res.wall_time,
+        info=info,
+    )
+
+
+def _march_spectral(sim, u, t_end: float, events=()) -> MarchingResult:
+    """Hybrid-function marching on a spectral session.
+
+    Every window is a fresh spectral expansion solved on the session's
+    cached Kronecker operator.  Classical systems carry the terminal
+    state across boundaries (exact polynomial evaluation at the window
+    edge); fractional systems carry the Riemann-Liouville memory of all
+    previous windows through the cached lag operators
+    ``H_l = bundle.history_matrix(alpha, l)``:
+
+    .. math::
+
+        E Z_k - A Z_k F = R_k F + \\sum_{l \\ge 1}
+            (A Z_{k-l} + R_{k-l}) H_l,
+
+    which is the operational-matrix form of splitting ``I^alpha`` at
+    the window boundaries (the Damarla-Kundu hybrid construction).
+    Unlike the block-pulse march, windows are *independent truncations*
+    -- accuracy is spectral in the window order ``m`` rather than
+    bit-equal to a giant single solve.
+    """
+    plan = sim._plan
+    bundle = plan.bundle
+    basis = bundle.basis
+    window = basis.t_end
+    m = basis.size
+    t_end = float(t_end)
+    if t_end <= 0.0:
+        raise SolverError(f"t_end must be positive, got {t_end}")
+    n_windows = _boundary_index(t_end, window, t_end, "t_end")
+    if n_windows < 1:
+        raise SolverError(
+            f"t_end={t_end:g} is shorter than the session window {window:g}"
+        )
+    by_window = _bucket_events(events, window, t_end, n_windows)
+
+    system = plan.system
+    bank = plan.bank
+    alpha = system.alpha
+    first_order = alpha == 1.0
+    n = system.n_states
+    ones = bundle.ones_coefficients()
+    F = plan.F
+
+    if not first_order:
+        for evts in by_window.values():
+            if any(e.changes_pencil for e in evts):
+                raise SolverError(
+                    "fractional spectral marches support input events only: "
+                    "the memory operators assume one pencil over the whole "
+                    "history (use a block-pulse session for switching "
+                    "fractional circuits)"
+                )
+        history_sources: list[np.ndarray] = []  # A Z_j + R_j per window
+        x0 = system.x0
+        offset = system.shifted_input_offset()  # A x0, or None
+        offset_cols = None if offset is None else np.outer(offset, ones)
+        x0_cols = None if x0 is None else np.outer(x0, ones)
+    else:
+        terminal = bundle.terminal_vector()
+        w0 = np.zeros(n) if system.x0 is None else np.asarray(system.x0, float).copy()
+
+    inputs = _WindowInputs(u, basis, system.n_inputs, n_windows)
+
+    start = time.perf_counter()
+    applied_events: list[dict] = []
+    restamps = 0
+    windows: list[SimulationResult] = []
+    base_stamp = bank.stamp
+
+    try:
+        for k in range(n_windows):
+            system, applied = _apply_window_events(
+                by_window.get(k, ()),
+                k,
+                window,
+                system,
+                bank,
+                inputs,
+                applied_events,
+                plan.kron_backend,
+            )
+            restamps += applied
+
+            U = inputs.window(k)
+            R = system.B @ U
+            if first_order:
+                # window variable v = x - w0, forced by B u + A w0
+                if np.any(w0):
+                    R = R + np.outer(np.asarray(system.A @ w0).reshape(-1), ones)
+                V = plan.kron_solve(R @ F)
+                X = V + np.outer(w0, ones) if np.any(w0) else V
+                w0 = X @ terminal
+            else:
+                if offset_cols is not None:
+                    R = R + offset_cols
+                S = R @ F
+                for lag in range(1, k + 1):
+                    S = S + history_sources[k - lag] @ bundle.history_matrix(
+                        alpha, lag
+                    )
+                Z = plan.kron_solve(S)
+                history_sources.append(np.asarray(system.A @ Z) + R)
+                X = Z + x0_cols if x0_cols is not None else Z
+            info = plan.info()
+            info.update(window_index=k, t_offset=k * window)
+            windows.append(
+                SimulationResult(basis, X, system, U, wall_time=None, info=info)
+            )
+    finally:
+        bank.use(base_stamp)
+
+    wall = time.perf_counter() - start
+    info = plan.info()
+    info.update(
+        method=f"opm-spectral-windowed[{basis.name}]",
+        basis=basis.name,
         windows=n_windows,
         window_m=m,
         window_length=window,

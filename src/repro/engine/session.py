@@ -6,9 +6,12 @@ column.  A :class:`Simulator` session extends that reuse across *calls*
 -- it binds a system + grid + basis once and caches everything that
 does not depend on the input:
 
-* the block-pulse basis and grid bookkeeping,
+* the basis and its operational matrices (block pulse by default; any
+  family from :mod:`repro.basis` via ``basis=`` -- see
+  :mod:`repro.engine.bundle`),
 * the fractional differentiation coefficients (uniform grids) or the
-  full upper-triangular operator (adaptive grids),
+  full upper-triangular operator (adaptive grids), or -- for spectral
+  bases -- the Kronecker integral-form operator,
 * the backend choice (dense LAPACK vs ``scipy.sparse`` SuperLU, picked
   from system sparsity by
   :func:`~repro.engine.backends.select_backend`),
@@ -16,9 +19,10 @@ does not depend on the input:
   :class:`~repro.engine.backends.PencilBank`).
 
 ``sim.run(u)`` on a warm session therefore performs only the input
-projection and the triangular column sweep.  ``sim.sweep(inputs)``
-goes further and solves many inputs in one batched multi-RHS sweep --
-one ``lu_solve`` per column for *all* right-hand sides -- returning a
+projection and the triangular column sweep (or one cached Kronecker
+substitution for spectral bases).  ``sim.sweep(inputs)`` goes further
+and solves many inputs in one batched multi-RHS sweep -- one
+``lu_solve`` per column for *all* right-hand sides -- returning a
 :class:`~repro.engine.sweep.SweepResult`.
 
 The one-shot solvers (:func:`repro.core.simulate_opm`,
@@ -35,19 +39,24 @@ from typing import Callable, Iterable, Union
 import numpy as np
 import scipy.sparse as sp
 
-from ..basis.block_pulse import BlockPulseBasis
+from ..basis.base import BasisSet
 from ..basis.grid import TimeGrid
 from ..core.lti import DescriptorSystem, MultiTermSystem
 from ..core.result import MarchingResult, SimulationResult
 from ..errors import SolverError
 from . import assembly, kernels, marching
 from .backends import PencilBank, select_backend
+from .bundle import OperatorBundle, resolve_basis
 from .inputs import project_input
 from .sweep import SweepResult
 
 __all__ = ["Simulator", "resolve_grid", "InputLike"]
 
 InputLike = Union[Callable, np.ndarray, list, tuple, float, int]
+
+#: Refuse dense Kronecker operators (spectral plans) larger than this
+#: (rows); the sparse backend has no such limit.
+MAX_DENSE_KRON = 20_000
 
 
 def resolve_grid(grid) -> TimeGrid:
@@ -62,13 +71,110 @@ def resolve_grid(grid) -> TimeGrid:
     )
 
 
+def _resolve_session_basis(grid, basis, projection: str | None) -> BasisSet:
+    """Resolve the (grid, basis) constructor arguments to one basis.
+
+    Accepted combinations:
+
+    * ``grid`` a :class:`TimeGrid` / ``(t_end, m)`` tuple and ``basis``
+      ``None`` or a family name -- the named family is built on the
+      grid (block pulse by default);
+    * ``grid`` a :class:`TimeGrid` / tuple and ``basis`` a ready
+      :class:`BasisSet` -- checked for compatibility;
+    * ``grid`` itself a :class:`BasisSet` (e.g. a
+      ``LaguerreBasis(a, m)``, whose horizon is not a grid).
+
+    An explicitly requested ``projection`` rule is honoured for
+    block-pulse-backed instances through ``with_projection``; ``None``
+    keeps the instance's own rule (``'average'`` for named families).
+    """
+    basis_obj = None
+    if isinstance(grid, BasisSet):
+        if basis is not None:
+            raise TypeError(
+                "pass the basis either positionally (in place of the grid) "
+                "or via basis=, not both"
+            )
+        basis_obj = grid
+    elif isinstance(basis, BasisSet):
+        if grid is not None:
+            g = resolve_grid(grid)
+            mismatch = basis.size != g.m or (
+                np.isfinite(basis.t_end)
+                and abs(basis.t_end - g.t_end) > 1e-9 * max(g.t_end, 1.0)
+            )
+            # a block-pulse basis owns its grid outright: every edge must
+            # agree, not just the span (an adaptive grid argument must
+            # not be silently replaced by the basis' uniform one)
+            if not mismatch and hasattr(basis, "grid"):
+                mismatch = basis.grid != g
+            elif not mismatch and not g.is_uniform:
+                raise SolverError(
+                    f"the {basis.name} basis cannot honour the adaptive "
+                    f"spacing of {g!r} (only its span and size are used); "
+                    "pass a uniform grid or omit the grid"
+                )
+            if mismatch:
+                raise SolverError(
+                    f"basis {basis!r} does not match the grid {g!r}; "
+                    "omit the grid when passing a basis instance"
+                )
+        basis_obj = basis
+    if basis_obj is not None:
+        if projection is not None and hasattr(basis_obj, "with_projection"):
+            basis_obj = basis_obj.with_projection(projection)
+        return basis_obj
+    if grid is None:
+        raise TypeError("a grid (or a BasisSet instance) is required")
+    g = resolve_grid(grid)
+    return resolve_basis(basis, g, projection=projection or "average")
+
+
+def _offset_columns(vector, ones: np.ndarray) -> np.ndarray | None:
+    """Per-column coefficients of the constant vector function ``vector``."""
+    if vector is None:
+        return None
+    return np.outer(np.asarray(vector, dtype=float).reshape(-1), ones)
+
+
+def _add_columns(X: np.ndarray, cols: np.ndarray | None) -> np.ndarray:
+    """Add constant-column coefficients to ``(n, m)`` or ``(n, m, k)``."""
+    if cols is None:
+        return X
+    if X.ndim == 2:
+        return X + cols
+    return X + cols[:, :, None]
+
+
+def _system_rhs(system, U: np.ndarray, offset_cols: np.ndarray | None) -> np.ndarray:
+    """``R = B U`` plus the constant zero-IC shift columns (if any).
+
+    ``U`` is ``(p, m)`` for one input or ``(k, p, m)`` batched; the
+    result is ``(n, m)`` or ``(n, m, k)`` accordingly.  Shared by every
+    descriptor-system plan.
+    """
+    B = system.B
+    if U.ndim == 2:
+        R = B @ U
+    else:
+        R = np.einsum("np,kpm->nmk", B, U)
+    return _add_columns(R, offset_cols)
+
+
 class _DescriptorPlan:
-    """Input-independent solve state for (fractional) descriptor systems."""
+    """Input-independent solve state for (fractional) descriptor systems.
+
+    Covers the triangular solver routes: block-pulse grids (Toeplitz on
+    uniform grids, general upper-triangular on adaptive grids) and
+    Laguerre functions (exact Tustin Toeplitz coefficients).
+    """
+
+    kind = "descriptor"
 
     def __init__(
         self,
         system: DescriptorSystem,
-        grid: TimeGrid,
+        bundle: OperatorBundle,
         adaptive_method: str,
         history: str,
         backend: str,
@@ -76,43 +182,40 @@ class _DescriptorPlan:
         if history not in ("direct", "fft"):
             raise SolverError(f"history must be 'direct' or 'fft', got {history!r}")
         self.system = system
+        self.bundle = bundle
         self.history = history
         alpha = system.alpha
-        if grid.is_uniform:
-            self.coeffs = assembly.toeplitz_coefficients(alpha, grid.m, grid.h)
-            self.D = None
-            self.first_order = alpha == 1.0
-            if self.first_order:
-                self.method = "opm-alternating"
-            else:
-                self.method = "opm-toeplitz" if history == "direct" else "opm-toeplitz-fft"
-        else:
+        grid = bundle.grid
+        if grid is not None and not grid.is_uniform:
             self.coeffs = None
             self.first_order = False
             self.D = assembly.adaptive_operator(
                 grid, alpha, adaptive_method=adaptive_method
             )
             self.method = "opm-general"
+        else:
+            self.coeffs = bundle.toeplitz_coefficients(alpha)
+            self.D = None
+            # the O(n)-per-column alternating recurrence is the
+            # block-pulse first-order coefficient pattern; Laguerre
+            # coefficients do not alternate
+            self.first_order = alpha == 1.0 and bundle.kind == "block-pulse"
+            if self.first_order:
+                self.method = "opm-alternating"
+            elif bundle.kind == "toeplitz":
+                self.method = "opm-toeplitz[laguerre]"
+            else:
+                self.method = "opm-toeplitz" if history == "direct" else "opm-toeplitz-fft"
         self.backend_mode = backend
         self.bank = PencilBank(select_backend(system.E, system.A, mode=backend))
+        ones = bundle.ones_coefficients()
         self._offset = system.shifted_input_offset()
+        self._offset_cols = _offset_columns(self._offset, ones)
+        self._x0_cols = _offset_columns(system.x0, ones)
 
     def right_hand_side(self, U: np.ndarray) -> np.ndarray:
-        """``R = B U`` plus the constant zero-IC shift ``A x0`` (if any).
-
-        ``U`` is ``(p, m)`` for one input or ``(k, p, m)`` batched; the
-        result is ``(n, m)`` or ``(n, m, k)`` accordingly.
-        """
-        B = self.system.B
-        if U.ndim == 2:
-            R = B @ U
-            if self._offset is not None:
-                R = R + self._offset[:, None]
-            return R
-        R = np.einsum("np,kpm->nmk", B, U)
-        if self._offset is not None:
-            R = R + self._offset[:, None, None]
-        return R
+        """``R = B U`` plus the constant zero-IC shift ``A x0`` (if any)."""
+        return _system_rhs(self.system, U, self._offset_cols)
 
     def solve(self, R: np.ndarray) -> np.ndarray:
         """Column sweep for one (``(n, m)``) or many (``(n, m, k)``) inputs."""
@@ -126,10 +229,7 @@ class _DescriptorPlan:
                 alternating_tail=self.first_order,
                 history=self.history,
             )
-        x0 = self.system.x0
-        if x0 is not None:
-            X = X + (x0[:, None] if X.ndim == 2 else x0[:, None, None])
-        return X
+        return _add_columns(X, self._x0_cols)
 
     def info(self) -> dict:
         """Solver metadata for result containers."""
@@ -144,13 +244,19 @@ class _DescriptorPlan:
 class _MultiTermPlan:
     """Input-independent solve state for multi-term systems."""
 
-    def __init__(self, system: MultiTermSystem, grid: TimeGrid, backend: str) -> None:
-        if not grid.is_uniform:
+    kind = "multiterm"
+
+    def __init__(
+        self, system: MultiTermSystem, bundle: OperatorBundle, backend: str
+    ) -> None:
+        grid = bundle.grid
+        if grid is None or not grid.is_uniform:
             raise SolverError(
                 "multi-term OPM requires a uniform grid; convert to first order "
                 "for adaptive stepping"
             )
         self.system = system
+        self.bundle = bundle
         m, h = grid.m, grid.h
         self.h = h
         term_coeffs = [
@@ -207,8 +313,106 @@ class _MultiTermPlan:
         }
 
 
+class _SpectralPlan:
+    """Input-independent integral-form solve state for spectral bases.
+
+    Polynomial bases have no (invertible) differentiation operational
+    matrix, so the session solves the classical integral formulation
+
+    .. math::  E Z = A Z F + R F, \\qquad X = Z + x_0 \\mathbf{1}^T,
+
+    with ``F`` the (fractional) integration matrix and ``Z`` the
+    coefficients of the zero-IC shifted state.  ``F`` is not
+    triangular, so the equation is solved through its Kronecker form
+    ``(I_m (x) E - F^T (x) A) vec(Z) = vec(R F)`` -- the operator is
+    input-independent, so one factorisation (cached in a
+    :class:`PencilBank` at shift 1) serves every ``run``/``sweep``/
+    ``march`` call, exactly like the triangular plans.  Spectral ``m``
+    is small by construction (that is the point of the basis), so the
+    Kronecker system stays modest; sparse systems stay sparse through
+    ``scipy.sparse.kron``.
+    """
+
+    kind = "spectral"
+
+    def __init__(
+        self, system: DescriptorSystem, bundle: OperatorBundle, backend: str
+    ) -> None:
+        if not isinstance(system, DescriptorSystem):
+            raise SolverError(
+                "spectral bases support (fractional) descriptor systems only; "
+                "convert multi-term models with to_first_order() or use a "
+                "piecewise-constant basis"
+            )
+        self.system = system
+        self.bundle = bundle
+        alpha = system.alpha
+        self.F = np.asarray(bundle.fractional_integration_matrix(alpha), dtype=float)
+        self.backend_mode = backend
+        self.bank = PencilBank(self.kron_backend(system))
+        self.method = f"opm-spectral[{bundle.name}]"
+        ones = bundle.ones_coefficients()
+        self._offset = system.shifted_input_offset()
+        self._offset_cols = _offset_columns(self._offset, ones)
+        self._x0_cols = _offset_columns(system.x0, ones)
+
+    def kron_backend(self, system: DescriptorSystem):
+        """Backend over the Kronecker operator of ``system`` (cached LUs
+        live in the plan's :class:`PencilBank`; marching events restamp
+        through this hook)."""
+        m = self.bundle.size
+        E_big = sp.kron(sp.identity(m, format="csr"), sp.csr_matrix(system.E))
+        A_big = sp.kron(sp.csr_matrix(self.F.T), sp.csr_matrix(system.A))
+        mode = self.backend_mode
+        if E_big.shape[0] > MAX_DENSE_KRON:
+            # decide BEFORE any densification: an (n m)^2 dense operator
+            # this large must never be materialised
+            if mode == "dense":
+                raise SolverError(
+                    f"dense spectral Kronecker operator of size {E_big.shape[0]} "
+                    f"exceeds {MAX_DENSE_KRON}; use backend='sparse' or a "
+                    "smaller spectral order m"
+                )
+            mode = "sparse"
+        return select_backend(E_big, A_big, mode=mode)
+
+    def right_hand_side(self, U: np.ndarray) -> np.ndarray:
+        """``R = B U`` plus the constant zero-IC shift ``A x0`` (if any)."""
+        return _system_rhs(self.system, U, self._offset_cols)
+
+    def apply_F(self, R: np.ndarray) -> np.ndarray:
+        """Coefficients of ``I^alpha r`` for ``(n, m)`` or ``(n, m, k)``."""
+        if R.ndim == 2:
+            return R @ self.F
+        return np.einsum("nmk,mj->njk", R, self.F)
+
+    def kron_solve(self, S: np.ndarray) -> np.ndarray:
+        """Solve ``E Z - A Z F = S`` through the cached Kronecker LU."""
+        squeeze = S.ndim == 2
+        S3 = S[:, :, None] if squeeze else S
+        n, m, k = S3.shape
+        rhs = S3.transpose(1, 0, 2).reshape(m * n, k)
+        out = self.bank.solve(1.0, rhs)
+        Z = out.reshape(m, n, k).transpose(1, 0, 2)
+        return Z[:, :, 0] if squeeze else Z
+
+    def solve(self, R: np.ndarray) -> np.ndarray:
+        """Integral-form solve for one (``(n, m)``) or many inputs."""
+        X = self.kron_solve(self.apply_F(R))
+        return _add_columns(X, self._x0_cols)
+
+    def info(self) -> dict:
+        """Solver metadata for result containers."""
+        return {
+            "method": self.method,
+            "alpha": self.system.alpha,
+            "factorisations": self.bank.factorisations,
+            "backend": self.bank.backend.name,
+        }
+
+
 class Simulator:
-    """Reusable simulation session: system + grid bound once, solved many times.
+    """Reusable simulation session: system + grid + basis bound once.
 
     Parameters
     ----------
@@ -218,11 +422,25 @@ class Simulator:
         :class:`~repro.core.lti.MultiTermSystem` /
         :class:`~repro.core.lti.SecondOrderSystem`.
     grid:
-        :class:`~repro.basis.grid.TimeGrid` or ``(t_end, m)`` tuple.
-        Multi-term systems require a uniform grid.
+        :class:`~repro.basis.grid.TimeGrid`, ``(t_end, m)`` tuple, or a
+        ready :class:`~repro.basis.base.BasisSet` instance (e.g. a
+        ``LaguerreBasis``).  Multi-term systems require a uniform grid.
+    basis:
+        Basis family the session solves in: ``None`` (block pulse, the
+        paper's default), a name from
+        :func:`repro.engine.bundle.basis_names` (``'chebyshev'``,
+        ``'legendre'``, ``'haar'``, ...), or a :class:`BasisSet`
+        instance.  Walsh/Haar sessions solve in block-pulse coordinates
+        through the exact change of basis; polynomial bases use the
+        cached integral-form Kronecker operator; all families share the
+        same warm-cache semantics.
     projection:
-        Input projection rule, ``'average'`` (paper eq. (2)) or
-        ``'midpoint'``.
+        Block-pulse input projection rule, ``'average'`` (paper
+        eq. (2)) or ``'midpoint'``.  ``None`` (default) keeps the
+        basis' own rule; an explicit value is honoured for
+        block-pulse-backed bases (including Walsh/Haar instances) and
+        ignored by spectral/Laguerre families, which project with
+        their own quadrature.
     adaptive_method:
         Fractional matrix-power construction on adaptive grids
         (``'auto'``/``'eig'``/``'schur'``).
@@ -247,32 +465,55 @@ class Simulator:
     >>> batch = sim.sweep([0.5, 1.0, 2.0])      # one multi-RHS sweep
     >>> batch.n_runs
     3
+
+    A spectral session needs far fewer coefficients on smooth problems:
+
+    >>> spec = Simulator(DescriptorSystem([[1.0]], [[-1.0]], [[1.0]]),
+    ...                  (5.0, 24), basis="chebyshev")
+    >>> res = spec.run(1.0)
+    >>> bool(abs(res.states([3.0])[0, 0] - (1 - np.exp(-3.0))) < 1e-10)
+    True
     """
 
     def __init__(
         self,
         system,
-        grid,
+        grid=None,
         *,
-        projection: str = "average",
+        basis=None,
+        projection: str | None = None,
         adaptive_method: str = "auto",
         history: str = "direct",
         backend: str = "auto",
     ) -> None:
-        grid = resolve_grid(grid)
+        basis_obj = _resolve_session_basis(grid, basis, projection)
+        bundle = OperatorBundle(basis_obj)
+        solver = bundle.solver_bundle
         if isinstance(system, MultiTermSystem):
-            self._plan = _MultiTermPlan(system, grid, backend)
+            if solver.kind != "block-pulse":
+                raise SolverError(
+                    "multi-term systems require a piecewise-constant basis "
+                    "(block-pulse, walsh, haar); convert to first order with "
+                    "to_first_order() to use a spectral basis"
+                )
+            self._plan = _MultiTermPlan(system, solver, backend)
         elif isinstance(system, DescriptorSystem):
-            self._plan = _DescriptorPlan(
-                system, grid, adaptive_method, history, backend
-            )
+            if solver.kind in ("block-pulse", "toeplitz"):
+                self._plan = _DescriptorPlan(
+                    system, solver, adaptive_method, history, backend
+                )
+            else:
+                self._plan = _SpectralPlan(system, solver, backend)
         else:
             raise TypeError(
                 "system must be a DescriptorSystem, FractionalDescriptorSystem "
                 f"or MultiTermSystem, got {type(system).__name__}"
             )
         self._system = system
-        self._basis = BlockPulseBasis(grid, projection=projection)
+        self._bundle = bundle
+        self._basis = basis_obj
+        self._solve_basis = solver.basis
+        self._transform = bundle.transform
         self._runs = 0
 
     # ------------------------------------------------------------------
@@ -284,14 +525,19 @@ class Simulator:
         return self._system
 
     @property
-    def grid(self) -> TimeGrid:
-        """The bound time grid."""
-        return self._basis.grid
+    def grid(self) -> TimeGrid | None:
+        """The bound time grid (``None`` for grid-free bases)."""
+        return self._bundle.grid
 
     @property
-    def basis(self) -> BlockPulseBasis:
-        """The cached block-pulse basis."""
+    def basis(self) -> BasisSet:
+        """The session basis (results are expressed in it)."""
         return self._basis
+
+    @property
+    def bundle(self) -> OperatorBundle:
+        """The session's cached operator bundle."""
+        return self._bundle
 
     @property
     def backend(self) -> str:
@@ -314,12 +560,36 @@ class Simulator:
         return self._runs
 
     # ------------------------------------------------------------------
-    # solving
+    # basis plumbing
     # ------------------------------------------------------------------
     def project(self, u: InputLike) -> np.ndarray:
         """Project one input specification onto the session basis: ``(p, m)``."""
         return project_input(u, self._basis, self._system.n_inputs)
 
+    def _encode_inputs(self, U: np.ndarray) -> np.ndarray:
+        """Session-basis coefficients -> solver-basis coefficients."""
+        if self._transform is None:
+            return U
+        return U @ self._transform
+
+    def _decode_states(self, X: np.ndarray) -> np.ndarray:
+        """Solver-basis coefficients -> session-basis coefficients."""
+        if self._transform is None:
+            return X
+        W = self._transform
+        if X.ndim == 2:
+            return X @ W.T / self._basis.size
+        return np.einsum("nmk,jm->njk", X, W) / self._basis.size
+
+    def _finalise_info(self, info: dict) -> dict:
+        info["basis"] = self._basis.name
+        if self._transform is not None:
+            info["method"] = f"opm-transformed[{self._basis.name}]"
+        return info
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
     def run(self, u: InputLike) -> SimulationResult:
         """Simulate one input; warm sessions pay only projection + sweep.
 
@@ -330,11 +600,11 @@ class Simulator:
         warm = self.is_warm
         start = time.perf_counter()
         U = self.project(u)
-        R = self._plan.right_hand_side(U)
-        X = self._plan.solve(R)
+        R = self._plan.right_hand_side(self._encode_inputs(U))
+        X = self._decode_states(self._plan.solve(R))
         wall = time.perf_counter() - start
         self._runs += 1
-        info = self._plan.info()
+        info = self._finalise_info(self._plan.info())
         info["warm"] = warm
         return SimulationResult(
             self._basis, X, self._system, U, wall_time=wall, info=info
@@ -366,11 +636,11 @@ class Simulator:
         warm = self.is_warm
         start = time.perf_counter()
         U = np.stack([self.project(u) for u in inputs])  # (k, p, m)
-        R = self._plan.right_hand_side(U)  # (n, m, k)
-        X = self._plan.solve(R)  # (n, m, k)
+        R = self._plan.right_hand_side(self._encode_inputs(U))  # (n, m, k)
+        X = self._decode_states(self._plan.solve(R))  # (n, m, k)
         wall = time.perf_counter() - start
         self._runs += 1
-        info = self._plan.info()
+        info = self._finalise_info(self._plan.info())
         info["warm"] = warm
         info["batch"] = len(inputs)
         return SweepResult(
@@ -385,16 +655,22 @@ class Simulator:
     def march(self, u, t_end: float, *, events=()) -> MarchingResult:
         """Windowed time-marching over ``[0, t_end]`` on this session.
 
-        The session's grid *is* the window: ``[0, t_end]`` is split into
-        ``t_end / grid.t_end`` consecutive windows of ``grid.m`` block
-        pulses each, all solved on the session's cached pencil bank
-        (one factorisation per circuit configuration for the entire
-        march).  State is carried across window boundaries -- the
-        flux/charge vector ``E x`` for classical systems, the full
-        GL/OPM memory tail for fractional ones -- so the stitched
-        trajectory matches a single-window solve of the whole horizon
-        to machine precision, while the per-window working set stays
-        ``O(n m + m^2)`` instead of growing with the horizon.
+        The session's horizon *is* the window: ``[0, t_end]`` is split
+        into ``t_end / window`` consecutive windows of ``m`` basis terms
+        each, all solved on the session's cached operators (one
+        factorisation per circuit configuration for the entire march).
+        What is carried across window boundaries depends on the basis:
+
+        * **block pulse / Walsh / Haar** -- the flux/charge vector
+          ``E x`` for classical systems, the full GL/OPM memory tail
+          for fractional ones; the stitched trajectory is
+          bit-equivalent to a single giant solve;
+        * **spectral (Chebyshev/Legendre)** -- hybrid-function
+          marching in the Damarla-Kundu sense: each window is a fresh
+          spectral expansion, the terminal state (classical) or the
+          Riemann-Liouville memory of all previous windows via cached
+          :meth:`~repro.engine.bundle.OperatorBundle.history_matrix`
+          operators (fractional) enters as window forcing.
 
         Parameters
         ----------
@@ -404,14 +680,14 @@ class Simulator:
             streaming one chunk per window (each chunk anything
             :meth:`run` accepts, in window-local time).
         t_end:
-            Horizon; must be a whole multiple of the session window
-            ``grid.t_end``.
+            Horizon; must be a whole multiple of the session window.
         events:
             :class:`~repro.engine.marching.Event` objects applied at
             window boundaries: input swaps, load-step scalings, and
             pencil re-stamps (switch closures).  Re-stamped pencils are
             cached, so revisiting a configuration re-factorises
-            nothing.
+            nothing.  (Fractional spectral marches support input
+            events only.)
 
         Returns
         -------

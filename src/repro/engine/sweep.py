@@ -16,7 +16,8 @@ import numpy as np
 
 from ..basis.base import BasisSet
 from ..basis.block_pulse import BlockPulseBasis
-from ..core.result import SimulationResult
+from ..basis.pwconst import PiecewiseConstantBasis
+from ..core.result import SimulationResult, _natural_sample_times
 
 __all__ = ["SweepResult"]
 
@@ -176,11 +177,15 @@ class SweepResult:
         """Midpoint-linear (second-order) reconstruction of a ``(k, q, m)`` stack.
 
         Mirrors :meth:`SimulationResult.states_smooth` so sweep members
-        and vectorised sampling agree; falls back to basis synthesis for
-        non-block-pulse bases.
+        and vectorised sampling agree; Walsh/Haar stacks convert to
+        block-pulse coordinates first, other non-grid bases fall back
+        to basis synthesis.
         """
         grid = self.grid
         times = np.atleast_1d(np.asarray(times, dtype=float))
+        if grid is None and isinstance(self.basis, PiecewiseConstantBasis):
+            grid = self.basis.block_pulse.grid
+            coeffs = self.basis.to_block_pulse_coefficients(coeffs)
         if grid is None:
             return coeffs @ self.basis.evaluate(times)
         mids = grid.midpoints
@@ -189,6 +194,16 @@ class SweepResult:
             for j in range(coeffs.shape[1]):
                 out[i, j] = np.interp(times, mids, coeffs[i, j])
         return out
+
+    def sample_times(self, n_points: int | None = None) -> np.ndarray:
+        """Natural sampling times shared by every run in the sweep.
+
+        Grid midpoints for block-pulse sweeps (``n_points is None``),
+        otherwise ``n_points`` (default 256) equally spaced midpoints on
+        ``[0, t_end)`` -- the same rule as
+        :meth:`repro.core.result.SimulationResult.sample_times`.
+        """
+        return _natural_sample_times(self.basis, self.grid, n_points)
 
     def states_smooth(self, times) -> np.ndarray:
         """Second-order (midpoint-linear) state reconstruction, ``(k, n, nt)``."""

@@ -1,0 +1,173 @@
+"""Shared contract suite run against every basis family.
+
+The engine treats bases interchangeably through
+:class:`repro.engine.bundle.OperatorBundle`; this suite pins the
+contract every family must satisfy for that to be sound:
+
+* projection -> synthesis round-trips a smooth function;
+* the integration operational matrix is consistent with projecting the
+  antiderivative directly;
+* the fractional integration matrix reproduces the analytic
+  Riemann-Liouville integral ``I^alpha 1 = t^alpha / Gamma(alpha+1)``;
+* operational matrices are cached per instance (zero rebuilds on
+  repeated access) and returned read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.special import gamma as gamma_fn
+
+from repro.basis import (
+    BlockPulseBasis,
+    ChebyshevBasis,
+    HaarBasis,
+    LaguerreBasis,
+    LegendreBasis,
+    TimeGrid,
+    WalshBasis,
+)
+
+T_END = 2.0
+
+#: family name -> (constructor, round-trip tol, integration tol, fractional tol)
+#: The fractional tolerance absorbs two very different error sources:
+#: the Tustin-form operator error of the piecewise families (O(h)) and
+#: the slow polynomial representation of the t^alpha singularity for
+#: the spectral families (whose operators are exact in-span, see
+#: test_operator_exact_in_span).
+FAMILIES = {
+    "block-pulse": (lambda: BlockPulseBasis(TimeGrid.uniform(T_END, 128)), 5e-4, 2e-2, 2e-2),
+    "walsh": (lambda: WalshBasis(T_END, 128), 2e-2, 2e-2, 2e-2),
+    "haar": (lambda: HaarBasis(T_END, 128), 2e-2, 2e-2, 2e-2),
+    "legendre": (lambda: LegendreBasis(T_END, 16), 1e-10, 1e-8, 5e-3),
+    "chebyshev": (lambda: ChebyshevBasis(T_END, 16), 1e-10, 1e-8, 5e-3),
+    "laguerre": (lambda: LaguerreBasis(1.5, 48), 1e-8, 1e-5, 5e-3),
+}
+
+
+@pytest.fixture(params=sorted(FAMILIES))
+def family(request):
+    make, rt_tol, int_tol, frac_tol = FAMILIES[request.param]
+    return request.param, make(), rt_tol, int_tol, frac_tol
+
+
+def _smooth(t):
+    # decaying so the Laguerre expansion converges fast too
+    return np.exp(-1.2 * t) * (1.0 + 0.5 * np.sin(2.0 * t))
+
+
+def _integrand(t):
+    """``d/dt [t exp(-1.2 t)]`` -- decaying with a decaying antiderivative."""
+    return np.exp(-1.2 * t) * (1.0 - 1.2 * t)
+
+
+def _antiderivative(t):
+    return t * np.exp(-1.2 * t)
+
+
+def _sample_times(basis):
+    upper = 6.0 if not np.isfinite(basis.t_end) else 0.95 * basis.t_end
+    return np.linspace(0.05 * (upper / 0.95), upper, 23)
+
+
+class TestProjectionRoundTrip:
+    def test_round_trip(self, family):
+        name, basis, rt_tol, _, _ = family
+        coeffs = basis.project(_smooth)
+        t = _sample_times(basis)
+        if name == "block-pulse":
+            t = basis.grid.midpoints  # averages match midpoints to O(h^2)
+        np.testing.assert_allclose(
+            basis.synthesize(coeffs, t), _smooth(t), atol=rt_tol
+        )
+
+    def test_project_vector_matches_rowwise(self, family):
+        _, basis, _, _, _ = family
+        func = lambda t: np.vstack([_smooth(t), np.exp(-t)])
+        coeffs = basis.project_vector(func, 2)
+        np.testing.assert_allclose(coeffs[0], basis.project(_smooth), atol=1e-12)
+        np.testing.assert_allclose(
+            coeffs[1], basis.project(lambda t: np.exp(-t)), atol=1e-12
+        )
+
+
+class TestIntegrationMatrix:
+    def test_consistent_with_antiderivative(self, family):
+        name, basis, _, int_tol, _ = family
+        c = basis.project(_integrand)
+        int_coeffs = c @ basis.integration_matrix()
+        t = _sample_times(basis)
+        np.testing.assert_allclose(
+            basis.synthesize(int_coeffs, t), _antiderivative(t), atol=int_tol
+        )
+
+
+class TestFractionalIntegrationMatrix:
+    @pytest.mark.parametrize("alpha", [0.5, 0.8])
+    def test_power_law_of_constant(self, family, alpha):
+        name, basis, _, _, frac_tol = family
+        if name == "laguerre":
+            pytest.skip("t^alpha does not decay; covered by the ring-inverse test")
+        ones = basis.project(lambda t: np.ones_like(t))
+        frac = ones @ basis.fractional_integration_matrix(alpha)
+        t = _sample_times(basis)
+        exact = t**alpha / gamma_fn(alpha + 1.0)
+        np.testing.assert_allclose(basis.synthesize(frac, t), exact, atol=frac_tol)
+
+    @pytest.mark.parametrize("name", ["legendre", "chebyshev"])
+    def test_operator_exact_in_span(self, name):
+        """The spectral RL operator agrees with direct projection exactly.
+
+        Applying ``I^alpha`` in coefficient space must equal projecting
+        the analytic fractional integral -- the pointwise error of the
+        previous test is pure representation error, not operator error.
+        """
+        basis = FAMILIES[name][0]()
+        alpha = 0.5
+        ones = basis.project(lambda t: np.ones_like(t))
+        op = ones @ basis.fractional_integration_matrix(alpha)
+        proj = basis.project(lambda t: t**alpha / gamma_fn(alpha + 1.0))
+        np.testing.assert_allclose(op, proj, atol=1e-12)
+
+    def test_laguerre_ring_inverse(self):
+        basis = LaguerreBasis(1.5, 32)
+        fwd = basis.fractional_differentiation_matrix(0.5)
+        inv = basis.fractional_integration_matrix(0.5)
+        np.testing.assert_allclose(fwd @ inv, np.eye(32), atol=1e-10)
+
+
+class TestOperatorCaching:
+    def test_integration_matrix_cached(self, family):
+        _, basis, _, _, _ = family
+        first = basis.integration_matrix()
+        builds = basis.operator_builds
+        second = basis.integration_matrix()
+        assert second is first
+        assert basis.operator_builds == builds
+
+    def test_fractional_matrices_cached_per_alpha(self, family):
+        name, basis, _, _, _ = family
+        a = basis.fractional_integration_matrix(0.5)
+        assert basis.fractional_integration_matrix(0.5) is a
+        b = basis.fractional_integration_matrix(0.75)
+        assert b is not a
+
+    def test_cached_arrays_are_read_only(self, family):
+        _, basis, _, _, _ = family
+        mat = basis.integration_matrix()
+        with pytest.raises(ValueError):
+            mat[0, 0] = 123.0
+
+    def test_clear_operator_cache(self, family):
+        _, basis, _, _, _ = family
+        first = basis.integration_matrix()
+        basis.clear_operator_cache()
+        second = basis.integration_matrix()
+        assert second is not first
+        np.testing.assert_array_equal(first, second)
+
+    def test_gram_matrix_cached(self, family):
+        _, basis, _, _, _ = family
+        assert basis.gram_matrix(64) is basis.gram_matrix(64)

@@ -121,3 +121,44 @@ class TestThirdOrder:
         )
         # DC gain = 1
         assert direct.coefficients[0, -1] == pytest.approx(1.0, abs=2e-2)
+
+
+class TestBasisArgument:
+    def test_opm_with_spectral_basis(self, scalar_ode):
+        res = simulate(scalar_ode, 1.0, 2.0, 24, basis="chebyshev")
+        t = np.linspace(0.1, 1.9, 9)
+        np.testing.assert_allclose(
+            res.states(t)[0], 1.0 - np.exp(-t), atol=1e-9
+        )
+        assert res.info["method"] == "opm-spectral[Chebyshev]"
+
+    def test_windowed_with_spectral_basis(self, scalar_ode):
+        res = simulate(
+            scalar_ode, 1.0, 4.0, 64, method="opm-windowed", windows=4,
+            basis="legendre",
+        )
+        assert res.n_windows == 4
+        t = np.linspace(0.2, 3.8, 9)
+        np.testing.assert_allclose(
+            res.states_smooth(t)[0], 1.0 - np.exp(-t), atol=1e-8
+        )
+
+    def test_basis_typo_suggests(self, scalar_ode):
+        from repro.errors import BasisError
+
+        with pytest.raises(BasisError, match="did you mean 'legendre'"):
+            simulate(scalar_ode, 1.0, 1.0, 16, basis="legendr")
+
+    def test_basis_rejected_for_baselines(self, scalar_ode):
+        with pytest.raises(SolverError, match="does not take a basis"):
+            simulate(scalar_ode, 1.0, 1.0, 100, method="trapezoidal", basis="legendre")
+
+    def test_basis_instance_accepted(self, scalar_ode):
+        from repro.basis import LegendreBasis
+
+        res = simulate(scalar_ode, 1.0, 2.0, 16, basis=LegendreBasis(2.0, 16))
+        assert res.basis.name == "Legendre"
+
+    def test_default_is_block_pulse(self, scalar_ode):
+        res = simulate(scalar_ode, 1.0, 1.0, 64)
+        assert res.basis.name == "BlockPulse"

@@ -156,4 +156,10 @@ class TestValidation:
         res = simulate_opm_integral(scalar_ode, 1.0, basis)
         assert res.info["method"].startswith("opm-integral")
         res2 = simulate_opm_integral(scalar_ode, 1.0, LegendreBasis(1.0, 8))
-        assert res2.info["method"] == "opm-integral[dense]"
+        assert res2.info["method"] == "opm-integral[spectral]"
+        # Walsh/Haar stay on the dense integral-form Kronecker solve
+        # (NOT the engine's differential-form pwconst plan)
+        from repro.basis import WalshBasis
+
+        res3 = simulate_opm_integral(scalar_ode, 1.0, WalshBasis(1.0, 8))
+        assert res3.info["method"] == "opm-integral[dense]"

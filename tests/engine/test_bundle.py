@@ -1,0 +1,198 @@
+"""Unit tests for the OperatorBundle layer (engine/bundle.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.special import gamma as gamma_fn
+
+from repro.basis import (
+    BlockPulseBasis,
+    ChebyshevBasis,
+    HaarBasis,
+    LaguerreBasis,
+    LegendreBasis,
+    TimeGrid,
+    WalshBasis,
+)
+from repro.engine.bundle import (
+    OperatorBundle,
+    basis_names,
+    resolve_basis,
+    validate_basis_name,
+)
+from repro.errors import BasisError
+
+
+class TestResolveBasis:
+    def test_default_is_block_pulse(self):
+        grid = TimeGrid.uniform(1.0, 32)
+        basis = resolve_basis(None, grid)
+        assert isinstance(basis, BlockPulseBasis)
+        assert basis.grid is grid
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("block-pulse", BlockPulseBasis),
+            ("bpf", BlockPulseBasis),
+            ("walsh", WalshBasis),
+            ("haar", HaarBasis),
+            ("legendre", LegendreBasis),
+            ("chebyshev", ChebyshevBasis),
+        ],
+    )
+    def test_named_families(self, name, cls):
+        basis = resolve_basis(name, TimeGrid.uniform(2.0, 16))
+        assert isinstance(basis, cls)
+        assert basis.size == 16
+        assert basis.t_end == 2.0
+
+    def test_name_normalisation(self):
+        grid = TimeGrid.uniform(1.0, 16)
+        assert isinstance(resolve_basis("Block_Pulse", grid), BlockPulseBasis)
+        assert isinstance(resolve_basis("  CHEBYSHEV ", grid), ChebyshevBasis)
+
+    def test_instance_passthrough(self):
+        basis = LegendreBasis(1.0, 8)
+        assert resolve_basis(basis) is basis
+
+    def test_typo_suggestion(self):
+        with pytest.raises(BasisError, match="did you mean 'legendre'"):
+            validate_basis_name("legnedre")
+
+    def test_unknown_name_lists_families(self):
+        with pytest.raises(BasisError) as err:
+            validate_basis_name("fourier")
+        for name in basis_names():
+            assert name in str(err.value)
+
+    def test_laguerre_by_name_explains_instance_requirement(self):
+        with pytest.raises(BasisError, match="LaguerreBasis"):
+            resolve_basis("laguerre", TimeGrid.uniform(1.0, 16))
+
+    def test_walsh_rejects_adaptive_grid(self):
+        grid = TimeGrid.geometric(1.0, 16, 1.2)
+        with pytest.raises(BasisError, match="uniform"):
+            resolve_basis("walsh", grid)
+
+
+class TestBundleKinds:
+    def test_kind_classification(self):
+        grid = TimeGrid.uniform(1.0, 16)
+        assert OperatorBundle(BlockPulseBasis(grid)).kind == "block-pulse"
+        assert OperatorBundle(WalshBasis(1.0, 16)).kind == "pwconst"
+        assert OperatorBundle(HaarBasis(1.0, 16)).kind == "pwconst"
+        assert OperatorBundle(LaguerreBasis(1.0, 16)).kind == "toeplitz"
+        assert OperatorBundle(LegendreBasis(1.0, 16)).kind == "spectral"
+        assert OperatorBundle(ChebyshevBasis(1.0, 16)).kind == "spectral"
+
+    def test_solver_bundle_of_pwconst_is_block_pulse(self):
+        bundle = OperatorBundle(WalshBasis(1.0, 16))
+        solver = bundle.solver_bundle
+        assert solver.kind == "block-pulse"
+        assert solver.basis is bundle.basis.block_pulse
+        assert bundle.solver_bundle is solver  # cached
+        assert bundle.transform is bundle.basis.transform
+
+    def test_supports_march(self):
+        assert OperatorBundle(LegendreBasis(1.0, 8)).supports_march
+        assert not OperatorBundle(LaguerreBasis(1.0, 8)).supports_march
+
+    def test_fingerprints_distinguish_families_and_sizes(self):
+        grid = TimeGrid.uniform(1.0, 16)
+        prints = {
+            OperatorBundle(BlockPulseBasis(grid)).fingerprint(),
+            OperatorBundle(WalshBasis(1.0, 16)).fingerprint(),
+            OperatorBundle(LegendreBasis(1.0, 16)).fingerprint(),
+            OperatorBundle(LegendreBasis(1.0, 8)).fingerprint(),
+            OperatorBundle(LaguerreBasis(1.0, 16)).fingerprint(),
+        }
+        assert len(prints) == 5
+
+    def test_equal_block_pulse_bases_share_fingerprint(self):
+        a = OperatorBundle(BlockPulseBasis(TimeGrid.uniform(1.0, 16)))
+        b = OperatorBundle(BlockPulseBasis(TimeGrid.uniform(1.0, 16)))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_covers_projection_and_quadrature(self):
+        avg = OperatorBundle(WalshBasis(1.0, 16))
+        mid = OperatorBundle(WalshBasis(1.0, 16, projection="midpoint"))
+        assert avg.fingerprint() != mid.fingerprint()
+        coarse = OperatorBundle(ChebyshevBasis(1.0, 8, n_quad=16))
+        fine = OperatorBundle(ChebyshevBasis(1.0, 8, n_quad=256))
+        assert coarse.fingerprint() != fine.fingerprint()
+
+
+class TestBundleOperators:
+    def test_toeplitz_coefficients_block_pulse(self):
+        bundle = OperatorBundle(BlockPulseBasis(TimeGrid.uniform(1.0, 16)))
+        coeffs = bundle.toeplitz_coefficients(1.0)
+        full = bundle.basis.differentiation_matrix()
+        np.testing.assert_allclose(coeffs, full[0], atol=1e-12)
+
+    def test_toeplitz_coefficients_laguerre_cached(self):
+        bundle = OperatorBundle(LaguerreBasis(2.0, 16))
+        coeffs = bundle.toeplitz_coefficients(0.5)
+        assert bundle.toeplitz_coefficients(0.5) is coeffs
+        full = bundle.basis.fractional_differentiation_matrix(0.5)
+        np.testing.assert_allclose(coeffs, full[0], atol=1e-12)
+
+    def test_spectral_has_no_toeplitz_coefficients(self):
+        with pytest.raises(BasisError, match="integral formulation"):
+            OperatorBundle(LegendreBasis(1.0, 8)).toeplitz_coefficients(1.0)
+
+    def test_ones_coefficients(self):
+        grid = TimeGrid.uniform(1.0, 16)
+        np.testing.assert_array_equal(
+            OperatorBundle(BlockPulseBasis(grid)).ones_coefficients(), np.ones(16)
+        )
+        leg = OperatorBundle(LegendreBasis(1.0, 8))
+        ones = leg.ones_coefficients()
+        np.testing.assert_allclose(ones, np.eye(8)[0], atol=1e-12)
+        assert leg.ones_coefficients() is ones  # cached
+
+    def test_terminal_vector_evaluates_at_window_edge(self):
+        bundle = OperatorBundle(ChebyshevBasis(2.0, 8))
+        coeffs = bundle.basis.project(lambda t: t**2)
+        assert abs(coeffs @ bundle.terminal_vector() - 4.0) < 1e-10
+
+
+class TestHistoryMatrices:
+    @pytest.mark.parametrize("cls", [LegendreBasis, ChebyshevBasis])
+    @pytest.mark.parametrize("lag", [1, 2, 3])
+    def test_history_of_constant_matches_analytic(self, cls, lag):
+        """History of the constant 1 is the analytic RL lag integral.
+
+        ``I^alpha`` of 1 restricted to the contribution of the interval
+        ``[(k-lag)W, (k-lag+1)W]`` evaluated at local time tau is
+        ``((lag W + tau)^alpha - ((lag-1) W + tau)^alpha) / Gamma(alpha+1)``.
+        """
+        alpha = 0.6
+        W = 0.5
+        basis = cls(W, 12)
+        bundle = OperatorBundle(basis)
+        H = bundle.history_matrix(alpha, lag)
+        ones = bundle.ones_coefficients()
+        hist = ones @ H
+        exact = lambda tau: (
+            (lag * W + tau) ** alpha - ((lag - 1) * W + tau) ** alpha
+        ) / gamma_fn(alpha + 1.0)
+        # compare in coefficient space against the projection of the
+        # analytic lag integral: isolates the quadrature error from the
+        # (for lag 1, tau^alpha-limited) polynomial representation error
+        np.testing.assert_allclose(hist, basis.project(exact), atol=1e-8)
+        tau = np.linspace(0.02, 0.48, 9)
+        np.testing.assert_allclose(
+            basis.synthesize(hist, tau), exact(tau), atol=5e-3 if lag == 1 else 5e-5
+        )
+
+    def test_history_matrix_cached(self):
+        bundle = OperatorBundle(LegendreBasis(0.5, 8))
+        assert bundle.history_matrix(0.6, 1) is bundle.history_matrix(0.6, 1)
+        assert bundle.history_matrix(0.6, 2) is not bundle.history_matrix(0.6, 1)
+
+    def test_block_pulse_has_no_history_matrices(self):
+        bundle = OperatorBundle(BlockPulseBasis(TimeGrid.uniform(1.0, 8)))
+        with pytest.raises(BasisError):
+            bundle.history_matrix(0.5, 1)

@@ -220,3 +220,129 @@ class TestCli:
         code = run([str(path), "--t-end", "1.0"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCliBasis:
+    @pytest.mark.parametrize("name", ["legendre", "chebyshev"])
+    def test_spectral_round_trip(self, rc_file, capsys, name):
+        """`--basis legendre` with m=24 matches the 1 V final value."""
+        code = run(
+            [
+                str(rc_file),
+                "--t-end",
+                "20e-3",
+                "--steps",
+                "24",
+                "--basis",
+                name,
+                "--points",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert name.capitalize() in out  # basis reported in the summary
+        last_value = float(out.strip().splitlines()[-1].split("|")[-1])
+        assert last_value == pytest.approx(1.0, rel=1e-3)
+
+    def test_spectral_csv(self, rc_file, tmp_path, capsys):
+        csv_path = tmp_path / "spec.csv"
+        code = run(
+            [
+                str(rc_file),
+                "--t-end",
+                "5e-3",
+                "--steps",
+                "16",
+                "--basis",
+                "chebyshev",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "t,n1"
+        assert len(lines) > 2
+
+    def test_basis_with_sweep(self, rc_file, capsys):
+        code = run(
+            [
+                str(rc_file),
+                "--t-end",
+                "20e-3",
+                "--steps",
+                "24",
+                "--basis",
+                "legendre",
+                "--sweep",
+                "1.0",
+                "2.0",
+                "--points",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Legendre basis" in out
+        row = out.strip().splitlines()[-1].split("|")
+        assert float(row[2]) == pytest.approx(2.0 * float(row[1]), rel=1e-6)
+
+    def test_basis_with_windows(self, rc_file, capsys):
+        code = run(
+            [
+                str(rc_file),
+                "--t-end",
+                "20e-3",
+                "--steps",
+                "48",
+                "--windows",
+                "4",
+                "--basis",
+                "chebyshev",
+                "--points",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 windows" in out
+        last_value = float(out.strip().splitlines()[-1].split("|")[-1])
+        assert last_value == pytest.approx(1.0, rel=1e-3)
+
+    def test_typo_lists_valid_names(self, rc_file, capsys):
+        code = run([str(rc_file), "--t-end", "1e-3", "--basis", "chebishev"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "did you mean 'chebyshev'" in err
+        for name in ("block-pulse", "legendre", "walsh", "haar"):
+            assert name in err
+
+    def test_walsh_matches_block_pulse(self, rc_file, capsys):
+        run(
+            [str(rc_file), "--t-end", "20e-3", "--steps", "256", "--points", "4"]
+        )
+        base = capsys.readouterr().out.strip().splitlines()[-1]
+        run(
+            [
+                str(rc_file),
+                "--t-end",
+                "20e-3",
+                "--steps",
+                "256",
+                "--basis",
+                "walsh",
+                "--points",
+                "4",
+            ]
+        )
+        walsh = capsys.readouterr().out.strip().splitlines()[-1]
+        base_v = float(base.split("|")[-1])
+        walsh_v = float(walsh.split("|")[-1])
+        assert walsh_v == pytest.approx(base_v, rel=1e-9)
+
+    def test_laguerre_excluded_with_clear_error(self, rc_file, capsys):
+        code = run([str(rc_file), "--t-end", "1e-3", "--basis", "laguerre"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "LaguerreBasis" in err and "library API" in err
