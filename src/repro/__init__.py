@@ -140,4 +140,25 @@ __all__ = [
     "SolverError",
     "ConvergenceError",
     "NetlistError",
+    # netlist front end (served lazily, see __getattr__)
+    "Netlist",
+    "simulate_netlist",
+    "NetlistRun",
+    "AcScan",
 ]
+
+#: Netlist front-end names served lazily (PEP 562): they pull in
+#: :mod:`repro.circuits`, which is not part of the eager import graph.
+_NETLIST_EXPORTS = ("simulate_netlist", "NetlistRun", "AcScan", "Netlist")
+
+
+def __getattr__(name: str):
+    if name in _NETLIST_EXPORTS:
+        if name == "Netlist":
+            from .circuits.netlist import Netlist
+
+            return Netlist
+        from .engine import netlist_session
+
+        return getattr(netlist_session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,15 +1,21 @@
-"""Command-line interface: simulate a SPICE-subset netlist with OPM.
+"""Command-line interface: simulate a SPICE netlist with OPM.
 
 Usage::
 
+    python -m repro --netlist circuit.cir
     python -m repro circuit.sp --t-end 5e-3 --steps 500 \\
         --outputs n1 n2 --csv waveforms.csv
 
-Reads a netlist (R/C/L/I/V cards plus the ``P`` constant-phase-element
-extension -- see :mod:`repro.circuits.netlist`), assembles the MNA
-model (automatically dispatching to the fractional or multi-term
-solver when CPEs are present), simulates the requested window with
-OPM, and prints sampled node voltages (optionally writing a CSV).
+Reads a netlist (R/C/L/K/I/V cards with SIN/PULSE/PWL/EXP transient
+sources, plus the ``P`` constant-phase-element extension -- see
+:mod:`repro.circuits.netlist`), assembles the MNA model (automatically
+dispatching to the fractional or multi-term solver when CPEs are
+present), and executes the deck's analysis cards: ``.tran`` fixes the
+horizon and resolution (so ``--t-end`` becomes optional), ``.ac`` adds
+a small-signal frequency sweep, ``.ic`` sets initial node voltages,
+and ``.options`` pre-selects basis/method/m/windows.  Command-line
+flags override their matching cards.  Transient samples go to
+``--csv``, AC sweeps to ``--ac-csv``.
 
 ``--basis`` selects the basis family the engine solves in: block
 pulses (the paper's default), Walsh/Haar transforms, or spectral
@@ -48,9 +54,11 @@ from pathlib import Path
 import numpy as np
 
 from . import __version__
-from .circuits import Netlist, assemble_mna, assemble_mna_restamp
+from .circuits import Netlist, assemble_mna_restamp
 from .core import Event, Simulator, simulate_opm
+from .core.dispatch import SIMULATION_METHODS, simulate
 from .engine.bundle import basis_names, validate_basis_name
+from .engine.netlist_session import ac_scan, build_system
 from .errors import ReproError
 from .io import Table, write_csv
 
@@ -61,16 +69,33 @@ def build_parser() -> argparse.ArgumentParser:
         description="OPM transient simulation of a SPICE-subset netlist "
         "(DATE'12 operational-matrix algorithm).",
     )
-    parser.add_argument("netlist", type=Path, help="netlist file (SPICE subset)")
     parser.add_argument(
-        "--t-end", type=float, required=True, help="simulation horizon in seconds"
+        "netlist",
+        type=Path,
+        nargs="?",
+        help="netlist file (SPICE subset); equivalent to --netlist",
+    )
+    parser.add_argument(
+        "--netlist",
+        type=Path,
+        dest="netlist_flag",
+        metavar="FILE",
+        help="netlist file (SPICE subset); its .tran/.ac/.ic/.options "
+        "cards drive the analysis",
+    )
+    parser.add_argument(
+        "--t-end",
+        type=float,
+        default=None,
+        help="simulation horizon in seconds (default: the .tran card's tstop)",
     )
     parser.add_argument(
         "--steps",
         type=int,
-        default=500,
+        default=None,
         help="number of basis terms: block pulses, or spectral coefficients "
-        "for polynomial bases (default 500)",
+        "for polynomial bases (default: .options m, else the .tran card's "
+        "tstop/tstep, else 500)",
     )
     parser.add_argument(
         "--basis",
@@ -104,9 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--windows",
         type=int,
-        default=1,
+        default=None,
         help="march the horizon as this many windows of steps/windows block "
-        "pulses each (default 1: one single-window solve)",
+        "pulses each (default: .options windows, else 1: one single-window "
+        "solve)",
     )
     parser.add_argument(
         "--event",
@@ -119,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
         "scale=FACTOR (scale the active input); repeatable",
     )
     parser.add_argument("--csv", type=Path, help="write all samples to this CSV file")
+    parser.add_argument(
+        "--ac-csv",
+        type=Path,
+        metavar="FILE",
+        help="write the .ac sweep (magnitude [dB] and phase [deg] per "
+        "output) to this CSV file",
+    )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
@@ -139,28 +172,55 @@ def _print_times(args) -> np.ndarray:
     return np.linspace(args.t_end / args.points, args.t_end * 0.999, args.points)
 
 
+def _smooth_outputs(result, times) -> np.ndarray:
+    """Best available output sampling (baseline results lack smoothing)."""
+    sampler = getattr(result, "outputs_smooth", None)
+    return sampler(times) if sampler is not None else result.outputs(times)
+
+
+def _all_sample_times(result) -> np.ndarray:
+    """The result's native sampling grid (coefficient or node based)."""
+    sampler = getattr(result, "sample_times", None)
+    return sampler() if sampler is not None else result.times
+
+
 def _run_single(args, netlist, system, outputs) -> int:
-    result = simulate_opm(
-        system, netlist.input_function(), (args.t_end, args.steps), basis=args.basis
-    )
+    if args.method in ("opm", "opm-windowed"):
+        result = simulate_opm(
+            system,
+            netlist.input_function(),
+            (args.t_end, args.steps),
+            basis=args.basis,
+            backend=args.backend,
+        )
+    else:
+        result = simulate(
+            system,
+            netlist.input_function(),
+            args.t_end,
+            args.steps,
+            method=args.method,
+            basis=args.basis,
+        )
     print(f"{netlist!r}")
     print(f"model: {system!r}")
     print(
         f"simulated [0, {args.t_end:g}) s with m={args.steps} "
-        f"({result.info.get('basis', 'BlockPulse')} basis), "
-        f"{result.info['factorisations']} factorisation(s), "
+        f"({result.info.get('basis', 'BlockPulse')} basis, "
+        f"method {result.info.get('method', args.method)}), "
+        f"{result.info.get('factorisations', 1)} factorisation(s), "
         f"{result.wall_time * 1e3:.2f} ms\n"
     )
 
     t_print = _print_times(args)
-    values = result.outputs_smooth(t_print)
+    values = _smooth_outputs(result, t_print)
     table = Table(["t [s]"] + [f"v({node})" for node in outputs])
     for k, t in enumerate(t_print):
         table.add_row([f"{t:.4g}"] + [f"{values[i, k]:.6g}" for i in range(len(outputs))])
     print(table.render())
 
     if args.csv is not None:
-        t_all = result.sample_times()
+        t_all = _all_sample_times(result)
         v_all = result.outputs(t_all)
         rows = [
             [repr(float(t_all[k]))]
@@ -174,7 +234,9 @@ def _run_single(args, netlist, system, outputs) -> int:
 
 def _run_sweep(args, netlist, system, outputs) -> int:
     scales = list(args.sweep)
-    sim = Simulator(system, (args.t_end, args.steps), basis=args.basis)
+    sim = Simulator(
+        system, (args.t_end, args.steps), basis=args.basis, backend=args.backend
+    )
     base_u = netlist.input_function()
     sweep = sim.sweep([_scaled_input(base_u, s) for s in scales])
 
@@ -266,7 +328,12 @@ def _run_march(args, netlist, system, outputs, events) -> int:
             f"--steps {args.steps} must be divisible by --windows {args.windows}"
         )
     window = args.t_end / args.windows
-    sim = Simulator(system, (window, args.steps // args.windows), basis=args.basis)
+    sim = Simulator(
+        system,
+        (window, args.steps // args.windows),
+        basis=args.basis,
+        backend=args.backend,
+    )
     result = sim.march(netlist.input_function(), args.t_end, events=events)
 
     print(f"{netlist!r}")
@@ -301,43 +368,167 @@ def _run_march(args, netlist, system, outputs, events) -> int:
     return 0
 
 
+def _run_ac(args, netlist, system, outputs) -> None:
+    """Execute the deck's ``.ac`` card and print/write the sweep."""
+    scan = ac_scan(netlist, system=system, outputs=tuple(outputs))
+    card = scan.card
+    print(
+        f"\nAC sweep: {card.variation} {card.n} points, "
+        f"{card.f_start:g} Hz .. {card.f_stop:g} Hz "
+        f"({scan.n_points} frequencies)\n"
+    )
+    mag_db = scan.magnitude_db()
+    phase = scan.phase_deg()
+    table = Table(
+        ["f [Hz]"]
+        + [f"|v({node})| [dB]" for node in outputs]
+        + [f"arg v({node}) [deg]" for node in outputs]
+    )
+    for k, f in enumerate(scan.frequencies):
+        table.add_row(
+            [f"{f:.4g}"]
+            + [f"{mag_db[k, j]:.4g}" for j in range(len(outputs))]
+            + [f"{phase[k, j]:.4g}" for j in range(len(outputs))]
+        )
+    print(table.render())
+
+    if args.ac_csv is not None:
+        header = (
+            ["f"]
+            + [f"mag_db({node})" for node in outputs]
+            + [f"phase_deg({node})" for node in outputs]
+        )
+        rows = [
+            [repr(float(scan.frequencies[k]))]
+            + [repr(float(mag_db[k, j])) for j in range(len(outputs))]
+            + [repr(float(phase[k, j])) for j in range(len(outputs))]
+            for k in range(scan.n_points)
+        ]
+        path = write_csv(args.ac_csv, header, rows)
+        print(f"\nwrote {scan.n_points} AC points to {path}")
+
+
+def _resolve_deck_defaults(args, netlist) -> None:
+    """Fill unset CLI analysis parameters from the deck's cards.
+
+    CLI flags win over their matching ``.tran`` / ``.options`` entries;
+    the classic defaults (``steps=500``, ``windows=1``) apply only when
+    neither side specifies a value.
+    """
+    spec = netlist.analysis
+    if args.basis is None:
+        args.basis = spec.basis
+    if args.basis is not None:
+        args.basis = validate_basis_name(args.basis)
+        if args.basis == "laguerre":
+            raise ReproError(
+                "--basis laguerre is not available from the CLI: the "
+                "Laguerre family needs an explicit time scale; use the "
+                "library API with a LaguerreBasis(a, m) instance, or "
+                "pick one of "
+                + ", ".join(n for n in basis_names() if n != "laguerre")
+            )
+    if args.t_end is None and spec.tran is not None:
+        args.t_end = spec.tran.tstop
+    if args.steps is None:
+        args.steps = spec.m or (
+            spec.tran.steps if spec.tran is not None else 500
+        )
+    if args.windows is None:
+        args.windows = spec.windows or 1
+    args.backend = spec.backend or "auto"
+    args.method = spec.method or "opm"
+    if args.method not in SIMULATION_METHODS:
+        raise ReproError(
+            f".options method={args.method} is unknown; choose from "
+            f"{SIMULATION_METHODS}"
+        )
+    if args.method not in ("opm", "opm-windowed") and (
+        args.windows > 1 or args.sweep or args.event
+    ):
+        raise ReproError(
+            f".options method={args.method} only supports a plain transient: "
+            "windowed marching, --sweep and --event are engine-session "
+            "features; drop the method option or the conflicting flag/card"
+        )
+
+
 def run(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.netlist is not None and args.netlist_flag is not None:
+        print(
+            "error: pass the netlist either positionally or via --netlist, "
+            "not both",
+            file=sys.stderr,
+        )
+        return 2
+    netlist_path = args.netlist if args.netlist is not None else args.netlist_flag
+    if netlist_path is None:
+        print("error: a netlist file is required (positional or --netlist)",
+              file=sys.stderr)
+        return 2
     try:
-        text = args.netlist.read_text()
+        text = netlist_path.read_text()
     except OSError as exc:
-        print(f"error: cannot read {args.netlist}: {exc}", file=sys.stderr)
+        print(f"error: cannot read {netlist_path}: {exc}", file=sys.stderr)
         return 2
 
     try:
-        if args.basis is not None:
-            args.basis = validate_basis_name(args.basis)
-            if args.basis == "laguerre":
-                raise ReproError(
-                    "--basis laguerre is not available from the CLI: the "
-                    "Laguerre family needs an explicit time scale; use the "
-                    "library API with a LaguerreBasis(a, m) instance, or "
-                    "pick one of "
-                    + ", ".join(n for n in basis_names() if n != "laguerre")
-                )
-        netlist = Netlist.from_spice(text, title=args.netlist.stem)
-        outputs = args.outputs if args.outputs else netlist.nodes
-        system = assemble_mna(netlist, outputs=outputs)
-        if args.sweep and (args.windows > 1 or args.event):
-            raise ReproError("--sweep cannot be combined with --windows/--event")
-        if args.sweep:
-            return _run_sweep(args, netlist, system, outputs)
-        if args.event and args.windows < 2:
+        netlist = Netlist.from_spice(text, title=netlist_path.stem)
+        cli_windows = args.windows  # None unless --windows was passed
+        _resolve_deck_defaults(args, netlist)
+        run_ac = netlist.analysis.ac is not None
+        if args.ac_csv is not None and not run_ac:
             raise ReproError(
-                "--event fires at a window boundary: pass --windows K "
-                "(K >= 2) so event times can land strictly inside the horizon"
+                "--ac-csv requires an .ac card in the deck (nothing to write)"
             )
-        if args.windows > 1 or args.event:
-            events = [
-                _parse_event(tokens, netlist, outputs) for tokens in args.event or ()
-            ]
-            return _run_march(args, netlist, system, outputs, events)
-        return _run_single(args, netlist, system, outputs)
+        if args.t_end is None:
+            if not run_ac:
+                raise ReproError(
+                    "no horizon: pass --t-end or give the deck a .tran card"
+                )
+            # AC-only deck: transient-only CLI flags would be silently
+            # dead (a .options windows= card is fine -- it only applies
+            # once a transient runs, matching simulate_netlist)
+            for flag, present in (
+                ("--sweep", bool(args.sweep)),
+                ("--windows", cli_windows is not None and cli_windows > 1),
+                ("--event", bool(args.event)),
+                ("--csv", args.csv is not None),
+            ):
+                if present:
+                    raise ReproError(
+                        f"{flag} drives a transient analysis, but the deck "
+                        "has no .tran card and no --t-end was given"
+                    )
+        outputs = args.outputs if args.outputs else netlist.nodes
+        system = build_system(netlist, outputs=outputs)
+        code = 0
+        if args.t_end is not None:
+            if args.sweep and (args.windows > 1 or args.event):
+                raise ReproError("--sweep cannot be combined with --windows/--event")
+            if args.sweep:
+                code = _run_sweep(args, netlist, system, outputs)
+            else:
+                if args.event and args.windows < 2:
+                    raise ReproError(
+                        "--event fires at a window boundary: pass --windows K "
+                        "(K >= 2) so event times can land strictly inside the "
+                        "horizon"
+                    )
+                # method=opm-windowed marches even with one window,
+                # matching simulate_netlist's routing exactly
+                if args.windows > 1 or args.event or args.method == "opm-windowed":
+                    events = [
+                        _parse_event(tokens, netlist, outputs)
+                        for tokens in args.event or ()
+                    ]
+                    code = _run_march(args, netlist, system, outputs, events)
+                else:
+                    code = _run_single(args, netlist, system, outputs)
+        if run_ac and code == 0:
+            _run_ac(args, netlist, system, outputs)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -10,6 +10,7 @@ transmission line of section V-A
 (:mod:`~repro.circuits.transmission_line`).
 """
 
+from .cards import AcCard, AnalysisSpec, TranCard
 from .components import (
     CPE,
     VCCS,
@@ -25,6 +26,7 @@ from .mna import assemble_mna, assemble_mna_restamp, output_matrix
 from .netlist import Netlist
 from .nodal import assemble_na
 from .power_grid import grid_node_name, power_grid, power_grid_models
+from .netlist import parse_source_spec, parse_value
 from .sources import (
     Constant,
     ExpPulse,
@@ -32,6 +34,9 @@ from .sources import (
     RaisedCosinePulse,
     Ramp,
     Sine,
+    SpiceExp,
+    SpicePulse,
+    SpiceSin,
     Step,
     Waveform,
 )
@@ -39,6 +44,11 @@ from .transmission_line import fractional_line_model, fractional_line_netlist
 
 __all__ = [
     "Netlist",
+    "AnalysisSpec",
+    "TranCard",
+    "AcCard",
+    "parse_value",
+    "parse_source_spec",
     "Resistor",
     "Capacitor",
     "Inductor",
@@ -66,4 +76,7 @@ __all__ = [
     "ExpPulse",
     "RaisedCosinePulse",
     "PiecewiseLinear",
+    "SpiceSin",
+    "SpicePulse",
+    "SpiceExp",
 ]

@@ -90,7 +90,7 @@ def output_matrix(netlist: Netlist, nodes, size: int) -> np.ndarray:
     return C
 
 
-def assemble_mna(netlist: Netlist, outputs=None, *, sparse: str = "auto"):
+def assemble_mna(netlist: Netlist, outputs=None, *, sparse: str = "auto", ic=None):
     """Assemble the MNA model of a netlist.
 
     Parameters
@@ -106,6 +106,13 @@ def assemble_mna(netlist: Netlist, outputs=None, *, sparse: str = "auto"):
         :data:`repro.engine.backends.SPARSE_SIZE_THRESHOLD` states and
         densifies smaller ones; ``'always'`` / ``'never'`` force the
         choice.
+    ic:
+        Optional initial node voltages, a mapping ``node -> volts``
+        (what a ``.ic v(node)=value`` card declares -- pass
+        ``netlist.analysis.ic`` to honour the deck).  Branch-current
+        states start at zero.  Mixed-order circuits emit a
+        :class:`MultiTermSystem`, which has no initial-state support;
+        a non-trivial ``ic`` raises for them.
 
     Returns
     -------
@@ -219,6 +226,13 @@ def assemble_mna(netlist: Netlist, outputs=None, *, sparse: str = "auto"):
             e1.add(l_row[l2.name], l_row[l1.name], mutual)
 
     C_out = None if outputs is None else output_matrix(netlist, outputs, size)
+    x0 = None
+    if ic:
+        x0 = np.zeros(size)
+        for node, volts in ic.items():
+            x0[netlist.node_index(node)] = float(volts)
+        if not np.any(x0):
+            x0 = None
     keep_sparse = sparse == "always" or (
         sparse == "auto" and size >= SPARSE_SIZE_THRESHOLD
     )
@@ -232,17 +246,23 @@ def assemble_mna(netlist: Netlist, outputs=None, *, sparse: str = "auto"):
     E1 = finalise(E1_sp)
 
     if not frac:
-        return DescriptorSystem(E1, A, b, C=C_out)
+        return DescriptorSystem(E1, A, b, C=C_out, x0=x0)
 
     has_integer_dynamics = E1_sp.nnz > 0
     if not has_integer_dynamics and len(frac) == 1:
         ((alpha, stamper),) = frac.items()
         if alpha == 1.0:
-            return DescriptorSystem(finalise(stamper.build()), A, b, C=C_out)
+            return DescriptorSystem(finalise(stamper.build()), A, b, C=C_out, x0=x0)
         return FractionalDescriptorSystem(
-            alpha, finalise(stamper.build()), A, b, C=C_out
+            alpha, finalise(stamper.build()), A, b, C=C_out, x0=x0
         )
 
+    if x0 is not None:
+        raise NetlistError(
+            "initial conditions (.ic) are not supported for mixed-order "
+            "circuits: the multi-term model has no initial-state handling; "
+            "remove the .ic card or unify the dynamic element orders"
+        )
     terms = [(0.0, -A)]
     if has_integer_dynamics:
         terms.append((1.0, E1))

@@ -15,13 +15,39 @@ paper's workloads::
     R<name> <node+> <node-> <resistance>
     C<name> <node+> <node-> <capacitance>
     L<name> <node+> <node-> <inductance>
-    I<name> <node+> <node-> <dc-current>
-    V<name> <node+> <node-> <dc-voltage>
+    K<name> <L1> <L2> <k>                   (inductive coupling)
+    I<name> <node+> <node-> <source-spec>
+    V<name> <node+> <node-> <source-spec>
     G<name> <node+> <node-> <ctrl+> <ctrl-> <gm>   (VCCS)
     P<name> <node+> <node-> <q> <alpha>     (CPE, extension card)
 
-with the usual engineering suffixes (``k``, ``meg``, ``m``, ``u``,
-``n``, ``p``, ``f``, ``t``, ``g``).  Node ``0`` (or ``gnd``) is ground.
+Source specs carry the standard transient cards plus small-signal
+magnitudes for ``.ac``::
+
+    V1 in 0 5                       (bare DC value)
+    V1 in 0 DC 5 AC 1
+    V1 in 0 SIN(VO VA FREQ [TD [THETA [PHASE]]])
+    I1 0 n1 PULSE(V1 V2 [TD [TR [TF [PW [PER]]]]])
+    V1 in 0 EXP(V1 V2 TD1 TAU1 [TD2 [TAU2]])
+    V1 in 0 PWL(T1 V1 T2 V2 ...)
+
+(``SIN``'s ``FREQ`` and ``EXP``'s ``TD1``/``TAU1`` are required: SPICE
+defaults them from the ``.tran`` card, which a waveform built at parse
+time cannot see.  Omitted ``PULSE`` edges mean *ideal* edges -- SPICE
+would default ``TR``/``TF`` to the print step -- and ``PW``/``PER``
+default to a single never-returning pulse.)
+
+Dot-commands ``.tran`` / ``.ac`` / ``.ic`` / ``.options`` are parsed
+into a typed :class:`~repro.circuits.cards.AnalysisSpec` (see that
+module) available as :attr:`Netlist.analysis`; other dot-cards are
+ignored.  Lines starting with ``+`` continue the previous card;
+``;`` begins an inline comment anywhere, ``$`` only at line start or
+after whitespace (so hierarchical ``$`` node names survive).
+
+Numeric tokens take the usual engineering suffixes (``k``, ``meg``,
+``mil``, ``m``, ``u``, ``n``, ``p``, ``f``, ``t``, ``g``); trailing
+unit text is ignored (``1kOhm``, ``10uF``).  Node ``0`` (or ``gnd`` /
+``ground`` in any letter case) is ground.
 """
 
 from __future__ import annotations
@@ -32,6 +58,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from ..errors import NetlistError
+from .cards import AnalysisSpec, AcCard, TranCard
 from .components import (
     CPE,
     VCCS,
@@ -43,18 +70,26 @@ from .components import (
     Resistor,
     VoltageSource,
 )
-from .sources import Constant, Waveform
+from .sources import (
+    Constant,
+    PiecewiseLinear,
+    SpiceExp,
+    SpicePulse,
+    SpiceSin,
+    Waveform,
+)
 
-__all__ = ["Netlist", "GROUND_NAMES"]
+__all__ = ["Netlist", "GROUND_NAMES", "parse_value", "parse_source_spec"]
 
-#: Node names treated as the ground reference.
-GROUND_NAMES = ("0", "gnd", "GND", "ground")
+#: Node names treated as the ground reference (compared case-insensitively).
+GROUND_NAMES = ("0", "gnd", "ground")
 
 _SUFFIXES = {
     "t": 1e12,
     "g": 1e9,
     "meg": 1e6,
     "k": 1e3,
+    "mil": 25.4e-6,
     "m": 1e-3,
     "u": 1e-6,
     "n": 1e-9,
@@ -62,14 +97,28 @@ _SUFFIXES = {
     "f": 1e-15,
 }
 
-_VALUE_RE = re.compile(r"^([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)(meg|[tgkmunpf])?$")
+# Number, then an optional scale suffix (``meg``/``mil`` before the
+# single letters, so ``1meg`` is not read as milli + "eg"), then any
+# trailing unit text (``Ohm``, ``F``, ``H``, ``Hz``, ...), which SPICE
+# ignores.
+_VALUE_RE = re.compile(
+    r"^([-+]?(?:[0-9]+\.?[0-9]*|\.[0-9]+)(?:e[-+]?[0-9]+)?)"
+    r"(meg|mil|[tgkmunpf])?[a-z]*$"
+)
 
 
 def parse_value(token: str) -> float:
     """Parse a SPICE numeric token with engineering suffix.
 
+    Trailing alphabetic unit text after the suffix is ignored, and a
+    bare trailing decimal point is accepted, per SPICE semantics.
+
     >>> parse_value("1k"), round(parse_value("2.5u"), 12), parse_value("3meg")
     (1000.0, 2.5e-06, 3000000.0)
+    >>> parse_value("3."), parse_value("1kOhm"), round(parse_value("10uF"), 12)
+    (3.0, 1000.0, 1e-05)
+    >>> parse_value("5mil") == 5 * 25.4e-6
+    True
     """
     match = _VALUE_RE.match(token.strip().lower())
     if not match:
@@ -77,6 +126,119 @@ def parse_value(token: str) -> float:
     base = float(match.group(1))
     suffix = match.group(2)
     return base * _SUFFIXES[suffix] if suffix else base
+
+
+def _is_value(token: str) -> bool:
+    """True when ``token`` parses as a SPICE numeric value."""
+    return _VALUE_RE.match(token.strip().lower()) is not None
+
+
+# ----------------------------------------------------------------------
+# source-spec parsing (the value fields of V / I cards)
+# ----------------------------------------------------------------------
+_SOURCE_FN_RE = re.compile(r"\b(sin|pulse|exp|pwl)\s*\(([^()]*)\)", re.IGNORECASE)
+
+#: argument counts accepted by each transient function.  SPICE defaults
+#: SIN's FREQ and EXP's TAU1 from the .tran card (1/tstop, tstep) --
+#: values a waveform built at parse time cannot know -- so those
+#: arguments are required here rather than silently mis-defaulted.
+_SOURCE_FN_ARITY = {
+    "sin": (3, 6),
+    "pulse": (2, 7),
+    "exp": (4, 6),
+    "pwl": (4, None),
+}
+
+
+def _build_transient(fn: str, args: list[float], name: str) -> Waveform:
+    """Instantiate the waveform of one transient source function."""
+    lo, hi = _SOURCE_FN_ARITY[fn]
+    if len(args) < lo or (hi is not None and len(args) > hi):
+        bound = f"{lo}" if hi is None else f"{lo}..{hi}"
+        raise NetlistError(
+            f"source {name!r}: {fn.upper()}() takes {bound} arguments, "
+            f"got {len(args)}"
+        )
+    try:
+        if fn == "sin":
+            return SpiceSin(*args)
+        if fn == "pulse":
+            return SpicePulse(*args)
+        if fn == "exp":
+            return SpiceExp(*args)
+        # pwl: alternating time/value pairs
+        if len(args) % 2:
+            raise ValueError("PWL() takes time/value pairs")
+        return PiecewiseLinear(args[0::2], args[1::2])
+    except ValueError as exc:
+        raise NetlistError(f"source {name!r}: {exc}") from exc
+
+
+def parse_source_spec(spec: str, name: str = "?") -> tuple[Waveform, complex | None]:
+    """Parse the value fields of a ``V``/``I`` card.
+
+    Returns ``(waveform, ac)`` where ``ac`` is the complex small-signal
+    magnitude from an ``AC <mag> [<phase-degrees>]`` entry (``None``
+    when the card has none).  The waveform is the transient function if
+    present, otherwise the constant DC value (``0`` if only an AC
+    magnitude is given).
+
+    Examples
+    --------
+    >>> wf, ac = parse_source_spec("DC 2 AC 1", "V1")
+    >>> wf, ac
+    (Constant(2), (1+0j))
+    >>> parse_source_spec("SIN(0 5 1k)", "V1")[0]
+    SpiceSin(vo=0, va=5, freq=1000, td=0, theta=0, phase=0)
+    """
+    text = spec.strip()
+    waveform: Waveform | None = None
+    match = _SOURCE_FN_RE.search(text)
+    if match:
+        fn = match.group(1).lower()
+        arg_tokens = [t for t in re.split(r"[\s,]+", match.group(2).strip()) if t]
+        args = [parse_value(tok) for tok in arg_tokens]
+        waveform = _build_transient(fn, args, name)
+        text = (text[: match.start()] + " " + text[match.end() :]).strip()
+    if "(" in text or ")" in text:
+        raise NetlistError(
+            f"source {name!r}: cannot parse source spec {spec!r} "
+            "(expected one SIN/PULSE/EXP/PWL(...) function)"
+        )
+    tokens = [t for t in re.split(r"[\s,]+", text) if t]
+    dc: float | None = None
+    ac: complex | None = None
+    i = 0
+    while i < len(tokens):
+        key = tokens[i].lower()
+        if key == "dc":
+            if i + 1 >= len(tokens) or dc is not None:
+                raise NetlistError(f"source {name!r}: bad DC entry in {spec!r}")
+            dc = parse_value(tokens[i + 1])
+            i += 2
+        elif key == "ac":
+            if i + 1 >= len(tokens) or ac is not None:
+                raise NetlistError(f"source {name!r}: bad AC entry in {spec!r}")
+            magnitude = parse_value(tokens[i + 1])
+            i += 2
+            phase = 0.0
+            if i < len(tokens) and _is_value(tokens[i]):
+                phase = parse_value(tokens[i])
+                i += 1
+            ac = complex(magnitude * np.exp(1j * np.pi * phase / 180.0))
+        elif dc is None and _is_value(key):
+            # a bare value is the DC operating level; the classic form
+            # "V1 in 0 0 SIN(...)" carries one alongside the transient
+            # function (which then drives the simulation)
+            dc = parse_value(tokens[i])
+            i += 1
+        else:
+            raise NetlistError(
+                f"source {name!r}: unexpected token {tokens[i]!r} in {spec!r}"
+            )
+    if waveform is None:
+        waveform = Constant(0.0 if dc is None else dc)
+    return waveform, ac
 
 
 class Netlist:
@@ -97,10 +259,12 @@ class Netlist:
         self.title = title
         self.elements: list[Element] = []
         self.couplings: list[MutualInductance] = []
+        self.analysis = AnalysisSpec()
         self._names: set[str] = set()
         self._node_order: list[str] = []
         self._node_index: dict[str, int] = {}
         self._waveforms: dict[int, Waveform] = {}
+        self._ac_magnitudes: dict[int, complex] = {}
         self._next_channel = 0
 
     # ------------------------------------------------------------------
@@ -108,8 +272,16 @@ class Netlist:
     # ------------------------------------------------------------------
     @staticmethod
     def is_ground(node: str) -> bool:
-        """True when ``node`` is one of the ground aliases (``0``, ``gnd``, ...)."""
-        return node in GROUND_NAMES
+        """True when ``node`` is a ground alias (``0``/``gnd``/``ground``).
+
+        Comparison is case-insensitive: ``Gnd``, ``GROUND`` and
+        ``Ground`` all name the reference node (registering them as
+        live nodes would silently produce a wrong MNA system).
+
+        >>> Netlist.is_ground("Gnd"), Netlist.is_ground("GROUND")
+        (True, True)
+        """
+        return node.lower() in GROUND_NAMES
 
     def _register_node(self, node: str) -> None:
         if self.is_ground(node) or node in self._node_index:
@@ -242,6 +414,39 @@ class Netlist:
             raise NetlistError(f"channel {channel} out of range [0, {self.n_channels})")
         self._waveforms[int(channel)] = waveform
 
+    def set_ac_magnitude(self, channel: int, magnitude: complex) -> None:
+        """Attach a small-signal (``.ac``) magnitude to an input channel."""
+        if channel < 0 or channel >= self.n_channels:
+            raise NetlistError(f"channel {channel} out of range [0, {self.n_channels})")
+        self._ac_magnitudes[int(channel)] = complex(magnitude)
+
+    def ac_vector(self) -> np.ndarray:
+        """Per-channel small-signal excitation for ``.ac`` analysis.
+
+        Channels whose source carried an ``AC <mag> [<phase>]`` entry
+        contribute that complex magnitude; the others contribute zero.
+        A *single-channel* deck without any AC entry defaults to the
+        customary unit excitation (``1 + 0j``) so simple decks need no
+        boilerplate; a multi-channel deck must say which sources excite
+        the sweep -- exciting all of them at once would report a
+        physically meaningless superposition.
+        """
+        p = self.n_channels
+        if p == 0:
+            raise NetlistError("netlist has no input channels")
+        if not self._ac_magnitudes:
+            if p == 1:
+                return np.ones(1, dtype=complex)
+            raise NetlistError(
+                f"the deck has {p} input channels but no source declares an "
+                "AC magnitude; add 'AC <mag> [<phase>]' to the source(s) "
+                "that should excite the .ac sweep"
+            )
+        out = np.zeros(p, dtype=complex)
+        for channel, magnitude in self._ac_magnitudes.items():
+            out[channel] = magnitude
+        return out
+
     # ------------------------------------------------------------------
     # element queries
     # ------------------------------------------------------------------
@@ -310,35 +515,147 @@ class Netlist:
     # ------------------------------------------------------------------
     # parsing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _logical_lines(text: str) -> list[str]:
+        """Join ``+`` continuations and strip comments from a deck.
+
+        ``*`` lines are full-line comments; ``;`` and ``$`` begin
+        inline comments; a leading ``+`` continues the previous card
+        (comments are stripped before joining, so a commented card
+        still continues cleanly).  Stops at ``.end``.
+        """
+
+        def strip_inline(line: str) -> str:
+            # ';' comments anywhere; '$' only at line start or after
+            # whitespace (tool-generated decks use '$' inside
+            # hierarchical node names)
+            pos = line.find(";")
+            if pos >= 0:
+                line = line[:pos]
+            match = re.search(r"(?:^|\s)\$", line)
+            if match:
+                line = line[: match.start()]
+            return line.strip()
+
+        logical: list[str] = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("*"):
+                continue
+            if line.startswith("+"):
+                continuation = strip_inline(line[1:])
+                if not logical:
+                    raise NetlistError(
+                        "continuation line '+' with no card to continue"
+                    )
+                if continuation:
+                    logical[-1] += " " + continuation
+                continue
+            line = strip_inline(line)
+            if not line:
+                continue
+            if line.lower().startswith(".end"):
+                break
+            logical.append(line)
+        return logical
+
+    def _parse_dot_card(self, fields: list[str]) -> None:
+        """Parse one ``.tran`` / ``.ac`` / ``.ic`` / ``.options`` card."""
+        command = fields[0].lower()
+        spec = self.analysis
+        if command == ".tran":
+            numbers = [f for f in fields[1:] if f.lower() != "uic"]
+            uic = len(numbers) != len(fields) - 1
+            if len(numbers) < 2 or len(numbers) > 4:
+                raise NetlistError(
+                    ".tran expects '.tran tstep tstop [tstart] [tmax] [uic]', "
+                    f"got {' '.join(fields)!r}"
+                )
+            values = [parse_value(tok) for tok in numbers]
+            spec.tran = TranCard(
+                tstep=values[0],
+                tstop=values[1],
+                tstart=values[2] if len(values) > 2 else 0.0,
+                tmax=values[3] if len(values) > 3 else None,
+                uic=uic,
+            )
+        elif command == ".ac":
+            if len(fields) != 5:
+                raise NetlistError(
+                    ".ac expects '.ac dec|oct|lin n fstart fstop', "
+                    f"got {' '.join(fields)!r}"
+                )
+            try:
+                n_points = int(parse_value(fields[2]))
+            except NetlistError:
+                raise NetlistError(
+                    f".ac point count must be an integer, got {fields[2]!r}"
+                ) from None
+            spec.ac = AcCard(
+                variation=fields[1].lower(),
+                n=n_points,
+                f_start=parse_value(fields[3]),
+                f_stop=parse_value(fields[4]),
+            )
+        elif command == ".ic":
+            body = re.sub(r"\s*=\s*", "=", " ".join(fields[1:]))
+            for entry in body.split():
+                match = re.fullmatch(r"v\((.+)\)=(\S+)", entry, re.IGNORECASE)
+                if not match:
+                    raise NetlistError(
+                        f".ic entries must look like v(node)=value, got {entry!r}"
+                    )
+                node = match.group(1).strip()
+                if self.is_ground(node):
+                    raise NetlistError(f".ic cannot set the ground node {node!r}")
+                spec.ic[node] = parse_value(match.group(2))
+        elif command in (".options", ".option"):
+            body = re.sub(r"\s*=\s*", "=", " ".join(fields[1:]))
+            for entry in body.split():
+                key, sep, value = entry.partition("=")
+                if not sep or not key or not value:
+                    raise NetlistError(
+                        f".options entries must look like key=value, got {entry!r}"
+                    )
+                spec.set_option(key, value)
+        # other dot-commands (.print, .plot, .temp, ...) are ignored
+
     @classmethod
     def from_spice(cls, text: str, title: str = "") -> "Netlist":
         """Build a netlist from SPICE-subset cards (see module docstring).
+
+        Handles ``+`` continuation lines, inline ``;`` / ``$``
+        comments, transient source functions, and the ``.tran`` /
+        ``.ac`` / ``.ic`` / ``.options`` dot-commands (collected into
+        :attr:`analysis`).
 
         Examples
         --------
         >>> nl = Netlist.from_spice('''
         ... * simple rc
-        ... I1 0 n1 1m
-        ... R1 n1 0 1k
+        ... I1 0 n1 SIN(0 1m 1k)  ; 1 kHz drive
+        ... R1 n1 0 1kOhm
         ... C1 n1 0 1u
+        ... .tran 10u 5m
         ... ''')
-        >>> nl.n_nodes
-        1
+        >>> nl.n_nodes, nl.analysis.tran.steps
+        (1, 500)
         """
         netlist = cls(title)
-        for raw_line in text.splitlines():
-            line = raw_line.strip()
-            if not line or line.startswith("*"):
-                continue
-            if line.lower().startswith(".end"):
-                break
-            if line.startswith("."):
-                continue  # other dot-cards ignored in the subset
+        for line in cls._logical_lines(text):
             fields = line.split()
             name = fields[0]
+            if name.startswith("."):
+                netlist._parse_dot_card(fields)
+                continue
             kind = name[0].upper()
-            if kind in "RCLIV" and len(fields) != 4:
+            if kind in "RCL" and len(fields) != 4:
                 raise NetlistError(f"card {name!r}: expected 4 fields, got {len(fields)}")
+            if kind in "IV" and len(fields) < 4:
+                raise NetlistError(
+                    f"source card {name!r}: expected nodes plus a value or "
+                    f"source spec, got {len(fields)} fields"
+                )
             if kind == "P" and len(fields) != 5:
                 raise NetlistError(f"CPE card {name!r}: expected 5 fields, got {len(fields)}")
             if kind == "G" and len(fields) != 6:
@@ -357,10 +674,16 @@ class Netlist:
                 netlist.add_capacitor(name, a, b, parse_value(fields[3]))
             elif kind == "L":
                 netlist.add_inductor(name, a, b, parse_value(fields[3]))
-            elif kind == "I":
-                netlist.add_current_source(name, a, b, Constant(parse_value(fields[3])))
-            elif kind == "V":
-                netlist.add_voltage_source(name, a, b, Constant(parse_value(fields[3])))
+            elif kind in "IV":
+                waveform, ac = parse_source_spec(" ".join(fields[3:]), name)
+                adder = (
+                    netlist.add_current_source
+                    if kind == "I"
+                    else netlist.add_voltage_source
+                )
+                channel = adder(name, a, b, waveform)
+                if ac is not None:
+                    netlist.set_ac_magnitude(channel, ac)
             elif kind == "G":
                 netlist.add_vccs(
                     name, a, b, fields[3], fields[4], parse_value(fields[5])
@@ -371,7 +694,21 @@ class Netlist:
                 raise NetlistError(f"unsupported card {name!r}")
         if not netlist.elements:
             raise NetlistError("netlist contains no elements")
+        for node in netlist.analysis.ic:
+            netlist.node_index(node)  # unknown .ic nodes fail fast
         return netlist
+
+    @classmethod
+    def from_spice_file(cls, path) -> "Netlist":
+        """Read and parse a netlist file; the title is the file stem."""
+        from pathlib import Path
+
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise NetlistError(f"cannot read netlist {path}: {exc}") from exc
+        return cls.from_spice(text, title=path.stem)
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:

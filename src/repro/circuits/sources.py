@@ -24,6 +24,9 @@ __all__ = [
     "ExpPulse",
     "RaisedCosinePulse",
     "PiecewiseLinear",
+    "SpiceSin",
+    "SpicePulse",
+    "SpiceExp",
     "Sum",
     "Scaled",
 ]
@@ -312,6 +315,285 @@ class _PWLRate(Waveform):
 
     def __repr__(self) -> str:
         return f"PWLRate({self._slopes.size} segments)"
+
+
+class SpiceSin(Waveform):
+    """SPICE ``SIN(VO VA FREQ TD THETA PHASE)`` transient source.
+
+    Standard SPICE semantics: constant ``vo + va sin(phase)`` before the
+    delay ``td``, then a (possibly damped) sine
+
+    .. math::
+
+        v(t) = v_o + v_a e^{-(t - t_d)\\theta}
+               \\sin(2\\pi f (t - t_d) + \\varphi),
+
+    with ``phase`` given in degrees as in SPICE decks.
+
+    Examples
+    --------
+    >>> wf = SpiceSin(0.0, 1.0, 0.25)           # 0.25 Hz, peak at t=1
+    >>> np.round(wf(np.array([0.0, 1.0])), 12)
+    array([0., 1.])
+    """
+
+    def __init__(
+        self,
+        vo: float = 0.0,
+        va: float = 1.0,
+        freq: float = 1.0,
+        td: float = 0.0,
+        theta: float = 0.0,
+        phase: float = 0.0,
+    ) -> None:
+        self.vo = float(vo)
+        self.va = float(va)
+        self.freq = check_positive_float(freq, "freq")
+        self.td = float(td)
+        self.theta = float(theta)
+        self.phase = float(phase)
+
+    @property
+    def _phase_rad(self) -> float:
+        return np.pi * self.phase / 180.0
+
+    def __call__(self, times) -> np.ndarray:
+        t = np.asarray(times, dtype=float) - self.td
+        live = t >= 0.0
+        tau = np.where(live, t, 0.0)
+        w = 2.0 * np.pi * self.freq
+        wave = self.va * np.exp(-tau * self.theta) * np.sin(w * tau + self._phase_rad)
+        hold = self.va * np.sin(self._phase_rad)
+        return self.vo + np.where(live, wave, hold)
+
+    def derivative(self) -> "Waveform":
+        return _SpiceSinRate(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpiceSin(vo={self.vo:g}, va={self.va:g}, freq={self.freq:g}, "
+            f"td={self.td:g}, theta={self.theta:g}, phase={self.phase:g})"
+        )
+
+
+class _SpiceSinRate(Waveform):
+    """Derivative of :class:`SpiceSin` (zero before the delay)."""
+
+    def __init__(self, sin: SpiceSin) -> None:
+        self._s = sin
+
+    def __call__(self, times) -> np.ndarray:
+        s = self._s
+        t = np.asarray(times, dtype=float) - s.td
+        live = t >= 0.0
+        tau = np.where(live, t, 0.0)
+        w = 2.0 * np.pi * s.freq
+        arg = w * tau + s._phase_rad
+        rate = (
+            s.va
+            * np.exp(-tau * s.theta)
+            * (w * np.cos(arg) - s.theta * np.sin(arg))
+        )
+        return np.where(live, rate, 0.0)
+
+    def __repr__(self) -> str:
+        return f"derivative({self._s!r})"
+
+
+class SpicePulse(Waveform):
+    """SPICE ``PULSE(V1 V2 TD TR TF PW PER)`` trapezoidal pulse train.
+
+    Holds ``v1`` until the delay ``td``, rises linearly to ``v2`` over
+    ``tr``, holds for ``pw``, falls back over ``tf``, and -- when a
+    finite period ``per`` is given -- repeats.  ``pw``/``per`` default
+    to infinity (a single pulse that never returns / never repeats).
+
+    Ideal edges (``tr == 0`` or ``tf == 0``) are accepted for MNA
+    transient runs; like :class:`Step`, they have no classical
+    derivative, so :meth:`derivative` raises for them.
+
+    Examples
+    --------
+    >>> wf = SpicePulse(0.0, 1.0, td=1.0, tr=1.0, tf=1.0, pw=1.0, per=8.0)
+    >>> wf(np.array([0.5, 1.5, 2.5, 3.5, 10.5]))
+    array([0. , 0.5, 1. , 0.5, 1. ])
+    """
+
+    def __init__(
+        self,
+        v1: float = 0.0,
+        v2: float = 1.0,
+        td: float = 0.0,
+        tr: float = 0.0,
+        tf: float = 0.0,
+        pw: float = np.inf,
+        per: float = np.inf,
+    ) -> None:
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.td = float(td)
+        self.tr = float(tr)
+        self.tf = float(tf)
+        self.pw = float(pw)
+        self.per = float(per)
+        for label, value in (("tr", self.tr), ("tf", self.tf), ("pw", self.pw)):
+            if value < 0.0:
+                raise ValueError(f"{label} must be non-negative, got {value:g}")
+        if self.per <= 0.0:
+            raise ValueError(f"per must be positive, got {self.per:g}")
+        if np.isfinite(self.per) and self.per < self.tr + self.pw + self.tf:
+            raise ValueError(
+                f"per ({self.per:g}) must cover tr + pw + tf "
+                f"({self.tr + self.pw + self.tf:g})"
+            )
+
+    def _fold(self, times) -> np.ndarray:
+        """Time since the start of the active cycle (negative before td)."""
+        tau = np.asarray(times, dtype=float) - self.td
+        if np.isfinite(self.per):
+            tau = np.where(tau >= 0.0, np.mod(tau, self.per), tau)
+        return tau
+
+    def __call__(self, times) -> np.ndarray:
+        tau = self._fold(times)
+        rise_end = self.tr
+        high_end = self.tr + self.pw
+        fall_end = high_end + self.tf
+        with np.errstate(invalid="ignore"):
+            rising = (
+                self.v1 + (self.v2 - self.v1) * tau / self.tr
+                if self.tr > 0.0
+                else np.full_like(tau, self.v2)
+            )
+            falling = (
+                self.v2 + (self.v1 - self.v2) * (tau - high_end) / self.tf
+                if self.tf > 0.0
+                else np.full_like(tau, self.v1)
+            )
+        return np.select(
+            [tau < 0.0, tau < rise_end, tau <= high_end, tau < fall_end],
+            [self.v1, rising, self.v2, falling],
+            default=self.v1,
+        )
+
+    def derivative(self) -> "Waveform":
+        if self.tr == 0.0 or self.tf == 0.0:
+            raise NotImplementedError(
+                "an ideal-edge PULSE (tr=0 or tf=0) has no classical "
+                "derivative; give the edges a finite rise/fall time"
+            )
+        return _SpicePulseRate(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpicePulse(v1={self.v1:g}, v2={self.v2:g}, td={self.td:g}, "
+            f"tr={self.tr:g}, tf={self.tf:g}, pw={self.pw:g}, per={self.per:g})"
+        )
+
+
+class _SpicePulseRate(Waveform):
+    """Derivative of :class:`SpicePulse`: rectangular edge-rate pulses."""
+
+    def __init__(self, pulse: SpicePulse) -> None:
+        self._p = pulse
+
+    def __call__(self, times) -> np.ndarray:
+        p = self._p
+        tau = p._fold(times)
+        high_end = p.tr + p.pw
+        fall_end = high_end + p.tf
+        up = (p.v2 - p.v1) / p.tr
+        down = (p.v1 - p.v2) / p.tf
+        return np.select(
+            [tau < 0.0, tau < p.tr, tau <= high_end, tau < fall_end],
+            [0.0, up, 0.0, down],
+            default=0.0,
+        )
+
+    def __repr__(self) -> str:
+        return f"derivative({self._p!r})"
+
+
+class SpiceExp(Waveform):
+    """SPICE ``EXP(V1 V2 TD1 TAU1 TD2 TAU2)`` double-exponential edge.
+
+    Holds ``v1`` until ``td1``, then relaxes toward ``v2`` with time
+    constant ``tau1``; from ``td2`` a second exponential with constant
+    ``tau2`` pulls the value back toward ``v1``:
+
+    .. math::
+
+        v(t) = v_1 + (v_2 - v_1)\\,(1 - e^{-(t - t_{d1})/\\tau_1})
+             + (v_1 - v_2)\\,(1 - e^{-(t - t_{d2})/\\tau_2}) .
+
+    ``td2`` defaults to ``td1 + tau1``; ``tau2`` defaults to ``tau1``.
+
+    Examples
+    --------
+    >>> wf = SpiceExp(0.0, 1.0, td1=0.0, tau1=1.0, td2=10.0, tau2=1.0)
+    >>> bool(abs(wf(np.array([1.0]))[0] - (1 - np.exp(-1))) < 1e-12)
+    True
+    """
+
+    def __init__(
+        self,
+        v1: float = 0.0,
+        v2: float = 1.0,
+        td1: float = 0.0,
+        tau1: float = 1.0,
+        td2: float | None = None,
+        tau2: float | None = None,
+    ) -> None:
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.td1 = float(td1)
+        self.tau1 = check_positive_float(tau1, "tau1")
+        self.td2 = self.td1 + self.tau1 if td2 is None else float(td2)
+        self.tau2 = self.tau1 if tau2 is None else check_positive_float(tau2, "tau2")
+        if self.td2 < self.td1:
+            raise ValueError(
+                f"td2 ({self.td2:g}) must not precede td1 ({self.td1:g})"
+            )
+
+    def _edges(self, times) -> tuple[np.ndarray, np.ndarray]:
+        t = np.asarray(times, dtype=float)
+        t1 = np.maximum(t - self.td1, 0.0)
+        t2 = np.maximum(t - self.td2, 0.0)
+        return t1, t2
+
+    def __call__(self, times) -> np.ndarray:
+        t1, t2 = self._edges(times)
+        swing = self.v2 - self.v1
+        rise = swing * (1.0 - np.exp(-t1 / self.tau1)) * (t1 > 0.0)
+        fall = -swing * (1.0 - np.exp(-t2 / self.tau2)) * (t2 > 0.0)
+        return self.v1 + rise + fall
+
+    def derivative(self) -> "Waveform":
+        return _SpiceExpRate(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpiceExp(v1={self.v1:g}, v2={self.v2:g}, td1={self.td1:g}, "
+            f"tau1={self.tau1:g}, td2={self.td2:g}, tau2={self.tau2:g})"
+        )
+
+
+class _SpiceExpRate(Waveform):
+    """Derivative of :class:`SpiceExp`."""
+
+    def __init__(self, pulse: SpiceExp) -> None:
+        self._p = pulse
+
+    def __call__(self, times) -> np.ndarray:
+        p = self._p
+        t1, t2 = p._edges(times)
+        swing = p.v2 - p.v1
+        rise = swing / p.tau1 * np.exp(-t1 / p.tau1) * (t1 > 0.0)
+        fall = -swing / p.tau2 * np.exp(-t2 / p.tau2) * (t2 > 0.0)
+        return rise + fall
+
+    def __repr__(self) -> str:
+        return f"derivative({self._p!r})"
 
 
 class Sum(Waveform):

@@ -74,4 +74,20 @@ __all__ = [
     "select_backend",
     "solve_columns_toeplitz",
     "solve_columns_general",
+    "simulate_netlist",
+    "NetlistRun",
+    "AcScan",
 ]
+
+#: Netlist-front-end names served lazily (PEP 562): the netlist session
+#: layer imports :mod:`repro.circuits`, which imports this package --
+#: an eager import here would bite its own tail during start-up.
+_NETLIST_EXPORTS = ("simulate_netlist", "NetlistRun", "AcScan")
+
+
+def __getattr__(name: str):
+    if name in _NETLIST_EXPORTS:
+        from ..engine import netlist_session
+
+        return getattr(netlist_session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

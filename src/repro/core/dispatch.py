@@ -17,6 +17,7 @@ True
 from __future__ import annotations
 
 import difflib
+import sys
 
 from ..basis.base import BasisSet
 from ..engine.bundle import validate_basis_name
@@ -64,12 +65,18 @@ def simulate(
     Parameters
     ----------
     system:
-        Any model from :mod:`repro.core.lti` (method support varies:
-        the classical one-step schemes need ``alpha == 1``; the FFT and
-        Grünwald-Letnikov baselines accept fractional orders).
+        Any model from :mod:`repro.core.lti`, or a
+        :class:`~repro.circuits.netlist.Netlist` -- netlists are
+        assembled on the fly through
+        :func:`repro.engine.netlist_session.build_system` (honouring
+        their ``.ic`` card), and ``u=None`` then means "drive with the
+        deck's own source waveforms".  (Method support varies: the
+        classical one-step schemes need ``alpha == 1``; the FFT and
+        Grünwald-Letnikov baselines accept fractional orders.)
     u:
         Input specification (callable, scalar, or -- for the OPM
-        fixed-grid methods -- a coefficient array).
+        fixed-grid methods -- a coefficient array).  ``None`` is only
+        meaningful for netlist systems (see above).
     t_end:
         Horizon.
     steps:
@@ -99,6 +106,22 @@ def simulate(
         hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise SolverError(
             f"unknown method {method!r}{hint}; choose from {SIMULATION_METHODS}"
+        )
+    # netlists assemble on the fly; repro.circuits sits above the
+    # core/engine layers, so detect instances via sys.modules instead of
+    # importing it (a Netlist can only exist once its module is loaded)
+    netlist_module = sys.modules.get("repro.circuits.netlist")
+    if netlist_module is not None and isinstance(system, netlist_module.Netlist):
+        from ..engine.netlist_session import build_system
+
+        netlist = system
+        system = build_system(netlist)
+        if u is None:
+            u = netlist.input_function()
+    elif u is None:
+        raise SolverError(
+            "u=None is only valid for Netlist systems (whose decks carry "
+            "their own source waveforms)"
         )
     if basis is not None:
         if method not in _BASIS_GENERIC:

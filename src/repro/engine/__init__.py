@@ -24,7 +24,12 @@ shares, so that repeated-solve workloads amortise it across calls:
 * :mod:`~repro.engine.marching` -- windowed time-marching over long
   horizons with state carry-over, fractional memory transfer, and
   mid-run :class:`Event` handling (input swaps, load steps, pencil
-  re-stamps).
+  re-stamps);
+* :mod:`~repro.engine.netlist_session` -- the SPICE front door:
+  netlist-native sessions (:meth:`Simulator.from_netlist`), ``.ac``
+  sweeps, and the :func:`simulate_netlist` one-call driver executing a
+  deck's analysis cards (loaded lazily: it sits above
+  :mod:`repro.circuits`, which itself uses the engine backends).
 
 The classic one-shot entry points in :mod:`repro.core` are thin
 wrappers over this engine.
@@ -44,6 +49,28 @@ from .marching import Event
 from .session import Simulator, resolve_grid
 from .sweep import SweepResult
 
+#: Names served lazily from :mod:`~repro.engine.netlist_session` (PEP
+#: 562): that module imports :mod:`repro.circuits`, whose MNA assembler
+#: imports :mod:`repro.engine.backends` -- an eager import here would
+#: close the cycle while both packages are half-initialised.
+_NETLIST_EXPORTS = (
+    "simulate_netlist",
+    "from_netlist",
+    "ac_scan",
+    "build_system",
+    "AcScan",
+    "NetlistRun",
+)
+
+
+def __getattr__(name: str):
+    if name in _NETLIST_EXPORTS:
+        from . import netlist_session
+
+        return getattr(netlist_session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Simulator",
     "SweepResult",
@@ -61,4 +88,10 @@ __all__ = [
     "project_input",
     "normalise_input_callable",
     "resolve_grid",
+    "simulate_netlist",
+    "from_netlist",
+    "ac_scan",
+    "build_system",
+    "AcScan",
+    "NetlistRun",
 ]

@@ -1,0 +1,397 @@
+"""Netlist-native simulation sessions: the SPICE front door.
+
+This module turns a parsed :class:`~repro.circuits.netlist.Netlist`
+(or a ``.cir`` file) directly into engine work, executing the deck's
+:class:`~repro.circuits.cards.AnalysisSpec`:
+
+* :func:`build_system` -- MNA assembly honouring ``.ic`` initial node
+  voltages;
+* :func:`from_netlist` (also reachable as
+  :meth:`repro.Simulator.from_netlist`) -- a warm cached
+  :class:`~repro.engine.session.Simulator` whose grid, basis, and
+  backend default to the deck's ``.tran`` / ``.options`` cards and
+  whose input channels are bound to the parsed source waveforms, so
+  ``sim.run()`` needs no arguments;
+* :func:`ac_scan` -- ``.ac`` small-signal sweeps through
+  :func:`repro.analysis.frequency.frequency_response`, driven by the
+  sources' ``AC`` magnitudes;
+* :func:`simulate_netlist` -- the one-call driver: parse, assemble,
+  run every requested analysis (``.tran`` through ``run``/``march``,
+  ``.ac`` through the frequency sweep), and return a
+  :class:`NetlistRun`.
+
+Example
+-------
+>>> from repro.engine.netlist_session import simulate_netlist
+>>> run = simulate_netlist('''
+... I1 0 n1 SIN(0 1m 100)
+... R1 n1 0 1k
+... C1 n1 0 1u
+... .tran 50u 10m
+... ''')
+>>> run.tran.info['basis']
+'BlockPulse'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.frequency import frequency_response
+from ..circuits.cards import AcCard
+from ..circuits.mna import assemble_mna
+from ..circuits.netlist import Netlist
+from ..errors import NetlistError
+from .session import Simulator
+
+__all__ = [
+    "build_system",
+    "from_netlist",
+    "ac_scan",
+    "simulate_netlist",
+    "AcScan",
+    "NetlistRun",
+]
+
+#: Transient methods served natively by the cached-session engine; any
+#: other name is routed through :func:`repro.core.dispatch.simulate`.
+_SESSION_METHODS = ("opm", "opm-windowed")
+
+
+def _as_netlist(source, title: str = "") -> Netlist:
+    """Coerce a :class:`Netlist`, deck text, or file path to a netlist.
+
+    A string containing a newline is parsed as deck text; anything else
+    (plain string or :class:`~pathlib.Path`) is read as a file.
+    """
+    if isinstance(source, Netlist):
+        return source
+    if isinstance(source, str) and "\n" in source:
+        return Netlist.from_spice(source, title=title)
+    return Netlist.from_spice_file(source)
+
+
+def build_system(netlist: Netlist, outputs=None, *, sparse: str = "auto",
+                 use_ic: bool = True):
+    """Assemble the netlist's MNA model, honouring its ``.ic`` card.
+
+    Thin wrapper over :func:`repro.circuits.mna.assemble_mna` that
+    threads the deck's initial node voltages into the model's ``x0``
+    (disable with ``use_ic=False``).
+    """
+    ic = netlist.analysis.ic if use_ic else None
+    return assemble_mna(netlist, outputs=outputs, sparse=sparse, ic=ic)
+
+
+def from_netlist(
+    netlist,
+    grid=None,
+    *,
+    outputs=None,
+    basis=None,
+    sparse: str = "auto",
+    use_ic: bool = True,
+    **session_kwargs,
+) -> Simulator:
+    """Build a cached :class:`Simulator` session straight from a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        A :class:`Netlist`, deck text (with newlines), or ``.cir`` path.
+    grid:
+        Session grid (:class:`~repro.basis.grid.TimeGrid`, ``(t_end,
+        m)`` tuple, or basis instance).  ``None`` derives it from the
+        deck's ``.tran`` card: horizon ``tstop``, term count from
+        ``.options m=`` or ``round(tstop / tstep)``.
+    outputs:
+        Node names to expose as model outputs (default: every node).
+    basis:
+        Basis family; ``None`` defers to ``.options basis=`` (block
+        pulse when the deck is silent).
+    sparse, use_ic:
+        Forwarded to :func:`build_system`.
+    **session_kwargs:
+        Forwarded to :class:`Simulator` (``backend`` defaults to the
+        deck's ``.options backend=``).
+
+    The parsed source waveforms are bound to the session
+    (:meth:`Simulator.bind_input`), so ``sim.run()`` and
+    ``sim.march(None, t_end)`` simulate the deck's own drive without
+    re-supplying it.
+
+    Examples
+    --------
+    >>> sim = from_netlist('''
+    ... I1 0 n1 1m
+    ... R1 n1 0 1k
+    ... C1 n1 0 1u
+    ... .tran 50u 5m
+    ... ''')
+    >>> sim.grid.m, sim.runs
+    (100, 0)
+    >>> bool(abs(sim.run().states([5e-3])[0, 0] - 1.0) < 1e-2)
+    True
+    """
+    netlist = _as_netlist(netlist)
+    spec = netlist.analysis
+    output_names = list(outputs) if outputs is not None else list(netlist.nodes)
+    system = build_system(netlist, outputs=output_names, sparse=sparse, use_ic=use_ic)
+    if grid is None:
+        if spec.tran is None:
+            raise NetlistError(
+                "cannot derive a session grid: the deck has no .tran card; "
+                "pass grid=(t_end, m) explicitly"
+            )
+        grid = (spec.tran.tstop, spec.m or spec.tran.steps)
+    if basis is None:
+        basis = spec.basis
+    if "backend" not in session_kwargs and spec.backend is not None:
+        session_kwargs["backend"] = spec.backend
+    sim = Simulator(system, grid, basis=basis, **session_kwargs)
+    sim.bind_input(netlist.input_function())
+    return sim
+
+
+@dataclass(frozen=True)
+class AcScan:
+    """Result of one ``.ac`` small-signal sweep.
+
+    ``response[k, j]`` is the complex phasor of output ``outputs[j]``
+    at ``frequencies[k]`` hertz, for the excitation declared by the
+    sources' ``AC`` magnitudes (see
+    :meth:`~repro.circuits.netlist.Netlist.ac_vector`).
+    """
+
+    frequencies: np.ndarray
+    response: np.ndarray
+    outputs: tuple[str, ...]
+    card: AcCard
+
+    @property
+    def n_points(self) -> int:
+        return int(self.frequencies.size)
+
+    def magnitude(self) -> np.ndarray:
+        """``|H|`` per point and output, shape ``(nf, q)``."""
+        return np.abs(self.response)
+
+    def magnitude_db(self) -> np.ndarray:
+        """``20 log10 |H|`` per point and output, shape ``(nf, q)``."""
+        with np.errstate(divide="ignore"):
+            return 20.0 * np.log10(np.abs(self.response))
+
+    def phase_deg(self) -> np.ndarray:
+        """Phase in degrees per point and output, shape ``(nf, q)``."""
+        return np.degrees(np.angle(self.response))
+
+    def __repr__(self) -> str:
+        return (
+            f"AcScan({self.n_points} points, "
+            f"{self.frequencies[0]:g}..{self.frequencies[-1]:g} Hz, "
+            f"outputs={list(self.outputs)})"
+        )
+
+
+def ac_scan(netlist, system=None, card=None, *, outputs=None) -> AcScan:
+    """Run an ``.ac`` sweep of a netlist through the transfer function.
+
+    Parameters
+    ----------
+    netlist:
+        A :class:`Netlist`, deck text, or file path.
+    system:
+        Pre-assembled model (assembled from the netlist when ``None``;
+        its outputs must match ``outputs``).
+    card:
+        The sweep card (default: the deck's ``.ac`` card).
+    outputs:
+        Output node names (default: every node).
+
+    Examples
+    --------
+    >>> scan = ac_scan('''
+    ... I1 0 n1 AC 1
+    ... R1 n1 0 1k
+    ... C1 n1 0 1u
+    ... .ac dec 1 1 1000
+    ... ''')
+    >>> scan.n_points, float(round(scan.magnitude()[0, 0], 2))
+    (4, 999.98)
+    """
+    netlist = _as_netlist(netlist)
+    if card is None:
+        card = netlist.analysis.ac
+        if card is None:
+            raise NetlistError(
+                "AC analysis requested but the deck has no .ac card"
+            )
+    output_names = tuple(outputs) if outputs is not None else tuple(netlist.nodes)
+    if system is None:
+        system = build_system(netlist, outputs=output_names)
+    H = frequency_response(system, card.omegas())  # (nf, q, p)
+    excitation = netlist.ac_vector()
+    response = np.einsum("fqp,p->fq", H, excitation)
+    return AcScan(
+        frequencies=card.frequencies(),
+        response=response,
+        outputs=output_names,
+        card=card,
+    )
+
+
+@dataclass(frozen=True)
+class NetlistRun:
+    """Everything one deck's analyses produced.
+
+    Attributes
+    ----------
+    netlist, system:
+        The parsed circuit and its assembled model.
+    outputs:
+        Output node names, in the order of the result rows/columns.
+    tran:
+        The transient result
+        (:class:`~repro.core.result.SimulationResult`,
+        :class:`~repro.core.result.MarchingResult`, or a baseline's
+        sampled result), ``None`` when no transient ran.
+    ac:
+        The :class:`AcScan`, ``None`` when no ``.ac`` sweep ran.
+    """
+
+    netlist: Netlist
+    system: object
+    outputs: tuple[str, ...]
+    tran: object | None = None
+    ac: AcScan | None = None
+
+    def __repr__(self) -> str:
+        ran = [
+            label
+            for label, result in (("tran", self.tran), ("ac", self.ac))
+            if result is not None
+        ]
+        return (
+            f"NetlistRun({self.netlist.title!r}, outputs={list(self.outputs)}, "
+            f"analyses={ran})"
+        )
+
+
+def simulate_netlist(
+    source,
+    *,
+    title: str = "",
+    outputs=None,
+    t_end: float | None = None,
+    steps: int | None = None,
+    basis=None,
+    windows: int | None = None,
+    method: str | None = None,
+    backend: str | None = None,
+    sparse: str = "auto",
+    use_ic: bool = True,
+) -> NetlistRun:
+    """Parse a deck and run every analysis it (or the caller) requests.
+
+    The deck's cards provide the defaults -- ``.tran`` the horizon and
+    term count, ``.options`` the basis / method / window count /
+    backend -- and every keyword argument overrides its card.  The
+    transient routes through a cached :class:`Simulator` session
+    (``run``, or ``march`` when ``windows > 1``); other ``method``
+    names (``'trapezoidal'``, ``'fft'``, ...) route through
+    :func:`repro.core.dispatch.simulate`.  An ``.ac`` card adds a
+    small-signal :func:`ac_scan`.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Netlist`, deck text (with newlines), or file path.
+    title:
+        Title for text sources (file sources use the file stem).
+    outputs:
+        Output node names (default: every node).
+    t_end, steps:
+        Transient horizon / term count overrides.  A transient runs
+        when the deck has a ``.tran`` card or ``t_end`` is given.
+    basis, windows, method, backend:
+        Overrides for the matching ``.options`` keys.
+    sparse, use_ic:
+        Forwarded to :func:`build_system`.
+
+    Examples
+    --------
+    >>> run = simulate_netlist('''
+    ... V1 in 0 DC 0 AC 1 SIN(0 1 100)
+    ... R1 in out 1k
+    ... C1 out 0 1u
+    ... .tran 100u 10m
+    ... .ac dec 2 10 10k
+    ... ''')
+    >>> run.tran is not None and run.ac is not None
+    True
+    >>> run.outputs
+    ('in', 'out')
+    """
+    netlist = _as_netlist(source, title)
+    spec = netlist.analysis
+    output_names = tuple(outputs) if outputs is not None else tuple(netlist.nodes)
+    system = build_system(netlist, outputs=output_names, sparse=sparse, use_ic=use_ic)
+
+    method = method if method is not None else (spec.method or "opm")
+    basis = basis if basis is not None else spec.basis
+    backend = backend if backend is not None else (spec.backend or "auto")
+    windows = int(windows) if windows is not None else (spec.windows or 1)
+    if windows < 1:
+        raise NetlistError(f"windows must be >= 1, got {windows}")
+    if method not in _SESSION_METHODS and windows > 1:
+        raise NetlistError(
+            f"method {method!r} only supports a plain transient: windowed "
+            "marching is an engine-session feature; drop the method or the "
+            "windows setting"
+        )
+
+    tran = None
+    if spec.tran is not None or t_end is not None:
+        horizon = float(t_end) if t_end is not None else spec.tran.tstop
+        m = int(steps) if steps is not None else (
+            spec.m or (spec.tran.steps if spec.tran is not None else None)
+        )
+        if m is None:
+            raise NetlistError(
+                "transient requested without a term count: add a .tran card "
+                "or pass steps="
+            )
+        u = netlist.input_function()
+        if method not in _SESSION_METHODS:
+            from ..core.dispatch import simulate
+
+            tran = simulate(
+                system, u, horizon, m, method=method, basis=basis
+            )
+        elif windows > 1 or method == "opm-windowed":
+            if m % windows:
+                raise NetlistError(
+                    f"steps={m} must be divisible by windows={windows}"
+                )
+            sim = Simulator(
+                system, (horizon / windows, m // windows),
+                basis=basis, backend=backend,
+            )
+            tran = sim.march(u, horizon)
+        else:
+            sim = Simulator(system, (horizon, m), basis=basis, backend=backend)
+            tran = sim.run(u)
+
+    ac = None
+    if spec.ac is not None:
+        ac = ac_scan(netlist, system=system, card=spec.ac, outputs=output_names)
+
+    return NetlistRun(
+        netlist=netlist,
+        system=system,
+        outputs=output_names,
+        tran=tran,
+        ac=ac,
+    )

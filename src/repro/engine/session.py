@@ -514,7 +514,34 @@ class Simulator:
         self._basis = basis_obj
         self._solve_basis = solver.basis
         self._transform = bundle.transform
+        self._default_input: InputLike | None = None
         self._runs = 0
+
+    @classmethod
+    def from_netlist(cls, netlist, grid=None, **kwargs) -> "Simulator":
+        """Session straight from a netlist / SPICE deck.
+
+        The deck's ``.tran`` card supplies the grid, ``.options`` the
+        basis/backend, ``.ic`` the initial state, and the parsed source
+        waveforms are bound as the default input, so ``sim.run()``
+        needs no arguments.  See
+        :func:`repro.engine.netlist_session.from_netlist` for the full
+        parameter list.
+
+        Examples
+        --------
+        >>> sim = Simulator.from_netlist('''
+        ... I1 0 n1 1m
+        ... R1 n1 0 1k
+        ... C1 n1 0 1u
+        ... .tran 50u 5m
+        ... ''')
+        >>> bool(abs(sim.run().states([5e-3])[0, 0] - 1.0) < 1e-2)
+        True
+        """
+        from .netlist_session import from_netlist
+
+        return from_netlist(netlist, grid, **kwargs)
 
     # ------------------------------------------------------------------
     # introspection
@@ -560,6 +587,31 @@ class Simulator:
         return self._runs
 
     # ------------------------------------------------------------------
+    # default input
+    # ------------------------------------------------------------------
+    def bind_input(self, u: InputLike) -> "Simulator":
+        """Attach a default input, used when :meth:`run` / :meth:`march`
+        receive ``u=None`` (netlist sessions bind the deck's source
+        waveforms here).  Returns ``self`` for chaining."""
+        self._default_input = u
+        return self
+
+    @property
+    def bound_input(self) -> InputLike | None:
+        """The default input attached with :meth:`bind_input` (or ``None``)."""
+        return self._default_input
+
+    def _resolve_input(self, u: InputLike | None) -> InputLike:
+        if u is not None:
+            return u
+        if self._default_input is None:
+            raise SolverError(
+                "no input given and none bound to the session; pass u or "
+                "bind_input() first"
+            )
+        return self._default_input
+
+    # ------------------------------------------------------------------
     # basis plumbing
     # ------------------------------------------------------------------
     def project(self, u: InputLike) -> np.ndarray:
@@ -590,13 +642,17 @@ class Simulator:
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
-    def run(self, u: InputLike) -> SimulationResult:
+    def run(self, u: InputLike | None = None) -> SimulationResult:
         """Simulate one input; warm sessions pay only projection + sweep.
+
+        ``u=None`` uses the session's bound input (netlist sessions
+        bind the deck's source waveforms; see :meth:`bind_input`).
 
         Returns a :class:`~repro.core.result.SimulationResult` whose
         ``info`` records the method, factorisation count, backend, and
         whether the pencil cache was already warm.
         """
+        u = self._resolve_input(u)
         warm = self.is_warm
         start = time.perf_counter()
         U = self.project(u)
@@ -705,4 +761,4 @@ class Simulator:
         >>> bool(abs(long.states([9.9])[0, 0] - 1.0) < 1e-3)
         True
         """
-        return marching.march(self, u, t_end, events=events)
+        return marching.march(self, self._resolve_input(u), t_end, events=events)

@@ -1,0 +1,100 @@
+"""Tests for the typed analysis cards (.tran / .ac / .ic / .options)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import AcCard, AnalysisSpec, TranCard
+from repro.errors import NetlistError
+
+
+class TestTranCard:
+    def test_steps_rounding(self):
+        assert TranCard(tstep=1e-5, tstop=5e-3).steps == 500
+        assert TranCard(tstep=3e-4, tstop=1e-3).steps == 3
+
+    def test_steps_never_zero(self):
+        assert TranCard(tstep=1e-3, tstop=1e-3).steps == 1
+
+    def test_validation(self):
+        with pytest.raises(NetlistError, match="positive"):
+            TranCard(tstep=-1.0, tstop=1.0)
+        with pytest.raises(NetlistError, match="exceeds"):
+            TranCard(tstep=2.0, tstop=1.0)
+        with pytest.raises(NetlistError, match="tstart"):
+            TranCard(tstep=0.1, tstop=1.0, tstart=2.0)
+
+
+class TestAcCard:
+    def test_dec_grid(self):
+        freqs = AcCard("dec", 2, 1.0, 100.0).frequencies()
+        np.testing.assert_allclose(
+            freqs, [1.0, 10**0.5, 10.0, 10**1.5, 100.0]
+        )
+
+    def test_dec_grid_clamped_to_fstop(self):
+        freqs = AcCard("dec", 3, 1.0, 50.0).frequencies()
+        assert freqs[-1] == pytest.approx(50.0)
+        assert np.all(np.diff(freqs) > 0)
+
+    def test_oct_grid(self):
+        freqs = AcCard("oct", 1, 1.0, 8.0).frequencies()
+        np.testing.assert_allclose(freqs, [1.0, 2.0, 4.0, 8.0])
+
+    def test_lin_grid(self):
+        np.testing.assert_allclose(
+            AcCard("lin", 5, 0.5, 2.5).frequencies(), [0.5, 1.0, 1.5, 2.0, 2.5]
+        )
+
+    def test_omegas(self):
+        card = AcCard("lin", 2, 1.0, 2.0)
+        np.testing.assert_allclose(card.omegas(), 2 * np.pi * card.frequencies())
+
+    def test_validation(self):
+        with pytest.raises(NetlistError, match="variation"):
+            AcCard("log", 10, 1.0, 10.0)
+        with pytest.raises(NetlistError, match="point"):
+            AcCard("dec", 0, 1.0, 10.0)
+        with pytest.raises(NetlistError, match="fstart"):
+            AcCard("dec", 10, 0.0, 10.0)
+        with pytest.raises(NetlistError, match="fstart"):
+            AcCard("dec", 10, 100.0, 10.0)
+
+
+class TestAnalysisSpec:
+    def test_typed_option_accessors(self):
+        spec = AnalysisSpec()
+        spec.set_option("basis", "Legendre")
+        spec.set_option("m", "64")
+        spec.set_option("windows", "4")
+        spec.set_option("method", "OPM")
+        spec.set_option("backend", "sparse")
+        assert spec.basis == "legendre" and spec.m == 64
+        assert spec.windows == 4 and spec.method == "opm"
+        assert spec.backend == "sparse"
+
+    def test_unknown_options_retained(self):
+        spec = AnalysisSpec()
+        spec.set_option("reltol", "1e-6")
+        assert spec.extra_options == {"reltol": "1e-6"}
+        assert spec.options == {}
+
+    def test_integer_validation(self):
+        spec = AnalysisSpec()
+        with pytest.raises(NetlistError, match="integer"):
+            spec.set_option("m", "lots")
+        with pytest.raises(NetlistError, match=">= 1"):
+            spec.set_option("windows", "0")
+
+    def test_has_analyses(self):
+        spec = AnalysisSpec()
+        assert not spec.has_analyses
+        spec.tran = TranCard(tstep=1e-3, tstop=1.0)
+        assert spec.has_analyses
+
+    def test_repr_summarises(self):
+        spec = AnalysisSpec()
+        assert "empty" in repr(spec)
+        spec.tran = TranCard(tstep=1e-3, tstop=1.0)
+        spec.ic["a"] = 1.0
+        text = repr(spec)
+        assert "tran=1s/1000" in text and "ic(1)" in text

@@ -1,0 +1,165 @@
+"""Golden-netlist suite: one ``.cir`` per paper workload.
+
+Each deck in ``examples/`` is parsed, assembled, and simulated through
+the netlist front door, then the *same* circuit is rebuilt
+programmatically card by card.  Assembly must produce identical
+matrices and the transient must be **bit-identical** -- the SPICE path
+is a front end, not an approximation.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Simulator
+from repro.circuits import (
+    Netlist,
+    PiecewiseLinear,
+    SpiceExp,
+    SpicePulse,
+    SpiceSin,
+    assemble_mna,
+)
+from repro.engine.netlist_session import simulate_netlist
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def rc_lowpass_twin() -> Netlist:
+    nl = Netlist("rc_lowpass")
+    nl.add_voltage_source("V1", "in", "0", SpiceSin(0.0, 1.0, 100.0))
+    nl.add_resistor("R1", "in", "out", 1e3)
+    nl.add_capacitor("C1", "out", "0", 1e-6)
+    return nl
+
+
+def rlc_ladder_twin() -> Netlist:
+    nl = Netlist("rlc_ladder")
+    previous = "0"
+    for k in range(1, 4):
+        nl.add_resistor(f"R{k}", previous, f"m{k}", 1.0)
+        nl.add_inductor(f"L{k}", f"m{k}", f"v{k}", 1e-3)
+        nl.add_capacitor(f"C{k}", f"v{k}", "0", 1e-6)
+        previous = f"v{k}"
+    nl.add_current_source(
+        "Idrive", "0", "v1",
+        SpicePulse(0.0, 1e-3, td=1e-5, tr=2e-5, tf=2e-5, pw=2e-4, per=5e-4),
+    )
+    return nl
+
+
+def cpe_cell_twin() -> Netlist:
+    nl = Netlist("cpe_cell")
+    nl.add_current_source(
+        "I1", "0", "a", SpiceExp(0.0, 1e-3, 0.0, 1e-3, 5e-3, 2e-3)
+    )
+    nl.add_resistor("R1", "a", "0", 100.0)
+    nl.add_cpe("P1", "a", "0", 1e-6, 0.5)
+    return nl
+
+
+def vccs_amp_twin() -> Netlist:
+    nl = Netlist("vccs_amp")
+    nl.add_current_source(
+        "I1", "0", "in",
+        PiecewiseLinear([0.0, 1e-3, 3e-3, 4e-3], [0.0, 1.0, 1.0, 0.0]),
+    )
+    nl.add_resistor("R1", "in", "0", 1e3)
+    nl.add_capacitor("C1", "in", "0", 1e-6)
+    nl.add_vccs("G1", "0", "out", "in", "0", 2e-3)
+    nl.add_resistor("R2", "out", "0", 1e3)
+    nl.add_capacitor("C2", "out", "0", 1e-6)
+    return nl
+
+
+def coupled_inductors_twin() -> Netlist:
+    nl = Netlist("coupled_inductors")
+    nl.add_voltage_source("V1", "p", "0", SpiceSin(0.0, 1.0, 1e3))
+    nl.add_resistor("R1", "p", "a", 10.0)
+    nl.add_inductor("L1", "a", "0", 1e-3)
+    nl.add_inductor("L2", "b", "0", 1e-3)
+    nl.add_mutual("K1", "L1", "L2", 0.9)
+    nl.add_resistor("R2", "b", "0", 50.0)
+    return nl
+
+
+WORKLOADS = {
+    "rc_lowpass": rc_lowpass_twin,
+    "rlc_ladder": rlc_ladder_twin,
+    "cpe_cell": cpe_cell_twin,
+    "vccs_amp": vccs_amp_twin,
+    "coupled_inductors": coupled_inductors_twin,
+}
+
+
+def _dense(matrix) -> np.ndarray:
+    return matrix.toarray() if hasattr(matrix, "toarray") else np.asarray(matrix)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestGoldenNetlists:
+    def _load(self, name):
+        path = EXAMPLES / f"{name}.cir"
+        parsed = Netlist.from_spice_file(path)
+        twin = WORKLOADS[name]()
+        return path, parsed, twin
+
+    def test_deck_exists_with_tran_card(self, name):
+        path, parsed, _ = self._load(name)
+        assert path.is_file()
+        assert parsed.analysis.tran is not None
+
+    def test_structure_matches_programmatic(self, name):
+        _, parsed, twin = self._load(name)
+        assert parsed.summary() == twin.summary()
+        assert parsed.nodes == twin.nodes
+
+    def test_assembly_bit_identical(self, name):
+        _, parsed, twin = self._load(name)
+        parsed_sys = assemble_mna(parsed, outputs=parsed.nodes)
+        twin_sys = assemble_mna(twin, outputs=twin.nodes)
+        assert type(parsed_sys) is type(twin_sys)
+        np.testing.assert_array_equal(_dense(parsed_sys.E), _dense(twin_sys.E))
+        np.testing.assert_array_equal(_dense(parsed_sys.A), _dense(twin_sys.A))
+        np.testing.assert_array_equal(_dense(parsed_sys.B), _dense(twin_sys.B))
+
+    def test_waveforms_bit_identical(self, name):
+        _, parsed, twin = self._load(name)
+        t = np.linspace(0.0, parsed.analysis.tran.tstop, 257)
+        np.testing.assert_array_equal(
+            parsed.input_function()(t), twin.input_function()(t)
+        )
+
+    def test_transient_bit_identical(self, name):
+        """from_spice -> assembly -> run equals the programmatic path."""
+        path, parsed, twin = self._load(name)
+        card = parsed.analysis.tran
+        front_door = simulate_netlist(path)
+        twin_sys = assemble_mna(twin, outputs=twin.nodes)
+        sim = Simulator(twin_sys, (card.tstop, card.steps))
+        reference = sim.run(twin.input_function())
+        np.testing.assert_array_equal(
+            front_door.tran.coefficients, reference.coefficients
+        )
+        np.testing.assert_array_equal(
+            front_door.tran.input_coefficients, reference.input_coefficients
+        )
+
+
+def test_rc_lowpass_ac_sweep_runs():
+    """The rc deck also carries an .ac card; the sweep must be physical."""
+    run = simulate_netlist(EXAMPLES / "rc_lowpass.cir")
+    assert run.ac is not None
+    mag = run.ac.magnitude()[:, 1]  # v(out)
+    assert mag[0] == pytest.approx(1.0, abs=0.05)   # passband ~ unity
+    assert mag[-1] < 0.05                            # stopband rolled off
+    corner = 1.0 / (2.0 * np.pi * 1e3 * 1e-6)
+    k = int(np.argmin(np.abs(run.ac.frequencies - corner)))
+    assert mag[k] == pytest.approx(1.0 / np.sqrt(2.0), abs=0.12)
+
+
+def test_golden_inventory_matches_examples_dir():
+    """Every golden workload ships a deck next to the examples."""
+    for name in WORKLOADS:
+        assert (EXAMPLES / f"{name}.cir").is_file(), name

@@ -10,6 +10,9 @@ from repro.circuits import (
     RaisedCosinePulse,
     Ramp,
     Sine,
+    SpiceExp,
+    SpicePulse,
+    SpiceSin,
     Step,
 )
 
@@ -103,6 +106,94 @@ class TestPWL:
     def test_rejects_decreasing_times(self):
         with pytest.raises(ValueError):
             PiecewiseLinear([0.0, 0.0, 1.0], [0.0, 1.0, 2.0])
+
+
+class TestSpiceSin:
+    def test_basic_sine(self):
+        wf = SpiceSin(0.0, 2.0, 1.0)
+        t = np.array([0.0, 0.25, 0.5])
+        np.testing.assert_allclose(wf(t), [0.0, 2.0, 0.0], atol=1e-12)
+
+    def test_offset_and_delay_hold(self):
+        wf = SpiceSin(1.0, 2.0, 1.0, td=0.5, phase=90.0)
+        # before the delay: vo + va * sin(phase)
+        np.testing.assert_allclose(wf(np.array([0.0, 0.4])), [3.0, 3.0])
+        # at the delay the same value continues the waveform
+        np.testing.assert_allclose(wf(np.array([0.5])), [3.0])
+
+    def test_damping(self):
+        wf = SpiceSin(0.0, 1.0, 1.0, theta=2.0)
+        t = np.array([1.25])  # sin peak of the second cycle
+        expected = np.exp(-2.0 * 1.25) * np.sin(2 * np.pi * 1.25)
+        np.testing.assert_allclose(wf(t), [expected], rtol=1e-12)
+
+    def test_derivative_numeric(self):
+        wf = SpiceSin(0.5, 2.0, 3.0, td=0.1, theta=1.5, phase=30.0)
+        check_derivative_numerically(wf, np.array([0.3, 0.7, 1.1]), 1e-4)
+
+    def test_derivative_zero_before_delay(self):
+        d = SpiceSin(0.0, 1.0, 1.0, td=1.0).derivative()
+        np.testing.assert_allclose(d(np.array([0.5])), [0.0])
+
+
+class TestSpicePulse:
+    def test_trapezoid_shape(self):
+        wf = SpicePulse(0.0, 1.0, td=1.0, tr=1.0, tf=2.0, pw=1.0)
+        t = np.array([0.5, 1.5, 2.5, 4.0, 10.0])
+        np.testing.assert_allclose(wf(t), [0.0, 0.5, 1.0, 0.5, 0.0])
+
+    def test_periodicity(self):
+        wf = SpicePulse(0.0, 1.0, tr=0.1, tf=0.1, pw=0.3, per=1.0)
+        t = np.array([0.2, 1.2, 7.2])
+        np.testing.assert_allclose(wf(t), wf(t - np.floor(t)), atol=1e-12)
+
+    def test_ideal_edges_jump(self):
+        wf = SpicePulse(0.0, 1.0, td=1.0, pw=2.0)
+        np.testing.assert_allclose(wf(np.array([0.99, 1.0, 2.9, 3.1])),
+                                   [0.0, 1.0, 1.0, 0.0])
+
+    def test_ideal_edges_have_no_derivative(self):
+        with pytest.raises(NotImplementedError, match="ideal-edge"):
+            SpicePulse(0.0, 1.0).derivative()
+
+    def test_derivative_numeric(self):
+        wf = SpicePulse(0.0, 2.0, td=0.1, tr=0.5, tf=0.25, pw=0.5, per=3.0)
+        check_derivative_numerically(wf, np.array([0.3, 0.8, 1.2, 2.0]), 1e-4)
+
+    def test_default_pulse_never_returns(self):
+        wf = SpicePulse(0.0, 1.0, tr=0.1)
+        np.testing.assert_allclose(wf(np.array([100.0])), [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SpicePulse(0.0, 1.0, tr=-1.0)
+        with pytest.raises(ValueError, match="cover"):
+            SpicePulse(0.0, 1.0, tr=0.5, tf=0.5, pw=0.5, per=1.0)
+
+
+class TestSpiceExp:
+    def test_rise_and_fall(self):
+        wf = SpiceExp(0.0, 1.0, td1=0.0, tau1=1.0, td2=10.0, tau2=2.0)
+        np.testing.assert_allclose(wf(np.array([1.0])), [1 - np.exp(-1)])
+        # far past td2 the second exponential cancels the first
+        np.testing.assert_allclose(wf(np.array([100.0])), [0.0], atol=1e-10)
+
+    def test_holds_before_delay(self):
+        wf = SpiceExp(0.5, 1.5, td1=1.0, tau1=0.5)
+        np.testing.assert_allclose(wf(np.array([0.0, 0.99])), [0.5, 0.5])
+
+    def test_defaults(self):
+        wf = SpiceExp(0.0, 1.0, td1=0.5, tau1=0.25)
+        assert wf.td2 == pytest.approx(0.75)
+        assert wf.tau2 == pytest.approx(0.25)
+
+    def test_derivative_numeric(self):
+        wf = SpiceExp(0.0, 2.0, td1=0.1, tau1=0.4, td2=1.0, tau2=0.3)
+        check_derivative_numerically(wf, np.array([0.3, 0.8, 1.5]), 1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="precede"):
+            SpiceExp(0.0, 1.0, td1=1.0, tau1=0.5, td2=0.5)
 
 
 class TestAlgebra:

@@ -1,0 +1,270 @@
+"""Tests for the netlist-native session layer (the SPICE front door)."""
+
+import numpy as np
+import pytest
+
+from repro import Simulator
+from repro.circuits import Netlist, assemble_mna
+from repro.core.dispatch import simulate
+from repro.engine.netlist_session import (
+    AcScan,
+    NetlistRun,
+    ac_scan,
+    build_system,
+    from_netlist,
+    simulate_netlist,
+)
+from repro.errors import NetlistError, SolverError
+
+RC_DECK = """
+* rc lowpass with full analysis cards
+I1 0 n1 1m
+R1 n1 0 1k
+C1 n1 0 1u
+.tran 50u 5m
+.ac dec 5 10 10k
+"""
+
+CPE_DECK = """
+I1 0 a 1.0
+R1 a 0 1.0
+P1 a 0 1.0 0.5
+.tran 10m 2
+"""
+
+
+class TestBuildSystem:
+    def test_ic_becomes_x0(self):
+        nl = Netlist.from_spice("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.ic v(a)=0.25\n")
+        system = build_system(nl)
+        np.testing.assert_allclose(system.x0, [0.25])
+
+    def test_ic_can_be_disabled(self):
+        nl = Netlist.from_spice("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.ic v(a)=0.25\n")
+        assert build_system(nl, use_ic=False).x0 is None
+
+    def test_ic_only_touches_named_nodes(self):
+        nl = Netlist.from_spice(
+            "I1 0 a 1m\nR1 a b 1k\nC1 b 0 1u\nL1 b 0 1m\n.ic v(b)=2\n"
+        )
+        system = build_system(nl)
+        # state layout: node voltages first, inductor current after
+        assert system.x0[nl.node_index("b")] == pytest.approx(2.0)
+        assert system.x0[nl.node_index("a")] == 0.0
+        assert system.x0[-1] == 0.0
+
+    def test_mixed_order_ic_rejected(self):
+        nl = Netlist.from_spice(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\nP1 a 0 1u 0.5\n.ic v(a)=1\n"
+        )
+        with pytest.raises(NetlistError, match="mixed-order"):
+            build_system(nl)
+
+    def test_ic_transient_starts_at_initial_voltage(self):
+        nl = Netlist.from_spice(
+            "I1 0 a 0\nR1 a 0 1k\nC1 a 0 1u\n.tran 10u 5m\n.ic v(a)=1\n"
+        )
+        run = simulate_netlist(nl)
+        v = run.tran.states(np.array([5e-6, 5e-3]))[0]
+        assert v[0] == pytest.approx(1.0, rel=2e-2)   # starts charged
+        assert abs(v[1]) < 0.05                        # decays to zero
+
+
+class TestFromNetlist:
+    def test_grid_and_input_from_deck(self):
+        sim = from_netlist(RC_DECK)
+        assert isinstance(sim, Simulator)
+        assert sim.grid.m == 100
+        assert sim.grid.t_end == pytest.approx(5e-3)
+        result = sim.run()  # bound input: no argument needed
+        assert result.states([5e-3])[0, 0] == pytest.approx(1.0, rel=1e-2)
+
+    def test_classmethod_alias(self):
+        sim = Simulator.from_netlist(RC_DECK)
+        assert sim.run().info["basis"] == "BlockPulse"
+
+    def test_options_basis_honoured(self):
+        sim = from_netlist(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 1m 10m\n"
+            ".options basis=chebyshev m=16\n"
+        )
+        assert sim.basis.size == 16
+        assert sim.run().info["basis"] == "Chebyshev"
+
+    def test_explicit_grid_overrides_deck(self):
+        sim = from_netlist(RC_DECK, grid=(1e-3, 64))
+        assert sim.grid.m == 64
+
+    def test_missing_tran_card_rejected(self):
+        with pytest.raises(NetlistError, match=r"\.tran"):
+            from_netlist("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n")
+
+    def test_march_with_bound_input(self):
+        sim = from_netlist(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 20u 1m\n"
+        )
+        result = sim.march(None, 5e-3)
+        assert result.n_windows == 5
+        assert result.states([5e-3])[0, 0] == pytest.approx(1.0, rel=1e-2)
+
+    def test_unbound_session_still_requires_input(self):
+        system = build_system(Netlist.from_spice("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n"))
+        sim = Simulator(system, (1e-3, 10))
+        with pytest.raises(SolverError, match="bind_input"):
+            sim.run()
+
+
+class TestSimulateNetlist:
+    def test_runs_all_deck_analyses(self):
+        run = simulate_netlist(RC_DECK)
+        assert isinstance(run, NetlistRun)
+        assert run.tran is not None and isinstance(run.ac, AcScan)
+        assert run.outputs == ("n1",)
+
+    def test_fractional_deck(self):
+        run = simulate_netlist(CPE_DECK, steps=200)
+        assert "Fractional" in type(run.system).__name__
+        assert run.tran.coefficients.shape[1] == 200
+
+    def test_tran_only_when_no_ac_card(self):
+        run = simulate_netlist("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 50u 5m\n")
+        assert run.tran is not None and run.ac is None
+
+    def test_ac_only_deck_skips_transient(self):
+        run = simulate_netlist(
+            "I1 0 a AC 1\nR1 a 0 1k\nC1 a 0 1u\n.ac dec 2 10 1k\n"
+        )
+        assert run.tran is None and run.ac is not None
+
+    def test_no_analysis_requested(self):
+        run = simulate_netlist("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n")
+        assert run.tran is None and run.ac is None
+
+    def test_t_end_override_runs_transient(self):
+        run = simulate_netlist(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n", t_end=5e-3, steps=50
+        )
+        assert run.tran.states([5e-3])[0, 0] == pytest.approx(1.0, rel=2e-2)
+
+    def test_steps_without_tran_card_rejected(self):
+        with pytest.raises(NetlistError, match="term count"):
+            simulate_netlist("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n", t_end=1e-3)
+
+    def test_windows_march(self):
+        run = simulate_netlist(RC_DECK, windows=4)
+        assert run.tran.n_windows == 4
+        single = simulate_netlist(RC_DECK)
+        np.testing.assert_allclose(
+            run.tran.states([4.9e-3]), single.tran.states([4.9e-3]), rtol=1e-9
+        )
+
+    def test_windows_from_options_card(self):
+        run = simulate_netlist(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 50u 5m\n.options windows=5\n"
+        )
+        assert run.tran.n_windows == 5
+
+    def test_windows_divisibility_checked(self):
+        with pytest.raises(NetlistError, match="divisible"):
+            simulate_netlist(RC_DECK, windows=7)
+
+    def test_baseline_method_routes_through_dispatch(self):
+        run = simulate_netlist(RC_DECK, method="trapezoidal")
+        assert run.tran.info["method"] == "trapezoidal"
+        assert run.tran.outputs([5e-3])[0, 0] == pytest.approx(1.0, rel=1e-2)
+
+    def test_baseline_method_with_windows_rejected(self):
+        """A baseline method cannot silently drop (or hijack) windowing."""
+        with pytest.raises(NetlistError, match="plain transient"):
+            simulate_netlist(RC_DECK, method="trapezoidal", windows=4)
+
+    def test_method_from_options_card(self):
+        run = simulate_netlist(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 50u 5m\n"
+            ".options method=backward-euler\n"
+        )
+        assert run.tran.info["method"] == "backward-euler"
+
+    def test_path_source(self, tmp_path):
+        path = tmp_path / "rc.cir"
+        path.write_text(RC_DECK)
+        run = simulate_netlist(path)
+        assert run.netlist.title == "rc"
+        assert run.tran is not None
+
+
+class TestAcScan:
+    def test_rc_corner(self):
+        scan = ac_scan(
+            "I1 0 a AC 1\nR1 a 0 1k\nC1 a 0 1u\n.ac lin 3 100 1k\n"
+        )
+        assert scan.n_points == 3
+        # |Z| = R / sqrt(1 + (wRC)^2)
+        f = scan.frequencies
+        expected = 1e3 / np.sqrt(1.0 + (2 * np.pi * f * 1e-3) ** 2)
+        np.testing.assert_allclose(scan.magnitude()[:, 0], expected, rtol=1e-9)
+
+    def test_phase_sign(self):
+        scan = ac_scan(
+            "I1 0 a AC 1\nR1 a 0 1k\nC1 a 0 1u\n.ac lin 1 159.1549 159.1549\n"
+        )
+        assert scan.phase_deg()[0, 0] == pytest.approx(-45.0, abs=0.1)
+
+    def test_missing_ac_card_rejected(self):
+        with pytest.raises(NetlistError, match=r"\.ac card"):
+            ac_scan("I1 0 a 1m\nR1 a 0 1k\n")
+
+    def test_ac_magnitude_scales_response(self):
+        base = ac_scan("I1 0 a AC 1\nR1 a 0 1k\n.ac lin 1 100 100\n")
+        doubled = ac_scan("I1 0 a AC 2\nR1 a 0 1k\n.ac lin 1 100 100\n")
+        np.testing.assert_allclose(
+            doubled.response, 2.0 * base.response, rtol=1e-12
+        )
+
+
+class TestDispatchNetlist:
+    def test_simulate_accepts_netlist(self):
+        nl = Netlist.from_spice("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n")
+        result = simulate(nl, None, 5e-3, 100)
+        assert result.states([5e-3])[0, 0] == pytest.approx(1.0, rel=1e-2)
+
+    def test_simulate_netlist_honours_ic(self):
+        nl = Netlist.from_spice(
+            "I1 0 a 0\nR1 a 0 1k\nC1 a 0 1u\n.ic v(a)=1\n"
+        )
+        result = simulate(nl, None, 1e-4, 50)
+        assert result.states([1e-6])[0, 0] == pytest.approx(1.0, rel=5e-2)
+
+    def test_simulate_netlist_explicit_input_wins(self):
+        nl = Netlist.from_spice("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n")
+        result = simulate(nl, 2e-3, 5e-3, 100)
+        assert result.states([5e-3])[0, 0] == pytest.approx(2.0, rel=1e-2)
+
+    def test_u_none_without_netlist_rejected(self):
+        nl = Netlist.from_spice("I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n")
+        system = assemble_mna(nl)
+        with pytest.raises(SolverError, match="u=None"):
+            simulate(system, None, 1e-3, 10)
+
+    def test_plain_simulate_does_not_import_circuits(self):
+        """Core dispatch must stay usable without the circuits layer."""
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        code = (
+            "import sys\n"
+            "from repro.core import DescriptorSystem\n"
+            "from repro.core.dispatch import simulate\n"
+            "simulate(DescriptorSystem([[1.0]], [[-1.0]], [[1.0]]), 1.0, 1.0, 8)\n"
+            "assert 'repro.circuits' not in sys.modules, 'circuits leaked in'\n"
+        )
+        proc = subprocess.run(
+            [_sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(src)},
+        )
+        assert proc.returncode == 0, proc.stderr

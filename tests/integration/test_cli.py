@@ -346,3 +346,238 @@ class TestCliBasis:
         err = capsys.readouterr().err
         assert code == 1
         assert "LaguerreBasis" in err and "library API" in err
+
+
+CIR_DECK = """
+* rc lowpass with analysis cards
+V1 in 0 DC 0 AC 1 SIN(0 1 100)
+R1 in out 1kOhm
+C1 out 0 1uF ; tau = 1 ms
+.tran 100u 10m
+.ac dec 5 10 10k
+.end
+"""
+
+
+@pytest.fixture
+def cir_file(tmp_path):
+    path = tmp_path / "rc.cir"
+    path.write_text(CIR_DECK)
+    return path
+
+
+class TestCliNetlistMode:
+    """`python -m repro --netlist deck.cir`: cards drive the analysis."""
+
+    def test_netlist_flag_no_t_end_needed(self, cir_file, capsys):
+        code = run(["--netlist", str(cir_file), "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulated [0, 0.01) s with m=100" in out
+        assert "AC sweep" in out and "|v(out)| [dB]" in out
+
+    def test_flag_and_positional_conflict(self, cir_file, capsys):
+        code = run(["--netlist", str(cir_file), str(cir_file)])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_no_netlist_at_all(self, capsys):
+        code = run(["--t-end", "1.0"])
+        assert code == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_no_horizon_without_cards(self, rc_file, capsys):
+        # classic deck (no .tran/.ac) still requires --t-end
+        code = run([str(rc_file)])
+        assert code == 1
+        assert "--t-end" in capsys.readouterr().err
+
+    def test_cli_flags_override_cards(self, cir_file, capsys):
+        code = run(["--netlist", str(cir_file), "--t-end", "5e-3",
+                    "--steps", "50", "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulated [0, 0.005) s with m=50" in out
+
+    def test_tran_bit_identical_to_programmatic(self, cir_file, tmp_path, capsys):
+        """Acceptance: the CLI transient equals the programmatic session."""
+        import numpy as np
+
+        from repro import Simulator
+        from repro.circuits import Netlist, SpiceSin, assemble_mna
+
+        csv_path = tmp_path / "deck.csv"
+        code = run(["--netlist", str(cir_file), "--csv", str(csv_path)])
+        assert code == 0
+        rows = np.array([
+            [float(cell) for cell in line.split(",")]
+            for line in csv_path.read_text().splitlines()[1:]
+        ])
+
+        nl = Netlist("twin")
+        nl.add_voltage_source("V1", "in", "0", SpiceSin(0.0, 1.0, 100.0))
+        nl.add_resistor("R1", "in", "out", 1e3)
+        nl.add_capacitor("C1", "out", "0", 1e-6)
+        system = assemble_mna(nl, outputs=["in", "out"])
+        reference = Simulator(system, (10e-3, 100)).run(nl.input_function())
+        t_all = reference.sample_times()
+        v_all = reference.outputs(t_all)
+        np.testing.assert_array_equal(rows[:, 0], t_all)
+        np.testing.assert_array_equal(rows[:, 1:].T, v_all)
+
+    def test_ac_csv(self, cir_file, tmp_path, capsys):
+        ac_path = tmp_path / "sweep.csv"
+        code = run(["--netlist", str(cir_file), "--ac-csv", str(ac_path),
+                    "--points", "2"])
+        assert code == 0
+        lines = ac_path.read_text().splitlines()
+        assert lines[0] == "f,mag_db(in),mag_db(out),phase_deg(in),phase_deg(out)"
+        first = [float(x) for x in lines[1].split(",")]
+        assert first[0] == pytest.approx(10.0)
+        assert first[2] == pytest.approx(-0.0171, abs=1e-3)
+
+    def test_ac_only_deck(self, tmp_path, capsys):
+        path = tmp_path / "ac_only.cir"
+        path.write_text("I1 0 a AC 1\nR1 a 0 1k\nC1 a 0 1u\n.ac dec 2 10 1k\n")
+        code = run(["--netlist", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AC sweep" in out and "simulated" not in out
+
+    def test_ac_only_deck_rejects_transient_flags(self, tmp_path, capsys):
+        """Transient-only flags must not be silently dropped."""
+        path = tmp_path / "ac_only.cir"
+        path.write_text("I1 0 a AC 1\nR1 a 0 1k\nC1 a 0 1u\n.ac dec 2 10 1k\n")
+        for flags in (["--sweep", "1.0", "2.0"], ["--windows", "4"],
+                      ["--csv", str(tmp_path / "w.csv")]):
+            code = run(["--netlist", str(path)] + flags)
+            err = capsys.readouterr().err
+            assert code == 1, flags
+            assert "no .tran card" in err, flags
+
+    def test_ac_only_deck_allows_windows_card(self, tmp_path, capsys):
+        """.options windows= on an AC-only deck is dormant, not an error."""
+        path = tmp_path / "ac_only.cir"
+        path.write_text(
+            "I1 0 a AC 1\nR1 a 0 1k\nC1 a 0 1u\n.ac dec 2 10 1k\n"
+            ".options windows=4\n"
+        )
+        code = run(["--netlist", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AC sweep" in out
+
+    def test_ac_csv_without_ac_card_rejected(self, rc_file, tmp_path, capsys):
+        code = run([str(rc_file), "--t-end", "1e-3",
+                    "--ac-csv", str(tmp_path / "bode.csv")])
+        assert code == 1
+        assert ".ac card" in capsys.readouterr().err
+
+    def test_options_method_opm_windowed_marches(self, tmp_path, capsys):
+        """method=opm-windowed routes to march, matching simulate_netlist."""
+        path = tmp_path / "win.cir"
+        path.write_text(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 100u 20m\n"
+            ".options method=opm-windowed\n"
+        )
+        code = run(["--netlist", str(path), "--points", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "marched" in out
+
+    def test_options_card_defaults(self, tmp_path, capsys):
+        path = tmp_path / "opt.cir"
+        path.write_text(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 100u 10m\n"
+            ".options basis=chebyshev m=24\n"
+        )
+        code = run(["--netlist", str(path), "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "m=24" in out and "Chebyshev" in out
+
+    def test_options_windows_marches(self, tmp_path, capsys):
+        path = tmp_path / "win.cir"
+        path.write_text(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 100u 20m\n"
+            ".options windows=4\n"
+        )
+        code = run(["--netlist", str(path), "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "marched" in out and "4 windows" in out
+
+    def test_options_method_baseline(self, tmp_path, capsys):
+        path = tmp_path / "meth.cir"
+        path.write_text(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 100u 20m\n"
+            ".options method=trapezoidal\n"
+        )
+        code = run(["--netlist", str(path), "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method trapezoidal" in out
+        last_value = float(out.strip().splitlines()[-1].split("|")[-1])
+        assert last_value == pytest.approx(1.0, rel=1e-2)
+
+    def test_options_method_conflicts_with_windows(self, tmp_path, capsys):
+        """A baseline method + windowing must error, not silently pick one."""
+        path = tmp_path / "conflict.cir"
+        path.write_text(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 100u 20m\n"
+            ".options method=trapezoidal windows=4\n"
+        )
+        code = run(["--netlist", str(path)])
+        assert code == 1
+        assert "plain transient" in capsys.readouterr().err
+
+    def test_options_backend_honoured(self, tmp_path, capsys):
+        path = tmp_path / "backend.cir"
+        path.write_text(
+            "I1 0 a 1m\nR1 a 0 1k\nC1 a 0 1u\n.tran 100u 10m\n"
+            ".options backend=sparse\n"
+        )
+        code = run(["--netlist", str(path), "--sweep", "1.0", "2.0",
+                    "--points", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sparse backend" in out
+
+    def test_options_bad_method(self, tmp_path, capsys):
+        path = tmp_path / "bad.cir"
+        path.write_text("I1 0 a 1m\nR1 a 0 1k\n.tran 1u 10u\n.options method=rk9\n")
+        code = run(["--netlist", str(path)])
+        assert code == 1
+        assert "method=rk9" in capsys.readouterr().err
+
+    def test_ic_card_honoured(self, tmp_path, capsys):
+        path = tmp_path / "ic.cir"
+        path.write_text(
+            "I1 0 a 0\nR1 a 0 1k\nC1 a 0 1u\n.tran 10u 1m\n.ic v(a)=1\n"
+        )
+        code = run(["--netlist", str(path), "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        first_value = float(
+            [line for line in out.splitlines() if line.startswith("0.0")][0]
+            .split("|")[-1]
+        )
+        assert first_value == pytest.approx(np.exp(-0.25), rel=5e-2)
+
+    def test_sweep_flag_with_deck_cards(self, cir_file, capsys):
+        code = run(["--netlist", str(cir_file), "--sweep", "1.0", "2.0",
+                    "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "swept 2 scaled inputs" in out
+
+    def test_example_decks_run(self, capsys):
+        """Every shipped golden deck runs end to end through the CLI."""
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        for deck in sorted(examples.glob("*.cir")):
+            code = run(["--netlist", str(deck), "--points", "3"])
+            out = capsys.readouterr().out
+            assert code == 0, deck.name
+            assert "simulated" in out or "marched" in out, deck.name
