@@ -1,0 +1,62 @@
+"""Monte-Carlo tolerance analysis of the power grid, across all cores.
+
+Draws seeded variations of the 108-state two-layer power grid (every
+mesh resistance within +/-20% of nominal), solves the whole ensemble
+through the parallel executor — one pencil factorisation per member,
+dense pencils shipped to worker processes via shared memory — and
+reports the spread of the worst-case IR drop.
+
+Run::
+
+    OMP_NUM_THREADS=1 python examples/monte_carlo_ensemble.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Ensemble, ParallelExecutor
+from repro.circuits import power_grid
+from repro.io import Table
+
+
+def main() -> None:
+    netlist = power_grid(6, 6, nz=2)  # 108-state MNA model
+    center = "n1_2_2"  # bottom-layer center node: worst-case IR drop
+
+    params = {el.name: 0.2 for el in netlist.resistors}
+    ensemble = Ensemble.variations(
+        netlist, params, mode="monte-carlo", n=32, seed=2012, outputs=[center]
+    )
+
+    executor = ParallelExecutor("process")  # jobs defaults to all cores
+    result = executor.run(ensemble, (1e-9, 256))
+
+    info = result.info
+    print(
+        f"solved {result.n_members} members in {result.wall_time * 1e3:.1f} ms "
+        f"({info['jobs']} {info['executor']} workers, "
+        f"{info['factorisations']} factorisations, "
+        f"{info['shm_bytes'] / 1e6:.1f} MB via shared memory)"
+    )
+
+    # peak |v(center)| per member: the quantity a tolerance analysis bounds
+    t = result[0].sample_times()
+    peaks = np.max(np.abs(result.outputs(t)), axis=2)[:, 0]
+
+    table = Table(["statistic", f"peak |v({center})|"])
+    for name, value in [
+        ("min", peaks.min()),
+        ("mean", peaks.mean()),
+        ("max", peaks.max()),
+        ("spread (max/min)", peaks.max() / peaks.min()),
+    ]:
+        table.add_row([name, f"{value:.4g}"])
+    print(table.render())
+
+    worst = int(np.argmax(peaks))
+    print(f"\nworst corner: member {worst} ({result.labels[worst][:60]}...)")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,11 +48,15 @@ from .basis import (
 from .core import (
     SIMULATION_METHODS,
     DescriptorSystem,
+    Ensemble,
+    EnsembleMember,
+    EnsembleResult,
     Event,
     FractionalDescriptorSystem,
     MarchingResult,
     MultiTermSystem,
     SecondOrderSystem,
+    ParallelExecutor,
     SimulationResult,
     Simulator,
     SweepResult,
@@ -78,6 +82,7 @@ from .fractional import (
 from .errors import (
     BasisError,
     ConvergenceError,
+    EnsembleError,
     ModelError,
     NetlistError,
     OperationalMatrixError,
@@ -108,6 +113,10 @@ __all__ = [
     "SweepResult",
     "Event",
     "MarchingResult",
+    "Ensemble",
+    "EnsembleMember",
+    "EnsembleResult",
+    "ParallelExecutor",
     # solvers
     "simulate",
     "SIMULATION_METHODS",
@@ -140,6 +149,7 @@ __all__ = [
     "SolverError",
     "ConvergenceError",
     "NetlistError",
+    "EnsembleError",
     # netlist front end (served lazily, see __getattr__)
     "Netlist",
     "simulate_netlist",

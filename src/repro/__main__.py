@@ -31,6 +31,25 @@ multi-RHS column sweep through one cached
 :class:`~repro.engine.session.Simulator` session -- one pencil
 factorisation and one triangular sweep for the whole family.
 
+With ``--ensemble spec.json`` the deck becomes the nominal circuit of
+a parameter ensemble -- a cartesian corner sweep or a seeded
+Monte-Carlo tolerance analysis over element values -- and every member
+is assembled (state-layout-checked against the base deck), factorised
+once, and solved; ``--jobs N`` shards the members across ``N`` worker
+processes with zero-copy shared-memory pencil shipping::
+
+    python -m repro rc.sp --t-end 5e-3 --steps 200 \\
+        --ensemble corners.json --jobs 8
+
+where ``corners.json`` holds, e.g.::
+
+    {"mode": "monte-carlo", "n": 64, "seed": 7,
+     "params": {"R1": 0.2, "C1": [0.9e-6, 1.1e-6]}}
+
+(``--parallel thread|serial`` selects the executor backend; a
+``"mode": "cartesian"`` spec lists explicit values per element.)
+``--jobs`` also shards a large ``--sweep`` batch across workers.
+
 With ``--windows K`` the horizon is solved by windowed time-marching:
 ``K`` consecutive windows of ``steps/K`` block pulses each on one
 cached session, carrying the state (and, for fractional netlists, the
@@ -125,6 +144,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCALE",
         help="scale the input waveform by each factor and solve the whole "
         "family in one batched multi-RHS sweep",
+    )
+    parser.add_argument(
+        "--ensemble",
+        type=Path,
+        metavar="SPEC",
+        help="JSON ensemble specification: parameter variations of the "
+        'deck, e.g. {"mode": "monte-carlo", "n": 64, "seed": 7, '
+        '"params": {"R1": 0.2}}; members are solved on one shared '
+        "session configuration, sharded across --jobs workers",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for --ensemble (default: all cores) and for "
+        "sharding a large --sweep batch (default: in-process batch)",
+    )
+    parser.add_argument(
+        "--parallel",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="ensemble/sweep executor backend (default: process; "
+        "'serial' runs the same task plan on one core)",
     )
     parser.add_argument(
         "--windows",
@@ -238,15 +281,24 @@ def _run_sweep(args, netlist, system, outputs) -> int:
         system, (args.t_end, args.steps), basis=args.basis, backend=args.backend
     )
     base_u = netlist.input_function()
-    sweep = sim.sweep([_scaled_input(base_u, s) for s in scales])
+    sweep = sim.sweep(
+        [_scaled_input(base_u, s) for s in scales],
+        jobs=args.jobs,
+        parallel=args.parallel,
+    )
 
+    sharded = (
+        f" across {sweep.info['jobs']} {sweep.info['parallel']} worker(s)"
+        if "jobs" in sweep.info
+        else ""
+    )
     print(f"{netlist!r}")
     print(f"model: {system!r}")
     print(
         f"swept {len(scales)} scaled inputs over [0, {args.t_end:g}) s with "
         f"m={args.steps} ({sweep.info.get('basis', 'BlockPulse')} basis, "
         f"{sweep.info['backend']} backend, "
-        f"{sweep.info['factorisations']} factorisation(s) shared, "
+        f"{sweep.info['factorisations']} factorisation(s) shared{sharded}, "
         f"{sweep.wall_time * 1e3:.2f} ms total)\n"
     )
 
@@ -284,6 +336,82 @@ def _run_sweep(args, netlist, system, outputs) -> int:
         ]
         path = write_csv(args.csv, header, rows)
         print(f"\nwrote {t_all.size} samples x {len(scales)} scales to {path}")
+    return 0
+
+
+def _run_ensemble(args, netlist, system, outputs) -> int:
+    import json
+
+    from .engine.executor import Ensemble, ParallelExecutor, default_jobs
+
+    try:
+        spec = json.loads(args.ensemble.read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read ensemble spec {args.ensemble}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"bad ensemble spec {args.ensemble}: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise ReproError(
+            f"ensemble spec {args.ensemble} must be a JSON object, "
+            f"got {type(spec).__name__}"
+        )
+    ensemble = Ensemble.from_spec(netlist, spec, outputs=list(outputs))
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    executor = ParallelExecutor(args.parallel, jobs=jobs)
+    result = executor.run(
+        ensemble,
+        (args.t_end, args.steps),
+        basis=args.basis,
+        solver_backend=args.backend,
+    )
+
+    print(f"{netlist!r}")
+    print(f"model: {system!r}")
+    info = result.info
+    shm = (
+        f", {info['shm_bytes'] / 1e6:.1f} MB via shared memory"
+        if info.get("shm_bytes")
+        else ""
+    )
+    print(
+        f"solved {result.n_members}-member ensemble "
+        f"({spec.get('mode', 'cartesian')}) over [0, {args.t_end:g}) s with "
+        f"m={args.steps} ({info.get('basis', 'BlockPulse')} basis, "
+        f"{info['n_groups']} pencil group(s), {info['factorisations']} "
+        f"factorisation(s), {info['jobs']} {info['executor']} worker(s)"
+        f"{shm}, {result.wall_time * 1e3:.2f} ms total)\n"
+    )
+
+    t_final = args.t_end * 0.999
+    table = Table(
+        ["member"] + [f"v({node})@t={t_final:.3g}" for node in outputs]
+    )
+    finals = result.outputs([t_final])  # (k, q, 1)
+    for i, label in enumerate(result.labels):
+        table.add_row(
+            [label] + [f"{finals[i, j, 0]:.6g}" for j in range(len(outputs))]
+        )
+    print(table.render())
+
+    if args.csv is not None:
+        t_all = result[0].sample_times()
+        v_all = result.outputs(t_all)  # (k, q, nt)
+        header = ["t"] + [
+            f"{node}@{label}" for label in result.labels for node in outputs
+        ]
+        rows = [
+            [repr(float(t_all[k]))]
+            + [
+                repr(float(v_all[i, j, k]))
+                for i in range(result.n_members)
+                for j in range(len(outputs))
+            ]
+            for k in range(t_all.size)
+        ]
+        path = write_csv(args.csv, header, rows)
+        print(
+            f"\nwrote {t_all.size} samples x {result.n_members} members to {path}"
+        )
     return 0
 
 
@@ -444,12 +572,13 @@ def _resolve_deck_defaults(args, netlist) -> None:
             f"{SIMULATION_METHODS}"
         )
     if args.method not in ("opm", "opm-windowed") and (
-        args.windows > 1 or args.sweep or args.event
+        args.windows > 1 or args.sweep or args.event or args.ensemble is not None
     ):
         raise ReproError(
             f".options method={args.method} only supports a plain transient: "
-            "windowed marching, --sweep and --event are engine-session "
-            "features; drop the method option or the conflicting flag/card"
+            "windowed marching, --sweep, --event and --ensemble are "
+            "engine-session features; drop the method option or the "
+            "conflicting flag/card"
         )
 
 
@@ -494,6 +623,7 @@ def run(argv=None) -> int:
                 ("--sweep", bool(args.sweep)),
                 ("--windows", cli_windows is not None and cli_windows > 1),
                 ("--event", bool(args.event)),
+                ("--ensemble", args.ensemble is not None),
                 ("--csv", args.csv is not None),
             ):
                 if present:
@@ -504,10 +634,25 @@ def run(argv=None) -> int:
         outputs = args.outputs if args.outputs else netlist.nodes
         system = build_system(netlist, outputs=outputs)
         code = 0
+        if args.jobs is not None and args.jobs < 1:
+            raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+        if args.jobs is not None and args.ensemble is None and not args.sweep:
+            raise ReproError(
+                "--jobs shards --ensemble members or a --sweep batch; "
+                "pass one of those flags with it"
+            )
         if args.t_end is not None:
+            if args.ensemble is not None and (
+                args.sweep or args.windows > 1 or args.event
+            ):
+                raise ReproError(
+                    "--ensemble cannot be combined with --sweep/--windows/--event"
+                )
             if args.sweep and (args.windows > 1 or args.event):
                 raise ReproError("--sweep cannot be combined with --windows/--event")
-            if args.sweep:
+            if args.ensemble is not None:
+                code = _run_ensemble(args, netlist, system, outputs)
+            elif args.sweep:
                 code = _run_sweep(args, netlist, system, outputs)
             else:
                 if args.event and args.windows < 2:

@@ -513,6 +513,110 @@ class Netlist:
         return u_fn
 
     # ------------------------------------------------------------------
+    # parameter variations
+    # ------------------------------------------------------------------
+    #: The element field that ``with_values`` / ``element_values``
+    #: treat as *the* value of each component class.
+    _VALUE_FIELDS: dict = {}
+
+    @classmethod
+    def _value_field(cls, element) -> str:
+        if not cls._VALUE_FIELDS:
+            cls._VALUE_FIELDS.update(
+                {
+                    Resistor: "resistance",
+                    Capacitor: "capacitance",
+                    Inductor: "inductance",
+                    CPE: "q",
+                    VCCS: "gm",
+                    CurrentSource: "scale",
+                    VoltageSource: "scale",
+                }
+            )
+        try:
+            return cls._VALUE_FIELDS[type(element)]
+        except KeyError:
+            raise NetlistError(
+                f"element {element.name!r} of type "
+                f"{type(element).__name__} has no variable value"
+            ) from None
+
+    def element_values(self) -> dict[str, float]:
+        """Nominal value of every element, keyed by name.
+
+        Resistance / capacitance / inductance / CPE ``q`` / VCCS ``gm``
+        for the passive elements, the ``scale`` factor for sources, and
+        the coupling coefficient for ``K`` cards -- exactly the numbers
+        :meth:`with_values` can override.
+        """
+        values = {
+            el.name: float(getattr(el, self._value_field(el)))
+            for el in self.elements
+        }
+        for pair in self.couplings:
+            values[pair.name] = float(pair.coupling)
+        return values
+
+    def with_values(self, overrides: dict) -> "Netlist":
+        """A copy of this netlist with some element values replaced.
+
+        The copy preserves element order, node numbering, input-channel
+        allocation, attached waveforms / AC magnitudes, and the
+        analysis cards, so the varied circuit is state-compatible with
+        the base one -- exactly what
+        :func:`~repro.circuits.mna.assemble_mna_restamp` (and therefore
+        :meth:`repro.engine.executor.Ensemble.variations`) requires.
+
+        Parameters
+        ----------
+        overrides:
+            Element name -> new value.  Unknown names raise with the
+            list of known elements.
+
+        Examples
+        --------
+        >>> base = Netlist.from_spice("I1 0 a 1m\\nR1 a 0 1k\\nC1 a 0 1u\\n")
+        >>> varied = base.with_values({"R1": 1.2e3})
+        >>> varied.resistors[0].resistance, base.resistors[0].resistance
+        (1200.0, 1000.0)
+        >>> varied.nodes == base.nodes
+        True
+        """
+        import dataclasses
+
+        known = {el.name for el in self.elements}
+        known.update(pair.name for pair in self.couplings)
+        unknown = set(overrides) - known
+        if unknown:
+            raise NetlistError(
+                f"cannot vary unknown element(s) {sorted(unknown)}; "
+                f"netlist has {sorted(known)}"
+            )
+        varied = Netlist(self.title)
+        for el in self.elements:
+            if el.name in overrides:
+                el = dataclasses.replace(
+                    el, **{self._value_field(el): float(overrides[el.name])}
+                )
+            if isinstance(el, VCCS):
+                # match add_vccs: control nodes register before terminals
+                varied._register_node(el.c)
+                varied._register_node(el.d)
+            varied.add(el)
+        for pair in self.couplings:
+            if pair.name in overrides:
+                pair = dataclasses.replace(
+                    pair, coupling=float(overrides[pair.name])
+                )
+            varied._names.add(pair.name)
+            varied.couplings.append(pair)
+        varied.analysis = self.analysis
+        varied._waveforms = dict(self._waveforms)
+        varied._ac_magnitudes = dict(self._ac_magnitudes)
+        varied._next_channel = self._next_channel
+        return varied
+
+    # ------------------------------------------------------------------
     # parsing
     # ------------------------------------------------------------------
     @staticmethod

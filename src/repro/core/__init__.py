@@ -23,7 +23,11 @@ Public surface:
 
 from ..engine import (
     DenseBackend,
+    Ensemble,
+    EnsembleMember,
+    EnsembleResult,
     Event,
+    ParallelExecutor,
     PencilBank,
     Simulator,
     SparseBackend,
@@ -56,6 +60,10 @@ __all__ = [
     "Simulator",
     "SweepResult",
     "Event",
+    "Ensemble",
+    "EnsembleMember",
+    "EnsembleResult",
+    "ParallelExecutor",
     "simulate",
     "SIMULATION_METHODS",
     "simulate_opm",

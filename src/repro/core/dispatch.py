@@ -21,6 +21,7 @@ import sys
 
 from ..basis.base import BasisSet
 from ..engine.bundle import validate_basis_name
+from ..engine.executor import Ensemble, ParallelExecutor
 from ..errors import SolverError
 from .opm_solver import simulate_opm
 from .opm_adaptive import simulate_opm_adaptive
@@ -58,6 +59,8 @@ def simulate(
     *,
     method: str = "opm",
     basis=None,
+    jobs: int | None = None,
+    parallel: str = "process",
     **kwargs,
 ):
     """Simulate ``system`` driven by ``u`` over ``[0, t_end)``.
@@ -65,14 +68,18 @@ def simulate(
     Parameters
     ----------
     system:
-        Any model from :mod:`repro.core.lti`, or a
+        Any model from :mod:`repro.core.lti`, a
         :class:`~repro.circuits.netlist.Netlist` -- netlists are
         assembled on the fly through
         :func:`repro.engine.netlist_session.build_system` (honouring
         their ``.ic`` card), and ``u=None`` then means "drive with the
-        deck's own source waveforms".  (Method support varies: the
-        classical one-step schemes need ``alpha == 1``; the FFT and
-        Grünwald-Letnikov baselines accept fractional orders.)
+        deck's own source waveforms" -- or an
+        :class:`~repro.engine.executor.Ensemble` of ``(system, u)``
+        members, executed across ``jobs`` workers and returning an
+        :class:`~repro.engine.executor.EnsembleResult`.  (Method
+        support varies: the classical one-step schemes need
+        ``alpha == 1``; the FFT and Grünwald-Letnikov baselines accept
+        fractional orders; ensembles require the default ``'opm'``.)
     u:
         Input specification (callable, scalar, or -- for the OPM
         fixed-grid methods -- a coefficient array).  ``None`` is only
@@ -85,6 +92,15 @@ def simulate(
         by ``'opm-adaptive'`` (pass ``rtol``/``atol`` instead).
     method:
         One of :data:`SIMULATION_METHODS`.
+    jobs:
+        Worker count for ensemble execution (default: the usable CPU
+        count).  Only meaningful when ``system`` is an
+        :class:`~repro.engine.executor.Ensemble`; batched multi-input
+        sharding on a single system lives on
+        :meth:`repro.Simulator.sweep`.
+    parallel:
+        Ensemble executor backend: ``'process'`` (default),
+        ``'thread'``, or ``'serial'``.
     basis:
         Basis family for the basis-generic OPM methods (``'opm'`` and
         ``'opm-windowed'``): ``None`` (block pulse), a name from
@@ -106,6 +122,16 @@ def simulate(
         hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise SolverError(
             f"unknown method {method!r}{hint}; choose from {SIMULATION_METHODS}"
+        )
+    if isinstance(system, Ensemble):
+        return _simulate_ensemble(
+            system, u, t_end, steps, method=method, basis=basis,
+            jobs=jobs, parallel=parallel, **kwargs,
+        )
+    if jobs is not None:
+        raise SolverError(
+            "jobs= is only meaningful when simulating an Ensemble; for "
+            "many inputs on one system use Simulator.sweep(inputs, jobs=...)"
         )
     # netlists assemble on the fly; repro.circuits sits above the
     # core/engine layers, so detect instances via sys.modules instead of
@@ -165,6 +191,41 @@ def simulate(
     from ..baselines.expm import simulate_expm
 
     return simulate_expm(system, u, t_end, steps, **kwargs)
+
+
+def _simulate_ensemble(
+    ensemble: Ensemble,
+    u,
+    t_end: float,
+    steps: int | None,
+    *,
+    method: str,
+    basis,
+    jobs: int | None,
+    parallel: str,
+    **kwargs,
+):
+    """Ensemble dispatch (``system`` was an :class:`Ensemble`).
+
+    Shards the members across ``jobs`` workers; ``u`` (if given) is the
+    default input for members that carry none.
+    """
+    if method != "opm":
+        raise SolverError(
+            f"ensembles support method='opm' only, got {method!r}"
+        )
+    if steps is None:
+        raise SolverError("ensemble simulation requires steps")
+    executor = ParallelExecutor(parallel, jobs=jobs)
+    backend = kwargs.pop("backend", "auto")
+    return executor.run(
+        ensemble,
+        (t_end, steps),
+        basis=basis,
+        u=u,
+        solver_backend=backend,
+        **kwargs,
+    )
 
 
 def _simulate_windowed(

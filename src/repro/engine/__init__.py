@@ -25,6 +25,12 @@ shares, so that repeated-solve workloads amortise it across calls:
   horizons with state carry-over, fractional memory transfer, and
   mid-run :class:`Event` handling (input swaps, load steps, pencil
   re-stamps);
+* :mod:`~repro.engine.executor` -- the parallel ensemble executor:
+  :class:`Ensemble` specs (cartesian / seeded Monte-Carlo netlist
+  variations), the :class:`ParallelExecutor` process/thread/serial
+  sharding engine with fingerprint grouping and zero-copy
+  shared-memory pencil shipping, and the :class:`EnsembleResult`
+  container;
 * :mod:`~repro.engine.netlist_session` -- the SPICE front door:
   netlist-native sessions (:meth:`Simulator.from_netlist`), ``.ac``
   sweeps, and the :func:`simulate_netlist` one-call driver executing a
@@ -44,6 +50,14 @@ from .backends import (
     select_backend,
 )
 from .bundle import BASIS_FAMILIES, OperatorBundle, basis_names, resolve_basis
+from .executor import (
+    EXECUTOR_BACKENDS,
+    Ensemble,
+    EnsembleChunk,
+    EnsembleMember,
+    EnsembleResult,
+    ParallelExecutor,
+)
 from .inputs import normalise_input_callable, project_input
 from .marching import Event
 from .session import Simulator, resolve_grid
@@ -75,6 +89,12 @@ __all__ = [
     "Simulator",
     "SweepResult",
     "Event",
+    "Ensemble",
+    "EnsembleMember",
+    "EnsembleChunk",
+    "EnsembleResult",
+    "ParallelExecutor",
+    "EXECUTOR_BACKENDS",
     "OperatorBundle",
     "BASIS_FAMILIES",
     "basis_names",

@@ -1,0 +1,1119 @@
+"""Parallel ensemble execution: sharded multi-core sweeps.
+
+The paper's cost model makes one fact central: the expensive,
+input-independent work is *per circuit configuration* (one pencil
+factorisation, amortised over every column and call).  Monte-Carlo
+tolerance analysis and corner sweeps invert the workload shape the rest
+of the engine optimises for -- instead of one pencil and many
+right-hand sides, they present *many pencils*, each with a handful of
+inputs.  That unit (factorise one configuration, sweep its inputs) is
+embarrassingly parallel, and this module shards it across cores:
+
+* :class:`Ensemble` -- an ordered list of :class:`EnsembleMember`
+  ``(system, u)`` work items, with a :meth:`Ensemble.variations`
+  constructor that builds cartesian / Monte-Carlo parameter variations
+  of a netlist through
+  :meth:`~repro.circuits.netlist.Netlist.with_values` and
+  :func:`~repro.circuits.mna.assemble_mna_restamp` (so every member is
+  state-layout-checked against the base circuit).  Monte-Carlo draws
+  are made eagerly in the parent from ``numpy.random.default_rng(seed)``
+  -- the member list is therefore bit-identical regardless of ``jobs``
+  or executor backend.
+* :class:`ParallelExecutor` -- ``backend='process' | 'thread' |
+  'serial'`` with ``jobs=N`` workers.  Members are grouped by pencil
+  fingerprint (:func:`~repro.engine.backends.pencil_fingerprint`), so
+  each worker factorises every distinct pencil exactly once and sweeps
+  all of that pencil's inputs in one batched multi-RHS call through its
+  local :class:`~repro.engine.backends.PencilBank`.  Oversized groups
+  (one pencil, hundreds of inputs -- the ``sweep(jobs=)`` case) are
+  split into column shards.
+* zero-copy shipping -- for the process backend, dense pencils and the
+  pre-projected input coefficients travel to workers through
+  ``multiprocessing.shared_memory`` (one segment per task, reconstructed
+  as ndarray views on the worker side, so the large Kronecker/spectral
+  blocks are never pickled), with a transparent pickle fallback for
+  sparse / multi-term systems and sub-threshold payloads.  Segments are
+  unlinked by the parent as each task completes, on success and on
+  failure alike.
+* streaming -- :meth:`ParallelExecutor.iter_chunks` yields
+  :class:`EnsembleChunk` objects in *completion* order; a failing
+  member does not stop the remaining chunks, it is re-raised as
+  :class:`~repro.errors.EnsembleError` (member index + original
+  exception) once every other chunk has streamed.
+  :meth:`ParallelExecutor.run` gathers the chunks into an
+  :class:`EnsembleResult` in member order.
+
+Inputs are projected onto the session basis *in the parent*, so worker
+tasks never pickle user callables, and serial/thread/process backends
+consume byte-identical coefficient arrays -- the foundation of the
+bit-identical-across-backends guarantee asserted by the benchmark
+suite.
+
+Guidance: prefer ``backend='process'`` for ensembles (the column sweep
+is Python-loop-heavy, so threads serialise on the GIL); set
+``OMP_NUM_THREADS=1`` when launching many workers, as oversubscribed
+BLAS thread pools otherwise thrash the cores the workers need.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..basis.base import BasisSet
+from ..core.lti import DescriptorSystem, FractionalDescriptorSystem
+from ..core.result import SimulationResult
+from ..errors import EnsembleError
+from .backends import pencil_fingerprint
+
+__all__ = [
+    "Ensemble",
+    "EnsembleMember",
+    "EnsembleChunk",
+    "EnsembleResult",
+    "ParallelExecutor",
+    "EXECUTOR_BACKENDS",
+    "default_jobs",
+]
+
+#: Executor backends accepted by :class:`ParallelExecutor`.
+EXECUTOR_BACKENDS = ("process", "thread", "serial")
+
+#: Below this many bytes of dense payload a process task is pickled
+#: rather than shipped through shared memory (segment setup costs more
+#: than copying a few kilobytes).
+SHM_MIN_BYTES = 1 << 15
+
+
+def default_jobs() -> int:
+    """Default worker count: the machine's usable CPU count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _limit_worker_blas() -> None:
+    """Best-effort single-threaded BLAS inside a worker process.
+
+    Environment variables only help libraries loaded after the fork;
+    ``threadpoolctl`` (when installed) also caps pools that are already
+    live.  Either way this is advisory -- the README documents setting
+    ``OMP_NUM_THREADS=1`` before launching many-worker runs.
+    """
+    for var in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+        "NUMEXPR_NUM_THREADS",
+    ):
+        os.environ.setdefault(var, "1")
+    try:  # pragma: no cover - optional dependency
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(1)
+    except Exception:
+        pass
+
+
+# ----------------------------------------------------------------------
+# ensemble specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnsembleMember:
+    """One unit of ensemble work: a system plus the input driving it.
+
+    Attributes
+    ----------
+    system:
+        A :class:`~repro.core.lti.DescriptorSystem` /
+        :class:`~repro.core.lti.FractionalDescriptorSystem` /
+        :class:`~repro.core.lti.MultiTermSystem` model.
+    u:
+        Input specification (anything :meth:`repro.Simulator.run`
+        accepts), or ``None`` to use the executor-level default input.
+    label:
+        Human-readable member name (``"R1=952.3,C2=1.04e-06"`` for
+        netlist variations).
+    params:
+        The parameter overrides that produced this member (empty for
+        explicit ``(system, u)`` members).
+    """
+
+    system: Any
+    u: Any = None
+    label: str | None = None
+    params: Mapping[str, float] = field(default_factory=dict)
+
+
+def _draw_value(rng: np.random.Generator, nominal: float, spec) -> float:
+    """One Monte-Carlo draw: relative half-width or absolute range.
+
+    ``spec`` is either a relative half-width ``s`` in ``(0, 1)``
+    (uniform in ``[nominal (1 - s), nominal (1 + s)]``) or an absolute
+    ``(low, high)`` pair.
+    """
+    if np.isscalar(spec):
+        s = float(spec)
+        if not 0.0 < s < 1.0:
+            raise EnsembleError(
+                f"relative Monte-Carlo spread must lie in (0, 1), got {s!r}"
+            )
+        return float(rng.uniform(nominal * (1.0 - s), nominal * (1.0 + s)))
+    low, high = (float(spec[0]), float(spec[1]))
+    if not low < high:
+        raise EnsembleError(f"Monte-Carlo range must satisfy low < high, got {spec!r}")
+    return float(rng.uniform(low, high))
+
+
+def _member_label(params: Mapping[str, float]) -> str:
+    return ",".join(f"{name}={value:.6g}" for name, value in params.items())
+
+
+class Ensemble:
+    """Ordered collection of :class:`EnsembleMember` work items.
+
+    Build one explicitly from ``(system, u)`` pairs /
+    :class:`EnsembleMember` objects, or from a base netlist with
+    :meth:`variations` (cartesian corner sweeps and seeded Monte-Carlo
+    tolerance analysis over MNA element values).
+
+    Examples
+    --------
+    >>> from repro.circuits import Netlist
+    >>> base = Netlist.from_spice('''
+    ... I1 0 n1 1m
+    ... R1 n1 0 1k
+    ... C1 n1 0 1u
+    ... ''')
+    >>> corners = Ensemble.variations(base, {"R1": [900.0, 1100.0],
+    ...                                      "C1": [0.9e-6, 1.1e-6]})
+    >>> len(corners), corners[0].label
+    (4, 'R1=900,C1=9e-07')
+    >>> mc = Ensemble.variations(base, {"R1": 0.1}, mode="monte-carlo",
+    ...                          n=8, seed=42)
+    >>> len(mc), len(set(m.params["R1"] for m in mc))
+    (8, 8)
+    """
+
+    def __init__(self, members: Iterable) -> None:
+        resolved: list[EnsembleMember] = []
+        for item in members:
+            if isinstance(item, EnsembleMember):
+                resolved.append(item)
+            elif isinstance(item, tuple) and len(item) == 2:
+                resolved.append(EnsembleMember(system=item[0], u=item[1]))
+            else:
+                raise EnsembleError(
+                    "ensemble members must be EnsembleMember objects or "
+                    f"(system, u) pairs, got {type(item).__name__}"
+                )
+        if not resolved:
+            raise EnsembleError("an ensemble requires at least one member")
+        self.members = resolved
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[EnsembleMember]:
+        return iter(self.members)
+
+    def __getitem__(self, index: int) -> EnsembleMember:
+        return self.members[index]
+
+    def __repr__(self) -> str:
+        return f"Ensemble(k={len(self.members)})"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def variations(
+        cls,
+        base,
+        params: Mapping[str, Any],
+        *,
+        mode: str = "cartesian",
+        n: int | None = None,
+        seed: int | None = None,
+        u=None,
+        outputs=None,
+        sparse: str = "auto",
+    ) -> "Ensemble":
+        """Parameter variations of a base netlist.
+
+        Every member re-stamps the MNA model through
+        :func:`~repro.circuits.mna.assemble_mna_restamp`, so element
+        changes that would silently permute the state vector raise
+        instead.
+
+        Parameters
+        ----------
+        base:
+            The nominal :class:`~repro.circuits.netlist.Netlist`.
+        params:
+            ``mode='cartesian'``: element name -> explicit sequence of
+            absolute values; members are the cartesian product in
+            dict-insertion order.  ``mode='monte-carlo'``: element name
+            -> relative half-width ``s`` in ``(0, 1)`` (uniform in
+            ``nominal * [1 - s, 1 + s]``) or absolute ``(low, high)``
+            pair.
+        n:
+            Number of Monte-Carlo members (required for
+            ``mode='monte-carlo'``).
+        seed:
+            Seed of the parent-side ``numpy.random.default_rng``.  The
+            member list depends only on ``(params, n, seed)`` -- never
+            on ``jobs`` or the executor backend -- so a seeded ensemble
+            is exactly reproducible, serial or parallel.
+        u:
+            Optional shared input override; by default each member is
+            driven by its own deck's source waveforms
+            (``netlist.input_function()``).
+        outputs:
+            Optional node names forwarded to the MNA assembler (member
+            outputs become those node voltages).
+        sparse:
+            Storage mode forwarded to
+            :func:`~repro.circuits.mna.assemble_mna`.
+        """
+        from ..circuits.mna import assemble_mna_restamp
+
+        if not params:
+            raise EnsembleError("variations requires at least one parameter")
+        if mode not in ("cartesian", "monte-carlo"):
+            raise EnsembleError(
+                f"mode must be 'cartesian' or 'monte-carlo', got {mode!r}"
+            )
+
+        def member(overrides: dict[str, float]) -> EnsembleMember:
+            varied = base.with_values(overrides)
+            system = assemble_mna_restamp(varied, base, outputs=outputs, sparse=sparse)
+            member_u = u if u is not None else varied.input_function()
+            return EnsembleMember(
+                system=system,
+                u=member_u,
+                label=_member_label(overrides),
+                params=overrides,
+            )
+
+        members: list[EnsembleMember] = []
+        if mode == "cartesian":
+            if n is not None:
+                raise EnsembleError("n= is only meaningful for mode='monte-carlo'")
+            names = list(params)
+            grids = []
+            for name in names:
+                values = params[name]
+                if np.isscalar(values):
+                    raise EnsembleError(
+                        f"cartesian values for {name!r} must be a sequence; "
+                        "use mode='monte-carlo' for spread specifications"
+                    )
+                grids.append([float(v) for v in values])
+            for combo in itertools.product(*grids):
+                members.append(member(dict(zip(names, combo))))
+        else:
+            if n is None or int(n) < 1:
+                raise EnsembleError("mode='monte-carlo' requires n >= 1 members")
+            nominal = base.element_values()
+            for name in params:
+                if name not in nominal:
+                    raise EnsembleError(
+                        f"unknown element {name!r}; base netlist has "
+                        f"{sorted(nominal)}"
+                    )
+            rng = np.random.default_rng(seed)
+            for _ in range(int(n)):
+                overrides = {
+                    name: _draw_value(rng, nominal[name], spec)
+                    for name, spec in params.items()
+                }
+                members.append(member(overrides))
+        return cls(members)
+
+    @classmethod
+    def from_spec(cls, base, spec: Mapping[str, Any], *, outputs=None) -> "Ensemble":
+        """Build variations from a JSON-style specification mapping.
+
+        The CLI's ``--ensemble spec.json`` accepts::
+
+            {"mode": "monte-carlo", "n": 64, "seed": 7,
+             "params": {"R1": 0.2, "C1": [0.9e-6, 1.1e-6]}}
+
+        ``mode`` defaults to ``'cartesian'``; unknown keys raise.  An
+        explicit ``outputs=`` argument (the CLI's ``--outputs``) wins
+        over the spec's ``"outputs"`` entry.
+        """
+        allowed = {"mode", "n", "seed", "params", "outputs"}
+        unknown = set(spec) - allowed
+        if unknown:
+            raise EnsembleError(
+                f"unknown ensemble spec keys {sorted(unknown)}; "
+                f"allowed keys are {sorted(allowed)}"
+            )
+        if "params" not in spec or not isinstance(spec["params"], Mapping):
+            raise EnsembleError(
+                "ensemble spec requires a 'params' mapping of element "
+                "name -> values/spread"
+            )
+        return cls.variations(
+            base,
+            spec["params"],
+            mode=spec.get("mode", "cartesian"),
+            n=spec.get("n"),
+            seed=spec.get("seed"),
+            outputs=outputs if outputs is not None else spec.get("outputs"),
+        )
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnsembleChunk:
+    """One completed task's worth of results, streamed in completion order.
+
+    Attributes
+    ----------
+    indices:
+        Ensemble member indices covered by this chunk (one fingerprint
+        group, or a column shard of one).
+    coefficients:
+        State coefficient tensor ``(len(indices), n, m)``.
+    input_coefficients:
+        Input coefficient tensor ``(len(indices), p, m)``.
+    factorisations:
+        Pencil factorisations the worker performed for this chunk
+        (1 for a healthy group).
+    wall_time:
+        Worker-side solve seconds for the chunk.
+    """
+
+    indices: tuple[int, ...]
+    coefficients: np.ndarray
+    input_coefficients: np.ndarray
+    factorisations: int
+    wall_time: float
+
+
+class EnsembleResult:
+    """Member-ordered results of an ensemble execution.
+
+    Indexing yields per-member
+    :class:`~repro.core.result.SimulationResult` objects (built against
+    each member's own system, so outputs honour per-member ``C``/``D``);
+    :meth:`states` / :meth:`outputs` sample the whole ensemble into one
+    ``(k, n, nt)`` tensor.
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        ensemble: Ensemble,
+        chunks: Sequence[EnsembleChunk],
+        *,
+        wall_time: float | None = None,
+        info: dict | None = None,
+    ) -> None:
+        self.basis = basis
+        self.ensemble = ensemble
+        self.chunks = list(chunks)
+        self.wall_time = wall_time
+        self.info = dict(info or {})
+        k = len(ensemble)
+        self._coefficients: list[np.ndarray | None] = [None] * k
+        self._inputs: list[np.ndarray | None] = [None] * k
+        for chunk in self.chunks:
+            for row, index in enumerate(chunk.indices):
+                self._coefficients[index] = chunk.coefficients[row]
+                self._inputs[index] = chunk.input_coefficients[row]
+        missing = [i for i, c in enumerate(self._coefficients) if c is None]
+        if missing:
+            raise EnsembleError(
+                f"ensemble result is missing members {missing}; "
+                "chunks do not cover the ensemble"
+            )
+
+    @property
+    def n_members(self) -> int:
+        """Number of ensemble members."""
+        return len(self.ensemble)
+
+    @property
+    def labels(self) -> list[str]:
+        """Member labels (``'member-<i>'`` when unnamed)."""
+        return [
+            m.label if m.label is not None else f"member-{i}"
+            for i, m in enumerate(self.ensemble)
+        ]
+
+    @property
+    def params(self) -> list[Mapping[str, float]]:
+        """Per-member parameter overrides."""
+        return [m.params for m in self.ensemble]
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Stacked state coefficients ``(k, n, m)`` (homogeneous ensembles)."""
+        return np.stack(self._coefficients)
+
+    @property
+    def input_coefficients(self) -> np.ndarray:
+        """Stacked input coefficients ``(k, p, m)`` (homogeneous ensembles)."""
+        return np.stack(self._inputs)
+
+    def __len__(self) -> int:
+        return self.n_members
+
+    def __getitem__(self, index: int) -> SimulationResult:
+        idx = range(self.n_members)[index]
+        member = self.ensemble[idx]
+        info = dict(self.info)
+        info["ensemble_index"] = idx
+        if member.label is not None:
+            info["label"] = member.label
+        return SimulationResult(
+            self.basis,
+            self._coefficients[idx],
+            member.system,
+            self._inputs[idx],
+            wall_time=None,
+            info=info,
+        )
+
+    def __iter__(self) -> Iterator[SimulationResult]:
+        for idx in range(self.n_members):
+            yield self[idx]
+
+    @property
+    def results(self) -> list[SimulationResult]:
+        """All members as :class:`SimulationResult` objects."""
+        return list(self)
+
+    def states(self, times) -> np.ndarray:
+        """Sample every member's state trajectory: ``(k, n, len(times))``."""
+        values = self.basis.evaluate(np.atleast_1d(times))
+        return self.coefficients @ values
+
+    def outputs(self, times) -> np.ndarray:
+        """Sample every member's output trajectory: ``(k, q, len(times))``."""
+        return np.stack([res.outputs(times) for res in self])
+
+    def __repr__(self) -> str:
+        return (
+            f"EnsembleResult(k={self.n_members}, basis={self.basis.name}, "
+            f"chunks={len(self.chunks)}, wall_time={self.wall_time})"
+        )
+
+
+# ----------------------------------------------------------------------
+# task planning and shipping
+# ----------------------------------------------------------------------
+#: Load-balance granularity: the planner packs pencil groups into about
+#: ``jobs * TASKS_PER_WORKER`` tasks, so per-task overheads (pickling,
+#: segment setup, pool round-trips) amortise over several groups while
+#: stragglers can still be balanced across workers.
+TASKS_PER_WORKER = 2
+
+
+@dataclass
+class _Task:
+    """One worker work item: a bundle of pencil-group *units*.
+
+    Each unit is one fingerprint group (or a column shard of one): the
+    worker factorises its pencil once and sweeps its members in a
+    single batched multi-RHS call.  The parent's own references to the
+    shipped ``U`` blocks live in ``_RunState.task_inputs`` -- NOT on
+    the task -- so the process backend never pickles them a second
+    time alongside the shared-memory copy.
+    """
+
+    task_id: int
+    units: list
+    payload: dict
+    shm_name: str | None = None
+    out_name: str | None = None
+
+
+def _plan_units(
+    members: Sequence[EnsembleMember], jobs: int
+) -> tuple[list[tuple[tuple[int, ...], Any]], int]:
+    """Group members by pencil fingerprint, then shard oversized groups.
+
+    Returns ``(units, n_groups)`` where each unit is a
+    ``(member_indices, system)`` tuple.  The plan is deterministic
+    (first appearance of each fingerprint; shards in member order) and
+    depends only on ``jobs`` -- never on the executor backend -- so
+    serial and parallel executions batch the very same multi-RHS
+    solves.
+    """
+    groups: dict[tuple, list[int]] = {}
+    systems: dict[tuple, Any] = {}
+    for index, member in enumerate(members):
+        system = member.system
+        if isinstance(system, DescriptorSystem):
+            # the full solve configuration must match, not just the
+            # pencil: members differing only in B (a varied source
+            # scale) or x0 must NOT share a group, or they would all be
+            # solved against the first member's system
+            key = (
+                type(system).__name__,
+                float(getattr(system, "alpha", 1.0)),
+                pencil_fingerprint(system.E, system.A),
+                pencil_fingerprint(system.B),
+                None if system.x0 is None else system.x0.tobytes(),
+            )
+        else:  # multi-term and friends: conservative identity grouping
+            key = ("id", id(system))
+        groups.setdefault(key, []).append(index)
+        systems.setdefault(key, system)
+    target = max(1, math.ceil(len(members) / max(1, jobs)))
+    units: list[tuple[tuple[int, ...], Any]] = []
+    for key, indices in groups.items():
+        for start in range(0, len(indices), target):
+            shard = tuple(indices[start : start + target])
+            units.append((shard, systems[key]))
+    return units, len(groups)
+
+
+def _pack_units(units: list, jobs: int) -> list[list]:
+    """Distribute units contiguously over about ``jobs * 2`` tasks.
+
+    Deterministic and backend-independent: only the *grouping into
+    tasks* changes with ``jobs``, never the per-unit batched solves, so
+    results stay bit-identical across backends and worker counts.
+    """
+    n_tasks = min(len(units), max(1, jobs) * TASKS_PER_WORKER)
+    base, extra = divmod(len(units), n_tasks)
+    packed: list[list] = []
+    start = 0
+    for t in range(n_tasks):
+        size = base + (1 if t < extra else 0)
+        packed.append(units[start : start + size])
+        start += size
+    return packed
+
+
+def _describe_system(system) -> tuple[str, dict, dict[str, np.ndarray]]:
+    """Split a system into ``(kind, meta, dense arrays)`` for shipping.
+
+    Dense descriptor systems decompose into shippable float64 arrays;
+    anything else (sparse storage, multi-term models) falls back to one
+    pickled blob -- sparse matrices pickle compactly anyway.
+    """
+    if isinstance(system, DescriptorSystem) and not any(
+        hasattr(matrix, "toarray") for matrix in (system.E, system.A)
+    ):
+        arrays = {
+            "E": np.ascontiguousarray(system.E, dtype=float),
+            "A": np.ascontiguousarray(system.A, dtype=float),
+            "B": np.ascontiguousarray(system.B, dtype=float),
+        }
+        meta: dict[str, Any] = {}
+        if system.x0 is not None:
+            arrays["x0"] = np.ascontiguousarray(system.x0, dtype=float)
+        if isinstance(system, FractionalDescriptorSystem):
+            return "fractional", {"alpha": float(system.alpha)}, arrays
+        return "descriptor", meta, arrays
+    return "pickled", {"blob": pickle.dumps(_strip_outputs(system))}, {}
+
+
+def _strip_outputs(system):
+    """The solve needs neither ``C`` nor ``D``; don't ship them."""
+    if isinstance(system, FractionalDescriptorSystem):
+        return FractionalDescriptorSystem(
+            system.alpha, system.E, system.A, system.B, x0=system.x0
+        )
+    if isinstance(system, DescriptorSystem):
+        return DescriptorSystem(system.E, system.A, system.B, x0=system.x0)
+    return system
+
+
+def _rebuild_system(kind: str, meta: dict, arrays: Mapping[str, np.ndarray]):
+    if kind == "pickled":
+        return pickle.loads(meta["blob"])
+    x0 = arrays.get("x0")
+    if kind == "fractional":
+        return FractionalDescriptorSystem(
+            meta["alpha"], arrays["E"], arrays["A"], arrays["B"], x0=x0
+        )
+    return DescriptorSystem(arrays["E"], arrays["A"], arrays["B"], x0=x0)
+
+
+def _pack_shm(arrays: Mapping[str, np.ndarray]):
+    """Copy named float64 arrays into one shared-memory segment.
+
+    Returns ``(shm, manifest)``; the manifest lists ``(key, shape,
+    offset)`` entries (64-byte aligned).  The parent owns the segment
+    and unlinks it once the task completes.
+    """
+    from multiprocessing import shared_memory
+
+    align = 64
+    manifest: list[tuple[str, tuple, int]] = []
+    total = 0
+    for key, arr in arrays.items():
+        manifest.append((key, arr.shape, total))
+        total += -(-arr.nbytes // align) * align
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    for (key, shape, offset), arr in zip(manifest, arrays.values()):
+        view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf, offset=offset)
+        view[...] = arr
+    return shm, manifest
+
+
+def _attach_shm(name: str):
+    """Attach to a parent-owned segment, resource-tracker-safely.
+
+    Python >= 3.13 supports ``track=False``: the worker attaches
+    without registering the segment at all (the parent owns and unlinks
+    it).  On older versions the worker's attach re-registers the name
+    with the resource tracker it shares with the parent -- a set
+    insert, deduplicated against the parent's own registration -- so
+    the parent's single ``unlink()`` still balances the books.  Never
+    ``unregister`` manually here: that would strip the *parent's*
+    entry from the shared tracker and make its later unlink double-free
+    the registration.
+    """
+    from multiprocessing import shared_memory
+
+    try:  # Python >= 3.13
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def _execute_task(task: _Task) -> tuple[int, list]:
+    """Worker body: per unit, rebuild the system, factorise once, sweep.
+
+    Runs inline (serial), on a thread, or in a worker process; the only
+    difference is where the payload arrays live.  Returns
+    ``(task_id, results)`` with one ``(unit_index, status, value)``
+    entry per unit: ``("ok", (X | None, factorisations, wall))`` --
+    ``X`` is ``None`` when the coefficients were written into the
+    parent-owned output segment instead of being pickled back -- or
+    ``("error", exception)`` for a unit whose solve failed (its
+    siblings still complete).
+    """
+    from .session import Simulator
+
+    payload = task.payload
+    shm = out = None
+    try:
+        if task.shm_name is not None:
+            shm = _attach_shm(task.shm_name)
+            arrays = {
+                key: np.ndarray(shape, dtype=np.float64, buffer=shm.buf, offset=offset)
+                for key, shape, offset in payload["manifest"]
+            }
+        else:
+            arrays = payload["arrays"]
+        out_views: dict[int, np.ndarray] = {}
+        if task.out_name is not None:
+            out = _attach_shm(task.out_name)
+            out_views = {
+                ui: np.ndarray(shape, dtype=np.float64, buffer=out.buf, offset=offset)
+                for ui, shape, offset in payload["out_manifest"]
+            }
+        results: list[tuple[int, str, Any]] = []
+        for ui, unit in enumerate(payload["units"]):
+            try:
+                unit_arrays = {
+                    key.partition("/")[2]: value
+                    for key, value in arrays.items()
+                    if key.startswith(f"{ui}/")
+                }
+                U = unit_arrays.pop("U")
+                system = _rebuild_system(unit["kind"], unit["meta"], unit_arrays)
+                sim = Simulator(system, payload["grid"], **payload["session_kwargs"])
+                sweep = sim.sweep([U[i] for i in range(U.shape[0])])
+                if ui in out_views:
+                    out_views[ui][...] = sweep.coefficients
+                    X = None
+                else:
+                    # detach from worker-local buffers before pickling
+                    X = np.ascontiguousarray(sweep.coefficients)
+            except Exception as exc:  # noqa: BLE001 - reported per unit
+                results.append((ui, "error", exc))
+                continue
+            wall = float(sweep.wall_time or 0.0)
+            results.append((ui, "ok", (X, sim.factorisations, wall)))
+        return task.task_id, results
+    finally:
+        if shm is not None:
+            shm.close()
+        if out is not None:
+            out.close()
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+class ParallelExecutor:
+    """Sharded multi-core execution of circuit ensembles.
+
+    Parameters
+    ----------
+    backend:
+        ``'process'`` (default) -- a ``ProcessPoolExecutor``; the only
+        backend that scales the Python-loop-heavy column sweep across
+        cores.  ``'thread'`` -- a ``ThreadPoolExecutor``; useful when
+        the work is dominated by BLAS calls that release the GIL, and
+        for debugging.  ``'serial'`` -- run the very same task plan
+        inline in submission order (the baseline the benchmarks compare
+        against).
+    jobs:
+        Worker count (default: the usable CPU count).  The task plan
+        depends on ``jobs`` but not on ``backend``, so
+        ``ParallelExecutor('serial', jobs=8)`` performs bit-identical
+        arithmetic to ``ParallelExecutor('process', jobs=8)``.
+
+    Examples
+    --------
+    >>> from repro.core import DescriptorSystem
+    >>> rc = DescriptorSystem([[1.0]], [[-1.0]], [[1.0]])
+    >>> ens = Ensemble([(rc, 1.0), (rc, 2.0)])
+    >>> result = ParallelExecutor("serial").run(ens, (5.0, 64))
+    >>> result.n_members, result.info["n_groups"]
+    (2, 1)
+    """
+
+    def __init__(self, backend: str = "process", jobs: int | None = None) -> None:
+        if backend not in EXECUTOR_BACKENDS:
+            raise EnsembleError(
+                f"executor backend must be one of {EXECUTOR_BACKENDS}, "
+                f"got {backend!r}"
+            )
+        if jobs is not None and int(jobs) < 1:
+            raise EnsembleError(f"jobs must be >= 1, got {jobs}")
+        self.backend = backend
+        self.jobs = int(jobs) if jobs is not None else default_jobs()
+        #: Names of every shared-memory segment this executor created
+        #: (tests assert they are all unlinked after a run).
+        self.shm_names_created: list[str] = []
+
+    # ------------------------------------------------------------------
+    def run(self, ensemble, grid, **kwargs) -> EnsembleResult:
+        """Execute every member and gather an :class:`EnsembleResult`.
+
+        Parameters
+        ----------
+        ensemble:
+            An :class:`Ensemble`, or any iterable of ``(system, u)``
+            pairs / :class:`EnsembleMember` objects.
+        grid:
+            Shared time grid: a :class:`~repro.basis.grid.TimeGrid`,
+            ``(t_end, m)`` tuple, or a ready
+            :class:`~repro.basis.base.BasisSet` instance.
+        basis, u, projection, adaptive_method, history, solver_backend:
+            See :meth:`iter_chunks`.
+
+        Raises
+        ------
+        EnsembleError
+            If any member failed.  The error records the failing member
+            indices / label, chains the first original worker
+            exception, and carries the successful chunks on
+            ``exc.chunks`` -- a failing member never discards its
+            siblings' completed work.
+        """
+        start = time.perf_counter()
+        state = _RunState()
+        chunks = list(self._stream(ensemble, grid, state, **kwargs))
+        wall = time.perf_counter() - start
+        if state.failures:
+            raise self._ensemble_error(state, chunks) from state.failures[0][2]
+        info = {
+            "executor": self.backend,
+            "jobs": self.jobs,
+            "n_groups": state.n_groups,
+            "n_tasks": state.n_tasks,
+            "factorisations": sum(c.factorisations for c in chunks),
+            "shm_bytes": state.shm_bytes,
+            "basis": state.basis.name,
+        }
+        return EnsembleResult(
+            state.basis, state.ensemble, chunks, wall_time=wall, info=info
+        )
+
+    def iter_chunks(self, ensemble, grid, **kwargs) -> Iterator[EnsembleChunk]:
+        """Stream :class:`EnsembleChunk` objects in completion order.
+
+        Failed members are collected while the healthy chunks keep
+        streaming; once the pool drains, an
+        :class:`~repro.errors.EnsembleError` is raised for the failures
+        (chaining the first original exception).
+
+        Parameters
+        ----------
+        ensemble, grid:
+            As in :meth:`run`.
+        basis:
+            Basis family name / instance shared by every member (see
+            :class:`~repro.engine.session.Simulator`).
+        u:
+            Default input for members whose ``u`` is ``None``.
+        projection, adaptive_method, history:
+            Forwarded to each worker's session.
+        solver_backend:
+            Dense/sparse pencil-backend mode (``'auto'`` default) --
+            distinct from the executor's own process/thread backend.
+        """
+        state = _RunState()
+        yield from self._stream(ensemble, grid, state, **kwargs)
+        if state.failures:
+            raise self._ensemble_error(state, None) from state.failures[0][2]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensemble_error(self, state: "_RunState", chunks) -> EnsembleError:
+        index, label, exc = state.failures[0]
+        detail = f" ({label})" if label else ""
+        more = (
+            f" (+{len(state.failures) - 1} more failed member(s))"
+            if len(state.failures) > 1
+            else ""
+        )
+        return EnsembleError(
+            f"ensemble member {index}{detail} failed: {exc}{more}",
+            member_indices=tuple(sorted(i for i, _, _ in state.failures)),
+            chunks=chunks,
+        )
+
+    def _stream(
+        self,
+        ensemble,
+        grid,
+        state: "_RunState",
+        *,
+        basis=None,
+        u=None,
+        projection: str | None = None,
+        adaptive_method: str = "auto",
+        history: str = "direct",
+        solver_backend: str = "auto",
+    ) -> Iterator[EnsembleChunk]:
+        from .inputs import project_input
+        from .session import _resolve_session_basis
+
+        if not isinstance(ensemble, Ensemble):
+            ensemble = Ensemble(ensemble)
+        state.ensemble = ensemble
+        basis_obj = _resolve_session_basis(grid, basis, projection)
+        state.basis = basis_obj
+        # workers receive the fully resolved basis instance as the grid
+        # spec, so every accepted (grid, basis) flavour ships the same
+        # way and the worker session is exactly the parent's
+        session_kwargs = {
+            "basis": None,
+            "projection": None,
+            "adaptive_method": adaptive_method,
+            "history": history,
+            "backend": solver_backend,
+        }
+
+        # project every input in the parent: workers never see callables
+        projected: list[np.ndarray] = []
+        for index, member in enumerate(ensemble):
+            member_u = member.u if member.u is not None else u
+            if member_u is None:
+                raise EnsembleError(
+                    f"ensemble member {index} has no input; give the member "
+                    "a u or pass a default to run(..., u=...)"
+                )
+            projected.append(project_input(member_u, basis_obj, member.system.n_inputs))
+
+        units, state.n_groups = _plan_units(ensemble.members, self.jobs)
+        packed = _pack_units(units, self.jobs)
+        state.n_tasks = len(packed)
+        tasks = [
+            self._build_task(
+                task_id, task_units, projected, basis_obj, session_kwargs, state
+            )
+            for task_id, task_units in enumerate(packed)
+        ]
+
+        try:
+            if self.backend == "serial":
+                for task in tasks:
+                    try:
+                        _, results = _execute_task(task)
+                    except Exception as exc:
+                        self._record_task_failure(task, exc, state)
+                        continue
+                    yield from self._handle_completion(task, results, state)
+            else:
+                with self._pool() as pool:
+                    futures = {pool.submit(_execute_task, task): task for task in tasks}
+                    pending = set(futures)
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            task = futures[future]
+                            exc = future.exception()
+                            if exc is not None:
+                                self._record_task_failure(task, exc, state)
+                                continue
+                            _, results = future.result()
+                            yield from self._handle_completion(task, results, state)
+        finally:
+            # failure-proof cleanup: any segment not yet unlinked
+            # (failed tasks, cancelled futures, generator closed early)
+            for key in list(state.shm_segments):
+                shm = state.shm_segments.pop(key)
+                shm.close()
+                shm.unlink()
+
+    def _build_task(
+        self, task_id, task_units, projected, basis_obj, session_kwargs, state
+    ) -> _Task:
+        units_payload: list[dict] = []
+        all_arrays: dict[str, np.ndarray] = {}
+        inputs: dict[int, np.ndarray] = {}
+        out_shapes: list[tuple[int, tuple[int, int, int]]] = []
+        shippable = True
+        for ui, (indices, system) in enumerate(task_units):
+            kind, meta, arrays = _describe_system(system)
+            shippable = shippable and kind != "pickled"
+            U = np.ascontiguousarray(
+                np.stack([projected[i] for i in indices]), dtype=float
+            )
+            inputs[ui] = U
+            units_payload.append({"kind": kind, "meta": meta})
+            for key, arr in arrays.items():
+                all_arrays[f"{ui}/{key}"] = arr
+            all_arrays[f"{ui}/U"] = U
+            out_shapes.append((ui, (len(indices), system.n_states, basis_obj.size)))
+        payload = {
+            "units": units_payload,
+            "grid": basis_obj,
+            "session_kwargs": session_kwargs,
+        }
+        task = _Task(
+            task_id=task_id,
+            units=[tuple(indices) for indices, _ in task_units],
+            payload=payload,
+        )
+        state.task_inputs[task_id] = inputs
+        nbytes = sum(a.nbytes for a in all_arrays.values())
+        use_shm = self.backend == "process" and shippable and nbytes >= SHM_MIN_BYTES
+        if use_shm:
+            try:
+                shm, manifest = _pack_shm(all_arrays)
+            except (OSError, ValueError):  # no usable /dev/shm: fall back
+                use_shm = False
+            else:
+                task.shm_name = shm.name
+                payload["manifest"] = manifest
+                state.shm_segments[(task_id, "in")] = shm
+                state.shm_bytes += nbytes
+                self.shm_names_created.append(shm.name)
+        if not use_shm:
+            payload["arrays"] = all_arrays
+        if use_shm:
+            # results come back through a parent-owned segment too, so
+            # large coefficient tensors are never pickled either way
+            out_arrays = {str(ui): np.zeros(shape) for ui, shape in out_shapes}
+            try:
+                out_shm, out_manifest = _pack_shm(out_arrays)
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                pass
+            else:
+                task.out_name = out_shm.name
+                payload["out_manifest"] = [
+                    (int(key), shape, offset)
+                    for key, shape, offset in out_manifest
+                ]
+                state.shm_segments[(task_id, "out")] = out_shm
+                self.shm_names_created.append(out_shm.name)
+        return task
+
+    def _pool(self):
+        if self.backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            return ThreadPoolExecutor(max_workers=self.jobs)
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_limit_worker_blas
+        )
+
+    def _handle_completion(
+        self, task: _Task, results: list, state: "_RunState"
+    ) -> Iterator[EnsembleChunk]:
+        """Turn one finished task into per-unit chunks, then unlink its
+        segments (the output segment is read *before* the unlink)."""
+        out_shm = state.shm_segments.get((task.task_id, "out"))
+        out_offsets = {
+            ui: (shape, offset)
+            for ui, shape, offset in task.payload.get("out_manifest", ())
+        }
+        chunks: list[EnsembleChunk] = []
+        for ui, status, value in results:
+            indices = task.units[ui]
+            if status == "error":
+                # the whole unit failed together: every member of the
+                # batched solve is unaccounted for, not just the first
+                for idx in indices:
+                    state.failures.append((idx, state.ensemble[idx].label, value))
+                continue
+            X, factorisations, wall = value
+            if X is None:
+                shape, offset = out_offsets[ui]
+                view = np.ndarray(
+                    shape, dtype=np.float64, buffer=out_shm.buf, offset=offset
+                )
+                X = np.array(view, copy=True)
+            chunks.append(
+                EnsembleChunk(
+                    indices=indices,
+                    coefficients=X,
+                    input_coefficients=state.task_inputs[task.task_id][ui],
+                    factorisations=int(factorisations),
+                    wall_time=float(wall),
+                )
+            )
+        self._release_task_shm(task, state)
+        yield from chunks
+
+    def _release_task_shm(self, task: _Task, state: "_RunState") -> None:
+        for kind in ("in", "out"):
+            shm = state.shm_segments.pop((task.task_id, kind), None)
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    def _record_task_failure(
+        self, task: _Task, exc: Exception, state: "_RunState"
+    ) -> None:
+        """A whole-task failure (infrastructure, not a solve): every
+        member of every unit of the task failed with the same cause."""
+        self._release_task_shm(task, state)
+        for indices in task.units:
+            for idx in indices:
+                state.failures.append((idx, state.ensemble[idx].label, exc))
+
+
+class _RunState:
+    """Per-run bookkeeping shared between planning and streaming."""
+
+    def __init__(self) -> None:
+        self.ensemble: Ensemble | None = None
+        self.basis: BasisSet | None = None
+        self.failures: list[tuple[int, str | None, Exception]] = []
+        self.shm_segments: dict[tuple[int, str], Any] = {}
+        self.task_inputs: dict[int, dict[int, np.ndarray]] = {}
+        self.shm_bytes = 0
+        self.n_groups = 0
+        self.n_tasks = 0

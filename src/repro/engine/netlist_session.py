@@ -266,11 +266,16 @@ class NetlistRun:
     outputs: tuple[str, ...]
     tran: object | None = None
     ac: AcScan | None = None
+    ensemble: object | None = None
 
     def __repr__(self) -> str:
         ran = [
             label
-            for label, result in (("tran", self.tran), ("ac", self.ac))
+            for label, result in (
+                ("tran", self.tran),
+                ("ac", self.ac),
+                ("ensemble", self.ensemble),
+            )
             if result is not None
         ]
         return (
@@ -292,6 +297,9 @@ def simulate_netlist(
     backend: str | None = None,
     sparse: str = "auto",
     use_ic: bool = True,
+    ensemble=None,
+    jobs: int | None = None,
+    parallel: str = "process",
 ) -> NetlistRun:
     """Parse a deck and run every analysis it (or the caller) requests.
 
@@ -319,6 +327,14 @@ def simulate_netlist(
         Overrides for the matching ``.options`` keys.
     sparse, use_ic:
         Forwarded to :func:`build_system`.
+    ensemble:
+        Optional per-deck corner sweep / Monte-Carlo specification: a
+        JSON-style dict (see
+        :meth:`repro.engine.executor.Ensemble.from_spec`) or a ready
+        :class:`~repro.engine.executor.Ensemble`.  The members are
+        solved on the deck's transient grid across ``jobs`` workers
+        (``parallel`` backend) and returned as
+        :attr:`NetlistRun.ensemble`.
 
     Examples
     --------
@@ -384,6 +400,26 @@ def simulate_netlist(
             sim = Simulator(system, (horizon, m), basis=basis, backend=backend)
             tran = sim.run(u)
 
+    ensemble_result = None
+    if ensemble is not None:
+        from .executor import Ensemble, ParallelExecutor
+
+        if spec.tran is None and t_end is None:
+            raise NetlistError(
+                "an ensemble needs a transient grid: add a .tran card or "
+                "pass t_end="
+            )
+        if not isinstance(ensemble, Ensemble):
+            ensemble = Ensemble.from_spec(netlist, ensemble, outputs=output_names)
+        horizon = float(t_end) if t_end is not None else spec.tran.tstop
+        m = int(steps) if steps is not None else (
+            spec.m or (spec.tran.steps if spec.tran is not None else None)
+        )
+        executor = ParallelExecutor(parallel, jobs=jobs)
+        ensemble_result = executor.run(
+            ensemble, (horizon, m), basis=basis, solver_backend=backend
+        )
+
     ac = None
     if spec.ac is not None:
         ac = ac_scan(netlist, system=system, card=spec.ac, outputs=output_names)
@@ -394,4 +430,5 @@ def simulate_netlist(
         outputs=output_names,
         tran=tran,
         ac=ac,
+        ensemble=ensemble_result,
     )

@@ -58,6 +58,11 @@ InputLike = Union[Callable, np.ndarray, list, tuple, float, int]
 #: (rows); the sparse backend has no such limit.
 MAX_DENSE_KRON = 20_000
 
+#: Below this many inputs a ``sweep(jobs=...)`` call stays serial: one
+#: batched multi-RHS sweep already amortises the factorisation, and the
+#: per-worker session rebuild would cost more than it saves.
+PARALLEL_SWEEP_MIN_COLUMNS = 16
+
 
 def resolve_grid(grid) -> TimeGrid:
     """Accept a :class:`TimeGrid` or an ``(t_end, m)`` convenience tuple."""
@@ -516,6 +521,13 @@ class Simulator:
         self._transform = bundle.transform
         self._default_input: InputLike | None = None
         self._runs = 0
+        # what a ParallelExecutor needs to rebuild this session in a
+        # worker (projection is already baked into the basis instance)
+        self._executor_options = {
+            "adaptive_method": adaptive_method,
+            "history": history,
+            "solver_backend": backend,
+        }
 
     @classmethod
     def from_netlist(cls, netlist, grid=None, **kwargs) -> "Simulator":
@@ -666,7 +678,14 @@ class Simulator:
             self._basis, X, self._system, U, wall_time=wall, info=info
         )
 
-    def sweep(self, inputs: Iterable[InputLike]) -> SweepResult:
+    def sweep(
+        self,
+        inputs: Iterable[InputLike],
+        *,
+        jobs: int | None = None,
+        parallel: str = "process",
+        min_columns: int | None = None,
+    ) -> SweepResult:
         """Simulate many inputs in one batched multi-RHS column sweep.
 
         All inputs are projected, stacked, and solved together: every
@@ -679,6 +698,19 @@ class Simulator:
         inputs:
             Iterable of input specifications (each anything
             :meth:`run` accepts).
+        jobs:
+            ``None`` (default) solves the whole batch in-process.  An
+            integer ``>= 2`` shards the batch across that many workers
+            through a :class:`~repro.engine.executor.ParallelExecutor`
+            once it has at least ``min_columns`` inputs (default
+            :data:`PARALLEL_SWEEP_MIN_COLUMNS`) -- each worker
+            factorises the pencil once and sweeps its column shard;
+            the merged result is bit-identical to the serial batch.
+        parallel:
+            Executor backend for the sharded path: ``'process'``
+            (default), ``'thread'``, or ``'serial'``.
+        min_columns:
+            Override the sharding threshold (mainly for tests).
 
         Returns
         -------
@@ -689,6 +721,9 @@ class Simulator:
         inputs = list(inputs)
         if not inputs:
             raise SolverError("sweep requires at least one input")
+        threshold = PARALLEL_SWEEP_MIN_COLUMNS if min_columns is None else min_columns
+        if jobs is not None and int(jobs) > 1 and len(inputs) >= threshold:
+            return self._sweep_sharded(inputs, int(jobs), parallel)
         warm = self.is_warm
         start = time.perf_counter()
         U = np.stack([self.project(u) for u in inputs])  # (k, p, m)
@@ -707,6 +742,99 @@ class Simulator:
             wall_time=wall,
             info=info,
         )
+
+    def _sweep_sharded(self, inputs: list, jobs: int, parallel: str) -> SweepResult:
+        """Shard a large multi-RHS batch across executor workers.
+
+        The session's system and settings are shipped to ``jobs``
+        workers; every worker factorises the pencil once and sweeps a
+        contiguous column shard.  The task plan depends only on
+        ``jobs``, so the merged coefficients are bit-identical to the
+        serial batch.
+        """
+        from .executor import Ensemble, EnsembleMember, ParallelExecutor
+
+        start = time.perf_counter()
+        members = [EnsembleMember(system=self._system, u=u) for u in inputs]
+        executor = ParallelExecutor(parallel, jobs=jobs)
+        result = executor.run(
+            Ensemble(members), self._basis, **self._executor_options
+        )
+        wall = time.perf_counter() - start
+        self._runs += 1
+        info = self._finalise_info(self._plan.info())
+        info["warm"] = self.is_warm
+        info["batch"] = len(inputs)
+        info["jobs"] = jobs
+        info["parallel"] = parallel
+        info["n_tasks"] = result.info["n_tasks"]
+        info["factorisations"] = result.info["factorisations"]
+        U = result.input_coefficients
+        return SweepResult(
+            self._basis,
+            result.coefficients,
+            self._system,
+            U,
+            wall_time=wall,
+            info=info,
+        )
+
+    def run_ensemble(
+        self,
+        ensemble,
+        *,
+        jobs: int | None = None,
+        parallel: str = "process",
+        u: InputLike | None = None,
+    ):
+        """Execute a circuit ensemble on this session's grid and basis.
+
+        The session supplies the solve configuration (grid, basis,
+        dense/sparse backend mode, fractional-history settings); the
+        ensemble supplies the per-member systems and inputs.  Work is
+        sharded across ``jobs`` workers through a
+        :class:`~repro.engine.executor.ParallelExecutor`, grouping
+        members by pencil fingerprint so each distinct configuration is
+        factorised exactly once.
+
+        Parameters
+        ----------
+        ensemble:
+            An :class:`~repro.engine.executor.Ensemble` (see
+            :meth:`Ensemble.variations
+            <repro.engine.executor.Ensemble.variations>`) or any
+            iterable of ``(system, u)`` pairs.
+        jobs:
+            Worker count (default: the machine's usable CPU count).
+        parallel:
+            ``'process'`` (default), ``'thread'``, or ``'serial'``.
+        u:
+            Default input for members that carry none (``u=None``
+            members of explicit ensembles).
+
+        Returns
+        -------
+        EnsembleResult
+            Member-ordered results; index for per-member
+            :class:`~repro.core.result.SimulationResult` objects.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.core import DescriptorSystem
+        >>> from repro.engine.executor import Ensemble
+        >>> fast = DescriptorSystem([[1.0]], [[-2.0]], [[1.0]])
+        >>> slow = DescriptorSystem([[1.0]], [[-0.5]], [[1.0]])
+        >>> sim = Simulator(fast, (5.0, 100))
+        >>> res = sim.run_ensemble(Ensemble([(fast, 1.0), (slow, 1.0)]),
+        ...                        parallel="serial")
+        >>> res.n_members
+        2
+        """
+        from .executor import ParallelExecutor
+
+        executor = ParallelExecutor(parallel, jobs=jobs)
+        return executor.run(ensemble, self._basis, u=u, **self._executor_options)
 
     def march(self, u, t_end: float, *, events=()) -> MarchingResult:
         """Windowed time-marching over ``[0, t_end]`` on this session.

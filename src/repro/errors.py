@@ -17,6 +17,8 @@ The hierarchy mirrors the package layout:
   or an adaptive-step controller that cannot meet its tolerance.
 * :class:`NetlistError` -- malformed circuit descriptions
   (``repro.circuits.netlist``).
+* :class:`EnsembleError` -- invalid ensemble specifications or failed
+  ensemble members (``repro.engine.executor``).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ __all__ = [
     "SolverError",
     "NetlistError",
     "ConvergenceError",
+    "EnsembleError",
 ]
 
 
@@ -87,3 +90,31 @@ class NetlistError(ReproError):
     a non-positive element value, an unknown node name referenced by an
     element, or a card with the wrong number of fields.
     """
+
+
+class EnsembleError(ReproError):
+    """Raised for invalid ensemble specifications or failed members.
+
+    When raised by a :class:`~repro.engine.executor.ParallelExecutor`
+    run, :attr:`member_indices` lists the failing ensemble members (and
+    :attr:`member_index` the first of them), ``__cause__`` chains the
+    original worker exception, and :attr:`chunks` carries the chunks
+    that completed successfully -- a failing member never discards its
+    siblings' finished work.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        member_indices: tuple[int, ...] = (),
+        chunks=None,
+    ) -> None:
+        super().__init__(message)
+        self.member_indices = tuple(member_indices)
+        self.chunks = chunks
+
+    @property
+    def member_index(self) -> int | None:
+        """Index of the first failing ensemble member (or ``None``)."""
+        return self.member_indices[0] if self.member_indices else None

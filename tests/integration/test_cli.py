@@ -581,3 +581,91 @@ class TestCliNetlistMode:
             out = capsys.readouterr().out
             assert code == 0, deck.name
             assert "simulated" in out or "marched" in out, deck.name
+
+
+ENSEMBLE_SPEC = (
+    '{"mode": "monte-carlo", "n": 5, "seed": 7,'
+    ' "params": {"R1": 0.2, "C1": 0.1}}'
+)
+
+
+class TestEnsembleCli:
+    """The --ensemble / --jobs / --parallel ensemble front door."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(ENSEMBLE_SPEC)
+        return path
+
+    def test_ensemble_run(self, rc_file, spec_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "5e-3", "--steps", "60",
+             "--ensemble", str(spec_file), "--jobs", "2",
+             "--parallel", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solved 5-member ensemble (monte-carlo)" in out
+        assert "5 pencil group(s)" in out
+        assert "2 serial worker(s)" in out
+        assert out.count("R1=") == 5  # one table row per member
+
+    def test_ensemble_csv(self, rc_file, spec_file, tmp_path, capsys):
+        csv_path = tmp_path / "ens.csv"
+        code = run(
+            [str(rc_file), "--t-end", "5e-3", "--steps", "40",
+             "--ensemble", str(spec_file), "--parallel", "serial",
+             "--csv", str(csv_path)]
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 41  # header + one row per block pulse
+        assert lines[0].count("n1@R1=") == 5
+
+    def test_ensemble_deterministic_across_backends(
+        self, rc_file, spec_file, capsys
+    ):
+        argv = [str(rc_file), "--t-end", "5e-3", "--steps", "40",
+                "--ensemble", str(spec_file)]
+        assert run(argv + ["--parallel", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert run(argv + ["--parallel", "process", "--jobs", "2"]) == 0
+        process_out = capsys.readouterr().out
+        # identical member tables (seeded draws + bit-identical solves)
+        table = lambda text: [
+            line for line in text.splitlines() if line.startswith("R1=")
+        ]
+        assert table(serial_out) == table(process_out)
+
+    def test_ensemble_conflicts(self, rc_file, spec_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "1e-3", "--ensemble", str(spec_file),
+             "--sweep", "1.0", "2.0"]
+        )
+        assert code == 1
+        assert "--ensemble cannot be combined" in capsys.readouterr().err
+
+    def test_jobs_requires_ensemble_or_sweep(self, rc_file, capsys):
+        code = run([str(rc_file), "--t-end", "1e-3", "--jobs", "4"])
+        assert code == 1
+        assert "--jobs shards" in capsys.readouterr().err
+
+    def test_bad_spec_reports_error(self, rc_file, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"params": {"R99": 0.2}, "mode": "monte-carlo", "n": 2}')
+        code = run([str(rc_file), "--t-end", "1e-3",
+                    "--ensemble", str(path), "--parallel", "serial"])
+        assert code == 1
+        assert "unknown element" in capsys.readouterr().err
+
+    def test_sweep_jobs_sharding(self, rc_file, capsys):
+        code = run(
+            [str(rc_file), "--t-end", "20e-3", "--steps", "64", "--points", "3",
+             "--sweep"] + [str(0.25 * k) for k in range(1, 17)]
+            + ["--jobs", "2", "--parallel", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "swept 16 scaled inputs" in out
+        assert "across 2 serial worker(s)" in out

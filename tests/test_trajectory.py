@@ -1,0 +1,133 @@
+"""Tests for the perf-trajectory guard (``benchmarks/trajectory.py``).
+
+The guard is a standalone stdlib script (CI runs it before trusting a
+green benchmark step), so it is loaded here from its file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "trajectory.py"
+
+spec = importlib.util.spec_from_file_location("trajectory", SCRIPT)
+trajectory = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(trajectory)
+
+
+def scaling_payload(**overrides) -> dict:
+    metrics = {
+        "warm_session_speedup": {"value": 9.0, "claim": ">= 5x"},
+        "batched_sweep_speedup": {"value": 4.0, "claim": ">= 3x"},
+        "windowed_march_speedup": {"value": 2.1, "claim": ">= 1.9x"},
+        "parallel_ensemble_speedup": {
+            "value": 3.2, "claim": ">= 2.5x", "enforced": True, "cores": 8,
+        },
+        "cross_basis_coefficient_ratio": {"value": 42.0, "claim": ">= 10x"},
+    }
+    metrics.update(overrides)
+    metrics = {k: v for k, v in metrics.items() if v is not None}
+    return {"schema": 1, "metrics": metrics}
+
+
+class TestBuildTrajectory:
+    def test_merges_and_stamps(self):
+        merged = trajectory.build_trajectory(
+            scaling_payload(), {"entries": []}, sha="abc123", date="2026-07-26"
+        )
+        assert merged["commit"] == "abc123"
+        assert merged["date"] == "2026-07-26"
+        assert merged["bases"] == {"entries": []}
+        names = [c["name"] for c in merged["claims"]]
+        assert names == [name for name, _, _ in trajectory.REQUIRED_CLAIMS]
+        assert all(c["present"] and c["meets_threshold"]
+                   for c in merged["claims"])
+
+    def test_missing_claim_detected(self):
+        merged = trajectory.build_trajectory(
+            scaling_payload(parallel_ensemble_speedup=None), None, sha="x"
+        )
+        failures = trajectory.check(merged, enforce=False)
+        assert len(failures) == 1
+        assert "parallel_ensemble_speedup" in failures[0]
+        assert "missing" in failures[0]
+
+    def test_below_floor_only_fails_with_enforce(self):
+        merged = trajectory.build_trajectory(
+            scaling_payload(batched_sweep_speedup={"value": 1.2}), None, sha="x"
+        )
+        assert trajectory.check(merged, enforce=False) == []
+        failures = trajectory.check(merged, enforce=True)
+        assert len(failures) == 1
+        assert "batched_sweep_speedup" in failures[0]
+
+    def test_windowed_floor_matches_its_bench_assertion(self):
+        """The windowed bench asserts "faster"; 1.9x is the recorded
+        trajectory target, not the enforcement floor."""
+        merged = trajectory.build_trajectory(
+            scaling_payload(windowed_march_speedup={"value": 1.4}), None, sha="x"
+        )
+        assert trajectory.check(merged, enforce=True) == []
+        merged = trajectory.build_trajectory(
+            scaling_payload(windowed_march_speedup={"value": 0.8}), None, sha="x"
+        )
+        assert len(trajectory.check(merged, enforce=True)) == 1
+
+    def test_unenforced_environment_is_exempt(self):
+        low = {"value": 0.7, "enforced": False, "cores": 1}
+        merged = trajectory.build_trajectory(
+            scaling_payload(parallel_ensemble_speedup=low), None, sha="x"
+        )
+        assert trajectory.check(merged, enforce=True) == []
+
+
+class TestMain:
+    @pytest.fixture
+    def out_dir(self, tmp_path):
+        scaling = tmp_path / "BENCH_scaling.json"
+        scaling.write_text(json.dumps(scaling_payload()))
+        bases = tmp_path / "BENCH_bases.json"
+        bases.write_text(json.dumps({"entries": [{"basis": "chebyshev"}]}))
+        return tmp_path
+
+    def argv(self, out_dir, *extra):
+        return [
+            "--scaling", str(out_dir / "BENCH_scaling.json"),
+            "--bases", str(out_dir / "BENCH_bases.json"),
+            "--out", str(out_dir / "BENCH_trajectory.json"),
+            "--sha", "deadbeef", *extra,
+        ]
+
+    def test_green_run_writes_artifact(self, out_dir, capsys):
+        assert trajectory.main(self.argv(out_dir, "--enforce")) == 0
+        merged = json.loads((out_dir / "BENCH_trajectory.json").read_text())
+        assert merged["commit"] == "deadbeef"
+        assert merged["bases"]["entries"][0]["basis"] == "chebyshev"
+        assert "warm_session_speedup" in capsys.readouterr().out
+
+    def test_missing_metric_fails(self, out_dir, capsys):
+        payload = scaling_payload(warm_session_speedup=None)
+        (out_dir / "BENCH_scaling.json").write_text(json.dumps(payload))
+        assert trajectory.main(self.argv(out_dir)) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_missing_scaling_file_fails(self, tmp_path, capsys):
+        code = trajectory.main(
+            ["--scaling", str(tmp_path / "nope.json"),
+             "--out", str(tmp_path / "t.json")]
+        )
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_enforce_fails_on_regression(self, out_dir, capsys):
+        payload = scaling_payload(
+            parallel_ensemble_speedup={"value": 1.1, "enforced": True}
+        )
+        (out_dir / "BENCH_scaling.json").write_text(json.dumps(payload))
+        assert trajectory.main(self.argv(out_dir)) == 0  # presence only
+        assert trajectory.main(self.argv(out_dir, "--enforce")) == 1
+        assert "below its enforcement floor" in capsys.readouterr().err
