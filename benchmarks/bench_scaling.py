@@ -13,6 +13,7 @@ runtimes, and reports the exponents.  The paper claims:
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -31,6 +32,7 @@ from repro.core import (
     simulate_opm,
 )
 from repro.engine.executor import default_jobs
+from repro.engine.reduction import ReductionPlan
 
 from conftest import bench_scale, register_metric, register_row
 
@@ -262,6 +264,14 @@ def test_batched_sweep_vs_loop(benchmark):
     )
 
 
+#: enforcement floor of the windowed-march claim: four consecutive
+#: single-core runs of this benchmark measure 1.96x / 2.07x / 2.15x /
+#: 2.20x (trajectory target 1.9x), so 1.5x keeps >= 30% headroom for
+#: loaded shared runners while still catching a real regression of the
+#: window-carry path (the old floor was merely "faster than 1x")
+WINDOWED_MARCH_FLOOR = 1.5
+
+
 def test_windowed_marching_vs_single_window(benchmark):
     """Long-horizon marching beats one giant single-window solve.
 
@@ -320,7 +330,7 @@ def test_windowed_marching_vs_single_window(benchmark):
             f"single {single_wall * 1e3:.1f} ms",
             f"marched {marched_wall * 1e3:.1f} ms",
             f"{single_wall / marched_wall:.1f}x",
-            "faster, max-abs <= 1e-8",
+            f">= {WINDOWED_MARCH_FLOOR}x, max-abs <= 1e-8",
         ],
     )
     register_metric(
@@ -334,14 +344,15 @@ def test_windowed_marching_vs_single_window(benchmark):
         alpha=0.9,
         fractional_drift=frac_drift,
         classical_drift=classic_drift,
-        claim="windowed faster than single large-m solve at <= 1e-8",
+        claim=f">= {WINDOWED_MARCH_FLOOR}x vs the single large-m solve "
+        "at max-abs <= 1e-8",
     )
     assert sim_frac.factorisations == 1
     assert frac_drift <= 1e-8, f"fractional march drifts by {frac_drift:.2e}"
     assert classic_drift <= 1e-8, f"classical march drifts by {classic_drift:.2e}"
-    assert marched_wall < single_wall, (
-        f"windowed marching ({marched_wall * 1e3:.1f} ms) must beat the "
-        f"single large-m solve ({single_wall * 1e3:.1f} ms)"
+    assert single_wall >= WINDOWED_MARCH_FLOOR * marched_wall, (
+        f"windowed marching only {single_wall / marched_wall:.2f}x faster than "
+        f"the single large-m solve (floor {WINDOWED_MARCH_FLOOR}x)"
     )
 
 
@@ -362,6 +373,11 @@ ENSEMBLE_MEMBERS = 96
 ENSEMBLE_M = 512
 ENSEMBLE_CLAIM = 2.5
 
+#: moments for the reduced-vs-full member-solve comparison riding along
+#: with the ensemble benchmark (order 8 of 108 states certifies at
+#: ~7e-7 on this grid)
+ENSEMBLE_MOR_MOMENTS = 8
+
 
 def test_parallel_ensemble_vs_serial(benchmark):
     """8-worker Monte-Carlo ensemble vs the same task plan run serially.
@@ -376,7 +392,14 @@ def test_parallel_ensemble_vs_serial(benchmark):
     beat it by >= 2.5x when at least ``ENSEMBLE_MIN_CORES`` cores are
     available (CI runners are; the metric records the measured value
     and core count either way, so the perf-trajectory guard can tell a
-    skipped benchmark from an unenforceable environment).
+    skipped benchmark from an unenforceable environment).  The claim
+    is *enforced* from the machine's physical core count
+    (``os.cpu_count``) -- affinity masks or environment caps shrink
+    the worker pool, they do not excuse the claim.
+
+    A reduced-model pass rides along: the same ensemble solved
+    serially with ``reduce=ReductionPlan(8)`` records the certified
+    reduced-vs-full member solve times in the metric.
     """
     netlist = power_grid(6, 6, nz=2)
     n = assemble_mna(netlist).n_states
@@ -388,6 +411,7 @@ def test_parallel_ensemble_vs_serial(benchmark):
     grid = (1e-9, ENSEMBLE_M)
     serial = ParallelExecutor("serial", jobs=ENSEMBLE_WORKERS)
     parallel = ParallelExecutor("process", jobs=ENSEMBLE_WORKERS)
+    mor_plan = ReductionPlan(n_moments=ENSEMBLE_MOR_MOMENTS)
     results = {}
 
     def run():
@@ -395,18 +419,29 @@ def test_parallel_ensemble_vs_serial(benchmark):
             "serial", serial.run(ensemble, grid)))
         parallel_wall = _timed(lambda: results.__setitem__(
             "parallel", parallel.run(ensemble, grid)))
-        return serial_wall, parallel_wall
+        reduced_wall = _timed(lambda: results.__setitem__(
+            "reduced", serial.run(ensemble, grid, reduce=mor_plan)))
+        return serial_wall, parallel_wall, reduced_wall
 
-    serial_wall, parallel_wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial_wall, parallel_wall, reduced_wall = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
 
     serial_result = results["serial"]
     parallel_result = results["parallel"]
+    reduced_result = results["reduced"]
     identical = bool(
         np.array_equal(serial_result.coefficients, parallel_result.coefficients)
     )
+    reduced_mor = reduced_result.info.get("mor") or {}
+    reduced_dev = float(
+        np.max(np.abs(reduced_result.coefficients - serial_result.coefficients))
+    )
     speedup = serial_wall / parallel_wall
-    # the same usable-core count the executor sizes its default pool by
-    cores = default_jobs()
+    # enforcement keys off the machine's physical cores; the pool size
+    # the executor actually uses (affinity-aware) is recorded alongside
+    cores = os.cpu_count() or 1
+    pool = default_jobs()
     enforced = cores >= ENSEMBLE_MIN_CORES
 
     register_row(
@@ -432,8 +467,15 @@ def test_parallel_ensemble_vs_serial(benchmark):
         m=ENSEMBLE_M,
         workers=ENSEMBLE_WORKERS,
         cores=cores,
+        pool_jobs=pool,
         bit_identical=identical,
         shm_bytes=parallel_result.info["shm_bytes"],
+        reduced_serial_seconds=reduced_wall,
+        full_member_seconds=serial_wall / ENSEMBLE_MEMBERS,
+        reduced_member_seconds=reduced_wall / ENSEMBLE_MEMBERS,
+        reduced_units=reduced_mor.get("reduced_units", 0),
+        reduced_bound=reduced_mor.get("bound"),
+        reduced_max_abs_dev=reduced_dev,
         enforced=enforced,
         claim=f">= {ENSEMBLE_CLAIM}x on >= {ENSEMBLE_MIN_CORES} cores, "
         "bit-identical to serial",
@@ -442,6 +484,12 @@ def test_parallel_ensemble_vs_serial(benchmark):
     assert serial_result.info["factorisations"] == ENSEMBLE_MEMBERS
     assert parallel_result.info["shm_bytes"] > 0, (
         "dense pencils should ship through shared memory"
+    )
+    assert reduced_mor.get("reduced_units") == ENSEMBLE_MEMBERS, (
+        "every ensemble member should solve on its certified reduced model"
+    )
+    assert reduced_dev <= 1e-6, (
+        f"reduced ensemble deviates by {reduced_dev:.2e} (over certified rtol)"
     )
     if enforced:
         assert speedup >= ENSEMBLE_CLAIM, (

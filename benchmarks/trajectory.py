@@ -13,6 +13,7 @@ Required claims (the engine's headline numbers across PRs):
 * ``windowed_march_speedup``  >= 1.9   (PR 2: windowed marching)
 * ``parallel_ensemble_speedup`` >= 2.5 (PR 5: parallel ensembles)
 * ``cross_basis_coefficient_ratio`` >= 10.0 (PR 3: spectral bases)
+* ``mor_reduced_sweep``       >= 5.0   (PR 6: certified reduced plans)
 
 With ``--enforce``, claims must also reach their *enforcement floor*
 -- exactly the ratio the owning benchmark asserts itself, so the guard
@@ -46,15 +47,18 @@ OUT_DIR = Path(__file__).parent / "out"
 #: the measured value must also reach the floor (unless its record
 #: says ``enforced: false``).  The floor mirrors exactly what each
 #: benchmark itself asserts, so the guard never flakes where the bench
-#: would pass: the windowed march asserts "faster than the single
-#: giant solve" (its ~1.9x claim is the recorded trajectory target,
-#: noisy on loaded runners), the others assert their claimed ratios.
+#: would pass: the windowed march asserts >= 1.5x (recalibrated from
+#: "merely faster" on measured evidence -- four consecutive
+#: single-core runs land at 1.96-2.20x against the 1.9x trajectory
+#: target, see WINDOWED_MARCH_FLOOR in bench_scaling.py), the others
+#: assert their claimed ratios.
 REQUIRED_CLAIMS = (
     ("warm_session_speedup", 5.0, 5.0),
     ("batched_sweep_speedup", 3.0, 3.0),
-    ("windowed_march_speedup", 1.9, 1.0),
+    ("windowed_march_speedup", 1.9, 1.5),
     ("parallel_ensemble_speedup", 2.5, 2.5),
     ("cross_basis_coefficient_ratio", 10.0, 10.0),
+    ("mor_reduced_sweep", 5.0, 5.0),
 )
 
 

@@ -1,0 +1,80 @@
+"""Going big: certified model-order reduction inside the engine.
+
+Repeated transient analysis of a large power grid (corner sweeps,
+Monte-Carlo, what-if loads) spends almost all of its time re-solving
+the same big pencil.  `Simulator(..., reduce=...)` reduces the bound
+system ONCE at session bind (PRIMA-style block-Arnoldi moment
+matching), certifies the reduction against a transfer-residual bound
+over the band the session grid resolves, and then runs every
+`run`/`sweep`/`march` on the small reduced pencil -- lifting
+coefficients back to full order so downstream analysis code never
+notices.  If the certificate cannot be issued (or a later input
+drifts outside the certified subspace) the engine falls back to the
+full model and says so in `result.info["mor"]`.
+
+This script sweeps supply-pulse amplitudes over a multi-thousand-state
+Table II grid, full engine vs reduced engine, and prints the honest
+bind+run comparison: the reduced side's wall time *includes* the
+Arnoldi build and certification.
+
+Run:  python examples/reduced_power_grid.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import Simulator
+from repro.engine.reduction import ReductionPlan
+from repro.experiments import table2_workload
+from repro.io import Table
+
+
+def main():
+    wl = table2_workload(nx=16, ny=16, nz=3)
+    mna = wl["mna"]
+    grid = (wl["t_end"], wl["base_steps"])
+    amps = np.linspace(0.25, 2.0, 24)
+    print(f"power grid: {wl['netlist']}")
+    print(f"MNA model:  {mna.n_states} states; "
+          f"{amps.size}-corner amplitude sweep, m={wl['base_steps']}\n")
+
+    start = time.perf_counter()
+    full = Simulator(mna, grid).sweep(amps)
+    full_wall = time.perf_counter() - start
+
+    # 24 block moments comfortably certify this grid at rtol 1e-6;
+    # reduce="auto" would pick the defaults and fall back when the
+    # certificate fails -- an explicit plan documents the intent.
+    plan = ReductionPlan(n_moments=24, rtol=1e-6)
+    start = time.perf_counter()
+    reduced = Simulator(mna, grid, reduce=plan).sweep(amps)
+    reduced_wall = time.perf_counter() - start
+
+    mor = reduced.info["mor"]
+    worst = max(
+        float(np.max(np.abs(r.coefficients - f.coefficients)))
+        for r, f in zip(reduced, full)
+    )
+    scale = max(float(np.max(np.abs(f.coefficients))) for f in full)
+
+    table = Table(["Engine", "States", "Wall time", "Certified bound"],
+                  title="REDUCED vs FULL (bind + sweep)")
+    table.add_row(["full", f"{mna.n_states}", f"{full_wall * 1e3:.1f} ms", "-"])
+    table.add_row([
+        "reduced",
+        f"{mor['order']} (from {mor['full_order']})",
+        f"{reduced_wall * 1e3:.1f} ms "
+        f"(build {mor['reduce_seconds'] * 1e3:.1f} ms)",
+        f"{mor['bound']:.2e} <= rtol {mor['rtol']:g}",
+    ])
+    print(table.render())
+    print(f"\nspeedup (incl. Arnoldi build): {full_wall / reduced_wall:.1f}x")
+    print(f"observed relative deviation:   {worst / scale:.2e}")
+    print("\nthe same plan rides through march()/run_ensemble()/the CLI")
+    print('(--reduce auto / .options reduce=auto) and falls back --')
+    print('recorded in result.info["mor"] -- whenever certification fails.')
+
+
+if __name__ == "__main__":
+    main()

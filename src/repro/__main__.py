@@ -62,6 +62,15 @@ boundaries (so they require ``--windows``)::
 ``file=`` re-stamps the MNA pencil from another netlist (same nodes;
 switch closures, load hookups) and switches to its sources; ``scale=``
 multiplies the active input waveform (load steps).
+
+``--reduce auto`` (or a deck's ``.options reduce=auto`` card) turns on
+certified model-order reduction: large first-order pencils are reduced
+once at session bind by Krylov moment matching, every solve runs on
+the small reduced model, and the result is certified against a
+residual error bound -- exceeding it falls back to the full model.
+``--mor-order Q`` picks the number of matched block moments::
+
+    python -m repro grid.sp --t-end 1e-8 --steps 200 --reduce auto
 """
 
 from __future__ import annotations
@@ -78,6 +87,7 @@ from .core import Event, Simulator, simulate_opm
 from .core.dispatch import SIMULATION_METHODS, simulate
 from .engine.bundle import basis_names, validate_basis_name
 from .engine.netlist_session import ac_scan, build_system
+from .engine.reduction import combine_reduce_options
 from .errors import ReproError
 from .io import Table, write_csv
 
@@ -187,6 +197,24 @@ def build_parser() -> argparse.ArgumentParser:
         "file=NETLIST (re-stamp the pencil from another netlist) and/or "
         "scale=FACTOR (scale the active input); repeatable",
     )
+    parser.add_argument(
+        "--reduce",
+        default=None,
+        metavar="MODE",
+        help="certified model-order reduction: 'auto' reduces large "
+        "first-order pencils at session bind (skipping small or "
+        "unsupported ones), 'off' disables a deck's .options reduce= "
+        "card; reduced runs are certified against a residual error "
+        "bound and fall back to the full model when it is exceeded",
+    )
+    parser.add_argument(
+        "--mor-order",
+        type=int,
+        default=None,
+        metavar="Q",
+        help="number of block moments for --reduce (implies reduction "
+        "when --reduce is unset; default 12)",
+    )
     parser.add_argument("--csv", type=Path, help="write all samples to this CSV file")
     parser.add_argument(
         "--ac-csv",
@@ -235,6 +263,7 @@ def _run_single(args, netlist, system, outputs) -> int:
             (args.t_end, args.steps),
             basis=args.basis,
             backend=args.backend,
+            reduce=args.reduce_plan,
         )
     else:
         result = simulate(
@@ -252,8 +281,16 @@ def _run_single(args, netlist, system, outputs) -> int:
         f"({result.info.get('basis', 'BlockPulse')} basis, "
         f"method {result.info.get('method', args.method)}), "
         f"{result.info.get('factorisations', 1)} factorisation(s), "
-        f"{result.wall_time * 1e3:.2f} ms\n"
+        f"{result.wall_time * 1e3:.2f} ms"
     )
+    mor = result.info.get("mor") or {}
+    if mor.get("reduced"):
+        print(
+            f"reduced model: order {mor['order']} of {mor['full_order']} "
+            f"states, certified bound {mor['bound']:.2e} "
+            f"(rtol {mor['rtol']:g})"
+        )
+    print()
 
     t_print = _print_times(args)
     values = _smooth_outputs(result, t_print)
@@ -278,7 +315,11 @@ def _run_single(args, netlist, system, outputs) -> int:
 def _run_sweep(args, netlist, system, outputs) -> int:
     scales = list(args.sweep)
     sim = Simulator(
-        system, (args.t_end, args.steps), basis=args.basis, backend=args.backend
+        system,
+        (args.t_end, args.steps),
+        basis=args.basis,
+        backend=args.backend,
+        reduce=args.reduce_plan,
     )
     base_u = netlist.input_function()
     sweep = sim.sweep(
@@ -363,6 +404,7 @@ def _run_ensemble(args, netlist, system, outputs) -> int:
         (args.t_end, args.steps),
         basis=args.basis,
         solver_backend=args.backend,
+        reduce=args.reduce_plan,
     )
 
     print(f"{netlist!r}")
@@ -461,6 +503,7 @@ def _run_march(args, netlist, system, outputs, events) -> int:
         (window, args.steps // args.windows),
         basis=args.basis,
         backend=args.backend,
+        reduce=args.reduce_plan,
     )
     result = sim.march(netlist.input_function(), args.t_end, events=events)
 
@@ -565,6 +608,10 @@ def _resolve_deck_defaults(args, netlist) -> None:
     if args.windows is None:
         args.windows = spec.windows or 1
     args.backend = spec.backend or "auto"
+    args.reduce_plan = combine_reduce_options(
+        args.reduce if args.reduce is not None else spec.reduce,
+        args.mor_order if args.mor_order is not None else spec.mor_order,
+    )
     args.method = spec.method or "opm"
     if args.method not in SIMULATION_METHODS:
         raise ReproError(
@@ -579,6 +626,11 @@ def _resolve_deck_defaults(args, netlist) -> None:
             "windowed marching, --sweep, --event and --ensemble are "
             "engine-session features; drop the method option or the "
             "conflicting flag/card"
+        )
+    if args.method not in ("opm", "opm-windowed") and args.reduce_plan is not None:
+        raise ReproError(
+            f".options method={args.method} does not support model-order "
+            "reduction; --reduce/--mor-order apply to the OPM engine only"
         )
 
 

@@ -18,7 +18,8 @@ Supported cards::
     .ac  dec|oct|lin <n> <fstart> <fstop>
     .ic  v(<node>)=<value> ...
     .options [basis=<family>] [method=<name>] [m=<terms>]
-             [windows=<k>] [backend=dense|sparse|auto] ...
+             [windows=<k>] [backend=dense|sparse|auto]
+             [reduce=auto|off] [mor_order=<q>] ...
 
 Unknown ``.options`` keys are retained verbatim in
 :attr:`AnalysisSpec.extra_options` (real decks carry tolerance options
@@ -41,7 +42,7 @@ AC_VARIATIONS = ("dec", "oct", "lin")
 
 #: ``.options`` keys the engine interprets (anything else is retained
 #: in :attr:`AnalysisSpec.extra_options`).
-KNOWN_OPTIONS = ("basis", "method", "m", "windows", "backend")
+KNOWN_OPTIONS = ("basis", "method", "m", "windows", "backend", "reduce", "mor_order")
 
 
 @dataclass(frozen=True)
@@ -168,7 +169,7 @@ class AnalysisSpec:
         if key not in KNOWN_OPTIONS:
             self.extra_options[key] = value
             return
-        if key in ("m", "windows"):
+        if key in ("m", "windows", "mor_order"):
             try:
                 parsed: object = int(value)
             except ValueError:
@@ -205,6 +206,16 @@ class AnalysisSpec:
     def backend(self) -> str | None:
         """Requested linear-algebra backend (``.options backend=...``)."""
         return self.options.get("backend")
+
+    @property
+    def reduce(self) -> str | None:
+        """Requested model-order reduction (``.options reduce=auto``)."""
+        return self.options.get("reduce")
+
+    @property
+    def mor_order(self) -> int | None:
+        """Requested reduction moment count (``.options mor_order=...``)."""
+        return self.options.get("mor_order")
 
     @property
     def has_analyses(self) -> bool:

@@ -108,7 +108,10 @@ def simulate(
         :class:`~repro.basis.base.BasisSet` instance.  Unknown names
         raise with a typo suggestion and the list of valid families.
     **kwargs:
-        Forwarded to the underlying solver.
+        Forwarded to the underlying solver.  Notably, the OPM methods
+        (``'opm'``, ``'opm-windowed'``, and ensembles) accept
+        ``reduce='auto' | int | ReductionPlan`` for certified
+        reduce-then-sweep (see :mod:`repro.engine.reduction`).
 
     Returns
     -------

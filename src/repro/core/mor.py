@@ -37,7 +37,7 @@ from .._validation import check_positive_int
 from ..errors import SolverError
 from .lti import DescriptorSystem
 
-__all__ = ["krylov_reduce"]
+__all__ = ["krylov_reduce", "krylov_reduce_with_basis"]
 
 #: Columns whose orthogonal component falls below this *fraction* of
 #: their own norm deflate (scale-invariant: badly scaled but linearly
@@ -109,6 +109,27 @@ def krylov_reduce(
     >>> red.n_states <= 6 and red.n_inputs == 1
     True
     """
+    reduced, _ = krylov_reduce_with_basis(
+        system, n_moments, expansion_point=expansion_point
+    )
+    return reduced
+
+
+def krylov_reduce_with_basis(
+    system: DescriptorSystem,
+    n_moments: int,
+    *,
+    expansion_point: float = 0.0,
+) -> tuple[DescriptorSystem, np.ndarray]:
+    """:func:`krylov_reduce` returning the projection basis too.
+
+    Returns ``(reduced, V)`` where ``V`` is the orthonormal ``n x r``
+    congruence basis: reduced states lift back to full coordinates as
+    ``x ~= V x_r``.  The engine's reduction-aware plans
+    (:mod:`repro.engine.reduction`) use ``V`` both to lift solved
+    coefficients and to evaluate a-posteriori residual bounds in the
+    full space.
+    """
     if not isinstance(system, DescriptorSystem):
         raise TypeError(f"system must be a DescriptorSystem, got {type(system).__name__}")
     if system.alpha != 1.0:
@@ -175,4 +196,4 @@ def krylov_reduce(
     else:
         c_red = system.C @ V
     d_red = system.D
-    return DescriptorSystem(e_red, a_red, b_red, C=c_red, D=d_red)
+    return DescriptorSystem(e_red, a_red, b_red, C=c_red, D=d_red), V

@@ -63,6 +63,7 @@ def simulate_opm(
     adaptive_method: str = "auto",
     history: str = "direct",
     backend: str = "auto",
+    reduce=None,
 ) -> SimulationResult:
     """Simulate a system with the OPM algorithm (block-pulse by default).
 
@@ -104,6 +105,11 @@ def simulate_opm(
     backend:
         Linear-algebra backend selection, ``'auto'`` / ``'dense'`` /
         ``'sparse'`` (see :func:`repro.engine.backends.select_backend`).
+    reduce:
+        Certified model-order reduction at bind: ``None`` (off),
+        ``'auto'``, a moment count, or a
+        :class:`~repro.engine.reduction.ReductionPlan` (see
+        :mod:`repro.engine.reduction`).  First-order systems only.
 
     Returns
     -------
@@ -141,6 +147,7 @@ def simulate_opm(
         adaptive_method=adaptive_method,
         history=history,
         backend=backend,
+        reduce=reduce,
     )
     result = sim.run(u)
     # one-shot call: charge session assembly + factorisation to the run

@@ -4,8 +4,15 @@ This subsystem owns the input-independent machinery every OPM solver
 shares, so that repeated-solve workloads amortise it across calls:
 
 * :mod:`~repro.engine.backends` -- the dense/sparse linear-algebra
-  backend protocol, automatic selection from system sparsity, and the
-  :class:`PencilBank` factorisation cache;
+  backend protocol, automatic selection from system sparsity, the
+  :class:`PencilBank` factorisation cache, and the array-API
+  :class:`ArrayApiBackend` (numpy/CuPy/torch namespaces);
+* :mod:`~repro.engine.array_api` -- array-API namespace resolution and
+  the ``REPRO_ARRAY_BACKEND`` accelerator opt-in;
+* :mod:`~repro.engine.reduction` -- certified model-order reduction at
+  session bind: :class:`ReductionPlan` / :class:`ReducedModel`, the
+  bind-time transfer-residual bound, and the per-run residual check
+  behind ``Simulator(..., reduce=...)``;
 * :mod:`~repro.engine.kernels` -- the triangular column-sweep kernels,
   all accepting batched (multi-RHS) right-hand sides;
 * :mod:`~repro.engine.assembly` -- operational-operator construction
@@ -41,7 +48,9 @@ The classic one-shot entry points in :mod:`repro.core` are thin
 wrappers over this engine.
 """
 
+from .array_api import ARRAY_BACKEND_ENV, KNOWN_ARRAY_BACKENDS, resolve_namespace
 from .backends import (
+    ArrayApiBackend,
     DenseBackend,
     PencilBank,
     SparseBackend,
@@ -50,6 +59,14 @@ from .backends import (
     select_backend,
 )
 from .bundle import BASIS_FAMILIES, OperatorBundle, basis_names, resolve_basis
+from .reduction import (
+    AUTO_MIN_STATES,
+    MOR_RESIDUAL_MARGIN,
+    OffsetDescriptorSystem,
+    ReducedModel,
+    ReductionPlan,
+    clear_model_cache,
+)
 from .executor import (
     EXECUTOR_BACKENDS,
     Ensemble,
@@ -101,10 +118,20 @@ __all__ = [
     "resolve_basis",
     "DenseBackend",
     "SparseBackend",
+    "ArrayApiBackend",
     "PencilBank",
     "select_backend",
     "matrix_density",
     "pencil_fingerprint",
+    "ARRAY_BACKEND_ENV",
+    "KNOWN_ARRAY_BACKENDS",
+    "resolve_namespace",
+    "ReductionPlan",
+    "ReducedModel",
+    "OffsetDescriptorSystem",
+    "AUTO_MIN_STATES",
+    "MOR_RESIDUAL_MARGIN",
+    "clear_model_cache",
     "project_input",
     "normalise_input_callable",
     "resolve_grid",

@@ -1,0 +1,108 @@
+"""Array-API-standard namespace plumbing for the batched kernels.
+
+The OPM column sweep is a GEMM-shaped loop: per column one multi-RHS
+substitution plus a rank-``j`` history combination.  Those primitives
+exist verbatim in every array library implementing the `array API
+standard <https://data-apis.org/array-api/latest/>`_, so the engine's
+dense pencil path can run on an accelerator simply by swapping the
+array namespace -- no custom kernels.  This module is the seam:
+
+* :func:`resolve_namespace` maps a backend name (``'numpy'``,
+  ``'cupy'``, ``'torch'``) to its namespace module, with a clean
+  :class:`~repro.errors.SolverError` when the library is not
+  installed (optional accelerators are never hard dependencies);
+* :func:`env_backend` reads the opt-in ``REPRO_ARRAY_BACKEND``
+  environment variable consulted by
+  :func:`repro.engine.backends.select_backend` under ``mode='auto'``;
+* :func:`to_host` brings any backend's array back to a host
+  ``numpy.ndarray`` (result containers and certification always run
+  on the host).
+
+NumPy >= 2.0 implements the standard in its main namespace, so
+``'numpy'`` is always available and doubles as the contract-test
+backend for the device code path on machines without a GPU.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Any
+
+import numpy as np
+
+from ..errors import SolverError
+
+__all__ = [
+    "KNOWN_ARRAY_BACKENDS",
+    "ARRAY_BACKEND_ENV",
+    "resolve_namespace",
+    "env_backend",
+    "to_host",
+]
+
+#: Array-API namespaces the engine knows how to drive.
+KNOWN_ARRAY_BACKENDS = ("numpy", "cupy", "torch")
+
+#: Environment variable selecting an array backend under ``mode='auto'``.
+ARRAY_BACKEND_ENV = "REPRO_ARRAY_BACKEND"
+
+
+def resolve_namespace(name: str) -> tuple[Any, str]:
+    """Resolve a backend name to ``(namespace_module, canonical_name)``.
+
+    Raises
+    ------
+    SolverError
+        For unknown names, or known backends whose library is not
+        installed (the message says which and how to get it).
+    """
+    canonical = str(name).strip().lower()
+    if canonical.startswith("array-api:"):
+        canonical = canonical[len("array-api:") :]
+    if canonical not in KNOWN_ARRAY_BACKENDS:
+        raise SolverError(
+            f"unknown array backend {name!r}; choose from "
+            f"{KNOWN_ARRAY_BACKENDS}"
+        )
+    if canonical == "numpy":
+        return np, "numpy"
+    try:
+        module = importlib.import_module(canonical)
+    except ImportError as exc:
+        raise SolverError(
+            f"array backend {canonical!r} requested but the {canonical} "
+            f"library is not installed in this environment; install it or "
+            f"use one of the built-in backends ('auto'/'dense'/'sparse')"
+        ) from exc
+    return module, canonical
+
+
+def env_backend() -> str | None:
+    """The ``REPRO_ARRAY_BACKEND`` opt-in, normalised (``None`` if unset).
+
+    Empty values and the explicit disables (``off``/``none``) read as
+    unset, so wrapper scripts can force the default path.
+    """
+    value = os.environ.get(ARRAY_BACKEND_ENV, "").strip().lower()
+    if value in ("", "off", "none", "0", "false"):
+        return None
+    return value
+
+
+def to_host(array) -> np.ndarray:
+    """Any backend's array as a host ``numpy.ndarray``.
+
+    CuPy arrays transfer through ``.get()``; torch tensors detach and
+    move to CPU first; host arrays pass through ``np.asarray`` (no
+    copy).
+    """
+    if isinstance(array, np.ndarray):
+        return array
+    get = getattr(array, "get", None)  # cupy device -> host
+    if callable(get):
+        return np.asarray(get())
+    detach = getattr(array, "detach", None)  # torch autograd leaf
+    if callable(detach):
+        return np.asarray(detach().cpu().numpy())
+    return np.asarray(array)

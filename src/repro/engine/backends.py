@@ -14,6 +14,12 @@ storage-agnostic:
 * :func:`select_backend` -- automatic choice from the system's size and
   fill ratio (the paper's complexity analysis assumes ``O(n)`` nonzeros
   for circuit matrices, which is exactly when the sparse backend wins);
+* :class:`ArrayApiBackend` -- dense pencil operations through any
+  `array API standard <https://data-apis.org/array-api/latest/>`_
+  namespace (``numpy`` always; ``cupy``/``torch`` when installed), so
+  batched sweeps can run on an accelerator without custom kernels;
+  opt in per call (``mode='cupy'``) or process-wide via the
+  ``REPRO_ARRAY_BACKEND`` environment variable;
 * :class:`PencilBank` -- the factorisation cache shared by every sweep:
   one LU per distinct shift ``sigma``, reused across columns, calls,
   and batched multi-RHS sweeps.
@@ -34,10 +40,13 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import SolverError
+from .array_api import KNOWN_ARRAY_BACKENDS, env_backend, resolve_namespace
+from .array_api import to_host as _array_to_host
 
 __all__ = [
     "DenseBackend",
     "SparseBackend",
+    "ArrayApiBackend",
     "PencilBank",
     "select_backend",
     "matrix_density",
@@ -57,14 +66,20 @@ SPARSE_DENSITY_THRESHOLD = 0.25
 def matrix_density(matrix) -> float:
     """Fill ratio ``nnz / n^2`` of a dense or scipy-sparse square matrix.
 
-    Counts *actual* nonzero values (explicitly stored zeros in a sparse
-    matrix do not inflate the ratio).
+    Counts *actual* nonzero values: the matrix is canonicalised first,
+    so explicitly stored zeros and duplicate entries that sum to zero
+    (both routine in incrementally stamped COO circuit matrices) do not
+    inflate the ratio.  Without the canonicalisation an ``E`` stamped
+    with explicit zeros and an ``A`` stamped clean would be probed
+    inconsistently and could flip the ``auto`` dense/sparse decision.
     """
     n = matrix.shape[0]
     if n == 0:
         return 0.0
     if sp.issparse(matrix):
-        nnz = int(matrix.count_nonzero())
+        # CSR conversion sums duplicates; count_nonzero then skips any
+        # stored zeros (cancelled duplicates included)
+        nnz = int(matrix.tocsr().count_nonzero())
     else:
         nnz = int(np.count_nonzero(matrix))
     return nnz / float(n * n)
@@ -82,10 +97,33 @@ class PencilBackend(abc.ABC):
     #: Short human-readable backend name (``'dense'`` / ``'sparse'``).
     name: str = "abstract"
 
+    #: Array namespace the backend's solves live in (host backends:
+    #: numpy).  Kernels allocate their work arrays through this.
+    xp = np
+
+    #: True when :meth:`solve` returns host ``numpy`` arrays.  Non-host
+    #: backends (device array-API namespaces) require the caller to
+    #: wrap sweeps in :meth:`prepare_rhs` / :meth:`to_host`.
+    is_host: bool = True
+
     @property
     @abc.abstractmethod
     def n(self) -> int:
         """State dimension (number of pencil rows)."""
+
+    def prepare_rhs(self, rhs):
+        """Stage a host right-hand-side block for this backend's solves
+        (device backends transfer it into their namespace)."""
+        return np.asarray(rhs, dtype=float)
+
+    def to_host(self, x) -> np.ndarray:
+        """Bring a solve result back to a host ``numpy`` array."""
+        return np.asarray(x)
+
+    def all_finite(self, x) -> bool:
+        """Whether every entry of a solve result is finite (evaluated
+        in the backend's own namespace -- no device transfer)."""
+        return bool(np.all(np.isfinite(x)))
 
     @abc.abstractmethod
     def factorize(self, sigma: float):
@@ -197,33 +235,127 @@ class SparseBackend(PencilBackend):
         return self.E @ x
 
 
-def select_backend(E, A, *, mode: str = "auto") -> PencilBackend:
+class ArrayApiBackend(PencilBackend):
+    """Dense pencil operations through an array-API-standard namespace.
+
+    The factorisation handle is the *explicit inverse* of the shifted
+    pencil: a one-time ``O(n^3)`` ``linalg.inv`` turns every subsequent
+    multi-RHS column solve into a single GEMM -- the primitive
+    accelerators are built around (substitution-style ``lu_solve`` is
+    latency-bound on a GPU, a batched GEMM is throughput-bound).  On
+    the host this trades a little accuracy headroom for the portable
+    code path, which is why :class:`DenseBackend` stays the default;
+    the numpy namespace here is primarily the CI-testable contract for
+    the CuPy/torch device paths.
+
+    ``E``/``A`` are densified into the target namespace on
+    construction; right-hand sides transfer per solve block (one
+    host-to-device copy per sweep, amortised over all ``m`` columns by
+    :meth:`prepare_rhs`).
+    """
+
+    def __init__(self, E, A, *, namespace: str = "numpy") -> None:
+        self.xp, backend_name = resolve_namespace(namespace)
+        self.name = f"array-api[{backend_name}]"
+        self.backend_name = backend_name
+        self.is_host = self.xp is np
+        E = E.toarray() if sp.issparse(E) else np.asarray(E, dtype=float)
+        A = A.toarray() if sp.issparse(A) else np.asarray(A, dtype=float)
+        self.E = self.xp.asarray(E, dtype=self.xp.float64)
+        self.A = self.xp.asarray(A, dtype=self.xp.float64)
+
+    @property
+    def n(self) -> int:
+        """State dimension (number of pencil rows)."""
+        return int(self.E.shape[0])
+
+    def factorize(self, sigma: float):
+        """Invert ``sigma E - A`` in the backend namespace.
+
+        Singularity surfaces either as the namespace's own error or as
+        non-finite entries (device solvers may return garbage instead
+        of raising); both become the engine's typed error.
+        """
+        xp = self.xp
+        pencil = sigma * self.E - self.A
+        try:
+            inverse = xp.linalg.inv(pencil)
+        except Exception as exc:  # LinAlgError / RuntimeError, per library
+            _raise_singular(sigma, exc)
+        if not self.all_finite(inverse):
+            _raise_singular(sigma, None)
+        return inverse
+
+    def solve(self, handle, rhs):
+        """One GEMM per multi-RHS block: ``x = (sigma E - A)^{-1} rhs``."""
+        return handle @ rhs
+
+    def apply_E(self, x):
+        """Product ``E @ x`` in the backend namespace."""
+        return self.E @ x
+
+    def prepare_rhs(self, rhs):
+        """Transfer a host right-hand-side block into the namespace."""
+        return self.xp.asarray(np.asarray(rhs, dtype=float), dtype=self.xp.float64)
+
+    def to_host(self, x) -> np.ndarray:
+        """Transfer a solve result back to a host ``numpy`` array."""
+        return _array_to_host(x)
+
+    def all_finite(self, x) -> bool:
+        """Finite check evaluated in the backend namespace (the scalar
+        reduction is the only device synchronisation point)."""
+        xp = self.xp
+        return bool(xp.all(xp.isfinite(x)))
+
+
+def select_backend(E, A, *, mode: str = "auto", allow_env: bool = True) -> PencilBackend:
     """Choose a pencil backend for the system matrices ``E``, ``A``.
 
     Parameters
     ----------
     E, A:
         Square system matrices, dense ndarray or scipy sparse.
+    allow_env:
+        Honour the ``REPRO_ARRAY_BACKEND`` opt-in under ``'auto'``
+        (default).  Host-only callers (the spectral Kronecker and
+        multi-term plans, whose operators must never be densified into
+        a device namespace) pass ``False``.
     mode:
         ``'auto'`` -- sparse backend for systems with at least
         :data:`SPARSE_SIZE_THRESHOLD` states whose combined fill ratio
         is at most :data:`SPARSE_DENSITY_THRESHOLD` (regardless of the
-        *storage* the caller happened to use); dense otherwise.
-        ``'dense'`` / ``'sparse'`` force the choice.
+        *storage* the caller happened to use); dense otherwise.  When
+        the ``REPRO_ARRAY_BACKEND`` environment variable names an
+        array-API backend, ``'auto'`` dispatches to it instead (the
+        process-wide accelerator opt-in).
+        ``'dense'`` / ``'sparse'`` force the classic choice; an
+        array-API backend name (``'numpy'``, ``'cupy'``, ``'torch'``)
+        forces an :class:`ArrayApiBackend` over that namespace.
 
     Returns
     -------
     PencilBackend
-        A :class:`DenseBackend` or :class:`SparseBackend`.
+        A :class:`DenseBackend`, :class:`SparseBackend`, or
+        :class:`ArrayApiBackend`.
     """
+    array_modes = KNOWN_ARRAY_BACKENDS + tuple(
+        f"array-api:{name}" for name in KNOWN_ARRAY_BACKENDS
+    )
+    if mode in array_modes:
+        return ArrayApiBackend(E, A, namespace=mode)
     if mode not in ("auto", "dense", "sparse"):
         raise SolverError(
-            f"backend mode must be 'auto', 'dense' or 'sparse', got {mode!r}"
+            f"backend mode must be 'auto', 'dense', 'sparse', or an "
+            f"array-API backend name {KNOWN_ARRAY_BACKENDS}, got {mode!r}"
         )
     if mode == "dense":
         return DenseBackend(E, A)
     if mode == "sparse":
         return SparseBackend(E, A)
+    env = env_backend() if allow_env else None
+    if env is not None:
+        return ArrayApiBackend(E, A, namespace=env)
     n = E.shape[0]
     density = 0.5 * (matrix_density(E) + matrix_density(A))
     if n >= SPARSE_SIZE_THRESHOLD and density <= SPARSE_DENSITY_THRESHOLD:
@@ -353,7 +485,7 @@ class PencilBank:
             handle = self.backend.factorize(sigma)
             self._cache[key] = handle
         out = self.backend.solve(handle, rhs)
-        if not np.all(np.isfinite(out)):
+        if not self.backend.all_finite(out):
             raise SolverError(
                 f"pencil solve at sigma={sigma:g} produced non-finite values "
                 "(singular or extremely ill-conditioned pencil)"

@@ -73,6 +73,7 @@ from ..core.lti import DescriptorSystem, FractionalDescriptorSystem
 from ..core.result import SimulationResult
 from ..errors import EnsembleError
 from .backends import pencil_fingerprint
+from .reduction import OffsetDescriptorSystem, bind_reduction
 
 __all__ = [
     "Ensemble",
@@ -565,12 +566,18 @@ def _plan_units(
             # pencil: members differing only in B (a varied source
             # scale) or x0 must NOT share a group, or they would all be
             # solved against the first member's system
+            offset = (
+                system.offset
+                if isinstance(system, OffsetDescriptorSystem)
+                else None
+            )
             key = (
                 type(system).__name__,
                 float(getattr(system, "alpha", 1.0)),
                 pencil_fingerprint(system.E, system.A),
                 pencil_fingerprint(system.B),
                 None if system.x0 is None else system.x0.tobytes(),
+                None if offset is None else offset.tobytes(),
             )
         else:  # multi-term and friends: conservative identity grouping
             key = ("id", id(system))
@@ -621,6 +628,10 @@ def _describe_system(system) -> tuple[str, dict, dict[str, np.ndarray]]:
         meta: dict[str, Any] = {}
         if system.x0 is not None:
             arrays["x0"] = np.ascontiguousarray(system.x0, dtype=float)
+        if isinstance(system, OffsetDescriptorSystem):
+            if system.offset is not None:
+                arrays["offset"] = np.ascontiguousarray(system.offset, dtype=float)
+            return "reduced", meta, arrays
         if isinstance(system, FractionalDescriptorSystem):
             return "fractional", {"alpha": float(system.alpha)}, arrays
         return "descriptor", meta, arrays
@@ -629,6 +640,10 @@ def _describe_system(system) -> tuple[str, dict, dict[str, np.ndarray]]:
 
 def _strip_outputs(system):
     """The solve needs neither ``C`` nor ``D``; don't ship them."""
+    if isinstance(system, OffsetDescriptorSystem):
+        return OffsetDescriptorSystem(
+            system.E, system.A, system.B, offset=system.offset
+        )
     if isinstance(system, FractionalDescriptorSystem):
         return FractionalDescriptorSystem(
             system.alpha, system.E, system.A, system.B, x0=system.x0
@@ -642,6 +657,10 @@ def _rebuild_system(kind: str, meta: dict, arrays: Mapping[str, np.ndarray]):
     if kind == "pickled":
         return pickle.loads(meta["blob"])
     x0 = arrays.get("x0")
+    if kind == "reduced":
+        return OffsetDescriptorSystem(
+            arrays["E"], arrays["A"], arrays["B"], offset=arrays.get("offset")
+        )
     if kind == "fractional":
         return FractionalDescriptorSystem(
             meta["alpha"], arrays["E"], arrays["A"], arrays["B"], x0=x0
@@ -841,6 +860,11 @@ class ParallelExecutor:
             "shm_bytes": state.shm_bytes,
             "basis": state.basis.name,
         }
+        if state.n_reduced:
+            info["mor"] = {
+                "reduced_units": state.n_reduced,
+                "bound": state.mor_bound,
+            }
         return EnsembleResult(
             state.basis, state.ensemble, chunks, wall_time=wall, info=info
         )
@@ -867,6 +891,13 @@ class ParallelExecutor:
         solver_backend:
             Dense/sparse pencil-backend mode (``'auto'`` default) --
             distinct from the executor's own process/thread backend.
+        reduce:
+            Reduction specification (``'auto'`` / moment count /
+            :class:`~repro.engine.reduction.ReductionPlan`).  The
+            parent reduces each pencil-fingerprint group once, ships
+            the small reduced pencils to the workers, and lifts the
+            returned coefficients back to full order -- workers never
+            see ``reduce``.
         """
         state = _RunState()
         yield from self._stream(ensemble, grid, state, **kwargs)
@@ -902,6 +933,7 @@ class ParallelExecutor:
         adaptive_method: str = "auto",
         history: str = "direct",
         solver_backend: str = "auto",
+        reduce=None,
     ) -> Iterator[EnsembleChunk]:
         from .inputs import project_input
         from .session import _resolve_session_basis
@@ -934,6 +966,27 @@ class ParallelExecutor:
             projected.append(project_input(member_u, basis_obj, member.system.n_inputs))
 
         units, state.n_groups = _plan_units(ensemble.members, self.jobs)
+        # reduction happens HERE, in the parent, once per fingerprint
+        # group (the reduced-model cache dedupes shards of one group):
+        # workers receive only the small reduced pencils -- smaller shm
+        # segments -- and the parent lifts the coefficients on return
+        if reduce is not None:
+            reduced_units = []
+            for indices, system in units:
+                model, mor_info = bind_reduction(
+                    system, reduce, t_end=basis_obj.t_end, m=basis_obj.size
+                )
+                if model is not None:
+                    state.n_reduced += 1
+                    state.mor_bound = max(state.mor_bound, model.bound)
+                    reduced_units.append((indices, model.solve_system, model))
+                else:
+                    reduced_units.append((indices, system, None))
+            units = reduced_units
+            if state.n_reduced:
+                state.lift_ones = project_input(1.0, basis_obj, 1)[0]
+        else:
+            units = [(indices, system, None) for indices, system in units]
         packed = _pack_units(units, self.jobs)
         state.n_tasks = len(packed)
         tasks = [
@@ -982,17 +1035,22 @@ class ParallelExecutor:
         inputs: dict[int, np.ndarray] = {}
         out_shapes: list[tuple[int, tuple[int, int, int]]] = []
         shippable = True
-        for ui, (indices, system) in enumerate(task_units):
+        models: dict[int, Any] = {}
+        for ui, (indices, system, model) in enumerate(task_units):
             kind, meta, arrays = _describe_system(system)
             shippable = shippable and kind != "pickled"
             U = np.ascontiguousarray(
                 np.stack([projected[i] for i in indices]), dtype=float
             )
             inputs[ui] = U
+            if model is not None:
+                models[ui] = model
             units_payload.append({"kind": kind, "meta": meta})
             for key, arr in arrays.items():
                 all_arrays[f"{ui}/{key}"] = arr
             all_arrays[f"{ui}/U"] = U
+            # reduced units allocate n_r-state output blocks: the lift
+            # back to full order happens parent-side on completion
             out_shapes.append((ui, (len(indices), system.n_states, basis_obj.size)))
         payload = {
             "units": units_payload,
@@ -1001,9 +1059,10 @@ class ParallelExecutor:
         }
         task = _Task(
             task_id=task_id,
-            units=[tuple(indices) for indices, _ in task_units],
+            units=[tuple(indices) for indices, _, _ in task_units],
             payload=payload,
         )
+        state.task_models[task_id] = models
         state.task_inputs[task_id] = inputs
         nbytes = sum(a.nbytes for a in all_arrays.values())
         use_shm = self.backend == "process" and shippable and nbytes >= SHM_MIN_BYTES
@@ -1075,6 +1134,15 @@ class ParallelExecutor:
                     shape, dtype=np.float64, buffer=out_shm.buf, offset=offset
                 )
                 X = np.array(view, copy=True)
+            model = state.task_models.get(task.task_id, {}).get(ui)
+            if model is not None:
+                # lift the reduced shifted coefficients back to full
+                # order: x = V z + x0 (deterministic parent-side GEMM,
+                # so serial/thread/process stay bit-identical)
+                X = np.einsum("nr,krm->knm", model.V, X)
+                x0 = model.full.x0
+                if x0 is not None:
+                    X = X + x0[None, :, None] * state.lift_ones[None, None, :]
             chunks.append(
                 EnsembleChunk(
                     indices=indices,
@@ -1114,6 +1182,10 @@ class _RunState:
         self.failures: list[tuple[int, str | None, Exception]] = []
         self.shm_segments: dict[tuple[int, str], Any] = {}
         self.task_inputs: dict[int, dict[int, np.ndarray]] = {}
+        self.task_models: dict[int, dict[int, Any]] = {}
         self.shm_bytes = 0
         self.n_groups = 0
         self.n_tasks = 0
+        self.n_reduced = 0
+        self.mor_bound = 0.0
+        self.lift_ones: np.ndarray | None = None

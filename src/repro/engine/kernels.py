@@ -21,6 +21,13 @@ multi-RHS substitution for all ``k`` inputs -- one ``lu_solve`` per
 column for the whole sweep, which is what makes
 :meth:`repro.engine.session.Simulator.sweep` dramatically cheaper than
 a loop of single-input runs.
+
+The Toeplitz sweep is additionally *namespace-generic*: when the bank's
+backend is an :class:`~repro.engine.backends.ArrayApiBackend`, all work
+arrays live in that backend's array-API namespace (CuPy/torch on an
+accelerator; numpy as the host contract), and the per-column math uses
+only standard-portable operations.  The numpy code path is untouched --
+host sweeps stay bit-identical to the pre-generalisation kernels.
 """
 
 from __future__ import annotations
@@ -33,9 +40,30 @@ from .backends import PencilBank
 __all__ = ["sweep_toeplitz", "sweep_general", "sweep_multiterm"]
 
 
-def _as_batched(R: np.ndarray) -> tuple[np.ndarray, bool]:
-    """Return ``R`` as ``(n, m, k)`` plus a flag to squeeze the result."""
-    R = np.asarray(R, dtype=float)
+def _kernel_namespace(bank: PencilBank):
+    """The bank backend's ``(namespace, is_host)`` pair."""
+    backend = bank.backend
+    return getattr(backend, "xp", np), getattr(backend, "is_host", True)
+
+
+def _require_host(bank: PencilBank, kernel: str) -> None:
+    """Refuse non-host backends for kernels that are numpy-only."""
+    if not getattr(bank.backend, "is_host", True):
+        raise SolverError(
+            f"{kernel} supports host (numpy) backends only, got "
+            f"{bank.backend.name!r}; use backend='auto'/'dense'/'sparse' "
+            "for this solve route"
+        )
+
+
+def _as_batched(R, xp=np) -> tuple:
+    """Return ``R`` as ``(n, m, k)`` plus a flag to squeeze the result.
+
+    Host callers get the classic ``np.asarray`` coercion; device arrays
+    (already staged by ``prepare_rhs``) pass through untouched.
+    """
+    if xp is np:
+        R = np.asarray(R, dtype=float)
     if R.ndim == 2:
         return R[:, :, None], True
     if R.ndim == 3:
@@ -43,14 +71,20 @@ def _as_batched(R: np.ndarray) -> tuple[np.ndarray, bool]:
     raise SolverError(f"R must be 2-D or 3-D, got ndim={R.ndim}")
 
 
-def _tail_dot(X: np.ndarray, j: int, weights: np.ndarray) -> np.ndarray:
+def _tail_dot(X, j: int, weights, xp=np):
     """Weighted history sum ``sum_{i<j} w_i x_i`` for all batch members.
 
     ``X`` is ``(n, m, k)``; ``weights`` has length ``j`` and is applied
     to the solved columns ``x_0 .. x_{j-1}`` in order (Toeplitz callers
     pass the reversed coefficient slice ``(c_j, ..., c_1)``, the general
     sweep passes ``D[:j, j]`` directly).  Returns ``(n, k)``.
+
+    The non-numpy branch avoids ``einsum`` (not in the array API
+    standard): a broadcast multiply plus an axis reduction compiles to
+    the same contraction on every backend.
     """
+    if xp is not np:
+        return xp.sum(X[:, :j, :] * xp.reshape(weights, (1, -1, 1)), axis=1)
     if X.shape[2] == 1:
         # single-input fast path: plain GEMV on a 2-D view
         return (X[:, :j, 0] @ weights)[:, None]
@@ -94,12 +128,19 @@ def sweep_toeplitz(
     """
     coeffs = np.asarray(coeffs, dtype=float)
     m = coeffs.size
-    R3, squeeze = _as_batched(R)
+    xp, host = _kernel_namespace(bank)
+    R3, squeeze = _as_batched(R, xp)
     n, k = R3.shape[0], R3.shape[2]
     if R3.shape[1] != m:
-        raise SolverError(f"R must be (n, {m}), got {np.asarray(R).shape}")
+        shape = tuple(R3.shape[:2]) if squeeze else tuple(R3.shape)
+        raise SolverError(f"R must be (n, {m}), got {shape}")
     if history not in ("direct", "fft"):
         raise SolverError(f"history must be 'direct' or 'fft', got {history!r}")
+    if not host and history == "fft":
+        raise SolverError(
+            "history='fft' is numpy-only; use history='direct' with an "
+            "array-API backend"
+        )
     if alternating_tail and m > 2:
         tail = coeffs[1:]
         if not np.allclose(tail[1:], -tail[:-1], rtol=1e-12, atol=0.0):
@@ -108,12 +149,12 @@ def sweep_toeplitz(
             )
     sigma = float(coeffs[0])
 
-    X = np.empty((n, m, k))
+    X = xp.empty((n, m, k), dtype=R3.dtype)
     if alternating_tail:
         # tail_j = sum_{i<j} c_{j-i} x_i = c_1 * t_j,
         # t_j = x_{j-1} - t_{j-1}  (paper's first-order pattern)
         c1 = coeffs[1] if m > 1 else 0.0
-        t = np.zeros((n, k))
+        t = xp.zeros((n, k), dtype=R3.dtype)
         for j in range(m):
             if j == 0:
                 rhs = R3[:, 0, :]
@@ -124,12 +165,17 @@ def sweep_toeplitz(
     elif history == "fft" and m > 8:
         _sweep_toeplitz_fft(bank, sigma, R3, coeffs, X, block_size)
     else:
+        # reversed-coefficient copy so the per-column tail weights
+        # (c_j, ..., c_1) are positive-step slices -- device tensors do
+        # not support negative-step slicing
+        rev = xp.asarray(np.ascontiguousarray(coeffs[::-1])) if not host else None
         for j in range(m):
             if j == 0:
                 rhs = R3[:, 0, :]
             else:
                 # s_j = sum_{i=1..j} c_i x_{j-i}
-                s = _tail_dot(X, j, coeffs[j:0:-1])
+                weights = coeffs[j:0:-1] if host else rev[m - 1 - j : m - 1]
+                s = _tail_dot(X, j, weights, xp)
                 rhs = R3[:, j, :] - bank.apply_E(s)
             X[:, j, :] = bank.solve(sigma, rhs)
     return X[:, :, 0] if squeeze else X
@@ -205,6 +251,7 @@ def sweep_general(bank: PencilBank, R: np.ndarray, D: np.ndarray) -> np.ndarray:
         If ``D`` has nonzero entries below the diagonal (the column
         sweep would be invalid) or the shapes disagree.
     """
+    _require_host(bank, "sweep_general")
     D = np.asarray(D, dtype=float)
     m = D.shape[0]
     if D.shape != (m, m):
@@ -260,6 +307,7 @@ def sweep_multiterm(
 
     Accepts batched ``R`` like the other kernels.
     """
+    _require_host(bank, "sweep_multiterm")
     R3, squeeze = _as_batched(R)
     n, m, k = R3.shape
     uses_alt = bool(first_terms or second_terms)

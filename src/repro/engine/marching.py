@@ -345,6 +345,20 @@ def march(sim, u, t_end: float, *, events=()) -> MarchingResult:
             f"the {sim._basis.name} basis spans an infinite horizon and "
             "cannot be windowed; use run() or a finite-horizon basis"
         )
+    if getattr(sim, "_reduction", None) is not None and any(
+        e.changes_pencil for e in events
+    ):
+        raise SolverError(
+            "pencil events invalidate the session's reduction basis "
+            "(the Krylov subspace is built for one pencil); march the "
+            "full model (reduce=None) for switching circuits"
+        )
+    if not getattr(plan.bank.backend, "is_host", True):
+        raise SolverError(
+            "march's window state carry is host-only; use "
+            "backend='auto'/'dense'/'sparse' (device array-API backends "
+            "support run() and sweep())"
+        )
     if plan.kind == "spectral":
         return _march_spectral(sim, u, t_end, events)
     return _march_triangular(sim, u, t_end, events)
@@ -400,6 +414,10 @@ def _march_triangular(sim, u, t_end: float, events=()) -> MarchingResult:
             bank.apply_E(x0)
         ).reshape(-1)
         x0_offset = None
+        # reduced solve systems march in shifted coordinates with a
+        # constant forcing g = V^T A x0 (x0 is None there, so the two
+        # mechanisms never overlap); full systems encode their IC in w
+        march_offset = system.shifted_input_offset() if x0 is None else None
     else:
         # fractional: march in the zero-IC shifted variable z = x - x0
         # (Caputo convention; see DescriptorSystem.shifted_input_offset),
@@ -451,10 +469,15 @@ def _march_triangular(sim, u, t_end: float, events=()) -> MarchingResult:
             U = sim._encode_inputs(inputs.window(k))
             R = system.B @ U
             if first_order:
+                if march_offset is not None:
+                    R = R + march_offset[:, None]
                 if np.any(w):
                     R = R + (2.0 / h) * w[:, None] * signs[None, :]
                 X = kernels.sweep_toeplitz(bank, R, coeffs, alternating_tail=True)
                 w = w + h * (system.A @ X.sum(axis=1) + system.B @ U.sum(axis=1))
+                if march_offset is not None:
+                    # the constant forcing integrates to (window length) * g
+                    w = w + (h * m) * march_offset
             else:
                 if x0_offset is not None:
                     R = R + x0_offset[:, None]
@@ -574,6 +597,13 @@ def _march_spectral(sim, u, t_end: float, events=()) -> MarchingResult:
     else:
         terminal = bundle.terminal_vector()
         w0 = np.zeros(n) if system.x0 is None else np.asarray(system.x0, float).copy()
+        # reduced solve systems: constant shifted-coordinate forcing
+        march_offset = (
+            system.shifted_input_offset() if system.x0 is None else None
+        )
+        offset_cols_fo = (
+            None if march_offset is None else np.outer(march_offset, ones)
+        )
 
     inputs = _WindowInputs(u, basis, system.n_inputs, n_windows)
 
@@ -601,6 +631,8 @@ def _march_spectral(sim, u, t_end: float, events=()) -> MarchingResult:
             R = system.B @ U
             if first_order:
                 # window variable v = x - w0, forced by B u + A w0
+                if offset_cols_fo is not None:
+                    R = R + offset_cols_fo
                 if np.any(w0):
                     R = R + np.outer(np.asarray(system.A @ w0).reshape(-1), ones)
                 V = plan.kron_solve(R @ F)

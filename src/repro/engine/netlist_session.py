@@ -44,6 +44,7 @@ from ..circuits.cards import AcCard
 from ..circuits.mna import assemble_mna
 from ..circuits.netlist import Netlist
 from ..errors import NetlistError
+from .reduction import combine_reduce_options
 from .session import Simulator
 
 __all__ = [
@@ -150,6 +151,10 @@ def from_netlist(
         basis = spec.basis
     if "backend" not in session_kwargs and spec.backend is not None:
         session_kwargs["backend"] = spec.backend
+    if "reduce" not in session_kwargs:
+        deck_reduce = combine_reduce_options(spec.reduce, spec.mor_order)
+        if deck_reduce is not None:
+            session_kwargs["reduce"] = deck_reduce
     sim = Simulator(system, grid, basis=basis, **session_kwargs)
     sim.bind_input(netlist.input_function())
     return sim
@@ -295,6 +300,8 @@ def simulate_netlist(
     windows: int | None = None,
     method: str | None = None,
     backend: str | None = None,
+    reduce=None,
+    mor_order: int | None = None,
     sparse: str = "auto",
     use_ic: bool = True,
     ensemble=None,
@@ -325,6 +332,10 @@ def simulate_netlist(
         when the deck has a ``.tran`` card or ``t_end`` is given.
     basis, windows, method, backend:
         Overrides for the matching ``.options`` keys.
+    reduce, mor_order:
+        Certified model-order reduction: override ``.options reduce=``
+        / ``.options mor_order=`` (session methods and ensembles only;
+        see :mod:`repro.engine.reduction`).
     sparse, use_ic:
         Forwarded to :func:`build_system`.
     ensemble:
@@ -358,6 +369,10 @@ def simulate_netlist(
     method = method if method is not None else (spec.method or "opm")
     basis = basis if basis is not None else spec.basis
     backend = backend if backend is not None else (spec.backend or "auto")
+    reduce = combine_reduce_options(
+        reduce if reduce is not None else spec.reduce,
+        mor_order if mor_order is not None else spec.mor_order,
+    )
     windows = int(windows) if windows is not None else (spec.windows or 1)
     if windows < 1:
         raise NetlistError(f"windows must be >= 1, got {windows}")
@@ -393,11 +408,13 @@ def simulate_netlist(
                 )
             sim = Simulator(
                 system, (horizon / windows, m // windows),
-                basis=basis, backend=backend,
+                basis=basis, backend=backend, reduce=reduce,
             )
             tran = sim.march(u, horizon)
         else:
-            sim = Simulator(system, (horizon, m), basis=basis, backend=backend)
+            sim = Simulator(
+                system, (horizon, m), basis=basis, backend=backend, reduce=reduce
+            )
             tran = sim.run(u)
 
     ensemble_result = None
@@ -417,7 +434,8 @@ def simulate_netlist(
         )
         executor = ParallelExecutor(parallel, jobs=jobs)
         ensemble_result = executor.run(
-            ensemble, (horizon, m), basis=basis, solver_backend=backend
+            ensemble, (horizon, m), basis=basis, solver_backend=backend,
+            reduce=reduce,
         )
 
     ac = None

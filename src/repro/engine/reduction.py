@@ -1,0 +1,585 @@
+"""Certified reduced-order engine plans (MOR in the solve loop).
+
+The paper's headline workload is a 75 K-node power grid; for repeated
+transient analysis such models are routinely *reduced* first (PRIMA-style
+Krylov moment matching, :mod:`repro.core.mor`) and only the small
+congruence projection is simulated.  This module puts that reduction
+inside the engine: a :class:`ReductionPlan` attached to a
+:class:`~repro.engine.session.Simulator` (``reduce="auto"`` or an
+explicit plan) reduces the bound system **once at session bind**, runs
+every ``run``/``sweep``/``march`` on the reduced pencil, and lifts the
+coefficients back through the orthonormal basis ``V``.
+
+Because a Krylov projection is an approximation, the plan is
+*certified* rather than trusted:
+
+* **bind-time bound** -- at session bind the relative transfer residual
+
+  .. math::  \\eta(s) = \\frac{\\|(s E - A) V \\tilde{x}_r(s) -
+             \\tilde{B}\\|_F}{\\|\\tilde{B}\\|_F},
+             \\qquad \\tilde{x}_r(s) = (s E_r - A_r)^{-1} \\tilde{B}_r,
+
+  is evaluated at a handful of probe frequencies spanning the band the
+  session grid can resolve (``[1/t_end, m / (2 t_end)]``).  Only
+  matrix-vector products with the *full* ``E``/``A`` are needed -- the
+  full pencil is never factorised.  If the worst probe residual exceeds
+  the plan's ``rtol`` the session silently falls back to the full
+  model (the decision is recorded in the result ``info``).
+* **per-run residual (drift guard)** -- after each reduced solve the
+  lifted coefficients are substituted back into the *full-order*
+  operational matrix equation on a few sampled columns
+  (:func:`equation_residual`).  The raw equation residual is not an
+  output-error bound -- on stiff MNA grids the solution terms
+  ``||A x_j||`` dwarf the right-hand side, so even an accurate reduced
+  solution leaves a residual orders of magnitude above its true output
+  error.  The session therefore *calibrates* the guard at bind: it
+  runs the reduced model once on a unit-step reference input and
+  records that run's residual as the certified scale.  A later run
+  falls back to the (lazily built) full plan only when its residual
+  exceeds ``max(rtol, MOR_RESIDUAL_MARGIN * scale)`` -- i.e. when the
+  input has drifted outside the subspace the bind certificate
+  vouched for, not merely because the workload is stiff.
+
+Nonzero initial states are handled in shifted coordinates: the Krylov
+basis is grown from the augmented input matrix ``[B, A x0]`` so the
+subspace captures the offset response, and the reduced solve system is
+an :class:`OffsetDescriptorSystem` carrying the projected constant
+forcing ``V^T A x0`` with ``x0 = None`` -- every engine plan already
+injects ``shifted_input_offset()`` into its right-hand sides, so the
+reduced model flows through session, sweep, marching, and executor
+untouched.  Lifting is ``x = V z + x0``.
+
+Reduced models are cached process-wide keyed by the *content* of
+``(E, A, B, x0)`` plus the plan fingerprint, so a parent executor, its
+sharded sweeps, and a user session binding the same grid all share one
+Arnoldi factorisation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any
+
+import numpy as np
+import scipy.linalg
+
+from ..core.lti import DescriptorSystem, MultiTermSystem
+from ..core.mor import krylov_reduce_with_basis
+from ..errors import SolverError
+from .backends import pencil_fingerprint
+
+__all__ = [
+    "ReductionPlan",
+    "ReducedModel",
+    "OffsetDescriptorSystem",
+    "resolve_reduce",
+    "combine_reduce_options",
+    "bind_reduction",
+    "reduced_model_for",
+    "equation_residual",
+    "clear_model_cache",
+    "AUTO_MIN_STATES",
+    "MOR_RESIDUAL_MARGIN",
+]
+
+#: ``reduce="auto"`` only engages for systems with at least this many
+#: states: below it the full factorisation is already cheap and the
+#: Arnoldi build would dominate.
+AUTO_MIN_STATES = 512
+
+#: Default certified relative tolerance.
+DEFAULT_RTOL = 1e-6
+
+#: Default number of block moments matched at the expansion point.
+DEFAULT_MOMENTS = 12
+
+#: Per-run drift-guard margin: a run falls back to the full model when
+#: its equation residual exceeds ``max(rtol, margin * scale)``, where
+#: ``scale`` is the residual of the bind-time unit-step reference run
+#: (see the module docstring -- the raw equation residual is workload-
+#: conditioned, so it is judged against the certified reference, not
+#: against ``rtol`` alone).
+MOR_RESIDUAL_MARGIN = 16.0
+
+#: Process-wide reduced-model cache (content-keyed); small because each
+#: entry holds an ``n x r`` basis.
+_CACHE_SIZE = 8
+_MODEL_CACHE: "OrderedDict[tuple, ReducedModel]" = OrderedDict()
+
+
+def clear_model_cache() -> None:
+    """Drop every cached reduced model (benchmarks/tests that need to
+    time or observe a cold Arnoldi build call this between repeats)."""
+    _MODEL_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class ReductionPlan:
+    """Specification of a session-bind Krylov reduction.
+
+    Parameters
+    ----------
+    n_moments:
+        Block moments matched at the expansion point (reduced order is
+        at most ``n_moments * n_inputs``, less under deflation).
+    expansion_point:
+        Laplace expansion point ``s_0``; ``None`` (default) centres it
+        in the band the session grid resolves,
+        ``sqrt(m / 2) / t_end``.
+    target_order:
+        Optional hard cap on the reduced order (the orthonormal basis
+        is truncated to its leading columns).
+    rtol:
+        Certified relative tolerance: the bind-time probe bound must
+        stay below this, otherwise the engine falls back to the full
+        model.  Per-run residuals are judged against the calibrated
+        drift guard ``max(rtol, MOR_RESIDUAL_MARGIN * scale)`` (see
+        the module docstring).
+    """
+
+    n_moments: int = DEFAULT_MOMENTS
+    expansion_point: float | None = None
+    target_order: int | None = None
+    rtol: float = DEFAULT_RTOL
+
+    def __post_init__(self) -> None:
+        if int(self.n_moments) < 1:
+            raise SolverError(f"n_moments must be >= 1, got {self.n_moments}")
+        if self.target_order is not None and int(self.target_order) < 1:
+            raise SolverError(
+                f"target_order must be >= 1, got {self.target_order}"
+            )
+        if not float(self.rtol) > 0.0:
+            raise SolverError(f"rtol must be positive, got {self.rtol}")
+
+    def fingerprint(self) -> tuple:
+        """Content key of the reduction specification (cache component)."""
+        return (
+            int(self.n_moments),
+            None if self.expansion_point is None else float(self.expansion_point),
+            None if self.target_order is None else int(self.target_order),
+        )
+
+
+class OffsetDescriptorSystem(DescriptorSystem):
+    """Descriptor system with an explicit constant forcing offset.
+
+    The reduced solve system lives in shifted coordinates
+    ``z = V^T (x - x0)`` whose dynamics are
+    ``E_r z' = A_r z + B_r u + g`` with ``g = V^T A x0``.  The base
+    class derives its zero-IC shift from ``x0``; here the offset is a
+    first-class vector (``x0`` stays ``None``), so every engine plan
+    picks it up through the same :meth:`shifted_input_offset` hook.
+    """
+
+    def __init__(self, E, A, B, *, offset=None, C=None, D=None) -> None:
+        super().__init__(E, A, B, C=C, D=D)
+        if offset is None:
+            self.offset = None
+        else:
+            offset = np.asarray(offset, dtype=float).reshape(-1)
+            if offset.size != self.n_states:
+                raise SolverError(
+                    f"offset must have length {self.n_states}, got {offset.size}"
+                )
+            self.offset = None if not np.any(offset) else offset
+
+    def shifted_input_offset(self) -> np.ndarray | None:
+        """The stored constant forcing ``g`` (``None`` when zero)."""
+        return self.offset
+
+
+@dataclass(frozen=True)
+class ReducedModel:
+    """A certified Krylov reduction of one full-order system.
+
+    Attributes
+    ----------
+    full:
+        The original (full-order) system; result containers keep using
+        its ``C``/``D`` and dimensions.
+    solve_system:
+        The reduced :class:`OffsetDescriptorSystem` every plan solves.
+    V:
+        Orthonormal ``n x r`` lifting basis (``x = V z + x0``).
+    s0:
+        Resolved expansion point.
+    bound:
+        Worst bind-time probe residual (the certified bound).
+    probes:
+        Probe frequencies the bound was evaluated at.
+    reduce_seconds:
+        Wall time of the Arnoldi build + certification.
+    """
+
+    full: DescriptorSystem
+    solve_system: OffsetDescriptorSystem
+    V: np.ndarray
+    s0: float
+    bound: float
+    probes: tuple[float, ...]
+    reduce_seconds: float
+
+    @property
+    def order(self) -> int:
+        """Reduced state dimension ``r``."""
+        return self.V.shape[1]
+
+    def lift(self, Z: np.ndarray) -> np.ndarray:
+        """Lift reduced shifted coefficients ``(r, m)`` / ``(r, m, k)``
+        to full-order shifted coefficients (``x0`` columns are added by
+        the caller, which knows the basis)."""
+        if Z.ndim == 2:
+            return self.V @ Z
+        r, m, k = Z.shape
+        # one BLAS GEMM on the flattened batch, not an einsum loop
+        return (self.V @ Z.reshape(r, m * k)).reshape(-1, m, k)
+
+    @cached_property
+    def projected_pencil(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(E V, A V)``: the full pencil applied to the lifting basis.
+
+        Lets :func:`equation_residual` evaluate the *full-order*
+        residual of a lifted solution directly from the reduced
+        coefficients -- ``E (V (Z w)_j) = (E V) (Z w)_j`` -- so the
+        per-run drift guard costs ``O(n r k)`` GEMMs instead of
+        materialising and recombining ``n x m x k`` lifted columns.
+        """
+        EV = np.asarray(self.full.E @ self.V)
+        AV = np.asarray(self.full.A @ self.V)
+        return EV, AV
+
+    def info(self, rtol: float) -> dict:
+        """Metadata recorded in result ``info['mor']``."""
+        return {
+            "reduced": True,
+            "order": self.order,
+            "full_order": self.full.n_states,
+            "s0": self.s0,
+            "bound": self.bound,
+            "rtol": rtol,
+            "certified": bool(self.bound <= rtol),
+            "reduce_seconds": self.reduce_seconds,
+        }
+
+
+def resolve_reduce(reduce: Any) -> tuple[ReductionPlan | None, bool]:
+    """Normalise a ``reduce=`` argument to ``(plan, is_auto)``.
+
+    Accepts ``None``/``False``/``"off"`` (no reduction), ``"auto"``
+    (default plan, eligibility-gated), an integer (``n_moments`` of an
+    explicit plan), or a ready :class:`ReductionPlan`.
+    """
+    if reduce is None or reduce is False:
+        return None, False
+    if isinstance(reduce, ReductionPlan):
+        return reduce, False
+    if isinstance(reduce, (int, np.integer)) and not isinstance(reduce, bool):
+        return ReductionPlan(n_moments=int(reduce)), False
+    if isinstance(reduce, str):
+        name = reduce.strip().lower()
+        if name in ("", "off", "none", "false"):
+            return None, False
+        if name == "auto":
+            return ReductionPlan(), True
+        if name.isdigit():
+            # string spelling of a moment count (CLI flags and netlist
+            # .options cards arrive as text)
+            return ReductionPlan(n_moments=int(name)), False
+        raise SolverError(
+            f"reduce must be 'auto', 'off', an integer moment count, or a "
+            f"ReductionPlan, got {reduce!r}"
+        )
+    raise SolverError(
+        f"reduce must be 'auto', 'off', an integer moment count, or a "
+        f"ReductionPlan, got {type(reduce).__name__}"
+    )
+
+
+def combine_reduce_options(reduce=None, mor_order=None):
+    """Combine the two user-facing reduction knobs (netlist ``.options
+    reduce= mor_order=``, CLI ``--reduce`` / ``--mor-order``) into one
+    session ``reduce=`` argument.
+
+    An explicit ``mor_order`` implies reduction with that moment count
+    (unless ``reduce`` disables it); a bare ``reduce`` flag passes
+    through for :func:`resolve_reduce`.
+    """
+    if mor_order is not None:
+        if isinstance(reduce, str) and reduce.strip().lower() in (
+            "off",
+            "none",
+            "false",
+        ):
+            return None
+        return ReductionPlan(n_moments=int(mor_order))
+    return reduce
+
+
+def _resolve_probes(
+    plan: ReductionPlan, t_end: float | None, m: int
+) -> tuple[float, tuple[float, ...]]:
+    """Expansion point and certification probes for a session band.
+
+    Finite-horizon sessions certify over ``[1/t_end, m/(2 t_end)]`` --
+    the frequency band an ``m``-term expansion on ``[0, t_end]`` can
+    represent; certifying far beyond it would reject reductions for
+    behaviour the *basis itself* cannot express.  Grid-free bases
+    (Laguerre) certify around the expansion point instead.
+    """
+    if t_end is not None and np.isfinite(t_end) and t_end > 0.0:
+        s_lo = 1.0 / t_end
+        s_hi = max(m, 2) / (2.0 * t_end)
+        s0 = (
+            float(plan.expansion_point)
+            if plan.expansion_point is not None
+            else float(np.sqrt(s_lo * s_hi))
+        )
+        probes = np.geomspace(s_lo, s_hi, num=5)
+    else:
+        s0 = (
+            float(plan.expansion_point)
+            if plan.expansion_point is not None
+            else 1.0
+        )
+        probes = s0 * np.array([0.25, 0.5, 1.0, 2.0, 4.0])
+    all_probes = tuple(sorted(set(float(s) for s in probes) | {s0}))
+    return s0, all_probes
+
+
+def _transfer_bound(
+    full: DescriptorSystem,
+    V: np.ndarray,
+    B_aug: np.ndarray,
+    e_red: np.ndarray,
+    a_red: np.ndarray,
+    b_red_aug: np.ndarray,
+    probes: tuple[float, ...],
+) -> float:
+    """Worst relative transfer residual over the probe frequencies.
+
+    Matrix-vector products with the full ``E``/``A`` only -- the full
+    pencil is never factorised.  A singular reduced probe pencil means
+    the reduction cannot even represent that frequency; it scores as an
+    infinite bound (and therefore a fallback), not an exception.
+    """
+    b_norm = float(np.linalg.norm(B_aug))
+    if b_norm == 0.0:
+        return 0.0
+    E, A = full.E, full.A
+    worst = 0.0
+    for s in probes:
+        try:
+            x_red = scipy.linalg.solve(s * e_red - a_red, b_red_aug)
+        except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
+            return float("inf")
+        if not np.all(np.isfinite(x_red)):
+            return float("inf")
+        lifted = V @ x_red
+        resid = s * np.asarray(E @ lifted) - np.asarray(A @ lifted) - B_aug
+        worst = max(worst, float(np.linalg.norm(resid)) / b_norm)
+    return worst
+
+
+def _cache_key(
+    system: DescriptorSystem,
+    plan: ReductionPlan,
+    t_end: float | None,
+    m: int,
+) -> tuple:
+    x0 = system.x0
+    return (
+        pencil_fingerprint(system.E, system.A),
+        pencil_fingerprint(system.B),
+        None if x0 is None else x0.tobytes(),
+        plan.fingerprint(),
+        None if t_end is None else float(t_end),
+        int(m),
+    )
+
+
+def reduced_model_for(
+    system: DescriptorSystem,
+    plan: ReductionPlan,
+    *,
+    t_end: float | None,
+    m: int,
+) -> ReducedModel:
+    """Build (or fetch from the process-wide cache) a certified
+    :class:`ReducedModel` for ``system`` under ``plan``.
+
+    Raises
+    ------
+    SolverError
+        For non-first-order systems, singular expansion pencils, or a
+        fully deflated Krylov space (propagated from
+        :func:`~repro.core.mor.krylov_reduce_with_basis`).
+    """
+    key = _cache_key(system, plan, t_end, m)
+    model = _MODEL_CACHE.get(key)
+    if model is not None:
+        _MODEL_CACHE.move_to_end(key)
+        return model
+
+    start = time.perf_counter()
+    s0, probes = _resolve_probes(plan, t_end, m)
+    x0 = system.x0
+    B = np.asarray(system.B, dtype=float)
+    if x0 is not None:
+        # grow the subspace from [B, A x0] so it captures the offset
+        # response of the zero-IC shift as well as the input response
+        offset_full = np.asarray(system.A @ x0).reshape(-1, 1)
+        B_aug = np.hstack([B, offset_full])
+    else:
+        offset_full = None
+        B_aug = B
+    seed = DescriptorSystem(system.E, system.A, B_aug)
+    _, V = krylov_reduce_with_basis(seed, plan.n_moments, expansion_point=s0)
+    if plan.target_order is not None and V.shape[1] > plan.target_order:
+        V = np.ascontiguousarray(V[:, : plan.target_order])
+
+    e_red = np.asarray(V.T @ (system.E @ V))
+    a_red = np.asarray(V.T @ (system.A @ V))
+    b_red = V.T @ B
+    offset_red = None if offset_full is None else (V.T @ offset_full).reshape(-1)
+    solve_system = OffsetDescriptorSystem(e_red, a_red, b_red, offset=offset_red)
+
+    bound = _transfer_bound(system, V, B_aug, e_red, a_red, V.T @ B_aug, probes)
+    model = ReducedModel(
+        full=system,
+        solve_system=solve_system,
+        V=V,
+        s0=s0,
+        bound=bound,
+        probes=probes,
+        reduce_seconds=time.perf_counter() - start,
+    )
+    _MODEL_CACHE[key] = model
+    while len(_MODEL_CACHE) > _CACHE_SIZE:
+        _MODEL_CACHE.popitem(last=False)
+    return model
+
+
+def bind_reduction(
+    system: Any,
+    reduce: Any,
+    *,
+    t_end: float | None,
+    m: int,
+) -> tuple[ReducedModel | None, dict]:
+    """Resolve and certify a reduction at session bind.
+
+    Returns ``(model, info)``: ``model`` is ``None`` when no reduction
+    applies (ineligible under ``"auto"``, no compression, or the
+    certified bound exceeded ``rtol``), with ``info`` recording why.
+    An *explicit* plan on a system the reducer cannot handle at all
+    (fractional / multi-term) raises; ``"auto"`` skips silently.
+    """
+    plan, auto = resolve_reduce(reduce)
+    if plan is None:
+        return None, {}
+
+    def skip(reason: str, **extra) -> tuple[None, dict]:
+        info = {"reduced": False, "reason": reason}
+        info.update(extra)
+        return None, info
+
+    if isinstance(system, MultiTermSystem) or not isinstance(
+        system, DescriptorSystem
+    ):
+        if auto:
+            return skip("unsupported-system")
+        raise SolverError(
+            "reduce= supports first-order DescriptorSystem models only; "
+            f"got {type(system).__name__}"
+        )
+    if system.alpha != 1.0:
+        if auto:
+            return skip("fractional-order")
+        raise SolverError(
+            "reduce= requires a first-order system (alpha == 1); the "
+            f"bound system has alpha={system.alpha:g}.  Reduce-then-"
+            "simulate is not moment-preserving for fractional pencils."
+        )
+    if auto and system.n_states < AUTO_MIN_STATES:
+        return skip("below-auto-threshold", threshold=AUTO_MIN_STATES)
+
+    model = reduced_model_for(system, plan, t_end=t_end, m=m)
+    if model.order >= system.n_states:
+        return skip("no-compression", order=model.order)
+    if model.bound > plan.rtol:
+        return skip(
+            "bound-exceeded",
+            bound=model.bound,
+            rtol=plan.rtol,
+            fallback=True,
+        )
+    return model, model.info(plan.rtol)
+
+
+def equation_residual(
+    E,
+    A,
+    Z: np.ndarray,
+    R: np.ndarray,
+    *,
+    coeffs: np.ndarray | None = None,
+    D: np.ndarray | None = None,
+    F: np.ndarray | None = None,
+    samples: int = 8,
+) -> float:
+    """Relative full-order residual of lifted coefficients on sampled columns.
+
+    Substitutes the lifted (shifted-coordinate) solution ``Z`` back
+    into the full operational-matrix equation and returns the worst
+    sampled relative column residual:
+
+    * Toeplitz / triangular plans (``coeffs`` / ``D``):
+      ``rho_j = E (Z D)_j - A z_j - r_j``;
+    * spectral integral-form plans (``F``):
+      ``rho_j = E z_j - A (Z F)_j - (R F)_j``.
+
+    ``Z`` and ``R`` are ``(n, m)`` or batched ``(n, m, k)``.  For a
+    reduced solve, pass the *projected* pencil
+    (:attr:`ReducedModel.projected_pencil`, shapes ``(n, r)``) with the
+    reduced coefficients ``(r, m[, k])`` -- linearity of the lift makes
+    that the same full-order residual at ``O(n r)`` per column.  The
+    residual measures pure reduction error -- the reduced solve
+    satisfies the projected equation exactly, so any leftover is what
+    the Krylov subspace could not represent.  It is an estimate of the
+    relative output error (exact up to the conditioning of the full
+    operator), reported against the plan ``rtol``.
+    """
+    squeeze = Z.ndim == 2
+    Z3 = Z[:, :, None] if squeeze else Z
+    R3 = R[:, :, None] if R.ndim == 2 else R
+    n, m, k = Z3.shape
+    denom = float(np.linalg.norm(R3)) / np.sqrt(max(m, 1))
+    if denom == 0.0:
+        denom = 1.0
+    count = min(int(samples), m)
+    cols = sorted(set(np.linspace(0, m - 1, num=max(count, 1), dtype=int)))
+    ZF = None
+    if F is not None:
+        ZF = np.einsum("nmk,mj->njk", Z3, F)
+        RF = np.einsum("nmk,mj->njk", R3, F)
+    worst = 0.0
+    for j in cols:
+        if F is not None:
+            rho = (
+                np.asarray(E @ Z3[:, j, :])
+                - np.asarray(A @ ZF[:, j, :])
+                - RF[:, j, :]
+            )
+        else:
+            if D is not None:
+                weights = D[: j + 1, j]
+            else:
+                weights = coeffs[j::-1]
+            combo = np.tensordot(Z3[:, : j + 1, :], weights, axes=([1], [0]))
+            rho = np.asarray(E @ combo) - np.asarray(A @ Z3[:, j, :]) - R3[:, j, :]
+        worst = max(worst, float(np.linalg.norm(rho)) / denom)
+    return worst

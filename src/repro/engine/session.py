@@ -45,9 +45,11 @@ from ..core.lti import DescriptorSystem, MultiTermSystem
 from ..core.result import MarchingResult, SimulationResult
 from ..errors import SolverError
 from . import assembly, kernels, marching
+from .array_api import KNOWN_ARRAY_BACKENDS
 from .backends import PencilBank, select_backend
 from .bundle import OperatorBundle, resolve_basis
 from .inputs import project_input
+from .reduction import MOR_RESIDUAL_MARGIN, bind_reduction, equation_residual
 from .sweep import SweepResult
 
 __all__ = ["Simulator", "resolve_grid", "InputLike"]
@@ -135,6 +137,23 @@ def _resolve_session_basis(grid, basis, projection: str | None) -> BasisSet:
     return resolve_basis(basis, g, projection=projection or "average")
 
 
+def _host_backend_mode(mode: str, plan: str) -> str:
+    """Validate a backend mode for the host-only solve plans.
+
+    The spectral Kronecker and multi-term operators must never be
+    densified into a device namespace (a ``(n m)^2`` Kronecker operator
+    on a GPU is exactly the thing the triangular structure avoids), so
+    those plans accept only the classic modes.
+    """
+    if mode in KNOWN_ARRAY_BACKENDS or str(mode).startswith("array-api"):
+        raise SolverError(
+            f"{plan} plans are host-only; array-API backend {mode!r} is "
+            "not supported on this solve route -- use backend='auto', "
+            "'dense', or 'sparse'"
+        )
+    return mode
+
+
 def _offset_columns(vector, ones: np.ndarray) -> np.ndarray | None:
     """Per-column coefficients of the constant vector function ``vector``."""
     if vector is None:
@@ -162,7 +181,11 @@ def _system_rhs(system, U: np.ndarray, offset_cols: np.ndarray | None) -> np.nda
     if U.ndim == 2:
         R = B @ U
     else:
-        R = np.einsum("np,kpm->nmk", B, U)
+        k, p, m = U.shape
+        # one GEMM on the flattened batch ((p, k*m) columns), then
+        # restore the (n, m, k) layout
+        flat = B @ U.transpose(1, 2, 0).reshape(p, m * k)
+        R = np.asarray(flat).reshape(-1, m, k)
     return _add_columns(R, offset_cols)
 
 
@@ -223,7 +246,17 @@ class _DescriptorPlan:
         return _system_rhs(self.system, U, self._offset_cols)
 
     def solve(self, R: np.ndarray) -> np.ndarray:
-        """Column sweep for one (``(n, m)``) or many (``(n, m, k)``) inputs."""
+        """Column sweep for one (``(n, m)``) or many (``(n, m, k)``) inputs.
+
+        Non-host (array-API device) backends stage the right-hand-side
+        block into their namespace once, sweep there, and transfer the
+        solution back -- two transfers per call, amortised over all
+        ``m`` columns.
+        """
+        backend = self.bank.backend
+        host = getattr(backend, "is_host", True)
+        if not host:
+            R = backend.prepare_rhs(R)
         if self.D is not None:
             X = kernels.sweep_general(self.bank, R, self.D)
         else:
@@ -234,6 +267,8 @@ class _DescriptorPlan:
                 alternating_tail=self.first_order,
                 history=self.history,
             )
+        if not host:
+            X = backend.to_host(X)
         return _add_columns(X, self._x0_cols)
 
     def info(self) -> dict:
@@ -278,7 +313,14 @@ class _MultiTermPlan:
             if sp.issparse(pencil)
             else np.zeros(pencil.shape)
         )
-        self.bank = PencilBank(select_backend(pencil, zero, mode=backend))
+        self.bank = PencilBank(
+            select_backend(
+                pencil,
+                zero,
+                mode=_host_backend_mode(backend, "multi-term"),
+                allow_env=False,
+            )
+        )
         # Integer orders 1 and 2 admit O(n)-per-column tail recurrences
         # (see kernels.sweep_multiterm); other positive orders pay the
         # O(n j) dot product.
@@ -368,7 +410,7 @@ class _SpectralPlan:
         m = self.bundle.size
         E_big = sp.kron(sp.identity(m, format="csr"), sp.csr_matrix(system.E))
         A_big = sp.kron(sp.csr_matrix(self.F.T), sp.csr_matrix(system.A))
-        mode = self.backend_mode
+        mode = _host_backend_mode(self.backend_mode, "spectral integral-form")
         if E_big.shape[0] > MAX_DENSE_KRON:
             # decide BEFORE any densification: an (n m)^2 dense operator
             # this large must never be materialised
@@ -379,7 +421,7 @@ class _SpectralPlan:
                     "smaller spectral order m"
                 )
             mode = "sparse"
-        return select_backend(E_big, A_big, mode=mode)
+        return select_backend(E_big, A_big, mode=mode, allow_env=False)
 
     def right_hand_side(self, U: np.ndarray) -> np.ndarray:
         """``R = B U`` plus the constant zero-IC shift ``A x0`` (if any)."""
@@ -490,10 +532,64 @@ class Simulator:
         adaptive_method: str = "auto",
         history: str = "direct",
         backend: str = "auto",
+        reduce=None,
     ) -> None:
         basis_obj = _resolve_session_basis(grid, basis, projection)
         bundle = OperatorBundle(basis_obj)
         solver = bundle.solver_bundle
+        self._system = system
+        self._bundle = bundle
+        self._basis = basis_obj
+        self._solve_basis = solver.basis
+        self._transform = bundle.transform
+        self._adaptive_method = adaptive_method
+        self._history = history
+        self._backend_mode = backend
+        self._default_input: InputLike | None = None
+        self._runs = 0
+
+        self._reduction = None
+        self._mor_info: dict = {}
+        self._mor_rtol: float | None = None
+        self._mor_residual_scale = 0.0
+        self._full_plan = None
+        self._full_offset_cols = None
+        self._x0_lift_cols = None
+        if reduce is not None:
+            model, mor_info = bind_reduction(
+                system, reduce, t_end=basis_obj.t_end, m=basis_obj.size
+            )
+            self._mor_info = mor_info
+            if model is not None:
+                self._reduction = model
+                self._mor_rtol = mor_info["rtol"]
+                ones = solver.ones_coefficients()
+                self._full_offset_cols = _offset_columns(
+                    system.shifted_input_offset(), ones
+                )
+                self._x0_lift_cols = _offset_columns(system.x0, ones)
+        self._plan = self._make_plan(
+            system if self._reduction is None else self._reduction.solve_system
+        )
+        if self._reduction is not None:
+            self._mor_residual_scale = self._calibrate_run_residual()
+            self._mor_info["residual_scale"] = self._mor_residual_scale
+        # what a ParallelExecutor needs to rebuild this session in a
+        # worker (projection is already baked into the basis instance);
+        # reduce= stays parent-side: the executor reduces per
+        # fingerprint group and ships only the small reduced pencils
+        self._executor_options = {
+            "adaptive_method": adaptive_method,
+            "history": history,
+            "solver_backend": backend,
+            "reduce": reduce,
+        }
+
+    def _make_plan(self, system):
+        """Build the input-independent solve plan for ``system`` on the
+        session's bundle (also used for the lazy full-model fallback of
+        reduced sessions)."""
+        solver = self._bundle.solver_bundle
         if isinstance(system, MultiTermSystem):
             if solver.kind != "block-pulse":
                 raise SolverError(
@@ -501,33 +597,21 @@ class Simulator:
                     "(block-pulse, walsh, haar); convert to first order with "
                     "to_first_order() to use a spectral basis"
                 )
-            self._plan = _MultiTermPlan(system, solver, backend)
-        elif isinstance(system, DescriptorSystem):
+            return _MultiTermPlan(system, solver, self._backend_mode)
+        if isinstance(system, DescriptorSystem):
             if solver.kind in ("block-pulse", "toeplitz"):
-                self._plan = _DescriptorPlan(
-                    system, solver, adaptive_method, history, backend
+                return _DescriptorPlan(
+                    system,
+                    solver,
+                    self._adaptive_method,
+                    self._history,
+                    self._backend_mode,
                 )
-            else:
-                self._plan = _SpectralPlan(system, solver, backend)
-        else:
-            raise TypeError(
-                "system must be a DescriptorSystem, FractionalDescriptorSystem "
-                f"or MultiTermSystem, got {type(system).__name__}"
-            )
-        self._system = system
-        self._bundle = bundle
-        self._basis = basis_obj
-        self._solve_basis = solver.basis
-        self._transform = bundle.transform
-        self._default_input: InputLike | None = None
-        self._runs = 0
-        # what a ParallelExecutor needs to rebuild this session in a
-        # worker (projection is already baked into the basis instance)
-        self._executor_options = {
-            "adaptive_method": adaptive_method,
-            "history": history,
-            "solver_backend": backend,
-        }
+            return _SpectralPlan(system, solver, self._backend_mode)
+        raise TypeError(
+            "system must be a DescriptorSystem, FractionalDescriptorSystem "
+            f"or MultiTermSystem, got {type(system).__name__}"
+        )
 
     @classmethod
     def from_netlist(cls, netlist, grid=None, **kwargs) -> "Simulator":
@@ -649,7 +733,80 @@ class Simulator:
         info["basis"] = self._basis.name
         if self._transform is not None:
             info["method"] = f"opm-transformed[{self._basis.name}]"
+        if self._mor_info:
+            info.setdefault("mor", dict(self._mor_info))
         return info
+
+    # ------------------------------------------------------------------
+    # reduction plumbing
+    # ------------------------------------------------------------------
+    @property
+    def reduction(self):
+        """The bound :class:`~repro.engine.reduction.ReducedModel`
+        (``None`` when the session solves the full model)."""
+        return self._reduction
+
+    def _full_plan_lazy(self):
+        """Full-model plan, built on first fallback (reduced sessions)."""
+        if self._full_plan is None:
+            self._full_plan = self._make_plan(self._system)
+        return self._full_plan
+
+    def _residual_operator(self) -> dict:
+        """The plan's operational-matrix data for the full-order
+        residual check (shared by the reduced and full plans: it
+        depends only on the basis/grid)."""
+        plan = self._plan
+        if getattr(plan, "D", None) is not None:
+            return {"D": plan.D}
+        if getattr(plan, "F", None) is not None:
+            return {"F": plan.F}
+        return {"coeffs": plan.coeffs}
+
+    def _calibrate_run_residual(self) -> float:
+        """Bind-time drift-guard reference: the full-order equation
+        residual of the reduced model on a unit-step run.
+
+        The bind certificate (transfer bound <= rtol) vouches for this
+        reference; a later run whose residual stays within
+        ``MOR_RESIDUAL_MARGIN`` of it is operating in the certified
+        subspace, while a spike above the margin means the input
+        drifted outside it and the run falls back to the full model.
+        """
+        Ue = self._encode_inputs(self.project(1.0))
+        R_full = _system_rhs(self._system, Ue, self._full_offset_cols)
+        Z = self._plan.solve(self._plan.right_hand_side(Ue))
+        EV, AV = self._reduction.projected_pencil
+        return equation_residual(EV, AV, Z, R_full, **self._residual_operator())
+
+    def _lift_certified(self, Z: np.ndarray, R_full: np.ndarray):
+        """Lift reduced coefficients, check the per-run drift guard,
+        and fall back to the (lazily built) full plan on violation.
+
+        Returns ``(X, mor_info)`` with ``X`` in solver-basis
+        coordinates including the ``x0`` columns.
+        """
+        model = self._reduction
+        EV, AV = model.projected_pencil
+        residual = equation_residual(EV, AV, Z, R_full, **self._residual_operator())
+        mor = dict(self._mor_info)
+        mor["run_residual"] = residual
+        guard = max(self._mor_rtol, MOR_RESIDUAL_MARGIN * self._mor_residual_scale)
+        if residual > guard:
+            mor["fallback"] = True
+            return self._full_plan_lazy().solve(R_full), mor
+        mor["fallback"] = False
+        return _add_columns(model.lift(Z), self._x0_lift_cols), mor
+
+    def _solve_encoded(self, Ue: np.ndarray):
+        """Solver-basis solve of encoded inputs ``Ue``: the reduced
+        certified path when a reduction is bound, the plan solve
+        otherwise.  Returns ``(X_solver, mor_info_or_None)``."""
+        if self._reduction is None:
+            return self._plan.solve(self._plan.right_hand_side(Ue)), None
+        R_full = _system_rhs(self._system, Ue, self._full_offset_cols)
+        Z = self._plan.solve(self._plan.right_hand_side(Ue))
+        return self._lift_certified(Z, R_full)
 
     # ------------------------------------------------------------------
     # solving
@@ -668,12 +825,14 @@ class Simulator:
         warm = self.is_warm
         start = time.perf_counter()
         U = self.project(u)
-        R = self._plan.right_hand_side(self._encode_inputs(U))
-        X = self._decode_states(self._plan.solve(R))
+        X_solver, mor = self._solve_encoded(self._encode_inputs(U))
+        X = self._decode_states(X_solver)
         wall = time.perf_counter() - start
         self._runs += 1
         info = self._finalise_info(self._plan.info())
         info["warm"] = warm
+        if mor is not None:
+            info["mor"] = mor
         return SimulationResult(
             self._basis, X, self._system, U, wall_time=wall, info=info
         )
@@ -727,13 +886,15 @@ class Simulator:
         warm = self.is_warm
         start = time.perf_counter()
         U = np.stack([self.project(u) for u in inputs])  # (k, p, m)
-        R = self._plan.right_hand_side(self._encode_inputs(U))  # (n, m, k)
-        X = self._decode_states(self._plan.solve(R))  # (n, m, k)
+        X_solver, mor = self._solve_encoded(self._encode_inputs(U))
+        X = self._decode_states(X_solver)  # (n, m, k)
         wall = time.perf_counter() - start
         self._runs += 1
         info = self._finalise_info(self._plan.info())
         info["warm"] = warm
         info["batch"] = len(inputs)
+        if mor is not None:
+            info["mor"] = mor
         return SweepResult(
             self._basis,
             np.moveaxis(X, 2, 0),
@@ -889,4 +1050,46 @@ class Simulator:
         >>> bool(abs(long.states([9.9])[0, 0] - 1.0) < 1e-3)
         True
         """
-        return marching.march(self, self._resolve_input(u), t_end, events=events)
+        result = marching.march(self, self._resolve_input(u), t_end, events=events)
+        if self._reduction is not None:
+            result = self._lift_marching(result)
+        return result
+
+    def _lift_marching(self, result: MarchingResult) -> MarchingResult:
+        """Lift reduced-coordinate march windows back to full order.
+
+        Windowed marches carry their history in reduced coordinates
+        (that is the point: each window sweep touches only the ``r``
+        reduced states), so lifting happens once per window here.
+        Marching relies on the bind-time certificate -- the per-run
+        residual estimate is only evaluated by ``run``/``sweep``.
+        """
+        model = self._reduction
+        x0 = self._system.x0
+        ones = project_input(1.0, self._basis, 1)[0]
+        mor = dict(self._mor_info)
+        windows = []
+        for res in result.windows:
+            X = model.V @ res.coefficients
+            if x0 is not None:
+                X = X + np.outer(x0, ones)
+            info = dict(res.info)
+            info["mor"] = mor
+            windows.append(
+                SimulationResult(
+                    res.basis,
+                    X,
+                    self._system,
+                    res.input_coefficients,
+                    wall_time=res.wall_time,
+                    info=info,
+                )
+            )
+        info = dict(result.info)
+        info["mor"] = mor
+        return MarchingResult(
+            windows,
+            result.window_length,
+            wall_time=result.wall_time,
+            info=info,
+        )

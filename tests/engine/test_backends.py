@@ -29,6 +29,44 @@ class TestMatrixDensity:
     def test_sparse(self):
         assert matrix_density(sp.identity(10, format="csr")) == pytest.approx(0.1)
 
+    def test_stored_zeros_are_not_fill(self):
+        # nnz counts stored entries; density must count actual nonzeros
+        M = sp.coo_matrix(
+            (np.array([1.0, 0.0, 0.0]), ([0, 1, 2], [0, 1, 2])), shape=(4, 4)
+        )
+        assert M.nnz == 3
+        assert matrix_density(M) == pytest.approx(1 / 16)
+
+    def test_cancelling_duplicates_are_not_fill(self):
+        M = sp.coo_matrix(
+            (np.array([2.0, -2.0]), ([0, 0], [1, 1])), shape=(3, 3)
+        )
+        assert matrix_density(M) == 0.0
+
+    def test_stored_zeros_do_not_flip_auto_decision(self):
+        # regression: at the size boundary, a pencil whose sparse
+        # storage is padded with explicit zeros must select the same
+        # backend as its pruned twin -- fill is content, not storage
+        n = SPARSE_SIZE_THRESHOLD
+        A = tridiag(n).tocoo()
+        rng = np.random.default_rng(1)
+        extra = n * n // 3  # naive nnz-density would exceed 25% fill
+        rows = rng.integers(0, n, size=extra)
+        cols = rng.integers(0, n, size=extra)
+        padded = sp.coo_matrix(
+            (
+                np.concatenate([A.data, np.zeros(extra)]),
+                (np.concatenate([A.row, rows]), np.concatenate([A.col, cols])),
+            ),
+            shape=(n, n),
+        )
+        assert matrix_density(padded) == pytest.approx(matrix_density(A))
+        backend = select_backend(sp.identity(n, format="csr"), padded)
+        assert isinstance(backend, SparseBackend)
+        # and symmetrically when the padding sits in E
+        backend = select_backend(padded, tridiag(n))
+        assert isinstance(backend, SparseBackend)
+
 
 class TestSelectBackend:
     def test_small_dense_system(self):

@@ -28,6 +28,7 @@ def scaling_payload(**overrides) -> dict:
             "value": 3.2, "claim": ">= 2.5x", "enforced": True, "cores": 8,
         },
         "cross_basis_coefficient_ratio": {"value": 42.0, "claim": ">= 10x"},
+        "mor_reduced_sweep": {"value": 5.7, "claim": ">= 5x"},
     }
     metrics.update(overrides)
     metrics = {k: v for k, v in metrics.items() if v is not None}
@@ -66,14 +67,14 @@ class TestBuildTrajectory:
         assert "batched_sweep_speedup" in failures[0]
 
     def test_windowed_floor_matches_its_bench_assertion(self):
-        """The windowed bench asserts "faster"; 1.9x is the recorded
-        trajectory target, not the enforcement floor."""
+        """The windowed bench asserts >= 1.5x (measured 1.96-2.20x);
+        1.9x is the recorded trajectory target, not the floor."""
         merged = trajectory.build_trajectory(
-            scaling_payload(windowed_march_speedup={"value": 1.4}), None, sha="x"
+            scaling_payload(windowed_march_speedup={"value": 1.6}), None, sha="x"
         )
         assert trajectory.check(merged, enforce=True) == []
         merged = trajectory.build_trajectory(
-            scaling_payload(windowed_march_speedup={"value": 0.8}), None, sha="x"
+            scaling_payload(windowed_march_speedup={"value": 1.4}), None, sha="x"
         )
         assert len(trajectory.check(merged, enforce=True)) == 1
 
