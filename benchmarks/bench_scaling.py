@@ -264,12 +264,16 @@ def test_batched_sweep_vs_loop(benchmark):
     )
 
 
-#: enforcement floor of the windowed-march claim: four consecutive
-#: single-core runs of this benchmark measure 1.96x / 2.07x / 2.15x /
-#: 2.20x (trajectory target 1.9x), so 1.5x keeps >= 30% headroom for
-#: loaded shared runners while still catching a real regression of the
-#: window-carry path (the old floor was merely "faster than 1x")
-WINDOWED_MARCH_FLOOR = 1.5
+#: enforcement floor of the windowed-march claim, recalibrated on
+#: measured evidence: nine single-core runs of this benchmark span
+#: 1.73x-2.20x (four earlier runs 1.96/2.07/2.15/2.20, five fresh
+#: runs 1.73/1.84/2.09/2.16/2.18).  The old 1.9x trajectory target
+#: sat above two of the nine observed runs -- an aspirational number,
+#: not a guarded one -- so the claim now *is* the floor: 1.6x keeps
+#: ~8% headroom under the slowest observed run while still catching a
+#: real regression of the window-carry path, and trajectory.py
+#: enforces exactly this value (target == floor, no gap).
+WINDOWED_MARCH_FLOOR = 1.6
 
 
 def test_windowed_marching_vs_single_window(benchmark):
@@ -379,6 +383,18 @@ ENSEMBLE_CLAIM = 2.5
 ENSEMBLE_MOR_MOMENTS = 8
 
 
+def required_cores() -> int:
+    """Minimum core count this run *must* have, from the environment.
+
+    ``REPRO_BENCH_REQUIRE_CORES=4`` turns "not enough cores here" from
+    a soft pass (metric recorded with ``enforced: false``) into a hard
+    failure -- the nightly multi-core runner sets it so its
+    parallel-ensemble datapoint is always an enforced >= 2.5x
+    measurement, never a silently-unenforced single-core number.
+    """
+    return int(os.environ.get("REPRO_BENCH_REQUIRE_CORES", "0"))
+
+
 def test_parallel_ensemble_vs_serial(benchmark):
     """8-worker Monte-Carlo ensemble vs the same task plan run serially.
 
@@ -401,6 +417,13 @@ def test_parallel_ensemble_vs_serial(benchmark):
     serially with ``reduce=ReductionPlan(8)`` records the certified
     reduced-vs-full member solve times in the metric.
     """
+    cores = os.cpu_count() or 1
+    required = required_cores()
+    assert cores >= required, (
+        f"REPRO_BENCH_REQUIRE_CORES={required} but this runner has only "
+        f"{cores} core(s): the enforced multi-core ensemble datapoint "
+        "cannot be measured here"
+    )
     netlist = power_grid(6, 6, nz=2)
     n = assemble_mna(netlist).n_states
     assert n >= 100, "acceptance requires a >=100-state power-grid model"
@@ -440,7 +463,6 @@ def test_parallel_ensemble_vs_serial(benchmark):
     speedup = serial_wall / parallel_wall
     # enforcement keys off the machine's physical cores; the pool size
     # the executor actually uses (affinity-aware) is recorded alongside
-    cores = os.cpu_count() or 1
     pool = default_jobs()
     enforced = cores >= ENSEMBLE_MIN_CORES
 
@@ -467,6 +489,7 @@ def test_parallel_ensemble_vs_serial(benchmark):
         m=ENSEMBLE_M,
         workers=ENSEMBLE_WORKERS,
         cores=cores,
+        required_cores=required,
         pool_jobs=pool,
         bit_identical=identical,
         shm_bytes=parallel_result.info["shm_bytes"],

@@ -10,14 +10,18 @@ Required claims (the engine's headline numbers across PRs):
 
 * ``warm_session_speedup``    >= 5.0   (PR 1: cached sessions)
 * ``batched_sweep_speedup``   >= 3.0   (PR 1: batched multi-RHS sweeps)
-* ``windowed_march_speedup``  >= 1.9   (PR 2: windowed marching)
+* ``windowed_march_speedup``  >= 1.6   (PR 2: windowed marching,
+  recalibrated -- see WINDOWED_MARCH_FLOOR in bench_scaling.py)
 * ``parallel_ensemble_speedup`` >= 2.5 (PR 5: parallel ensembles)
 * ``cross_basis_coefficient_ratio`` >= 10.0 (PR 3: spectral bases)
 * ``mor_reduced_sweep``       >= 5.0   (PR 6: certified reduced plans)
+* ``service_coalesced_throughput`` >= 3.0 (PR 7: the coalescing daemon)
 
 With ``--enforce``, claims must also reach their *enforcement floor*
 -- exactly the ratio the owning benchmark asserts itself, so the guard
-never flakes where the bench would pass (see ``REQUIRED_CLAIMS``).  A
+never flakes where the bench would pass (see ``REQUIRED_CLAIMS``;
+since the windowed-march recalibration every claim's target equals
+its floor -- a claimed number is an enforced number).  A
 metric may record ``"enforced": false`` when its environment cannot
 support the claim (the parallel-ensemble benchmark does so on
 single-core machines -- the value is still recorded, distinguishing
@@ -47,18 +51,19 @@ OUT_DIR = Path(__file__).parent / "out"
 #: the measured value must also reach the floor (unless its record
 #: says ``enforced: false``).  The floor mirrors exactly what each
 #: benchmark itself asserts, so the guard never flakes where the bench
-#: would pass: the windowed march asserts >= 1.5x (recalibrated from
-#: "merely faster" on measured evidence -- four consecutive
-#: single-core runs land at 1.96-2.20x against the 1.9x trajectory
-#: target, see WINDOWED_MARCH_FLOOR in bench_scaling.py), the others
-#: assert their claimed ratios.
+#: would pass, and every target now equals its floor: the windowed
+#: march claims 1.6x, recalibrated on nine measured single-core runs
+#: spanning 1.73-2.20x (the old 1.9x target sat above two of them --
+#: see WINDOWED_MARCH_FLOOR in bench_scaling.py); the others claim
+#: the ratios their benchmarks assert.
 REQUIRED_CLAIMS = (
     ("warm_session_speedup", 5.0, 5.0),
     ("batched_sweep_speedup", 3.0, 3.0),
-    ("windowed_march_speedup", 1.9, 1.5),
+    ("windowed_march_speedup", 1.6, 1.6),
     ("parallel_ensemble_speedup", 2.5, 2.5),
     ("cross_basis_coefficient_ratio", 10.0, 10.0),
     ("mor_reduced_sweep", 5.0, 5.0),
+    ("service_coalesced_throughput", 3.0, 3.0),
 )
 
 

@@ -87,6 +87,7 @@ from .errors import (
     NetlistError,
     OperationalMatrixError,
     ReproError,
+    ServiceError,
     SolverError,
 )
 
@@ -150,6 +151,7 @@ __all__ = [
     "ConvergenceError",
     "NetlistError",
     "EnsembleError",
+    "ServiceError",
     # netlist front end (served lazily, see __getattr__)
     "Netlist",
     "simulate_netlist",

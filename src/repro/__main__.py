@@ -71,11 +71,25 @@ residual error bound -- exceeding it falls back to the full model.
 ``--mor-order Q`` picks the number of matched block moments::
 
     python -m repro grid.sp --t-end 1e-8 --steps 200 --reduce auto
+
+Two subcommands run the simulation *service* instead of a one-shot
+analysis (see :mod:`repro.engine.service`)::
+
+    python -m repro serve --port 7777 --max-sessions 8 --bank-bytes 256M
+    python -m repro client --port 7777 --netlist rc.cir --scale 2.0
+    python -m repro client --port 7777 --stats
+    python -m repro client --port 7777 --shutdown
+
+``serve`` starts the long-running daemon: requests sharing a circuit
+configuration hit a warm cached session (bounded LRU), and concurrent
+same-configuration requests are coalesced into one batched multi-RHS
+sweep.  ``client`` is the matching one-shot JSON-lines client.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -634,7 +648,213 @@ def _resolve_deck_defaults(args, netlist) -> None:
         )
 
 
+def _parse_bytes(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix."""
+    units = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    text = text.strip().lower().removesuffix("b")
+    factor = 1
+    if text and text[-1] in units:
+        factor = units[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * factor)
+    except ValueError as exc:
+        raise ReproError(
+            f"bad byte count {text!r}; expected e.g. 512M or 1073741824"
+        ) from exc
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    from .engine.service import (
+        DEFAULT_COALESCE_MS,
+        DEFAULT_MAX_BATCH,
+        DEFAULT_MAX_SESSIONS,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the OPM simulation service: a long-lived daemon "
+        "with warm LRU sessions and cross-request solve coalescing.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7777,
+        help="TCP port (0 picks a free one; it is announced on stdout)",
+    )
+    parser.add_argument(
+        "--coalesce-ms", type=float, default=DEFAULT_COALESCE_MS, metavar="MS",
+        help="micro-batching window: how long a request waits for "
+        "same-configuration company (default %(default)s ms)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=DEFAULT_MAX_BATCH, metavar="K",
+        help="dispatch a batch once it holds this many runs "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=DEFAULT_MAX_SESSIONS, metavar="N",
+        help="resident warm sessions before LRU eviction (default %(default)s)",
+    )
+    parser.add_argument(
+        "--bank-entries", type=int, default=None, metavar="N",
+        help="per-session pencil-cache entry bound (default: unbounded)",
+    )
+    parser.add_argument(
+        "--bank-bytes", default=None, metavar="BYTES",
+        help="per-session pencil-cache byte bound, e.g. 256M "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shard batches of >= 16 runs across this many worker "
+        "processes (default: solve in-process)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="solve-thread pool size (default %(default)s)",
+    )
+    return parser
+
+
+def _run_serve(argv) -> int:
+    from .engine.service import serve
+
+    args = build_serve_parser().parse_args(argv)
+    bank_bytes = (
+        _parse_bytes(args.bank_bytes) if args.bank_bytes is not None else None
+    )
+    serve(
+        host=args.host,
+        port=args.port,
+        coalesce_ms=args.coalesce_ms,
+        max_batch=args.max_batch,
+        max_sessions=args.max_sessions,
+        bank_entries=args.bank_entries,
+        bank_bytes=bank_bytes,
+        jobs=args.jobs,
+        workers=args.workers,
+    )
+    return 0
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro client",
+        description="One-shot client for a running `python -m repro serve` "
+        "daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="service address")
+    parser.add_argument("--port", type=int, default=7777, help="service port")
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--netlist", type=Path, metavar="FILE",
+        help="simulate this deck on the service",
+    )
+    action.add_argument(
+        "--stats", action="store_true", help="print the daemon counters"
+    )
+    action.add_argument(
+        "--ping", action="store_true", help="liveness probe"
+    )
+    action.add_argument(
+        "--shutdown", action="store_true", help="stop the daemon"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, metavar="S",
+        help="scale the deck's input waveform",
+    )
+    parser.add_argument(
+        "--scales", type=float, nargs="+", default=None, metavar="S",
+        help="sweep request: one batched solve per scale factor",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None, metavar="N",
+        help="number of output samples (default: the native grid)",
+    )
+    parser.add_argument(
+        "--format", choices=("json", "csv"), default="json",
+        help="response encoding (default json)",
+    )
+    parser.add_argument(
+        "--csv", type=Path, metavar="FILE",
+        help="write a --format csv response to this file",
+    )
+    return parser
+
+
+def _run_client(argv) -> int:
+    import json
+
+    from .engine.service import ServiceClient
+
+    args = build_client_parser().parse_args(argv)
+    with ServiceClient(args.host, args.port) as client:
+        if args.ping:
+            print("pong" if client.ping() else "no pong")
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("service shut down")
+            return 0
+        try:
+            deck = args.netlist.read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.netlist}: {exc}") from exc
+        request: dict = {"netlist": deck, "format": args.format}
+        if args.scales is not None:
+            request["scales"] = args.scales
+        elif args.scale is not None:
+            request["scale"] = args.scale
+        if args.samples is not None:
+            request["samples"] = args.samples
+        out = client.simulate(**request)
+        if args.format == "csv":
+            if args.csv is not None:
+                args.csv.write_text(out["csv"])
+                print(f"wrote {out['rows']} samples to {args.csv}")
+            else:
+                print(out["csv"], end="")
+        else:
+            print(json.dumps(out, indent=2))
+        print(
+            f"# latency {out['latency_ms']:.2f} ms, method "
+            f"{out['info'].get('method')}, warm={out['info'].get('warm')}, "
+            f"coalesced={out['info'].get('coalesced')}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def run(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] in ("serve", "client"):
+        mode, rest = argv[0], argv[1:]
+        try:
+            return _run_serve(rest) if mode == "serve" else _run_client(rest)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except BrokenPipeError:
+            # stdout went away (e.g. piped into ``head``), which is not
+            # a service failure: exit quietly with the conventional
+            # SIGPIPE status, redirecting stdout so the interpreter's
+            # exit-time flush cannot raise a second EPIPE
+            try:
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                os.dup2(devnull, sys.stdout.fileno())
+            except OSError:
+                pass  # stdout is not a real fd (captured stream)
+            return 141
+        except (ConnectionRefusedError, OSError) as exc:
+            print(f"error: cannot reach the service: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            return 130
     args = build_parser().parse_args(argv)
     if args.netlist is not None and args.netlist_flag is not None:
         print(

@@ -93,12 +93,25 @@ _NETLIST_EXPORTS = (
     "NetlistRun",
 )
 
+#: Names served lazily from :mod:`~repro.engine.service` -- the daemon
+#: sits above :mod:`netlist_session` (same cycle) and drags in asyncio
+#: machinery no batch workload needs.
+_SERVICE_EXPORTS = (
+    "SimulationService",
+    "ServiceClient",
+    "serve",
+)
+
 
 def __getattr__(name: str):
     if name in _NETLIST_EXPORTS:
         from . import netlist_session
 
         return getattr(netlist_session, name)
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -141,4 +154,7 @@ __all__ = [
     "build_system",
     "AcScan",
     "NetlistRun",
+    "SimulationService",
+    "ServiceClient",
+    "serve",
 ]

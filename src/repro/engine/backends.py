@@ -32,7 +32,9 @@ multi-input sweep one ``lu_solve`` per column for *all* inputs.
 from __future__ import annotations
 
 import abc
+import threading
 import warnings
+from collections import OrderedDict
 
 import numpy as np
 import scipy.linalg
@@ -51,6 +53,7 @@ __all__ = [
     "select_backend",
     "matrix_density",
     "pencil_fingerprint",
+    "handle_nbytes",
 ]
 
 #: Systems with at least this many states are eligible for the sparse
@@ -391,8 +394,32 @@ def pencil_fingerprint(E, A=None) -> tuple:
     return (one(E), one(A))
 
 
+def handle_nbytes(handle, n: int) -> int:
+    """Estimated resident bytes of one factorisation handle.
+
+    Covers the three handle species the backends produce -- a dense
+    ``(lu, piv)`` pair, a SuperLU object (``L``/``U`` CSC factors plus
+    the two permutation vectors), and an explicit-inverse array-API
+    handle -- with a dense ``n^2`` float64 fallback for anything
+    unrecognised, so the byte accounting errs on the safe (large) side.
+    """
+    if isinstance(handle, tuple):  # scipy.linalg.lu_factor: (lu, piv)
+        return int(sum(getattr(part, "nbytes", 0) for part in handle))
+    nbytes = getattr(handle, "nbytes", None)
+    if nbytes is not None:  # array-API explicit inverse
+        return int(nbytes)
+    L, U = getattr(handle, "L", None), getattr(handle, "U", None)
+    if L is not None and U is not None:  # SuperLU
+        total = 0
+        for factor in (L, U):
+            for name in ("data", "indices", "indptr"):
+                total += int(getattr(getattr(factor, name, None), "nbytes", 0))
+        return total + 2 * n * np.dtype(np.intc).itemsize  # perm_r, perm_c
+    return n * n * np.dtype(float).itemsize
+
+
 class PencilBank:
-    """Factorisation cache for shifted pencils ``sigma E - A``.
+    """Bounded LRU factorisation cache for shifted pencils ``sigma E - A``.
 
     Wraps a :class:`PencilBackend` and memoises one factorisation per
     distinct ``(pencil stamp, shift)`` pair.  The shift key is the exact
@@ -406,21 +433,135 @@ class PencilBank:
     load steps) register a new backend via :meth:`restamp`; every stamp
     keeps its factorisations, so toggling between circuit
     configurations re-factorises nothing after the first visit.
+
+    By default the cache is unbounded (the classic single-session
+    behaviour: a handful of shifts, each expensive to recompute).
+    Long-lived processes -- the ``serve`` daemon above all -- bound it
+    with ``max_entries`` / ``max_bytes`` (see :meth:`limit`): least
+    recently *used* factorisations are evicted first, byte usage is
+    tracked per handle (:func:`handle_nbytes`), and :attr:`hits` /
+    :attr:`misses` / :attr:`evictions` counters make the hit-rate
+    observable.  The bank is thread-safe: one internal lock serialises
+    cache mutation, stamp switching, and the solve itself, so
+    concurrent sessions sharing a bank cannot corrupt it or factorise
+    against a stale stamp.
     """
 
-    def __init__(self, backend: PencilBackend) -> None:
+    def __init__(
+        self,
+        backend: PencilBackend,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.backend = backend
-        self._cache: dict[tuple[int, float], object] = {}
+        self._cache: OrderedDict[tuple[int, float], object] = OrderedDict()
+        self._handle_bytes: dict[tuple[int, float], int] = {}
         self._backends: list[PencilBackend] = [backend]
         self._stamp_keys: dict[tuple, int] = {
             pencil_fingerprint(backend.E, backend.A): 0
         }
         self._stamp = 0
+        self._lock = threading.RLock()
+        self._factorisations = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._nbytes = 0
+        self.limit(max_entries=max_entries, max_bytes=max_bytes)
+
+    # ------------------------------------------------------------------
+    # bounds and accounting
+    # ------------------------------------------------------------------
+    def limit(
+        self, *, max_entries: int | None = None, max_bytes: int | None = None
+    ) -> "PencilBank":
+        """(Re)bound the cache; evicts immediately if already over.
+
+        ``None`` leaves the corresponding bound unlimited.  Returns
+        ``self`` for chaining.
+        """
+        if max_entries is not None and int(max_entries) < 1:
+            raise SolverError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and int(max_bytes) < 0:
+            raise SolverError(f"max_bytes must be >= 0, got {max_bytes}")
+        with self._lock:
+            self.max_entries = None if max_entries is None else int(max_entries)
+            self.max_bytes = None if max_bytes is None else int(max_bytes)
+            self._evict(keep=None)
+        return self
+
+    def _over_budget(self) -> bool:
+        if self.max_entries is not None and len(self._cache) > self.max_entries:
+            return True
+        return self.max_bytes is not None and self._nbytes > self.max_bytes
+
+    def _evict(self, keep: tuple[int, float] | None) -> None:
+        """Drop least-recently-used handles until within budget.
+
+        The handle named by ``keep`` (the one about to be returned to a
+        caller) is never evicted, even when it alone exceeds
+        ``max_bytes`` -- a bound can shrink the cache, not refuse the
+        solve in flight.
+        """
+        while self._over_budget():
+            oldest = next(iter(self._cache))
+            if oldest == keep:
+                if len(self._cache) == 1:
+                    break
+                self._cache.move_to_end(oldest)
+                oldest = next(iter(self._cache))
+                if oldest == keep:  # pragma: no cover - single survivor
+                    break
+            self._cache.pop(oldest)
+            self._nbytes -= self._handle_bytes.pop(oldest, 0)
+            self._evictions += 1
 
     @property
     def factorisations(self) -> int:
-        """Number of distinct pencil factorisations performed so far."""
+        """Number of pencil factorisations performed so far (monotone:
+        an evicted-then-revisited shift counts again)."""
+        return self._factorisations
+
+    @property
+    def entries(self) -> int:
+        """Number of factorisations currently resident in the cache."""
         return len(self._cache)
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated resident bytes of all cached factorisations."""
+        return self._nbytes
+
+    @property
+    def hits(self) -> int:
+        """Solves served from a cached factorisation."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Solves that had to factorise first."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Factorisations dropped by the LRU bound so far."""
+        return self._evictions
+
+    def stats(self) -> dict:
+        """Cache counters as one dict (the ``serve`` stats endpoint)."""
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "nbytes": self._nbytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "factorisations": self._factorisations,
+                "stamps": len(self._backends),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
 
     @property
     def is_warm(self) -> bool:
@@ -437,6 +578,12 @@ class PencilBank:
         """Index of the currently active pencil stamp."""
         return self._stamp
 
+    @property
+    def cached_shifts(self) -> list[tuple[int, float]]:
+        """Resident ``(stamp, sigma)`` keys, least recently used first."""
+        with self._lock:
+            return list(self._cache)
+
     def restamp(self, backend: PencilBackend) -> int:
         """Switch the bank to a (possibly new) pencil; returns its stamp index.
 
@@ -445,14 +592,15 @@ class PencilBank:
         factorisations -- instead of registering a new one.
         """
         key = pencil_fingerprint(backend.E, backend.A)
-        stamp = self._stamp_keys.get(key)
-        if stamp is None:
-            stamp = len(self._backends)
-            self._backends.append(backend)
-            self._stamp_keys[key] = stamp
-        self._stamp = stamp
-        self.backend = self._backends[stamp]
-        return stamp
+        with self._lock:
+            stamp = self._stamp_keys.get(key)
+            if stamp is None:
+                stamp = len(self._backends)
+                self._backends.append(backend)
+                self._stamp_keys[key] = stamp
+            self._stamp = stamp
+            self.backend = self._backends[stamp]
+            return stamp
 
     def use(self, stamp: int) -> None:
         """Reactivate a previously registered stamp by index.
@@ -461,12 +609,13 @@ class PencilBank:
         excursion (an eventful march must not leave the session solving
         against the event pencil).
         """
-        if not 0 <= stamp < len(self._backends):
-            raise SolverError(
-                f"unknown pencil stamp {stamp}; bank has {len(self._backends)}"
-            )
-        self._stamp = stamp
-        self.backend = self._backends[stamp]
+        with self._lock:
+            if not 0 <= stamp < len(self._backends):
+                raise SolverError(
+                    f"unknown pencil stamp {stamp}; bank has {len(self._backends)}"
+                )
+            self._stamp = stamp
+            self.backend = self._backends[stamp]
 
     def apply_E(self, x: np.ndarray) -> np.ndarray:
         """Product ``E @ x`` through the active backend (history-tail helper)."""
@@ -474,17 +623,28 @@ class PencilBank:
 
     def solve(self, sigma: float, rhs: np.ndarray) -> np.ndarray:
         """Solve ``(sigma E - A) x = rhs``, factorising at most once per
-        ``(stamp, sigma)``.
+        ``(stamp, sigma)`` while it stays resident.
 
         ``rhs`` may be a single vector ``(n,)`` or a block ``(n, k)``;
-        blocks are substituted in one backend call.
+        blocks are substituted in one backend call.  The whole solve
+        runs under the bank lock, so a concurrent :meth:`restamp`
+        cannot swap the active pencil out from under the substitution.
         """
-        key = (self._stamp, sigma)
-        handle = self._cache.get(key)
-        if handle is None:
-            handle = self.backend.factorize(sigma)
-            self._cache[key] = handle
-        out = self.backend.solve(handle, rhs)
+        with self._lock:
+            key = (self._stamp, sigma)
+            handle = self._cache.get(key)
+            if handle is None:
+                self._misses += 1
+                handle = self.backend.factorize(sigma)
+                self._factorisations += 1
+                self._cache[key] = handle
+                self._handle_bytes[key] = handle_nbytes(handle, self.backend.n)
+                self._nbytes += self._handle_bytes[key]
+                self._evict(keep=key)
+            else:
+                self._hits += 1
+                self._cache.move_to_end(key)
+            out = self.backend.solve(handle, rhs)
         if not self.backend.all_finite(out):
             raise SolverError(
                 f"pencil solve at sigma={sigma:g} produced non-finite values "

@@ -1,0 +1,932 @@
+"""Simulation-as-a-service: the long-running OPM solve daemon.
+
+The paper's cost model -- one pencil factorisation plus matrix
+products per transient -- makes concurrent requests that share a
+circuit configuration embarrassingly coalescable: their right-hand
+sides are just extra columns of the same multi-RHS sweep.  This module
+turns that observation into a server:
+
+* :class:`SimulationService` -- an asyncio TCP daemon speaking
+  newline-delimited JSON.  Requests (netlist text or a programmatic
+  system spec, plus analysis parameters) are keyed by the session
+  :attr:`~repro.engine.session.Simulator.fingerprint`; a bounded LRU
+  of warm :class:`~repro.engine.session.Simulator` sessions (each with
+  a byte-bounded :class:`~repro.engine.backends.PencilBank`) is kept
+  across requests, and a **coalescing scheduler** batches concurrent
+  same-fingerprint requests inside a micro-batching window into one
+  batched :meth:`~repro.engine.session.Simulator.sweep` -- one
+  ``lu_solve`` per column for *all* waiting clients.  Solves run on a
+  worker thread pool (LAPACK/SuperLU release the GIL); batches of at
+  least :data:`~repro.engine.session.PARALLEL_SWEEP_MIN_COLUMNS`
+  columns additionally shard across ``jobs`` worker *processes*
+  through the :mod:`~repro.engine.executor` shared-memory machinery.
+  Results stream back as chunked JSON or CSV; a ``stats`` op exposes
+  cache hit rates, the coalesce ratio, queue depth, and p50/p99
+  request latency.
+* :class:`ServiceClient` -- the blocking socket client used by the CLI
+  ``client`` mode, the load benchmark, and the CI smoke test.
+
+Protocol
+--------
+One JSON object per line, both directions.  Request ``op`` values:
+
+``simulate``
+    ``{"op": "simulate", "netlist": "<deck>", "scale": 2.0}`` or
+    ``{"op": "simulate", "system": {"E": [[...]], "A": [[...]],
+    "B": [[...]]}, "grid": [1.0, 200], "input": 1.0}``.  Optional:
+    ``basis``, ``backend``, ``grid`` (overrides the deck's ``.tran``),
+    ``outputs`` (node names to return -- netlist requests only;
+    default every node), ``scales`` (a list -- one request, many
+    runs: a *sweep request*), ``samples`` (output sample count),
+    ``values`` (``"outputs"`` / ``"states"``), ``format`` (``"json"``
+    / ``"csv"``), ``id`` (echoed back).
+``stats``
+    Returns the daemon counters (see above).
+``ping`` / ``shutdown``
+    Liveness probe / graceful stop (pending batches finish first).
+
+A ``simulate`` response is a *header* line (``kind: "header"``, run
+and sample counts, solver info), ``kind: "chunk"`` lines streaming the
+sampled waveforms, and a ``kind: "done"`` line carrying the measured
+request latency.  Errors are single ``kind: "error"`` lines; the
+request ``id`` rides along on every line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError, ServiceError
+from .session import PARALLEL_SWEEP_MIN_COLUMNS, Simulator
+
+__all__ = [
+    "SimulationService",
+    "ServiceClient",
+    "serve",
+    "DEFAULT_COALESCE_MS",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_SESSIONS",
+]
+
+#: Micro-batching window: a request waits at most this long for
+#: same-fingerprint company before its batch is dispatched.
+DEFAULT_COALESCE_MS = 2.0
+
+#: Dispatch a batch as soon as it holds this many columns, window or not.
+DEFAULT_MAX_BATCH = 64
+
+#: Bound on distinct warm sessions kept resident (LRU beyond it).
+DEFAULT_MAX_SESSIONS = 8
+
+#: Samples streamed per chunk line.
+CHUNK_ROWS = 512
+
+#: Latencies kept for the p50/p99 window.
+LATENCY_WINDOW = 4096
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into JSON-safe values."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (empty -> 0)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def _scaled_input(u, scale: float):
+    """The input ``u`` (callable or coefficients) scaled by a factor."""
+    if scale == 1.0:
+        return u
+    if callable(u):
+        def scaled(times, _u=u, _s=scale):
+            return _s * np.asarray(_u(times))
+
+        return scaled
+    if np.isscalar(u):
+        return float(u) * scale
+    return np.asarray(u, dtype=float) * scale
+
+
+def _parse_system(spec: dict):
+    """Build a descriptor system from a JSON system spec."""
+    from ..core.lti import DescriptorSystem, FractionalDescriptorSystem
+
+    if not isinstance(spec, dict):
+        raise ServiceError(f"'system' must be an object, got {type(spec).__name__}")
+    try:
+        E = np.asarray(spec["E"], dtype=float)
+        A = np.asarray(spec["A"], dtype=float)
+        B = np.asarray(spec["B"], dtype=float)
+    except KeyError as exc:
+        raise ServiceError(f"system spec is missing {exc.args[0]!r}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"bad system matrix payload: {exc}") from exc
+    x0 = spec.get("x0")
+    if x0 is not None:
+        x0 = np.asarray(x0, dtype=float)
+    alpha = float(spec.get("alpha", 1.0))
+    if alpha == 1.0:
+        return DescriptorSystem(E, A, B, x0=x0)
+    return FractionalDescriptorSystem(alpha, E, A, B, x0=x0)
+
+
+def _validate_output_options(request: dict) -> None:
+    """Reject bad per-request output options *before* the request joins
+    a batch -- a malformed field must fail only its own request, never
+    the coalesced siblings solved alongside it."""
+    values_kind = request.get("values", "outputs")
+    if values_kind not in ("outputs", "states"):
+        raise ServiceError(
+            f"'values' must be 'outputs' or 'states', got {values_kind!r}"
+        )
+    fmt = request.get("format", "json")
+    if fmt not in ("json", "csv"):
+        raise ServiceError(f"'format' must be 'json' or 'csv', got {fmt!r}")
+    samples = request.get("samples")
+    if samples is not None:
+        try:
+            if int(samples) < 1:
+                raise ValueError(samples)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"'samples' must be a positive integer, got {samples!r}"
+            ) from exc
+
+
+@dataclass
+class _SessionSpec:
+    """Everything needed to (re)build one session, plus its text key."""
+
+    key: tuple
+    netlist: str | None = None
+    system: dict | None = None
+    grid: tuple | None = None
+    basis: str | None = None
+    backend: str = "auto"
+    outputs: tuple | None = None
+
+    @classmethod
+    def from_request(cls, request: dict) -> "_SessionSpec":
+        netlist = request.get("netlist")
+        system = request.get("system")
+        if (netlist is None) == (system is None):
+            raise ServiceError(
+                "a simulate request needs exactly one of 'netlist' "
+                "(deck text) or 'system' (an E/A/B spec)"
+            )
+        outputs = request.get("outputs")
+        if outputs is not None:
+            if netlist is None:
+                raise ServiceError(
+                    "'outputs' (node names) applies to netlist requests "
+                    "only; a 'system' spec selects outputs through C"
+                )
+            if not isinstance(outputs, (list, tuple)) or not all(
+                isinstance(name, str) for name in outputs
+            ):
+                raise ServiceError(
+                    f"'outputs' must be a list of node names, got {outputs!r}"
+                )
+            outputs = tuple(outputs)
+        grid = request.get("grid")
+        if grid is not None:
+            try:
+                t_end, m = grid
+                grid = (float(t_end), int(m))
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"'grid' must be a [t_end, m] pair, got {grid!r}"
+                ) from exc
+        elif system is not None:
+            raise ServiceError("a 'system' request requires 'grid': [t_end, m]")
+        basis = request.get("basis")
+        backend = request.get("backend", "auto")
+        if netlist is not None:
+            content: tuple = ("netlist", netlist)
+        else:
+            # key programmatic specs by content, not object identity
+            content = ("system", json.dumps(system, sort_keys=True))
+        return cls(
+            key=(content, grid, basis, backend, outputs),
+            netlist=netlist,
+            system=system,
+            grid=grid,
+            basis=basis,
+            backend=str(backend),
+            outputs=outputs,
+        )
+
+    def build(self) -> Simulator:
+        """Construct the session (runs on a worker thread)."""
+        if self.netlist is not None:
+            from .netlist_session import from_netlist
+
+            return from_netlist(
+                self.netlist,
+                self.grid,
+                outputs=self.outputs,
+                basis=self.basis,
+                backend=self.backend,
+            )
+        sim = Simulator(
+            _parse_system(self.system),
+            self.grid,
+            basis=self.basis,
+            backend=self.backend,
+        )
+        return sim
+
+
+@dataclass
+class _Session:
+    """One resident warm session and the request keys that found it."""
+
+    sim: Simulator
+    fingerprint: tuple
+    spec_keys: set = field(default_factory=set)
+
+
+@dataclass
+class _Pending:
+    """One enqueued simulate request (possibly a multi-run sweep)."""
+
+    request: dict
+    session: _Session
+    inputs: list
+    future: asyncio.Future
+    start: float
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.inputs)
+
+
+class SimulationService:
+    """Asyncio TCP daemon with cross-request pencil coalescing.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    coalesce_ms:
+        Micro-batching window in milliseconds: the first request for a
+        session fingerprint opens the window, everything arriving for
+        the same fingerprint before it closes joins the batch.
+    max_batch:
+        Dispatch a batch as soon as it holds this many run columns.
+    max_sessions:
+        Bound on resident warm sessions (least recently used evicted).
+    bank_entries, bank_bytes:
+        Per-session :meth:`PencilBank.limit
+        <repro.engine.backends.PencilBank.limit>` bounds.
+    jobs:
+        When a dispatched batch has at least
+        :data:`~repro.engine.session.PARALLEL_SWEEP_MIN_COLUMNS`
+        columns, shard it across this many worker processes (the
+        :mod:`~repro.engine.executor` shared-memory path).  ``None``
+        keeps every batch in-process.
+    workers:
+        Solve-thread pool size (default 4).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        coalesce_ms: float = DEFAULT_COALESCE_MS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        bank_entries: int | None = None,
+        bank_bytes: int | None = None,
+        jobs: int | None = None,
+        workers: int = 4,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if max_sessions < 1:
+            raise ServiceError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.host = host
+        self._requested_port = port
+        self.coalesce_ms = float(coalesce_ms)
+        self.max_batch = int(max_batch)
+        self.max_sessions = int(max_sessions)
+        self.bank_entries = bank_entries
+        self.bank_bytes = bank_bytes
+        self.jobs = jobs
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(workers)), thread_name_prefix="repro-solve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+        # session LRU: fingerprint -> _Session, plus the text-level
+        # shortcut that skips re-parsing a previously seen request spec
+        self._sessions: OrderedDict[tuple, _Session] = OrderedDict()
+        self._spec_to_fp: dict[tuple, tuple] = {}
+        self._building: dict[tuple, asyncio.Future] = {}
+        self._session_hits = 0
+        self._session_misses = 0
+        self._session_evictions = 0
+
+        # coalescer: fingerprint -> waiting requests + window timer
+        self._queues: dict[tuple, list[_Pending]] = {}
+        self._flushers: dict[tuple, asyncio.Task] = {}
+
+        self._requests = 0
+        self._errors = 0
+        self._batches = 0
+        self._batched_runs = 0
+        self._coalesced_batches = 0
+        self._largest_batch = 0
+        self._inflight = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "SimulationService":
+        """Bind the listening socket; returns ``self``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`stop`)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+            await self._drain()
+
+    async def stop(self) -> None:
+        """Finish pending batches, close the server and the pool."""
+        self._shutdown.set()
+        await self._drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=True)
+
+    async def _drain(self) -> None:
+        """Flush every open coalescing window and await its batch."""
+        for key in list(self._flushers):
+            task = self._flushers.pop(key, None)
+            if task is not None:
+                task.cancel()
+        flushes = [
+            self._dispatch(key) for key in list(self._queues) if self._queues[key]
+        ]
+        if flushes:
+            await asyncio.gather(*flushes, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                request: dict = {}
+                try:
+                    decoded = json.loads(line)
+                    if not isinstance(decoded, dict):
+                        raise ServiceError("request must be a JSON object")
+                    request = decoded
+                    await self._handle_request(request, writer)
+                except (json.JSONDecodeError, ReproError) as exc:
+                    self._errors += 1
+                    await self._send(
+                        writer,
+                        {
+                            "id": request.get("id"),
+                            "ok": False,
+                            "kind": "error",
+                            "error": str(exc),
+                        },
+                    )
+        except (ConnectionResetError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+
+    async def _handle_request(self, request: dict, writer) -> None:
+        op = request.get("op", "simulate")
+        rid = request.get("id")
+        if op == "ping":
+            await self._send(writer, {"id": rid, "ok": True, "kind": "pong"})
+        elif op == "stats":
+            await self._send(
+                writer,
+                {"id": rid, "ok": True, "kind": "stats", "stats": self.stats()},
+            )
+        elif op == "shutdown":
+            await self._send(writer, {"id": rid, "ok": True, "kind": "done"})
+            self._shutdown.set()
+        elif op == "simulate":
+            await self._simulate(request, writer)
+        else:
+            raise ServiceError(
+                f"unknown op {op!r}; expected simulate/stats/ping/shutdown"
+            )
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    async def _resolve_session(self, spec: _SessionSpec) -> _Session:
+        """Find (or build) the warm session for a request spec.
+
+        Two cache levels: the spec key (raw request content) skips the
+        parse/assemble entirely; the session fingerprint unifies
+        distinct specs that describe the same arithmetic (same deck
+        text with different whitespace-insensitive params, or a
+        programmatic spec matching a netlist's model).
+        """
+        fp = self._spec_to_fp.get(spec.key)
+        if fp is not None:
+            session = self._sessions.get(fp)
+            if session is not None:
+                self._session_hits += 1
+                self._sessions.move_to_end(fp)
+                return session
+            self._spec_to_fp.pop(spec.key, None)
+        pending_build = self._building.get(spec.key)
+        if pending_build is not None:
+            session = await pending_build
+            self._session_hits += 1
+            return session
+
+        loop = asyncio.get_running_loop()
+        build_future: asyncio.Future = loop.create_future()
+        self._building[spec.key] = build_future
+        try:
+            sim = await loop.run_in_executor(self._pool, spec.build)
+            fp = sim.fingerprint
+            session = self._sessions.get(fp)
+            if session is None:
+                if self.bank_entries is not None or self.bank_bytes is not None:
+                    sim.limit_cache(
+                        max_entries=self.bank_entries, max_bytes=self.bank_bytes
+                    )
+                session = _Session(sim=sim, fingerprint=fp)
+                self._sessions[fp] = session
+                self._session_misses += 1
+                while len(self._sessions) > self.max_sessions:
+                    _, evicted = self._sessions.popitem(last=False)
+                    for key in evicted.spec_keys:
+                        self._spec_to_fp.pop(key, None)
+                    self._session_evictions += 1
+            else:
+                # distinct request text, identical arithmetic: the
+                # existing warm session (and its pencil bank) serves it
+                self._session_hits += 1
+                self._sessions.move_to_end(fp)
+            session.spec_keys.add(spec.key)
+            self._spec_to_fp[spec.key] = fp
+            build_future.set_result(session)
+            return session
+        except BaseException as exc:
+            build_future.set_exception(exc)
+            # consume the exception if nobody else awaited this build
+            build_future.exception()
+            raise
+        finally:
+            self._building.pop(spec.key, None)
+
+    def _request_inputs(self, request: dict, session: _Session) -> list:
+        """The run inputs one request contributes to its batch."""
+        scales = request.get("scales")
+        if scales is None:
+            scales = [request.get("scale", 1.0)]
+        if not isinstance(scales, (list, tuple)) or not scales:
+            raise ServiceError(f"'scales' must be a non-empty list, got {scales!r}")
+        u = request.get("input")
+        if u is None:
+            u = session.sim.bound_input
+            if u is None:
+                raise ServiceError(
+                    "request has no 'input' and the session has no bound "
+                    "source waveform (programmatic sessions need 'input')"
+                )
+        elif isinstance(u, (list, tuple)):
+            u = np.asarray(u, dtype=float)
+        elif not isinstance(u, (int, float)):
+            raise ServiceError(
+                f"'input' must be a number or a coefficient array, got "
+                f"{type(u).__name__}"
+            )
+        try:
+            return [_scaled_input(u, float(s)) for s in scales]
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"bad 'scale(s)' value: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # the coalescing scheduler
+    # ------------------------------------------------------------------
+    async def _simulate(self, request: dict, writer) -> None:
+        start = time.perf_counter()
+        self._requests += 1
+        self._inflight += 1
+        rid = request.get("id")
+        try:
+            _validate_output_options(request)
+            spec = _SessionSpec.from_request(request)
+            session = await self._resolve_session(spec)
+            inputs = self._request_inputs(request, session)
+            loop = asyncio.get_running_loop()
+            pending = _Pending(
+                request=request,
+                session=session,
+                inputs=inputs,
+                future=loop.create_future(),
+                start=start,
+            )
+            await self._enqueue(session.fingerprint, pending)
+            payload = await pending.future
+            await self._stream_result(writer, rid, pending, payload)
+        except ReproError as exc:
+            self._errors += 1
+            await self._send(
+                writer, {"id": rid, "ok": False, "kind": "error", "error": str(exc)}
+            )
+        finally:
+            self._inflight -= 1
+
+    async def _enqueue(self, key: tuple, pending: _Pending) -> None:
+        """Queue a request under its fingerprint; open/close the window."""
+        queue = self._queues.setdefault(key, [])
+        queue.append(pending)
+        total = sum(p.n_runs for p in queue)
+        if total >= self.max_batch:
+            flusher = self._flushers.pop(key, None)
+            if flusher is not None:
+                flusher.cancel()
+            await self._dispatch(key)
+        elif key not in self._flushers:
+            self._flushers[key] = asyncio.ensure_future(self._window(key))
+
+    async def _window(self, key: tuple) -> None:
+        """The micro-batching window: sleep, then dispatch the batch."""
+        try:
+            await asyncio.sleep(self.coalesce_ms / 1000.0)
+        except asyncio.CancelledError:
+            return
+        self._flushers.pop(key, None)
+        await self._dispatch(key)
+
+    async def _dispatch(self, key: tuple) -> None:
+        """Hand the waiting batch for ``key`` to the solve pool."""
+        batch = self._queues.pop(key, [])
+        if not batch:
+            return
+        self._batches += 1
+        n_runs = sum(p.n_runs for p in batch)
+        self._batched_runs += n_runs
+        self._largest_batch = max(self._largest_batch, n_runs)
+        if len(batch) > 1:
+            self._coalesced_batches += 1
+        loop = asyncio.get_running_loop()
+        try:
+            payloads = await loop.run_in_executor(
+                self._pool, self._solve_batch, batch
+            )
+        except Exception as exc:
+            # a failed solve must fail its waiters, never hang them --
+            # whatever the exception class
+            for p in batch:
+                if not p.future.done():
+                    p.future.set_exception(
+                        ServiceError(f"batched solve failed: {exc}")
+                    )
+            return
+        for p, payload in zip(batch, payloads):
+            if not p.future.done():
+                p.future.set_result(payload)
+
+    def _solve_batch(self, batch: list[_Pending]) -> list[dict]:
+        """One batched multi-RHS solve for every queued request.
+
+        Runs on a worker thread.  A single-run batch goes through
+        ``run``; anything larger is one ``sweep`` (sharded across
+        worker processes when large enough and ``jobs`` is set).
+        """
+        sim = batch[0].session.sim
+        inputs = [u for p in batch for u in p.inputs]
+        coalesced = len(batch) > 1
+        if len(inputs) == 1:
+            results = [sim.run(inputs[0])]
+        else:
+            jobs = (
+                self.jobs
+                if self.jobs and len(inputs) >= PARALLEL_SWEEP_MIN_COLUMNS
+                else None
+            )
+            sweep = sim.sweep(inputs, jobs=jobs)
+            results = list(sweep)
+        payloads = []
+        offset = 0
+        for p in batch:
+            runs = results[offset : offset + p.n_runs]
+            offset += p.n_runs
+            payloads.append(self._build_payload(p, runs, len(inputs), coalesced))
+        return payloads
+
+    def _build_payload(
+        self, pending: _Pending, runs: list, batch_runs: int, coalesced: bool
+    ) -> dict:
+        """Sample one request's runs into its response payload."""
+        request = pending.request
+        samples = request.get("samples")
+        if samples is not None:
+            samples = int(samples)
+        values_kind = request.get("values", "outputs")
+        fmt = request.get("format", "json")
+        sampled = []
+        for res in runs:
+            t = res.sample_times(samples) if samples else res.sample_times()
+            v = res.outputs(t) if values_kind == "outputs" else res.states(t)
+            sampled.append((t, np.asarray(v)))
+        info = _jsonable(dict(runs[0].info))
+        info["coalesced"] = coalesced
+        info["batch_runs"] = batch_runs
+        return {
+            "sampled": sampled,
+            "info": info,
+            "format": fmt,
+            "values": values_kind,
+        }
+
+    async def _stream_result(self, writer, rid, pending: _Pending, payload) -> None:
+        """Header line, chunked samples, done line.
+
+        Lines are buffered and flushed with one ``write``/``drain`` pair
+        per ``CHUNK_ROWS`` of samples -- a syscall per *chunk*, not per
+        protocol line, which matters at small-request load.
+        """
+        sampled = payload["sampled"]
+        fmt = payload["format"]
+        n_rows = int(sampled[0][0].size)
+        n_cols = int(sampled[0][1].shape[0])
+        buffered = [
+            json.dumps(
+                {
+                    "id": rid,
+                    "ok": True,
+                    "kind": "header",
+                    "runs": len(sampled),
+                    "rows": n_rows,
+                    "cols": n_cols,
+                    "info": payload["info"],
+                }
+            ).encode()
+        ]
+        for run_index, (t, v) in enumerate(sampled):
+            for lo in range(0, t.size, CHUNK_ROWS):
+                hi = min(lo + CHUNK_ROWS, t.size)
+                chunk: dict = {"id": rid, "kind": "chunk", "run": run_index}
+                if fmt == "json":
+                    chunk["t"] = t[lo:hi].tolist()
+                    chunk["values"] = v[:, lo:hi].tolist()
+                else:
+                    lines = []
+                    if lo == 0:
+                        names = [
+                            f"{payload['values'][:-1]}{j}" for j in range(v.shape[0])
+                        ]
+                        lines.append(",".join(["t"] + names))
+                    for k in range(lo, hi):
+                        lines.append(
+                            ",".join(
+                                [repr(float(t[k]))]
+                                + [repr(float(v[j, k])) for j in range(v.shape[0])]
+                            )
+                        )
+                    chunk["csv"] = "\n".join(lines) + "\n"
+                buffered.append(json.dumps(chunk).encode())
+                if hi - lo == CHUNK_ROWS:
+                    writer.write(b"\n".join(buffered) + b"\n")
+                    buffered = []
+                    await writer.drain()
+        latency_ms = (time.perf_counter() - pending.start) * 1e3
+        self._latencies.append(latency_ms)
+        buffered.append(
+            json.dumps(
+                {"id": rid, "kind": "done", "ok": True, "latency_ms": latency_ms}
+            ).encode()
+        )
+        writer.write(b"\n".join(buffered) + b"\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The daemon counters: caches, coalescing, queue, latency."""
+        bank = {
+            "entries": 0,
+            "nbytes": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "factorisations": 0,
+        }
+        for session in self._sessions.values():
+            s = session.sim.bank.stats()
+            for field_name in bank:
+                bank[field_name] += s[field_name]
+        ordered = sorted(self._latencies)
+        return {
+            "requests": self._requests,
+            "errors": self._errors,
+            "batches": self._batches,
+            "batched_runs": self._batched_runs,
+            "coalesced_batches": self._coalesced_batches,
+            "largest_batch": self._largest_batch,
+            "coalesce_ratio": (
+                self._batched_runs / self._batches if self._batches else 0.0
+            ),
+            "queue_depth": self._inflight,
+            "sessions": {
+                "entries": len(self._sessions),
+                "hits": self._session_hits,
+                "misses": self._session_misses,
+                "evictions": self._session_evictions,
+                "max_sessions": self.max_sessions,
+            },
+            "bank": bank,
+            "latency_ms": {
+                "count": len(ordered),
+                "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+                "p50": _percentile(ordered, 0.50),
+                "p99": _percentile(ordered, 0.99),
+            },
+        }
+
+
+async def _serve_async(service: SimulationService, *, announce) -> None:
+    await service.start()
+    if announce is not None:
+        announce(service)
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()
+
+
+def serve(announce=print, **kwargs) -> None:
+    """Run a :class:`SimulationService` until shutdown (blocking).
+
+    ``announce`` (default: print) receives the started service, so
+    callers binding ``port=0`` can learn the actual port; pass ``None``
+    to silence it.  Keyword arguments go to :class:`SimulationService`.
+    """
+    service = SimulationService(**kwargs)
+    if announce is print:
+        def announce(svc):  # noqa: F811 - the default banner
+            print(f"repro service listening on {svc.host}:{svc.port}", flush=True)
+
+    asyncio.run(_serve_async(service, announce=announce))
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for :class:`SimulationService`.
+
+    >>> client = ServiceClient("127.0.0.1", 7777)       # doctest: +SKIP
+    >>> out = client.simulate(netlist=deck, scale=2.0)  # doctest: +SKIP
+    >>> out["values"][0][-1]                            # doctest: +SKIP
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ------------------------------------------------------
+    def _round_trip(self, payload: dict) -> dict:
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        return self._read_line()
+
+    def _read_line(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        reply = json.loads(line)
+        if reply.get("kind") == "error" or reply.get("ok") is False:
+            raise ServiceError(reply.get("error", "service error"))
+        return reply
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return self._round_trip({"op": "ping"})["kind"] == "pong"
+
+    def stats(self) -> dict:
+        """Fetch the daemon's cache/coalescing/latency counters."""
+        return self._round_trip({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (pending batches finish first)."""
+        self._round_trip({"op": "shutdown"})
+
+    def simulate(self, **request) -> dict:
+        """One simulate round trip; assembles the chunked response.
+
+        Accepts the request schema fields (``netlist`` / ``system`` +
+        ``grid``, ``input``, ``scale`` / ``scales``, ``basis``,
+        ``backend``, ``outputs``, ``samples``, ``values``,
+        ``format``).  Returns a
+        dict with ``info``, ``latency_ms``, and either ``runs`` (a list
+        of ``{"t": [...], "values": [[...]]}`` per run, with ``t`` /
+        ``values`` aliased to the first run) or ``csv`` text.
+        """
+        request["op"] = "simulate"
+        header = self._round_trip(request)
+        if header.get("kind") != "header":
+            raise ServiceError(f"expected a header line, got {header!r}")
+        runs = [
+            {"t": [], "values": [[] for _ in range(header["cols"])], "csv": []}
+            for _ in range(header["runs"])
+        ]
+        while True:
+            reply = self._read_line()
+            kind = reply.get("kind")
+            if kind == "done":
+                break
+            if kind != "chunk":
+                raise ServiceError(f"expected a chunk line, got {reply!r}")
+            run = runs[reply.get("run", 0)]
+            if "csv" in reply:
+                run["csv"].append(reply["csv"])
+            else:
+                run["t"].extend(reply["t"])
+                for row, new in zip(run["values"], reply["values"]):
+                    row.extend(new)
+        out = {
+            "info": header["info"],
+            "rows": header["rows"],
+            "cols": header["cols"],
+            "latency_ms": reply["latency_ms"],
+        }
+        if runs and runs[0]["csv"]:
+            out["csv"] = "".join(part for run in runs for part in run["csv"])
+        else:
+            out["runs"] = [
+                {"t": run["t"], "values": run["values"]} for run in runs
+            ]
+            out["t"] = out["runs"][0]["t"]
+            out["values"] = out["runs"][0]["values"]
+        return out
+
+    def close(self) -> None:
+        """Close the socket (also via the context-manager protocol)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -33,6 +33,7 @@ input waveforms, frequency scans) should hold on to a session instead.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Iterable, Union
 
@@ -46,7 +47,7 @@ from ..core.result import MarchingResult, SimulationResult
 from ..errors import SolverError
 from . import assembly, kernels, marching
 from .array_api import KNOWN_ARRAY_BACKENDS
-from .backends import PencilBank, select_backend
+from .backends import PencilBank, pencil_fingerprint, select_backend
 from .bundle import OperatorBundle, resolve_basis
 from .inputs import project_input
 from .reduction import MOR_RESIDUAL_MARGIN, bind_reduction, equation_residual
@@ -547,6 +548,11 @@ class Simulator:
         self._backend_mode = backend
         self._default_input: InputLike | None = None
         self._runs = 0
+        # one session = one solve at a time: run/sweep/march serialise
+        # here, so threads (and the serve daemon's worker pool) can
+        # share a warm session without interleaving plan/bank state.
+        # Reentrant because march() drives run() internally.
+        self._lock = threading.RLock()
 
         self._reduction = None
         self._mor_info: dict = {}
@@ -681,6 +687,72 @@ class Simulator:
     def runs(self) -> int:
         """Number of :meth:`run` / :meth:`sweep` calls served so far."""
         return self._runs
+
+    @property
+    def bank(self) -> PencilBank:
+        """The session's pencil factorisation cache."""
+        return self._plan.bank
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Content key identifying this session's solve configuration.
+
+        Two sessions fingerprint equal exactly when they perform the
+        same arithmetic: equal system content (pencil, input matrix,
+        initial state, fractional order / term structure), equal basis
+        (via :meth:`OperatorBundle.fingerprint
+        <repro.engine.bundle.OperatorBundle.fingerprint>`), and equal
+        solve settings.  The ``serve`` daemon keys its cross-request
+        session cache -- and therefore its request coalescing -- on
+        this value.
+        """
+        system = self._system
+        # the output map changes what a run returns, so sessions with
+        # different C/D must never unify in a fingerprint-keyed cache
+        C = getattr(system, "C", None)
+        D = getattr(system, "D", None)
+        output_key = (
+            None if C is None else pencil_fingerprint(C),
+            None if D is None else pencil_fingerprint(D),
+        )
+        if isinstance(system, MultiTermSystem):
+            system_key: tuple = (
+                "multiterm",
+                tuple(
+                    (float(alpha_k), pencil_fingerprint(matrix))
+                    for alpha_k, matrix in system.terms
+                ),
+                pencil_fingerprint(system.B),
+                output_key,
+            )
+        else:
+            system_key = (
+                type(system).__name__,
+                float(getattr(system, "alpha", 1.0)),
+                pencil_fingerprint(system.E, system.A),
+                pencil_fingerprint(system.B),
+                None if system.x0 is None else system.x0.tobytes(),
+                output_key,
+            )
+        return (
+            system_key,
+            self._bundle.fingerprint(),
+            self._adaptive_method,
+            self._history,
+            self._backend_mode,
+        )
+
+    def limit_cache(
+        self, *, max_entries: int | None = None, max_bytes: int | None = None
+    ) -> "Simulator":
+        """Bound the session's pencil cache (see :meth:`PencilBank.limit
+        <repro.engine.backends.PencilBank.limit>`).  Returns ``self``."""
+        self._plan.bank.limit(max_entries=max_entries, max_bytes=max_bytes)
+        if self._full_plan is not None:
+            self._full_plan.bank.limit(
+                max_entries=max_entries, max_bytes=max_bytes
+            )
+        return self
 
     # ------------------------------------------------------------------
     # default input
@@ -822,17 +894,18 @@ class Simulator:
         whether the pencil cache was already warm.
         """
         u = self._resolve_input(u)
-        warm = self.is_warm
-        start = time.perf_counter()
-        U = self.project(u)
-        X_solver, mor = self._solve_encoded(self._encode_inputs(U))
-        X = self._decode_states(X_solver)
-        wall = time.perf_counter() - start
-        self._runs += 1
-        info = self._finalise_info(self._plan.info())
-        info["warm"] = warm
-        if mor is not None:
-            info["mor"] = mor
+        with self._lock:
+            warm = self.is_warm
+            start = time.perf_counter()
+            U = self.project(u)
+            X_solver, mor = self._solve_encoded(self._encode_inputs(U))
+            X = self._decode_states(X_solver)
+            wall = time.perf_counter() - start
+            self._runs += 1
+            info = self._finalise_info(self._plan.info())
+            info["warm"] = warm
+            if mor is not None:
+                info["mor"] = mor
         return SimulationResult(
             self._basis, X, self._system, U, wall_time=wall, info=info
         )
@@ -883,18 +956,19 @@ class Simulator:
         threshold = PARALLEL_SWEEP_MIN_COLUMNS if min_columns is None else min_columns
         if jobs is not None and int(jobs) > 1 and len(inputs) >= threshold:
             return self._sweep_sharded(inputs, int(jobs), parallel)
-        warm = self.is_warm
-        start = time.perf_counter()
-        U = np.stack([self.project(u) for u in inputs])  # (k, p, m)
-        X_solver, mor = self._solve_encoded(self._encode_inputs(U))
-        X = self._decode_states(X_solver)  # (n, m, k)
-        wall = time.perf_counter() - start
-        self._runs += 1
-        info = self._finalise_info(self._plan.info())
-        info["warm"] = warm
-        info["batch"] = len(inputs)
-        if mor is not None:
-            info["mor"] = mor
+        with self._lock:
+            warm = self.is_warm
+            start = time.perf_counter()
+            U = np.stack([self.project(u) for u in inputs])  # (k, p, m)
+            X_solver, mor = self._solve_encoded(self._encode_inputs(U))
+            X = self._decode_states(X_solver)  # (n, m, k)
+            wall = time.perf_counter() - start
+            self._runs += 1
+            info = self._finalise_info(self._plan.info())
+            info["warm"] = warm
+            info["batch"] = len(inputs)
+            if mor is not None:
+                info["mor"] = mor
         return SweepResult(
             self._basis,
             np.moveaxis(X, 2, 0),
@@ -1050,9 +1124,10 @@ class Simulator:
         >>> bool(abs(long.states([9.9])[0, 0] - 1.0) < 1e-3)
         True
         """
-        result = marching.march(self, self._resolve_input(u), t_end, events=events)
-        if self._reduction is not None:
-            result = self._lift_marching(result)
+        with self._lock:
+            result = marching.march(self, self._resolve_input(u), t_end, events=events)
+            if self._reduction is not None:
+                result = self._lift_marching(result)
         return result
 
     def _lift_marching(self, result: MarchingResult) -> MarchingResult:

@@ -19,6 +19,8 @@ The hierarchy mirrors the package layout:
   (``repro.circuits.netlist``).
 * :class:`EnsembleError` -- invalid ensemble specifications or failed
   ensemble members (``repro.engine.executor``).
+* :class:`ServiceError` -- malformed simulation-service requests or
+  daemon failures (``repro.engine.service``).
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ __all__ = [
     "NetlistError",
     "ConvergenceError",
     "EnsembleError",
+    "ServiceError",
 ]
 
 
@@ -118,3 +121,12 @@ class EnsembleError(ReproError):
     def member_index(self) -> int | None:
         """Index of the first failing ensemble member (or ``None``)."""
         return self.member_indices[0] if self.member_indices else None
+
+
+class ServiceError(ReproError):
+    """Raised for malformed simulation-service requests or daemon failures.
+
+    Examples: a request naming neither a netlist nor a system spec, an
+    unknown operation, a malformed system matrix payload, or a client
+    protocol violation (``repro.engine.service``).
+    """

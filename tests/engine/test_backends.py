@@ -12,7 +12,7 @@ from repro.engine import (
     pencil_fingerprint,
     select_backend,
 )
-from repro.engine.backends import SPARSE_SIZE_THRESHOLD
+from repro.engine.backends import SPARSE_SIZE_THRESHOLD, handle_nbytes
 from repro.errors import SolverError
 
 
@@ -153,6 +153,164 @@ class TestPencilBank:
         E = np.diag([2.0, 3.0])
         bank = PencilBank(select_backend(E, -np.eye(2)))
         np.testing.assert_allclose(bank.apply_E(np.ones(2)), [2.0, 3.0])
+
+
+class TestPencilBankLRU:
+    """Bounded-cache behaviour: eviction order, byte accounting, counters."""
+
+    @staticmethod
+    def make_bank(**bounds) -> PencilBank:
+        return PencilBank(select_backend(np.eye(2), -np.eye(2)), **bounds)
+
+    def test_unbounded_by_default(self):
+        bank = self.make_bank()
+        for sigma in range(1, 9):
+            bank.solve(float(sigma), np.ones(2))
+        assert bank.entries == 8
+        assert bank.evictions == 0
+        assert bank.max_entries is None and bank.max_bytes is None
+
+    def test_evicts_least_recently_used_first(self):
+        bank = self.make_bank(max_entries=2)
+        bank.solve(1.0, np.ones(2))
+        bank.solve(2.0, np.ones(2))
+        bank.solve(3.0, np.ones(2))  # evicts sigma=1
+        assert bank.cached_shifts == [(0, 2.0), (0, 3.0)]
+        assert bank.evictions == 1
+        bank.solve(1.0, np.ones(2))  # re-factorise; evicts sigma=2
+        assert bank.cached_shifts == [(0, 3.0), (0, 1.0)]
+        assert bank.evictions == 2
+
+    def test_hit_refreshes_recency(self):
+        bank = self.make_bank(max_entries=2)
+        bank.solve(1.0, np.ones(2))
+        bank.solve(2.0, np.ones(2))
+        bank.solve(1.0, np.ones(2))  # hit: sigma=1 becomes most recent
+        bank.solve(3.0, np.ones(2))  # evicts sigma=2, not sigma=1
+        assert bank.cached_shifts == [(0, 1.0), (0, 3.0)]
+
+    def test_factorisation_count_is_monotone_across_eviction(self):
+        bank = self.make_bank(max_entries=1)
+        bank.solve(1.0, np.ones(2))
+        bank.solve(2.0, np.ones(2))
+        bank.solve(1.0, np.ones(2))  # evicted earlier: counts again
+        assert bank.factorisations == 3
+        assert bank.entries == 1
+
+    def test_hit_miss_counters(self):
+        bank = self.make_bank(max_entries=1)
+        bank.solve(1.0, np.ones(2))
+        bank.solve(1.0, np.ones(2))
+        bank.solve(2.0, np.ones(2))
+        bank.solve(1.0, np.ones(2))  # was evicted: a miss again
+        assert (bank.hits, bank.misses, bank.evictions) == (1, 3, 2)
+
+    @pytest.mark.parametrize("mode", ["dense", "sparse", "numpy"])
+    def test_nbytes_tracks_handle_estimates(self, mode):
+        n = 16
+        bank = PencilBank(select_backend(np.eye(n), -tridiag(n).toarray(), mode=mode))
+        assert bank.nbytes == 0
+        bank.solve(1.0, np.ones(n))
+        first = bank.nbytes
+        assert first > 0
+        bank.solve(2.0, np.ones(n))
+        assert bank.nbytes > first
+        bank.limit(max_entries=1)
+        assert bank.nbytes < 2 * first + 1  # one handle's worth remains
+
+    def test_max_bytes_bound_evicts(self):
+        n = 8
+        backend = select_backend(np.eye(n), -np.eye(n), mode="dense")
+        one_handle = handle_nbytes(backend.factorize(1.0), n)
+        bank = PencilBank(backend, max_bytes=int(1.5 * one_handle))
+        bank.solve(1.0, np.ones(n))
+        assert bank.entries == 1
+        bank.solve(2.0, np.ones(n))  # two handles exceed the budget
+        assert bank.entries == 1
+        assert bank.cached_shifts == [(0, 2.0)]
+        assert bank.evictions == 1
+        assert bank.nbytes <= bank.max_bytes
+
+    def test_in_flight_handle_survives_tight_byte_budget(self):
+        # a bound tighter than a single handle shrinks the cache to that
+        # one handle but never refuses the solve in flight
+        bank = self.make_bank(max_bytes=1)
+        x = bank.solve(1.0, np.ones(2))
+        np.testing.assert_allclose(x, 0.5 * np.ones(2))
+        assert bank.entries == 1
+        bank.solve(2.0, np.ones(2))
+        assert bank.entries == 1
+        assert bank.cached_shifts == [(0, 2.0)]
+
+    def test_limit_rebounds_populated_bank(self):
+        bank = self.make_bank()
+        for sigma in range(1, 6):
+            bank.solve(float(sigma), np.ones(2))
+        assert bank.entries == 5
+        bank.limit(max_entries=2)
+        assert bank.entries == 2
+        assert bank.cached_shifts == [(0, 4.0), (0, 5.0)]
+        assert bank.evictions == 3
+
+    def test_limit_validates(self):
+        with pytest.raises(SolverError, match="max_entries"):
+            self.make_bank(max_entries=0)
+        with pytest.raises(SolverError, match="max_bytes"):
+            self.make_bank().limit(max_bytes=-1)
+
+    def test_eviction_spans_stamps(self):
+        # LRU order is global across stamps, not per stamp
+        E = np.eye(2)
+        bank = PencilBank(select_backend(E, -np.eye(2)), max_entries=2)
+        bank.solve(1.0, np.ones(2))
+        bank.restamp(select_backend(E, -3.0 * np.eye(2)))
+        bank.solve(1.0, np.ones(2))
+        bank.solve(2.0, np.ones(2))  # evicts (stamp 0, sigma 1)
+        assert bank.cached_shifts == [(1, 1.0), (1, 2.0)]
+        # revisiting the evicted stamp-0 shift re-factorises correctly
+        bank.use(0)
+        np.testing.assert_allclose(bank.solve(1.0, np.ones(2)), 0.5 * np.ones(2))
+        assert bank.factorisations == 4
+
+    def test_stats_dict(self):
+        bank = self.make_bank(max_entries=4)
+        bank.solve(1.0, np.ones(2))
+        bank.solve(1.0, np.ones(2))
+        stats = bank.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["evictions"] == 0
+        assert stats["factorisations"] == 1
+        assert stats["stamps"] == 1
+        assert stats["max_entries"] == 4 and stats["max_bytes"] is None
+        assert stats["nbytes"] == bank.nbytes > 0
+
+
+class TestHandleNbytes:
+    def test_dense_lu_pair(self):
+        backend = DenseBackend(np.eye(8), -np.eye(8))
+        handle = backend.factorize(1.0)
+        expected = handle[0].nbytes + handle[1].nbytes
+        assert handle_nbytes(handle, 8) == expected
+
+    def test_superlu_counts_factors_and_permutations(self):
+        n = 32
+        backend = SparseBackend(sp.identity(n, format="csc"), tridiag(n))
+        handle = backend.factorize(1.0)
+        nbytes = handle_nbytes(handle, n)
+        csc_parts = sum(
+            factor.data.nbytes + factor.indices.nbytes + factor.indptr.nbytes
+            for factor in (handle.L, handle.U)
+        )
+        assert nbytes == csc_parts + 2 * n * np.dtype(np.intc).itemsize
+
+    def test_array_api_inverse(self):
+        backend = select_backend(np.eye(4), -np.eye(4), mode="numpy")
+        handle = backend.factorize(1.0)
+        assert handle_nbytes(handle, 4) == 4 * 4 * 8
+
+    def test_unknown_handle_falls_back_dense(self):
+        assert handle_nbytes(object(), 10) == 10 * 10 * 8
 
 
 class TestPencilFingerprint:

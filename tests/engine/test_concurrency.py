@@ -1,0 +1,151 @@
+"""Concurrent-session safety: shared simulators and pencil banks.
+
+The service daemon hands one warm :class:`Simulator` to a pool of
+solve threads, so a session object and its :class:`PencilBank` must
+tolerate concurrent use: results bit-identical to the sequential
+ones, cache counters consistent, bounds respected -- no torn
+factorisations, no corrupted LRU order.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.engine import PencilBank, Simulator, select_backend
+
+DECK = """
+I1 0 n1 SIN(0 1m 2k)
+R1 n1 n2 1k
+C1 n1 0 1u
+R2 n2 0 1k
+C2 n2 0 1u
+.tran 20u 2m
+"""
+
+SCALES = [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5]
+
+
+def scaled(u, s):
+    return lambda t, _u=u, _s=s: _s * np.asarray(_u(t))
+
+
+class TestSharedSimulator:
+    def test_concurrent_runs_bit_identical_to_sequential(self):
+        sim = Simulator.from_netlist(DECK)
+        u = sim.bound_input
+
+        reference = {}
+        for s in SCALES:
+            res = sim.run(scaled(u, s))
+            t = res.sample_times(32)
+            reference[s] = res.outputs(t)
+
+        def run_one(s):
+            res = sim.run(scaled(u, s))
+            return s, res.outputs(res.sample_times(32))
+
+        # several passes so thread interleavings actually overlap
+        for _ in range(3):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                outs = dict(pool.map(run_one, SCALES))
+            for s in SCALES:
+                np.testing.assert_array_equal(outs[s], reference[s])
+        assert sim.factorisations == 1, "shared session re-factorised its pencil"
+
+    def test_concurrent_sweep_and_run_agree(self):
+        sim = Simulator.from_netlist(DECK)
+        u = sim.bound_input
+        inputs = [scaled(u, s) for s in SCALES]
+
+        ref_sweep = [
+            r.outputs(r.sample_times(16)) for r in sim.sweep(inputs)
+        ]
+        ref_run = sim.run(u)
+        ref_run_values = ref_run.outputs(ref_run.sample_times(16))
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def do_sweep():
+            barrier.wait()
+            results["sweep"] = [
+                r.outputs(r.sample_times(16)) for r in sim.sweep(inputs)
+            ]
+
+        def do_run():
+            barrier.wait()
+            res = sim.run(u)
+            results["run"] = res.outputs(res.sample_times(16))
+
+        threads = [
+            threading.Thread(target=do_sweep),
+            threading.Thread(target=do_run),
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=60)
+        assert set(results) == {"sweep", "run"}
+        np.testing.assert_array_equal(results["run"], ref_run_values)
+        for got, want in zip(results["sweep"], ref_sweep):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestSharedBank:
+    def test_bounded_bank_concurrent_solves_stay_consistent(self):
+        rng = np.random.default_rng(7)
+        n = 24
+        E = np.eye(n)
+        A = -(np.diag(2.0 * np.ones(n)) - np.diag(np.ones(n - 1), 1))
+        rhs = rng.standard_normal((n, 3))
+        sigmas = [1.0, 2.0, 3.0, 4.0]
+
+        reference_bank = PencilBank(select_backend(E, A))
+        reference = {s: reference_bank.solve(s, rhs) for s in sigmas}
+
+        bank = PencilBank(select_backend(E, A), max_entries=2)
+        calls_per_thread = 50
+        mismatches = []
+
+        def pound(seed):
+            for k in range(calls_per_thread):
+                s = sigmas[(seed + k) % len(sigmas)]
+                got = bank.solve(s, rhs)
+                if not np.array_equal(got, reference[s]):
+                    mismatches.append(s)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(pound, range(8)))
+
+        assert not mismatches, f"corrupted solves for sigmas {set(mismatches)}"
+        stats = bank.stats()
+        total = 8 * calls_per_thread
+        assert stats["hits"] + stats["misses"] == total
+        assert stats["entries"] <= 2
+        assert stats["evictions"] == stats["factorisations"] - stats["entries"]
+
+    def test_unbounded_bank_concurrent_distinct_sigmas(self):
+        n = 16
+        E = np.eye(n)
+        A = -np.eye(n)
+        rhs = np.ones(n)
+        bank = PencilBank(select_backend(E, A))
+
+        def solve_many(base):
+            # four threads share four sigmas: every pencil is fought over
+            for k in range(40):
+                s = 1.0 + (base + k) % 4
+                x = bank.solve(s, rhs)
+                expected = 1.0 / (s + 1.0)
+                assert np.allclose(x, expected)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(solve_many, range(4)))
+
+        stats = bank.stats()
+        assert stats["entries"] == 4
+        # each distinct sigma factorised exactly once: concurrent
+        # misses must not duplicate factorisations
+        assert stats["factorisations"] == 4
+        assert stats["hits"] + stats["misses"] == 160

@@ -1,0 +1,288 @@
+"""Tests for the simulation service daemon and its client.
+
+Each test boots a real :class:`SimulationService` on an ephemeral port
+in a background thread and talks to it over TCP through
+:class:`ServiceClient` -- the protocol, the coalescing scheduler, the
+session LRU, and the stats endpoint are all exercised end to end.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.engine import Simulator
+from repro.engine.service import ServiceClient, SimulationService, serve
+from repro.errors import ServiceError
+
+DECK = """
+I1 0 n1 1m
+R1 n1 0 1k
+C1 n1 0 1u
+.tran 50u 5m
+"""
+
+DECK_FAST = """
+I1 0 n1 1m
+R1 n1 0 1k
+C1 n1 0 100n
+.tran 50u 5m
+"""
+
+SYSTEM_SPEC = {"E": [[1.0]], "A": [[-1.0]], "B": [[1.0]]}
+
+
+class ServiceHandle:
+    """A live daemon in a background thread plus cleanup."""
+
+    def __init__(self, **kwargs):
+        self._started = threading.Event()
+        self.service = None
+
+        def announce(svc):
+            self.service = svc
+            self._started.set()
+
+        self.thread = threading.Thread(
+            target=serve, kwargs={"announce": announce, "port": 0, **kwargs},
+            daemon=True,
+        )
+        self.thread.start()
+        assert self._started.wait(15), "service failed to start"
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, **kwargs)
+
+    def stop(self):
+        try:
+            with self.client(timeout=10) as c:
+                c.shutdown()
+        except (OSError, ServiceError):
+            pass
+        self.thread.join(timeout=15)
+
+
+@pytest.fixture
+def daemon():
+    handle = ServiceHandle(coalesce_ms=1.0)
+    yield handle
+    handle.stop()
+
+
+def direct_values(deck=DECK, scale=1.0, samples=None):
+    """The same request computed directly, for bit-identity checks."""
+    sim = Simulator.from_netlist(deck)
+    u = sim.bound_input
+    if scale != 1.0:
+        base = u
+        u = lambda t: scale * np.asarray(base(t))
+    res = sim.run(u)
+    t = res.sample_times(samples) if samples else res.sample_times()
+    return t, res.outputs(t)
+
+
+class TestProtocol:
+    def test_ping_and_stats(self, daemon):
+        with daemon.client() as c:
+            assert c.ping()
+            stats = c.stats()
+        assert stats["requests"] == 0
+        assert stats["sessions"]["entries"] == 0
+        assert {"p50", "p99", "mean", "count"} <= set(stats["latency_ms"])
+
+    def test_netlist_simulate_bit_identical_to_direct(self, daemon):
+        with daemon.client() as c:
+            out = c.simulate(netlist=DECK)
+        t_direct, v_direct = direct_values()
+        assert out["info"]["coalesced"] is False
+        np.testing.assert_array_equal(np.asarray(out["t"]), t_direct)
+        np.testing.assert_array_equal(np.asarray(out["values"]), v_direct)
+
+    def test_warm_request_bit_identical_to_cold(self, daemon):
+        with daemon.client() as c:
+            cold = c.simulate(netlist=DECK, scale=2.0)
+            warm = c.simulate(netlist=DECK, scale=2.0)
+            stats = c.stats()
+        assert cold["info"]["warm"] is False
+        assert warm["info"]["warm"] is True
+        np.testing.assert_array_equal(
+            np.asarray(cold["values"]), np.asarray(warm["values"])
+        )
+        assert stats["sessions"]["hits"] >= 1
+        assert stats["sessions"]["misses"] == 1
+        assert stats["bank"]["hits"] >= 1
+
+    def test_system_spec_request(self, daemon):
+        with daemon.client() as c:
+            out = c.simulate(system=SYSTEM_SPEC, grid=[5.0, 100], input=1.0)
+        from repro.core import DescriptorSystem
+
+        sim = Simulator(DescriptorSystem([[1.0]], [[-1.0]], [[1.0]]), (5.0, 100))
+        res = sim.run(1.0)
+        t = res.sample_times()
+        np.testing.assert_array_equal(np.asarray(out["values"]), res.outputs(t))
+
+    def test_sweep_request_many_scales(self, daemon):
+        scales = [0.5, 1.0, 2.0]
+        with daemon.client() as c:
+            out = c.simulate(netlist=DECK, scales=scales, samples=16)
+        assert len(out["runs"]) == 3
+        for scale, run in zip(scales, out["runs"]):
+            t_direct, v_direct = direct_values(scale=scale, samples=16)
+            np.testing.assert_allclose(
+                np.asarray(run["values"]), v_direct, rtol=1e-12, atol=1e-15
+            )
+        # linearity sanity: the x2 run is exactly 4x the x0.5 run
+        np.testing.assert_allclose(
+            np.asarray(out["runs"][2]["values"]),
+            4.0 * np.asarray(out["runs"][0]["values"]),
+            rtol=1e-12,
+        )
+
+    def test_csv_format(self, daemon):
+        with daemon.client() as c:
+            out = c.simulate(netlist=DECK, samples=8, format="csv")
+        lines = out["csv"].strip().splitlines()
+        assert lines[0].startswith("t,")
+        assert len(lines) == 1 + 8
+        t_direct, v_direct = direct_values(samples=8)
+        first = [float(x) for x in lines[1].split(",")]
+        assert first[0] == t_direct[0]
+        assert first[1] == v_direct[0, 0]
+
+    def test_outputs_selector_narrows_columns(self, daemon):
+        deck = """
+        I1 0 n1 1m
+        R1 n1 n2 1k
+        C1 n1 0 1u
+        R2 n2 0 1k
+        C2 n2 0 1u
+        .tran 50u 5m
+        """
+        with daemon.client() as c:
+            both = c.simulate(netlist=deck, samples=8)
+            only_n2 = c.simulate(netlist=deck, outputs=["n2"], samples=8)
+            stats = c.stats()
+        assert both["cols"] == 2
+        assert only_n2["cols"] == 1
+        # different output maps must never share a session: the C
+        # matrix is part of the session fingerprint
+        assert stats["sessions"]["entries"] == 2
+        sim = Simulator.from_netlist(deck, outputs=["n2"])
+        res = sim.run(sim.bound_input)
+        t = res.sample_times(8)
+        np.testing.assert_array_equal(
+            np.asarray(only_n2["values"]), res.outputs(t)
+        )
+
+    def test_bad_requests_fail_cleanly(self, daemon):
+        with daemon.client() as c:
+            with pytest.raises(ServiceError, match="exactly one of"):
+                c.simulate(scale=1.0)
+            with pytest.raises(ServiceError, match="grid"):
+                c.simulate(system=SYSTEM_SPEC, input=1.0)
+            with pytest.raises(ServiceError, match="format"):
+                c.simulate(netlist=DECK, format="xml")
+            with pytest.raises(ServiceError, match="unknown op"):
+                c._round_trip({"op": "explode"})
+            with pytest.raises(ServiceError, match="netlist requests only"):
+                c.simulate(
+                    system=SYSTEM_SPEC, grid=[5.0, 100], input=1.0,
+                    outputs=["n1"],
+                )
+            # the connection survives an error line
+            assert c.ping()
+            assert c.stats()["errors"] == 5
+
+
+class TestCoalescing:
+    def test_concurrent_same_deck_requests_coalesce(self):
+        handle = ServiceHandle(coalesce_ms=150.0, max_batch=64)
+        try:
+            scales = [0.5 + 0.25 * i for i in range(8)]
+
+            def one(scale):
+                with handle.client() as c:
+                    return scale, c.simulate(netlist=DECK, scale=scale, samples=16)
+
+            # prime the session cache so the batch isn't serialised
+            # behind the parse/assemble of a cold session
+            with handle.client() as c:
+                c.simulate(netlist=DECK, samples=4)
+            with ThreadPoolExecutor(max_workers=len(scales)) as pool:
+                outs = list(pool.map(one, scales))
+            with handle.client() as c:
+                stats = c.stats()
+        finally:
+            handle.stop()
+        assert stats["coalesced_batches"] >= 1
+        assert stats["largest_batch"] >= 2
+        assert stats["coalesce_ratio"] > 1.0
+        for scale, out in outs:
+            t_direct, v_direct = direct_values(scale=scale, samples=16)
+            np.testing.assert_allclose(
+                np.asarray(out["values"]), v_direct, rtol=1e-12, atol=1e-15
+            )
+
+    def test_max_batch_dispatches_early(self):
+        handle = ServiceHandle(coalesce_ms=10_000.0, max_batch=4)
+        try:
+            # a sweep request alone carries max_batch columns: the
+            # window must not wait 10 s before dispatching
+            with handle.client() as c:
+                out = c.simulate(netlist=DECK, scales=[1.0, 2.0, 3.0, 4.0],
+                                 samples=4)
+                stats = c.stats()
+        finally:
+            handle.stop()
+        assert len(out["runs"]) == 4
+        assert stats["batches"] == 1
+
+
+class TestSessionLRU:
+    def test_distinct_decks_get_distinct_sessions(self, daemon):
+        with daemon.client() as c:
+            c.simulate(netlist=DECK, samples=4)
+            c.simulate(netlist=DECK_FAST, samples=4)
+            stats = c.stats()
+        assert stats["sessions"]["entries"] == 2
+        assert stats["sessions"]["misses"] == 2
+
+    def test_lru_eviction_of_cold_sessions(self):
+        handle = ServiceHandle(coalesce_ms=1.0, max_sessions=1)
+        try:
+            with handle.client() as c:
+                c.simulate(netlist=DECK, samples=4)
+                c.simulate(netlist=DECK_FAST, samples=4)  # evicts DECK
+                stats_mid = c.stats()
+                out = c.simulate(netlist=DECK, samples=4)  # rebuilt, cold
+                stats_end = c.stats()
+        finally:
+            handle.stop()
+        assert stats_mid["sessions"]["entries"] == 1
+        assert stats_mid["sessions"]["evictions"] == 1
+        assert out["info"]["warm"] is False
+        assert stats_end["sessions"]["misses"] == 3
+
+    def test_bank_bytes_bound_applied(self):
+        handle = ServiceHandle(coalesce_ms=1.0, bank_entries=1)
+        try:
+            with handle.client() as c:
+                c.simulate(netlist=DECK, samples=4)
+                stats = c.stats()
+        finally:
+            handle.stop()
+        assert stats["bank"]["entries"] <= 1
+
+
+class TestServiceConstruction:
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ServiceError, match="max_batch"):
+            SimulationService(max_batch=0)
+        with pytest.raises(ServiceError, match="max_sessions"):
+            SimulationService(max_sessions=0)

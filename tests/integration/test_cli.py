@@ -669,3 +669,25 @@ class TestEnsembleCli:
         assert code == 0
         assert "swept 16 scaled inputs" in out
         assert "across 2 serial worker(s)" in out
+
+
+class TestServiceCli:
+    """Error paths of the serve/client subcommand front door."""
+
+    def test_client_unreachable_service_reports_error(self, capsys):
+        # nothing listens on the discard port; the client must say so
+        code = run(["client", "--port", "9", "--ping"])
+        assert code == 1
+        assert "cannot reach the service" in capsys.readouterr().err
+
+    def test_client_broken_stdout_pipe_exits_quietly(self, monkeypatch, capsys):
+        """EPIPE on stdout (output piped into ``head``) is not a service
+        failure: conventional SIGPIPE status, no misleading message."""
+        import repro.__main__ as cli
+
+        def raise_epipe(rest):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(cli, "_run_client", raise_epipe)
+        assert run(["client", "--ping"]) == 141
+        assert "cannot reach" not in capsys.readouterr().err
