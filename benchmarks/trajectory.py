@@ -10,12 +10,14 @@ Required claims (the engine's headline numbers across PRs):
 
 * ``warm_session_speedup``    >= 5.0   (PR 1: cached sessions)
 * ``batched_sweep_speedup``   >= 3.0   (PR 1: batched multi-RHS sweeps)
-* ``windowed_march_speedup``  >= 1.6   (PR 2: windowed marching,
-  recalibrated -- see WINDOWED_MARCH_FLOOR in bench_scaling.py)
+* ``windowed_march_speedup``  >= 1.8   (PR 2: windowed marching,
+  recalibrated twice -- see WINDOWED_MARCH_FLOOR in bench_scaling.py)
 * ``parallel_ensemble_speedup`` >= 2.5 (PR 5: parallel ensembles)
 * ``cross_basis_coefficient_ratio`` >= 10.0 (PR 3: spectral bases)
 * ``mor_reduced_sweep``       >= 5.0   (PR 6: certified reduced plans)
 * ``service_coalesced_throughput`` >= 3.0 (PR 7: the coalescing daemon)
+* ``soe_long_march``          >= 3.0   (PR 8: compressed fractional
+  memory -- sum-of-exponentials tail with certified error)
 
 With ``--enforce``, claims must also reach their *enforcement floor*
 -- exactly the ratio the owning benchmark asserts itself, so the guard
@@ -52,18 +54,20 @@ OUT_DIR = Path(__file__).parent / "out"
 #: says ``enforced: false``).  The floor mirrors exactly what each
 #: benchmark itself asserts, so the guard never flakes where the bench
 #: would pass, and every target now equals its floor: the windowed
-#: march claims 1.6x, recalibrated on nine measured single-core runs
-#: spanning 1.73-2.20x (the old 1.9x target sat above two of them --
-#: see WINDOWED_MARCH_FLOOR in bench_scaling.py); the others claim
-#: the ratios their benchmarks assert.
+#: march claims 1.8x over a 30x horizon, recalibrated after the PR 8
+#: per-column kernel fast path sped the single giant-window baseline
+#: past the old 10x-horizon shape (five measured runs span
+#: 2.33-2.50x -- see WINDOWED_MARCH_FLOOR in bench_scaling.py); the
+#: others claim the ratios their benchmarks assert.
 REQUIRED_CLAIMS = (
     ("warm_session_speedup", 5.0, 5.0),
     ("batched_sweep_speedup", 3.0, 3.0),
-    ("windowed_march_speedup", 1.6, 1.6),
+    ("windowed_march_speedup", 1.8, 1.8),
     ("parallel_ensemble_speedup", 2.5, 2.5),
     ("cross_basis_coefficient_ratio", 10.0, 10.0),
     ("mor_reduced_sweep", 5.0, 5.0),
     ("service_coalesced_throughput", 3.0, 3.0),
+    ("soe_long_march", 3.0, 3.0),
 )
 
 

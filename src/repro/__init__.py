@@ -83,6 +83,7 @@ from .errors import (
     BasisError,
     ConvergenceError,
     EnsembleError,
+    MemoryCompressionError,
     ModelError,
     NetlistError,
     OperationalMatrixError,
@@ -151,6 +152,7 @@ __all__ = [
     "ConvergenceError",
     "NetlistError",
     "EnsembleError",
+    "MemoryCompressionError",
     "ServiceError",
     # netlist front end (served lazily, see __getattr__)
     "Netlist",

@@ -72,6 +72,16 @@ residual error bound -- exceeding it falls back to the full model.
 
     python -m repro grid.sp --t-end 1e-8 --steps 200 --reduce auto
 
+``--memory soe`` (or a deck's ``.options memory=soe`` card) compresses
+the fractional power-law history tail into a certified
+sum-of-exponentials recurrence, making long windowed marches
+linear-time in the horizon; the kernel fit is certified against a
+computable relative error bound (``--memory-rtol``, default 1e-10) and
+falls back to the exact tail when the bound cannot be met::
+
+    python -m repro cpe.sp --t-end 1.0 --steps 3000 --windows 100 \\
+        --memory soe
+
 Two subcommands run the simulation *service* instead of a one-shot
 analysis (see :mod:`repro.engine.service`)::
 
@@ -229,6 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of block moments for --reduce (implies reduction "
         "when --reduce is unset; default 12)",
     )
+    parser.add_argument(
+        "--memory",
+        choices=("exact", "soe"),
+        default=None,
+        help="fractional-memory mode: 'soe' compresses the power-law "
+        "history tail into a certified sum-of-exponentials recurrence "
+        "(linear-time long-horizon marching; falls back to exact when "
+        "the fit cannot be certified), 'exact' disables a deck's "
+        ".options memory= card (default: .options memory, else exact)",
+    )
+    parser.add_argument(
+        "--memory-rtol",
+        type=float,
+        default=None,
+        metavar="TOL",
+        help="certified relative L1 bound the SOE kernel fit must meet "
+        "(implies --memory soe when unset; default 1e-10)",
+    )
     parser.add_argument("--csv", type=Path, help="write all samples to this CSV file")
     parser.add_argument(
         "--ac-csv",
@@ -269,6 +297,21 @@ def _all_sample_times(result) -> np.ndarray:
     return sampler() if sampler is not None else result.times
 
 
+def _print_memory(info: dict) -> None:
+    """Report the fractional-memory compression outcome, if any."""
+    mem = info.get("memory") or {}
+    if mem.get("mode") == "soe":
+        print(
+            f"compressed memory: {mem['modes']} exponential modes, "
+            f"certified bound {mem['bound']:.2e} (rtol {mem['rtol']:g})"
+        )
+    elif mem.get("fallback"):
+        print(
+            f"compressed memory: fit bound {mem['bound']:.2e} missed "
+            f"rtol {mem['rtol']:g}; fell back to the exact history tail"
+        )
+
+
 def _run_single(args, netlist, system, outputs) -> int:
     if args.method in ("opm", "opm-windowed"):
         result = simulate_opm(
@@ -278,8 +321,14 @@ def _run_single(args, netlist, system, outputs) -> int:
             basis=args.basis,
             backend=args.backend,
             reduce=args.reduce_plan,
+            memory=args.memory,
+            memory_rtol=args.memory_rtol,
         )
     else:
+        method_kwargs = {}
+        if args.method == "grunwald-letnikov":
+            method_kwargs["memory"] = args.memory
+            method_kwargs["memory_rtol"] = args.memory_rtol
         result = simulate(
             system,
             netlist.input_function(),
@@ -287,6 +336,7 @@ def _run_single(args, netlist, system, outputs) -> int:
             args.steps,
             method=args.method,
             basis=args.basis,
+            **method_kwargs,
         )
     print(f"{netlist!r}")
     print(f"model: {system!r}")
@@ -304,6 +354,7 @@ def _run_single(args, netlist, system, outputs) -> int:
             f"states, certified bound {mor['bound']:.2e} "
             f"(rtol {mor['rtol']:g})"
         )
+    _print_memory(result.info)
     print()
 
     t_print = _print_times(args)
@@ -334,6 +385,8 @@ def _run_sweep(args, netlist, system, outputs) -> int:
         basis=args.basis,
         backend=args.backend,
         reduce=args.reduce_plan,
+        memory=args.memory,
+        memory_rtol=args.memory_rtol,
     )
     base_u = netlist.input_function()
     sweep = sim.sweep(
@@ -419,6 +472,8 @@ def _run_ensemble(args, netlist, system, outputs) -> int:
         basis=args.basis,
         solver_backend=args.backend,
         reduce=args.reduce_plan,
+        memory=args.memory,
+        memory_rtol=args.memory_rtol,
     )
 
     print(f"{netlist!r}")
@@ -518,6 +573,8 @@ def _run_march(args, netlist, system, outputs, events) -> int:
         basis=args.basis,
         backend=args.backend,
         reduce=args.reduce_plan,
+        memory=args.memory,
+        memory_rtol=args.memory_rtol,
     )
     result = sim.march(netlist.input_function(), args.t_end, events=events)
 
@@ -530,8 +587,10 @@ def _run_march(args, netlist, system, outputs, events) -> int:
         f"{result.info['factorisations']} factorisation(s), "
         f"{result.info['stamps']} pencil stamp(s), "
         f"{len(result.info['events'])} event(s), "
-        f"{result.wall_time * 1e3:.2f} ms)\n"
+        f"{result.wall_time * 1e3:.2f} ms)"
     )
+    _print_memory(result.info)
+    print()
 
     t_print = _print_times(args)
     values = result.outputs_smooth(t_print)
@@ -626,6 +685,19 @@ def _resolve_deck_defaults(args, netlist) -> None:
         args.reduce if args.reduce is not None else spec.reduce,
         args.mor_order if args.mor_order is not None else spec.mor_order,
     )
+    memory = args.memory if args.memory is not None else spec.memory
+    memory_rtol = args.memory_rtol
+    if memory_rtol is None and memory is not None and memory != "exact":
+        # the deck's memory_rtol= card only applies when compression is
+        # actually on (--memory exact may have overridden the card, and
+        # a bare memory_rtol= card never switches compression on)
+        memory_rtol = spec.memory_rtol
+    if memory is None:
+        # --memory-rtol alone implies compression, like --mor-order
+        # implying --reduce.
+        memory = "soe" if memory_rtol is not None else "exact"
+    args.memory = memory
+    args.memory_rtol = memory_rtol
     args.method = spec.method or "opm"
     if args.method not in SIMULATION_METHODS:
         raise ReproError(
@@ -645,6 +717,14 @@ def _resolve_deck_defaults(args, netlist) -> None:
         raise ReproError(
             f".options method={args.method} does not support model-order "
             "reduction; --reduce/--mor-order apply to the OPM engine only"
+        )
+    if args.memory != "exact" and args.method not in (
+        "opm", "opm-windowed", "grunwald-letnikov"
+    ):
+        raise ReproError(
+            f".options method={args.method} has no fractional memory tail "
+            "to compress; --memory/--memory-rtol apply to the OPM engine "
+            "and the grunwald-letnikov baseline only"
         )
 
 
@@ -776,6 +856,15 @@ def build_client_parser() -> argparse.ArgumentParser:
         help="response encoding (default json)",
     )
     parser.add_argument(
+        "--memory", choices=("exact", "soe"), default=None,
+        help="fractional-memory mode for the service session "
+        "(default: the deck's .options memory= card, else exact)",
+    )
+    parser.add_argument(
+        "--memory-rtol", type=float, default=None, metavar="TOL",
+        help="certified bound the SOE kernel fit must meet",
+    )
+    parser.add_argument(
         "--csv", type=Path, metavar="FILE",
         help="write a --format csv response to this file",
     )
@@ -810,6 +899,10 @@ def _run_client(argv) -> int:
             request["scale"] = args.scale
         if args.samples is not None:
             request["samples"] = args.samples
+        if args.memory is not None:
+            request["memory"] = args.memory
+        if args.memory_rtol is not None:
+            request["memory_rtol"] = args.memory_rtol
         out = client.simulate(**request)
         if args.format == "csv":
             if args.csv is not None:

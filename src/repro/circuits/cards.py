@@ -19,7 +19,8 @@ Supported cards::
     .ic  v(<node>)=<value> ...
     .options [basis=<family>] [method=<name>] [m=<terms>]
              [windows=<k>] [backend=dense|sparse|auto]
-             [reduce=auto|off] [mor_order=<q>] ...
+             [reduce=auto|off] [mor_order=<q>]
+             [memory=exact|soe] [memory_rtol=<tol>] ...
 
 Unknown ``.options`` keys are retained verbatim in
 :attr:`AnalysisSpec.extra_options` (real decks carry tolerance options
@@ -42,7 +43,17 @@ AC_VARIATIONS = ("dec", "oct", "lin")
 
 #: ``.options`` keys the engine interprets (anything else is retained
 #: in :attr:`AnalysisSpec.extra_options`).
-KNOWN_OPTIONS = ("basis", "method", "m", "windows", "backend", "reduce", "mor_order")
+KNOWN_OPTIONS = (
+    "basis",
+    "method",
+    "m",
+    "windows",
+    "backend",
+    "reduce",
+    "mor_order",
+    "memory",
+    "memory_rtol",
+)
 
 
 @dataclass(frozen=True)
@@ -151,8 +162,9 @@ class AnalysisSpec:
         Initial node voltages from ``.ic v(node)=value`` entries.
     options:
         Engine-interpreted ``.options`` entries (keys from
-        ``KNOWN_OPTIONS``, already typed: ``m`` and ``windows`` are
-        ``int``, the rest strings).
+        ``KNOWN_OPTIONS``, already typed: ``m``, ``windows`` and
+        ``mor_order`` are ``int``, ``memory_rtol`` is ``float``, the
+        rest strings).
     extra_options:
         Unrecognised ``.options`` entries, retained verbatim.
     """
@@ -178,6 +190,17 @@ class AnalysisSpec:
                 ) from None
             if parsed < 1:  # type: ignore[operator]
                 raise NetlistError(f".options {key}= must be >= 1, got {parsed}")
+        elif key == "memory_rtol":
+            try:
+                parsed = float(value)
+            except ValueError:
+                raise NetlistError(
+                    f".options memory_rtol= expects a number, got {value!r}"
+                ) from None
+            if not 0.0 < parsed < 1.0:  # type: ignore[operator]
+                raise NetlistError(
+                    f".options memory_rtol= must lie in (0, 1), got {parsed!r}"
+                )
         else:
             parsed = str(value).lower()
         self.options[key] = parsed
@@ -216,6 +239,16 @@ class AnalysisSpec:
     def mor_order(self) -> int | None:
         """Requested reduction moment count (``.options mor_order=...``)."""
         return self.options.get("mor_order")
+
+    @property
+    def memory(self) -> str | None:
+        """Requested fractional-memory mode (``.options memory=exact|soe``)."""
+        return self.options.get("memory")
+
+    @property
+    def memory_rtol(self) -> float | None:
+        """Requested SOE certification tolerance (``.options memory_rtol=...``)."""
+        return self.options.get("memory_rtol")
 
     @property
     def has_analyses(self) -> bool:

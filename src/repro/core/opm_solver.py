@@ -64,6 +64,8 @@ def simulate_opm(
     history: str = "direct",
     backend: str = "auto",
     reduce=None,
+    memory="exact",
+    memory_rtol: float | None = None,
 ) -> SimulationResult:
     """Simulate a system with the OPM algorithm (block-pulse by default).
 
@@ -110,6 +112,11 @@ def simulate_opm(
         ``'auto'``, a moment count, or a
         :class:`~repro.engine.reduction.ReductionPlan` (see
         :mod:`repro.engine.reduction`).  First-order systems only.
+    memory, memory_rtol:
+        Fractional-memory compression: ``'exact'`` (default),
+        ``'soe'``, or a :class:`~repro.fractional.soe.SoePlan`; see
+        :class:`~repro.engine.session.Simulator` and
+        :mod:`repro.fractional.soe`.
 
     Returns
     -------
@@ -148,6 +155,8 @@ def simulate_opm(
         history=history,
         backend=backend,
         reduce=reduce,
+        memory=memory,
+        memory_rtol=memory_rtol,
     )
     result = sim.run(u)
     # one-shot call: charge session assembly + factorisation to the run

@@ -145,6 +145,16 @@ class PencilBackend(abc.ABC):
         """Apply a factorisation to one (``(n,)``) or many (``(n, k)``)
         right-hand sides in a single substitution call."""
 
+    def column_solver(self, handle):
+        """Bound substitution callable for tight per-column sweeps.
+
+        Returns a function ``rhs -> x`` over a captured factorisation
+        handle.  Backends may shed per-call validation (the caller owns
+        the finite check for the whole sweep), but the arithmetic must
+        stay bit-identical to :meth:`solve`.
+        """
+        return lambda rhs: self.solve(handle, rhs)
+
     @abc.abstractmethod
     def apply_E(self, x: np.ndarray) -> np.ndarray:
         """Matrix-vector/matrix product ``E @ x`` (used by history tails)."""
@@ -196,6 +206,23 @@ class DenseBackend(PencilBackend):
         """Back/forward substitution for ``(n,)`` or ``(n, k)`` right-hand sides."""
         return scipy.linalg.lu_solve(handle, rhs)
 
+    def column_solver(self, handle):
+        """Direct ``getrs`` substitution with the LAPACK routine bound
+        once -- ``lu_solve`` minus its per-call wrapper and finite
+        check, bit-identical output (same routine, same arguments)."""
+        lu, piv = handle
+        (getrs,) = scipy.linalg.get_lapack_funcs(("getrs",), (lu,))
+
+        def solve(rhs: np.ndarray) -> np.ndarray:
+            x, info = getrs(lu, piv, rhs)
+            if info != 0:
+                raise SolverError(
+                    f"LU substitution failed with LAPACK info={info}"
+                )
+            return x
+
+        return solve
+
     def apply_E(self, x: np.ndarray) -> np.ndarray:
         """Dense product ``E @ x``."""
         return self.E @ x
@@ -232,6 +259,10 @@ class SparseBackend(PencilBackend):
     def solve(self, handle, rhs: np.ndarray) -> np.ndarray:
         """SuperLU substitution for ``(n,)`` or ``(n, k)`` right-hand sides."""
         return handle.solve(rhs)
+
+    def column_solver(self, handle):
+        """SuperLU substitution bound to the handle, no wrapper layer."""
+        return handle.solve
 
     def apply_E(self, x: np.ndarray) -> np.ndarray:
         """Sparse product ``E @ x`` (dense result)."""
@@ -651,3 +682,32 @@ class PencilBank:
                 "(singular or extremely ill-conditioned pencil)"
             )
         return out
+
+    def solver(self, sigma: float):
+        """Bound fast-path solver for one shift: ``rhs -> x``.
+
+        Resolves the ``(stamp, sigma)`` factorisation once (counting a
+        single bank hit or miss) and returns the backend's
+        :meth:`~PencilBackend.column_solver` over it, so tight column
+        sweeps pay neither the bank lock nor the handle lookup per
+        column.  The caller owns the finite check for the whole sweep
+        (one reduction over the result block instead of one per
+        column); the closure keeps the handle alive even if the LRU
+        evicts it mid-sweep, and a concurrent restamp cannot swap the
+        pencil under a sweep that already bound its solver.
+        """
+        with self._lock:
+            key = (self._stamp, sigma)
+            handle = self._cache.get(key)
+            if handle is None:
+                self._misses += 1
+                handle = self.backend.factorize(sigma)
+                self._factorisations += 1
+                self._cache[key] = handle
+                self._handle_bytes[key] = handle_nbytes(handle, self.backend.n)
+                self._nbytes += self._handle_bytes[key]
+                self._evict(keep=key)
+            else:
+                self._hits += 1
+                self._cache.move_to_end(key)
+            return self.backend.column_solver(handle)

@@ -934,6 +934,8 @@ class ParallelExecutor:
         history: str = "direct",
         solver_backend: str = "auto",
         reduce=None,
+        memory="exact",
+        memory_rtol: float | None = None,
     ) -> Iterator[EnsembleChunk]:
         from .inputs import project_input
         from .session import _resolve_session_basis
@@ -945,13 +947,17 @@ class ParallelExecutor:
         state.basis = basis_obj
         # workers receive the fully resolved basis instance as the grid
         # spec, so every accepted (grid, basis) flavour ships the same
-        # way and the worker session is exactly the parent's
+        # way and the worker session is exactly the parent's (memory
+        # settings ride along so a compressed parent never silently
+        # shards into exact-memory workers)
         session_kwargs = {
             "basis": None,
             "projection": None,
             "adaptive_method": adaptive_method,
             "history": history,
             "backend": solver_backend,
+            "memory": memory,
+            "memory_rtol": memory_rtol,
         }
 
         # project every input in the parent: workers never see callables

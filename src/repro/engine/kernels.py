@@ -149,6 +149,11 @@ def sweep_toeplitz(
             )
     sigma = float(coeffs[0])
 
+    # one bank lookup for the whole sweep: the bound solver skips the
+    # lock, the handle lookup and the per-column finite check (done
+    # once over the full block below) without changing the arithmetic
+    solve = bank.solver(sigma)
+    apply_E = bank.backend.apply_E
     X = xp.empty((n, m, k), dtype=R3.dtype)
     if alternating_tail:
         # tail_j = sum_{i<j} c_{j-i} x_i = c_1 * t_j,
@@ -160,30 +165,36 @@ def sweep_toeplitz(
                 rhs = R3[:, 0, :]
             else:
                 t = X[:, j - 1, :] - t
-                rhs = R3[:, j, :] - c1 * bank.apply_E(t)
-            X[:, j, :] = bank.solve(sigma, rhs)
+                rhs = R3[:, j, :] - c1 * apply_E(t)
+            X[:, j, :] = solve(rhs)
     elif history == "fft" and m > 8:
-        _sweep_toeplitz_fft(bank, sigma, R3, coeffs, X, block_size)
+        _sweep_toeplitz_fft(bank, solve, R3, coeffs, X, block_size)
     else:
         # reversed-coefficient copy so the per-column tail weights
-        # (c_j, ..., c_1) are positive-step slices -- device tensors do
-        # not support negative-step slicing
-        rev = xp.asarray(np.ascontiguousarray(coeffs[::-1])) if not host else None
+        # (c_j, ..., c_1) are positive-step *contiguous* slices: device
+        # tensors do not support negative-step slicing, and on the host
+        # a negative-stride GEMV operand forces numpy off the fast BLAS
+        # path (~3x slower per column)
+        rev = xp.asarray(np.ascontiguousarray(coeffs[::-1]))
         for j in range(m):
             if j == 0:
                 rhs = R3[:, 0, :]
             else:
                 # s_j = sum_{i=1..j} c_i x_{j-i}
-                weights = coeffs[j:0:-1] if host else rev[m - 1 - j : m - 1]
-                s = _tail_dot(X, j, weights, xp)
-                rhs = R3[:, j, :] - bank.apply_E(s)
-            X[:, j, :] = bank.solve(sigma, rhs)
+                s = _tail_dot(X, j, rev[m - 1 - j : m - 1], xp)
+                rhs = R3[:, j, :] - apply_E(s)
+            X[:, j, :] = solve(rhs)
+    if not bank.backend.all_finite(X):
+        raise SolverError(
+            f"pencil solve at sigma={sigma:g} produced non-finite values "
+            "(singular or extremely ill-conditioned pencil)"
+        )
     return X[:, :, 0] if squeeze else X
 
 
 def _sweep_toeplitz_fft(
     bank: PencilBank,
-    sigma: float,
+    solve,
     R3: np.ndarray,
     coeffs: np.ndarray,
     X: np.ndarray,
@@ -206,6 +217,7 @@ def _sweep_toeplitz_fft(
         block_size = max(8, int(np.sqrt(m * max(np.log2(m), 1.0))))
     B = int(block_size)
 
+    rev = np.ascontiguousarray(coeffs[::-1])  # contiguous (c_j..c_1) slices
     tail = np.zeros((n, m, k))  # accumulated cross-block contributions
     for start in range(0, m, B):
         end = min(start + B, m)
@@ -215,9 +227,10 @@ def _sweep_toeplitz_fft(
         for j in range(start, end):
             s = tail[:, j, :].copy()
             if j > start:
-                s += _tail_dot(X[:, start:, :], j - start, coeffs[j - start : 0 : -1])
+                d = j - start
+                s += _tail_dot(X[:, start:, :], d, rev[m - 1 - d : m - 1])
             rhs = R3[:, j, :] - bank.apply_E(s) if j > 0 else R3[:, 0, :]
-            X[:, j, :] = bank.solve(sigma, rhs)
+            X[:, j, :] = solve(rhs)
         if end >= m:
             break
         # FFT segment convolution: contribution of x_i (i in [start,end))
@@ -315,6 +328,7 @@ def sweep_multiterm(
     scale2 = 4.0 * (2.0 / h) ** 2
 
     X = np.empty((n, m, k))
+    solve = bank.solver(1.0)
     alt_a = np.zeros((n, k))  # A_{j-1}
     alt_b = np.zeros((n, k))  # B_{j-1}
     for j in range(m):
@@ -328,10 +342,18 @@ def sweep_multiterm(
             for matrix in second_terms:
                 rhs -= scale2 * (matrix @ b_j)
             for matrix, coeffs in slow_terms:
+                # negative-step slice kept on purpose: integer orders
+                # >= 3 have huge alternating weights whose history sum
+                # lives on cancellation -- preserve the summation order
                 s = _tail_dot(X, j, coeffs[j:0:-1])
                 rhs -= matrix @ s
-        X[:, j, :] = bank.solve(1.0, rhs)
+        X[:, j, :] = solve(rhs)
         if uses_alt:
             alt_b = b_j
             alt_a = X[:, j, :] - alt_a
+    if not bank.backend.all_finite(X):
+        raise SolverError(
+            "pencil solve at sigma=1 produced non-finite values "
+            "(singular or extremely ill-conditioned pencil)"
+        )
     return X[:, :, 0] if squeeze else X

@@ -63,6 +63,12 @@ from ..core.result import (
 )
 from ..errors import ModelError, SolverError
 from ..fractional.history import HistoryTail
+from ..fractional.soe import (
+    SoeTail,
+    fit_continuous_kernel,
+    fit_discrete_kernel,
+    require_certified,
+)
 from . import assembly, kernels
 from .backends import pencil_fingerprint, select_backend
 from .inputs import normalise_input_callable, project_input
@@ -364,6 +370,35 @@ def march(sim, u, t_end: float, *, events=()) -> MarchingResult:
     return _march_triangular(sim, u, t_end, events)
 
 
+def _resolve_tail(sim, full_coeffs: np.ndarray, m: int, n_windows: int):
+    """Cross-window memory carrier for the triangular march.
+
+    ``memory='exact'`` sessions (the default) keep today's
+    :class:`HistoryTail` bit-for-bit.  ``memory='soe'`` sessions fit a
+    sum-of-exponentials over the cross-window lag range
+    ``[m + 1, K m - 1]`` (the current window's own history stays inside
+    :func:`kernels.sweep_toeplitz` either way); the fit is *gated* on
+    its exact certificate -- a miss falls back to the exact tail and
+    records why in the march's ``info['memory']``.
+    """
+    plan_mem = getattr(sim, "_memory_plan", None)
+    if plan_mem is None:
+        return HistoryTail(full_coeffs, block_columns=m), {"mode": "exact"}
+    if n_windows * m - 1 < m + 1:
+        # single window (or degenerate m): no cross-window memory exists
+        return (
+            HistoryTail(full_coeffs, block_columns=m),
+            {"mode": "exact", "reason": "single-window"},
+        )
+    fit = fit_discrete_kernel(full_coeffs, m + 1, n_windows * m - 1, plan_mem)
+    memory_info = fit.info()
+    if require_certified(fit, plan_mem, "windowed-march"):
+        memory_info["fallback"] = False
+        return SoeTail(full_coeffs, fit), memory_info
+    memory_info.update(mode="exact", fallback=True)
+    return HistoryTail(full_coeffs, block_columns=m), memory_info
+
+
 def _march_triangular(sim, u, t_end: float, events=()) -> MarchingResult:
     """State-carrying march on the block-pulse (or transformed) plan."""
     plan = sim._plan
@@ -408,6 +443,7 @@ def _march_triangular(sim, u, t_end: float, events=()) -> MarchingResult:
     x0 = system.x0  # the global t=0 initial state, fixed across events
     if first_order:
         tail = None
+        memory_info = None
         signs = (-1.0) ** np.arange(m)
         # carried flux/charge vector w = E x(t) -- exact for DAEs too
         w = np.zeros(n) if x0 is None else np.asarray(
@@ -423,7 +459,7 @@ def _march_triangular(sim, u, t_end: float, events=()) -> MarchingResult:
         # (Caputo convention; see DescriptorSystem.shifted_input_offset),
         # carrying the GL/OPM memory of all previous windows
         full_coeffs = assembly.toeplitz_coefficients(alpha, n_windows * m, h)
-        tail = HistoryTail(full_coeffs, block_columns=m)
+        tail, memory_info = _resolve_tail(sim, full_coeffs, m, n_windows)
         w = None
         signs = None
         x0_offset = plan._offset  # A x0, or None
@@ -517,6 +553,8 @@ def _march_triangular(sim, u, t_end: float, events=()) -> MarchingResult:
         restamps=restamps,
         stamps=bank.stamps,
     )
+    if memory_info is not None:
+        info["memory"] = memory_info
     sim._runs += 1
     return MarchingResult(windows, window, wall_time=wall, info=info)
 
@@ -580,6 +618,7 @@ def _march_spectral(sim, u, t_end: float, events=()) -> MarchingResult:
     ones = bundle.ones_coefficients()
     F = plan.F
 
+    memory_info = None
     if not first_order:
         for evts in by_window.values():
             if any(e.changes_pencil for e in evts):
@@ -590,6 +629,14 @@ def _march_spectral(sim, u, t_end: float, events=()) -> MarchingResult:
                     "fractional circuits)"
                 )
         history_sources: list[np.ndarray] = []  # A Z_j + R_j per window
+        soe_ops, memory_info = _spectral_soe_operators(
+            sim, bundle, alpha, n_windows
+        )
+        if soe_ops is not None:
+            soe_a, soe_b, soe_c, soe_mu, soe_mu2 = soe_ops
+            H1 = bundle.history_matrix(alpha, 1)  # singular lag: exact
+            T = np.zeros((n, soe_mu.size))  # mode states sum mu^l src a
+            prev_src: np.ndarray | None = None
         x0 = system.x0
         offset = system.shifted_input_offset()  # A x0, or None
         offset_cols = None if offset is None else np.outer(offset, ones)
@@ -642,12 +689,32 @@ def _march_spectral(sim, u, t_end: float, events=()) -> MarchingResult:
                 if offset_cols is not None:
                     R = R + offset_cols
                 S = R @ F
-                for lag in range(1, k + 1):
-                    S = S + history_sources[k - lag] @ bundle.history_matrix(
-                        alpha, lag
-                    )
+                if soe_ops is not None:
+                    # adjacent window exact (the RL kernel is singular
+                    # there); all older windows through the rank-one
+                    # mode states: sum_l>=2 src_{k-l} H_l ~ (T c) b
+                    if prev_src is not None:
+                        S = S + prev_src @ H1
+                    if k >= 2:
+                        S = S + (T * soe_c[None, :]) @ soe_b
+                else:
+                    for lag in range(1, k + 1):
+                        S = S + history_sources[k - lag] @ bundle.history_matrix(
+                            alpha, lag
+                        )
                 Z = plan.kron_solve(S)
-                history_sources.append(np.asarray(system.A @ Z) + R)
+                src = np.asarray(system.A @ Z) + R
+                if soe_ops is not None:
+                    # T(k+1) = mu T(k) + mu^2 (src_{k-1} @ a): window
+                    # k-1 graduates from the exact adjacent slot into
+                    # the compressed modes
+                    if prev_src is not None:
+                        T = T * soe_mu[None, :] + (prev_src @ soe_a) * soe_mu2[
+                            None, :
+                        ]
+                    prev_src = src
+                else:
+                    history_sources.append(src)
                 X = Z + x0_cols if x0_cols is not None else Z
             info = plan.info()
             info.update(window_index=k, t_offset=k * window)
@@ -669,5 +736,59 @@ def _march_spectral(sim, u, t_end: float, events=()) -> MarchingResult:
         restamps=restamps,
         stamps=bank.stamps,
     )
+    if memory_info is not None:
+        info["memory"] = memory_info
     sim._runs += 1
     return MarchingResult(windows, window, wall_time=wall, info=info)
+
+
+def _spectral_soe_operators(sim, bundle, alpha: float, n_windows: int):
+    """Rank-one compressed memory operators for the spectral march.
+
+    Fits the continuous RL kernel ``t^{alpha-1}/Gamma(alpha)`` on
+    ``[W, K W]`` (certified); separability of each exponential mode
+    turns every lag operator ``H_l`` (``l >= 2``) into
+    ``sum_p c_p mu_p^l a_p b_p^T`` with
+
+    * ``a_p[i] = int_0^W psi_i(sigma) e^{theta_p sigma} dsigma``
+      (Gauss-Legendre, same order as the exact ``history_matrix``),
+    * ``b_p`` the basis coefficients of ``e^{-theta_p tau}``,
+    * ``mu_p = e^{-theta_p W}``.
+
+    Returns ``((a, b, c, mu, mu2), info)`` or ``(None, info)`` when the
+    session uses exact memory, the horizon is too short to compress, or
+    the fit missed its certificate (recorded fallback).
+    """
+    plan_mem = getattr(sim, "_memory_plan", None)
+    if plan_mem is None:
+        return None, {"mode": "exact"}
+    if n_windows < 3:
+        # lag 1 is exact by construction, so there is nothing to compress
+        return None, {"mode": "exact", "reason": "short-horizon"}
+    basis = bundle.basis
+    if not hasattr(basis, "quadrature_times") or not hasattr(
+        basis, "project_values"
+    ):
+        return None, {"mode": "exact", "reason": "no-quadrature"}
+    W = bundle.t_end
+    fit = fit_continuous_kernel(alpha, n_windows, W, plan_mem)
+    memory_info = fit.info()
+    if not require_certified(fit, plan_mem, "spectral-march"):
+        memory_info.update(mode="exact", fallback=True)
+        return None, memory_info
+    memory_info["fallback"] = False
+    theta = fit.rates
+    c = fit.weights
+    m = bundle.size
+    ng = max(64, 2 * m)
+    nodes, wts = np.polynomial.legendre.leggauss(ng)
+    sigma = 0.5 * W * (nodes + 1.0)
+    ws = 0.5 * W * wts
+    psi = np.asarray(basis.evaluate(sigma), dtype=float)  # (m, ng)
+    a = psi @ (ws[:, None] * np.exp(np.outer(sigma, theta)))  # (m, P)
+    tau = np.asarray(basis.quadrature_times, dtype=float)
+    b = np.asarray(
+        basis.project_values(np.exp(-np.outer(theta, tau))), dtype=float
+    )  # (P, m)
+    mu = np.exp(-theta * W)
+    return (a, b, c, mu, mu * mu), memory_info

@@ -74,6 +74,14 @@ def _as_netlist(source, title: str = "") -> Netlist:
     return Netlist.from_spice_file(source)
 
 
+def _memory_is_exact(memory) -> bool:
+    """True when a ``memory=`` setting names the exact (uncompressed) mode."""
+    return memory is None or (
+        isinstance(memory, str)
+        and memory.lower() in ("exact", "off", "none", "false", "")
+    )
+
+
 def build_system(netlist: Netlist, outputs=None, *, sparse: str = "auto",
                  use_ic: bool = True):
     """Assemble the netlist's MNA model, honouring its ``.ic`` card.
@@ -155,6 +163,14 @@ def from_netlist(
         deck_reduce = combine_reduce_options(spec.reduce, spec.mor_order)
         if deck_reduce is not None:
             session_kwargs["reduce"] = deck_reduce
+    if "memory" not in session_kwargs and spec.memory is not None:
+        session_kwargs["memory"] = spec.memory
+    if (
+        "memory_rtol" not in session_kwargs
+        and spec.memory_rtol is not None
+        and not _memory_is_exact(session_kwargs.get("memory", "exact"))
+    ):
+        session_kwargs["memory_rtol"] = spec.memory_rtol
     sim = Simulator(system, grid, basis=basis, **session_kwargs)
     sim.bind_input(netlist.input_function())
     return sim
@@ -302,6 +318,8 @@ def simulate_netlist(
     backend: str | None = None,
     reduce=None,
     mor_order: int | None = None,
+    memory=None,
+    memory_rtol: float | None = None,
     sparse: str = "auto",
     use_ic: bool = True,
     ensemble=None,
@@ -336,6 +354,11 @@ def simulate_netlist(
         Certified model-order reduction: override ``.options reduce=``
         / ``.options mor_order=`` (session methods and ensembles only;
         see :mod:`repro.engine.reduction`).
+    memory, memory_rtol:
+        Fractional-memory compression: override ``.options memory=`` /
+        ``.options memory_rtol=`` (session methods and the
+        ``'grunwald-letnikov'`` baseline; see
+        :mod:`repro.fractional.soe`).
     sparse, use_ic:
         Forwarded to :func:`build_system`.
     ensemble:
@@ -373,6 +396,11 @@ def simulate_netlist(
         reduce if reduce is not None else spec.reduce,
         mor_order if mor_order is not None else spec.mor_order,
     )
+    memory = memory if memory is not None else (spec.memory or "exact")
+    if memory_rtol is None and not _memory_is_exact(memory):
+        # the deck's memory_rtol= card only applies when compression is
+        # actually on (the caller may have overridden memory='exact')
+        memory_rtol = spec.memory_rtol
     windows = int(windows) if windows is not None else (spec.windows or 1)
     if windows < 1:
         raise NetlistError(f"windows must be >= 1, got {windows}")
@@ -398,8 +426,15 @@ def simulate_netlist(
         if method not in _SESSION_METHODS:
             from ..core.dispatch import simulate
 
+            method_kwargs: dict[str, object] = {}
+            if method == "grunwald-letnikov":
+                # The GL baseline is the only non-session method with a
+                # history tail to compress.
+                method_kwargs["memory"] = memory
+                method_kwargs["memory_rtol"] = memory_rtol
             tran = simulate(
-                system, u, horizon, m, method=method, basis=basis
+                system, u, horizon, m, method=method, basis=basis,
+                **method_kwargs,
             )
         elif windows > 1 or method == "opm-windowed":
             if m % windows:
@@ -409,11 +444,13 @@ def simulate_netlist(
             sim = Simulator(
                 system, (horizon / windows, m // windows),
                 basis=basis, backend=backend, reduce=reduce,
+                memory=memory, memory_rtol=memory_rtol,
             )
             tran = sim.march(u, horizon)
         else:
             sim = Simulator(
-                system, (horizon, m), basis=basis, backend=backend, reduce=reduce
+                system, (horizon, m), basis=basis, backend=backend, reduce=reduce,
+                memory=memory, memory_rtol=memory_rtol,
             )
             tran = sim.run(u)
 
@@ -435,7 +472,7 @@ def simulate_netlist(
         executor = ParallelExecutor(parallel, jobs=jobs)
         ensemble_result = executor.run(
             ensemble, (horizon, m), basis=basis, solver_backend=backend,
-            reduce=reduce,
+            reduce=reduce, memory=memory, memory_rtol=memory_rtol,
         )
 
     ac = None

@@ -35,6 +35,8 @@ One JSON object per line, both directions.  Request ``op`` values:
     ``{"op": "simulate", "system": {"E": [[...]], "A": [[...]],
     "B": [[...]]}, "grid": [1.0, 200], "input": 1.0}``.  Optional:
     ``basis``, ``backend``, ``grid`` (overrides the deck's ``.tran``),
+    ``memory`` / ``memory_rtol`` (fractional-memory compression, see
+    :mod:`repro.fractional.soe`),
     ``outputs`` (node names to return -- netlist requests only;
     default every node), ``scales`` (a list -- one request, many
     runs: a *sweep request*), ``samples`` (output sample count),
@@ -185,6 +187,8 @@ class _SessionSpec:
     basis: str | None = None
     backend: str = "auto"
     outputs: tuple | None = None
+    memory: str = "exact"
+    memory_rtol: float | None = None
 
     @classmethod
     def from_request(cls, request: dict) -> "_SessionSpec":
@@ -222,19 +226,36 @@ class _SessionSpec:
             raise ServiceError("a 'system' request requires 'grid': [t_end, m]")
         basis = request.get("basis")
         backend = request.get("backend", "auto")
+        memory = request.get("memory", "exact")
+        if memory is None:
+            memory = "exact"
+        if not isinstance(memory, str):
+            raise ServiceError(
+                f"'memory' must be 'exact' or 'soe', got {memory!r}"
+            )
+        memory_rtol = request.get("memory_rtol")
+        if memory_rtol is not None:
+            try:
+                memory_rtol = float(memory_rtol)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"'memory_rtol' must be a number, got {memory_rtol!r}"
+                ) from exc
         if netlist is not None:
             content: tuple = ("netlist", netlist)
         else:
             # key programmatic specs by content, not object identity
             content = ("system", json.dumps(system, sort_keys=True))
         return cls(
-            key=(content, grid, basis, backend, outputs),
+            key=(content, grid, basis, backend, outputs, memory, memory_rtol),
             netlist=netlist,
             system=system,
             grid=grid,
             basis=basis,
             backend=str(backend),
             outputs=outputs,
+            memory=str(memory),
+            memory_rtol=memory_rtol,
         )
 
     def build(self) -> Simulator:
@@ -242,18 +263,28 @@ class _SessionSpec:
         if self.netlist is not None:
             from .netlist_session import from_netlist
 
+            # Only forward non-default memory settings so a deck-level
+            # ``.options memory=`` card keeps winning by default.
+            memory_kwargs: dict = {}
+            if self.memory != "exact":
+                memory_kwargs["memory"] = self.memory
+            if self.memory_rtol is not None:
+                memory_kwargs["memory_rtol"] = self.memory_rtol
             return from_netlist(
                 self.netlist,
                 self.grid,
                 outputs=self.outputs,
                 basis=self.basis,
                 backend=self.backend,
+                **memory_kwargs,
             )
         sim = Simulator(
             _parse_system(self.system),
             self.grid,
             basis=self.basis,
             backend=self.backend,
+            memory=self.memory,
+            memory_rtol=self.memory_rtol,
         )
         return sim
 
@@ -874,8 +905,8 @@ class ServiceClient:
 
         Accepts the request schema fields (``netlist`` / ``system`` +
         ``grid``, ``input``, ``scale`` / ``scales``, ``basis``,
-        ``backend``, ``outputs``, ``samples``, ``values``,
-        ``format``).  Returns a
+        ``backend``, ``memory`` / ``memory_rtol``, ``outputs``,
+        ``samples``, ``values``, ``format``).  Returns a
         dict with ``info``, ``latency_ms``, and either ``runs`` (a list
         of ``{"t": [...], "values": [[...]]}`` per run, with ``t`` /
         ``values`` aliased to the first run) or ``csv`` text.

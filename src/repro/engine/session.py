@@ -45,6 +45,7 @@ from ..basis.grid import TimeGrid
 from ..core.lti import DescriptorSystem, MultiTermSystem
 from ..core.result import MarchingResult, SimulationResult
 from ..errors import SolverError
+from ..fractional.soe import resolve_memory
 from . import assembly, kernels, marching
 from .array_api import KNOWN_ARRAY_BACKENDS
 from .backends import PencilBank, pencil_fingerprint, select_backend
@@ -498,6 +499,18 @@ class Simulator:
     backend:
         ``'auto'`` (default; sparse backend for large sparse systems,
         dense otherwise), ``'dense'``, or ``'sparse'``.
+    memory:
+        Cross-window fractional memory on :meth:`march`: ``'exact'``
+        (default; bit-identical to the full-history tail), ``'soe'``,
+        or an :class:`~repro.fractional.soe.SoePlan`.  Compressed
+        memory replaces the quadratic cross-window history GEMMs by a
+        certified sum-of-exponentials mode recurrence (linear-time long
+        marches); the fitted bound is checked against the plan's
+        ``rtol`` at march bind and an uncertified fit falls back to
+        exact memory, recorded in the result's ``info['memory']``.
+    memory_rtol:
+        Certification tolerance override for ``memory='soe'``
+        (default ``repro.fractional.soe.DEFAULT_MEMORY_RTOL``).
 
     Examples
     --------
@@ -534,6 +547,8 @@ class Simulator:
         history: str = "direct",
         backend: str = "auto",
         reduce=None,
+        memory="exact",
+        memory_rtol: float | None = None,
     ) -> None:
         basis_obj = _resolve_session_basis(grid, basis, projection)
         bundle = OperatorBundle(basis_obj)
@@ -546,6 +561,9 @@ class Simulator:
         self._adaptive_method = adaptive_method
         self._history = history
         self._backend_mode = backend
+        # validated at bind: a typo'd memory mode must fail here, not
+        # deep inside the first march
+        self._memory_plan = resolve_memory(memory, memory_rtol)
         self._default_input: InputLike | None = None
         self._runs = 0
         # one session = one solve at a time: run/sweep/march serialise
@@ -589,6 +607,8 @@ class Simulator:
             "history": history,
             "solver_backend": backend,
             "reduce": reduce,
+            "memory": memory,
+            "memory_rtol": memory_rtol,
         }
 
     def _make_plan(self, system):
@@ -694,6 +714,12 @@ class Simulator:
         return self._plan.bank
 
     @property
+    def memory_plan(self):
+        """The bound :class:`~repro.fractional.soe.SoePlan` governing
+        fractional march memory (``None``: exact memory)."""
+        return self._memory_plan
+
+    @property
     def fingerprint(self) -> tuple:
         """Content key identifying this session's solve configuration.
 
@@ -740,6 +766,11 @@ class Simulator:
             self._adaptive_method,
             self._history,
             self._backend_mode,
+            # memory compression changes march arithmetic, so compressed
+            # and exact sessions must never unify in a keyed cache
+            ("exact",)
+            if self._memory_plan is None
+            else self._memory_plan.fingerprint(),
         )
 
     def limit_cache(

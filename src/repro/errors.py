@@ -21,6 +21,9 @@ The hierarchy mirrors the package layout:
   ensemble members (``repro.engine.executor``).
 * :class:`ServiceError` -- malformed simulation-service requests or
   daemon failures (``repro.engine.service``).
+* :class:`MemoryCompressionError` -- a sum-of-exponentials memory fit
+  missed its certified tolerance and the plan forbids falling back to
+  exact memory (``repro.fractional.soe``).
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ __all__ = [
     "ConvergenceError",
     "EnsembleError",
     "ServiceError",
+    "MemoryCompressionError",
 ]
 
 
@@ -129,4 +133,16 @@ class ServiceError(ReproError):
     Examples: a request naming neither a netlist nor a system spec, an
     unknown operation, a malformed system matrix payload, or a client
     protocol violation (``repro.engine.service``).
+    """
+
+
+class MemoryCompressionError(SolverError):
+    """Raised when a certified memory compression cannot be honoured.
+
+    The sum-of-exponentials fitter (``repro.fractional.soe``) always
+    computes an exact approximation bound after fitting; consumers fall
+    back to exact memory when the bound exceeds the requested ``rtol``.
+    A plan with ``fallback=False`` demands the compression instead, and
+    a miss raises this error (carrying the achieved bound in the
+    message) rather than silently paying the quadratic exact tail.
     """

@@ -14,7 +14,10 @@ operational matrices; this subpackage provides everything needed to
 * :mod:`~repro.fractional.analytic` -- closed-form scalar FDE solutions
   (relaxation, step, impulse) built on Mittag-Leffler;
 * :mod:`~repro.fractional.history` -- memory-tail evaluation shared by
-  the GL stepper and the windowed marching engine.
+  the GL stepper and the windowed marching engine;
+* :mod:`~repro.fractional.soe` -- certified sum-of-exponentials
+  compression of the memory kernels (the ``memory='soe'`` knob behind
+  linear-time long-horizon fractional marching).
 """
 
 from .analytic import (
@@ -23,13 +26,22 @@ from .analytic import (
     fde_step_response,
     second_order_step_response,
 )
-from .definitions import gl_weights
+from .definitions import cached_gl_weights, gl_weights
 from .grunwald import simulate_grunwald_letnikov
 from .history import HistoryTail, history_dot, history_weights
 from .mittag_leffler import mittag_leffler
+from .soe import (
+    SoeFit,
+    SoePlan,
+    SoeTail,
+    fit_continuous_kernel,
+    fit_discrete_kernel,
+    resolve_memory,
+)
 
 __all__ = [
     "gl_weights",
+    "cached_gl_weights",
     "simulate_grunwald_letnikov",
     "mittag_leffler",
     "fde_relaxation",
@@ -39,4 +51,10 @@ __all__ = [
     "HistoryTail",
     "history_dot",
     "history_weights",
+    "SoePlan",
+    "SoeFit",
+    "SoeTail",
+    "fit_discrete_kernel",
+    "fit_continuous_kernel",
+    "resolve_memory",
 ]

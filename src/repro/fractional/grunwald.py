@@ -49,8 +49,9 @@ from ..core.column_solver import PencilCache
 from ..core.lti import DescriptorSystem
 from ..core.result import SampledResult
 from ..errors import ModelError
-from .definitions import gl_weights
+from .definitions import cached_gl_weights
 from .history import history_dot
+from .soe import fit_discrete_kernel, require_certified, resolve_memory
 
 __all__ = ["simulate_grunwald_letnikov"]
 
@@ -60,6 +61,9 @@ def simulate_grunwald_letnikov(
     u,
     t_end: float,
     n_steps: int,
+    *,
+    memory="exact",
+    memory_rtol: float | None = None,
 ) -> SampledResult:
     """Simulate ``E d^alpha x = A x + B u`` with implicit GL stepping.
 
@@ -78,6 +82,16 @@ def simulate_grunwald_letnikov(
         Horizon; nodes are ``t_k = k h`` with ``h = t_end / n_steps``.
     n_steps:
         Number of time steps.
+    memory:
+        ``'exact'`` (default: the full per-step history convolution),
+        ``'soe'``, or an :class:`~repro.fractional.soe.SoePlan`.
+        Compressed memory keeps the most recent ``exact_lags`` lags
+        exact and folds everything older into a certified
+        sum-of-exponentials mode recurrence, making the whole solve
+        linear in ``n_steps``; an uncertified fit falls back to exact
+        memory (recorded in ``info['memory']``).
+    memory_rtol:
+        Certification tolerance override for ``memory='soe'``.
 
     Returns
     -------
@@ -118,22 +132,61 @@ def simulate_grunwald_letnikov(
         raise ModelError("GL stepping requires a callable or scalar input")
 
     offset = system.shifted_input_offset()
-    weights = gl_weights(alpha, n_steps + 1)
+    weights = cached_gl_weights(alpha, n_steps + 1)
     scale = h**-alpha
     cache = PencilCache(system.E, system.A)
     E = system.E
 
+    # optional SOE memory compression: keep L recent lags exact, fold
+    # older history into P mode states updated by one AXPY per step
+    mem_plan = resolve_memory(memory, memory_rtol)
+    memory_info: dict = {"mode": "exact"}
+    fit = None
+    if mem_plan is not None:
+        L = int(mem_plan.exact_lags)
+        if n_steps > 2 * L:
+            fit = fit_discrete_kernel(weights, L + 1, n_steps, mem_plan)
+            memory_info = fit.info()
+            if not require_certified(fit, mem_plan, "Grünwald-Letnikov"):
+                memory_info.update(mode="exact", fallback=True)
+                fit = None
+            else:
+                memory_info["fallback"] = False
+                memory_info["exact_lags"] = L
+        else:
+            memory_info = {"mode": "exact", "reason": "short-horizon"}
+
     start = time.perf_counter()
     X = np.zeros((n, n_steps + 1))
-    for k in range(1, n_steps + 1):
-        rhs = system.B @ u_vals[:, k]
-        if offset is not None:
-            rhs = rhs + offset
-        # GL memory convolution sum_{j=1..k} w_j z_{k-j} (shared with the
-        # marching engine's cross-window tail -- see fractional.history)
-        hist = history_dot(X, weights, k)
-        rhs = rhs - scale * (E @ hist)
-        X[:, k] = cache.solve(scale, rhs)
+    if fit is not None:
+        lam, c = fit.rates, fit.weights
+        # integer exponent keeps negative (alternating) ratios exact
+        lam_entry = lam ** (L + 1)
+        near = weights[L:0:-1]
+        S = np.zeros((n, lam.size))  # S[:, p] = sum_{i<k-L} lam_p^{k-i} x_i
+        for k in range(1, n_steps + 1):
+            rhs = system.B @ u_vals[:, k]
+            if offset is not None:
+                rhs = rhs + offset
+            if k <= L:
+                hist = history_dot(X, weights, k)
+            else:
+                hist = X[:, k - L : k] @ near + S @ c
+            rhs = rhs - scale * (E @ hist)
+            X[:, k] = cache.solve(scale, rhs)
+            if k >= L:
+                S = S * lam[None, :] + np.outer(X[:, k - L], lam_entry)
+    else:
+        for k in range(1, n_steps + 1):
+            rhs = system.B @ u_vals[:, k]
+            if offset is not None:
+                rhs = rhs + offset
+            # GL memory convolution sum_{j=1..k} w_j z_{k-j} (shared with
+            # the marching engine's cross-window tail -- see
+            # fractional.history)
+            hist = history_dot(X, weights, k)
+            rhs = rhs - scale * (E @ hist)
+            X[:, k] = cache.solve(scale, rhs)
     wall = time.perf_counter() - start
 
     if system.x0 is not None:
@@ -145,5 +198,10 @@ def simulate_grunwald_letnikov(
         system,
         input_values=u_vals,
         wall_time=wall,
-        info={"method": "grunwald-letnikov", "alpha": alpha, "h": h},
+        info={
+            "method": "grunwald-letnikov",
+            "alpha": alpha,
+            "h": h,
+            "memory": memory_info,
+        },
     )

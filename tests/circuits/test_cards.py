@@ -85,6 +85,24 @@ class TestAnalysisSpec:
         with pytest.raises(NetlistError, match=">= 1"):
             spec.set_option("windows", "0")
 
+    def test_memory_options(self):
+        spec = AnalysisSpec()
+        spec.set_option("memory", "SOE")
+        spec.set_option("memory_rtol", "1e-8")
+        assert spec.memory == "soe"
+        assert spec.memory_rtol == 1e-8
+
+    def test_memory_rtol_validation(self):
+        spec = AnalysisSpec()
+        with pytest.raises(NetlistError, match="number"):
+            spec.set_option("memory_rtol", "tight")
+        with pytest.raises(NetlistError, match=r"\(0, 1\)"):
+            spec.set_option("memory_rtol", "2.0")
+
+    def test_memory_defaults_to_none(self):
+        spec = AnalysisSpec()
+        assert spec.memory is None and spec.memory_rtol is None
+
     def test_has_analyses(self):
         spec = AnalysisSpec()
         assert not spec.has_analyses

@@ -114,6 +114,49 @@ class TestFromNetlist:
             sim.run()
 
 
+CPE_MARCH_DECK = """
+* fractional march with deck-level memory compression
+I1 0 n1 SIN(0 1m 3)
+R1 n1 0 1k
+P1 n1 0 1u 0.7
+.tran 1e-2 1.0
+.options windows=20 m=600 memory=soe memory_rtol=1e-9
+"""
+
+
+class TestMemoryOptions:
+    def test_deck_memory_card_reaches_session(self):
+        sim = from_netlist(CPE_MARCH_DECK)
+        assert sim.memory_plan is not None
+        assert sim.memory_plan.rtol == 1e-9
+
+    def test_caller_override_wins(self):
+        sim = from_netlist(CPE_MARCH_DECK, memory="exact")
+        assert sim.memory_plan is None
+
+    def test_simulate_netlist_marches_with_soe(self):
+        run = simulate_netlist(CPE_MARCH_DECK)
+        mem = run.tran.info["memory"]
+        assert mem["mode"] == "soe" and mem["certified"]
+
+    def test_exact_override_matches_soe_to_tolerance(self):
+        soe = simulate_netlist(CPE_MARCH_DECK)
+        exact = simulate_netlist(CPE_MARCH_DECK, memory="exact")
+        assert exact.tran.info["memory"] == {"mode": "exact"}
+        t = np.linspace(0.05, 0.99, 9)
+        scale = np.max(np.abs(exact.tran.outputs(t)))
+        err = np.max(np.abs(soe.tran.outputs(t) - exact.tran.outputs(t)))
+        assert err / scale < 1e-8
+
+    def test_gl_method_accepts_memory(self):
+        deck = (
+            "I1 0 a 1.0\nR1 a 0 1.0\nP1 a 0 1.0 0.5\n.tran 1m 2\n"
+            ".options method=grunwald-letnikov m=2000 memory=soe\n"
+        )
+        run = simulate_netlist(deck)
+        assert run.tran.info["memory"]["mode"] == "soe"
+
+
 class TestSimulateNetlist:
     def test_runs_all_deck_analyses(self):
         run = simulate_netlist(RC_DECK)

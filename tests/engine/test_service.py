@@ -253,6 +253,27 @@ class TestSessionLRU:
         assert stats["sessions"]["entries"] == 2
         assert stats["sessions"]["misses"] == 2
 
+    def test_memory_mode_keys_distinct_sessions(self, daemon):
+        # compressed and exact sessions differ arithmetically, so the
+        # cache must never unify them under one key
+        with daemon.client() as c:
+            c.simulate(netlist=DECK, samples=4)
+            c.simulate(netlist=DECK, samples=4, memory="soe")
+            c.simulate(netlist=DECK, samples=4, memory="soe",
+                       memory_rtol=1e-6)
+            stats = c.stats()
+        assert stats["sessions"]["entries"] == 3
+        assert stats["sessions"]["misses"] == 3
+
+    def test_bad_memory_request_fails_cleanly(self, daemon):
+        with daemon.client() as c:
+            with pytest.raises(ServiceError, match="memory"):
+                c.simulate(netlist=DECK, samples=4, memory=7)
+            with pytest.raises(ServiceError, match="memory_rtol"):
+                c.simulate(netlist=DECK, samples=4, memory="soe",
+                           memory_rtol="tight")
+            assert c.ping()
+
     def test_lru_eviction_of_cold_sessions(self):
         handle = ServiceHandle(coalesce_ms=1.0, max_sessions=1)
         try:

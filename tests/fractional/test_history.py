@@ -1,0 +1,139 @@
+"""Direct unit tests for the shared memory-tail machinery.
+
+:mod:`repro.fractional.history` was previously exercised only through
+the GL stepper and the marching engine; these tests pin its contracts
+directly -- chunked evaluation, short histories, the empty-history
+``None`` protocol, and non-contiguous (unequal-width) block appends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.fractional.history import HistoryTail, history_dot, history_weights
+
+
+def power_law_coeffs(n: int, alpha: float = 0.7) -> np.ndarray:
+    """A GL-like kernel: unit head, power-law decaying lags."""
+    lags = np.arange(1, n, dtype=float)
+    return np.concatenate([[1.0], lags ** (-1.0 - alpha)])
+
+
+def brute_force_tail(blocks, coeffs, count):
+    """O(N * count) reference: every past column dotted per future column."""
+    X = np.hstack(blocks)
+    n, N = X.shape
+    H = np.zeros((n, count))
+    for j in range(count):
+        for i in range(N):
+            H[:, j] += coeffs[N + j - i] * X[:, i]
+    return H
+
+
+class TestHistoryWeights:
+    def test_block_matches_coefficient_indexing(self):
+        coeffs = power_law_coeffs(32)
+        W = history_weights(coeffs, 5, 4)
+        assert W.shape == (5, 4)
+        for i in range(5):
+            for j in range(4):
+                assert W[i, j] == coeffs[5 + j - i]
+
+    def test_rows_limit_is_a_prefix(self):
+        coeffs = power_law_coeffs(64)
+        full = history_weights(coeffs, 10, 6)
+        part = history_weights(coeffs, 10, 6, rows=3)
+        np.testing.assert_array_equal(part, full[:3])
+
+    def test_rejects_short_coefficients(self):
+        with pytest.raises(SolverError, match="full marching horizon"):
+            history_weights(power_law_coeffs(8), 6, 4)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SolverError):
+            history_weights(power_law_coeffs(8), -1, 4)
+        with pytest.raises(SolverError):
+            history_weights(power_law_coeffs(8), 2, 0)
+
+
+class TestHistoryTail:
+    def test_empty_history_returns_none(self):
+        tail = HistoryTail(power_law_coeffs(16))
+        assert tail.tail(4) is None
+        assert tail.columns == 0
+
+    def test_matches_brute_force(self, rng):
+        coeffs = power_law_coeffs(80)
+        blocks = [rng.standard_normal((3, 8)) for _ in range(5)]
+        tail = HistoryTail(coeffs)
+        for blk in blocks:
+            tail.append(blk)
+        np.testing.assert_allclose(
+            tail.tail(8), brute_force_tail(blocks, coeffs, 8), rtol=1e-13
+        )
+
+    def test_chunked_equals_unchunked(self, rng):
+        # chunking only repartitions the GEMM accumulation, so the two
+        # evaluations agree to float round-off for every chunk size
+        coeffs = power_law_coeffs(200)
+        blocks = [rng.standard_normal((4, 10)) for _ in range(8)]
+        whole = HistoryTail(coeffs)
+        for blk in blocks:
+            whole.append(blk)
+        reference = whole.tail(10)
+        for chunk in (1, 3, 7, 10, 64):
+            chunked = HistoryTail(coeffs, block_columns=chunk)
+            for blk in blocks:
+                chunked.append(blk)
+            np.testing.assert_allclose(
+                chunked.tail(10), reference, rtol=0, atol=1e-14
+            )
+
+    def test_count_larger_than_history(self, rng):
+        # only 6 solved columns but 20 requested future columns: the
+        # weight block is wider than it is tall, never out of range
+        coeffs = power_law_coeffs(40)
+        block = rng.standard_normal((2, 6))
+        tail = HistoryTail(coeffs)
+        tail.append(block)
+        np.testing.assert_allclose(
+            tail.tail(20), brute_force_tail([block], coeffs, 20), rtol=1e-13
+        )
+
+    def test_non_contiguous_block_widths(self, rng):
+        # marches append equal windows, but the contract allows any mix
+        coeffs = power_law_coeffs(120)
+        blocks = [
+            rng.standard_normal((3, w)) for w in (1, 7, 2, 13, 5)
+        ]
+        tail = HistoryTail(coeffs, block_columns=4)
+        for blk in blocks:
+            tail.append(blk)
+        assert tail.columns == 28
+        np.testing.assert_allclose(
+            tail.tail(9), brute_force_tail(blocks, coeffs, 9), rtol=1e-13
+        )
+
+    def test_agrees_with_history_dot(self, rng):
+        # the marching block view and the GL per-step view are the same
+        # convolution: column j of the block tail equals history_dot at
+        # step N + j restricted to the first N solved columns
+        coeffs = power_law_coeffs(64)
+        X = rng.standard_normal((3, 12))
+        tail = HistoryTail(coeffs)
+        tail.append(X)
+        H = tail.tail(4)
+        for j in range(4):
+            padded = np.hstack([X, np.zeros((3, j))])
+            np.testing.assert_allclose(
+                H[:, j], history_dot(padded, coeffs, 12 + j), rtol=1e-13
+            )
+
+    def test_rejects_bad_blocks(self):
+        tail = HistoryTail(power_law_coeffs(8))
+        with pytest.raises(SolverError):
+            tail.append(np.zeros(3))
+        with pytest.raises(SolverError):
+            HistoryTail(np.zeros((2, 2)))
+        with pytest.raises(SolverError):
+            HistoryTail(np.array([]))

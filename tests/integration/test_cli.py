@@ -222,6 +222,87 @@ class TestCli:
         assert "error" in capsys.readouterr().err
 
 
+class TestCliMemory:
+    """--memory soe: compressed fractional history through the CLI."""
+
+    @pytest.fixture
+    def cpe_file(self, tmp_path):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST)
+        return path
+
+    def test_march_reports_compression(self, cpe_file, capsys):
+        code = run(
+            [str(cpe_file), "--t-end", "4.0", "--steps", "600",
+             "--windows", "20", "--memory", "soe", "--points", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compressed memory:" in out
+        assert "exponential modes" in out and "certified bound" in out
+
+    def test_soe_matches_exact_march(self, cpe_file, tmp_path, capsys):
+        csv_exact = tmp_path / "exact.csv"
+        csv_soe = tmp_path / "soe.csv"
+        base = ["--t-end", "4.0", "--steps", "600", "--windows", "20"]
+        run([str(cpe_file), *base, "--csv", str(csv_exact)])
+        run([str(cpe_file), *base, "--memory", "soe", "--csv", str(csv_soe)])
+        exact = np.loadtxt(csv_exact, delimiter=",", skiprows=1)
+        soe = np.loadtxt(csv_soe, delimiter=",", skiprows=1)
+        scale = np.max(np.abs(exact[:, 1]))
+        assert np.max(np.abs(soe[:, 1] - exact[:, 1])) / scale < 1e-8
+
+    def test_memory_rtol_implies_soe(self, cpe_file, capsys):
+        code = run(
+            [str(cpe_file), "--t-end", "4.0", "--steps", "600",
+             "--windows", "20", "--memory-rtol", "1e-6", "--points", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rtol 1e-06" in out
+
+    def test_deck_memory_card_drives_cli(self, tmp_path, capsys):
+        path = tmp_path / "cpe_soe.sp"
+        path.write_text(
+            CPE_NETLIST
+            + ".tran 1e-2 4.0\n.options windows=20 memory=soe\n"
+        )
+        code = run([str(path), "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compressed memory:" in out
+
+    def test_cli_exact_overrides_deck_card(self, tmp_path, capsys):
+        path = tmp_path / "cpe_soe.sp"
+        path.write_text(
+            CPE_NETLIST
+            + ".tran 1e-2 4.0\n"
+            + ".options windows=20 memory=soe memory_rtol=1e-9\n"
+        )
+        code = run([str(path), "--memory", "exact", "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compressed memory:" not in out
+
+    def test_memory_rejected_for_foreign_method(self, tmp_path, capsys):
+        path = tmp_path / "cpe_fft.sp"
+        path.write_text(CPE_NETLIST + ".tran 1e-2 1.0\n.options method=fft\n")
+        code = run([str(path), "--memory", "soe"])
+        assert code == 1
+        assert "no fractional memory tail" in capsys.readouterr().err
+
+    def test_gl_method_supports_memory(self, tmp_path, capsys):
+        path = tmp_path / "cpe_gl.sp"
+        path.write_text(
+            CPE_NETLIST
+            + ".tran 2e-3 2.0\n.options method=grunwald-letnikov\n"
+        )
+        code = run([str(path), "--memory", "soe", "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compressed memory:" in out
+
+
 class TestCliBasis:
     @pytest.mark.parametrize("name", ["legendre", "chebyshev"])
     def test_spectral_round_trip(self, rc_file, capsys, name):

@@ -23,13 +23,14 @@ def scaling_payload(**overrides) -> dict:
     metrics = {
         "warm_session_speedup": {"value": 9.0, "claim": ">= 5x"},
         "batched_sweep_speedup": {"value": 4.0, "claim": ">= 3x"},
-        "windowed_march_speedup": {"value": 2.1, "claim": ">= 1.6x"},
+        "windowed_march_speedup": {"value": 2.4, "claim": ">= 1.8x"},
         "parallel_ensemble_speedup": {
             "value": 3.2, "claim": ">= 2.5x", "enforced": True, "cores": 8,
         },
         "cross_basis_coefficient_ratio": {"value": 42.0, "claim": ">= 10x"},
         "mor_reduced_sweep": {"value": 5.7, "claim": ">= 5x"},
         "service_coalesced_throughput": {"value": 8.2, "claim": ">= 3x"},
+        "soe_long_march": {"value": 4.7, "claim": ">= 3x"},
     }
     metrics.update(overrides)
     metrics = {k: v for k, v in metrics.items() if v is not None}
@@ -68,15 +69,16 @@ class TestBuildTrajectory:
         assert "batched_sweep_speedup" in failures[0]
 
     def test_windowed_floor_matches_its_bench_assertion(self):
-        """The windowed bench asserts >= 1.6x (nine measured runs span
-        1.73-2.20x); since the recalibration the trajectory target IS
-        the enforced floor -- no aspirational gap."""
+        """The windowed bench asserts >= 1.8x over a 30x horizon (five
+        measured runs span 2.33-2.50x); since the recalibration the
+        trajectory target IS the enforced floor -- no aspirational
+        gap."""
         merged = trajectory.build_trajectory(
-            scaling_payload(windowed_march_speedup={"value": 1.6}), None, sha="x"
+            scaling_payload(windowed_march_speedup={"value": 1.8}), None, sha="x"
         )
         assert trajectory.check(merged, enforce=True) == []
         merged = trajectory.build_trajectory(
-            scaling_payload(windowed_march_speedup={"value": 1.55}), None, sha="x"
+            scaling_payload(windowed_march_speedup={"value": 1.75}), None, sha="x"
         )
         assert len(trajectory.check(merged, enforce=True)) == 1
 
