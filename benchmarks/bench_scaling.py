@@ -788,3 +788,77 @@ def test_cross_basis_accuracy_per_m(benchmark):
     assert m_equal is not None and ratio >= 10.0, (
         f"equal-accuracy coefficient ratio {ratio} < 10x"
     )
+
+
+#: Floor for the hierarchy front-end throughput claim.  A 1000-instance
+#: subcircuit deck flattens + graph-lints at ~30k instances/s on a dev
+#: box; 5k/s leaves a wide margin for loaded shared CI runners while
+#: still catching an accidentally quadratic parser or lint pass.
+HIERARCHY_FLOOR = 5_000.0
+
+
+def test_hierarchy_flatten_lint_throughput(benchmark):
+    """Parse+flatten+lint a 1000-instance hierarchical deck, end to end.
+
+    The deck is a generated RC filter cascade: one ``.subckt`` with a
+    ``{param}`` placeholder, instantiated 1000 times (scaled by
+    REPRO_BENCH_SCALE) in one chain.  The measured rate covers the
+    whole front door -- tokenising, hierarchy expansion with parameter
+    substitution, duplicate detection, and the circuit-graph lint --
+    so it is the deck-ingest throughput a service sees before any
+    factorisation.
+    """
+    from repro.circuits import CircuitGraph, Netlist
+
+    n_instances = 1000 * bench_scale()
+    lines = [
+        "* generated filter cascade",
+        ".subckt rcsec in out r=1k c=1u",
+        "R1 in out {r}",
+        "C1 out 0 {c}",
+        ".ends",
+        "V1 drive 0 SIN(0 1 200)",
+    ]
+    previous = "drive"
+    for k in range(n_instances):
+        lines.append(f"X{k} {previous} n{k} rcsec r={1 + k % 7}k")
+        previous = f"n{k}"
+    lines.append(f"Rload {previous} 0 1k")
+    lines.extend([".tran 50u 10m", ".end"])
+    text = "\n".join(lines)
+
+    def ingest():
+        best = np.inf
+        for _ in range(3):
+            t0 = time.perf_counter()
+            netlist = Netlist.from_spice(text, title="cascade")
+            report = CircuitGraph(netlist).lint()
+            best = min(best, time.perf_counter() - t0)
+            assert not report, f"generated deck must lint clean: {report}"
+            assert netlist.n_instances == n_instances
+        return best
+
+    wall = benchmark.pedantic(ingest, rounds=1, iterations=1)
+    rate = n_instances / wall
+    register_row(
+        ENGINE_TABLE,
+        ENGINE_COLUMNS,
+        [
+            f"hierarchy ingest ({n_instances} instances)",
+            f"{wall * 1e3:.1f} ms",
+            f"{rate:,.0f} inst/s",
+            "-",
+            f">= {HIERARCHY_FLOOR:,.0f} inst/s",
+        ],
+    )
+    register_metric(
+        "hierarchy_flatten_throughput",
+        rate,
+        wall_seconds=wall,
+        n_instances=n_instances,
+        n_elements=2 * n_instances + 2,
+        claim=f">= {HIERARCHY_FLOOR:,.0f} instances/s",
+    )
+    assert rate >= HIERARCHY_FLOOR, (
+        f"hierarchy ingest only {rate:,.0f} instances/s"
+    )

@@ -68,6 +68,7 @@ REQUIRED_CLAIMS = (
     ("mor_reduced_sweep", 5.0, 5.0),
     ("service_coalesced_throughput", 3.0, 3.0),
     ("soe_long_march", 3.0, 3.0),
+    ("hierarchy_flatten_throughput", 5000.0, 5000.0),
 )
 
 

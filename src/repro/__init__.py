@@ -89,6 +89,7 @@ from .errors import (
     OperationalMatrixError,
     ReproError,
     ServiceError,
+    SingularPencilError,
     SolverError,
 )
 
@@ -149,6 +150,7 @@ __all__ = [
     "OperationalMatrixError",
     "ModelError",
     "SolverError",
+    "SingularPencilError",
     "ConvergenceError",
     "NetlistError",
     "EnsembleError",

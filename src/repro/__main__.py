@@ -17,6 +17,19 @@ and ``.options`` pre-selects basis/method/m/windows.  Command-line
 flags override their matching cards.  Transient samples go to
 ``--csv``, AC sweeps to ``--ac-csv``.
 
+Hierarchical decks are supported natively: ``.subckt name ports
+[param=val ...]`` / ``.ends`` definitions are instantiated by ``X``
+cards (nested to any depth) and flattened at parse time with
+deterministic dotted names (``xfilt.n1``, ``xfilt.r1``); ``{param}``
+placeholders in subcircuit bodies are substituted from instance
+overrides or definition defaults.
+
+``--lint`` runs the circuit-graph structural lint (floating nodes,
+sub-circuits with no DC path to ground -- see
+:mod:`repro.circuits.graph`) and exits without solving: status 0 when
+the deck is clean, 1 with findings.  The same report is available from
+a running service via ``client --netlist deck.cir --lint``.
+
 ``--basis`` selects the basis family the engine solves in: block
 pulses (the paper's default), Walsh/Haar transforms, or spectral
 Chebyshev/Legendre polynomials -- smooth circuits reach the same
@@ -48,7 +61,11 @@ where ``corners.json`` holds, e.g.::
 
 (``--parallel thread|serial`` selects the executor backend; a
 ``"mode": "cartesian"`` spec lists explicit values per element.)
-``--jobs`` also shards a large ``--sweep`` batch across workers.
+``--jobs`` also shards a large ``--sweep`` batch across workers, and
+on a deck whose circuit graph has several connected components a plain
+``--jobs N`` run solves each independent sub-circuit as its own
+sub-pencil in parallel and re-stitches the monolithic result
+bit-identically.
 
 With ``--windows K`` the horizon is solved by windowed time-marching:
 ``K`` consecutive windows of ``steps/K`` block pulses each on one
@@ -257,6 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="certified relative L1 bound the SOE kernel fit must meet "
         "(implies --memory soe when unset; default 1e-10)",
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="graph-lint the deck and exit without solving: report "
+        "floating/dangling nodes and components without a DC path to "
+        "ground, naming the offending nodes and elements (exit 0 when "
+        "clean, 1 with findings)",
+    )
     parser.add_argument("--csv", type=Path, help="write all samples to this CSV file")
     parser.add_argument(
         "--ac-csv",
@@ -312,8 +337,67 @@ def _print_memory(info: dict) -> None:
         )
 
 
+def _run_lint(netlist) -> int:
+    """Report the deck's circuit-graph lint; exit 1 when defects exist."""
+    from .circuits import CircuitGraph
+
+    graph = CircuitGraph(netlist)
+    s = graph.summary()
+    print(
+        f"deck {netlist.title!r}: {s['nodes']} node(s), "
+        f"{s['elements']} element(s), {s['components']} component(s), "
+        f"max degree {s['max_degree']}"
+    )
+    report = graph.lint()
+    if not report:
+        print("lint: clean")
+        return 0
+    for issue in report:
+        print(f"lint: {issue}")
+    return 1
+
+
+def _component_split_applies(args, netlist) -> bool:
+    """True when --jobs can parallelise a multi-component plain solve."""
+    from .circuits import CircuitGraph
+    from .engine.netlist_session import _memory_is_exact
+
+    if (
+        args.jobs is None
+        or args.jobs < 2
+        or args.t_end is None
+        or args.method != "opm"
+        or args.windows > 1
+        or args.event
+        or args.reduce_plan is not None
+        or not _memory_is_exact(args.memory)
+    ):
+        return False
+    graph = CircuitGraph(netlist)
+    return graph.n_components > 1 and not graph.orphan_elements
+
+
 def _run_single(args, netlist, system, outputs) -> int:
-    if args.method in ("opm", "opm-windowed"):
+    if args.method == "opm" and _component_split_applies(args, netlist):
+        from .circuits import CircuitGraph
+        from .engine.netlist_session import _solve_split_components
+
+        result = _solve_split_components(
+            netlist,
+            CircuitGraph(netlist),
+            system,
+            horizon=args.t_end,
+            m=args.steps,
+            basis=args.basis,
+            backend=args.backend,
+            memory=args.memory or "exact",
+            memory_rtol=args.memory_rtol,
+            sparse="auto",
+            use_ic=True,
+            jobs=args.jobs,
+            parallel=args.parallel,
+        )
+    elif args.method in ("opm", "opm-windowed"):
         result = simulate_opm(
             system,
             netlist.input_function(),
@@ -355,6 +439,13 @@ def _run_single(args, netlist, system, outputs) -> int:
             f"(rtol {mor['rtol']:g})"
         )
     _print_memory(result.info)
+    split_info = result.info.get("split") or {}
+    if split_info:
+        print(
+            f"component split: {split_info['components']} independent "
+            f"sub-pencils across {split_info.get('jobs')} worker(s) "
+            f"({split_info.get('executor')} executor)"
+        )
     print()
 
     t_print = _print_times(args)
@@ -868,6 +959,11 @@ def build_client_parser() -> argparse.ArgumentParser:
         "--csv", type=Path, metavar="FILE",
         help="write a --format csv response to this file",
     )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="with --netlist: graph-lint the deck on the service instead of "
+        "simulating it (exit 0 when clean, 1 with findings)",
+    )
     return parser
 
 
@@ -877,6 +973,8 @@ def _run_client(argv) -> int:
     from .engine.service import ServiceClient
 
     args = build_client_parser().parse_args(argv)
+    if args.lint and args.netlist is None:
+        raise ReproError("--lint needs --netlist FILE (the deck to check)")
     with ServiceClient(args.host, args.port) as client:
         if args.ping:
             print("pong" if client.ping() else "no pong")
@@ -892,6 +990,23 @@ def _run_client(argv) -> int:
             deck = args.netlist.read_text()
         except OSError as exc:
             raise ReproError(f"cannot read {args.netlist}: {exc}") from exc
+        if args.lint:
+            out = client.lint(deck)
+            summary = out["summary"]
+            print(
+                f"{summary['nodes']} node(s), {summary['elements']} "
+                f"element(s), {summary['components']} connected component(s)"
+            )
+            issues = out["report"]["issues"]
+            if not issues:
+                print("lint: clean")
+                return 0
+            for issue in issues:
+                print(
+                    f"lint: [{issue['code']}] {issue['message']} "
+                    f"(fix: {issue['hint']})"
+                )
+            return 1
         request: dict = {"netlist": deck, "format": args.format}
         if args.scales is not None:
             request["scales"] = args.scales
@@ -969,6 +1084,10 @@ def run(argv=None) -> int:
 
     try:
         netlist = Netlist.from_spice(text, title=netlist_path.stem)
+        if args.lint:
+            # lint is purely structural: no horizon, no solve, so it
+            # works on decks without a .tran card too
+            return _run_lint(netlist)
         cli_windows = args.windows  # None unless --windows was passed
         _resolve_deck_defaults(args, netlist)
         run_ac = netlist.analysis.ac is not None
@@ -1001,10 +1120,17 @@ def run(argv=None) -> int:
         code = 0
         if args.jobs is not None and args.jobs < 1:
             raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
-        if args.jobs is not None and args.ensemble is None and not args.sweep:
+        if (
+            args.jobs is not None
+            and args.ensemble is None
+            and not args.sweep
+            and not _component_split_applies(args, netlist)
+        ):
             raise ReproError(
-                "--jobs shards --ensemble members or a --sweep batch; "
-                "pass one of those flags with it"
+                "--jobs shards --ensemble members, a --sweep batch, or the "
+                "independent sub-circuits of a multi-component deck; pass "
+                "--ensemble/--sweep with it, or point it at a deck whose "
+                "circuit graph has more than one connected component"
             )
         if args.t_end is not None:
             if args.ensemble is not None and (

@@ -1,7 +1,9 @@
 """Circuit substrate: components, netlists, assembly, workload generators.
 
 This is the EDA layer the paper's evaluation runs on: netlist
-description (:mod:`~repro.circuits.netlist`), MNA assembly into
+description (:mod:`~repro.circuits.netlist`, hierarchical
+``.subckt``/``X`` decks flattened at parse time), circuit-graph
+analysis and lint (:mod:`~repro.circuits.graph`), MNA assembly into
 DAE / fractional models (:mod:`~repro.circuits.mna`), nodal-analysis
 assembly into second-order models (:mod:`~repro.circuits.nodal`), and
 the two benchmark workload generators -- the 3-D power grid of
@@ -21,6 +23,7 @@ from .components import (
     Resistor,
     VoltageSource,
 )
+from .graph import CircuitGraph, GraphComponent, LintIssue, LintReport
 from .ladder import rc_ladder_netlist, rlc_ladder_netlist
 from .mna import assemble_mna, assemble_mna_restamp, output_matrix
 from .netlist import Netlist
@@ -49,6 +52,10 @@ __all__ = [
     "AcCard",
     "parse_value",
     "parse_source_spec",
+    "CircuitGraph",
+    "GraphComponent",
+    "LintIssue",
+    "LintReport",
     "Resistor",
     "Capacitor",
     "Inductor",

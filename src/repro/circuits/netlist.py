@@ -37,6 +37,25 @@ time cannot see.  Omitted ``PULSE`` edges mean *ideal* edges -- SPICE
 would default ``TR``/``TF`` to the print step -- and ``PW``/``PER``
 default to a single never-returning pulse.)
 
+Hierarchical decks are supported through subcircuit definitions and
+instances, flattened at parse time::
+
+    .subckt <name> <port> [<port> ...] [param=value ...]
+       <element / X cards>
+    .ends [<name>]
+    X<name> <node> [<node> ...] <subckt> [param=value ...]
+
+Instances expand recursively (an ``X`` card inside a ``.subckt`` body
+instantiates nested subcircuits); internal nodes and element names are
+prefixed deterministically with the lower-cased instance name
+(``xfilt.n1``, ``xfilt.R1``, and ``xa.xb.n1`` when nested), ports map
+to the connecting nodes, and ground aliases normalise to ``0`` before
+flattening so a ``gnd``/``vss`` inside a subcircuit body never becomes
+a private internal node.  ``{param}`` references in value fields are
+substituted from the definition defaults, overridden per instance.
+Duplicate element names and duplicate ``.subckt`` definitions raise a
+:class:`~repro.errors.NetlistError` naming both source lines.
+
 Dot-commands ``.tran`` / ``.ac`` / ``.ic`` / ``.options`` are parsed
 into a typed :class:`~repro.circuits.cards.AnalysisSpec` (see that
 module) available as :attr:`Netlist.analysis`; other dot-cards are
@@ -47,7 +66,7 @@ after whitespace (so hierarchical ``$`` node names survive).
 Numeric tokens take the usual engineering suffixes (``k``, ``meg``,
 ``mil``, ``m``, ``u``, ``n``, ``p``, ``f``, ``t``, ``g``); trailing
 unit text is ignored (``1kOhm``, ``10uF``).  Node ``0`` (or ``gnd`` /
-``ground`` in any letter case) is ground.
+``vss`` / ``ground`` in any letter case) is ground.
 """
 
 from __future__ import annotations
@@ -82,7 +101,7 @@ from .sources import (
 __all__ = ["Netlist", "GROUND_NAMES", "parse_value", "parse_source_spec"]
 
 #: Node names treated as the ground reference (compared case-insensitively).
-GROUND_NAMES = ("0", "gnd", "ground")
+GROUND_NAMES = ("0", "gnd", "vss", "ground")
 
 _SUFFIXES = {
     "t": 1e12,
@@ -241,6 +260,31 @@ def parse_source_spec(spec: str, name: str = "?") -> tuple[Waveform, complex | N
     return waveform, ac
 
 
+#: ``{param}`` reference inside a subcircuit-body token.
+_PARAM_RE = re.compile(r"\{([A-Za-z_][\w.]*)\}")
+
+
+class _SubcktDef:
+    """One ``.subckt`` definition collected before flattening.
+
+    ``params`` maps lower-cased parameter names to their default value
+    tokens; ``body`` holds ``(lineno, text)`` cards in source order.
+    """
+
+    def __init__(
+        self, name: str, ports: tuple[str, ...], params: dict[str, str], lineno: int
+    ) -> None:
+        self.name = name
+        self.ports = ports
+        self.params = params
+        self.lineno = lineno
+        self.body: list[tuple[int, str]] = []
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+
 class Netlist:
     """Ordered circuit description with node and input-channel registries.
 
@@ -260,6 +304,8 @@ class Netlist:
         self.elements: list[Element] = []
         self.couplings: list[MutualInductance] = []
         self.analysis = AnalysisSpec()
+        #: subcircuit instances expanded during parsing (0 for flat decks)
+        self.n_instances = 0
         self._names: set[str] = set()
         self._node_order: list[str] = []
         self._node_index: dict[str, int] = {}
@@ -272,13 +318,13 @@ class Netlist:
     # ------------------------------------------------------------------
     @staticmethod
     def is_ground(node: str) -> bool:
-        """True when ``node`` is a ground alias (``0``/``gnd``/``ground``).
+        """True when ``node`` is a ground alias (``0``/``gnd``/``vss``/``ground``).
 
-        Comparison is case-insensitive: ``Gnd``, ``GROUND`` and
+        Comparison is case-insensitive: ``Gnd``, ``VSS`` and
         ``Ground`` all name the reference node (registering them as
         live nodes would silently produce a wrong MNA system).
 
-        >>> Netlist.is_ground("Gnd"), Netlist.is_ground("GROUND")
+        >>> Netlist.is_ground("Gnd"), Netlist.is_ground("VSS")
         (True, True)
         """
         return node.lower() in GROUND_NAMES
@@ -620,13 +666,17 @@ class Netlist:
     # parsing
     # ------------------------------------------------------------------
     @staticmethod
-    def _logical_lines(text: str) -> list[str]:
+    def _numbered_logical_lines(text: str) -> list[tuple[int, str]]:
         """Join ``+`` continuations and strip comments from a deck.
 
-        ``*`` lines are full-line comments; ``;`` and ``$`` begin
-        inline comments; a leading ``+`` continues the previous card
-        (comments are stripped before joining, so a commented card
-        still continues cleanly).  Stops at ``.end``.
+        Returns ``(lineno, card)`` pairs where ``lineno`` is the
+        1-based physical line the card started on (duplicate-name
+        diagnostics point back at it).  ``*`` lines are full-line
+        comments; ``;`` and ``$`` begin inline comments; a leading
+        ``+`` continues the previous card (comments are stripped
+        before joining, so a commented card still continues cleanly).
+        Stops at ``.end`` -- the terminator card exactly, so that
+        ``.ends`` (subcircuit end) and ``.endl`` pass through.
         """
 
         def strip_inline(line: str) -> str:
@@ -641,8 +691,8 @@ class Netlist:
                 line = line[: match.start()]
             return line.strip()
 
-        logical: list[str] = []
-        for raw_line in text.splitlines():
+        logical: list[tuple[int, str]] = []
+        for lineno, raw_line in enumerate(text.splitlines(), start=1):
             line = raw_line.strip()
             if not line or line.startswith("*"):
                 continue
@@ -653,15 +703,286 @@ class Netlist:
                         "continuation line '+' with no card to continue"
                     )
                 if continuation:
-                    logical[-1] += " " + continuation
+                    start, card = logical[-1]
+                    logical[-1] = (start, card + " " + continuation)
                 continue
             line = strip_inline(line)
             if not line:
                 continue
-            if line.lower().startswith(".end"):
+            if line.split()[0].lower() == ".end":
                 break
-            logical.append(line)
+            logical.append((lineno, line))
         return logical
+
+    @staticmethod
+    def _logical_lines(text: str) -> list[str]:
+        """Logical cards of a deck, without source-line numbers."""
+        return [card for _, card in Netlist._numbered_logical_lines(text)]
+
+    # ------------------------------------------------------------------
+    # hierarchy: .subckt collection and X-card expansion
+    # ------------------------------------------------------------------
+    @classmethod
+    def _collect_subckts(
+        cls, numbered: list[tuple[int, str]]
+    ) -> tuple[list[tuple[int, str]], dict[str, "_SubcktDef"]]:
+        """Split numbered cards into top-level cards and subckt definitions.
+
+        Raises
+        ------
+        NetlistError
+            For duplicate ``.subckt`` definitions (naming both source
+            lines), nested definitions, analysis dot-cards inside a
+            body, stray/missing ``.ends``, or a malformed header.
+        """
+        defs: dict[str, _SubcktDef] = {}
+        top: list[tuple[int, str]] = []
+        current: _SubcktDef | None = None
+        for lineno, line in numbered:
+            fields = line.split()
+            command = fields[0].lower()
+            if command == ".subckt":
+                if current is not None:
+                    raise NetlistError(
+                        f"nested .subckt at line {lineno}: definition of "
+                        f"{current.name!r} (line {current.lineno}) is still open"
+                    )
+                if len(fields) < 3:
+                    raise NetlistError(
+                        f".subckt at line {lineno} expects '.subckt <name> "
+                        f"<port> [<port> ...] [param=value ...]', got {line!r}"
+                    )
+                name = fields[1]
+                prior = defs.get(name.lower())
+                if prior is not None:
+                    raise NetlistError(
+                        f"duplicate .subckt definition {name!r}: first defined "
+                        f"at line {prior.lineno}, redefined at line {lineno}"
+                    )
+                ports: list[str] = []
+                params: dict[str, str] = {}
+                for token in fields[2:]:
+                    if "=" in token:
+                        pname, _, pval = token.partition("=")
+                        if not pname or not pval:
+                            raise NetlistError(
+                                f".subckt {name!r} (line {lineno}): malformed "
+                                f"parameter default {token!r}"
+                            )
+                        params[pname.lower()] = pval
+                    elif params:
+                        raise NetlistError(
+                            f".subckt {name!r} (line {lineno}): port {token!r} "
+                            "appears after parameter defaults"
+                        )
+                    else:
+                        if cls.is_ground(token):
+                            raise NetlistError(
+                                f".subckt {name!r} (line {lineno}): port "
+                                f"{token!r} is a ground alias; connect ground "
+                                "inside the body instead"
+                            )
+                        if token.lower() in (p.lower() for p in ports):
+                            raise NetlistError(
+                                f".subckt {name!r} (line {lineno}): duplicate "
+                                f"port {token!r}"
+                            )
+                        ports.append(token)
+                if not ports:
+                    raise NetlistError(
+                        f".subckt {name!r} (line {lineno}) declares no ports"
+                    )
+                current = _SubcktDef(name, tuple(ports), params, lineno)
+                defs[current.key] = current
+            elif command == ".ends":
+                if current is None:
+                    raise NetlistError(
+                        f".ends at line {lineno} without an open .subckt"
+                    )
+                if len(fields) > 1 and fields[1].lower() != current.key:
+                    raise NetlistError(
+                        f".ends {fields[1]!r} at line {lineno} does not close "
+                        f".subckt {current.name!r} (line {current.lineno})"
+                    )
+                current = None
+            elif current is not None:
+                if command.startswith("."):
+                    raise NetlistError(
+                        f"dot-card {fields[0]!r} inside .subckt "
+                        f"{current.name!r} (line {lineno}): analysis cards "
+                        "belong at top level"
+                    )
+                current.body.append((lineno, line))
+            else:
+                top.append((lineno, line))
+        if current is not None:
+            raise NetlistError(
+                f".subckt {current.name!r} (line {current.lineno}) is never "
+                "closed with .ends"
+            )
+        return top, defs
+
+    @staticmethod
+    def _substitute_params(token: str, params: dict[str, str], context: str) -> str:
+        """Replace ``{param}`` references in one card token."""
+
+        def repl(match: "re.Match[str]") -> str:
+            key = match.group(1).lower()
+            try:
+                return params[key]
+            except KeyError:
+                known = ", ".join(sorted(params)) or "none declared"
+                raise NetlistError(
+                    f"{context}: unknown parameter "
+                    f"{{{match.group(1)}}} (known: {known})"
+                ) from None
+
+        return _PARAM_RE.sub(repl, token)
+
+    @classmethod
+    def _expand_instance(
+        cls,
+        lineno: int,
+        fields: list[str],
+        defs: dict[str, "_SubcktDef"],
+        parent_prefix: str,
+        parent_map: Callable[[str], str],
+        stack: tuple[str, ...],
+        seen: dict[str, int],
+        out: list[tuple[int, list[str]]],
+    ) -> int:
+        """Expand one ``X`` card into flattened element cards (appended
+        to ``out``); returns the number of instances expanded
+        (including nested ones)."""
+        inst_name = fields[0]
+        rest = list(fields[1:])
+        overrides: dict[str, str] = {}
+        while rest and "=" in rest[-1]:
+            pname, _, pval = rest.pop().partition("=")
+            if not pname or not pval:
+                raise NetlistError(
+                    f"instance {inst_name!r} (line {lineno}): malformed "
+                    f"parameter override {pname + '=' + pval!r}"
+                )
+            overrides[pname.lower()] = pval
+        if len(rest) < 2:
+            raise NetlistError(
+                f"instance card {inst_name!r} (line {lineno}) expects "
+                "'X<name> <node> [<node> ...] <subckt> [param=value ...]'"
+            )
+        sub_name = rest[-1]
+        connections = rest[:-1]
+        sdef = defs.get(sub_name.lower())
+        if sdef is None:
+            known = ", ".join(sorted(d.name for d in defs.values())) or "none"
+            raise NetlistError(
+                f"instance {inst_name!r} (line {lineno}): unknown subcircuit "
+                f"{sub_name!r} (defined: {known})"
+            )
+        if sdef.key in stack:
+            chain = " -> ".join((*stack, sdef.key))
+            raise NetlistError(
+                f"instance {inst_name!r} (line {lineno}): recursive "
+                f"instantiation of .subckt {sdef.name!r} ({chain})"
+            )
+        if len(connections) != len(sdef.ports):
+            raise NetlistError(
+                f"instance {inst_name!r} (line {lineno}): {len(connections)} "
+                f"connection(s) for .subckt {sdef.name!r} with "
+                f"{len(sdef.ports)} port(s) {sdef.ports}"
+            )
+        unknown = set(overrides) - set(sdef.params)
+        if unknown:
+            known = ", ".join(sorted(sdef.params)) or "none declared"
+            raise NetlistError(
+                f"instance {inst_name!r} (line {lineno}): unknown "
+                f"parameter(s) {sorted(unknown)} for .subckt {sdef.name!r} "
+                f"(known: {known})"
+            )
+        prefix = (
+            f"{parent_prefix}.{inst_name.lower()}"
+            if parent_prefix
+            else inst_name.lower()
+        )
+        prior = seen.get(prefix)
+        if prior is not None:
+            raise NetlistError(
+                f"duplicate instance name {inst_name!r}: first defined at "
+                f"line {prior}, redefined at line {lineno}"
+            )
+        seen[prefix] = lineno
+        params = {**sdef.params, **overrides}
+        node_map = {
+            port.lower(): parent_map(conn)
+            for port, conn in zip(sdef.ports, connections)
+        }
+
+        def map_node(token: str) -> str:
+            if cls.is_ground(token):
+                return "0"  # ground aliases unify before flattening
+            mapped = node_map.get(token.lower())
+            if mapped is not None:
+                return mapped
+            return f"{prefix}.{token}"
+
+        count = 1
+        context = f"instance {prefix!r} of .subckt {sdef.name!r}"
+        for body_lineno, body_line in sdef.body:
+            body_fields = [
+                cls._substitute_params(
+                    token, params, f"{context}, body line {body_lineno}"
+                )
+                for token in body_line.split()
+            ]
+            kind = body_fields[0][0].upper()
+            if kind == "X":
+                count += cls._expand_instance(
+                    body_lineno,
+                    body_fields,
+                    defs,
+                    parent_prefix=prefix,
+                    parent_map=map_node,
+                    stack=(*stack, sdef.key),
+                    seen=seen,
+                    out=out,
+                )
+                continue
+            flat_name = f"{prefix}.{body_fields[0]}"
+            if kind == "K":
+                if len(body_fields) != 4:
+                    raise NetlistError(
+                        f"coupling card {flat_name!r} (line {body_lineno}): "
+                        f"expected 4 fields, got {len(body_fields)}"
+                    )
+                out.append(
+                    (
+                        body_lineno,
+                        [
+                            flat_name,
+                            f"{prefix}.{body_fields[1]}",
+                            f"{prefix}.{body_fields[2]}",
+                            body_fields[3],
+                        ],
+                    )
+                )
+                continue
+            n_nodes = 4 if kind == "G" else 2
+            if len(body_fields) < 1 + n_nodes:
+                raise NetlistError(
+                    f"card {flat_name!r} (line {body_lineno}): too few fields "
+                    f"for a {kind} element"
+                )
+            out.append(
+                (
+                    body_lineno,
+                    [
+                        flat_name,
+                        *(map_node(t) for t in body_fields[1 : 1 + n_nodes]),
+                        *body_fields[1 + n_nodes :],
+                    ],
+                )
+            )
+        return count
 
     def _parse_dot_card(self, fields: list[str]) -> None:
         """Parse one ``.tran`` / ``.ac`` / ``.ic`` / ``.options`` card."""
@@ -729,9 +1050,11 @@ class Netlist:
         """Build a netlist from SPICE-subset cards (see module docstring).
 
         Handles ``+`` continuation lines, inline ``;`` / ``$``
-        comments, transient source functions, and the ``.tran`` /
-        ``.ac`` / ``.ic`` / ``.options`` dot-commands (collected into
-        :attr:`analysis`).
+        comments, transient source functions, ``.subckt``/``.ends``
+        definitions with ``X`` instances (flattened recursively, with
+        hierarchical node/element names and ``{param}`` substitution),
+        and the ``.tran`` / ``.ac`` / ``.ic`` / ``.options``
+        dot-commands (collected into :attr:`analysis`).
 
         Examples
         --------
@@ -744,15 +1067,62 @@ class Netlist:
         ... ''')
         >>> nl.n_nodes, nl.analysis.tran.steps
         (1, 500)
+
+        >>> nl = Netlist.from_spice('''
+        ... .subckt rcsec in out r=1k c=1u
+        ... R1 in out {r}
+        ... C1 out gnd {c}
+        ... .ends
+        ... V1 drive 0 SIN(0 1 1k)
+        ... Xa drive mid rcsec
+        ... Xb mid tap rcsec r=2k
+        ... .tran 10u 5m
+        ... ''')
+        >>> nl.nodes
+        ['drive', 'mid', 'tap']
+        >>> [r.name for r in nl.resistors], nl.resistors[1].resistance
+        (['xa.R1', 'xb.R1'], 2000.0)
         """
         netlist = cls(title)
-        for line in cls._logical_lines(text):
+        numbered = cls._numbered_logical_lines(text)
+        top, defs = cls._collect_subckts(numbered)
+        flat: list[tuple[int, list[str]]] = []
+        seen: dict[str, int] = {}
+        n_instances = 0
+        for lineno, line in top:
             fields = line.split()
+            if not fields[0].startswith(".") and fields[0][0].upper() == "X":
+                n_instances += cls._expand_instance(
+                    lineno,
+                    fields,
+                    defs,
+                    parent_prefix="",
+                    parent_map=lambda token: (
+                        "0" if cls.is_ground(token) else token
+                    ),
+                    stack=(),
+                    seen=seen,
+                    out=flat,
+                )
+            else:
+                flat.append((lineno, fields))
+        netlist.n_instances = n_instances
+        for lineno, fields in flat:
             name = fields[0]
             if name.startswith("."):
                 netlist._parse_dot_card(fields)
                 continue
-            kind = name[0].upper()
+            # hierarchical names keep the element-kind letter in the
+            # leaf segment ("xa.R1" is a resistor)
+            leaf = name.rsplit(".", 1)[-1]
+            kind = leaf[0].upper() if leaf else "?"
+            prior = seen.get(name)
+            if prior is not None and prior != lineno:
+                raise NetlistError(
+                    f"duplicate element name {name!r}: first defined at "
+                    f"line {prior}, redefined at line {lineno}"
+                )
+            seen[name] = lineno
             if kind in "RCL" and len(fields) != 4:
                 raise NetlistError(f"card {name!r}: expected 4 fields, got {len(fields)}")
             if kind in "IV" and len(fields) < 4:

@@ -41,7 +41,7 @@ import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..errors import SolverError
+from ..errors import SingularPencilError, SolverError
 from .array_api import KNOWN_ARRAY_BACKENDS, env_backend, resolve_namespace
 from .array_api import to_host as _array_to_host
 
@@ -136,7 +136,7 @@ class PencilBackend(abc.ABC):
 
         Raises
         ------
-        SolverError
+        SingularPencilError
             If the pencil is exactly singular.
         """
 
@@ -160,9 +160,14 @@ class PencilBackend(abc.ABC):
         """Matrix-vector/matrix product ``E @ x`` (used by history tails)."""
 
 
-def _raise_singular(sigma: float, exc: Exception):
-    raise SolverError(
-        f"shifted pencil sigma*E - A is singular at sigma={sigma:g}"
+def _raise_singular(sigma: float, exc: Exception | None):
+    raise SingularPencilError(
+        f"shifted pencil sigma*E - A is singular at sigma={sigma:g}; "
+        "for circuit models this usually means a structural defect -- "
+        "a floating node, no conductive path to ground, or a missing "
+        "ground reference -- run the graph lint "
+        "(CircuitGraph(netlist).lint(), or `python -m repro --lint deck.cir`) "
+        "to see the offending nodes and elements"
     ) from exc
 
 
@@ -677,9 +682,11 @@ class PencilBank:
                 self._cache.move_to_end(key)
             out = self.backend.solve(handle, rhs)
         if not self.backend.all_finite(out):
-            raise SolverError(
+            raise SingularPencilError(
                 f"pencil solve at sigma={sigma:g} produced non-finite values "
-                "(singular or extremely ill-conditioned pencil)"
+                "(singular or extremely ill-conditioned pencil); for circuit "
+                "models, run the graph lint (CircuitGraph(netlist).lint()) "
+                "to check for floating nodes or a missing ground reference"
             )
         return out
 

@@ -4,8 +4,14 @@ This module turns a parsed :class:`~repro.circuits.netlist.Netlist`
 (or a ``.cir`` file) directly into engine work, executing the deck's
 :class:`~repro.circuits.cards.AnalysisSpec`:
 
-* :func:`build_system` -- MNA assembly honouring ``.ic`` initial node
-  voltages;
+* :func:`build_system` -- graph lint (floating nodes, missing DC
+  paths; see :mod:`repro.circuits.graph`) followed by MNA assembly
+  honouring ``.ic`` initial node voltages -- the single choke point
+  every front door (library, CLI, service daemon) assembles through,
+  so structural deck defects fail fast with named nodes/elements
+  instead of a singular pencil deep in the solver;
+* :func:`lint_netlist` -- the standalone lint report (the CLI's
+  ``--lint`` flag and the service daemon's ``lint`` op);
 * :func:`from_netlist` (also reachable as
   :meth:`repro.Simulator.from_netlist`) -- a warm cached
   :class:`~repro.engine.session.Simulator` whose grid, basis, and
@@ -15,10 +21,18 @@ This module turns a parsed :class:`~repro.circuits.netlist.Netlist`
 * :func:`ac_scan` -- ``.ac`` small-signal sweeps through
   :func:`repro.analysis.frequency.frequency_response`, driven by the
   sources' ``AC`` magnitudes;
-* :func:`simulate_netlist` -- the one-call driver: parse, assemble,
-  run every requested analysis (``.tran`` through ``run``/``march``,
-  ``.ac`` through the frequency sweep), and return a
-  :class:`NetlistRun`.
+* :func:`simulate_netlist` -- the one-call driver: parse,
+  graph-analyse, assemble, run every requested analysis (``.tran``
+  through ``run``/``march``, ``.ac`` through the frequency sweep), and
+  return a :class:`NetlistRun`.  With ``jobs > 1`` a deck whose
+  circuit graph has several connected components is split into
+  per-component sub-pencils and solved in parallel through the
+  :class:`~repro.engine.executor.ParallelExecutor` -- bit-identical to
+  the monolithic solve (the monolithic pencil is a permuted
+  block-diagonal of the component pencils, so dense partial-pivoted LU
+  performs exactly the same arithmetic per block), re-stitched into a
+  single :class:`~repro.core.result.SimulationResult` in the original
+  monolithic state order.
 
 Example
 -------
@@ -41,6 +55,7 @@ import numpy as np
 
 from ..analysis.frequency import frequency_response
 from ..circuits.cards import AcCard
+from ..circuits.graph import CircuitGraph, LintReport
 from ..circuits.mna import assemble_mna
 from ..circuits.netlist import Netlist
 from ..errors import NetlistError
@@ -49,6 +64,7 @@ from .session import Simulator
 
 __all__ = [
     "build_system",
+    "lint_netlist",
     "from_netlist",
     "ac_scan",
     "simulate_netlist",
@@ -82,14 +98,33 @@ def _memory_is_exact(memory) -> bool:
     )
 
 
-def build_system(netlist: Netlist, outputs=None, *, sparse: str = "auto",
-                 use_ic: bool = True):
-    """Assemble the netlist's MNA model, honouring its ``.ic`` card.
+def lint_netlist(source, title: str = "") -> LintReport:
+    """Graph-lint a deck without assembling or solving it.
 
-    Thin wrapper over :func:`repro.circuits.mna.assemble_mna` that
-    threads the deck's initial node voltages into the model's ``x0``
-    (disable with ``use_ic=False``).
+    Parses ``source`` (netlist / deck text / path) and returns the
+    :class:`~repro.circuits.graph.LintReport` of its circuit graph --
+    floating nodes and components without a DC path, each naming the
+    offending nodes/elements with a fix hint.  This is what the CLI's
+    ``--lint`` flag and the service daemon's ``lint`` op expose.
     """
+    return CircuitGraph(_as_netlist(source, title)).lint()
+
+
+def build_system(netlist: Netlist, outputs=None, *, sparse: str = "auto",
+                 use_ic: bool = True, lint: bool = True):
+    """Graph-lint and assemble the netlist's MNA model.
+
+    Wrapper over :func:`repro.circuits.mna.assemble_mna` that first
+    runs the circuit-graph lint (floating nodes, missing DC path --
+    ``lint=False`` skips it) so structural defects raise a
+    :class:`~repro.errors.NetlistError` naming the offending
+    nodes/elements *before* factorisation instead of surfacing as a
+    :class:`~repro.errors.SingularPencilError` inside the solver, and
+    then threads the deck's ``.ic`` initial node voltages into the
+    model's ``x0`` (disable with ``use_ic=False``).
+    """
+    if lint:
+        CircuitGraph(netlist).check()
     ic = netlist.analysis.ic if use_ic else None
     return assemble_mna(netlist, outputs=outputs, sparse=sparse, ic=ic)
 
@@ -263,6 +298,107 @@ def ac_scan(netlist, system=None, card=None, *, outputs=None) -> AcScan:
     )
 
 
+def _component_state_rows(parent: Netlist, sub: Netlist) -> list[int]:
+    """Monolithic state indices of one component's states, in sub order.
+
+    MNA state order is node voltages (netlist node order), then
+    inductor branch currents, then voltage-source branch currents, each
+    in declaration order -- and a component sub-netlist preserves the
+    parent's relative declaration order, so every sub state maps to a
+    unique monolithic row by name.
+    """
+    n_nodes = parent.n_nodes
+    l_row = {el.name: n_nodes + k for k, el in enumerate(parent.inductors)}
+    n_l = len(l_row)
+    v_row = {
+        el.name: n_nodes + n_l + k
+        for k, el in enumerate(parent.voltage_sources)
+    }
+    rows = [parent.node_index(node) for node in sub.nodes]
+    rows += [l_row[el.name] for el in sub.inductors]
+    rows += [v_row[el.name] for el in sub.voltage_sources]
+    return rows
+
+
+def _solve_split_components(
+    netlist: Netlist,
+    graph: CircuitGraph,
+    system,
+    *,
+    horizon: float,
+    m: int,
+    basis,
+    backend: str,
+    memory,
+    memory_rtol,
+    sparse: str,
+    use_ic: bool,
+    jobs: int,
+    parallel: str,
+):
+    """Solve each connected component as its own pencil, in parallel.
+
+    Returns a :class:`~repro.core.result.SimulationResult` whose
+    coefficients live in the *monolithic* state order -- bit-identical
+    to the serial monolithic solve, because the monolithic pencil is a
+    permuted block-diagonal of the component pencils: partial-pivoted
+    LU never mixes blocks (cross-block entries are exactly zero), so
+    each block sees exactly the arithmetic the sub-solve performs.
+    """
+    from ..core.result import SimulationResult
+    from .executor import Ensemble, EnsembleMember, ParallelExecutor
+
+    subs = graph.split()
+    members = []
+    for sub in subs:
+        sub_system = build_system(
+            sub, outputs=list(sub.nodes), sparse=sparse, use_ic=use_ic,
+            lint=False,  # the parent deck was linted as a whole
+        )
+        members.append(
+            EnsembleMember(
+                system=sub_system, u=sub.input_function(), label=sub.title
+            )
+        )
+    executor = ParallelExecutor(parallel, jobs=jobs)
+    ensemble_result = executor.run(
+        Ensemble(members), (horizon, m), basis=basis, solver_backend=backend,
+        memory=memory, memory_rtol=memory_rtol,
+    )
+
+    first = ensemble_result[0]
+    n_states = netlist.n_nodes + len(netlist.inductors) + len(netlist.voltage_sources)
+    coefficients = np.zeros((n_states, first.basis.size))
+    input_coefficients = np.zeros((netlist.n_channels, first.basis.size))
+    source_channel = {
+        el.name: el.channel
+        for el in netlist.elements
+        if hasattr(el, "channel")
+    }
+    wall_time = 0.0
+    for sub, result in zip(subs, ensemble_result):
+        coefficients[_component_state_rows(netlist, sub)] = result.coefficients
+        for el in sub.elements:
+            if hasattr(el, "channel"):
+                input_coefficients[source_channel[el.name]] = (
+                    result.input_coefficients[el.channel]
+                )
+        wall_time += result.wall_time or 0.0
+    info = dict(first.info)
+    info["split"] = {
+        "components": len(subs),
+        **{k: v for k, v in ensemble_result.info.items() if k != "basis"},
+    }
+    return SimulationResult(
+        first.basis,
+        coefficients,
+        system,
+        input_coefficients,
+        wall_time=wall_time,
+        info=info,
+    )
+
+
 @dataclass(frozen=True)
 class NetlistRun:
     """Everything one deck's analyses produced.
@@ -369,6 +505,13 @@ def simulate_netlist(
         solved on the deck's transient grid across ``jobs`` workers
         (``parallel`` backend) and returned as
         :attr:`NetlistRun.ensemble`.
+    jobs, parallel:
+        Worker count and executor backend.  Besides sharding ensembles,
+        ``jobs > 1`` lets a deck whose circuit graph has several
+        connected components solve each component as an independent
+        sub-pencil in parallel (plain ``opm`` transient, no reduction,
+        exact memory) -- bit-identical to the serial monolithic solve
+        and re-stitched into one result in monolithic state order.
 
     Examples
     --------
@@ -448,11 +591,28 @@ def simulate_netlist(
             )
             tran = sim.march(u, horizon)
         else:
-            sim = Simulator(
-                system, (horizon, m), basis=basis, backend=backend, reduce=reduce,
-                memory=memory, memory_rtol=memory_rtol,
-            )
-            tran = sim.run(u)
+            graph = CircuitGraph(netlist)
+            if (
+                jobs is not None
+                and jobs > 1
+                and reduce is None  # ROM bases differ per block: stay monolithic
+                and _memory_is_exact(memory)
+                and graph.n_components > 1
+                and not graph.orphan_elements
+            ):
+                tran = _solve_split_components(
+                    netlist, graph, system,
+                    horizon=horizon, m=m, basis=basis, backend=backend,
+                    memory=memory, memory_rtol=memory_rtol,
+                    sparse=sparse, use_ic=use_ic,
+                    jobs=jobs, parallel=parallel,
+                )
+            else:
+                sim = Simulator(
+                    system, (horizon, m), basis=basis, backend=backend,
+                    reduce=reduce, memory=memory, memory_rtol=memory_rtol,
+                )
+                tran = sim.run(u)
 
     ensemble_result = None
     if ensemble is not None:

@@ -42,6 +42,11 @@ One JSON object per line, both directions.  Request ``op`` values:
     runs: a *sweep request*), ``samples`` (output sample count),
     ``values`` (``"outputs"`` / ``"states"``), ``format`` (``"json"``
     / ``"csv"``), ``id`` (echoed back).
+``lint``
+    ``{"op": "lint", "netlist": "<deck>"}``.  Parses and graph-lints
+    the deck (floating nodes, missing DC paths; see
+    :mod:`repro.circuits.graph`) without assembling or solving it,
+    returning the issue report and the structural graph summary.
 ``stats``
     Returns the daemon counters (see above).
 ``ping`` / ``shutdown``
@@ -493,12 +498,42 @@ class SimulationService:
         elif op == "shutdown":
             await self._send(writer, {"id": rid, "ok": True, "kind": "done"})
             self._shutdown.set()
+        elif op == "lint":
+            await self._lint(request, writer)
         elif op == "simulate":
             await self._simulate(request, writer)
         else:
             raise ServiceError(
-                f"unknown op {op!r}; expected simulate/stats/ping/shutdown"
+                f"unknown op {op!r}; expected simulate/lint/stats/ping/shutdown"
             )
+
+    async def _lint(self, request: dict, writer) -> None:
+        """Graph-lint a deck without assembling or solving it.
+
+        Returns a ``kind: "lint"`` line whose ``report`` is the
+        :meth:`~repro.circuits.graph.LintReport.as_dict` payload
+        (``ok`` plus per-issue code/message/nodes/elements/hint) and
+        whose ``summary`` is the structural graph fingerprint.  A deck
+        with defects is a *successful* lint -- the diagnostics ride in
+        the report; only an unparseable deck errors.
+        """
+        from ..circuits.graph import CircuitGraph
+        from .netlist_session import _as_netlist
+
+        deck = request.get("netlist")
+        if not isinstance(deck, str) or not deck.strip():
+            raise ServiceError("lint request needs a 'netlist' deck string")
+        graph = CircuitGraph(_as_netlist(deck))
+        await self._send(
+            writer,
+            {
+                "id": request.get("id"),
+                "ok": True,
+                "kind": "lint",
+                "report": _jsonable(graph.lint().as_dict()),
+                "summary": _jsonable(graph.summary()),
+            },
+        )
 
     # ------------------------------------------------------------------
     # sessions
@@ -899,6 +934,20 @@ class ServiceClient:
     def shutdown(self) -> None:
         """Ask the daemon to stop (pending batches finish first)."""
         self._round_trip({"op": "shutdown"})
+
+    def lint(self, netlist: str) -> dict:
+        """Graph-lint a deck on the daemon (no assembly, no solve).
+
+        Returns ``{"report": ..., "summary": ...}`` where ``report``
+        carries ``ok`` and the issue list (code / message / nodes /
+        elements / hint per defect) and ``summary`` the structural
+        graph fingerprint.  Defective decks return normally -- the
+        diagnostics are the payload; only an unparseable deck raises.
+        """
+        reply = self._round_trip({"op": "lint", "netlist": netlist})
+        if reply.get("kind") != "lint":
+            raise ServiceError(f"expected a lint reply, got {reply!r}")
+        return {"report": reply["report"], "summary": reply["summary"]}
 
     def simulate(self, **request) -> dict:
         """One simulate round trip; assembles the chunked response.

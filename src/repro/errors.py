@@ -15,6 +15,9 @@ The hierarchy mirrors the package layout:
 * :class:`SolverError` -- runtime failures inside a solver
   (``repro.core``/``repro.baselines``), e.g. a singular shifted matrix
   or an adaptive-step controller that cannot meet its tolerance.
+* :class:`SingularPencilError` -- the MNA pencil ``sigma E - A`` is
+  singular (``repro.engine.backends``), typically a structural circuit
+  defect the graph lint can name (floating node, no ground reference).
 * :class:`NetlistError` -- malformed circuit descriptions
   (``repro.circuits.netlist``).
 * :class:`EnsembleError` -- invalid ensemble specifications or failed
@@ -34,6 +37,7 @@ __all__ = [
     "OperationalMatrixError",
     "ModelError",
     "SolverError",
+    "SingularPencilError",
     "NetlistError",
     "ConvergenceError",
     "EnsembleError",
@@ -78,6 +82,19 @@ class SolverError(ReproError):
     Examples: the shifted pencil ``d_jj E - A`` is singular, the FFT
     baseline is given a DC-singular model, or a baseline scheme receives
     an unsupported step specification.
+    """
+
+
+class SingularPencilError(SolverError):
+    """Raised when a shifted MNA pencil ``sigma E - A`` cannot be factorised.
+
+    A singular pencil is almost always a *structural* circuit defect --
+    a floating node, a component with no conductive path to ground, or
+    a deck with no ground reference at all -- rather than a numerical
+    accident.  The message therefore points at the circuit-graph lint
+    (:meth:`repro.circuits.graph.CircuitGraph.lint`, or the CLI's
+    ``--lint`` flag), which names the offending nodes and elements
+    instead of reporting a bare linear-algebra failure.
     """
 
 

@@ -1,0 +1,243 @@
+"""Hierarchical ``.subckt``/``X`` decks flatten to exact golden twins.
+
+The filter-bank example is hand-flattened card by card; parsing the
+hierarchical deck must produce the identical netlist -- same node
+order, same dotted element names, bit-identical assembly, transient
+(plain run *and* windowed march) and ``.ac`` sweep.  The rest of the
+suite pins the parser's error contract: duplicate names and
+definitions are reported with both source lines, parameter and port
+mistakes fail fast, and every ground alias (``0``/``gnd``/``vss``/
+``ground``) collapses to the same reference node.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuits import Netlist, SpiceSin, assemble_mna
+from repro.circuits.netlist import NetlistError
+from repro.engine.netlist_session import ac_scan, simulate_netlist
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+FILTER_BANK = EXAMPLES / "filter_bank.cir"
+
+
+def filter_bank_twin() -> Netlist:
+    """``filter_bank.cir`` flattened by hand, in deck order."""
+    nl = Netlist("filter_bank")
+    ch = nl.add_voltage_source("V1", "drive", "0", SpiceSin(0.0, 1.0, 200.0))
+    nl.set_ac_magnitude(ch, 1.0)
+    nl.add_resistor("xa.R1", "drive", "mid", 2e3)
+    nl.add_capacitor("xa.C1", "mid", "0", 1e-6)
+    nl.add_resistor("xb.R1", "mid", "tap", 1e3)
+    nl.add_capacitor("xb.C1", "tap", "0", 2e-6)
+    nl.add_resistor("xfast.R1", "drive", "fast", 100.0)
+    # 100n parses as 100 * 1e-9; reproduce that arithmetic exactly so
+    # the assembled pencil is bit-identical, not just close
+    nl.add_capacitor("xfast.C1", "fast", "0", 100 * 1e-9)
+    return nl
+
+
+class TestFilterBankGolden:
+    def _load(self):
+        parsed = Netlist.from_spice_file(FILTER_BANK)
+        return parsed, filter_bank_twin()
+
+    def test_structure_matches_hand_flattened(self):
+        parsed, twin = self._load()
+        assert parsed.nodes == ["drive", "mid", "tap", "fast"]
+        assert parsed.nodes == twin.nodes
+        assert parsed.summary() == twin.summary()
+        assert [e.name for e in parsed.elements] == [e.name for e in twin.elements]
+        assert parsed.n_instances == 3
+
+    def test_assembly_bit_identical(self):
+        parsed, twin = self._load()
+        a = assemble_mna(parsed, outputs=parsed.nodes)
+        b = assemble_mna(twin, outputs=twin.nodes)
+        np.testing.assert_array_equal(np.asarray(a.E), np.asarray(b.E))
+        np.testing.assert_array_equal(np.asarray(a.A), np.asarray(b.A))
+        np.testing.assert_array_equal(np.asarray(a.B), np.asarray(b.B))
+
+    def test_transient_run_bit_identical(self):
+        parsed, twin = self._load()
+        got = simulate_netlist(parsed, t_end=2e-3, steps=64)
+        ref = simulate_netlist(twin, t_end=2e-3, steps=64)
+        np.testing.assert_array_equal(
+            got.tran.coefficients, ref.tran.coefficients
+        )
+        np.testing.assert_array_equal(
+            got.tran.input_coefficients, ref.tran.input_coefficients
+        )
+
+    def test_windowed_march_bit_identical(self):
+        parsed, twin = self._load()
+        got = simulate_netlist(parsed, t_end=2e-3, steps=64, windows=4)
+        ref = simulate_netlist(twin, t_end=2e-3, steps=64, windows=4)
+        np.testing.assert_array_equal(
+            got.tran.coefficients, ref.tran.coefficients
+        )
+
+    def test_ac_sweep_bit_identical(self):
+        parsed, twin = self._load()
+        card = parsed.analysis.ac
+        assert card is not None
+        got = ac_scan(parsed, card=card)
+        ref = ac_scan(twin, card=card)
+        np.testing.assert_array_equal(got.frequencies, ref.frequencies)
+        np.testing.assert_array_equal(got.response, ref.response)
+
+
+class TestHierarchyExpansion:
+    def test_nested_instances_get_dotted_prefixes(self):
+        deck = """
+        * nested hierarchy
+        .subckt leaf a b
+        R1 a b 1k
+        C1 b 0 1u
+        .ends
+        .subckt branch p q
+        Xl p inner leaf
+        R2 inner q 2k
+        .ends
+        V1 top 0 SIN(0 1 1k)
+        Xo top out branch
+        .tran 1u 1m
+        .end
+        """
+        nl = Netlist.from_spice(deck)
+        names = [e.name for e in nl.elements]
+        assert names == ["V1", "xo.xl.R1", "xo.xl.C1", "xo.R2"]
+        assert nl.nodes == ["top", "xo.inner", "out"]
+        assert nl.n_instances == 2
+
+    def test_param_override_beats_default(self):
+        deck = """
+        .subckt sec a r=1k
+        R1 a 0 {r}
+        .ends
+        I1 0 n1 SIN(0 1 1k)
+        Xd n1 sec
+        Xov n1 sec r=5k
+        .tran 1u 1m
+        .end
+        """
+        nl = Netlist.from_spice(deck)
+        values = {e.name: e.resistance for e in nl.elements if e.name.endswith("R1")}
+        assert values == {"xd.R1": 1e3, "xov.R1": 5e3}
+
+    def test_unknown_param_placeholder_raises(self):
+        deck = """
+        .subckt sec a
+        R1 a 0 {rload}
+        .ends
+        Xa n1 sec
+        .end
+        """
+        with pytest.raises(NetlistError, match="rload"):
+            Netlist.from_spice(deck)
+
+    def test_unknown_override_raises(self):
+        deck = """
+        .subckt sec a r=1k
+        R1 a 0 {r}
+        .ends
+        Xa n1 sec q=2
+        .end
+        """
+        with pytest.raises(NetlistError, match="q"):
+            Netlist.from_spice(deck)
+
+    def test_connection_count_mismatch_raises(self):
+        deck = """
+        .subckt sec a b
+        R1 a b 1k
+        .ends
+        Xa n1 sec
+        .end
+        """
+        with pytest.raises(NetlistError, match="2 port"):
+            Netlist.from_spice(deck)
+
+    def test_recursive_instantiation_raises(self):
+        deck = """
+        .subckt loop a
+        Xself a loop
+        .ends
+        Xtop n1 loop
+        .end
+        """
+        with pytest.raises(NetlistError, match="recursi"):
+            Netlist.from_spice(deck)
+
+    def test_missing_ends_raises(self):
+        deck = """
+        .subckt sec a
+        R1 a 0 1k
+        .end
+        """
+        with pytest.raises(NetlistError, match=r"\.ends"):
+            Netlist.from_spice(deck)
+
+    def test_unknown_subckt_raises(self):
+        with pytest.raises(NetlistError, match="nosuch"):
+            Netlist.from_spice("Xa n1 nosuch\n.end\n")
+
+
+class TestGroundAliases:
+    def test_all_aliases_unify_to_reference(self):
+        deck = """
+        V1 n1 gnd SIN(0 1 1k)
+        R1 n1 vss 1k
+        C1 n1 ground 1u
+        R2 n1 0 2k
+        .tran 1u 1m
+        .end
+        """
+        nl = Netlist.from_spice(deck)
+        assert nl.nodes == ["n1"]
+        for e in nl.elements:
+            assert Netlist.is_ground(e.b)
+
+    def test_vss_connection_into_subckt_port_is_ground(self):
+        deck = """
+        .subckt sec a b
+        R1 a b 1k
+        .ends
+        I1 0 n1 SIN(0 1 1k)
+        Xa n1 vss sec
+        .tran 1u 1m
+        .end
+        """
+        nl = Netlist.from_spice(deck)
+        (r,) = [e for e in nl.elements if e.name == "xa.R1"]
+        assert (r.a, r.b) == ("n1", "0")
+
+
+class TestDuplicateDiagnostics:
+    def test_duplicate_element_names_both_lines(self):
+        deck = "R1 a 0 1k\nC7 a 0 1u\nR1 a 0 2k\n.end\n"
+        with pytest.raises(NetlistError, match="line 1.*line 3"):
+            Netlist.from_spice(deck)
+
+    def test_duplicate_subckt_definition_both_lines(self):
+        deck = (
+            ".subckt sec a\nR1 a 0 1k\n.ends\n"
+            ".subckt sec a\nR1 a 0 2k\n.ends\n"
+            ".end\n"
+        )
+        with pytest.raises(NetlistError, match="line 1.*line 4"):
+            Netlist.from_spice(deck)
+
+    def test_duplicate_instance_names_raise(self):
+        deck = """
+        .subckt sec a
+        R1 a 0 1k
+        .ends
+        Xa n1 sec
+        Xa n2 sec
+        .end
+        """
+        with pytest.raises(NetlistError, match="[Xx]a"):
+            Netlist.from_spice(deck)

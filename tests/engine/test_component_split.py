@@ -1,0 +1,212 @@
+"""Multi-component decks: parallel sub-pencil solve and lint gating.
+
+A deck whose circuit graph has several connected components is a
+permuted block-diagonal pencil, so solving each component as its own
+sub-pencil through the :class:`ParallelExecutor` and re-stitching the
+coefficient rows must reproduce the monolithic solve **bit for bit**
+-- partial-pivoted LU performs identical per-block arithmetic either
+way.  The same graph layer gates every entry point (library, CLI,
+service) so structurally singular decks fail *before* factorisation
+with named nodes, not inside LAPACK.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.__main__ import run
+from repro.circuits import CircuitGraph, Netlist
+from repro.circuits.netlist import NetlistError
+from repro.engine.netlist_session import simulate_netlist
+from repro.engine.service import ServiceClient, serve
+from repro.errors import ServiceError
+
+PAIR_DECK = """
+* two galvanically isolated stages
+I1 0 a1 SIN(0 1m 500)
+R1 a1 0 1k
+C1 a1 0 1u
+V2 b1 0 PULSE(0 1 1e-4 1e-5 1e-5 5e-4 2m)
+R2 b1 b2 50
+L2 b2 b3 1m
+C2 b3 0 2u
+.tran 10u 2m
+"""
+
+TRIO_DECK = """
+I1 0 a1 SIN(0 1m 500)
+R1 a1 0 1k
+C1 a1 0 1u
+I2 0 b1 SIN(0 2m 300)
+R2 b1 0 2k
+C2 b1 0 2u
+V3 c1 0 SIN(0 1 1k)
+R3 c1 c2 100
+C3 c2 0 1u
+.tran 10u 2m
+"""
+
+FLOATING_DECK = """
+V1 in 0 SIN(0 1 1k)
+R1 in stub 1k
+.tran 10u 1m
+"""
+
+NO_DC_DECK = """
+V1 in 0 SIN(0 1 1k)
+R1 in 0 1k
+C2 x1 x2 1u
+R2 x2 x1 1k
+.tran 10u 1m
+"""
+
+
+def _assert_bit_identical(got, ref):
+    np.testing.assert_array_equal(got.coefficients, ref.coefficients)
+    np.testing.assert_array_equal(
+        got.input_coefficients, ref.input_coefficients
+    )
+    t = ref.sample_times()
+    np.testing.assert_array_equal(got.outputs(t), ref.outputs(t))
+
+
+class TestSplitSolve:
+    def test_thread_split_bit_identical_to_serial(self):
+        ref = simulate_netlist(PAIR_DECK).tran
+        got = simulate_netlist(PAIR_DECK, jobs=2, parallel="thread").tran
+        split = got.info.get("split")
+        assert split is not None and split["components"] == 2
+        assert ref.info.get("split") is None
+        _assert_bit_identical(got, ref)
+
+    def test_process_split_bit_identical_to_serial(self):
+        ref = simulate_netlist(PAIR_DECK).tran
+        got = simulate_netlist(PAIR_DECK, jobs=2, parallel="process").tran
+        assert got.info.get("split", {}).get("executor") == "process"
+        _assert_bit_identical(got, ref)
+
+    def test_three_components_two_workers(self):
+        ref = simulate_netlist(TRIO_DECK).tran
+        got = simulate_netlist(TRIO_DECK, jobs=2, parallel="thread").tran
+        assert got.info["split"]["components"] == 3
+        _assert_bit_identical(got, ref)
+
+    def test_single_component_stays_monolithic(self):
+        deck = "I1 0 n1 SIN(0 1m 500)\nR1 n1 0 1k\nC1 n1 0 1u\n.tran 10u 2m\n"
+        got = simulate_netlist(deck, jobs=2, parallel="thread").tran
+        assert got.info.get("split") is None
+
+    def test_windowed_march_stays_monolithic(self):
+        got = simulate_netlist(
+            PAIR_DECK, jobs=2, windows=4, parallel="thread"
+        ).tran
+        assert got.info.get("split") is None
+
+    def test_stitched_result_evaluates_like_monolithic(self):
+        ref = simulate_netlist(PAIR_DECK).tran
+        got = simulate_netlist(PAIR_DECK, jobs=2, parallel="thread").tran
+        t = got.sample_times()
+        np.testing.assert_array_equal(t, ref.sample_times())
+        np.testing.assert_array_equal(
+            got.outputs_smooth(t), ref.outputs_smooth(t)
+        )
+
+
+class TestLintGatesEveryEntryPoint:
+    @pytest.mark.parametrize("deck", [FLOATING_DECK, NO_DC_DECK])
+    def test_library_fails_before_factorisation(self, deck):
+        with pytest.raises(NetlistError, match="structural defect"):
+            simulate_netlist(deck)
+
+    def test_cli_lint_flag_reports_and_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.cir"
+        path.write_text(FLOATING_DECK)
+        code = run([str(path), "--lint"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "floating-node" in out and "stub" in out
+
+    def test_cli_lint_flag_clean_deck_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.cir"
+        path.write_text("I1 0 n1 1m\nR1 n1 0 1k\nC1 n1 0 1u\n.tran 50u 5m\n")
+        code = run([str(path), "--lint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lint: clean" in out
+
+    def test_cli_solve_of_defective_deck_fails_fast(self, tmp_path, capsys):
+        path = tmp_path / "bad.cir"
+        path.write_text(NO_DC_DECK)
+        code = run([str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "no-dc-path" in err or "conductive" in err
+
+    def test_service_lint_op_and_simulate_gate(self):
+        started = threading.Event()
+        box = {}
+
+        def announce(svc):
+            box["svc"] = svc
+            started.set()
+
+        thread = threading.Thread(
+            target=serve, kwargs={"announce": announce, "port": 0},
+            daemon=True,
+        )
+        thread.start()
+        assert started.wait(15), "service failed to start"
+        try:
+            with ServiceClient("127.0.0.1", box["svc"].port) as client:
+                out = client.lint(FLOATING_DECK)
+                assert out["report"]["ok"] is False
+                codes = [i["code"] for i in out["report"]["issues"]]
+                assert codes == ["floating-node"]
+                assert out["summary"]["components"] == 1
+                clean = client.lint(PAIR_DECK)
+                assert clean["report"]["ok"] is True
+                assert clean["summary"]["components"] == 2
+                with pytest.raises(ServiceError, match="structural defect"):
+                    client.simulate(netlist=FLOATING_DECK)
+        finally:
+            try:
+                with ServiceClient("127.0.0.1", box["svc"].port) as client:
+                    client.shutdown()
+            except (OSError, ServiceError):
+                pass
+            thread.join(timeout=15)
+
+
+class TestCliSplit:
+    def test_jobs_on_multi_component_deck(self, tmp_path, capsys):
+        path = tmp_path / "pair.cir"
+        path.write_text(PAIR_DECK)
+        code = run([str(path), "--jobs", "2", "--parallel", "thread",
+                    "--points", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "component split: 2 independent sub-pencils" in out
+
+    def test_jobs_on_single_component_deck_still_guided(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "one.cir"
+        path.write_text(
+            "I1 0 n1 1m\nR1 n1 0 1k\nC1 n1 0 1u\n.tran 50u 5m\n"
+        )
+        code = run([str(path), "--jobs", "2"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--jobs" in err and "connected component" in err
+
+    def test_cli_split_matches_serial_csv(self, tmp_path, capsys):
+        path = tmp_path / "pair.cir"
+        path.write_text(PAIR_DECK)
+        serial_csv = tmp_path / "serial.csv"
+        split_csv = tmp_path / "split.csv"
+        assert run([str(path), "--csv", str(serial_csv)]) == 0
+        assert run([str(path), "--jobs", "2", "--parallel", "thread",
+                    "--csv", str(split_csv)]) == 0
+        capsys.readouterr()
+        assert split_csv.read_text() == serial_csv.read_text()
