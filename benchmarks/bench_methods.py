@@ -1,0 +1,123 @@
+"""Cross-method validation battery (the method-zoo CI leg).
+
+Runs :func:`repro.fractional.run_method_battery` -- every registered
+fractional method (the native OPM route included) against the
+Mittag-Leffler analytic reference battery -- and:
+
+* writes the full machine-readable payload to
+  ``benchmarks/out/BENCH_methods.json`` (records + per-method summary);
+* registers one ``method_zoo_<name>_digits`` metric per method, which
+  ``benchmarks/trajectory.py`` enforces as a trajectory claim (the
+  floor is the worst-case fine-resolution accuracy the battery must
+  reach -- target equals floor, as for every claim);
+* renders a human-readable accuracy/cost table.
+
+``REPRO_BENCH_SCALE >= 2`` (the nightly leg) widens the battery with
+extreme orders (``alpha = 0.3``, ``alpha = 1.5``) and a stiffer pair;
+the floors below hold at both scales (accuracy claims are
+deterministic, unlike timing ratios).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.fractional import run_method_battery
+from repro.fractional.battery import reference_battery
+
+from conftest import OUT_DIR, bench_scale, register_metric, register_row
+
+TABLE = "METHOD ZOO (worst-case digits vs Mittag-Leffler battery)"
+COLUMNS = [
+    "Method",
+    "fine m",
+    "cases",
+    "worst case",
+    "digits (worst)",
+    "digits / 100 coeffs",
+    "wall",
+    "floor",
+]
+
+JSON_PATH = OUT_DIR / "BENCH_methods.json"
+
+#: Enforced worst-case correct digits at the fine resolution, per
+#: method.  Measured headroom (both scales): opm 3.18, gl 2.79,
+#: jacobi 3.27, oustaloup 1.65 -- floors sit ~0.15-0.3 digits below
+#: the measured worst so numerical jitter cannot flake the claim,
+#: while any real regression (a wrong operator, a broken sweep) loses
+#: far more than that.
+FLOORS = {"opm": 3.0, "gl": 2.5, "jacobi": 3.0, "oustaloup": 1.5}
+
+
+@pytest.fixture(scope="module")
+def battery_payload():
+    """Run the full battery once and persist BENCH_methods.json."""
+    payload = run_method_battery(scale=bench_scale())
+    payload["generated_unix"] = time.time()
+    OUT_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+@pytest.mark.parametrize("method", sorted(FLOORS))
+def test_method_zoo_accuracy(benchmark, battery_payload, method):
+    summary = battery_payload["summary"][method]
+    floor = FLOORS[method]
+
+    # time one representative solve (the worst fine-resolution case)
+    # so the benchmark column reflects a real run, not the battery
+    cases = {c.name: c for c in reference_battery(battery_payload["scale"])}
+    worst = cases[summary["worst_case"]]
+
+    def run():
+        from repro.fractional import evaluate_method
+
+        return evaluate_method(method, worst, summary["fine_m"])
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert record["supported"], record.get("reason")
+
+    register_metric(
+        f"method_zoo_{method}_digits",
+        summary["digits"],
+        floor=floor,
+        worst_case=summary["worst_case"],
+        fine_m=summary["fine_m"],
+        cases_validated=summary["cases_validated"],
+        digits_per_100_coefficients=summary["digits_per_100_coefficients"],
+        claim=f">= {floor:g} digits",
+    )
+    register_row(
+        TABLE,
+        COLUMNS,
+        [
+            method,
+            summary["fine_m"],
+            summary["cases_validated"],
+            summary["worst_case"],
+            f"{summary['digits']:.2f}",
+            f"{summary['digits_per_100_coefficients']:.2f}",
+            f"{summary['wall_s'] * 1e3:.1f} ms",
+            f">= {floor:g}",
+        ],
+    )
+    assert summary["digits"] >= floor, (
+        f"method {method!r} dropped to {summary['digits']:.2f} correct digits "
+        f"on {summary['worst_case']!r} (floor {floor:g})"
+    )
+
+
+def test_method_zoo_every_method_validated(benchmark, battery_payload):
+    """Every registered method must validate and carry a floor."""
+
+    def check():
+        return set(battery_payload["summary"])
+
+    names = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert names == set(FLOORS)
+    for row in battery_payload["summary"].values():
+        assert row["cases_validated"] >= 1

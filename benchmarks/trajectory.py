@@ -1,7 +1,8 @@
 """Perf-trajectory guard: merge benchmark artifacts, verify the claims.
 
-Merges ``benchmarks/out/BENCH_scaling.json`` and
-``benchmarks/out/BENCH_bases.json`` into one
+Merges ``benchmarks/out/BENCH_scaling.json``,
+``benchmarks/out/BENCH_bases.json`` and
+``benchmarks/out/BENCH_methods.json`` into one
 ``benchmarks/out/BENCH_trajectory.json`` stamped with the commit SHA
 and date, and *fails* (exit code 1) when any recorded speedup claim is
 missing -- so a silently-skipped benchmark can never look green in CI.
@@ -18,6 +19,11 @@ Required claims (the engine's headline numbers across PRs):
 * ``service_coalesced_throughput`` >= 3.0 (PR 7: the coalescing daemon)
 * ``soe_long_march``          >= 3.0   (PR 8: compressed fractional
   memory -- sum-of-exponentials tail with certified error)
+* ``method_zoo_*_digits``     (PR 10: the fractional method zoo --
+  worst-case correct digits of each registered method, the native OPM
+  route included, against the Mittag-Leffler reference battery; see
+  ``bench_methods.py``.  Accuracy floors, not timing ratios, so they
+  are deterministic.)
 
 With ``--enforce``, claims must also reach their *enforcement floor*
 -- exactly the ratio the owning benchmark asserts itself, so the guard
@@ -69,6 +75,10 @@ REQUIRED_CLAIMS = (
     ("service_coalesced_throughput", 3.0, 3.0),
     ("soe_long_march", 3.0, 3.0),
     ("hierarchy_flatten_throughput", 5000.0, 5000.0),
+    ("method_zoo_opm_digits", 3.0, 3.0),
+    ("method_zoo_gl_digits", 2.5, 2.5),
+    ("method_zoo_jacobi_digits", 3.0, 3.0),
+    ("method_zoo_oustaloup_digits", 1.5, 1.5),
 )
 
 
@@ -82,6 +92,7 @@ def load_json(path: Path) -> dict | None:
 def build_trajectory(
     scaling: dict | None,
     bases: dict | None,
+    methods: dict | None = None,
     *,
     sha: str = "unknown",
     date: str | None = None,
@@ -90,9 +101,22 @@ def build_trajectory(
 
     Every required claim becomes an entry with ``present`` /
     ``meets_threshold`` / ``enforced`` flags; the full source metric
-    records ride along for cross-PR diffing.
+    records ride along for cross-PR diffing.  The method-zoo claims
+    are satisfied either by metrics registered in the scaling payload
+    (the CI smoke runs one pytest session) or derived directly from
+    the ``BENCH_methods.json`` summary.
     """
     metrics = dict((scaling or {}).get("metrics", {}))
+    for name, row in ((methods or {}).get("summary") or {}).items():
+        metrics.setdefault(
+            f"method_zoo_{name}_digits",
+            {
+                "value": row.get("digits"),
+                "worst_case": row.get("worst_case"),
+                "fine_m": row.get("fine_m"),
+                "cases_validated": row.get("cases_validated"),
+            },
+        )
     claims = []
     for name, threshold, floor in REQUIRED_CLAIMS:
         record = metrics.get(name)
@@ -119,6 +143,7 @@ def build_trajectory(
         "claims": claims,
         "scaling": scaling,
         "bases": bases,
+        "methods": methods,
     }
 
 
@@ -156,6 +181,10 @@ def main(argv=None) -> int:
         help="path to BENCH_bases.json",
     )
     parser.add_argument(
+        "--methods", type=Path, default=OUT_DIR / "BENCH_methods.json",
+        help="path to BENCH_methods.json (the method-zoo battery)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=OUT_DIR / "BENCH_trajectory.json",
         help="merged artifact to write",
     )
@@ -169,12 +198,13 @@ def main(argv=None) -> int:
 
     scaling = load_json(args.scaling)
     bases = load_json(args.bases)
+    methods = load_json(args.methods)
     if scaling is None:
         print(f"error: {args.scaling} not found; run the benchmark smoke first",
               file=sys.stderr)
         return 1
 
-    trajectory = build_trajectory(scaling, bases, sha=args.sha)
+    trajectory = build_trajectory(scaling, bases, methods, sha=args.sha)
     args.out.parent.mkdir(exist_ok=True)
     args.out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out} (commit {trajectory['commit']})")

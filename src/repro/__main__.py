@@ -38,6 +38,15 @@ of ``--steps 1000``)::
 
     python -m repro circuit.sp --t-end 5e-3 --steps 24 --basis chebyshev
 
+``--method`` selects the solver route: the native operational-matrix
+engine (``opm``, default), a one-shot baseline (``trapezoidal``,
+``fft``, ``grunwald-letnikov``, ...), or a fractional method-zoo
+discretisation (``gl``, ``oustaloup``, ``jacobi`` -- see
+:mod:`repro.fractional.methods`) solved through the same cached-pencil
+engine::
+
+    python -m repro cpe.sp --t-end 1.0 --steps 512 --method oustaloup
+
 With ``--sweep S1 S2 ...`` the netlist's input waveform is scaled by
 each factor and all scaled variants are solved in a single batched
 multi-RHS column sweep through one cached
@@ -125,8 +134,9 @@ import numpy as np
 from . import __version__
 from .circuits import Netlist, assemble_mna_restamp
 from .core import Event, Simulator, simulate_opm
-from .core.dispatch import SIMULATION_METHODS, simulate
+from .core.dispatch import FRACTIONAL_ZOO_METHODS, SIMULATION_METHODS, simulate
 from .engine.bundle import basis_names, validate_basis_name
+from .fractional.methods import validate_method_name
 from .engine.netlist_session import ac_scan, build_system
 from .engine.reduction import combine_reduce_options
 from .errors import ReproError
@@ -175,6 +185,17 @@ def build_parser() -> argparse.ArgumentParser:
         + ", ".join(n for n in basis_names() if n != "laguerre")
         + " (default: block-pulse; the Laguerre family needs a time "
         "scale and is library-API only)",
+    )
+    parser.add_argument(
+        "--method",
+        default=None,
+        metavar="NAME",
+        help="solver method: " + ", ".join(SIMULATION_METHODS)
+        + " (default: .options method, else opm; 'gl', 'oustaloup' and "
+        "'jacobi' are the fractional method zoo -- alternative "
+        "discretisations of the fractional operator solved through the "
+        "cached-pencil engine; unknown names fail with a did-you-mean "
+        "suggestion)",
     )
     parser.add_argument(
         "--outputs",
@@ -413,6 +434,10 @@ def _run_single(args, netlist, system, outputs) -> int:
         if args.method == "grunwald-letnikov":
             method_kwargs["memory"] = args.memory
             method_kwargs["memory_rtol"] = args.memory_rtol
+        elif args.method in FRACTIONAL_ZOO_METHODS:
+            # zoo methods run on a Simulator inside dispatch: give them
+            # the session backend the deck/flags picked
+            method_kwargs["backend"] = args.backend
         result = simulate(
             system,
             netlist.input_function(),
@@ -475,6 +500,7 @@ def _run_sweep(args, netlist, system, outputs) -> int:
         (args.t_end, args.steps),
         basis=args.basis,
         backend=args.backend,
+        method=args.method if args.method in FRACTIONAL_ZOO_METHODS else None,
         reduce=args.reduce_plan,
         memory=args.memory,
         memory_rtol=args.memory_rtol,
@@ -789,31 +815,38 @@ def _resolve_deck_defaults(args, netlist) -> None:
         memory = "soe" if memory_rtol is not None else "exact"
     args.memory = memory
     args.memory_rtol = memory_rtol
-    args.method = spec.method or "opm"
-    if args.method not in SIMULATION_METHODS:
-        raise ReproError(
-            f".options method={args.method} is unknown; choose from "
-            f"{SIMULATION_METHODS}"
-        )
+    if args.method is None:
+        args.method = spec.method or "opm"
+    args.method = validate_method_name(
+        args.method, SIMULATION_METHODS, context="method", error=ReproError
+    )
     if args.method not in ("opm", "opm-windowed") and (
-        args.windows > 1 or args.sweep or args.event or args.ensemble is not None
+        args.windows > 1 or args.event or args.ensemble is not None
     ):
         raise ReproError(
-            f".options method={args.method} only supports a plain transient: "
-            "windowed marching, --sweep, --event and --ensemble are "
+            f"method {args.method!r} only supports a plain transient: "
+            "windowed marching, --event and --ensemble are native-route "
             "engine-session features; drop the method option or the "
             "conflicting flag/card"
         )
+    if args.sweep and args.method not in (
+        ("opm", "opm-windowed") + FRACTIONAL_ZOO_METHODS
+    ):
+        raise ReproError(
+            f"method {args.method!r} cannot batch a --sweep: batched "
+            "multi-RHS sweeps run on a cached session (opm or a "
+            "fractional zoo method)"
+        )
     if args.method not in ("opm", "opm-windowed") and args.reduce_plan is not None:
         raise ReproError(
-            f".options method={args.method} does not support model-order "
+            f"method {args.method!r} does not support model-order "
             "reduction; --reduce/--mor-order apply to the OPM engine only"
         )
     if args.memory != "exact" and args.method not in (
         "opm", "opm-windowed", "grunwald-letnikov"
     ):
         raise ReproError(
-            f".options method={args.method} has no fractional memory tail "
+            f"method {args.method!r} has no fractional memory tail "
             "to compress; --memory/--memory-rtol apply to the OPM engine "
             "and the grunwald-letnikov baseline only"
         )

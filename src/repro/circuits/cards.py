@@ -18,6 +18,9 @@ Supported cards::
     .ac  dec|oct|lin <n> <fstart> <fstop>
     .ic  v(<node>)=<value> ...
     .options [basis=<family>] [method=<name>] [m=<terms>]
+             (method: 'opm' and the fractional zoo -- 'gl',
+             'oustaloup', 'jacobi' -- or a one-shot baseline name;
+             see repro.core.dispatch.SIMULATION_METHODS)
              [windows=<k>] [backend=dense|sparse|auto]
              [reduce=auto|off] [mor_order=<q>]
              [memory=exact|soe] [memory_rtol=<tol>] ...
@@ -212,7 +215,13 @@ class AnalysisSpec:
 
     @property
     def method(self) -> str | None:
-        """Requested solver method (``.options method=...``)."""
+        """Requested solver method (``.options method=...``).
+
+        Stored verbatim; the front doors validate it against
+        :data:`repro.core.dispatch.SIMULATION_METHODS` (native OPM
+        routes, fractional zoo methods, one-shot baselines) with a
+        did-you-mean diagnostic on typos.
+        """
         return self.options.get("method")
 
     @property

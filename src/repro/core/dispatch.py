@@ -16,18 +16,26 @@ True
 
 from __future__ import annotations
 
-import difflib
 import sys
 
 from ..basis.base import BasisSet
 from ..engine.bundle import validate_basis_name
 from ..engine.executor import Ensemble, ParallelExecutor
 from ..errors import SolverError
+from ..fractional.methods import (
+    FRACTIONAL_METHODS,
+    unknown_method_message,
+)
 from .opm_solver import simulate_opm
 from .opm_adaptive import simulate_opm_adaptive
 from .kron_solver import simulate_opm_kron
 
-__all__ = ["simulate", "SIMULATION_METHODS"]
+__all__ = ["simulate", "SIMULATION_METHODS", "FRACTIONAL_ZOO_METHODS"]
+
+#: The pluggable fractional-operator discretisations (the method zoo);
+#: each runs on a warm :class:`~repro.engine.session.Simulator` through
+#: the same cached-pencil machinery as ``'opm'``.
+FRACTIONAL_ZOO_METHODS = tuple(sorted(FRACTIONAL_METHODS))
 
 #: Method names accepted by :func:`simulate`.
 SIMULATION_METHODS = (
@@ -41,14 +49,14 @@ SIMULATION_METHODS = (
     "fft",
     "grunwald-letnikov",
     "expm",
-)
+) + FRACTIONAL_ZOO_METHODS
 
 #: Methods restricted to first-order (``alpha == 1``) systems.
 _FIRST_ORDER_ONLY = ("backward-euler", "trapezoidal", "gear2", "expm")
 
 
 #: Methods that accept a ``basis=`` argument (the basis-generic engine).
-_BASIS_GENERIC = ("opm", "opm-windowed")
+_BASIS_GENERIC = ("opm", "opm-windowed") + FRACTIONAL_ZOO_METHODS
 
 
 def simulate(
@@ -91,7 +99,14 @@ def simulate(
         one-step schemes, sampling points for the FFT method.  Not used
         by ``'opm-adaptive'`` (pass ``rtol``/``atol`` instead).
     method:
-        One of :data:`SIMULATION_METHODS`.
+        One of :data:`SIMULATION_METHODS`: the OPM variants, the
+        classical baselines, or a fractional zoo method from
+        :data:`FRACTIONAL_ZOO_METHODS` (``'gl'``, ``'oustaloup'``,
+        ``'jacobi'`` -- alternative discretisations of the fractional
+        operator solved on a :class:`~repro.engine.session.Simulator`
+        through the cached-pencil machinery; see
+        :mod:`repro.fractional.methods`).  Unknown names raise with a
+        typo suggestion and the full registered list.
     jobs:
         Worker count for ensemble execution (default: the usable CPU
         count).  Only meaningful when ``system`` is an
@@ -121,11 +136,7 @@ def simulate(
         :func:`repro.analysis.sample_outputs`.
     """
     if method not in SIMULATION_METHODS:
-        close = difflib.get_close_matches(str(method), SIMULATION_METHODS, n=1)
-        hint = f" (did you mean {close[0]!r}?)" if close else ""
-        raise SolverError(
-            f"unknown method {method!r}{hint}; choose from {SIMULATION_METHODS}"
-        )
+        raise SolverError(unknown_method_message(method, SIMULATION_METHODS))
     if isinstance(system, Ensemble):
         return _simulate_ensemble(
             system, u, t_end, steps, method=method, basis=basis,
@@ -172,6 +183,11 @@ def simulate(
         return simulate_opm_adaptive(system, u, t_end, **kwargs)
     if steps is None:
         raise SolverError(f"method {method!r} requires steps")
+    if method in FRACTIONAL_ZOO_METHODS:
+        from ..engine import Simulator
+
+        sim = Simulator(system, (t_end, steps), basis=basis, method=method, **kwargs)
+        return sim.run(u)
     if method == "opm":
         return simulate_opm(system, u, (t_end, steps), basis=basis, **kwargs)
     if method == "opm-windowed":

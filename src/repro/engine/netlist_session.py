@@ -59,6 +59,7 @@ from ..circuits.graph import CircuitGraph, LintReport
 from ..circuits.mna import assemble_mna
 from ..circuits.netlist import Netlist
 from ..errors import NetlistError
+from ..fractional.methods import FractionalMethod, validate_method_name
 from .reduction import combine_reduce_options
 from .session import Simulator
 
@@ -88,6 +89,35 @@ def _as_netlist(source, title: str = "") -> Netlist:
     if isinstance(source, str) and "\n" in source:
         return Netlist.from_spice(source, title=title)
     return Netlist.from_spice_file(source)
+
+
+def _resolve_session_method(method):
+    """Validate a ``method=`` for a warm session (:func:`from_netlist`).
+
+    ``None`` / ``'opm'`` / ``'opm-windowed'`` name the native route
+    (the window split is applied at simulate time, not session build);
+    fractional zoo names and ready
+    :class:`~repro.fractional.methods.FractionalMethod` instances pass
+    through to the :class:`Simulator`; one-shot baseline names raise
+    (they have no warm session to live on), and unknown names raise
+    with the shared did-you-mean diagnostic.
+    """
+    if method is None or isinstance(method, FractionalMethod):
+        return method
+    from ..core.dispatch import FRACTIONAL_ZOO_METHODS, SIMULATION_METHODS
+
+    key = validate_method_name(
+        method, SIMULATION_METHODS, context="method", error=NetlistError
+    )
+    if key in _SESSION_METHODS:
+        return None
+    if key in FRACTIONAL_ZOO_METHODS:
+        return key
+    raise NetlistError(
+        f"method {key!r} is a one-shot baseline and cannot run on a warm "
+        "session; use simulate_netlist() for it, or pick 'opm' or one of "
+        f"{FRACTIONAL_ZOO_METHODS}"
+    )
 
 
 def _memory_is_exact(memory) -> bool:
@@ -194,6 +224,12 @@ def from_netlist(
         basis = spec.basis
     if "backend" not in session_kwargs and spec.backend is not None:
         session_kwargs["backend"] = spec.backend
+    if "method" not in session_kwargs and spec.method is not None:
+        session_kwargs["method"] = spec.method
+    if "method" in session_kwargs:
+        session_kwargs["method"] = _resolve_session_method(
+            session_kwargs["method"]
+        )
     if "reduce" not in session_kwargs:
         deck_reduce = combine_reduce_options(spec.reduce, spec.mor_order)
         if deck_reduce is not None:
@@ -532,7 +568,12 @@ def simulate_netlist(
     output_names = tuple(outputs) if outputs is not None else tuple(netlist.nodes)
     system = build_system(netlist, outputs=output_names, sparse=sparse, use_ic=use_ic)
 
+    from ..core.dispatch import FRACTIONAL_ZOO_METHODS, SIMULATION_METHODS
+
     method = method if method is not None else (spec.method or "opm")
+    method = validate_method_name(
+        method, SIMULATION_METHODS, context="method", error=NetlistError
+    )
     basis = basis if basis is not None else spec.basis
     backend = backend if backend is not None else (spec.backend or "auto")
     reduce = combine_reduce_options(
@@ -575,6 +616,10 @@ def simulate_netlist(
                 # history tail to compress.
                 method_kwargs["memory"] = memory
                 method_kwargs["memory_rtol"] = memory_rtol
+            elif method in FRACTIONAL_ZOO_METHODS:
+                # zoo methods run on a Simulator inside dispatch: give
+                # them the session backend the deck/caller picked
+                method_kwargs["backend"] = backend
             tran = simulate(
                 system, u, horizon, m, method=method, basis=basis,
                 **method_kwargs,

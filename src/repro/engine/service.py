@@ -35,8 +35,11 @@ One JSON object per line, both directions.  Request ``op`` values:
     ``{"op": "simulate", "system": {"E": [[...]], "A": [[...]],
     "B": [[...]]}, "grid": [1.0, 200], "input": 1.0}``.  Optional:
     ``basis``, ``backend``, ``grid`` (overrides the deck's ``.tran``),
-    ``memory`` / ``memory_rtol`` (fractional-memory compression, see
-    :mod:`repro.fractional.soe`),
+    ``method`` (fractional-operator discretisation: ``"opm"`` or a zoo
+    name -- ``"gl"`` / ``"oustaloup"`` / ``"jacobi"``; see
+    :mod:`repro.fractional.methods`; typos fail with a did-you-mean
+    suggestion), ``memory`` / ``memory_rtol`` (fractional-memory
+    compression, see :mod:`repro.fractional.soe`),
     ``outputs`` (node names to return -- netlist requests only;
     default every node), ``scales`` (a list -- one request, many
     runs: a *sweep request*), ``samples`` (output sample count),
@@ -194,6 +197,7 @@ class _SessionSpec:
     outputs: tuple | None = None
     memory: str = "exact"
     memory_rtol: float | None = None
+    method: str | None = None
 
     @classmethod
     def from_request(cls, request: dict) -> "_SessionSpec":
@@ -246,13 +250,27 @@ class _SessionSpec:
                 raise ServiceError(
                     f"'memory_rtol' must be a number, got {memory_rtol!r}"
                 ) from exc
+        method = request.get("method")
+        if method is not None:
+            # a typo'd method must fail at request validation (with the
+            # shared did-you-mean diagnostic), not on a worker thread
+            from ..fractional.methods import validate_method_name
+
+            method = validate_method_name(
+                method, context="method", error=ServiceError
+            )
+            if method == "opm":
+                method = None
         if netlist is not None:
             content: tuple = ("netlist", netlist)
         else:
             # key programmatic specs by content, not object identity
             content = ("system", json.dumps(system, sort_keys=True))
         return cls(
-            key=(content, grid, basis, backend, outputs, memory, memory_rtol),
+            key=(
+                content, grid, basis, backend, outputs, memory, memory_rtol,
+                method,
+            ),
             netlist=netlist,
             system=system,
             grid=grid,
@@ -261,6 +279,7 @@ class _SessionSpec:
             outputs=outputs,
             memory=str(memory),
             memory_rtol=memory_rtol,
+            method=method,
         )
 
     def build(self) -> Simulator:
@@ -270,11 +289,16 @@ class _SessionSpec:
 
             # Only forward non-default memory settings so a deck-level
             # ``.options memory=`` card keeps winning by default.
+            # Only forward non-default settings so deck-level
+            # ``.options memory=`` / ``.options method=`` cards keep
+            # winning by default.
             memory_kwargs: dict = {}
             if self.memory != "exact":
                 memory_kwargs["memory"] = self.memory
             if self.memory_rtol is not None:
                 memory_kwargs["memory_rtol"] = self.memory_rtol
+            if self.method is not None:
+                memory_kwargs["method"] = self.method
             return from_netlist(
                 self.netlist,
                 self.grid,
@@ -290,6 +314,7 @@ class _SessionSpec:
             backend=self.backend,
             memory=self.memory,
             memory_rtol=self.memory_rtol,
+            method=self.method,
         )
         return sim
 
@@ -954,8 +979,8 @@ class ServiceClient:
 
         Accepts the request schema fields (``netlist`` / ``system`` +
         ``grid``, ``input``, ``scale`` / ``scales``, ``basis``,
-        ``backend``, ``memory`` / ``memory_rtol``, ``outputs``,
-        ``samples``, ``values``, ``format``).  Returns a
+        ``backend``, ``method``, ``memory`` / ``memory_rtol``,
+        ``outputs``, ``samples``, ``values``, ``format``).  Returns a
         dict with ``info``, ``latency_ms``, and either ``runs`` (a list
         of ``{"t": [...], "values": [[...]]}`` per run, with ``t`` /
         ``values`` aliased to the first run) or ``csv`` text.

@@ -45,6 +45,7 @@ from ..basis.grid import TimeGrid
 from ..core.lti import DescriptorSystem, MultiTermSystem
 from ..core.result import MarchingResult, SimulationResult
 from ..errors import SolverError
+from ..fractional.methods import resolve_method
 from ..fractional.soe import resolve_memory
 from . import assembly, kernels, marching
 from .array_api import KNOWN_ARRAY_BACKENDS
@@ -460,6 +461,105 @@ class _SpectralPlan:
         }
 
 
+class _MethodPlan(_SpectralPlan):
+    """Input-independent solve state for a zoo method (``method=``).
+
+    A :class:`~repro.fractional.methods.FractionalMethod` supplies the
+    coefficient-space operator ``F`` of ``I^alpha``; the session solves
+    the same integral formulation as :class:`_SpectralPlan`,
+
+    .. math::  E Z = A Z F + R F, \\qquad X = Z + x_0 \\mathbf{1}^T,
+
+    through the cached-pencil machinery the native route uses: when
+    ``F`` is upper triangular with a nonzero diagonal (the Toeplitz
+    convolution methods -- GL, Oustaloup), a triangular column sweep
+    with one ``(E - F[j,j] A)`` factorisation per distinct diagonal
+    entry (one total for Toeplitz ``F``); otherwise (the spectral
+    collocation methods) the inherited Kronecker integral-form solve.
+    """
+
+    kind = "method"
+
+    def __init__(
+        self,
+        system: DescriptorSystem,
+        bundle: OperatorBundle,
+        backend: str,
+        method,
+    ) -> None:
+        if not isinstance(system, DescriptorSystem):
+            raise SolverError(
+                f"method={method.name!r} supports (fractional) descriptor "
+                "systems only; convert multi-term models with "
+                "to_first_order() first"
+            )
+        self.system = system
+        self.bundle = bundle
+        self.zoo_method = method
+        F = np.asarray(
+            method.integration_operator(bundle, system.alpha), dtype=float
+        )
+        m = bundle.size
+        if F.shape != (m, m):
+            raise SolverError(
+                f"method {method.name!r} built a {F.shape} operator for a "
+                f"size-{m} basis"
+            )
+        self.F = F
+        self.backend_mode = backend
+        scale = max(float(np.abs(F).max()), 1.0)
+        lower = F[np.tril_indices(m, -1)]
+        self._triangular = bool(
+            (not lower.size or np.max(np.abs(lower)) <= 1e-12 * scale)
+            and np.min(np.abs(np.diag(F))) > 1e-14 * scale
+        )
+        if self._triangular:
+            mode = _host_backend_mode(backend, f"method {method.name!r}")
+            self.bank = PencilBank(
+                select_backend(system.E, system.A, mode=mode, allow_env=False)
+            )
+        else:
+            self.bank = PencilBank(self.kron_backend(system))
+        self.method = f"{method.name}[{bundle.name}]"
+        ones = bundle.ones_coefficients()
+        self._offset = system.shifted_input_offset()
+        self._offset_cols = _offset_columns(self._offset, ones)
+        self._x0_cols = _offset_columns(system.x0, ones)
+
+    def solve(self, R: np.ndarray) -> np.ndarray:
+        """Integral-form solve for one (``(n, m)``) or many inputs."""
+        S = self.apply_F(R)
+        Z = self._sweep_triangular(S) if self._triangular else self.kron_solve(S)
+        return _add_columns(Z, self._x0_cols)
+
+    def _sweep_triangular(self, S: np.ndarray) -> np.ndarray:
+        """Column sweep of ``E Z = A Z F + S`` for upper-triangular ``F``.
+
+        Column ``j`` satisfies ``(E - F[j,j] A) Z_j = A sum_{i<j}
+        F[i,j] Z_i + S_j``, solved as ``bank.solve(1/F[j,j], .../F[j,j])``
+        so Toeplitz operators reuse one cached factorisation throughout.
+        """
+        squeeze = S.ndim == 2
+        S3 = S[:, :, None] if squeeze else S
+        n, m, k = S3.shape
+        A, F = self.system.A, self.F
+        Z = np.empty((n, m, k))
+        for j in range(m):
+            f = float(F[j, j])
+            rhs = S3[:, j, :]
+            if j:
+                hist = np.tensordot(Z[:, :j, :], F[:j, j], axes=([1], [0]))
+                rhs = rhs + A @ hist
+            Z[:, j, :] = self.bank.solve(1.0 / f, rhs / f)
+        return Z[:, :, 0] if squeeze else Z
+
+    def info(self) -> dict:
+        """Solver metadata for result containers."""
+        info = super().info()
+        info["triangular_sweep"] = self._triangular
+        return info
+
+
 class Simulator:
     """Reusable simulation session: system + grid + basis bound once.
 
@@ -499,6 +599,18 @@ class Simulator:
     backend:
         ``'auto'`` (default; sparse backend for large sparse systems,
         dense otherwise), ``'dense'``, or ``'sparse'``.
+    method:
+        Fractional-operator discretisation: ``None`` / ``'opm'`` (the
+        paper's native operational-matrix route, default), a name from
+        :func:`repro.fractional.methods.method_names` (``'gl'``,
+        ``'oustaloup'``, ``'jacobi'``), or a ready
+        :class:`~repro.fractional.methods.FractionalMethod` instance
+        for custom parameterisations.  Zoo methods solve the same
+        integral formulation through the same cached-pencil machinery
+        (warm sessions, batched sweeps, the service cache); ``march``,
+        ``run_ensemble``, ``reduce=`` and compressed ``memory=`` stay
+        native-route features.  ``'jacobi'`` binds the Legendre basis
+        by default; typos fail with a did-you-mean suggestion.
     memory:
         Cross-window fractional memory on :meth:`march`: ``'exact'``
         (default; bit-identical to the full-history tail), ``'soe'``,
@@ -546,10 +658,21 @@ class Simulator:
         adaptive_method: str = "auto",
         history: str = "direct",
         backend: str = "auto",
+        method=None,
         reduce=None,
         memory="exact",
         memory_rtol: float | None = None,
     ) -> None:
+        # resolve method= first: it may bind the default basis family
+        # (e.g. 'jacobi' sessions default to Legendre), and a typo must
+        # fail with the did-you-mean diagnostic before anything is built
+        self._method = resolve_method(method)
+        if (
+            self._method is not None
+            and basis is None
+            and not isinstance(grid, BasisSet)
+        ):
+            basis = self._method.default_basis
         basis_obj = _resolve_session_basis(grid, basis, projection)
         bundle = OperatorBundle(basis_obj)
         solver = bundle.solver_bundle
@@ -564,6 +687,18 @@ class Simulator:
         # validated at bind: a typo'd memory mode must fail here, not
         # deep inside the first march
         self._memory_plan = resolve_memory(memory, memory_rtol)
+        if self._method is not None:
+            if reduce is not None:
+                raise SolverError(
+                    f"reduce= is not supported with method="
+                    f"{self._method.name!r}; reduced-order plans are "
+                    "certified on the native OPM route only"
+                )
+            if self._memory_plan is not None:
+                raise SolverError(
+                    "memory compression applies to native marches only; "
+                    f"method={self._method.name!r} sessions use exact memory"
+                )
         self._default_input: InputLike | None = None
         self._runs = 0
         # one session = one solve at a time: run/sweep/march serialise
@@ -616,6 +751,10 @@ class Simulator:
         session's bundle (also used for the lazy full-model fallback of
         reduced sessions)."""
         solver = self._bundle.solver_bundle
+        if self._method is not None:
+            # zoo methods solve the integral form through _MethodPlan
+            # (which validates the system kind and the bundle route)
+            return _MethodPlan(system, solver, self._backend_mode, self._method)
         if isinstance(system, MultiTermSystem):
             if solver.kind != "block-pulse":
                 raise SolverError(
@@ -714,6 +853,12 @@ class Simulator:
         return self._plan.bank
 
     @property
+    def method(self):
+        """The bound :class:`~repro.fractional.methods.FractionalMethod`
+        (``None``: the native operational-matrix route)."""
+        return self._method
+
+    @property
     def memory_plan(self):
         """The bound :class:`~repro.fractional.soe.SoePlan` governing
         fractional march memory (``None``: exact memory)."""
@@ -771,6 +916,11 @@ class Simulator:
             ("exact",)
             if self._memory_plan is None
             else self._memory_plan.fingerprint(),
+            # a zoo method changes the fractional operator itself --
+            # differently parameterised methods must never unify either
+            ("method", "native")
+            if self._method is None
+            else ("method", *self._method.fingerprint()),
         )
 
     def limit_cache(
@@ -835,7 +985,8 @@ class Simulator:
     def _finalise_info(self, info: dict) -> dict:
         info["basis"] = self._basis.name
         if self._transform is not None:
-            info["method"] = f"opm-transformed[{self._basis.name}]"
+            name = "opm-transformed" if self._method is None else self._method.name
+            info["method"] = f"{name}[{self._basis.name}]"
         if self._mor_info:
             info.setdefault("mor", dict(self._mor_info))
         return info
@@ -985,7 +1136,15 @@ class Simulator:
         if not inputs:
             raise SolverError("sweep requires at least one input")
         threshold = PARALLEL_SWEEP_MIN_COLUMNS if min_columns is None else min_columns
-        if jobs is not None and int(jobs) > 1 and len(inputs) >= threshold:
+        # zoo-method sessions stay on the in-process batched sweep:
+        # executor workers rebuild sessions from _executor_options,
+        # which deliberately excludes method= (see run_ensemble)
+        if (
+            jobs is not None
+            and int(jobs) > 1
+            and self._method is None
+            and len(inputs) >= threshold
+        ):
             return self._sweep_sharded(inputs, int(jobs), parallel)
         with self._lock:
             warm = self.is_warm
@@ -1097,6 +1256,12 @@ class Simulator:
         >>> res.n_members
         2
         """
+        if self._method is not None:
+            raise SolverError(
+                f"run_ensemble() is not supported with method="
+                f"{self._method.name!r}: executor workers rebuild native "
+                "sessions; use sweep() or per-member run() calls"
+            )
         from .executor import ParallelExecutor
 
         executor = ParallelExecutor(parallel, jobs=jobs)
@@ -1155,6 +1320,12 @@ class Simulator:
         >>> bool(abs(long.states([9.9])[0, 0] - 1.0) < 1e-3)
         True
         """
+        if self._method is not None:
+            raise SolverError(
+                f"march() is not supported with method={self._method.name!r}: "
+                "cross-window fractional memory is defined for the native "
+                "OPM route only; size the session horizon to t_end instead"
+            )
         with self._lock:
             result = marching.march(self, self._resolve_input(u), t_end, events=events)
             if self._reduction is not None:

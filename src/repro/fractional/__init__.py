@@ -17,7 +17,14 @@ operational matrices; this subpackage provides everything needed to
   the GL stepper and the windowed marching engine;
 * :mod:`~repro.fractional.soe` -- certified sum-of-exponentials
   compression of the memory kernels (the ``memory='soe'`` knob behind
-  linear-time long-horizon fractional marching).
+  linear-time long-horizon fractional marching);
+* :mod:`~repro.fractional.methods` -- the pluggable method zoo
+  (Grünwald-Letnikov operational matrices, Oustaloup/CFE rational
+  approximations, Jacobi spectral collocation) behind the engine's
+  ``method=`` knob;
+* :mod:`~repro.fractional.battery` -- the cross-method validation
+  battery sweeping every method against Mittag-Leffler analytic
+  references (what ``benchmarks/bench_methods.py`` enforces in CI).
 """
 
 from .analytic import (
@@ -26,9 +33,26 @@ from .analytic import (
     fde_step_response,
     second_order_step_response,
 )
+from .battery import (
+    ReferenceCase,
+    evaluate_method,
+    reference_battery,
+    run_method_battery,
+)
 from .definitions import cached_gl_weights, gl_weights
 from .grunwald import simulate_grunwald_letnikov
 from .history import HistoryTail, history_dot, history_weights
+from .methods import (
+    FRACTIONAL_METHODS,
+    FractionalMethod,
+    GrunwaldLetnikovMethod,
+    JacobiMethod,
+    OustaloupMethod,
+    describe_methods,
+    method_names,
+    resolve_method,
+    validate_method_name,
+)
 from .mittag_leffler import mittag_leffler
 from .soe import (
     SoeFit,
@@ -57,4 +81,17 @@ __all__ = [
     "fit_discrete_kernel",
     "fit_continuous_kernel",
     "resolve_memory",
+    "FractionalMethod",
+    "GrunwaldLetnikovMethod",
+    "OustaloupMethod",
+    "JacobiMethod",
+    "FRACTIONAL_METHODS",
+    "method_names",
+    "describe_methods",
+    "resolve_method",
+    "validate_method_name",
+    "ReferenceCase",
+    "reference_battery",
+    "evaluate_method",
+    "run_method_battery",
 ]

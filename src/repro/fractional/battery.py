@@ -1,0 +1,249 @@
+"""Cross-method validation battery against Mittag-Leffler references.
+
+The method zoo (:mod:`repro.fractional.methods`) turns the fractional
+core into a family of competing discretisations; this module is the
+harness that validates *all* of them -- the native operational-matrix
+route included -- against closed-form Mittag-Leffler solutions:
+
+* step response of ``d^alpha x = -lambda x + u``:
+  ``x(t) = t^alpha E_{alpha, alpha+1}(-lambda t^alpha)``,
+* relaxation from ``x(0) = 1`` (``alpha <= 1``, Caputo):
+  ``x(t) = E_{alpha, 1}(-lambda t^alpha)``,
+
+across varying orders ``alpha``, stiffness ratios, and drive kinds.
+:func:`run_method_battery` sweeps every method over the battery at two
+resolutions, recording relative accuracy, accuracy *per coefficient*,
+and wall time into one machine-readable payload --
+``benchmarks/bench_methods.py`` writes it to ``BENCH_methods.json``
+and ``benchmarks/trajectory.py`` enforces the per-method accuracy
+floors as trajectory claims.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.lti import FractionalDescriptorSystem
+from ..errors import SolverError
+from .methods import method_names
+from .mittag_leffler import mittag_leffler
+
+__all__ = [
+    "ReferenceCase",
+    "reference_battery",
+    "evaluate_method",
+    "run_method_battery",
+    "DEFAULT_RESOLUTIONS",
+]
+
+#: Per-method (coarse, fine) resolutions: the convolution methods
+#: refine the grid, the spectral collocation method refines the
+#: polynomial order -- "fine" is what the summary accuracy (and the
+#: trajectory claim) is measured at.
+DEFAULT_RESOLUTIONS: dict = {
+    "opm": (128, 512),
+    "gl": (128, 512),
+    "oustaloup": (128, 512),
+    "jacobi": (12, 24),
+}
+
+
+@dataclass(frozen=True)
+class ReferenceCase:
+    """One analytic reference problem with a Mittag-Leffler solution.
+
+    A diagonal relaxation bank ``d^alpha x_i = -rates[i] x_i + u``:
+    diagonal, so every state has a closed form, while the *solvers* see
+    an ordinary coupled descriptor pencil (nothing in the engine
+    exploits diagonality).  ``drive='step'`` is the unit-step response
+    from rest; ``drive='decay'`` relaxes ``x(0) = 1`` with no input
+    (Caputo initial data, so ``alpha <= 1`` only).
+    """
+
+    name: str
+    alpha: float
+    rates: tuple
+    drive: str = "step"
+    t_end: float = 1.0
+
+    def __post_init__(self):
+        if self.drive not in ("step", "decay"):
+            raise SolverError(f"drive must be 'step' or 'decay', got {self.drive!r}")
+        if self.drive == "decay" and self.alpha > 1.0:
+            raise SolverError(
+                "decay references use Caputo initial data (alpha <= 1), "
+                f"got alpha={self.alpha:g}"
+            )
+
+    def build_system(self) -> FractionalDescriptorSystem:
+        """The diagonal fractional test system for this case."""
+        n = len(self.rates)
+        E = np.eye(n)
+        A = -np.diag(np.asarray(self.rates, dtype=float))
+        B = np.ones((n, 1))
+        x0 = np.ones(n) if self.drive == "decay" else None
+        return FractionalDescriptorSystem(self.alpha, E, A, B, x0=x0)
+
+    def input(self) -> float:
+        """The constant drive amplitude (1 for step, 0 for decay)."""
+        return 1.0 if self.drive == "step" else 0.0
+
+    def exact(self, times: np.ndarray) -> np.ndarray:
+        """Closed-form states, shape ``(n_states, len(times))``."""
+        t = np.asarray(times, dtype=float)
+        a = self.alpha
+        rows = []
+        for lam in self.rates:
+            z = -float(lam) * t**a
+            if self.drive == "step":
+                rows.append(t**a * mittag_leffler(a, a + 1.0, z))
+            else:
+                rows.append(mittag_leffler(a, 1.0, z))
+        return np.asarray(rows)
+
+
+def reference_battery(scale: int = 1) -> tuple:
+    """The Mittag-Leffler reference problems, ordered easy to hard.
+
+    ``scale >= 2`` (the nightly leg) widens the alpha range and adds a
+    stiffer pair; the smoke battery stays small enough for CI.
+    """
+    cases = [
+        ReferenceCase("half-order-step", 0.5, (1.0,)),
+        ReferenceCase("subdiffusive-step", 0.8, (1.0,)),
+        ReferenceCase("classical-step", 1.0, (1.0,)),
+        ReferenceCase("half-order-decay", 0.5, (1.0,), drive="decay"),
+        ReferenceCase("stiff-pair-step", 0.6, (1.0, 50.0)),
+    ]
+    if scale >= 2:
+        cases += [
+            ReferenceCase("strong-memory-step", 0.3, (1.0,)),
+            ReferenceCase("superdiffusive-step", 1.5, (1.0,)),
+            ReferenceCase("subdiffusive-decay", 0.8, (2.0,), drive="decay"),
+            ReferenceCase("stiffer-pair-step", 0.4, (1.0, 200.0)),
+        ]
+    return tuple(cases)
+
+
+def _sample_times(case: ReferenceCase) -> np.ndarray:
+    # clear of both the t=0 startup singularity and the horizon edge
+    return np.linspace(0.1 * case.t_end, 0.95 * case.t_end, 33)
+
+
+def evaluate_method(
+    method_name: str, case: ReferenceCase, m: int, *, backend: str = "auto"
+) -> dict:
+    """Run one method on one reference case at resolution ``m``.
+
+    Returns a record dict with relative errors against the closed
+    form (``rel_rms`` / ``rel_max``), correct ``digits``
+    (``-log10(rel_rms)``), wall time, and coefficient count -- or a
+    ``supported: False`` record when the method cannot express the
+    case (it is reported, never silently dropped).
+    """
+    from ..engine import Simulator
+
+    record = {
+        "method": method_name,
+        "case": case.name,
+        "alpha": case.alpha,
+        "drive": case.drive,
+        "m": int(m),
+        "supported": True,
+    }
+    try:
+        sim = Simulator(
+            case.build_system(),
+            (case.t_end, int(m)),
+            method=method_name,
+            backend=backend,
+        )
+        start = time.perf_counter()
+        result = sim.run(case.input())
+        wall = time.perf_counter() - start
+        times = _sample_times(case)
+        approx = result.states(times)
+        exact = case.exact(times)
+    except SolverError as exc:
+        record["supported"] = False
+        record["reason"] = str(exc)
+        return record
+    scale = np.abs(exact).max(axis=1, keepdims=True)
+    err = (approx - exact) / np.where(scale > 0.0, scale, 1.0)
+    rel_rms = float(np.sqrt(np.mean(err**2)))
+    record.update(
+        {
+            "basis": sim.basis.name,
+            "rel_rms": rel_rms,
+            "rel_max": float(np.abs(err).max()),
+            "digits": float(-np.log10(max(rel_rms, 1e-16))),
+            "wall_s": float(wall),
+            "coefficients": int(m) * len(case.rates),
+        }
+    )
+    return record
+
+
+def run_method_battery(
+    methods=None,
+    cases=None,
+    *,
+    scale: int = 1,
+    resolutions: dict | None = None,
+) -> dict:
+    """Sweep every method over the reference battery.
+
+    Returns the ``BENCH_methods.json`` payload: all per-run records
+    plus a per-method summary whose ``digits`` is the *worst* case at
+    the fine resolution -- the number the trajectory guard enforces
+    (a method is only as accurate as its hardest validated problem).
+    """
+    if methods is None:
+        methods = method_names()
+    if cases is None:
+        cases = reference_battery(scale)
+    resolutions = dict(DEFAULT_RESOLUTIONS, **(resolutions or {}))
+    records = []
+    summary = {}
+    for name in methods:
+        coarse, fine = resolutions[name]
+        worst = None
+        wall = 0.0
+        validated = 0
+        for case in cases:
+            for m in (coarse, fine):
+                record = evaluate_method(name, case, m)
+                records.append(record)
+                if not record["supported"]:
+                    continue
+                if m == fine:
+                    validated += 1
+                    wall += record["wall_s"]
+                    if worst is None or record["rel_rms"] > worst["rel_rms"]:
+                        worst = record
+        if worst is None:
+            raise SolverError(
+                f"method {name!r} validated no reference case -- the "
+                "battery would silently vouch for nothing"
+            )
+        summary[name] = {
+            "digits": worst["digits"],
+            "worst_rel_rms": worst["rel_rms"],
+            "worst_case": worst["case"],
+            "fine_m": resolutions[name][1],
+            "cases_validated": validated,
+            "wall_s": wall,
+            "digits_per_100_coefficients": 100.0
+            * worst["digits"]
+            / worst["coefficients"],
+        }
+    return {
+        "schema": 1,
+        "scale": int(scale),
+        "methods": list(methods),
+        "records": records,
+        "summary": summary,
+    }

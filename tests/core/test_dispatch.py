@@ -65,7 +65,38 @@ class TestDispatch:
             "fft",
             "grunwald-letnikov",
             "expm",
+            "gl",
+            "oustaloup",
+            "jacobi",
         }
+
+
+class TestDispatchZooMethods:
+    """The fractional method zoo through the one-shot dispatcher."""
+
+    @pytest.mark.parametrize("method,steps,tol", [
+        ("gl", 512, 5e-3), ("oustaloup", 512, 5e-2), ("jacobi", 24, 5e-3),
+    ])
+    def test_zoo_step_response(self, scalar_fde, method, steps, tol):
+        from repro.fractional import fde_step_response
+
+        t = np.linspace(0.3, 1.7, 5)
+        res = simulate(scalar_fde, 1.0, 2.0, steps, method=method)
+        np.testing.assert_allclose(
+            res.states(t)[0], fde_step_response(0.5, 1.0, t), atol=tol
+        )
+
+    def test_zoo_method_label(self, scalar_fde):
+        res = simulate(scalar_fde, 1.0, 1.0, 64, method="gl")
+        assert res.info["method"] == "gl[BlockPulse]"
+
+    def test_zoo_honours_basis_override(self, scalar_fde):
+        res = simulate(scalar_fde, 1.0, 1.0, 64, method="gl", basis="walsh")
+        assert res.info["method"].startswith("gl[Walsh")
+
+    def test_zoo_typo_suggests(self, scalar_fde):
+        with pytest.raises(SolverError, match="did you mean 'jacobi'"):
+            simulate(scalar_fde, 1.0, 1.0, 16, method="jacobii")
 
 
 class TestDispatchErrors:

@@ -236,6 +236,53 @@ class TestSimulateNetlist:
         assert run.tran is not None
 
 
+class TestZooMethods:
+    """The fractional method zoo through the SPICE front door."""
+
+    def test_zoo_method_kwarg(self):
+        run = simulate_netlist(CPE_DECK, steps=200, method="gl")
+        assert run.tran.info["method"] == "gl[BlockPulse]"
+        native = simulate_netlist(CPE_DECK, steps=200)
+        t = np.array([0.5, 1.5])
+        np.testing.assert_allclose(
+            run.tran.states(t), native.tran.states(t), atol=5e-2
+        )
+
+    def test_zoo_method_from_options_card(self):
+        deck = CPE_DECK + ".options method=oustaloup\n"
+        run = simulate_netlist(deck, steps=200)
+        assert run.tran.info["method"] == "oustaloup[BlockPulse]"
+
+    def test_kwarg_overrides_options_card(self):
+        deck = CPE_DECK + ".options method=oustaloup\n"
+        run = simulate_netlist(deck, steps=200, method="gl")
+        assert run.tran.info["method"] == "gl[BlockPulse]"
+
+    def test_from_netlist_threads_deck_method(self):
+        deck = CPE_DECK + ".options method=gl\n"
+        sim = from_netlist(deck)
+        assert sim.method is not None and sim.method.name == "gl"
+
+    def test_warm_session_accepts_zoo_but_not_baselines(self):
+        sim = from_netlist(CPE_DECK, method="gl")
+        sim.run(sim.bound_input)
+        with pytest.raises(NetlistError, match="one-shot baseline"):
+            from_netlist(CPE_DECK, method="fft")
+
+    def test_typo_lists_and_suggests_everywhere(self):
+        with pytest.raises(NetlistError, match="did you mean 'oustaloup'"):
+            simulate_netlist(CPE_DECK, steps=100, method="oustalop")
+        deck = CPE_DECK + ".options method=jacobii\n"
+        with pytest.raises(NetlistError, match="did you mean 'jacobi'"):
+            simulate_netlist(deck, steps=100)
+        with pytest.raises(NetlistError, match="choose from"):
+            from_netlist(CPE_DECK, method="rk45")
+
+    def test_zoo_method_with_windows_rejected(self):
+        with pytest.raises(NetlistError, match="windows"):
+            simulate_netlist(CPE_DECK, steps=200, method="gl", windows=4)
+
+
 class TestAcScan:
     def test_rc_corner(self):
         scan = ac_scan(

@@ -200,6 +200,61 @@ class TestProtocol:
             assert c.stats()["errors"] == 5
 
 
+FRACTIONAL_SPEC = {"alpha": 0.5, "E": [[1.0]], "A": [[-1.0]], "B": [[1.0]]}
+
+
+class TestMethodRequests:
+    """The ``method`` field of the request schema."""
+
+    def test_system_request_with_zoo_method(self, daemon):
+        from repro.core import FractionalDescriptorSystem
+
+        with daemon.client() as c:
+            out = c.simulate(
+                system=FRACTIONAL_SPEC, grid=[1.0, 64], input=1.0, method="gl"
+            )
+        sim = Simulator(
+            FractionalDescriptorSystem(0.5, [[1.0]], [[-1.0]], [[1.0]]),
+            (1.0, 64),
+            method="gl",
+        )
+        res = sim.run(1.0)
+        t = res.sample_times()
+        np.testing.assert_allclose(
+            np.asarray(out["values"]), res.outputs(t), rtol=1e-12, atol=1e-14
+        )
+
+    def test_opm_method_unifies_with_default_session(self, daemon):
+        with daemon.client() as c:
+            c.simulate(netlist=DECK)
+            c.simulate(netlist=DECK, method="opm")
+            stats = c.stats()
+        # method='opm' normalises away: same cached session, no miss
+        assert stats["sessions"]["misses"] == 1
+        assert stats["sessions"]["hits"] >= 1
+
+    def test_distinct_methods_key_distinct_sessions(self, daemon):
+        with daemon.client() as c:
+            c.simulate(system=FRACTIONAL_SPEC, grid=[1.0, 64], input=1.0)
+            c.simulate(
+                system=FRACTIONAL_SPEC, grid=[1.0, 64], input=1.0, method="gl"
+            )
+            stats = c.stats()
+        assert stats["sessions"]["misses"] == 2
+
+    def test_unknown_method_lists_and_suggests(self, daemon):
+        with daemon.client() as c:
+            with pytest.raises(ServiceError, match="did you mean 'gl'"):
+                c.simulate(
+                    system=FRACTIONAL_SPEC, grid=[1.0, 64], input=1.0, method="g l"
+                )
+            with pytest.raises(ServiceError, match="choose from"):
+                c.simulate(
+                    system=FRACTIONAL_SPEC, grid=[1.0, 64], input=1.0, method="rk45"
+                )
+            assert c.ping()  # connection survives the error lines
+
+
 class TestCoalescing:
     def test_concurrent_same_deck_requests_coalesce(self):
         handle = ServiceHandle(coalesce_ms=150.0, max_batch=64)

@@ -1,0 +1,166 @@
+"""Tests for the cross-method Mittag-Leffler validation battery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.fractional import (
+    ReferenceCase,
+    evaluate_method,
+    reference_battery,
+    run_method_battery,
+)
+from repro.fractional.battery import DEFAULT_RESOLUTIONS, _sample_times
+
+
+class TestReferenceCase:
+    def test_step_exact_matches_series(self):
+        from repro.fractional import fde_step_response
+
+        case = ReferenceCase("c", 0.5, (1.0,))
+        t = np.linspace(0.1, 0.9, 9)
+        np.testing.assert_allclose(
+            case.exact(t)[0], fde_step_response(0.5, 1.0, t), atol=1e-10
+        )
+
+    def test_decay_exact_matches_relaxation(self):
+        from repro.fractional import fde_relaxation
+
+        case = ReferenceCase("c", 0.5, (1.0,), drive="decay")
+        t = np.linspace(0.1, 0.9, 9)
+        np.testing.assert_allclose(
+            case.exact(t)[0], fde_relaxation(0.5, 1.0, t), atol=1e-10
+        )
+
+    def test_system_shape_and_drive(self):
+        case = ReferenceCase("pair", 0.6, (1.0, 50.0))
+        system = case.build_system()
+        assert system.n_states == 2
+        assert case.input() == 1.0
+
+    def test_decay_has_initial_state_and_zero_input(self):
+        case = ReferenceCase("c", 0.5, (1.0,), drive="decay")
+        system = case.build_system()
+        np.testing.assert_allclose(system.x0, np.ones(1))
+        assert case.input() == 0.0
+
+    def test_bad_drive_rejected(self):
+        with pytest.raises(SolverError, match="drive"):
+            ReferenceCase("c", 0.5, (1.0,), drive="ramp")
+
+    def test_decay_needs_caputo_order(self):
+        with pytest.raises(SolverError, match="alpha <= 1"):
+            ReferenceCase("c", 1.5, (1.0,), drive="decay")
+
+    def test_sample_times_avoid_endpoints(self):
+        case = ReferenceCase("c", 0.5, (1.0,), t_end=2.0)
+        t = _sample_times(case)
+        assert t[0] == pytest.approx(0.2)
+        assert t[-1] == pytest.approx(1.9)
+
+
+class TestBatteryContents:
+    def test_smoke_battery(self):
+        cases = reference_battery(1)
+        assert len(cases) == 5
+        assert all(isinstance(c, ReferenceCase) for c in cases)
+
+    def test_nightly_battery_is_superset(self):
+        smoke = {c.name for c in reference_battery(1)}
+        nightly = {c.name for c in reference_battery(2)}
+        assert smoke < nightly
+        alphas = {c.alpha for c in reference_battery(2)}
+        assert min(alphas) <= 0.3 and max(alphas) >= 1.5
+
+    def test_resolutions_cover_every_method(self):
+        from repro.fractional import method_names
+
+        assert set(DEFAULT_RESOLUTIONS) == set(method_names())
+
+
+class TestEvaluateMethod:
+    def test_record_fields(self):
+        case = ReferenceCase("half-order-step", 0.5, (1.0,))
+        record = evaluate_method("gl", case, 128)
+        assert record["supported"] is True
+        assert record["digits"] > 2.0
+        assert record["coefficients"] == 128
+        assert record["wall_s"] >= 0.0
+        assert record["basis"] == "BlockPulse"
+
+    def test_unsupported_case_is_reported_not_dropped(self):
+        # jacobi refuses Caputo initial data through the Simulator seam
+        case = ReferenceCase("decay", 0.5, (1.0,), drive="decay")
+        record = evaluate_method("jacobi", case, 12)
+        if not record["supported"]:
+            assert "reason" in record
+        else:  # pragma: no cover - depends on engine support growth
+            assert record["digits"] > 0.0
+
+    def test_native_route_participates(self):
+        case = ReferenceCase("half-order-step", 0.5, (1.0,))
+        record = evaluate_method("opm", case, 128)
+        assert record["supported"] and record["digits"] > 2.5
+
+
+class TestRunBattery:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        # tiny custom battery keeps this a unit test, not a benchmark
+        cases = (
+            ReferenceCase("half-order-step", 0.5, (1.0,)),
+            ReferenceCase("classical-step", 1.0, (1.0,)),
+        )
+        return run_method_battery(
+            cases=cases,
+            resolutions={
+                "opm": (32, 64),
+                "gl": (32, 64),
+                "oustaloup": (32, 64),
+                "jacobi": (8, 12),
+            },
+        )
+
+    def test_payload_shape(self, payload):
+        assert payload["schema"] == 1
+        assert set(payload["summary"]) == {"opm", "gl", "jacobi", "oustaloup"}
+        assert payload["methods"][0] == "opm"
+
+    def test_summary_tracks_worst_fine_case(self, payload):
+        for name, row in payload["summary"].items():
+            fine = row["fine_m"]
+            fine_records = [
+                r
+                for r in payload["records"]
+                if r["method"] == name and r["supported"] and r["m"] == fine
+            ]
+            worst = max(fine_records, key=lambda r: r["rel_rms"])
+            assert row["digits"] == pytest.approx(worst["digits"])
+            assert row["worst_case"] == worst["case"]
+            assert row["cases_validated"] == len(fine_records)
+
+    def test_every_run_recorded(self, payload):
+        # 4 methods x 2 cases x 2 resolutions
+        assert len(payload["records"]) == 16
+
+    def test_json_serialisable(self, payload):
+        import json
+
+        json.dumps(payload)
+
+    def test_zero_validated_cases_raises(self, monkeypatch):
+        import repro.fractional.battery as battery_mod
+
+        def always_unsupported(name, case, m, **kwargs):
+            return {
+                "method": name,
+                "case": case.name,
+                "m": m,
+                "supported": False,
+                "reason": "forced",
+            }
+
+        monkeypatch.setattr(battery_mod, "evaluate_method", always_unsupported)
+        cases = (ReferenceCase("c", 0.5, (1.0,)),)
+        with pytest.raises(SolverError, match="vouch"):
+            run_method_battery(methods=("gl",), cases=cases, resolutions={"gl": (8, 16)})

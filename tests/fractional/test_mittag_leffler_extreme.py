@@ -1,0 +1,180 @@
+"""Extreme-parameter regressions for the Mittag-Leffler function.
+
+Tolerance-tabled identities pin ``E_{alpha,beta}(z)`` at the edges of
+its supported domain -- alpha near 0 and near 2, large ``|z|`` on the
+negative axis, and multi-parameter mixes via the shift recurrence
+
+.. math::  E_{\\alpha,\\beta}(z) = z\\,E_{\\alpha,\\alpha+\\beta}(z)
+           + 1/\\Gamma(\\beta).
+
+Each table row is ``(parameters, tolerance)``; loosening any tolerance
+is a visible diff, which is the point.
+"""
+
+import numpy as np
+import pytest
+from scipy.special import erfcx, gamma
+
+from repro.fractional import mittag_leffler
+
+
+class TestSmallAlpha:
+    """alpha -> 0: E_{alpha,1}(z) -> 1/(1-z) for |z| < 1."""
+
+    #: (alpha, z, atol) -- the limit is approached at rate O(alpha),
+    #: slower near the unit circle; tolerances pin the measured errors
+    #: with a ~2x margin
+    GEOMETRIC_TABLE = (
+        (0.05, -0.5, 1.5e-2),
+        (0.05, -0.2, 1e-2),
+        (0.05, 0.2, 2e-2),
+        (0.02, -0.5, 6e-3),
+        (0.02, 0.3, 1.5e-2),
+    )
+
+    @pytest.mark.parametrize("alpha,z,atol", GEOMETRIC_TABLE)
+    def test_geometric_limit(self, alpha, z, atol):
+        assert mittag_leffler(alpha, 1.0, z) == pytest.approx(
+            1.0 / (1.0 - z), abs=atol
+        )
+
+    def test_tiny_alpha_converges(self):
+        # far inside the shrunken series radius 17**0.01 ~ 1.03
+        value = mittag_leffler(0.01, 1.0, -0.5)
+        assert value == pytest.approx(1.0 / 1.5, abs=3e-3)
+
+    def test_small_alpha_large_negative_uses_asymptotics(self):
+        # |z| far beyond the series radius 17**0.1 ~ 1.33:
+        # E_{alpha,1}(z) ~ -1/(z Gamma(1-alpha)) for z -> -inf
+        alpha = 0.1
+        z = -50.0
+        leading = -1.0 / (z * gamma(1.0 - alpha))
+        assert mittag_leffler(alpha, 1.0, z) == pytest.approx(leading, rel=5e-2)
+
+
+class TestAlphaNearTwo:
+    """alpha -> 2: trigonometric / hyperbolic closed forms."""
+
+    #: (x, atol) for E_{2,1}(-x^2) = cos(x)
+    COSINE_TABLE = ((0.5, 1e-12), (3.0, 1e-11), (7.0, 1e-10), (9.0, 1e-9))
+
+    @pytest.mark.parametrize("x,atol", COSINE_TABLE)
+    def test_cosine(self, x, atol):
+        assert mittag_leffler(2.0, 1.0, -(x**2)) == pytest.approx(
+            np.cos(x), abs=atol
+        )
+
+    #: (z, rtol) for E_{2,2}(z) = sinh(sqrt(z))/sqrt(z)
+    SINHC_TABLE = ((0.25, 1e-12), (4.0, 1e-12), (36.0, 1e-11), (81.0, 1e-10))
+
+    @pytest.mark.parametrize("z,rtol", SINHC_TABLE)
+    def test_sinhc(self, z, rtol):
+        root = np.sqrt(z)
+        assert mittag_leffler(2.0, 2.0, z) == pytest.approx(
+            np.sinh(root) / root, rel=rtol
+        )
+
+    def test_sinc_negative_axis(self):
+        x = np.linspace(0.3, 8.0, 11)
+        np.testing.assert_allclose(
+            mittag_leffler(2.0, 2.0, -(x**2)), np.sin(x) / x, atol=1e-10
+        )
+
+    def test_alpha_1_9_tracks_series_reference(self):
+        # no closed form: pin against a high-precision direct series
+        for z in (-4.0, -20.0, -60.0):
+            assert mittag_leffler(1.9, 1.0, z) == pytest.approx(
+                _longdouble_series(1.9, 1.0, z), abs=1e-9
+            )
+
+
+class TestLargeArguments:
+    """Large |z| on the negative axis (the asymptotic branch)."""
+
+    #: (z, atol) for E_{0.5,1}(z) = erfcx(-z)
+    ERFCX_TABLE = ((-2.0, 1e-10), (-4.0, 2e-7), (-8.0, 2e-7), (-40.0, 1e-9))
+
+    @pytest.mark.parametrize("z,atol", ERFCX_TABLE)
+    def test_half_order_erfcx(self, z, atol):
+        assert mittag_leffler(0.5, 1.0, z) == pytest.approx(erfcx(-z), abs=atol)
+
+    def test_exponential_deep_negative(self):
+        z = np.array([-100.0, -500.0, -2000.0])
+        np.testing.assert_allclose(mittag_leffler(1.0, 1.0, z), np.exp(z), atol=1e-13)
+
+    def test_leading_asymptotic_order(self):
+        # E_{alpha,beta}(z) ~ -1/(z Gamma(beta - alpha)) as z -> -inf
+        for alpha, beta in ((0.5, 1.5), (0.8, 1.0), (1.2, 1.0)):
+            z = -1e4
+            leading = -1.0 / (z * gamma(beta - alpha))
+            assert mittag_leffler(alpha, beta, z) == pytest.approx(leading, rel=1e-2)
+
+    def test_growing_branch_rejected(self):
+        with pytest.raises(ValueError, match="growing branch"):
+            mittag_leffler(0.5, 1.0, 100.0)
+
+    def test_sector_closure_near_two_rejected(self):
+        with pytest.raises(ValueError, match="asymptotic sector"):
+            mittag_leffler(1.95, 1.0, -1e4)
+
+
+def _longdouble_series(alpha, beta, z, terms=400):
+    """Direct extended-precision series; reference for moderate |z|."""
+    from scipy.special import gammaln
+
+    k = np.arange(terms, dtype=np.longdouble)
+    log_terms = k * np.log(np.longdouble(abs(z))) - gammaln(
+        np.asarray(alpha * k + beta, dtype=float)
+    ).astype(np.longdouble)
+    signs = np.where((z < 0) & (k % 2 == 1), -1.0, 1.0).astype(np.longdouble)
+    if z == 0:
+        return float(1.0 / gamma(beta))
+    return float(np.sum(signs * np.exp(log_terms)))
+
+
+class TestMultiTermMixes:
+    """Shift recurrence ties (alpha, beta) mixes to their neighbours."""
+
+    #: (alpha, beta, z, atol) -- E_{a,b}(z) = z E_{a,a+b}(z) + 1/Gamma(b)
+    RECURRENCE_TABLE = (
+        (0.3, 1.0, -2.0, 1e-10),
+        (0.5, 0.5, -5.0, 1e-6),
+        (0.7, 1.3, -10.0, 1e-6),
+        (1.5, 1.0, -30.0, 1e-8),
+        (1.5, 2.5, -8.0, 1e-10),
+    )
+
+    @pytest.mark.parametrize("alpha,beta,z,atol", RECURRENCE_TABLE)
+    def test_shift_recurrence(self, alpha, beta, z, atol):
+        lhs = mittag_leffler(alpha, beta, z)
+        rhs = z * mittag_leffler(alpha, alpha + beta, z) + 1.0 / gamma(beta)
+        assert lhs == pytest.approx(rhs, abs=atol)
+
+    #: (alpha, beta, z, atol) against the extended-precision series
+    SERIES_TABLE = (
+        (0.25, 1.0, -1.2, 1e-10),
+        (0.6, 2.0, -6.0, 1e-6),  # just past the crossover radius 17**0.6
+        (0.9, 0.9, -9.0, 1e-9),
+        (1.1, 1.0, -12.0, 1e-9),
+        (1.75, 1.5, -25.0, 1e-9),
+    )
+
+    @pytest.mark.parametrize("alpha,beta,z,atol", SERIES_TABLE)
+    def test_against_extended_precision_series(self, alpha, beta, z, atol):
+        assert mittag_leffler(alpha, beta, z) == pytest.approx(
+            _longdouble_series(alpha, beta, z), abs=atol
+        )
+
+    def test_two_term_relaxation_mix(self):
+        # x(t) = (E_{a,1} + t^a E_{a,a+1})(-t^a): a step + decay blend
+        a = 0.5
+        t = np.linspace(0.2, 3.0, 7)
+        z = -(t**a)
+        mix = mittag_leffler(a, 1.0, z) + t**a * mittag_leffler(a, a + 1.0, z)
+        ref = np.array(
+            [
+                _longdouble_series(a, 1.0, zi) + ti**a * _longdouble_series(a, a + 1.0, zi)
+                for ti, zi in zip(t, z)
+            ]
+        )
+        np.testing.assert_allclose(mix, ref, atol=1e-8)

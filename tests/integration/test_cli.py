@@ -107,6 +107,56 @@ class TestCli:
         assert code == 0
         assert "swept 2 scaled inputs" in out
 
+    def test_method_flag_zoo(self, tmp_path, capsys):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST)
+        code = run(
+            [str(path), "--t-end", "2.0", "--steps", "200", "--method", "gl"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method gl[BlockPulse]" in out
+
+    def test_method_flag_jacobi_binds_spectral_basis(self, tmp_path, capsys):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST)
+        code = run(
+            [str(path), "--t-end", "2.0", "--steps", "24", "--method", "jacobi"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method jacobi[Legendre]" in out
+
+    def test_method_flag_sweeps(self, tmp_path, capsys):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST)
+        code = run(
+            [str(path), "--t-end", "2.0", "--steps", "100",
+             "--method", "oustaloup", "--sweep", "1.0", "2.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "swept 2 scaled inputs" in out
+
+    def test_method_flag_typo_suggests(self, tmp_path, capsys):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST)
+        code = run(
+            [str(path), "--t-end", "2.0", "--steps", "100", "--method", "oustalop"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "did you mean 'oustaloup'" in err
+        assert "choose from" in err
+
+    def test_method_flag_overrides_deck_option(self, tmp_path, capsys):
+        path = tmp_path / "cpe.sp"
+        path.write_text(CPE_NETLIST + ".options method=oustaloup\n.tran 10m 2\n")
+        code = run([str(path), "--method", "gl"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method gl[BlockPulse]" in out
+
     def test_windowed_march(self, rc_file, capsys):
         code = run(
             [str(rc_file), "--t-end", "20e-3", "--steps", "400",
@@ -629,7 +679,9 @@ class TestCliNetlistMode:
         path.write_text("I1 0 a 1m\nR1 a 0 1k\n.tran 1u 10u\n.options method=rk9\n")
         code = run(["--netlist", str(path)])
         assert code == 1
-        assert "method=rk9" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown method 'rk9'" in err
+        assert "'oustaloup'" in err  # every registered method is listed
 
     def test_ic_card_honoured(self, tmp_path, capsys):
         path = tmp_path / "ic.cir"

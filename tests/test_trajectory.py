@@ -34,6 +34,10 @@ def scaling_payload(**overrides) -> dict:
         "hierarchy_flatten_throughput": {
             "value": 30000.0, "claim": ">= 5,000 instances/s",
         },
+        "method_zoo_opm_digits": {"value": 3.2, "claim": ">= 3 digits"},
+        "method_zoo_gl_digits": {"value": 2.8, "claim": ">= 2.5 digits"},
+        "method_zoo_jacobi_digits": {"value": 3.3, "claim": ">= 3 digits"},
+        "method_zoo_oustaloup_digits": {"value": 1.7, "claim": ">= 1.5 digits"},
     }
     metrics.update(overrides)
     metrics = {k: v for k, v in metrics.items() if v is not None}
@@ -99,6 +103,49 @@ class TestBuildTrajectory:
         )
         assert trajectory.check(merged, enforce=True) == []
 
+    def test_method_zoo_claims_derive_from_methods_payload(self):
+        """BENCH_methods.json alone satisfies the zoo claims."""
+        scaling = scaling_payload(
+            method_zoo_opm_digits=None,
+            method_zoo_gl_digits=None,
+            method_zoo_jacobi_digits=None,
+            method_zoo_oustaloup_digits=None,
+        )
+        methods = {
+            "summary": {
+                name: {"digits": digits, "worst_case": "w", "fine_m": 512,
+                       "cases_validated": 5}
+                for name, digits in (
+                    ("opm", 3.2), ("gl", 2.8), ("jacobi", 3.3),
+                    ("oustaloup", 1.7),
+                )
+            }
+        }
+        merged = trajectory.build_trajectory(scaling, None, methods, sha="x")
+        assert merged["methods"] is methods
+        assert trajectory.check(merged, enforce=True) == []
+        zoo = {c["name"]: c for c in merged["claims"]
+               if c["name"].startswith("method_zoo_")}
+        assert zoo["method_zoo_gl_digits"]["value"] == 2.8
+
+    def test_scaling_metrics_win_over_methods_payload(self):
+        """register_metric records (richer meta) take precedence."""
+        methods = {"summary": {"gl": {"digits": 0.1}}}
+        merged = trajectory.build_trajectory(
+            scaling_payload(), None, methods, sha="x"
+        )
+        zoo = {c["name"]: c for c in merged["claims"]}
+        assert zoo["method_zoo_gl_digits"]["value"] == 2.8
+
+    def test_method_zoo_below_floor_fails_enforce(self):
+        merged = trajectory.build_trajectory(
+            scaling_payload(method_zoo_oustaloup_digits={"value": 1.2}),
+            None, sha="x",
+        )
+        failures = trajectory.check(merged, enforce=True)
+        assert len(failures) == 1
+        assert "method_zoo_oustaloup_digits" in failures[0]
+
 
 class TestMain:
     @pytest.fixture
@@ -113,6 +160,7 @@ class TestMain:
         return [
             "--scaling", str(out_dir / "BENCH_scaling.json"),
             "--bases", str(out_dir / "BENCH_bases.json"),
+            "--methods", str(out_dir / "BENCH_methods.json"),
             "--out", str(out_dir / "BENCH_trajectory.json"),
             "--sha", "deadbeef", *extra,
         ]
@@ -123,6 +171,15 @@ class TestMain:
         assert merged["commit"] == "deadbeef"
         assert merged["bases"]["entries"][0]["basis"] == "chebyshev"
         assert "warm_session_speedup" in capsys.readouterr().out
+
+    def test_methods_artifact_merged_when_present(self, out_dir):
+        payload = scaling_payload(method_zoo_gl_digits=None)
+        (out_dir / "BENCH_scaling.json").write_text(json.dumps(payload))
+        methods = {"schema": 1, "summary": {"gl": {"digits": 2.9}}}
+        (out_dir / "BENCH_methods.json").write_text(json.dumps(methods))
+        assert trajectory.main(self.argv(out_dir, "--enforce")) == 0
+        merged = json.loads((out_dir / "BENCH_trajectory.json").read_text())
+        assert merged["methods"]["summary"]["gl"]["digits"] == 2.9
 
     def test_missing_metric_fails(self, out_dir, capsys):
         payload = scaling_payload(warm_session_speedup=None)
